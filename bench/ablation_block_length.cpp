@@ -1,0 +1,53 @@
+// Ablation (DESIGN.md §5): effect of cuSZp's block length L on compression
+// ratio and modeled throughput. The paper picks L = 32 (one block per
+// lane); short blocks waste metadata, long blocks waste bits on the
+// block's max fixed-length.
+#include <iostream>
+
+#include "szp/core/compressor.hpp"
+#include "szp/data/registry.hpp"
+#include "szp/perfmodel/cost.hpp"
+#include "szp/util/env.hpp"
+#include "szp/util/table.hpp"
+
+int main() {
+  using namespace szp;
+  const double scale = bench_scale();
+  const perfmodel::CostModel model(perfmodel::a100());
+
+  std::cout << "=== Ablation: block length L (REL 1e-3) ===\n\n";
+  for (const auto suite :
+       {data::Suite::kHurricane, data::Suite::kRtm, data::Suite::kHacc}) {
+    const auto field = data::make_field(suite, 0, scale);
+    const double range = field.value_range();
+    std::cout << data::suite_info(suite).name << " (" << field.name << ")\n";
+    Table t({"L", "CR", "zero-block %", "comp GB/s (modeled)"});
+    for (const unsigned L : {8u, 16u, 32u, 64u, 128u}) {
+      core::Params p;
+      p.error_bound = 1e-3;
+      p.block_len = L;
+      const auto stream = core::compress_serial(field.values, p, range);
+      const auto stats = core::inspect_stream(stream);
+
+      gpusim::Device dev;
+      auto d_in = gpusim::to_device<float>(dev, field.values);
+      gpusim::DeviceBuffer<byte_t> d_cmp(
+          dev, core::max_compressed_bytes(field.count(), L));
+      const auto res = core::compress_device(
+          dev, d_in, field.count(), p, core::resolve_eb(p, range), d_cmp);
+
+      t.row()
+          .cell(static_cast<long long>(L))
+          .cell(static_cast<double>(field.size_bytes()) /
+                    static_cast<double>(stream.size()),
+                2)
+          .cell(100.0 * static_cast<double>(stats.zero_blocks) /
+                    static_cast<double>(std::max<size_t>(1, stats.num_blocks)),
+                1)
+          .cell(model.kernel_gbps(res.trace, field.size_bytes()), 2);
+    }
+    t.print(std::cout);
+    std::cout << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Ablation (paper §4.1 / Fig. 4): the 1D 1-layer Lorenzo prediction's
+// effect on compression ratio. Lorenzo removes the repeated high bits of
+// neighbouring quantization integers, shrinking each block's fixed length.
+#include <iostream>
+
+#include "szp/core/serial.hpp"
+#include "szp/data/registry.hpp"
+#include "szp/harness/runner.hpp"
+#include "szp/util/env.hpp"
+#include "szp/util/table.hpp"
+
+int main() {
+  using namespace szp;
+  const double scale = bench_scale();
+
+  std::cout << "=== Ablation: Lorenzo prediction on/off ===\n\n";
+  Table t({"Dataset", "REL", "CR with Lorenzo", "CR without", "gain"});
+  for (const auto suite : harness::all_suite_ids()) {
+    const auto field = data::make_field(suite, 0, scale);
+    const double range = field.value_range();
+    for (const double rel : {1e-2, 1e-4}) {
+      core::Params p;
+      p.error_bound = rel;
+      p.lorenzo = true;
+      const auto with = core::compress_serial(field.values, p, range);
+      p.lorenzo = false;
+      const auto without = core::compress_serial(field.values, p, range);
+      const double cr_with = static_cast<double>(field.size_bytes()) /
+                             static_cast<double>(with.size());
+      const double cr_without = static_cast<double>(field.size_bytes()) /
+                                static_cast<double>(without.size());
+      t.row()
+          .cell(data::suite_info(suite).name)
+          .cell(format_fixed(rel, 4))
+          .cell(cr_with, 2)
+          .cell(cr_without, 2)
+          .cell(format_fixed(cr_with / cr_without, 2) + "x");
+    }
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Reproduces paper Fig. 10: standalone throughput of the Global
+// Synchronization step (hierarchical chained-scan prefix sum) on four
+// datasets. The paper reports 120.52-260.77 GB/s, average 208.06 GB/s.
+#include <iostream>
+
+#include "szp/core/compressor.hpp"
+#include "szp/data/registry.hpp"
+#include "szp/harness/codecs.hpp"
+#include "szp/perfmodel/cost.hpp"
+#include "szp/util/env.hpp"
+#include "szp/util/table.hpp"
+
+int main() {
+  using namespace szp;
+  const double scale = bench_scale();
+  const perfmodel::CostModel model(perfmodel::a100());
+  const gpusim::Stage gs_stage = gpusim::Stage::kGlobalSync;
+
+  std::cout << "=== Fig. 10: Global Synchronization throughput (GB/s) ===\n\n";
+  Table t({"Dataset", "GS GB/s"});
+  double sum = 0, count = 0;
+  for (const auto suite :
+       {data::Suite::kHurricane, data::Suite::kNyx, data::Suite::kQmcpack,
+        data::Suite::kRtm}) {
+    const auto field = data::make_field(suite, 0, scale);
+    harness::CodecSetting s;
+    s.id = harness::CodecId::kSzp;
+    s.rel = 1e-2;
+    const auto r = harness::run_codec(s, field);
+    // Standalone GS time: the GS share of the single compression kernel.
+    const auto cost = model.run(r.comp_trace);
+    const double gs_s =
+        cost.stage_s[static_cast<unsigned>(gs_stage)];
+    const double gbps = perfmodel::gbps(r.original_bytes, gs_s);
+    t.row().cell(data::suite_info(suite).name).cell(gbps, 2);
+    sum += gbps;
+    count += 1;
+  }
+  t.print(std::cout);
+  std::cout << "\naverage " << format_fixed(sum / count, 2)
+            << " GB/s (paper: 208.06 GB/s avg, 120.52-260.77)\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Reproduces paper Fig. 13: end-to-end compression and decompression
+// throughput (GB/s) of cuSZp / cuSZ / cuSZx / cuZFP over the six dataset
+// suites. Error-bounded codecs average over REL 1e-1..1e-4; cuZFP over
+// fixed rates 4/8/16/24 (paper §5.2). Throughput is modeled on the A100
+// cost model from the instrumented device traces (DESIGN.md §2).
+#include <iostream>
+
+#include "szp/harness/runner.hpp"
+#include "szp/perfmodel/hardware.hpp"
+#include "szp/util/env.hpp"
+#include "szp/util/table.hpp"
+
+int main() {
+  using namespace szp;
+  const double scale = bench_scale();
+  const perfmodel::CostModel model(perfmodel::a100());
+
+  std::cout << "=== Fig. 13: end-to-end throughput (GB/s, modeled A100) ===\n"
+            << "scale=" << scale << "  (SZP_BENCH_SCALE to change)\n\n";
+
+  Table comp({"Dataset", "cuSZp", "cuSZ", "cuSZx", "cuZFP"});
+  Table decomp({"Dataset", "cuSZp", "cuSZ", "cuSZx", "cuZFP"});
+  double sum_szp_c = 0, sum_szp_d = 0, n_suites = 0;
+  double sum_sz_c = 0, sum_szx_c = 0, sum_sz_d = 0, sum_szx_d = 0;
+
+  for (const auto suite : harness::all_suite_ids()) {
+    const auto& info = data::suite_info(suite);
+    const auto fields = data::make_suite(suite, scale);
+    comp.row().cell(info.name);
+    decomp.row().cell(info.name);
+    for (const auto codec : harness::all_codecs()) {
+      const auto st = harness::sweep_codec(fields, codec, model);
+      comp.cell(st.avg.e2e_comp_gbps, 2);
+      decomp.cell(st.avg.e2e_decomp_gbps, 2);
+      if (codec == harness::CodecId::kSzp) {
+        sum_szp_c += st.avg.e2e_comp_gbps;
+        sum_szp_d += st.avg.e2e_decomp_gbps;
+      } else if (codec == harness::CodecId::kSz) {
+        sum_sz_c += st.avg.e2e_comp_gbps;
+        sum_sz_d += st.avg.e2e_decomp_gbps;
+      } else if (codec == harness::CodecId::kSzx) {
+        sum_szx_c += st.avg.e2e_comp_gbps;
+        sum_szx_d += st.avg.e2e_decomp_gbps;
+      }
+    }
+    n_suites += 1;
+  }
+
+  std::cout << "(a) End-to-end compression throughput\n";
+  comp.print(std::cout);
+  std::cout << "\n(b) End-to-end decompression throughput\n";
+  decomp.print(std::cout);
+
+  std::cout << "\nSummary (paper: cuSZp avg 93.63 / 120.04 GB/s; "
+               "95.53x over cuSZ, 55.18x over cuSZx):\n";
+  std::cout << "  cuSZp avg comp   " << format_fixed(sum_szp_c / n_suites, 2)
+            << " GB/s, avg decomp " << format_fixed(sum_szp_d / n_suites, 2)
+            << " GB/s\n";
+  std::cout << "  speedup vs cuSZ  comp "
+            << format_fixed(sum_szp_c / sum_sz_c, 1) << "x, decomp "
+            << format_fixed(sum_szp_d / sum_sz_d, 1) << "x, combined "
+            << format_fixed((sum_szp_c + sum_szp_d) / (sum_sz_c + sum_sz_d), 1)
+            << "x\n";
+  std::cout << "  speedup vs cuSZx comp "
+            << format_fixed(sum_szp_c / sum_szx_c, 1) << "x, decomp "
+            << format_fixed(sum_szp_d / sum_szx_d, 1) << "x, combined "
+            << format_fixed((sum_szp_c + sum_szp_d) / (sum_szx_c + sum_szx_d), 1)
+            << "x\n";
+  return 0;
+}

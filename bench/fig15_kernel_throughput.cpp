@@ -1,0 +1,53 @@
+// Reproduces paper Fig. 15: kernel-only throughput (GB/s) — execution time
+// of the GPU kernels excluding kernel launch gaps, CPU stages and data
+// movement. cuSZ/cuSZx look far better here than end-to-end (their design
+// cost is off-kernel); cuSZp's kernel and end-to-end numbers coincide.
+#include <iostream>
+
+#include "szp/harness/runner.hpp"
+#include "szp/perfmodel/hardware.hpp"
+#include "szp/util/env.hpp"
+#include "szp/util/table.hpp"
+
+int main() {
+  using namespace szp;
+  const double scale = bench_scale();
+  const perfmodel::CostModel model(perfmodel::a100());
+
+  std::cout << "=== Fig. 15: kernel throughput (GB/s, modeled A100) ===\n\n";
+  Table comp({"Dataset", "cuSZp", "cuSZ", "cuSZx", "cuZFP"});
+  Table decomp({"Dataset", "cuSZp", "cuSZ", "cuSZx", "cuZFP"});
+  double sums[4][2] = {};
+  double n_suites = 0;
+
+  for (const auto suite : harness::all_suite_ids()) {
+    const auto fields = data::make_suite(suite, scale);
+    comp.row().cell(data::suite_info(suite).name);
+    decomp.row().cell(data::suite_info(suite).name);
+    size_t ci = 0;
+    for (const auto codec : harness::all_codecs()) {
+      const auto st = harness::sweep_codec(fields, codec, model);
+      comp.cell(st.avg.kernel_comp_gbps, 2);
+      decomp.cell(st.avg.kernel_decomp_gbps, 2);
+      sums[ci][0] += st.avg.kernel_comp_gbps;
+      sums[ci][1] += st.avg.kernel_decomp_gbps;
+      ++ci;
+    }
+    n_suites += 1;
+  }
+
+  std::cout << "(a) Kernel compression throughput\n";
+  comp.print(std::cout);
+  std::cout << "\n(b) Kernel decompression throughput\n";
+  decomp.print(std::cout);
+
+  std::cout << "\nAverages (paper: cuSZ 46.39/59.44, cuSZx 161.51/164.40 "
+               "GB/s; cuSZp kernel == end-to-end):\n";
+  const char* names[] = {"cuSZp", "cuSZ", "cuSZx", "cuZFP"};
+  for (size_t c = 0; c < 4; ++c) {
+    std::cout << "  " << names[c] << "  comp "
+              << format_fixed(sums[c][0] / n_suites, 2) << "  decomp "
+              << format_fixed(sums[c][1] / n_suites, 2) << "\n";
+  }
+  return 0;
+}

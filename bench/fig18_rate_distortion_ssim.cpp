@@ -1,0 +1,54 @@
+// Reproduces paper Fig. 18: rate-distortion with SSIM instead of PSNR.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "szp/harness/runner.hpp"
+#include "szp/metrics/ssim.hpp"
+#include "szp/util/env.hpp"
+#include "szp/util/table.hpp"
+
+int main() {
+  using namespace szp;
+  const double scale = bench_scale();
+
+  std::cout << "=== Fig. 18: rate distortion, SSIM vs bit rate ===\n";
+  for (const auto suite : harness::all_suite_ids()) {
+    const auto field = data::make_field(suite, 0, scale);
+    std::cout << "\n--- " << data::suite_info(suite).name << " ("
+              << field.name << ") ---\n";
+    Table t({"Codec", "setting", "bit-rate", "SSIM"});
+    std::vector<double> szp_rates;
+    for (const auto codec : harness::error_bounded_codecs()) {
+      for (const double rel : harness::rel_bounds()) {
+        harness::CodecSetting s;
+        s.id = codec;
+        s.rel = rel;
+        const auto r = harness::run_codec(s, field);
+        data::Field recon{field.name, field.dims, r.reconstruction};
+        t.row()
+            .cell(harness::codec_name(codec))
+            .cell("REL " + format_fixed(rel, 4))
+            .cell(r.bit_rate(), 3)
+            .cell(metrics::ssim(field, recon), 4);
+        if (codec == harness::CodecId::kSzp) szp_rates.push_back(r.bit_rate());
+      }
+    }
+    for (const double rate : szp_rates) {
+      harness::CodecSetting s;
+      s.id = harness::CodecId::kZfp;
+      s.rate = std::max(1.0, std::min(32.0, std::round(rate)));
+      const auto r = harness::run_codec(s, field);
+      data::Field recon{field.name, field.dims, r.reconstruction};
+      t.row()
+          .cell("cuZFP")
+          .cell("rate " + format_fixed(s.rate, 0))
+          .cell(r.bit_rate(), 3)
+          .cell(metrics::ssim(field, recon), 4);
+    }
+    t.print(std::cout);
+  }
+  std::cout << "\nPaper shape: cuSZp preserves high SSIM per bit; cuZFP SSIM "
+               "collapses on HACC (0.1465 at rate 4 vs cuSZp 0.7892).\n";
+  return 0;
+}

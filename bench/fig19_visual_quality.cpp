@@ -1,0 +1,123 @@
+// Reproduces paper Figs. 16/19/20 (visual quality) in an automatable form:
+// renders original / reconstructed / |diff| slices as PGM images under
+// SZP_BENCH_OUTDIR and prints per-slice artifact scores. The cuSZx
+// constant-flush stripes and cuZFP low-rate blockiness are visible both in
+// the images and in the "block-boundary jump" metric below (mean absolute
+// reconstruction step across 32-point block boundaries vs. inside blocks).
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <iostream>
+
+#include "szp/data/registry.hpp"
+#include "szp/harness/codecs.hpp"
+#include "szp/metrics/error.hpp"
+#include "szp/metrics/ssim.hpp"
+#include "szp/util/env.hpp"
+#include "szp/util/table.hpp"
+#include "szp/vis/pgm.hpp"
+
+namespace {
+
+/// Ratio of mean |step| across coding-block boundaries to mean |step|
+/// inside blocks, minus the same ratio on the original. Values >> 0 mean
+/// the codec introduced block-aligned artifacts.
+double blockiness_excess(std::span<const float> orig,
+                         std::span<const float> recon, size_t block) {
+  auto ratio = [&](std::span<const float> v) {
+    double at = 0, in = 0;
+    size_t nat = 0, nin = 0;
+    for (size_t i = 1; i < v.size(); ++i) {
+      const double step = std::abs(static_cast<double>(v[i]) - v[i - 1]);
+      if (i % block == 0) {
+        at += step;
+        ++nat;
+      } else {
+        in += step;
+        ++nin;
+      }
+    }
+    const double mean_at = nat ? at / static_cast<double>(nat) : 0;
+    const double mean_in = nin ? in / static_cast<double>(nin) : 1e-30;
+    return mean_at / std::max(mean_in, 1e-30);
+  };
+  return ratio(recon) - ratio(orig);
+}
+
+}  // namespace
+
+int main() {
+  using namespace szp;
+  const double scale = bench_scale();
+  const std::string outdir = bench_outdir();
+  std::filesystem::create_directories(outdir);
+
+  std::cout << "=== Figs. 16/19/20: visual quality (PGM slices -> " << outdir
+            << "/) ===\n\n";
+  Table t({"Dataset", "Codec", "setting", "CR", "PSNR", "SSIM",
+           "blockiness+"});
+
+  const struct {
+    data::Suite suite;
+    size_t field;
+  } picks[] = {{data::Suite::kHurricane, 0},
+               {data::Suite::kNyx, 0},
+               {data::Suite::kQmcpack, 0},
+               {data::Suite::kCesmAtm, 0}};
+
+  for (const auto& pick : picks) {
+    const auto field = data::make_field(pick.suite, pick.field, scale);
+    // Middle slice for 3D+ fields; 2D fields have exactly one plane.
+    const size_t slice_idx =
+        field.dims.ndim() > 2 ? field.count() / (field.dims[field.dims.ndim() - 1] *
+                                                 field.dims[field.dims.ndim() - 2]) / 2
+                              : 0;
+    const auto orig_slice = data::slice2d(field, slice_idx);
+    const std::string base =
+        outdir + "/" + data::suite_info(pick.suite).name + "_" + field.name;
+    vis::write_pgm(base + "_original.pgm", orig_slice);
+
+    // Compare codecs at (approximately) the same compression ratio, as the
+    // paper does: cuSZp REL 1e-2 sets the reference CR; cuZFP gets the
+    // matching fixed rate; cuSZx gets the REL bound with the nearest CR.
+    harness::CodecSetting szp_s{harness::CodecId::kSzp, 1e-2, 8};
+    const auto szp_r = harness::run_codec(szp_s, field);
+    const double target_rate = std::max(1.0, std::round(szp_r.bit_rate()));
+
+    struct Run {
+      const char* name;
+      harness::CodecSetting s;
+    } runs[] = {
+        {"cuSZp", szp_s},
+        {"cuSZx", {harness::CodecId::kSzx, 1e-2, 8}},
+        {"cuZFP", {harness::CodecId::kZfp, 1e-2, target_rate}},
+    };
+    for (const auto& run : runs) {
+      const auto r = harness::run_codec(run.s, field);
+      data::Field recon{field.name, field.dims, r.reconstruction};
+      const auto recon_slice = data::slice2d(recon, slice_idx);
+      vis::write_pgm(base + "_" + run.name + ".pgm", recon_slice);
+      vis::write_diff_pgm(base + "_" + run.name + "_diff.pgm", orig_slice,
+                          recon_slice, field.value_range());
+      const auto stats = metrics::compare(field.values, r.reconstruction);
+      t.row()
+          .cell(data::suite_info(pick.suite).name)
+          .cell(run.name)
+          .cell(run.s.id == harness::CodecId::kZfp
+                    ? "rate " + format_fixed(run.s.rate, 0)
+                    : "REL 1e-2")
+          .cell(r.compression_ratio(), 1)
+          .cell(stats.psnr, 2)
+          .cell(metrics::ssim(field, recon), 4)
+          .cell(blockiness_excess(field.values, r.reconstruction,
+                                  run.s.id == harness::CodecId::kSzx ? 128
+                                                                     : 32),
+                3);
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nPaper shape: cuSZp near-zero added blockiness; cuSZx "
+               "shows constant-block stripes; cuZFP shows low-rate "
+               "artifacts.\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Reproduces paper Fig. 22: cuSZp throughput over the timesteps of a
+// time-varying RTM simulation. The wavefield's value range decays with
+// time while residual (coda) energy decays slower, so under a REL bound
+// later snapshots have fewer zero blocks and throughput drops.
+#include <iostream>
+
+#include "szp/core/serial.hpp"
+#include "szp/data/registry.hpp"
+#include "szp/harness/runner.hpp"
+#include "szp/perfmodel/hardware.hpp"
+#include "szp/util/env.hpp"
+#include "szp/util/table.hpp"
+
+int main() {
+  using namespace szp;
+  const double scale = bench_scale();
+  const perfmodel::CostModel model(perfmodel::a100());
+
+  std::cout << "=== Fig. 22: cuSZp on time-varying RTM (REL 1e-2) ===\n\n";
+  Table t({"timestep", "range", "zero-block %", "comp GB/s", "decomp GB/s",
+           "CR"});
+  double first_tp = 0, last_tp = 0;
+  for (size_t step = 300; step <= 3600; step += 300) {
+    const auto field = data::make_rtm_snapshot(step, scale);
+    harness::CodecSetting s;
+    s.id = harness::CodecId::kSzp;
+    s.rel = 1e-2;
+    const auto r = harness::run_codec(s, field);
+    const auto tp = harness::throughput_of(r, model);
+
+    // Zero-block fraction from the compressed stream itself.
+    core::Params p;
+    p.mode = core::ErrorMode::kRel;
+    p.error_bound = 1e-2;
+    const auto stream =
+        core::compress_serial(field.values, p, field.value_range());
+    const auto stats = core::inspect_stream(stream);
+    const double zero_pct =
+        100.0 * static_cast<double>(stats.zero_blocks) /
+        static_cast<double>(std::max<size_t>(1, stats.num_blocks));
+
+    t.row()
+        .cell(static_cast<long long>(step))
+        .cell(field.value_range(), 1)
+        .cell(zero_pct, 1)
+        .cell(tp.e2e_comp_gbps, 2)
+        .cell(tp.e2e_decomp_gbps, 2)
+        .cell(r.compression_ratio(), 2);
+    if (step == 300) first_tp = tp.e2e_comp_gbps;
+    last_tp = tp.e2e_comp_gbps;
+  }
+  t.print(std::cout);
+  std::cout << "\nThroughput decays " << format_fixed(first_tp, 1) << " -> "
+            << format_fixed(last_tp, 1)
+            << " GB/s with timestep (paper: ~150 -> ~90 GB/s), driven by "
+               "the shrinking zero-block fraction.\n";
+  return 0;
+}

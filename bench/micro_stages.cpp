@@ -1,0 +1,124 @@
+// google-benchmark microbenchmarks: real host wall time of the codec
+// building blocks (honest CPU measurements, complementing the modeled
+// GPU numbers elsewhere).
+#include <benchmark/benchmark.h>
+
+#include "szp/baselines/vsz/huffman.hpp"
+#include "szp/baselines/vzfp/block_codec.hpp"
+#include "szp/core/serial.hpp"
+#include "szp/core/stages.hpp"
+#include "szp/data/registry.hpp"
+#include "szp/util/rng.hpp"
+
+namespace {
+
+using namespace szp;
+
+const data::Field& hurricane() {
+  static const data::Field f =
+      data::make_field(data::Suite::kHurricane, 0, 0.25);
+  return f;
+}
+
+void BM_Quantize(benchmark::State& state) {
+  const auto& f = hurricane();
+  std::vector<std::int32_t> out(f.count());
+  const double eb = 1e-3 * f.value_range();
+  for (auto _ : state) {
+    core::quantize(f.values, eb, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(f.size_bytes()));
+}
+BENCHMARK(BM_Quantize);
+
+void BM_LorenzoForward(benchmark::State& state) {
+  std::vector<std::int32_t> v(1 << 20, 7);
+  for (auto _ : state) {
+    for (size_t b = 0; b < v.size(); b += 32) {
+      core::lorenzo_forward(std::span(v).subspan(b, 32));
+    }
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(v.size() * 4));
+}
+BENCHMARK(BM_LorenzoForward);
+
+void BM_BitShuffleBlock(benchmark::State& state) {
+  const auto f = static_cast<unsigned>(state.range(0));
+  std::vector<std::uint32_t> mags(32);
+  Rng rng(5);
+  for (auto& m : mags) m = static_cast<std::uint32_t>(rng.next_below(1u << f));
+  std::vector<byte_t> out(f * 4);
+  for (auto _ : state) {
+    core::bit_shuffle(mags, f, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_BitShuffleBlock)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_SzpCompressSerial(benchmark::State& state) {
+  const auto& f = hurricane();
+  core::Params p;
+  p.error_bound = 1e-3;
+  const double range = f.value_range();
+  for (auto _ : state) {
+    auto stream = core::compress_serial(f.values, p, range);
+    benchmark::DoNotOptimize(stream.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(f.size_bytes()));
+}
+BENCHMARK(BM_SzpCompressSerial);
+
+void BM_SzpDecompressSerial(benchmark::State& state) {
+  const auto& f = hurricane();
+  core::Params p;
+  p.error_bound = 1e-3;
+  const auto stream = core::compress_serial(f.values, p, f.value_range());
+  for (auto _ : state) {
+    auto recon = core::decompress_serial(stream);
+    benchmark::DoNotOptimize(recon.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(f.size_bytes()));
+}
+BENCHMARK(BM_SzpDecompressSerial);
+
+void BM_HuffmanEncode(benchmark::State& state) {
+  Rng rng(9);
+  std::vector<std::uint64_t> freq(1024, 0);
+  std::vector<std::uint16_t> symbols(1 << 18);
+  for (auto& s : symbols) {
+    s = static_cast<std::uint16_t>(
+        std::clamp(rng.normal() * 15 + 512, 0.0, 1023.0));
+    ++freq[s];
+  }
+  const auto book = vsz::HuffmanCodebook::build(freq);
+  for (auto _ : state) {
+    auto bits = vsz::huffman_encode(symbols, book);
+    benchmark::DoNotOptimize(bits.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(symbols.size() * 2));
+}
+BENCHMARK(BM_HuffmanEncode);
+
+void BM_VzfpBlockEncode3D(benchmark::State& state) {
+  Rng rng(10);
+  std::vector<float> block(64);
+  for (auto& v : block) v = static_cast<float>(rng.normal());
+  std::vector<byte_t> slot(64);
+  for (auto _ : state) {
+    std::fill(slot.begin(), slot.end(), byte_t{0});
+    vzfp::encode_block(block, 3, 512, slot);
+    benchmark::DoNotOptimize(slot.data());
+  }
+}
+BENCHMARK(BM_VzfpBlockEncode3D);
+
+}  // namespace
+
+BENCHMARK_MAIN();

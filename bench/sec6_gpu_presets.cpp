@@ -1,0 +1,33 @@
+// Reproduces paper §6 "Compatibility with Other Lower-End GPUs": cuSZp
+// compression kernel throughput for one RTM snapshot on A100 / V100 /
+// RTX 3080 hardware models (paper: 100.34 / 87.44 / 80.13 GB/s).
+#include <iostream>
+
+#include "szp/data/registry.hpp"
+#include "szp/harness/runner.hpp"
+#include "szp/perfmodel/hardware.hpp"
+#include "szp/util/env.hpp"
+#include "szp/util/table.hpp"
+
+int main() {
+  using namespace szp;
+  const auto field = data::make_rtm_snapshot(1800, bench_scale());
+  harness::CodecSetting s;
+  s.id = harness::CodecId::kSzp;
+  s.rel = 1e-2;
+  const auto r = harness::run_codec(s, field);
+
+  std::cout << "=== Sec. 6: cuSZp kernel throughput across GPUs (one RTM "
+               "snapshot) ===\n\n";
+  Table t({"GPU", "comp kernel GB/s", "decomp kernel GB/s"});
+  for (const auto& hw : perfmodel::all_gpus()) {
+    const perfmodel::CostModel model(hw);
+    const auto tp = harness::throughput_of(r, model);
+    t.row().cell(hw.name).cell(tp.kernel_comp_gbps, 2).cell(
+        tp.kernel_decomp_gbps, 2);
+  }
+  t.print(std::cout);
+  std::cout << "\nPaper: 100.34 (A100), 87.44 (V100), 80.13 (RTX 3080) GB/s "
+               "for compression.\n";
+  return 0;
+}

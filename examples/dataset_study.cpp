@@ -1,0 +1,55 @@
+// Dataset study: sweep one dataset suite across error bounds and codecs,
+// reporting compression ratio and reconstruction quality — the workflow a
+// domain scientist uses to pick an error bound before a campaign.
+//
+//   ./build/examples/dataset_study [suite]     (default: NYX)
+// Suites: Hurricane NYX QMCPack RTM HACC CESM-ATM
+#include <iostream>
+#include <string>
+
+#include "szp/harness/runner.hpp"
+#include "szp/metrics/error.hpp"
+#include "szp/metrics/ssim.hpp"
+#include "szp/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace szp;
+  const std::string want = argc > 1 ? argv[1] : "NYX";
+  data::Suite suite = data::Suite::kNyx;
+  for (const auto& info : data::all_suites()) {
+    if (info.name == want) suite = info.id;
+  }
+  const auto& info = data::suite_info(suite);
+  std::cout << "Suite: " << info.name << " (" << info.domain
+            << "), paper dims " << info.paper_dims.to_string() << ", "
+            << info.num_fields << " synthetic fields\n\n";
+
+  Table t({"field", "codec", "REL", "CR", "bit-rate", "PSNR", "SSIM",
+           "max rel err"});
+  const auto fields = data::make_suite(suite, 0.5);
+  for (const auto& field : fields) {
+    for (const auto codec : harness::error_bounded_codecs()) {
+      for (const double rel : harness::rel_bounds()) {
+        harness::CodecSetting s;
+        s.id = codec;
+        s.rel = rel;
+        const auto r = harness::run_codec(s, field);
+        const auto stats = metrics::compare(field.values, r.reconstruction);
+        data::Field recon{field.name, field.dims, r.reconstruction};
+        t.row()
+            .cell(field.name)
+            .cell(harness::codec_name(codec))
+            .cell(format_fixed(rel, 4))
+            .cell(r.compression_ratio(), 2)
+            .cell(r.bit_rate(), 3)
+            .cell(stats.psnr, 1)
+            .cell(metrics::ssim(field, recon), 4)
+            .cell(stats.max_rel_err, 6);
+      }
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nEvery error-bounded run must show max rel err <= its REL "
+               "column.\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Quickstart: compress and decompress a float array with cuSZp.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "szp/core/compressor.hpp"
+#include "szp/metrics/error.hpp"
+
+int main() {
+  // A smooth synthetic signal (a stand-in for your simulation output).
+  std::vector<float> data(1 << 20);
+  for (size_t i = 0; i < data.size(); ++i) {
+    const double x = static_cast<double>(i) / 1000.0;
+    data[i] = static_cast<float>(std::sin(x) + 0.3 * std::sin(7.1 * x));
+  }
+
+  // Value-range-relative error bound of 1e-3 (paper REL mode).
+  szp::core::Params params;
+  params.mode = szp::core::ErrorMode::kRel;
+  params.error_bound = 1e-3;
+  szp::Compressor compressor(params);
+
+  // Host path: the serial reference codec.
+  const std::vector<szp::byte_t> stream = compressor.compress(data);
+  const std::vector<float> recon = compressor.decompress(stream);
+
+  const auto stats = szp::metrics::compare(data, recon);
+  std::cout << "elements          : " << data.size() << "\n"
+            << "compressed bytes  : " << stream.size() << "\n"
+            << "compression ratio : "
+            << static_cast<double>(data.size() * 4) /
+                   static_cast<double>(stream.size())
+            << "\n"
+            << "max abs error     : " << stats.max_abs_err << "\n"
+            << "max rel error     : " << stats.max_rel_err
+            << "  (bound was 1e-3)\n"
+            << "PSNR              : " << stats.psnr << " dB\n";
+
+  // Device path: the paper's single-kernel pipeline on the simulated GPU.
+  szp::gpusim::Device dev;
+  auto d_in = szp::gpusim::to_device<float>(dev, data);
+  szp::gpusim::DeviceBuffer<szp::byte_t> d_cmp(
+      dev, szp::core::max_compressed_bytes(data.size(), params.block_len));
+  const auto result = compressor.compress_on_device(
+      dev, d_in, data.size(), /*value_range=*/2.6, d_cmp);
+  std::cout << "device kernels    : " << result.trace.kernel_launches
+            << " (single-kernel design)\n";
+  return 0;
+}

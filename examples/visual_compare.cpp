@@ -1,0 +1,48 @@
+// Visual comparison: decompress one field with all four codecs at a
+// matched compression ratio and render slice images (PGM) plus difference
+// maps — the paper's Figs. 16/19 workflow, scriptable.
+//
+//   ./build/examples/visual_compare [outdir]   (default: visual_out)
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "szp/data/registry.hpp"
+#include "szp/harness/codecs.hpp"
+#include "szp/metrics/error.hpp"
+#include "szp/vis/pgm.hpp"
+
+int main(int argc, char** argv) {
+  using namespace szp;
+  const std::string outdir = argc > 1 ? argv[1] : "visual_out";
+  std::filesystem::create_directories(outdir);
+
+  const auto field = data::make_field(data::Suite::kCesmAtm, 0, 1.0);
+  const auto orig = data::slice2d(field, 0);
+  vis::write_pgm(outdir + "/original.pgm", orig);
+  std::cout << "Field " << field.name << " " << field.dims.to_string()
+            << ", range " << field.value_range() << "\n\n";
+
+  const harness::CodecSetting settings[] = {
+      {harness::CodecId::kSzp, 1e-2, 8},
+      {harness::CodecId::kSz, 1e-2, 8},
+      {harness::CodecId::kSzx, 1e-2, 8},
+      {harness::CodecId::kZfp, 1e-2, 4},
+  };
+  for (const auto& s : settings) {
+    const auto r = harness::run_codec(s, field);
+    data::Field recon{field.name, field.dims, r.reconstruction};
+    const auto slice = data::slice2d(recon, 0);
+    const std::string name = harness::codec_name(s.id);
+    vis::write_pgm(outdir + "/" + name + ".pgm", slice);
+    vis::write_diff_pgm(outdir + "/" + name + "_diff.pgm", orig, slice,
+                        field.value_range());
+    const auto stats = metrics::compare(field.values, r.reconstruction);
+    std::cout << name << ": CR " << r.compression_ratio() << ", PSNR "
+              << stats.psnr << " dB, mean slice diff "
+              << vis::mean_abs_diff(orig, slice) << "\n";
+  }
+  std::cout << "\nImages written to " << outdir
+            << "/ — compare *_diff.pgm for artifact patterns.\n";
+  return 0;
+}

@@ -1,0 +1,139 @@
+#include "szp/archive/archive.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "szp/core/random_access.hpp"
+#include "szp/core/serial.hpp"
+#include "szp/util/bytestream.hpp"
+
+namespace szp::archive {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x41355A53;  // "SZ5A"
+constexpr std::uint16_t kVersion = 1;
+}  // namespace
+
+void Writer::add(const data::Field& field, std::optional<double> value_range) {
+  for (const auto& e : entries_) {
+    if (e.name == field.name) {
+      throw format_error("archive: duplicate field name '" + field.name + "'");
+    }
+  }
+  Entry e;
+  e.name = field.name;
+  e.dims = field.dims;
+  streams_.push_back(core::compress_serial(field.values, params_, value_range));
+  e.stream_bytes = streams_.back().size();
+  entries_.push_back(std::move(e));
+}
+
+std::vector<byte_t> Writer::finish() && {
+  ByteWriter w;
+  w.put(kMagic);
+  w.put(kVersion);
+  w.put(std::uint16_t{0});
+  w.put(static_cast<std::uint64_t>(entries_.size()));
+
+  // Index size must be known to lay out stream offsets; compute it first.
+  size_t index_bytes = 0;
+  for (const auto& e : entries_) {
+    index_bytes += 2 + e.name.size() + 1 + 8 * e.dims.ndim() + 16;
+  }
+  std::uint64_t offset = w.size() + index_bytes;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    Entry& e = entries_[i];
+    e.stream_offset = offset;
+    offset += e.stream_bytes;
+    w.put(checked_cast<std::uint16_t>(e.name.size()));
+    w.put_bytes(std::span<const byte_t>(
+        reinterpret_cast<const byte_t*>(e.name.data()), e.name.size()));
+    w.put(checked_cast<std::uint8_t>(e.dims.ndim()));
+    for (const size_t d : e.dims.extents) {
+      w.put(static_cast<std::uint64_t>(d));
+    }
+    w.put(e.stream_offset);
+    w.put(e.stream_bytes);
+  }
+  for (const auto& s : streams_) w.put_bytes(s);
+  return std::move(w).take();
+}
+
+Reader::Reader(std::vector<byte_t> blob) : blob_(std::move(blob)) {
+  ByteReader r(blob_);
+  if (r.get<std::uint32_t>() != kMagic) {
+    throw format_error("archive: bad magic");
+  }
+  if (r.get<std::uint16_t>() != kVersion) {
+    throw format_error("archive: unsupported version");
+  }
+  (void)r.get<std::uint16_t>();
+  const auto count = r.get<std::uint64_t>();
+  entries_.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Entry e;
+    const auto name_len = r.get<std::uint16_t>();
+    const auto name_bytes = r.get_bytes(name_len);
+    e.name.assign(reinterpret_cast<const char*>(name_bytes.data()), name_len);
+    const auto ndim = r.get<std::uint8_t>();
+    for (unsigned d = 0; d < ndim; ++d) {
+      e.dims.extents.push_back(static_cast<size_t>(r.get<std::uint64_t>()));
+    }
+    e.stream_offset = r.get<std::uint64_t>();
+    e.stream_bytes = r.get<std::uint64_t>();
+    if (e.stream_offset + e.stream_bytes > blob_.size()) {
+      throw format_error("archive: index points past end of blob");
+    }
+    entries_.push_back(std::move(e));
+  }
+}
+
+std::span<const byte_t> Reader::stream_of(size_t index) const {
+  if (index >= entries_.size()) throw format_error("archive: bad index");
+  const Entry& e = entries_[index];
+  return std::span<const byte_t>(blob_).subspan(e.stream_offset,
+                                                e.stream_bytes);
+}
+
+data::Field Reader::extract(size_t index) const {
+  if (index >= entries_.size()) throw format_error("archive: bad index");
+  const Entry& e = entries_[index];
+  data::Field f;
+  f.name = e.name;
+  f.dims = e.dims;
+  f.values = core::decompress_serial(stream_of(index));
+  if (f.values.size() != f.dims.count()) {
+    throw format_error("archive: stream size does not match dims");
+  }
+  return f;
+}
+
+data::Field Reader::extract(const std::string& name) const {
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].name == name) return extract(i);
+  }
+  throw format_error("archive: no field named '" + name + "'");
+}
+
+std::vector<float> Reader::extract_range(size_t index, size_t begin,
+                                         size_t end) const {
+  return core::decompress_range(stream_of(index), begin, end);
+}
+
+void save_archive(const std::string& path, std::span<const byte_t> blob) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw format_error("archive: cannot open " + path);
+  out.write(reinterpret_cast<const char*>(blob.data()),
+            static_cast<std::streamsize>(blob.size()));
+  if (!out) throw format_error("archive: short write");
+}
+
+Reader load_archive(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw format_error("archive: cannot open " + path);
+  std::vector<byte_t> blob((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+  return Reader(std::move(blob));
+}
+
+}  // namespace szp::archive

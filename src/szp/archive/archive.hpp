@@ -1,0 +1,85 @@
+// Multi-field compressed archive (extension for downstream adoption).
+//
+// A simulation campaign writes many named fields per snapshot; this
+// container packs each field's cuSZp stream behind a single index so a
+// snapshot is one file. Fields are independently compressed, so any field
+// (or element range of a field, via core::decompress_range) can be pulled
+// out without touching the rest.
+//
+// Layout:
+//   [magic "SZPA"][u16 version][u64 field count]
+//   [index entry per field: name, dims, stream offset/size]
+//   [concatenated cuSZp streams]
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "szp/core/format.hpp"
+#include "szp/data/field.hpp"
+
+namespace szp::archive {
+
+struct Entry {
+  std::string name;
+  data::Dims dims;
+  std::uint64_t stream_offset = 0;  // within the archive blob
+  std::uint64_t stream_bytes = 0;
+
+  [[nodiscard]] double compression_ratio() const {
+    return stream_bytes > 0 ? static_cast<double>(dims.count() * 4) /
+                                  static_cast<double>(stream_bytes)
+                            : 0;
+  }
+};
+
+/// Builds an archive by compressing fields one at a time.
+class Writer {
+ public:
+  explicit Writer(core::Params params = {}) : params_(params) {
+    params_.validate();
+  }
+
+  /// Compress and append a field. Names must be unique.
+  void add(const data::Field& field,
+           std::optional<double> value_range = std::nullopt);
+
+  [[nodiscard]] size_t num_fields() const { return entries_.size(); }
+
+  /// Finalize into a self-contained byte blob.
+  [[nodiscard]] std::vector<byte_t> finish() &&;
+
+ private:
+  core::Params params_;
+  std::vector<Entry> entries_;
+  std::vector<std::vector<byte_t>> streams_;
+};
+
+/// Reads an archive blob; fields decompress on demand.
+class Reader {
+ public:
+  explicit Reader(std::vector<byte_t> blob);
+
+  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Decompress a whole field by index or name.
+  [[nodiscard]] data::Field extract(size_t index) const;
+  [[nodiscard]] data::Field extract(const std::string& name) const;
+
+  /// Decompress only elements [begin, end) of a field (random access).
+  [[nodiscard]] std::vector<float> extract_range(size_t index, size_t begin,
+                                                 size_t end) const;
+
+ private:
+  [[nodiscard]] std::span<const byte_t> stream_of(size_t index) const;
+
+  std::vector<byte_t> blob_;
+  std::vector<Entry> entries_;
+};
+
+/// File helpers.
+void save_archive(const std::string& path, std::span<const byte_t> blob);
+[[nodiscard]] Reader load_archive(const std::string& path);
+
+}  // namespace szp::archive

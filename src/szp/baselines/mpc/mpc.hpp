@@ -1,0 +1,52 @@
+// MPC-style lossless GPU floating-point compressor (Yang et al.,
+// CLUSTER'15 — the paper's related work [38], reimplemented in structure).
+//
+// Pipeline per 1024-word chunk:
+//   1. value prediction: wrapping delta against the word `stride`
+//      positions back (stride = the data's fastest dimension so vector
+//      fields predict component-wise),
+//   2. zigzag mapping so small +- residuals have clear high bits,
+//   3. 32x32 bit transpose (each output word gathers one bit position
+//      from 32 inputs) — smooth data turns high bit planes into zero
+//      words,
+//   4. zero-word removal: a 1024-bit occupancy bitmap + the non-zero
+//      words.
+//
+// Entirely lossless: decompress(compress(x)) reproduces x bit for bit.
+// Used by `bench_ext_lossless` to reproduce the paper's §1 claim that
+// lossless compression of scientific f32 data tops out around 2:1.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "szp/gpusim/buffer.hpp"
+#include "szp/util/common.hpp"
+
+namespace szp::mpc {
+
+struct Params {
+  unsigned stride = 1;  // prediction distance in words (e.g. 3 for xyzxyz)
+};
+
+[[nodiscard]] std::vector<byte_t> compress_serial(std::span<const float> data,
+                                                  const Params& params = {});
+
+[[nodiscard]] std::vector<float> decompress_serial(
+    std::span<const byte_t> stream);
+
+struct DeviceCodecResult {
+  size_t bytes = 0;
+  gpusim::TraceSnapshot trace;
+};
+
+/// Single-kernel device compression (chunk sizes stitched with the same
+/// chained scan cuSZp uses). Byte-identical to compress_serial.
+DeviceCodecResult compress_device(gpusim::Device& dev,
+                                  const gpusim::DeviceBuffer<float>& in,
+                                  size_t n, const Params& params,
+                                  gpusim::DeviceBuffer<byte_t>& out);
+
+[[nodiscard]] size_t max_compressed_bytes(size_t n);
+
+}  // namespace szp::mpc

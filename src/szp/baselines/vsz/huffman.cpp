@@ -1,0 +1,292 @@
+#include "szp/baselines/vsz/huffman.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+namespace szp::vsz {
+
+namespace {
+
+/// Compute unrestricted Huffman code lengths with the classic two-node
+/// merge (heap), then length-limit with the deflate-style fixup.
+std::vector<std::uint8_t> code_lengths(std::span<const std::uint64_t> freq,
+                                       unsigned max_len) {
+  const size_t n = freq.size();
+  std::vector<std::uint8_t> lengths(n, 0);
+
+  struct Node {
+    std::uint64_t weight;
+    std::uint32_t id;  // < n: leaf; >= n: internal
+  };
+  struct Cmp {
+    bool operator()(const Node& a, const Node& b) const {
+      return a.weight > b.weight || (a.weight == b.weight && a.id > b.id);
+    }
+  };
+
+  std::vector<std::int32_t> parent;
+  parent.reserve(2 * n);
+  std::priority_queue<Node, std::vector<Node>, Cmp> heap;
+  std::uint32_t next_id = 0;
+  std::vector<std::uint32_t> leaf_id(n, 0);
+  for (size_t s = 0; s < n; ++s) {
+    if (freq[s] == 0) continue;
+    leaf_id[s] = next_id;
+    parent.push_back(-1);
+    heap.push({freq[s], next_id++});
+  }
+  const size_t used = next_id;
+  if (used == 0) return lengths;
+  if (used == 1) {
+    // Single-symbol alphabet: give it a 1-bit code.
+    for (size_t s = 0; s < n; ++s) {
+      if (freq[s] != 0) lengths[s] = 1;
+    }
+    return lengths;
+  }
+  while (heap.size() > 1) {
+    const Node a = heap.top();
+    heap.pop();
+    const Node b = heap.top();
+    heap.pop();
+    const std::uint32_t id = next_id++;
+    parent.push_back(-1);
+    parent[a.id] = static_cast<std::int32_t>(id);
+    parent[b.id] = static_cast<std::int32_t>(id);
+    heap.push({a.weight + b.weight, id});
+  }
+  // Depth of each leaf = number of parent hops to the root.
+  std::uint32_t li = 0;
+  for (size_t s = 0; s < n; ++s) {
+    if (freq[s] == 0) continue;
+    unsigned depth = 0;
+    for (std::int32_t p = parent[leaf_id[s]]; p >= 0; p = parent[p]) ++depth;
+    lengths[s] = static_cast<std::uint8_t>(depth);
+    ++li;
+  }
+
+  // Length-limit: count codes per length; push overflow down, then pull
+  // shorter codes up to restore the Kraft equality (zlib's approach).
+  std::vector<std::uint32_t> bl_count(max_len + 1, 0);
+  bool overflow = false;
+  for (size_t s = 0; s < n; ++s) {
+    if (lengths[s] == 0) continue;
+    if (lengths[s] > max_len) {
+      overflow = true;
+      lengths[s] = static_cast<std::uint8_t>(max_len);
+    }
+    ++bl_count[lengths[s]];
+  }
+  if (overflow) {
+    // Restore Kraft <= 1 by extending the shortest over-full codes.
+    std::uint64_t kraft = 0;
+    for (unsigned l = 1; l <= max_len; ++l) {
+      kraft += static_cast<std::uint64_t>(bl_count[l])
+               << (max_len - l);
+    }
+    const std::uint64_t limit = std::uint64_t{1} << max_len;
+    while (kraft > limit) {
+      // Find a symbol with the largest length < max_len and demote it.
+      unsigned bits = max_len - 1;
+      while (bl_count[bits] == 0) --bits;
+      --bl_count[bits];
+      ++bl_count[bits + 1];
+      kraft -= std::uint64_t{1} << (max_len - bits - 1);
+    }
+    // Re-assign lengths from bl_count to the symbols sorted by frequency
+    // (most frequent gets the shortest code).
+    std::vector<size_t> order;
+    for (size_t s = 0; s < n; ++s) {
+      if (freq[s] != 0) order.push_back(s);
+    }
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return freq[a] > freq[b] || (freq[a] == freq[b] && a < b);
+    });
+    size_t pos = 0;
+    for (unsigned l = 1; l <= max_len; ++l) {
+      for (std::uint32_t c = 0; c < bl_count[l]; ++c) {
+        lengths[order[pos++]] = static_cast<std::uint8_t>(l);
+      }
+    }
+  }
+  return lengths;
+}
+
+/// Assign canonical codes from lengths: shorter codes first, ties by
+/// symbol value.
+std::vector<std::uint32_t> canonical_codes(
+    std::span<const std::uint8_t> lengths) {
+  std::vector<std::uint32_t> codes(lengths.size(), 0);
+  std::vector<size_t> order;
+  for (size_t s = 0; s < lengths.size(); ++s) {
+    if (lengths[s] != 0) order.push_back(s);
+  }
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return lengths[a] < lengths[b] || (lengths[a] == lengths[b] && a < b);
+  });
+  std::uint32_t code = 0;
+  unsigned prev_len = 0;
+  for (const size_t s : order) {
+    code <<= (lengths[s] - prev_len);
+    codes[s] = code;
+    ++code;
+    prev_len = lengths[s];
+  }
+  return codes;
+}
+
+/// MSB-first bit writer (canonical Huffman convention).
+class MsbWriter {
+ public:
+  void put(std::uint32_t value, unsigned nbits) {
+    for (unsigned i = nbits; i-- > 0;) {
+      acc_ = static_cast<byte_t>((acc_ << 1) | ((value >> i) & 1u));
+      if (++fill_ == 8) {
+        buf_.push_back(acc_);
+        acc_ = 0;
+        fill_ = 0;
+      }
+    }
+  }
+  std::vector<byte_t> take() && {
+    if (fill_ > 0) buf_.push_back(static_cast<byte_t>(acc_ << (8 - fill_)));
+    return std::move(buf_);
+  }
+
+ private:
+  std::vector<byte_t> buf_;
+  byte_t acc_ = 0;
+  unsigned fill_ = 0;
+};
+
+class MsbReader {
+ public:
+  explicit MsbReader(std::span<const byte_t> data) : data_(data) {}
+  [[nodiscard]] unsigned get_bit() {
+    if (pos_ >= data_.size() * 8) {
+      throw format_error("huffman: bitstream exhausted");
+    }
+    const unsigned bit = (data_[pos_ / 8] >> (7 - pos_ % 8)) & 1u;
+    ++pos_;
+    return bit;
+  }
+
+ private:
+  std::span<const byte_t> data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+HuffmanCodebook HuffmanCodebook::build(std::span<const std::uint64_t> freq) {
+  HuffmanCodebook book;
+  book.lengths = code_lengths(freq, kMaxCodeLength);
+  book.codes = canonical_codes(book.lengths);
+  return book;
+}
+
+std::vector<byte_t> HuffmanCodebook::serialize() const {
+  std::vector<byte_t> out;
+  out.reserve(lengths.size());
+  out.assign(lengths.begin(), lengths.end());
+  return out;
+}
+
+HuffmanCodebook HuffmanCodebook::deserialize(std::span<const byte_t> bytes) {
+  HuffmanCodebook book;
+  book.lengths.assign(bytes.begin(), bytes.end());
+  for (const auto l : book.lengths) {
+    if (l > kMaxCodeLength) throw format_error("huffman: bad code length");
+  }
+  book.codes = canonical_codes(book.lengths);
+  return book;
+}
+
+std::uint64_t HuffmanCodebook::kraft_sum() const {
+  std::uint64_t sum = 0;
+  for (const auto l : lengths) {
+    if (l != 0) sum += std::uint64_t{1} << (kMaxCodeLength - l);
+  }
+  return sum;
+}
+
+std::vector<byte_t> huffman_encode(std::span<const std::uint16_t> symbols,
+                                   const HuffmanCodebook& book) {
+  MsbWriter w;
+  for (const std::uint16_t s : symbols) {
+    if (s >= book.lengths.size() || book.lengths[s] == 0) {
+      throw format_error("huffman_encode: symbol has no code");
+    }
+    w.put(book.codes[s], book.lengths[s]);
+  }
+  return std::move(w).take();
+}
+
+std::uint64_t huffman_encoded_bits(std::span<const std::uint16_t> symbols,
+                                   const HuffmanCodebook& book) {
+  std::uint64_t bits = 0;
+  for (const std::uint16_t s : symbols) {
+    if (s >= book.lengths.size() || book.lengths[s] == 0) {
+      throw format_error("huffman_encoded_bits: symbol has no code");
+    }
+    bits += book.lengths[s];
+  }
+  return bits;
+}
+
+std::vector<std::uint16_t> huffman_decode(std::span<const byte_t> bits,
+                                          const HuffmanCodebook& book,
+                                          size_t count) {
+  // Canonical decode: per length, the first code value and the index of
+  // its first symbol in canonical order.
+  const unsigned kMax = HuffmanCodebook::kMaxCodeLength;
+  std::vector<std::uint32_t> first_code(kMax + 2, 0);
+  std::vector<std::uint32_t> first_index(kMax + 2, 0);
+  std::vector<std::uint32_t> count_len(kMax + 1, 0);
+  std::vector<std::uint16_t> canonical_symbols;
+  {
+    std::vector<size_t> order;
+    for (size_t s = 0; s < book.lengths.size(); ++s) {
+      if (book.lengths[s] != 0) order.push_back(s);
+    }
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return book.lengths[a] < book.lengths[b] ||
+             (book.lengths[a] == book.lengths[b] && a < b);
+    });
+    canonical_symbols.reserve(order.size());
+    for (const size_t s : order) {
+      canonical_symbols.push_back(static_cast<std::uint16_t>(s));
+      ++count_len[book.lengths[s]];
+    }
+    std::uint32_t code = 0, index = 0;
+    for (unsigned l = 1; l <= kMax; ++l) {
+      first_code[l] = code;
+      first_index[l] = index;
+      code = (code + count_len[l]) << 1;
+      index += count_len[l];
+    }
+  }
+
+  std::vector<std::uint16_t> out;
+  out.reserve(count);
+  MsbReader r(bits);
+  for (size_t i = 0; i < count; ++i) {
+    std::uint32_t code = 0;
+    unsigned len = 0;
+    for (;;) {
+      code = (code << 1) | r.get_bit();
+      ++len;
+      if (len > kMax) throw format_error("huffman_decode: invalid stream");
+      if (count_len[len] != 0 &&
+          code < first_code[len] + count_len[len] && code >= first_code[len]) {
+        out.push_back(
+            canonical_symbols[first_index[len] + (code - first_code[len])]);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace szp::vsz

@@ -1,0 +1,50 @@
+// Canonical Huffman coding over 16-bit symbols, used by the vsz (cuSZ-
+// style) baseline. Codebook construction is the CPU-side linear recurrence
+// the paper identifies as cuSZ's end-to-end bottleneck.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "szp/util/common.hpp"
+
+namespace szp::vsz {
+
+/// Canonical codebook: symbols are implicit [0, lengths.size()).
+struct HuffmanCodebook {
+  static constexpr unsigned kMaxCodeLength = 24;
+
+  std::vector<std::uint8_t> lengths;  // 0 = symbol unused
+  std::vector<std::uint32_t> codes;   // canonical, MSB-aligned to length
+
+  /// Build from symbol frequencies (length-limited to kMaxCodeLength).
+  [[nodiscard]] static HuffmanCodebook build(
+      std::span<const std::uint64_t> freq);
+
+  /// Codebook transport: just the length array (canonical codes are
+  /// reconstructed deterministically).
+  [[nodiscard]] std::vector<byte_t> serialize() const;
+  [[nodiscard]] static HuffmanCodebook deserialize(
+      std::span<const byte_t> bytes);
+
+  /// Kraft sum in units of 2^-kMaxCodeLength (== 2^kMaxCodeLength when the
+  /// code is complete; <= for a valid prefix code).
+  [[nodiscard]] std::uint64_t kraft_sum() const;
+
+  [[nodiscard]] size_t num_symbols() const { return lengths.size(); }
+};
+
+/// Encode symbols MSB-first. Throws if a symbol has no code.
+[[nodiscard]] std::vector<byte_t> huffman_encode(
+    std::span<const std::uint16_t> symbols, const HuffmanCodebook& book);
+
+/// Decode exactly `count` symbols.
+[[nodiscard]] std::vector<std::uint16_t> huffman_decode(
+    std::span<const byte_t> bits, const HuffmanCodebook& book, size_t count);
+
+/// Exact encoded size in bits (for chunk layout without encoding twice).
+[[nodiscard]] std::uint64_t huffman_encoded_bits(
+    std::span<const std::uint16_t> symbols, const HuffmanCodebook& book);
+
+}  // namespace szp::vsz

@@ -1,0 +1,62 @@
+#include "szp/baselines/vsz/lorenzo_nd.hpp"
+
+namespace szp::vsz {
+
+size_t Grid::count() const {
+  size_t n = extents.empty() ? 0 : 1;
+  for (const size_t e : extents) n *= e;
+  return n;
+}
+
+namespace {
+
+/// Iterate all "lines" along `axis`: calls fn(base_index, stride, length).
+template <typename Fn>
+void for_each_line(const Grid& g, size_t axis, Fn&& fn) {
+  const size_t ndim = g.ndim();
+  if (axis >= ndim) throw format_error("lorenzo_nd: bad axis");
+  size_t stride = 1;
+  for (size_t a = ndim; a-- > axis + 1;) stride *= g.extents[a];
+  const size_t len = g.extents[axis];
+  const size_t total = g.count();
+  if (total == 0 || len == 0) return;
+  const size_t lines = total / len;
+  // Decompose line id into (outer, inner) where inner < stride and the
+  // line's base = outer * stride * len + inner.
+  for (size_t line = 0; line < lines; ++line) {
+    const size_t outer = line / stride;
+    const size_t inner = line % stride;
+    fn(outer * stride * len + inner, stride, len);
+  }
+}
+
+}  // namespace
+
+void axis_diff(std::span<std::int32_t> v, const Grid& g, size_t axis) {
+  for_each_line(g, axis, [&](size_t base, size_t stride, size_t len) {
+    // Walk backwards so each element sees its original predecessor.
+    for (size_t i = len; i-- > 1;) {
+      v[base + i * stride] -= v[base + (i - 1) * stride];
+    }
+  });
+}
+
+void axis_prefix_sum(std::span<std::int32_t> v, const Grid& g, size_t axis) {
+  for_each_line(g, axis, [&](size_t base, size_t stride, size_t len) {
+    for (size_t i = 1; i < len; ++i) {
+      v[base + i * stride] += v[base + (i - 1) * stride];
+    }
+  });
+}
+
+void lorenzo_nd_forward(std::span<std::int32_t> v, const Grid& g) {
+  if (v.size() != g.count()) throw format_error("lorenzo_nd: size mismatch");
+  for (size_t a = 0; a < g.ndim(); ++a) axis_diff(v, g, a);
+}
+
+void lorenzo_nd_inverse(std::span<std::int32_t> v, const Grid& g) {
+  if (v.size() != g.count()) throw format_error("lorenzo_nd: size mismatch");
+  for (size_t a = g.ndim(); a-- > 0;) axis_prefix_sum(v, g, a);
+}
+
+}  // namespace szp::vsz

@@ -1,0 +1,35 @@
+// N-dimensional (1/2/3D) Lorenzo prediction on pre-quantized integers —
+// cuSZ's "dual-quant" formulation, which makes both directions separable:
+// the forward operator is the composition of per-axis differences and the
+// inverse is the composition of per-axis prefix sums (one scan kernel per
+// axis on the device path).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "szp/util/common.hpp"
+
+namespace szp::vsz {
+
+/// Grid extents, slowest axis first; 1-3 dims (higher-D data should fuse
+/// leading axes first).
+struct Grid {
+  std::vector<size_t> extents;
+  [[nodiscard]] size_t ndim() const { return extents.size(); }
+  [[nodiscard]] size_t count() const;
+};
+
+/// In-place forward Lorenzo: v <- Δ_x (Δ_y (Δ_z v)). Values must satisfy
+/// |v| <= 2^27 so no intermediate difference can overflow (checked).
+void lorenzo_nd_forward(std::span<std::int32_t> v, const Grid& g);
+
+/// In-place inverse: per-axis prefix sums in reverse axis order.
+void lorenzo_nd_inverse(std::span<std::int32_t> v, const Grid& g);
+
+/// Difference along one axis (exposed for the device kernels and tests).
+void axis_diff(std::span<std::int32_t> v, const Grid& g, size_t axis);
+void axis_prefix_sum(std::span<std::int32_t> v, const Grid& g, size_t axis);
+
+}  // namespace szp::vsz

@@ -1,0 +1,83 @@
+// cuSZ-style baseline ("vsz"): prediction-based error-bounded compressor
+// (Tian et al., PACT'20 design, reimplemented per the paper's description).
+//
+// Pipeline: pre-quantization -> N-D Lorenzo prediction (dual-quant) ->
+// quant-code symbolization with an outlier list -> canonical Huffman.
+// The codebook is built on the *host* from a device histogram, and the
+// variable-length chunks are concatenated on the host — the CPU linear
+// recurrences the paper blames for cuSZ's poor end-to-end throughput.
+//
+// Stream layout:
+//   [Header]
+//   [codebook code lengths: num_symbols bytes]
+//   [chunk encoded byte counts: u64 per chunk]
+//   [encoded chunks, each byte-aligned]
+//   [outliers: (u64 index, i32 delta) pairs]
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "szp/baselines/vsz/huffman.hpp"
+#include "szp/baselines/vsz/lorenzo_nd.hpp"
+#include "szp/core/format.hpp"
+#include "szp/gpusim/buffer.hpp"
+
+namespace szp::vsz {
+
+struct Params {
+  core::ErrorMode mode = core::ErrorMode::kRel;
+  double error_bound = 1e-3;
+  std::uint32_t radius = 512;    // quant-code radius; 2*radius symbols
+  std::uint32_t chunk = 8192;    // symbols per Huffman chunk
+
+  void validate() const;
+};
+
+struct Header {
+  static constexpr std::uint32_t kMagic = 0x76355A53;  // "SZ5v"
+  std::uint64_t num_elements = 0;
+  double eb_abs = 0;
+  std::uint32_t radius = 512;
+  std::uint32_t chunk = 8192;
+  std::uint64_t num_outliers = 0;
+  std::uint64_t encoded_bytes = 0;
+  std::uint8_t ndim = 1;
+  std::uint64_t dims[3] = {0, 0, 0};
+  static constexpr size_t kSize = 80;
+
+  void serialize(std::span<byte_t> out) const;
+  [[nodiscard]] static Header deserialize(std::span<const byte_t> in);
+  [[nodiscard]] Grid grid() const;
+  [[nodiscard]] size_t num_chunks() const;
+};
+
+[[nodiscard]] std::vector<byte_t> compress_serial(
+    std::span<const float> data, const Grid& grid, const Params& params,
+    std::optional<double> value_range = std::nullopt);
+
+[[nodiscard]] std::vector<float> decompress_serial(
+    std::span<const byte_t> stream);
+
+struct DeviceCodecResult {
+  size_t bytes = 0;
+  gpusim::TraceSnapshot trace;
+};
+
+/// Multi-kernel device compression with host codebook build and host chunk
+/// concatenation. Byte-identical to compress_serial.
+DeviceCodecResult compress_device(gpusim::Device& dev,
+                                  const gpusim::DeviceBuffer<float>& in,
+                                  const Grid& grid, const Params& params,
+                                  double eb_abs,
+                                  gpusim::DeviceBuffer<byte_t>& out);
+
+/// Multi-kernel device decompression with host outlier merge.
+DeviceCodecResult decompress_device(gpusim::Device& dev,
+                                    const gpusim::DeviceBuffer<byte_t>& cmp,
+                                    gpusim::DeviceBuffer<float>& out);
+
+[[nodiscard]] size_t max_compressed_bytes(size_t n);
+
+}  // namespace szp::vsz

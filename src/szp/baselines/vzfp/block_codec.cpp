@@ -1,0 +1,151 @@
+#include "szp/baselines/vzfp/block_codec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "szp/baselines/vzfp/transform.hpp"
+
+namespace szp::vzfp {
+
+void BitSlot::put_bit(unsigned bit) {
+  if (pos_ >= bytes_.size() * 8) throw format_error("BitSlot: overflow");
+  if (bit) bytes_[pos_ / 8] |= static_cast<byte_t>(0x80u >> (pos_ % 8));
+  ++pos_;
+}
+
+unsigned BitSlot::get_bit() {
+  if (pos_ >= bytes_.size() * 8) throw format_error("BitSlot: underflow");
+  const unsigned b = (bytes_[pos_ / 8] >> (7 - pos_ % 8)) & 1u;
+  ++pos_;
+  return b;
+}
+
+void BitSlot::put_bits(std::uint32_t value, unsigned nbits) {
+  for (unsigned i = nbits; i-- > 0;) put_bit((value >> i) & 1u);
+}
+
+std::uint32_t BitSlot::get_bits(unsigned nbits) {
+  std::uint32_t v = 0;
+  for (unsigned i = 0; i < nbits; ++i) v = (v << 1) | get_bit();
+  return v;
+}
+
+unsigned ConstBitSlot::get_bit() {
+  if (pos_ >= bytes_.size() * 8) throw format_error("ConstBitSlot: underflow");
+  const unsigned b = (bytes_[pos_ / 8] >> (7 - pos_ % 8)) & 1u;
+  ++pos_;
+  return b;
+}
+
+std::uint32_t ConstBitSlot::get_bits(unsigned nbits) {
+  std::uint32_t v = 0;
+  for (unsigned i = 0; i < nbits; ++i) v = (v << 1) | get_bit();
+  return v;
+}
+
+namespace {
+
+size_t block_count_of(unsigned dims) {
+  size_t n = 1;
+  for (unsigned d = 0; d < dims; ++d) n *= kBlockEdge;
+  return n;
+}
+
+/// Exponent e with max|x| < 2^e (0 for an all-zero block).
+int block_exponent(std::span<const float> block) {
+  float mx = 0;
+  for (const float v : block) mx = std::max(mx, std::abs(v));
+  if (mx == 0) return 0;
+  int e = 0;
+  (void)std::frexp(mx, &e);  // mx = m * 2^e with m in [0.5, 1)
+  return e;
+}
+
+}  // namespace
+
+void encode_block(std::span<const float> block, unsigned dims,
+                  size_t budget_bits, std::span<byte_t> slot) {
+  const size_t m = block_count_of(dims);
+  if (block.size() != m) throw format_error("vzfp: bad block size");
+  BitSlot bits(slot);
+  const size_t limit = budget_bits;
+  if (limit == 0) return;
+
+  const int emax = block_exponent(block);
+  float mx = 0;
+  for (const float v : block) mx = std::max(mx, std::abs(v));
+  if (mx == 0) {
+    bits.put_bit(0);  // empty block; rest of the budget stays zero
+    return;
+  }
+  bits.put_bit(1);
+  if (limit < 17) return;  // degenerate budget: flag only
+  bits.put_bits(static_cast<std::uint32_t>(emax + 16384), 16);
+
+  // Block-floating-point, transform, reorder, negabinary.
+  std::vector<std::int32_t> fi(m);
+  const double scale = std::ldexp(1.0, static_cast<int>(kFracBits) - emax);
+  for (size_t i = 0; i < m; ++i) {
+    fi[i] = static_cast<std::int32_t>(
+        std::llround(static_cast<double>(block[i]) * scale));
+  }
+  fwd_transform(fi, dims);
+  const auto perm = total_order(dims);
+  std::vector<std::uint32_t> u(m);
+  for (size_t i = 0; i < m; ++i) u[i] = to_negabinary(fi[perm[i]]);
+
+  // Embedded coding: MSB plane first; each plane costs 1 significance bit
+  // plus m bits when non-empty. Truncated exactly at the budget.
+  for (int k = static_cast<int>(kTopPlane); k >= 0; --k) {
+    if (bits.position() >= limit) return;
+    std::uint32_t any = 0;
+    for (size_t i = 0; i < m; ++i) any |= (u[i] >> k) & 1u;
+    bits.put_bit(any);
+    if (!any) continue;
+    for (size_t i = 0; i < m; ++i) {
+      if (bits.position() >= limit) return;
+      bits.put_bit((u[i] >> k) & 1u);
+    }
+  }
+}
+
+void decode_block(std::span<const byte_t> slot, unsigned dims,
+                  size_t budget_bits, std::span<float> block) {
+  const size_t m = block_count_of(dims);
+  if (block.size() != m) throw format_error("vzfp: bad block size");
+  std::fill(block.begin(), block.end(), 0.0f);
+  if (budget_bits == 0) return;
+  ConstBitSlot bits(slot);
+  const size_t limit = budget_bits;
+
+  if (bits.get_bit() == 0) return;  // empty block
+  if (limit < 17) return;
+  const int emax = static_cast<int>(bits.get_bits(16)) - 16384;
+
+  std::vector<std::uint32_t> u(m, 0);
+  for (int k = static_cast<int>(kTopPlane); k >= 0; --k) {
+    if (bits.position() >= limit) break;
+    if (bits.get_bit() == 0) continue;
+    bool truncated = false;
+    for (size_t i = 0; i < m; ++i) {
+      if (bits.position() >= limit) {
+        truncated = true;
+        break;
+      }
+      u[i] |= static_cast<std::uint32_t>(bits.get_bit()) << k;
+    }
+    if (truncated) break;
+  }
+
+  const auto perm = total_order(dims);
+  std::vector<std::int32_t> fi(m, 0);
+  for (size_t i = 0; i < m; ++i) fi[perm[i]] = from_negabinary(u[i]);
+  inv_transform(fi, dims);
+  const double scale = std::ldexp(1.0, emax - static_cast<int>(kFracBits));
+  for (size_t i = 0; i < m; ++i) {
+    block[i] = static_cast<float>(static_cast<double>(fi[i]) * scale);
+  }
+}
+
+}  // namespace szp::vzfp

@@ -1,0 +1,57 @@
+// Fixed-rate coding of one 4^d block: block-floating-point conversion,
+// lifted transform, negabinary, and embedded bit-plane emission truncated
+// at an exact per-block bit budget (cuZFP's fixed-rate mode).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "szp/util/common.hpp"
+
+namespace szp::vzfp {
+
+/// Fractional bits used in block-floating-point conversion.
+inline constexpr unsigned kFracBits = 26;
+/// Highest emitted negabinary bit plane (3D transform gain <= 3 bits).
+inline constexpr unsigned kTopPlane = 30;
+
+/// MSB-first bit cursor over a fixed byte region (one block's slot).
+class BitSlot {
+ public:
+  explicit BitSlot(std::span<byte_t> bytes) : bytes_(bytes) {}
+
+  void put_bit(unsigned bit);
+  [[nodiscard]] unsigned get_bit();
+  [[nodiscard]] size_t position() const { return pos_; }
+  void put_bits(std::uint32_t value, unsigned nbits);  // MSB first
+  [[nodiscard]] std::uint32_t get_bits(unsigned nbits);
+
+ private:
+  std::span<byte_t> bytes_;
+  size_t pos_ = 0;
+};
+
+/// Read-only variant.
+class ConstBitSlot {
+ public:
+  explicit ConstBitSlot(std::span<const byte_t> bytes) : bytes_(bytes) {}
+  [[nodiscard]] unsigned get_bit();
+  [[nodiscard]] std::uint32_t get_bits(unsigned nbits);
+  [[nodiscard]] size_t position() const { return pos_; }
+
+ private:
+  std::span<const byte_t> bytes_;
+  size_t pos_ = 0;
+};
+
+/// Encode one block of 4^dims floats into exactly `budget_bits` bits of
+/// `slot` (zero-padded). The slot must hold ceil(budget_bits/8) bytes and
+/// arrive zeroed.
+void encode_block(std::span<const float> block, unsigned dims,
+                  size_t budget_bits, std::span<byte_t> slot);
+
+/// Decode one block (exact mirror of encode_block's bit consumption).
+void decode_block(std::span<const byte_t> slot, unsigned dims,
+                  size_t budget_bits, std::span<float> block);
+
+}  // namespace szp::vzfp

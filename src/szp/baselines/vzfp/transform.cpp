@@ -1,0 +1,112 @@
+#include "szp/baselines/vzfp/transform.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <numeric>
+#include <vector>
+
+#include "szp/util/common.hpp"
+
+namespace szp::vzfp {
+
+// The ZFP non-orthogonal lifted transform (Lindstrom 2014, Fig. 3). All
+// shifts are arithmetic on values that stay within ~2 bits of headroom of
+// the inputs; callers bound inputs to |x| < 2^27.
+void fwd_lift4(std::int32_t* p, size_t stride) {
+  std::int32_t x = p[0 * stride], y = p[1 * stride], z = p[2 * stride],
+               w = p[3 * stride];
+  x += w; x >>= 1; w -= x;
+  z += y; z >>= 1; y -= z;
+  x += z; x >>= 1; z -= x;
+  w += y; w >>= 1; y -= w;
+  w += y >> 1; y -= w >> 1;
+  p[0 * stride] = x;
+  p[1 * stride] = y;
+  p[2 * stride] = z;
+  p[3 * stride] = w;
+}
+
+void inv_lift4(std::int32_t* p, size_t stride) {
+  std::int32_t x = p[0 * stride], y = p[1 * stride], z = p[2 * stride],
+               w = p[3 * stride];
+  y += w >> 1; w -= y >> 1;
+  y += w; w <<= 1; w -= y;
+  z += x; x <<= 1; x -= z;
+  y += z; z <<= 1; z -= y;
+  w += x; x <<= 1; x -= w;
+  p[0 * stride] = x;
+  p[1 * stride] = y;
+  p[2 * stride] = z;
+  p[3 * stride] = w;
+}
+
+namespace {
+
+size_t block_size(unsigned dims) {
+  size_t n = 1;
+  for (unsigned d = 0; d < dims; ++d) n *= kBlockEdge;
+  return n;
+}
+
+}  // namespace
+
+void fwd_transform(std::span<std::int32_t> block, unsigned dims) {
+  if (dims < 1 || dims > 3 || block.size() != block_size(dims)) {
+    throw format_error("vzfp: bad transform block");
+  }
+  // Lift along x (stride 1), then y (stride 4), then z (stride 16).
+  size_t stride = 1;
+  for (unsigned d = 0; d < dims; ++d, stride *= kBlockEdge) {
+    // Iterate all 4-point lines with this stride.
+    const size_t lines = block.size() / kBlockEdge;
+    for (size_t l = 0; l < lines; ++l) {
+      const size_t outer = l / stride;
+      const size_t inner = l % stride;
+      fwd_lift4(block.data() + outer * stride * kBlockEdge + inner, stride);
+    }
+  }
+}
+
+void inv_transform(std::span<std::int32_t> block, unsigned dims) {
+  if (dims < 1 || dims > 3 || block.size() != block_size(dims)) {
+    throw format_error("vzfp: bad transform block");
+  }
+  size_t stride = block.size() / kBlockEdge;
+  for (unsigned d = 0; d < dims; ++d, stride /= kBlockEdge) {
+    const size_t lines = block.size() / kBlockEdge;
+    for (size_t l = 0; l < lines; ++l) {
+      const size_t outer = l / stride;
+      const size_t inner = l % stride;
+      inv_lift4(block.data() + outer * stride * kBlockEdge + inner, stride);
+    }
+  }
+}
+
+std::span<const std::uint16_t> total_order(unsigned dims) {
+  if (dims < 1 || dims > 3) throw format_error("vzfp: bad dims");
+  static std::array<std::vector<std::uint16_t>, 3> tables;
+  static std::once_flag once;
+  std::call_once(once, [] {
+    for (unsigned d = 1; d <= 3; ++d) {
+      const size_t n = d == 1 ? 4 : d == 2 ? 16 : 64;
+      std::vector<std::uint16_t> perm(n);
+      std::iota(perm.begin(), perm.end(), std::uint16_t{0});
+      auto degree = [d](std::uint16_t idx) {
+        unsigned g = 0, v = idx;
+        for (unsigned a = 0; a < d; ++a) {
+          g += v % kBlockEdge;
+          v /= kBlockEdge;
+        }
+        return g;
+      };
+      std::stable_sort(perm.begin(), perm.end(),
+                       [&](std::uint16_t a, std::uint16_t b) {
+                         return degree(a) < degree(b);
+                       });
+      tables[d - 1] = std::move(perm);
+    }
+  });
+  return tables[dims - 1];
+}
+
+}  // namespace szp::vzfp

@@ -1,0 +1,40 @@
+// ZFP-style decorrelating transform primitives for the vzfp baseline:
+// the reversible integer lifting transform on 4-point vectors (applied
+// per axis over 4^d blocks), the total-degree coefficient ordering, and
+// negabinary mapping (Lindstrom 2014).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace szp::vzfp {
+
+inline constexpr size_t kBlockEdge = 4;
+
+/// Forward lifting transform on 4 coefficients (in place).
+void fwd_lift4(std::int32_t* p, size_t stride);
+/// Inverse lifting transform on 4 coefficients (in place).
+void inv_lift4(std::int32_t* p, size_t stride);
+
+/// Forward/inverse transform of a d-dimensional block (4^d values):
+/// applies the 4-point lift along each axis.
+void fwd_transform(std::span<std::int32_t> block, unsigned dims);
+void inv_transform(std::span<std::int32_t> block, unsigned dims);
+
+/// Coefficient permutation for embedded coding: index i of the serialized
+/// order maps to block offset perm[i], sorted by total degree (low-
+/// frequency coefficients first).
+[[nodiscard]] std::span<const std::uint16_t> total_order(unsigned dims);
+
+/// Negabinary mapping: signed -> unsigned with sign information spread
+/// across bit planes (what makes plane-truncation graceful).
+[[nodiscard]] constexpr std::uint32_t to_negabinary(std::int32_t x) {
+  const std::uint32_t u = static_cast<std::uint32_t>(x);
+  return (u + 0xAAAAAAAAu) ^ 0xAAAAAAAAu;
+}
+[[nodiscard]] constexpr std::int32_t from_negabinary(std::uint32_t u) {
+  return static_cast<std::int32_t>((u ^ 0xAAAAAAAAu) - 0xAAAAAAAAu);
+}
+
+}  // namespace szp::vzfp

@@ -1,0 +1,71 @@
+// cuZFP-style baseline ("vzfp"): fixed-rate transform compressor in a
+// single kernel. Not error-bounded — every 4^d block is truncated to the
+// same bit budget, which is why the paper's rate-distortion plots show it
+// losing to error-bounded codecs on hard fields and why low rates produce
+// blocky artifacts (Fig. 19).
+//
+// Stream layout:
+//   [Header]
+//   [slots: one fixed-size bit slot per block, row-major block order]
+// Fixed-size slots mean offsets are known statically — no global
+// synchronization is needed, which is what lets cuZFP (and vzfp) run as a
+// single kernel.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "szp/data/field.hpp"
+#include "szp/gpusim/buffer.hpp"
+
+namespace szp::vzfp {
+
+struct Params {
+  double rate = 8.0;  // bits per value
+
+  void validate() const;
+};
+
+struct Header {
+  static constexpr std::uint32_t kMagic = 0x7A355A53;  // "SZ5z"
+  std::uint64_t num_elements = 0;
+  std::uint32_t bits_per_block = 0;
+  std::uint8_t ndim = 1;
+  std::uint64_t dims[3] = {0, 0, 0};
+  static constexpr size_t kSize = 48;
+
+  void serialize(std::span<byte_t> out) const;
+  [[nodiscard]] static Header deserialize(std::span<const byte_t> in);
+  [[nodiscard]] size_t slot_bytes() const { return (bits_per_block + 7) / 8; }
+};
+
+/// dims must have 1-3 axes (fuse leading axes of higher-D data first).
+[[nodiscard]] std::vector<byte_t> compress_serial(std::span<const float> data,
+                                                  const data::Dims& dims,
+                                                  const Params& params);
+
+[[nodiscard]] std::vector<float> decompress_serial(
+    std::span<const byte_t> stream);
+
+struct DeviceCodecResult {
+  size_t bytes = 0;
+  gpusim::TraceSnapshot trace;
+};
+
+/// Single-kernel device compression (byte-identical to compress_serial).
+DeviceCodecResult compress_device(gpusim::Device& dev,
+                                  const gpusim::DeviceBuffer<float>& in,
+                                  const data::Dims& dims, const Params& params,
+                                  gpusim::DeviceBuffer<byte_t>& out);
+
+/// Single-kernel device decompression.
+DeviceCodecResult decompress_device(gpusim::Device& dev,
+                                    const gpusim::DeviceBuffer<byte_t>& cmp,
+                                    gpusim::DeviceBuffer<float>& out);
+
+/// Exact compressed size for `n` elements of shape `dims` at `rate`
+/// (fixed-rate property: independent of content).
+[[nodiscard]] size_t compressed_bytes(const data::Dims& dims,
+                                      const Params& params);
+
+}  // namespace szp::vzfp

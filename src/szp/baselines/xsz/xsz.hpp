@@ -1,0 +1,82 @@
+// cuSZx-style baseline ("xsz"): error-bounded block codec with constant-
+// block flushing (Yu et al., HPDC'22 design, reimplemented per the paper's
+// description).
+//
+// Pipeline: split the data into fixed blocks (default 128). A block whose
+// value spread fits inside 2*eb is a *constant block* and is flushed to
+// the range-midpoint, stored as one float — the design that produces the
+// stripe artifacts of paper Fig. 16 and the CR spikes at large REL bounds.
+// Other blocks store a sign map plus fixed-length magnitudes (no Lorenzo,
+// no bit-shuffle). Offsets are resolved with a host-side prefix sum: the
+// device path therefore needs two kernels with host work and PCIe round
+// trips in between, which is exactly the end-to-end weakness the paper
+// measures (Fig. 13/14).
+//
+// Stream layout:
+//   [Header 32B]
+//   [meta: 1 byte per block; bit7 = constant, bits 0..6 = F]
+//   [payload at prefix-sum offsets: constant -> 4B midpoint;
+//    non-constant -> L/8 sign bytes + F*L/8 packed magnitude bytes]
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "szp/core/format.hpp"  // reuse ErrorMode
+#include "szp/gpusim/buffer.hpp"
+
+namespace szp::xsz {
+
+struct Params {
+  core::ErrorMode mode = core::ErrorMode::kRel;
+  double error_bound = 1e-3;
+  unsigned block_len = 128;
+
+  void validate() const;
+};
+
+struct Header {
+  static constexpr std::uint32_t kMagic = 0x78355A53;  // "SZ5x"
+  std::uint64_t num_elements = 0;
+  double eb_abs = 0;
+  std::uint16_t block_len = 128;
+  static constexpr size_t kSize = 32;
+
+  void serialize(std::span<byte_t> out) const;
+  [[nodiscard]] static Header deserialize(std::span<const byte_t> in);
+};
+
+[[nodiscard]] std::vector<byte_t> compress_serial(
+    std::span<const float> data, const Params& params,
+    std::optional<double> value_range = std::nullopt);
+
+[[nodiscard]] std::vector<float> decompress_serial(
+    std::span<const byte_t> stream);
+
+struct DeviceCodecResult {
+  size_t bytes = 0;
+  gpusim::TraceSnapshot trace;
+};
+
+/// Device compression: encode kernel -> D2H scratch -> host prefix-sum and
+/// compaction -> H2D final stream. Byte-identical to compress_serial.
+DeviceCodecResult compress_device(gpusim::Device& dev,
+                                  const gpusim::DeviceBuffer<float>& in,
+                                  size_t n, const Params& params,
+                                  double eb_abs,
+                                  gpusim::DeviceBuffer<byte_t>& out);
+
+/// Device decompression: D2H stream -> host preprocessing (offsets) ->
+/// H2D offsets -> decode kernel -> host postprocessing pass.
+DeviceCodecResult decompress_device(gpusim::Device& dev,
+                                    const gpusim::DeviceBuffer<byte_t>& cmp,
+                                    gpusim::DeviceBuffer<float>& out);
+
+/// Worst-case compressed size.
+[[nodiscard]] size_t max_compressed_bytes(size_t n, unsigned block_len);
+
+/// Fraction of blocks flushed to a constant (for tests/benches).
+[[nodiscard]] double constant_block_fraction(std::span<const byte_t> stream);
+
+}  // namespace szp::xsz

@@ -1,0 +1,146 @@
+#include "szp/core/block_codec.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include "szp/core/stages.hpp"
+
+namespace szp::core {
+
+namespace {
+
+/// Index of the largest magnitude and the bit width of the largest
+/// magnitude among the *other* elements.
+struct OutlierScan {
+  unsigned max_pos = 0;
+  std::uint32_t max_mag = 0;
+  unsigned rest_width = 0;
+};
+
+OutlierScan scan_outlier(std::span<const std::uint32_t> mags) {
+  OutlierScan s;
+  for (unsigned i = 0; i < mags.size(); ++i) {
+    if (mags[i] > s.max_mag) {
+      s.max_mag = mags[i];
+      s.max_pos = i;
+    }
+  }
+  std::uint32_t rest = 0;
+  for (unsigned i = 0; i < mags.size(); ++i) {
+    if (i != s.max_pos) rest |= mags[i];
+  }
+  s.rest_width = static_cast<unsigned>(std::bit_width(rest));
+  return s;
+}
+
+}  // namespace
+
+template <typename T>
+std::uint8_t encode_block(std::span<const T> data, size_t n, size_t block,
+                          unsigned L, double eb, const Params& params,
+                          BlockScratch& scratch, size_t& elems) {
+  const size_t begin = block * L;
+  const size_t len = std::min<size_t>(L, n - begin);
+  elems = len;
+  std::vector<T> padded(L, T{0});
+  std::copy(data.begin() + static_cast<long>(begin),
+            data.begin() + static_cast<long>(begin + len), padded.begin());
+  scratch.quant.resize(L);
+  scratch.mags.resize(L);
+  scratch.signs.assign(L / 8, byte_t{0});
+  quantize(std::span<const T>(padded), eb, scratch.quant);
+  if (params.lorenzo) {
+    if (params.lorenzo_layers == 2) {
+      lorenzo2_forward(scratch.quant);
+    } else {
+      lorenzo_forward(scratch.quant);
+    }
+  }
+  split_signs(scratch.quant, scratch.mags, scratch.signs);
+  const unsigned f_all = fixed_length_of(scratch.mags);
+
+  if (params.outlier_mode && f_all > 0) {
+    const OutlierScan s = scan_outlier(scratch.mags);
+    // Worth it iff the saved bit planes outweigh the 5-byte side record.
+    const size_t saved =
+        static_cast<size_t>(f_all - s.rest_width) * L / 8;
+    if (saved > kOutlierExtraBytes) {
+      scratch.outlier_pos = s.max_pos;
+      scratch.outlier_mag = s.max_mag;
+      scratch.mags[s.max_pos] = 0;  // excluded from the bit planes
+      return static_cast<std::uint8_t>(kOutlierFlag + s.rest_width);
+    }
+  }
+  return static_cast<std::uint8_t>(f_all);
+}
+
+template std::uint8_t encode_block<float>(std::span<const float>, size_t,
+                                          size_t, unsigned, double,
+                                          const Params&, BlockScratch&,
+                                          size_t&);
+template std::uint8_t encode_block<double>(std::span<const double>, size_t,
+                                           size_t, unsigned, double,
+                                           const Params&, BlockScratch&,
+                                           size_t&);
+
+size_t encoded_block_bytes(std::uint8_t length_byte, unsigned L,
+                           const Params& params) {
+  return block_payload_bytes(length_byte, L, params.zero_block_bypass);
+}
+
+void write_block_payload(const BlockScratch& scratch, std::uint8_t length_byte,
+                         unsigned L, bool shuffle, std::span<byte_t> dst) {
+  const size_t groups = L / 8;
+  const bool outlier = length_byte >= kOutlierFlag;
+  const unsigned f = outlier ? length_byte - kOutlierFlag : length_byte;
+  if (dst.empty()) return;  // zero block with bypass
+  std::copy(scratch.signs.begin(), scratch.signs.end(), dst.begin());
+  if (f > 0) {
+    const std::span<byte_t> planes = dst.subspan(groups, f * groups);
+    if (shuffle) {
+      bit_shuffle(scratch.mags, f, planes);
+    } else {
+      bit_pack(scratch.mags, f, planes);
+    }
+  }
+  if (outlier) {
+    byte_t* tail = dst.data() + groups + static_cast<size_t>(f) * groups;
+    tail[0] = static_cast<byte_t>(scratch.outlier_pos);
+    std::memcpy(tail + 1, &scratch.outlier_mag, sizeof(std::uint32_t));
+  }
+}
+
+void read_block_payload(std::span<const byte_t> src, std::uint8_t length_byte,
+                        unsigned L, bool shuffle, BlockScratch& scratch) {
+  const size_t groups = L / 8;
+  const bool outlier = length_byte >= kOutlierFlag;
+  const unsigned f = outlier ? length_byte - kOutlierFlag : length_byte;
+  scratch.mags.resize(L);
+  scratch.quant.resize(L);
+  if (src.empty()) {  // zero block
+    std::fill(scratch.quant.begin(), scratch.quant.end(), 0);
+    return;
+  }
+  if (f > 0) {
+    const std::span<const byte_t> planes = src.subspan(groups, f * groups);
+    if (shuffle) {
+      bit_unshuffle(planes, f, scratch.mags);
+    } else {
+      bit_unpack(planes, f, scratch.mags);
+    }
+  } else {
+    std::fill(scratch.mags.begin(), scratch.mags.end(), 0u);
+  }
+  if (outlier) {
+    const byte_t* tail = src.data() + groups + static_cast<size_t>(f) * groups;
+    const unsigned pos = tail[0];
+    std::uint32_t mag;
+    std::memcpy(&mag, tail + 1, sizeof(std::uint32_t));
+    if (pos >= L) throw format_error("outlier position out of range");
+    scratch.mags[pos] = mag;
+  }
+  apply_signs(scratch.mags, src.first(groups), scratch.quant);
+}
+
+}  // namespace szp::core

@@ -1,0 +1,72 @@
+// Shared per-block encoder/decoder used by both the serial reference and
+// the device kernels (which is how byte-identical output between the two
+// paths is guaranteed by construction).
+//
+// Includes the outlier-tolerant fixed-length extension (the cuSZp2
+// follow-on direction of the paper's future work): when one element of a
+// block forces a much larger fixed length than the rest, that element's
+// magnitude is stored verbatim and the block is coded with the fixed
+// length of the remaining elements. Length-byte semantics:
+//   0..32        -> normal block with F = value (0 = zero block)
+//   64 + (0..32) -> outlier block: F covers all elements except one,
+//                   whose (position, magnitude) follows the bit planes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "szp/core/format.hpp"
+
+namespace szp::core {
+
+inline constexpr std::uint8_t kOutlierFlag = 64;
+inline constexpr size_t kOutlierExtraBytes = 1 + 4;  // u8 position + u32 mag
+
+/// Compressed bytes of a block from its length byte (supersedes
+/// block_cmp_bytes for streams that may contain outlier blocks).
+[[nodiscard]] inline size_t block_payload_bytes(std::uint8_t length_byte,
+                                                unsigned block_len,
+                                                bool zero_bypass) {
+  if (length_byte >= kOutlierFlag) {
+    const unsigned f = length_byte - kOutlierFlag;
+    return static_cast<size_t>(f + 1) * block_len / 8 + kOutlierExtraBytes;
+  }
+  return block_cmp_bytes(length_byte, block_len, zero_bypass);
+}
+
+/// Reusable per-block scratch (one per lane / per worker).
+struct BlockScratch {
+  std::vector<std::int32_t> quant;
+  std::vector<std::uint32_t> mags;
+  std::vector<byte_t> signs;
+  // Outlier bookkeeping (valid when the encoded length byte has
+  // kOutlierFlag set).
+  unsigned outlier_pos = 0;
+  std::uint32_t outlier_mag = 0;
+};
+
+/// Quantize + predict + select the fixed length for one block of `len`
+/// valid elements starting at data[block*L] (tail padded with zeros).
+/// Returns the length byte and fills `scratch`. Works for f32/f64.
+template <typename T>
+[[nodiscard]] std::uint8_t encode_block(std::span<const T> data, size_t n,
+                                        size_t block, unsigned L, double eb,
+                                        const Params& params,
+                                        BlockScratch& scratch, size_t& elems);
+
+/// Payload size for an encoded block.
+[[nodiscard]] size_t encoded_block_bytes(std::uint8_t length_byte, unsigned L,
+                                         const Params& params);
+
+/// Serialize one encoded block's payload into `dst` (sized by
+/// encoded_block_bytes; zero for zero blocks).
+void write_block_payload(const BlockScratch& scratch, std::uint8_t length_byte,
+                         unsigned L, bool shuffle, std::span<byte_t> dst);
+
+/// Decode one block's payload back into quantization integers (without
+/// the Lorenzo inverse / dequantization).
+void read_block_payload(std::span<const byte_t> src, std::uint8_t length_byte,
+                        unsigned L, bool shuffle, BlockScratch& scratch);
+
+}  // namespace szp::core

@@ -1,0 +1,32 @@
+#include "szp/core/compressor.hpp"
+
+namespace szp {
+
+Compressor::Compressor(core::Params params) : params_(params) {
+  params_.validate();
+}
+
+std::vector<byte_t> Compressor::compress(
+    std::span<const float> data, std::optional<double> value_range) const {
+  return core::compress_serial(data, params_, value_range);
+}
+
+std::vector<float> Compressor::decompress(
+    std::span<const byte_t> stream) const {
+  return core::decompress_serial(stream);
+}
+
+core::DeviceCodecResult Compressor::compress_on_device(
+    gpusim::Device& dev, const gpusim::DeviceBuffer<float>& in, size_t n,
+    double value_range, gpusim::DeviceBuffer<byte_t>& out) const {
+  const double eb = core::resolve_eb(params_, value_range);
+  return core::compress_device(dev, in, n, params_, eb, out);
+}
+
+core::DeviceCodecResult Compressor::decompress_on_device(
+    gpusim::Device& dev, const gpusim::DeviceBuffer<byte_t>& cmp,
+    gpusim::DeviceBuffer<float>& out) const {
+  return core::decompress_device(dev, cmp, out);
+}
+
+}  // namespace szp

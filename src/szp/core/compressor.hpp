@@ -1,0 +1,54 @@
+// Public entry point of the library.
+//
+//   szp::Compressor c({.mode = szp::core::ErrorMode::kRel,
+//                      .error_bound = 1e-3});
+//   auto stream = c.compress(data);          // host reference path
+//   auto recon  = c.decompress(stream);      // |data-recon| <= eb
+//
+// The device path (compress_on_device / decompress_on_device) runs the
+// paper's single-kernel pipeline against a gpusim::Device and returns the
+// instrumentation needed for modeled throughput.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "szp/core/device.hpp"
+#include "szp/core/format.hpp"
+#include "szp/core/serial.hpp"
+
+namespace szp {
+
+class Compressor {
+ public:
+  explicit Compressor(core::Params params = {});
+
+  [[nodiscard]] const core::Params& params() const { return params_; }
+
+  /// Compress on the host (serial reference codec). For REL mode the value
+  /// range is derived from the data unless provided.
+  [[nodiscard]] std::vector<byte_t> compress(
+      std::span<const float> data,
+      std::optional<double> value_range = std::nullopt) const;
+
+  /// Decompress a cuSZp stream on the host.
+  [[nodiscard]] std::vector<float> decompress(
+      std::span<const byte_t> stream) const;
+
+  /// Single-kernel device compression. `in` holds `n` device-resident
+  /// floats; `out` must have max_compressed_bytes(n, L) capacity.
+  [[nodiscard]] core::DeviceCodecResult compress_on_device(
+      gpusim::Device& dev, const gpusim::DeviceBuffer<float>& in, size_t n,
+      double value_range, gpusim::DeviceBuffer<byte_t>& out) const;
+
+  /// Single-kernel device decompression.
+  [[nodiscard]] core::DeviceCodecResult decompress_on_device(
+      gpusim::Device& dev, const gpusim::DeviceBuffer<byte_t>& cmp,
+      gpusim::DeviceBuffer<float>& out) const;
+
+ private:
+  core::Params params_;
+};
+
+}  // namespace szp

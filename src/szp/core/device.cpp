@@ -1,0 +1,302 @@
+#include "szp/core/device.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "szp/core/block_codec.hpp"
+#include "szp/core/stages.hpp"
+#include "szp/gpusim/launch.hpp"
+#include "szp/gpusim/scan.hpp"
+#include "szp/gpusim/warp.hpp"
+
+namespace szp::core {
+
+namespace gs = gpusim;
+namespace w = gpusim::warp;
+
+namespace {
+
+/// szp-blocks handled per warp: one per lane, as in the CUDA kernel.
+constexpr size_t kBlocksPerWarp = w::kWarpSize;
+
+}  // namespace
+
+size_t max_compressed_bytes(size_t n, unsigned block_len) {
+  const size_t nblocks = num_blocks(n, block_len);
+  // 1 length byte + worst-case (F=31 -> 32 bit planes incl. sign map) plus
+  // the outlier side record.
+  return Header::kSize + nblocks +
+         nblocks * (static_cast<size_t>(block_len) * 4 + kOutlierExtraBytes);
+}
+
+template <typename T>
+DeviceCodecResult compress_device_impl(gs::Device& dev,
+                                       const gs::DeviceBuffer<T>& in, size_t n,
+                                       const Params& params, double eb_abs,
+                                       gs::DeviceBuffer<byte_t>& out) {
+  params.validate();
+  const unsigned L = params.block_len;
+  const size_t nblocks = num_blocks(n, L);
+  if (out.size() < max_compressed_bytes(n, L)) {
+    throw format_error("compress_device: output buffer too small");
+  }
+  const auto before = dev.snapshot();
+
+  Header h;
+  h.num_elements = n;
+  h.eb_abs = eb_abs;
+  h.block_len = static_cast<std::uint16_t>(L);
+  h.flags = Header::make_flags(params);
+  if constexpr (std::is_same_v<T, double>) h.flags |= 8u;
+
+  const size_t base = payload_offset(nblocks);
+  const size_t warps = std::max<size_t>(1, div_ceil(nblocks, kBlocksPerWarp));
+  const std::span<const T> data = in.span().first(n);
+  const std::span<byte_t> stream = out.span();
+
+  std::uint64_t total_payload = 0;
+
+  if (params.scan == ScanAlgo::kChained) {
+    // --- The paper's design: everything in ONE kernel. ---
+    gs::ChainedScanState scan_state(dev, warps);
+
+    gs::launch(dev, "szp_compress", warps, [&](const gs::BlockCtx& ctx) {
+      if (ctx.block_idx == 0) {
+        h.serialize(stream.first(Header::kSize));
+        ctx.write(gs::Stage::kOther, Header::kSize);
+      }
+      std::array<BlockScratch, w::kWarpSize> scratch;
+      std::array<std::uint8_t, w::kWarpSize> lbs{};
+      w::Lanes<std::uint64_t> lane_len{};
+      size_t elems = 0, nonzero_elems = 0, payload_bytes = 0;
+      const size_t first_block = ctx.block_idx * kBlocksPerWarp;
+
+      // S1+S2: per-lane quantization, prediction, fixed-length selection.
+      for (unsigned lane = 0; lane < w::kWarpSize; ++lane) {
+        const size_t block = first_block + lane;
+        if (block >= nblocks) continue;
+        size_t lane_elems = 0;
+        lbs[lane] = encode_block<T>(data, n, block, L, eb_abs, params,
+                                    scratch[lane], lane_elems);
+        elems += lane_elems;
+        lane_len[lane] = encoded_block_bytes(lbs[lane], L, params);
+        if (lane_len[lane] > 0) nonzero_elems += L;
+        stream[lengths_offset() + block] = lbs[lane];
+      }
+      const size_t active = std::min(kBlocksPerWarp, nblocks - first_block);
+      ctx.read(gs::Stage::kQuantPredict, elems * sizeof(T));
+      ctx.ops(gs::Stage::kQuantPredict, elems);
+      ctx.ops(gs::Stage::kFixedLenEncode, elems + nonzero_elems);
+      ctx.write(gs::Stage::kFixedLenEncode, active);
+
+      // S3: warp-level scan (shuffle) + global chained scan.
+      const w::Lanes<std::uint64_t> lane_off = w::exclusive_scan(lane_len);
+      const std::uint64_t aggregate = w::reduce_add(lane_len);
+      const std::uint64_t prefix = scan_state.publish_and_lookback(
+          ctx, gs::Stage::kGlobalSync, ctx.block_idx, aggregate);
+      // One offset computed per block plus one restore per non-zero block.
+      ctx.ops(gs::Stage::kGlobalSync, active + nonzero_elems / L);
+
+      // S4: bit-shuffle payload store at the synchronized offsets.
+      for (unsigned lane = 0; lane < w::kWarpSize; ++lane) {
+        const size_t block = first_block + lane;
+        if (block >= nblocks || lane_len[lane] == 0) continue;
+        const size_t off = base + prefix + lane_off[lane];
+        write_block_payload(scratch[lane], lbs[lane], L, params.bit_shuffle,
+                            stream.subspan(off, lane_len[lane]));
+        payload_bytes += lane_len[lane];
+      }
+      ctx.write(gs::Stage::kBitShuffle, payload_bytes);
+      // Shuffle register work runs per element of every non-zero block.
+      ctx.ops(gs::Stage::kBitShuffle, nonzero_elems);
+    });
+
+    total_payload = scan_state.inclusive_prefix(warps - 1);
+    dev.trace().add_d2h(sizeof(std::uint64_t));  // compressed size readback
+  } else {
+    // --- Two-pass ablation: multi-kernel (lengths, scan, payload). ---
+    gs::DeviceBuffer<std::uint64_t> lens(dev, std::max<size_t>(1, nblocks), 0);
+
+    gs::launch(dev, "szp_lengths", warps, [&](const gs::BlockCtx& ctx) {
+      if (ctx.block_idx == 0) {
+        h.serialize(stream.first(Header::kSize));
+        ctx.write(gs::Stage::kOther, Header::kSize);
+      }
+      BlockScratch scratch;
+      size_t elems = 0, nonzero_elems = 0;
+      const size_t first_block = ctx.block_idx * kBlocksPerWarp;
+      for (unsigned lane = 0; lane < w::kWarpSize; ++lane) {
+        const size_t block = first_block + lane;
+        if (block >= nblocks) continue;
+        size_t lane_elems = 0;
+        const std::uint8_t lb = encode_block<T>(data, n, block, L, eb_abs,
+                                                params, scratch, lane_elems);
+        elems += lane_elems;
+        const size_t cl = encoded_block_bytes(lb, L, params);
+        if (cl > 0) nonzero_elems += L;
+        lens[block] = cl;
+        stream[lengths_offset() + block] = lb;
+      }
+      ctx.read(gs::Stage::kQuantPredict, elems * sizeof(T));
+      ctx.ops(gs::Stage::kQuantPredict, elems);
+      ctx.ops(gs::Stage::kFixedLenEncode, elems + nonzero_elems);
+      ctx.write(gs::Stage::kFixedLenEncode,
+                std::min(kBlocksPerWarp, nblocks - first_block) +
+                    kBlocksPerWarp * sizeof(std::uint64_t));
+    });
+
+    total_payload = gs::twopass_exclusive_scan(dev, lens,
+                                               gs::Stage::kGlobalSync);
+
+    gs::launch(dev, "szp_payload", warps, [&](const gs::BlockCtx& ctx) {
+      BlockScratch scratch;
+      size_t elems = 0, payload_bytes = 0;
+      const size_t first_block = ctx.block_idx * kBlocksPerWarp;
+      for (unsigned lane = 0; lane < w::kWarpSize; ++lane) {
+        const size_t block = first_block + lane;
+        if (block >= nblocks) continue;
+        const std::uint8_t lb = stream[lengths_offset() + block];
+        const size_t cl = encoded_block_bytes(lb, L, params);
+        if (cl == 0) continue;
+        size_t lane_elems = 0;
+        // Re-derive the quantized block (no inter-kernel scratch survives).
+        (void)encode_block<T>(data, n, block, L, eb_abs, params, scratch,
+                              lane_elems);
+        elems += lane_elems;
+        write_block_payload(scratch, lb, L, params.bit_shuffle,
+                            stream.subspan(base + lens[block], cl));
+        payload_bytes += cl;
+      }
+      ctx.read(gs::Stage::kQuantPredict, elems * sizeof(T));
+      ctx.ops(gs::Stage::kQuantPredict, elems);
+      ctx.write(gs::Stage::kBitShuffle, payload_bytes);
+      ctx.ops(gs::Stage::kBitShuffle, payload_bytes);
+    });
+    dev.trace().add_d2h(sizeof(std::uint64_t));
+  }
+
+  DeviceCodecResult res;
+  res.bytes = base + total_payload;
+  res.trace = dev.snapshot() - before;
+  return res;
+}
+
+template <typename T>
+DeviceCodecResult decompress_device_impl(gs::Device& dev,
+                                         const gs::DeviceBuffer<byte_t>& cmp,
+                                         gs::DeviceBuffer<T>& out) {
+  // Header fields (n, eb, L) travel with the API call in the CUDA tool;
+  // reading them costs one tiny D2H.
+  const Header h = Header::deserialize(cmp.span());
+  if (h.is_f64() != std::is_same_v<T, double>) {
+    throw format_error("decompress_device: stream data type mismatch");
+  }
+  dev.trace().add_d2h(Header::kSize);
+  const unsigned L = h.block_len;
+  const size_t n = h.num_elements;
+  const size_t nblocks = num_blocks(n, L);
+  if (out.size() < n) {
+    throw format_error("decompress_device: output buffer too small");
+  }
+  const auto before = dev.snapshot();
+
+  const size_t base = payload_offset(nblocks);
+  const size_t warps = std::max<size_t>(1, div_ceil(nblocks, kBlocksPerWarp));
+  const std::span<const byte_t> stream = cmp.span();
+  const std::span<T> data = out.span().first(n);
+  gs::ChainedScanState scan_state(dev, warps);
+
+  gs::launch(dev, "szp_decompress", warps, [&](const gs::BlockCtx& ctx) {
+    std::array<std::uint8_t, w::kWarpSize> lbs{};
+    w::Lanes<std::uint64_t> lane_len{};
+    const size_t first_block = ctx.block_idx * kBlocksPerWarp;
+    const size_t active = std::min(kBlocksPerWarp, nblocks - first_block);
+
+    // Read per-block length bytes (FE is nearly free in decompression).
+    size_t nonzero_blocks = 0;
+    for (unsigned lane = 0; lane < active; ++lane) {
+      lbs[lane] = stream[lengths_offset() + first_block + lane];
+      lane_len[lane] = block_payload_bytes(lbs[lane], L,
+                                           h.zero_block_bypass());
+      if (lane_len[lane] > 0) ++nonzero_blocks;
+    }
+    ctx.read(gs::Stage::kFixedLenEncode, active);
+    ctx.ops(gs::Stage::kFixedLenEncode, active);
+
+    const w::Lanes<std::uint64_t> lane_off = w::exclusive_scan(lane_len);
+    const std::uint64_t aggregate = w::reduce_add(lane_len);
+    const std::uint64_t prefix = scan_state.publish_and_lookback(
+        ctx, gs::Stage::kGlobalSync, ctx.block_idx, aggregate);
+    ctx.ops(gs::Stage::kGlobalSync, active + nonzero_blocks);
+
+    BlockScratch scratch;
+    std::vector<T> block_out(L);
+    size_t elems = 0, payload_bytes = 0;
+    for (unsigned lane = 0; lane < active; ++lane) {
+      const size_t block = first_block + lane;
+      const size_t begin = block * L;
+      const size_t len = std::min<size_t>(L, n - begin);
+      elems += len;
+      if (lane_len[lane] == 0) {
+        std::fill(data.begin() + begin, data.begin() + begin + len, T{0});
+        continue;
+      }
+      const size_t off = base + prefix + lane_off[lane];
+      if (off + lane_len[lane] > stream.size()) {
+        throw format_error("decompress_device: truncated payload");
+      }
+      read_block_payload(stream.subspan(off, lane_len[lane]), lbs[lane], L,
+                         h.bit_shuffle(), scratch);
+      if (h.lorenzo()) {
+      if (h.lorenzo2()) {
+        lorenzo2_inverse(scratch.quant);
+      } else {
+        lorenzo_inverse(scratch.quant);
+      }
+    }
+      dequantize(scratch.quant, h.eb_abs, std::span<T>(block_out));
+      std::copy(block_out.begin(), block_out.begin() + len,
+                data.begin() + begin);
+      payload_bytes += lane_len[lane];
+    }
+    ctx.read(gs::Stage::kBitShuffle, payload_bytes);
+    ctx.ops(gs::Stage::kBitShuffle, nonzero_blocks * L);
+    ctx.write(gs::Stage::kQuantPredict, elems * sizeof(T));
+    // Reverse QP = prefix-sum + scale: two passes over the block.
+    ctx.ops(gs::Stage::kQuantPredict, 2 * elems);
+  });
+
+  DeviceCodecResult res;
+  res.bytes = n;
+  res.trace = dev.snapshot() - before;
+  return res;
+}
+
+DeviceCodecResult compress_device(gs::Device& dev,
+                                  const gs::DeviceBuffer<float>& in, size_t n,
+                                  const Params& params, double eb_abs,
+                                  gs::DeviceBuffer<byte_t>& out) {
+  return compress_device_impl(dev, in, n, params, eb_abs, out);
+}
+
+DeviceCodecResult compress_device_f64(gs::Device& dev,
+                                      const gs::DeviceBuffer<double>& in,
+                                      size_t n, const Params& params,
+                                      double eb_abs,
+                                      gs::DeviceBuffer<byte_t>& out) {
+  return compress_device_impl(dev, in, n, params, eb_abs, out);
+}
+
+DeviceCodecResult decompress_device(gs::Device& dev,
+                                    const gs::DeviceBuffer<byte_t>& cmp,
+                                    gs::DeviceBuffer<float>& out) {
+  return decompress_device_impl(dev, cmp, out);
+}
+
+DeviceCodecResult decompress_device_f64(gs::Device& dev,
+                                        const gs::DeviceBuffer<byte_t>& cmp,
+                                        gs::DeviceBuffer<double>& out) {
+  return decompress_device_impl(dev, cmp, out);
+}
+
+}  // namespace szp::core

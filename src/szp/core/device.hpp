@@ -1,0 +1,53 @@
+// cuSZp device codec: the paper's single-kernel compression and
+// decompression against the simulated runtime.
+//
+// Kernel organisation mirrors the CUDA original: one warp per thread
+// block; each lane owns one L-element data block; lane results are
+// combined with a warp-shuffle scan; warps are stitched together with the
+// in-kernel chained-scan Global Synchronization. Output is byte-identical
+// to the serial reference codec.
+#pragma once
+
+#include "szp/core/format.hpp"
+#include "szp/gpusim/buffer.hpp"
+
+namespace szp::core {
+
+/// Outcome of one device codec call; `trace` is the counter diff for just
+/// this operation (feed it to perfmodel::CostModel).
+struct DeviceCodecResult {
+  size_t bytes = 0;  // compressed bytes (compress) / elements (decompress)
+  gpusim::TraceSnapshot trace;
+};
+
+/// Worst-case compressed size (used to allocate the output buffer before
+/// the size is known, as the CUDA implementation does).
+[[nodiscard]] size_t max_compressed_bytes(size_t n, unsigned block_len);
+
+/// Compress `n` floats from `in` into `out` (pre-allocated to at least
+/// max_compressed_bytes). `eb_abs` is the resolved absolute bound; REL
+/// resolution happens in the host API. Returns the compressed size.
+DeviceCodecResult compress_device(gpusim::Device& dev,
+                                  const gpusim::DeviceBuffer<float>& in,
+                                  size_t n, const Params& params,
+                                  double eb_abs,
+                                  gpusim::DeviceBuffer<byte_t>& out);
+
+/// Decompress a device-resident stream into `out` (pre-allocated to the
+/// element count). Returns the number of elements written.
+DeviceCodecResult decompress_device(gpusim::Device& dev,
+                                    const gpusim::DeviceBuffer<byte_t>& cmp,
+                                    gpusim::DeviceBuffer<float>& out);
+
+/// Double-precision variants of the single-kernel pipeline (extension;
+/// same stream layout, f64 pre-quantization).
+DeviceCodecResult compress_device_f64(gpusim::Device& dev,
+                                      const gpusim::DeviceBuffer<double>& in,
+                                      size_t n, const Params& params,
+                                      double eb_abs,
+                                      gpusim::DeviceBuffer<byte_t>& out);
+DeviceCodecResult decompress_device_f64(gpusim::Device& dev,
+                                        const gpusim::DeviceBuffer<byte_t>& cmp,
+                                        gpusim::DeviceBuffer<double>& out);
+
+}  // namespace szp::core

@@ -1,0 +1,110 @@
+#include "szp/core/format.hpp"
+
+#include "szp/core/block_codec.hpp"
+#include "szp/util/bytestream.hpp"
+
+namespace szp::core {
+
+void Params::validate() const {
+  if (block_len == 0 || block_len % 8 != 0) {
+    throw format_error("Params: block_len must be a positive multiple of 8");
+  }
+  if (error_bound <= 0) {
+    throw format_error("Params: error_bound must be positive");
+  }
+  if (mode == ErrorMode::kRel && error_bound >= 1.0) {
+    throw format_error("Params: REL error bound must be in (0, 1)");
+  }
+  if (lorenzo_layers < 1 || lorenzo_layers > 2) {
+    throw format_error("Params: lorenzo_layers must be 1 or 2");
+  }
+  if (outlier_mode && block_len > 256) {
+    throw format_error(
+        "Params: outlier mode stores u8 in-block positions (L <= 256)");
+  }
+}
+
+std::uint8_t Header::make_flags(const Params& p) {
+  std::uint8_t f = 0;
+  if (p.lorenzo) f |= 1u;
+  if (p.zero_block_bypass) f |= 2u;
+  if (p.bit_shuffle) f |= 4u;
+  if (p.outlier_mode) f |= 16u;
+  if (p.lorenzo && p.lorenzo_layers == 2) f |= 32u;
+  return f;
+}
+
+void Header::serialize(std::span<byte_t> out) const {
+  if (out.size() < kSize) throw format_error("Header: buffer too small");
+  ByteWriter w;
+  w.put(kMagic);
+  w.put(kVersion);
+  w.put(block_len);
+  w.put(num_elements);
+  w.put(eb_abs);
+  w.put(flags);
+  // Pad to kSize.
+  while (w.size() < kSize) w.put(byte_t{0});
+  const auto& bytes = w.bytes();
+  std::copy(bytes.begin(), bytes.end(), out.begin());
+}
+
+Header Header::deserialize(std::span<const byte_t> in) {
+  if (in.size() < kSize) throw format_error("Header: stream truncated");
+  ByteReader r(in);
+  if (r.get<std::uint32_t>() != kMagic) {
+    throw format_error("Header: bad magic");
+  }
+  if (r.get<std::uint16_t>() != kVersion) {
+    throw format_error("Header: unsupported version");
+  }
+  Header h;
+  h.block_len = r.get<std::uint16_t>();
+  h.num_elements = r.get<std::uint64_t>();
+  h.eb_abs = r.get<double>();
+  h.flags = r.get<std::uint8_t>();
+  if (h.block_len == 0 || h.block_len % 8 != 0) {
+    throw format_error("Header: invalid block length");
+  }
+  if (h.eb_abs <= 0) throw format_error("Header: invalid error bound");
+  return h;
+}
+
+double resolve_eb(const Params& p, double value_range) {
+  p.validate();
+  if (p.mode == ErrorMode::kAbs) return p.error_bound;
+  const double eb = p.error_bound * value_range;
+  if (eb <= 0) {
+    // Constant dataset under REL: any positive bound reproduces it exactly.
+    return p.error_bound > 0 ? p.error_bound : 1e-30;
+  }
+  return eb;
+}
+
+StreamStats inspect_stream(std::span<const byte_t> stream) {
+  const Header h = Header::deserialize(stream);
+  StreamStats s;
+  s.num_blocks = num_blocks(h.num_elements, h.block_len);
+  if (stream.size() < payload_offset(s.num_blocks)) {
+    throw format_error("inspect_stream: truncated length area");
+  }
+  double f_sum = 0;
+  for (size_t b = 0; b < s.num_blocks; ++b) {
+    const std::uint8_t lb = stream[lengths_offset() + b];
+    if (lb == 0) {
+      ++s.zero_blocks;
+    } else if (lb >= kOutlierFlag) {
+      ++s.outlier_blocks;
+      f_sum += lb - kOutlierFlag;
+    } else {
+      f_sum += lb;
+    }
+    s.payload_bytes += block_payload_bytes(lb, h.block_len,
+                                           h.zero_block_bypass());
+  }
+  const size_t nonzero = s.num_blocks - s.zero_blocks;
+  s.mean_fixed_length = nonzero > 0 ? f_sum / static_cast<double>(nonzero) : 0;
+  return s;
+}
+
+}  // namespace szp::core

@@ -1,0 +1,109 @@
+// cuSZp compressed-stream format and codec parameters (paper Fig. 12).
+//
+// Stream layout:
+//   [Header]                          32 bytes
+//   [fixed-length byte per block]     num_blocks bytes (0 => zero block)
+//   [payload]                         per non-zero block, at its prefix-sum
+//                                     offset: sign map (L/8 bytes) followed
+//                                     by F_k bit planes (L/8 bytes each)
+//
+// Payload offsets are not stored: both directions recompute them with the
+// same prefix sum over CmpL_k = (F_k + 1) * L / 8 (Eq. 2), exactly as the
+// paper's Global Synchronization does.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "szp/util/common.hpp"
+
+namespace szp::core {
+
+/// Error-bound mode (paper §2.1): ABS uses `error_bound` directly; REL
+/// multiplies it by the dataset's value range.
+enum class ErrorMode : std::uint8_t { kAbs = 0, kRel = 1 };
+
+/// Prefix-sum implementation used by the device codec (ablation knob).
+enum class ScanAlgo : std::uint8_t { kChained = 0, kTwoPass = 1 };
+
+struct Params {
+  ErrorMode mode = ErrorMode::kRel;
+  double error_bound = 1e-3;  // ABS bound, or REL ratio in (0,1)
+  unsigned block_len = 32;    // L; must be a positive multiple of 8
+  bool lorenzo = true;        // 1D Lorenzo prediction (paper §4.1)
+  unsigned lorenzo_layers = 1;  // 1 (the paper's choice) or 2 (ablation)
+  bool zero_block_bypass = true;  // record all-zero blocks as F=0 (§4.2)
+  bool bit_shuffle = true;        // block bit-shuffle vs direct packing (§4.4)
+  bool outlier_mode = false;      // outlier-tolerant fixed length (extension;
+                                  // the cuSZp2 follow-on direction)
+  ScanAlgo scan = ScanAlgo::kChained;
+
+  void validate() const;
+};
+
+/// Fixed-size stream header. `eb_abs` is the *resolved* absolute bound, so
+/// decompression never needs the original value range.
+struct Header {
+  static constexpr std::uint32_t kMagic = 0x70355A53;  // "SZ5p"
+  static constexpr std::uint16_t kVersion = 1;
+
+  std::uint64_t num_elements = 0;
+  double eb_abs = 0;
+  std::uint16_t block_len = 32;
+  std::uint8_t flags = 0;  // bit0 lorenzo, bit1 zero-bypass, bit2 shuffle,
+                           // bit3 f64 source data, bit4 outlier mode,
+                           // bit5 two-layer Lorenzo
+
+  static constexpr size_t kSize = 32;
+
+  [[nodiscard]] bool lorenzo() const { return (flags & 1u) != 0; }
+  [[nodiscard]] bool zero_block_bypass() const { return (flags & 2u) != 0; }
+  [[nodiscard]] bool bit_shuffle() const { return (flags & 4u) != 0; }
+  [[nodiscard]] bool is_f64() const { return (flags & 8u) != 0; }
+  [[nodiscard]] bool outlier_mode() const { return (flags & 16u) != 0; }
+  [[nodiscard]] bool lorenzo2() const { return (flags & 32u) != 0; }
+
+  static std::uint8_t make_flags(const Params& p);
+
+  void serialize(std::span<byte_t> out) const;  // out.size() >= kSize
+  [[nodiscard]] static Header deserialize(std::span<const byte_t> in);
+};
+
+/// Resolve the absolute error bound for a dataset (REL needs its range).
+[[nodiscard]] double resolve_eb(const Params& p, double value_range);
+
+/// Number of L-element blocks covering n elements.
+[[nodiscard]] inline size_t num_blocks(size_t n, unsigned block_len) {
+  return div_ceil(n, static_cast<size_t>(block_len));
+}
+
+/// Compressed bytes of a block with fixed length F (Eq. 2). With the
+/// zero-block bypass (the paper's design) an all-zero block costs nothing
+/// beyond its length byte; with the bypass disabled (ablation) it still
+/// stores its sign map.
+[[nodiscard]] inline size_t block_cmp_bytes(unsigned f, unsigned block_len,
+                                            bool zero_bypass = true) {
+  if (f == 0 && zero_bypass) return 0;
+  return static_cast<size_t>(f + 1) * block_len / 8;
+}
+
+/// Offset of the per-block fixed-length byte array in the stream.
+[[nodiscard]] inline size_t lengths_offset() { return Header::kSize; }
+
+/// Offset of the payload area.
+[[nodiscard]] inline size_t payload_offset(size_t nblocks) {
+  return Header::kSize + nblocks;
+}
+
+/// Summary of a compressed stream, for tests and benches.
+struct StreamStats {
+  size_t num_blocks = 0;
+  size_t zero_blocks = 0;
+  size_t outlier_blocks = 0;
+  size_t payload_bytes = 0;
+  double mean_fixed_length = 0;  // over non-zero blocks
+};
+[[nodiscard]] StreamStats inspect_stream(std::span<const byte_t> stream);
+
+}  // namespace szp::core

@@ -1,0 +1,39 @@
+// Serial reference codec: the exact cuSZp pipeline, block by block, on the
+// host. Defines the stream the device kernels must reproduce byte for byte.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "szp/core/format.hpp"
+
+namespace szp::core {
+
+/// Compress `data` with `params`. For REL mode the value range is taken
+/// from `value_range` if provided, otherwise computed from the data.
+[[nodiscard]] std::vector<byte_t> compress_serial(
+    std::span<const float> data, const Params& params,
+    std::optional<double> value_range = std::nullopt);
+
+/// Decompress a cuSZp stream (throws if the stream holds f64 data).
+[[nodiscard]] std::vector<float> decompress_serial(
+    std::span<const byte_t> stream);
+
+/// Exact compressed size without materializing the stream (one
+/// quantization pass over the data) — for sizing buffers or picking an
+/// error bound before committing to a compression run.
+[[nodiscard]] size_t exact_compressed_bytes(
+    std::span<const float> data, const Params& params,
+    std::optional<double> value_range = std::nullopt);
+
+/// Double-precision variants (extension; the original cuSZp grew f64
+/// support after the paper). The quantization integers and the stream
+/// layout are identical — only the pre-quantization input type differs.
+[[nodiscard]] std::vector<byte_t> compress_serial_f64(
+    std::span<const double> data, const Params& params,
+    std::optional<double> value_range = std::nullopt);
+[[nodiscard]] std::vector<double> decompress_serial_f64(
+    std::span<const byte_t> stream);
+
+}  // namespace szp::core

@@ -1,0 +1,187 @@
+#include "szp/core/stages.hpp"
+
+#include <bit>
+#include <limits>
+#include <cassert>
+#include <cmath>
+
+#include "szp/util/bitio.hpp"
+
+namespace szp::core {
+
+namespace {
+// Quantized magnitudes must leave headroom for the Lorenzo delta, whose
+// magnitude can double: |r_i| <= 2^29 keeps |l_i| <= 2^30 < INT32_MAX.
+constexpr std::int64_t kMaxQuantMagnitude = std::int64_t{1} << 29;
+}  // namespace
+
+namespace {
+
+template <typename T>
+void quantize_impl(std::span<const T> in, double eb_abs,
+                   std::span<std::int32_t> out) {
+  assert(in.size() == out.size());
+  const double inv = 1.0 / (2.0 * eb_abs);
+  for (size_t i = 0; i < in.size(); ++i) {
+    const double scaled = static_cast<double>(in[i]) * inv;
+    if (!(std::abs(scaled) < static_cast<double>(kMaxQuantMagnitude))) {
+      throw format_error(
+          "quantize: error bound too small for the data magnitude "
+          "(quantization integer exceeds 2^29)");
+    }
+    out[i] = static_cast<std::int32_t>(std::llround(scaled));
+  }
+}
+
+template <typename T>
+void dequantize_impl(std::span<const std::int32_t> in, double eb_abs,
+                     std::span<T> out) {
+  assert(in.size() == out.size());
+  const double scale = 2.0 * eb_abs;
+  for (size_t i = 0; i < in.size(); ++i) {
+    out[i] = static_cast<T>(static_cast<double>(in[i]) * scale);
+  }
+}
+
+}  // namespace
+
+void quantize(std::span<const float> in, double eb_abs,
+              std::span<std::int32_t> out) {
+  quantize_impl(in, eb_abs, out);
+}
+void quantize(std::span<const double> in, double eb_abs,
+              std::span<std::int32_t> out) {
+  quantize_impl(in, eb_abs, out);
+}
+
+void dequantize(std::span<const std::int32_t> in, double eb_abs,
+                std::span<float> out) {
+  dequantize_impl(in, eb_abs, out);
+}
+void dequantize(std::span<const std::int32_t> in, double eb_abs,
+                std::span<double> out) {
+  dequantize_impl(in, eb_abs, out);
+}
+
+void lorenzo_forward(std::span<std::int32_t> r) {
+  std::int32_t prev = 0;
+  for (auto& v : r) {
+    const std::int32_t cur = v;
+    v = cur - prev;  // |cur|,|prev| <= 2^30 so the difference cannot wrap
+    prev = cur;
+  }
+}
+
+void lorenzo_inverse(std::span<std::int32_t> l) {
+  std::int32_t acc = 0;
+  for (auto& v : l) {
+    acc += v;
+    v = acc;
+  }
+}
+
+void lorenzo2_forward(std::span<std::int32_t> r) {
+  std::int64_t prev = 0, prev2 = 0;
+  for (auto& v : r) {
+    const std::int64_t cur = v;
+    const std::int64_t l = cur - 2 * prev + prev2;
+    if (l > std::numeric_limits<std::int32_t>::max() ||
+        l < std::numeric_limits<std::int32_t>::min()) {
+      throw format_error("lorenzo2: second difference overflows 32 bits");
+    }
+    v = static_cast<std::int32_t>(l);
+    prev2 = prev;
+    prev = cur;
+  }
+}
+
+void lorenzo2_inverse(std::span<std::int32_t> l) {
+  // Two cumulative sums undo two differences.
+  lorenzo_inverse(l);
+  lorenzo_inverse(l);
+}
+
+void split_signs(std::span<const std::int32_t> in,
+                 std::span<std::uint32_t> magnitudes,
+                 std::span<byte_t> signs) {
+  assert(magnitudes.size() == in.size());
+  assert(signs.size() >= div_ceil(in.size(), size_t{8}));
+  for (auto& s : signs) s = 0;
+  for (size_t i = 0; i < in.size(); ++i) {
+    const std::int32_t v = in[i];
+    if (v < 0) {
+      signs[i / 8] |= static_cast<byte_t>(1u << (i % 8));
+      magnitudes[i] = static_cast<std::uint32_t>(-static_cast<std::int64_t>(v));
+    } else {
+      magnitudes[i] = static_cast<std::uint32_t>(v);
+    }
+  }
+}
+
+void apply_signs(std::span<const std::uint32_t> magnitudes,
+                 std::span<const byte_t> signs, std::span<std::int32_t> out) {
+  assert(out.size() == magnitudes.size());
+  for (size_t i = 0; i < magnitudes.size(); ++i) {
+    const bool neg = (signs[i / 8] >> (i % 8)) & 1u;
+    const auto m = static_cast<std::int64_t>(magnitudes[i]);
+    out[i] = static_cast<std::int32_t>(neg ? -m : m);
+  }
+}
+
+unsigned fixed_length_of(std::span<const std::uint32_t> magnitudes) {
+  std::uint32_t mx = 0;
+  for (const std::uint32_t m : magnitudes) mx |= m;
+  return static_cast<unsigned>(std::bit_width(mx));
+}
+
+void bit_shuffle(std::span<const std::uint32_t> magnitudes, unsigned f,
+                 std::span<byte_t> out) {
+  const size_t groups = div_ceil(magnitudes.size(), size_t{8});
+  assert(out.size() >= static_cast<size_t>(f) * groups);
+  for (size_t i = 0; i < static_cast<size_t>(f) * groups; ++i) out[i] = 0;
+  for (unsigned k = 0; k < f; ++k) {
+    byte_t* plane = out.data() + static_cast<size_t>(k) * groups;
+    for (size_t i = 0; i < magnitudes.size(); ++i) {
+      const byte_t bit = static_cast<byte_t>((magnitudes[i] >> k) & 1u);
+      plane[i / 8] |= static_cast<byte_t>(bit << (i % 8));
+    }
+  }
+}
+
+void bit_unshuffle(std::span<const byte_t> in, unsigned f,
+                   std::span<std::uint32_t> magnitudes) {
+  const size_t groups = div_ceil(magnitudes.size(), size_t{8});
+  assert(in.size() >= static_cast<size_t>(f) * groups);
+  for (auto& m : magnitudes) m = 0;
+  for (unsigned k = 0; k < f; ++k) {
+    const byte_t* plane = in.data() + static_cast<size_t>(k) * groups;
+    for (size_t i = 0; i < magnitudes.size(); ++i) {
+      const std::uint32_t bit = (plane[i / 8] >> (i % 8)) & 1u;
+      magnitudes[i] |= bit << k;
+    }
+  }
+}
+
+void bit_pack(std::span<const std::uint32_t> magnitudes, unsigned f,
+              std::span<byte_t> out) {
+  const size_t groups = div_ceil(magnitudes.size(), size_t{8});
+  assert(out.size() >= static_cast<size_t>(f) * groups);
+  BitWriter w;
+  for (const std::uint32_t m : magnitudes) w.put(m, f);
+  const std::vector<byte_t> packed = std::move(w).take();
+  for (size_t i = 0; i < static_cast<size_t>(f) * groups; ++i) {
+    out[i] = i < packed.size() ? packed[i] : byte_t{0};
+  }
+}
+
+void bit_unpack(std::span<const byte_t> in, unsigned f,
+                std::span<std::uint32_t> magnitudes) {
+  const size_t groups = div_ceil(magnitudes.size(), size_t{8});
+  assert(in.size() >= static_cast<size_t>(f) * groups);
+  BitReader r(in.first(static_cast<size_t>(f) * groups));
+  for (auto& m : magnitudes) {
+    m = static_cast<std::uint32_t>(r.get(f));
+  }
+}
+
+}  // namespace szp::core

@@ -1,0 +1,68 @@
+#include "szp/data/field.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+
+namespace szp::data {
+
+size_t Dims::count() const {
+  size_t n = extents.empty() ? 0 : 1;
+  for (const size_t e : extents) n *= e;
+  return n;
+}
+
+std::string Dims::to_string() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < extents.size(); ++i) {
+    if (i > 0) os << 'x';
+    os << extents[i];
+  }
+  return os.str();
+}
+
+double Field::value_range() const {
+  if (values.empty()) return 0.0;
+  const auto [mn, mx] = std::minmax_element(values.begin(), values.end());
+  return static_cast<double>(*mx) - static_cast<double>(*mn);
+}
+
+Slice2D slice2d(const Field& f, size_t slice_index) {
+  if (f.dims.ndim() < 2) throw format_error("slice2d: need >= 2 dims");
+  Slice2D s;
+  s.height = f.dims[f.dims.ndim() - 2];
+  s.width = f.dims[f.dims.ndim() - 1];
+  const size_t plane = s.height * s.width;
+  const size_t num_planes = f.count() / plane;
+  if (slice_index >= num_planes) throw format_error("slice2d: index OOB");
+  const auto* begin = f.values.data() + slice_index * plane;
+  s.values.assign(begin, begin + plane);
+  return s;
+}
+
+Field load_f32(const std::string& path, Dims dims, std::string name) {
+  Field f;
+  f.name = name.empty() ? path : std::move(name);
+  f.dims = std::move(dims);
+  f.values.resize(f.dims.count());
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw format_error("load_f32: cannot open " + path);
+  in.read(reinterpret_cast<char*>(f.values.data()),
+          static_cast<std::streamsize>(f.values.size() * sizeof(float)));
+  if (static_cast<size_t>(in.gcount()) != f.values.size() * sizeof(float)) {
+    throw format_error("load_f32: short read from " + path);
+  }
+  return f;
+}
+
+void save_f32(const std::string& path, const Field& f) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw format_error("save_f32: cannot open " + path);
+  out.write(reinterpret_cast<const char*>(f.values.data()),
+            static_cast<std::streamsize>(f.values.size() * sizeof(float)));
+  if (!out) throw format_error("save_f32: short write to " + path);
+}
+
+}  // namespace szp::data

@@ -1,0 +1,53 @@
+// Scientific field container: an N-dimensional grid of f32 samples plus
+// raw-binary (.f32, SDRBench layout) load/store and slice extraction.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "szp/util/common.hpp"
+
+namespace szp::data {
+
+/// Grid dimensions, slowest-varying first (SDRBench convention: a file of
+/// 500x500x100 stores 100 contiguous planes of 500x500... we adopt
+/// dims = {z, y, x} with x contiguous).
+struct Dims {
+  std::vector<size_t> extents;
+
+  [[nodiscard]] size_t count() const;
+  [[nodiscard]] size_t ndim() const { return extents.size(); }
+  [[nodiscard]] size_t operator[](size_t i) const { return extents[i]; }
+  [[nodiscard]] std::string to_string() const;
+  bool operator==(const Dims&) const = default;
+};
+
+struct Field {
+  std::string name;
+  Dims dims;
+  std::vector<float> values;
+
+  [[nodiscard]] size_t count() const { return values.size(); }
+  [[nodiscard]] size_t size_bytes() const { return values.size() * 4; }
+  [[nodiscard]] std::span<const float> span() const { return values; }
+
+  /// max - min over all samples.
+  [[nodiscard]] double value_range() const;
+};
+
+/// Extract a 2D slice (fixed index along the slowest axis) from a field
+/// with >= 2 dims; returns row-major (height = dims[ndim-2], width =
+/// dims[ndim-1]).
+struct Slice2D {
+  size_t height = 0, width = 0;
+  std::vector<float> values;
+};
+[[nodiscard]] Slice2D slice2d(const Field& f, size_t slice_index);
+
+/// Raw little-endian f32 file IO (SDRBench format).
+[[nodiscard]] Field load_f32(const std::string& path, Dims dims,
+                             std::string name = {});
+void save_f32(const std::string& path, const Field& f);
+
+}  // namespace szp::data

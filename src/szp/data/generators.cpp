@@ -1,0 +1,252 @@
+#include "szp/data/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "szp/util/rng.hpp"
+
+namespace szp::data {
+
+namespace {
+
+/// Decompose linear index into N-D coordinates (slowest axis first).
+inline void coords_of(size_t idx, const Dims& dims, size_t* out) {
+  for (size_t a = dims.ndim(); a-- > 0;) {
+    out[a] = idx % dims[a];
+    idx /= dims[a];
+  }
+}
+
+}  // namespace
+
+Field cosine_mixture(std::string name, Dims dims, std::uint64_t seed,
+                     unsigned modes, double min_wavelength,
+                     double max_wavelength, double spectral_exponent,
+                     double amplitude, double offset) {
+  Field f;
+  f.name = std::move(name);
+  f.dims = std::move(dims);
+  const size_t n = f.dims.count();
+  f.values.assign(n, static_cast<float>(offset));
+  const size_t ndim = f.dims.ndim();
+  if (n == 0 || modes == 0) return f;
+
+  Rng rng(seed);
+  // Per-mode, per-axis cosine tables: value += A_m * prod_a cos(w_a*i + p_a).
+  // Tables make the inner loop a pure product, independent of ndim.
+  std::vector<std::vector<std::vector<double>>> tables(modes);
+  std::vector<double> amps(modes);
+  const double log_lo = std::log(min_wavelength);
+  const double log_hi = std::log(max_wavelength);
+  double amp_norm = 0;
+  for (unsigned m = 0; m < modes; ++m) {
+    const double lambda = std::exp(rng.uniform(log_lo, log_hi));
+    amps[m] = std::pow(lambda / max_wavelength, spectral_exponent);
+    amp_norm += std::abs(amps[m]);
+    tables[m].resize(ndim);
+    for (size_t a = 0; a < ndim; ++a) {
+      // Random per-axis wavelength of the same order as lambda, so modes
+      // are obliquely oriented rather than axis-aligned.
+      const double lam_a = lambda * rng.uniform(0.7, 1.4);
+      const double w = 2.0 * std::numbers::pi / lam_a;
+      const double phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+      auto& tab = tables[m][a];
+      tab.resize(f.dims[a]);
+      for (size_t i = 0; i < f.dims[a]; ++i) {
+        tab[i] = std::cos(w * static_cast<double>(i) + phase);
+      }
+    }
+  }
+  for (auto& a : amps) a *= amplitude / amp_norm;
+
+  std::vector<size_t> c(ndim, 0);
+  for (size_t idx = 0; idx < n; ++idx) {
+    double v = 0;
+    for (unsigned m = 0; m < modes; ++m) {
+      double prod = amps[m];
+      for (size_t a = 0; a < ndim; ++a) prod *= tables[m][a][c[a]];
+      v += prod;
+    }
+    f.values[idx] += static_cast<float>(v);
+    // Odometer-style coordinate increment (fastest axis last).
+    for (size_t a = ndim; a-- > 0;) {
+      if (++c[a] < f.dims[a]) break;
+      c[a] = 0;
+    }
+  }
+  return f;
+}
+
+void add_gaussian_bumps(Field& f, std::uint64_t seed, unsigned count,
+                        double min_radius, double max_radius, double amp) {
+  const size_t ndim = f.dims.ndim();
+  Rng rng(seed);
+  std::vector<double> center(ndim);
+  std::vector<size_t> lo(ndim), hi(ndim), c(ndim);
+  for (unsigned b = 0; b < count; ++b) {
+    const double radius = rng.uniform(min_radius, max_radius);
+    const double a = amp * rng.uniform(0.3, 1.0) * (rng.next_double() < 0.5 ? -1 : 1);
+    for (size_t d = 0; d < ndim; ++d) {
+      center[d] = rng.uniform(0.0, static_cast<double>(f.dims[d]));
+      const double r3 = 3.0 * radius;
+      lo[d] = static_cast<size_t>(std::max(0.0, std::floor(center[d] - r3)));
+      hi[d] = static_cast<size_t>(std::min(static_cast<double>(f.dims[d]),
+                                           std::ceil(center[d] + r3)));
+      if (lo[d] >= hi[d]) { lo[d] = hi[d] = 0; }
+    }
+    // Iterate the bounding box via a flat index over box coordinates.
+    size_t box_count = 1;
+    for (size_t d = 0; d < ndim; ++d) box_count *= hi[d] - lo[d];
+    for (size_t bi = 0; bi < box_count; ++bi) {
+      size_t rem = bi;
+      for (size_t d = ndim; d-- > 0;) {
+        const size_t ext = hi[d] - lo[d];
+        c[d] = lo[d] + rem % ext;
+        rem /= ext;
+      }
+      double r2 = 0;
+      for (size_t d = 0; d < ndim; ++d) {
+        const double dx = static_cast<double>(c[d]) - center[d];
+        r2 += dx * dx;
+      }
+      size_t idx = 0;
+      for (size_t d = 0; d < ndim; ++d) idx = idx * f.dims[d] + c[d];
+      f.values[idx] +=
+          static_cast<float>(a * std::exp(-r2 / (2.0 * radius * radius)));
+    }
+  }
+}
+
+void add_noise(Field& f, std::uint64_t seed, double sigma) {
+  Rng rng(seed);
+  for (auto& v : f.values) v += static_cast<float>(rng.normal() * sigma);
+}
+
+void apply_exp(Field& f, double gain, double scale) {
+  for (auto& v : f.values) {
+    v = static_cast<float>(scale * std::exp(gain * static_cast<double>(v)));
+  }
+}
+
+void apply_log_envelope(Field& f, std::uint64_t seed, double log_min,
+                        double log_max, double min_wavelength,
+                        double max_wavelength, double sharpness,
+                        double exponent) {
+  const Field g = cosine_mixture("env", f.dims, seed, 10, min_wavelength,
+                                 max_wavelength, 1.0, 1.0, 0.0);
+  for (size_t i = 0; i < f.values.size(); ++i) {
+    // g in [-1, 1] with its mass near 0. sharpness widens the spread;
+    // exponent > 1 skews the log-amplitude towards the quiet end with a
+    // thin loud tail — the power-law-like magnitude statistics of real
+    // scientific fields (calm far-field, rare active cores).
+    const double t = std::clamp(
+        (static_cast<double>(g.values[i]) * sharpness + 1.0) / 2.0, 0.0, 1.0);
+    const double skewed = std::pow(t, exponent);
+    const double factor = std::exp(log_min + skewed * (log_max - log_min));
+    f.values[i] = static_cast<float>(f.values[i] * factor);
+  }
+}
+
+Field rtm_wavefield(std::string name, Dims dims, std::uint64_t seed,
+                    const RtmParams& p) {
+  Field f;
+  f.name = std::move(name);
+  f.dims = std::move(dims);
+  const size_t n = f.dims.count();
+  f.values.assign(n, 0.0f);
+  const size_t ndim = f.dims.ndim();
+  Rng rng(seed);
+
+  // Source near the top-center of the volume (typical seismic shot).
+  std::vector<double> src(ndim);
+  for (size_t d = 0; d < ndim; ++d) {
+    src[d] = (d == 0) ? static_cast<double>(f.dims[d]) * 0.1
+                      : static_cast<double>(f.dims[d]) * rng.uniform(0.4, 0.6);
+  }
+  const double t = static_cast<double>(p.timestep);
+  const double front_r = p.wave_speed * t;
+  const double amp = p.initial_amp / (1.0 + t / p.amp_decay_tau);
+  // Coda (scattered residual energy) accumulates while the direct wave
+  // decays, so its share of the shrinking value range grows with time —
+  // the mechanism behind the paper's Fig. 22 throughput decay.
+  const double coda_amp =
+      p.initial_amp * p.coda_level * std::pow(1.0 + t / p.amp_decay_tau, 0.2);
+  const double k = 2.0 * std::numbers::pi / p.wavelength;
+  const double w2 = 2.0 * p.shell_width * p.shell_width;
+
+  std::vector<size_t> c(ndim, 0);
+  for (size_t idx = 0; idx < n; ++idx) {
+    double r2 = 0;
+    for (size_t d = 0; d < ndim; ++d) {
+      const double dx = static_cast<double>(c[d]) - src[d];
+      r2 += dx * dx;
+    }
+    const double r = std::sqrt(r2);
+    const double dr = r - front_r;
+    double v = 0;
+    if (std::abs(dr) < 4.0 * p.shell_width) {
+      v = amp * std::sin(k * dr) * std::exp(-dr * dr / w2);
+    }
+    if (r < front_r - 2.0 * p.shell_width) {
+      // Lit region behind the front: smooth low-level coda (scattered
+      // energy that decays towards the source), never exact zero.
+      const double rel = r / std::max(front_r, 1.0);
+      const double fade = 0.3 + 0.7 * rel;
+      v += coda_amp * fade *
+           std::sin(0.05 * r + 0.03 * static_cast<double>(c[0]));
+    }
+    // Ahead of the front the medium is untouched: exact zeros.
+    f.values[idx] = static_cast<float>(v);
+    for (size_t d = ndim; d-- > 0;) {
+      if (++c[d] < f.dims[d]) break;
+      c[d] = 0;
+    }
+  }
+  return f;
+}
+
+Field particle_stream(std::string name, size_t count, std::uint64_t seed,
+                      double bulk_range, double noise_sigma) {
+  Field f;
+  f.name = std::move(name);
+  f.dims = Dims{{count}};
+  f.values.resize(count);
+  Rng rng(seed);
+  // Bulk flows: particles are grouped by halo; each halo has a mean
+  // velocity drawn from a normal bulk distribution (so the value range is
+  // set by rare fast halos while most sit near zero). Within a halo,
+  // thermal noise dominates sample-to-sample differences (rough 1D data).
+  const size_t halo = 512;
+  const double bulk_sigma = bulk_range / 14.0;
+  double mean = 0;
+  for (size_t i = 0; i < count; ++i) {
+    if (i % halo == 0) {
+      // 5% of halos are infalling "fast" halos (3x dispersion): they set
+      // the value range while most halos sit near zero.
+      const double s = rng.next_double() < 0.05 ? 3.0 : 1.0;
+      mean = rng.normal() * bulk_sigma * s;
+    }
+    f.values[i] = static_cast<float>(mean + rng.normal() * noise_sigma);
+  }
+  return f;
+}
+
+Field particle_positions(std::string name, size_t count, std::uint64_t seed,
+                         double box, double jitter) {
+  Field f;
+  f.name = std::move(name);
+  f.dims = Dims{{count}};
+  f.values.resize(count);
+  Rng rng(seed);
+  const double step = box / std::max<double>(1.0, static_cast<double>(count));
+  for (size_t i = 0; i < count; ++i) {
+    const double base = static_cast<double>(i) * step;
+    const double wobble = jitter * box * rng.normal() * 0.01;
+    f.values[i] = static_cast<float>(
+        std::fmod(base + wobble + box, box));
+  }
+  return f;
+}
+
+}  // namespace szp::data

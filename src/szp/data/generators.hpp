@@ -1,0 +1,80 @@
+// Synthetic scientific-field generators (DESIGN.md §2 substitution for the
+// SDRBench datasets). Generators work in *index space*: spatial frequency
+// content is specified in cells, so a scaled-down grid keeps the same
+// per-cell smoothness statistics as the full-resolution original — the
+// property the paper's block-smoothness analysis (Fig. 6) depends on.
+#pragma once
+
+#include <cstdint>
+
+#include "szp/data/field.hpp"
+
+namespace szp::data {
+
+/// Sum of `modes` separable cosine modes with random orientation/phase and
+/// a power-law amplitude spectrum: amplitude(lambda) ~ lambda^exponent.
+/// Wavelengths are drawn log-uniformly in [min_wavelength, max_wavelength]
+/// cells. Produces smooth, multi-scale fields like weather/climate data.
+[[nodiscard]] Field cosine_mixture(std::string name, Dims dims,
+                                   std::uint64_t seed, unsigned modes,
+                                   double min_wavelength,
+                                   double max_wavelength,
+                                   double spectral_exponent, double amplitude,
+                                   double offset);
+
+/// Superimpose `count` Gaussian bumps (random centers, radii in cells in
+/// [min_radius, max_radius], amplitudes +-amp). Adds localized structure
+/// such as storm cells or density clumps.
+void add_gaussian_bumps(Field& f, std::uint64_t seed, unsigned count,
+                        double min_radius, double max_radius, double amp);
+
+/// Add i.i.d. Gaussian noise with standard deviation sigma.
+void add_noise(Field& f, std::uint64_t seed, double sigma);
+
+/// Map each value v -> scale * exp(gain * v): turns a smooth Gaussian-ish
+/// field into a heavy-tailed (lognormal) one like NYX baryon density.
+void apply_exp(Field& f, double gain, double scale);
+
+/// Multiply the field by a smooth log-amplitude envelope exp(u) with u
+/// spanning [log_min, log_max]. This reproduces the value statistics of
+/// real scientific fields: most of the domain is orders of magnitude
+/// quieter than the extremes that set the value range, which is what
+/// gives error-bounded compressors their zero blocks and small fixed
+/// lengths under REL bounds (paper Table 3 / Fig. 6).
+void apply_log_envelope(Field& f, std::uint64_t seed, double log_min,
+                        double log_max, double min_wavelength,
+                        double max_wavelength, double sharpness = 1.6,
+                        double exponent = 4.0);
+
+/// Parameters of a reverse-time-migration wavefield snapshot.
+struct RtmParams {
+  size_t timestep = 900;       // of the paper's 3600
+  double wave_speed = 0.14;    // cells per timestep
+  double wavelength = 12;      // cells
+  double shell_width = 3;       // cells (Gaussian envelope of the front)
+  double initial_amp = 1200.0; // amplitude near the source
+  double amp_decay_tau = 900;  // geometric-spreading decay of the range
+  double coda_level = 6e-3;   // residual energy behind the front (of amp)
+};
+
+/// Expanding spherical wavefront + low-level coda inside the lit region;
+/// exact zeros ahead of the front. The value range decays with timestep
+/// while the coda decays slower, so later snapshots have fewer
+/// zero-quantized blocks under REL error bounds — the Fig. 22 behaviour.
+[[nodiscard]] Field rtm_wavefield(std::string name, Dims dims,
+                                  std::uint64_t seed, const RtmParams& p);
+
+/// 1D particle attribute stream (HACC-like): a few large-scale bulk flows
+/// plus per-particle thermal noise; rough at the sample-to-sample level.
+[[nodiscard]] Field particle_stream(std::string name, size_t count,
+                                    std::uint64_t seed, double bulk_range,
+                                    double noise_sigma);
+
+/// 1D particle coordinate stream: a near-monotonic ramp across a periodic
+/// box of size `box` with relative per-particle jitter — the smooth HACC
+/// position fields (xx/yy/zz).
+[[nodiscard]] Field particle_positions(std::string name, size_t count,
+                                       std::uint64_t seed, double box,
+                                       double jitter);
+
+}  // namespace szp::data

@@ -1,0 +1,203 @@
+#include "szp/data/registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "szp/data/generators.hpp"
+#include "szp/util/rng.hpp"
+
+namespace szp::data {
+
+namespace {
+
+/// Stable per-field seed.
+std::uint64_t field_seed(Suite s, size_t field_idx) {
+  std::uint64_t x = 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(s) + 1) +
+                    0x2545f4914f6cdd1dULL * (field_idx + 1);
+  return splitmix64(x);
+}
+
+size_t scaled_extent(size_t base, double axis_scale, size_t min_extent = 8) {
+  const auto e = static_cast<size_t>(std::llround(static_cast<double>(base) * axis_scale));
+  return std::max(min_extent, e);
+}
+
+const std::vector<SuiteInfo> kSuites = {
+    {Suite::kHurricane, "Hurricane", "weather simulation",
+     Dims{{100, 500, 500}}, 13, 6},
+    {Suite::kNyx, "NYX", "cosmology simulation", Dims{{512, 512, 512}}, 6, 6},
+    {Suite::kQmcpack, "QMCPack", "quantum Monte Carlo",
+     Dims{{288, 115, 69, 69}}, 2, 2},
+    {Suite::kRtm, "RTM", "seismic imaging", Dims{{235, 449, 449}}, 36, 3},
+    {Suite::kHacc, "HACC", "cosmology particles", Dims{{280953867}}, 6, 6},
+    {Suite::kCesmAtm, "CESM-ATM", "climate simulation", Dims{{1800, 3600}},
+     79, 6},
+};
+
+}  // namespace
+
+const std::vector<SuiteInfo>& all_suites() { return kSuites; }
+
+const SuiteInfo& suite_info(Suite s) {
+  for (const auto& info : kSuites) {
+    if (info.id == s) return info;
+  }
+  throw format_error("unknown suite");
+}
+
+Dims scaled_dims(Suite s, double scale) {
+  switch (s) {
+    case Suite::kHurricane: {
+      const double a = std::cbrt(scale);
+      return Dims{{scaled_extent(25, a), scaled_extent(125, a),
+                   scaled_extent(125, a)}};
+    }
+    case Suite::kNyx: {
+      const double a = std::cbrt(scale);
+      return Dims{{scaled_extent(80, a), scaled_extent(80, a),
+                   scaled_extent(80, a)}};
+    }
+    case Suite::kQmcpack: {
+      // Keep the orbital axes at the paper's 69x69; scale the leading axes.
+      const double a = std::sqrt(scale);
+      return Dims{{scaled_extent(6, a, 2), scaled_extent(29, a), 69, 69}};
+    }
+    case Suite::kRtm: {
+      const double a = std::cbrt(scale);
+      return Dims{{scaled_extent(60, a), scaled_extent(112, a),
+                   scaled_extent(112, a)}};
+    }
+    case Suite::kHacc:
+      return Dims{{scaled_extent(1000000, scale, 4096)}};
+    case Suite::kCesmAtm: {
+      const double a = std::sqrt(scale);
+      return Dims{{scaled_extent(450, a), scaled_extent(900, a)}};
+    }
+  }
+  throw format_error("unknown suite");
+}
+
+Field make_field(Suite s, size_t field_idx, double scale) {
+  const SuiteInfo& info = suite_info(s);
+  if (field_idx >= info.num_fields) {
+    throw format_error("make_field: field index out of range");
+  }
+  const std::uint64_t seed = field_seed(s, field_idx);
+  const Dims dims = scaled_dims(s, scale);
+
+  switch (s) {
+    case Suite::kHurricane: {
+      static const char* names[] = {"U", "V", "W", "TC", "P", "QVAPOR"};
+      // Per-field envelope depth/skew: winds are moderately quiet, W and
+      // moisture fields are near-zero over most of the domain, pressure is
+      // smooth everywhere — reproducing the paper's wide min/max CR spread
+      // across the 13 real fields.
+      static const double depth[] = {-30, -24, -38, -20, -14, -44};
+      static const double skew[] = {2.4, 2.1, 3.0, 1.8, 1.4, 3.4};
+      const double W = static_cast<double>(
+          *std::max_element(dims.extents.begin(), dims.extents.end()));
+      Field f = cosine_mixture(names[field_idx], dims, seed, 16, 0.8 * W,
+                               4.0 * W, 1.5, 40.0, 0.0);
+      apply_log_envelope(f, seed ^ 3, depth[field_idx], 0.0, 0.3 * W, 1.2 * W,
+                         1.7, skew[field_idx]);
+      add_gaussian_bumps(f, seed ^ 1, 3, 3, 7, 25.0);
+      add_noise(f, seed ^ 2, 1e-9);
+      return f;
+    }
+    case Suite::kNyx: {
+      static const char* names[] = {"temperature", "baryon_density",
+                                    "velocity_x", "dark_matter_density",
+                                    "velocity_y", "velocity_z"};
+      if (field_idx == 0) {
+        const double W = static_cast<double>(dims[0]);
+        Field f = cosine_mixture(names[0], dims, seed, 14, 0.3 * W, 1.2 * W,
+                                 1.4, 1.0, -0.2);
+        apply_exp(f, 9.0, 3.2e4);  // temperatures ~1e2..1e6 K, heavy-tailed
+        return f;
+      }
+      if (field_idx == 1 || field_idx == 3) {
+        const double W = static_cast<double>(dims[0]);
+        Field f = cosine_mixture(names[field_idx], dims, seed, 12, 0.3 * W,
+                                 1.2 * W, 1.2, 1.1, -0.5);
+        add_gaussian_bumps(f, seed ^ 1, 12, 3, 8, 2.2);  // halos
+        apply_exp(f, 8.0, 1.0);  // lognormal density, huge dynamic range
+        return f;
+      }
+      const double W = static_cast<double>(dims[0]);
+      Field f = cosine_mixture(names[field_idx], dims, seed, 14, 0.8 * W,
+                               4.0 * W, 1.4, 2.4e7, 0.0);
+      apply_log_envelope(f, seed ^ 3, -34.0, 0.0, 0.3 * W, 1.2 * W, 1.7, 2.6);
+      add_gaussian_bumps(f, seed ^ 1, 3, 3, 7, 1.5e7);
+      add_noise(f, seed ^ 2, 1e-4);
+      return f;
+    }
+    case Suite::kQmcpack: {
+      static const char* names[] = {"einspline_orbital_0",
+                                    "einspline_orbital_1"};
+      // Orbitals: moderate-frequency oscillation strongly localized by an
+      // exponential envelope (steep CR ladder: CR ~90 at REL 1e-1 down to
+      // ~5 at 1e-4 in the paper).
+      Field f = cosine_mixture(names[field_idx], dims, seed, 16, 12, 80, 0.8,
+                               1.0, 0.0);
+      apply_log_envelope(f, seed ^ 3, -26.0, 0.0, 18, 70, 1.7, 1.7);
+      add_noise(f, seed ^ 2, 1e-9);
+      return f;
+    }
+    case Suite::kRtm: {
+      static const size_t steps[] = {300, 1200, 2400};
+      RtmParams p;
+      p.timestep = steps[field_idx];
+      // Wave speed chosen so the front stays inside the scaled volume.
+      p.wave_speed = 1.4 * static_cast<double>(dims[0]) / 3600.0;
+      return rtm_wavefield("snapshot_t" + std::to_string(p.timestep), dims,
+                           field_seed(s, 0), p);
+    }
+    case Suite::kHacc: {
+      static const char* names[] = {"vx", "vy", "vz", "xx", "yy", "zz"};
+      if (field_idx < 3) {
+        return particle_stream(names[field_idx], dims.count(), seed, 7600.0,
+                               130.0);
+      }
+      // Position streams: particles ordered along the domain sweep, so the
+      // coordinate is a near-linear ramp with halo-scale jitter (these are
+      // the HACC fields that compress well).
+      return particle_positions(names[field_idx], dims.count(), seed, 256.0,
+                                0.05);
+    }
+    case Suite::kCesmAtm: {
+      static const char* names[] = {"CLDHGH", "CLDLOW", "FLDS",
+                                    "PSL",    "FLUT",   "TS"};
+      // Climate 2D fields: smoother ladder than the 3D suites (paper CRs
+      // 27 -> 7 across REL 1e-1..1e-4).
+      const double W = static_cast<double>(dims[1]);
+      Field f = cosine_mixture(names[field_idx], dims, seed, 16, 0.4 * W,
+                               2.0 * W, 1.2, 0.5, 0.0);
+      apply_log_envelope(f, seed ^ 3, -14.0, 0.0, 0.15 * W, 0.8 * W, 1.5, 1.2);
+      add_gaussian_bumps(f, seed ^ 1, 4, 3, 8, 0.4);
+      add_noise(f, seed ^ 2, 1e-9);
+      return f;
+    }
+  }
+  throw format_error("unknown suite");
+}
+
+std::vector<Field> make_suite(Suite s, double scale) {
+  const SuiteInfo& info = suite_info(s);
+  std::vector<Field> fields;
+  fields.reserve(info.num_fields);
+  for (size_t i = 0; i < info.num_fields; ++i) {
+    fields.push_back(make_field(s, i, scale));
+  }
+  return fields;
+}
+
+Field make_rtm_snapshot(size_t timestep, double scale) {
+  const Dims dims = scaled_dims(Suite::kRtm, scale);
+  RtmParams p;
+  p.timestep = timestep;
+  p.wave_speed = 1.4 * static_cast<double>(dims[0]) / 3600.0;
+  return rtm_wavefield("snapshot_t" + std::to_string(timestep), dims,
+                       field_seed(Suite::kRtm, 0), p);
+}
+
+}  // namespace szp::data

@@ -1,0 +1,50 @@
+// Registry of the six evaluation dataset suites (paper Table 2), backed by
+// the synthetic generators. Dimensions scale with a `scale` factor applied
+// to the element count per field (scale = 1 keeps CI-friendly sizes; the
+// paper's full dimensions are recorded for reference).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "szp/data/field.hpp"
+
+namespace szp::data {
+
+enum class Suite {
+  kHurricane,  // weather simulation, 3D (paper: 500x500x100, 13 fields)
+  kNyx,        // cosmology, 3D (512^3, 6 fields)
+  kQmcpack,    // quantum Monte Carlo, 4D (288x115x69x69, 2 fields)
+  kRtm,        // seismic imaging, 3D (449x449x235, 36 snapshots)
+  kHacc,       // cosmology particles, 1D (280,953,867, 6 fields)
+  kCesmAtm,    // climate, 2D (1800x3600, 79 fields)
+};
+
+struct SuiteInfo {
+  Suite id;
+  std::string name;
+  std::string domain;
+  Dims paper_dims;         // per-field dims reported in Table 2
+  size_t paper_num_fields; // fields reported in Table 2
+  size_t num_fields;       // fields this registry generates
+};
+
+[[nodiscard]] const std::vector<SuiteInfo>& all_suites();
+[[nodiscard]] const SuiteInfo& suite_info(Suite s);
+
+/// Generate field `field_idx` (in [0, num_fields)) of a suite at the given
+/// scale. Deterministic in (suite, field_idx).
+[[nodiscard]] Field make_field(Suite s, size_t field_idx, double scale = 1.0);
+
+/// Generate every field of a suite.
+[[nodiscard]] std::vector<Field> make_suite(Suite s, double scale = 1.0);
+
+/// RTM snapshot at a given simulation timestep (0..3600), for the
+/// time-varying experiment (paper Fig. 22).
+[[nodiscard]] Field make_rtm_snapshot(size_t timestep, double scale = 1.0);
+
+/// Dims for a suite field at `scale` (count scales ~linearly with scale).
+[[nodiscard]] Dims scaled_dims(Suite s, double scale);
+
+}  // namespace szp::data

@@ -1,0 +1,127 @@
+// Device memory buffers and host<->device copies.
+//
+// Copies across the simulated PCIe boundary are accounted on the device
+// trace so the perfmodel can charge them; device-resident access from
+// kernels is accounted explicitly by the kernels themselves.
+#pragma once
+
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "szp/gpusim/device.hpp"
+#include "szp/util/common.hpp"
+
+namespace szp::gpusim {
+
+template <typename T>
+class DeviceBuffer {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  DeviceBuffer() = default;
+
+  DeviceBuffer(Device& dev, size_t n) : dev_(&dev), storage_(n) {
+    dev_->register_alloc(n * sizeof(T));
+  }
+
+  DeviceBuffer(Device& dev, size_t n, T fill) : dev_(&dev), storage_(n, fill) {
+    dev_->register_alloc(n * sizeof(T));
+  }
+
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+
+  DeviceBuffer(DeviceBuffer&& o) noexcept
+      : dev_(o.dev_), storage_(std::move(o.storage_)) {
+    o.dev_ = nullptr;
+    o.storage_.clear();
+  }
+  DeviceBuffer& operator=(DeviceBuffer&& o) noexcept {
+    if (this != &o) {
+      release();
+      dev_ = o.dev_;
+      storage_ = std::move(o.storage_);
+      o.dev_ = nullptr;
+      o.storage_.clear();
+    }
+    return *this;
+  }
+
+  ~DeviceBuffer() { release(); }
+
+  [[nodiscard]] size_t size() const { return storage_.size(); }
+  [[nodiscard]] bool empty() const { return storage_.empty(); }
+  [[nodiscard]] T* data() { return storage_.data(); }
+  [[nodiscard]] const T* data() const { return storage_.data(); }
+  [[nodiscard]] std::span<T> span() { return storage_; }
+  [[nodiscard]] std::span<const T> span() const { return storage_; }
+  [[nodiscard]] T& operator[](size_t i) { return storage_[i]; }
+  [[nodiscard]] const T& operator[](size_t i) const { return storage_[i]; }
+
+ private:
+  void release() {
+    if (dev_ != nullptr) dev_->register_free(storage_.size() * sizeof(T));
+    dev_ = nullptr;
+  }
+
+  Device* dev_ = nullptr;
+  std::vector<T> storage_;
+};
+
+/// Host -> device copy (accounted as PCIe traffic).
+template <typename T>
+void copy_h2d(Device& dev, DeviceBuffer<T>& dst, std::span<const T> src) {
+  if (src.size() > dst.size()) throw format_error("copy_h2d: overflow");
+  std::memcpy(dst.data(), src.data(), src.size() * sizeof(T));
+  dev.trace().add_h2d(src.size() * sizeof(T));
+}
+
+/// Device -> host copy (accounted as PCIe traffic).
+template <typename T>
+void copy_d2h(Device& dev, std::span<T> dst, const DeviceBuffer<T>& src,
+              size_t count) {
+  if (count > src.size() || count > dst.size()) {
+    throw format_error("copy_d2h: overflow");
+  }
+  std::memcpy(dst.data(), src.data(), count * sizeof(T));
+  dev.trace().add_d2h(count * sizeof(T));
+}
+
+/// Device -> device copy.
+template <typename T>
+void copy_d2d(Device& dev, DeviceBuffer<T>& dst, const DeviceBuffer<T>& src,
+              size_t count) {
+  if (count > src.size() || count > dst.size()) {
+    throw format_error("copy_d2d: overflow");
+  }
+  std::memcpy(dst.data(), src.data(), count * sizeof(T));
+  dev.trace().add_d2d(count * sizeof(T));
+}
+
+/// Allocate a device buffer and upload host data into it.
+template <typename T>
+[[nodiscard]] DeviceBuffer<T> to_device(Device& dev, std::span<const T> src) {
+  DeviceBuffer<T> buf(dev, src.size());
+  copy_h2d(dev, buf, src);
+  return buf;
+}
+
+/// Download a full device buffer into a new host vector.
+template <typename T>
+[[nodiscard]] std::vector<T> to_host(Device& dev, const DeviceBuffer<T>& src) {
+  std::vector<T> out(src.size());
+  copy_d2h<T>(dev, out, src, src.size());
+  return out;
+}
+
+/// Run a host-side (CPU) stage over `bytes` bytes; accounted so the
+/// perfmodel can charge host time (models cuSZ's Huffman build, cuSZx's
+/// host prefix-sum, etc.).
+template <typename Fn>
+auto host_stage(Device& dev, std::uint64_t bytes, Fn&& fn) {
+  dev.trace().add_host_stage(bytes);
+  return fn();
+}
+
+}  // namespace szp::gpusim

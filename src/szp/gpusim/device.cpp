@@ -1,0 +1,30 @@
+#include "szp/gpusim/device.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <thread>
+
+namespace szp::gpusim {
+
+Device::Device(unsigned workers) : workers_(workers) {
+  if (workers_ == 0) {
+    workers_ = std::max(2u, std::thread::hardware_concurrency());
+  }
+}
+
+void Device::log_launch(std::string name, size_t grid_blocks) {
+  const std::lock_guard<std::mutex> lock(log_mutex_);
+  launch_log_.push_back({std::move(name), grid_blocks});
+}
+
+std::vector<KernelRecord> Device::launch_log() const {
+  const std::lock_guard<std::mutex> lock(log_mutex_);
+  return launch_log_;
+}
+
+void Device::clear_launch_log() {
+  const std::lock_guard<std::mutex> lock(log_mutex_);
+  launch_log_.clear();
+}
+
+}  // namespace szp::gpusim

@@ -1,0 +1,64 @@
+// Simulated GPU device: owns the trace counters, an allocation ledger and
+// the worker pool used to execute kernel thread-blocks.
+//
+// This is the substrate substitution for CUDA described in DESIGN.md §2:
+// codecs are written as kernels against this runtime so that structural
+// properties (kernel counts, host round-trips, scan forward-progress) are
+// exercised by real code.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "szp/gpusim/trace.hpp"
+#include "szp/util/common.hpp"
+
+namespace szp::gpusim {
+
+/// Record of one kernel launch (name + grid size), for tests and reports.
+struct KernelRecord {
+  std::string name;
+  size_t grid_blocks = 0;
+};
+
+class Device {
+ public:
+  /// `workers` = number of host threads used to execute thread blocks.
+  /// 0 picks a default based on hardware concurrency (at least 2, so the
+  /// chained-scan lookback is exercised concurrently even on 1-core hosts).
+  explicit Device(unsigned workers = 0);
+
+  [[nodiscard]] Trace& trace() { return trace_; }
+  [[nodiscard]] const Trace& trace() const { return trace_; }
+  [[nodiscard]] TraceSnapshot snapshot() const { return trace_.snapshot(); }
+
+  [[nodiscard]] unsigned workers() const { return workers_; }
+
+  /// Allocation ledger (bytes currently registered by DeviceBuffers).
+  void register_alloc(size_t bytes) {
+    alloc_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void register_free(size_t bytes) {
+    alloc_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+  [[nodiscard]] size_t bytes_allocated() const {
+    return alloc_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// Launch log.
+  void log_launch(std::string name, size_t grid_blocks);
+  [[nodiscard]] std::vector<KernelRecord> launch_log() const;
+  void clear_launch_log();
+
+ private:
+  unsigned workers_;
+  Trace trace_;
+  std::atomic<size_t> alloc_bytes_{0};
+  mutable std::mutex log_mutex_;
+  std::vector<KernelRecord> launch_log_;
+};
+
+}  // namespace szp::gpusim

@@ -1,0 +1,55 @@
+#include "szp/gpusim/launch.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace szp::gpusim::detail {
+
+void run_blocks(Device& dev, const char* kernel_name, size_t grid_blocks,
+                const std::function<void(const BlockCtx&)>& body) {
+  dev.trace().add_kernel_launch();
+  dev.log_launch(kernel_name, grid_blocks);
+  if (grid_blocks == 0) return;
+
+  const unsigned workers = static_cast<unsigned>(
+      std::min<size_t>(dev.workers(), grid_blocks));
+
+  std::atomic<size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::atomic<bool> failed{false};
+
+  auto worker_fn = [&] {
+    for (;;) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= grid_blocks || failed.load(std::memory_order_relaxed)) return;
+      BlockCtx ctx{i, grid_blocks, &dev.trace()};
+      try {
+        body(ctx);
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  if (workers <= 1) {
+    worker_fn();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker_fn);
+    for (auto& t : pool) t.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace szp::gpusim::detail

@@ -1,0 +1,42 @@
+// Kernel launch: executes a grid of thread blocks on the device's worker
+// pool. Each thread block is written at warp granularity (one warp per
+// block, as cuSZp configures); the warp-level primitives live in warp.hpp.
+#pragma once
+
+#include <functional>
+
+#include "szp/gpusim/device.hpp"
+
+namespace szp::gpusim {
+
+/// Per-block execution context handed to the kernel body.
+struct BlockCtx {
+  size_t block_idx = 0;
+  size_t grid_blocks = 0;
+  Trace* trace = nullptr;
+
+  void read(Stage s, std::uint64_t bytes) const { trace->add_read(s, bytes); }
+  void write(Stage s, std::uint64_t bytes) const {
+    trace->add_write(s, bytes);
+  }
+  void ops(Stage s, std::uint64_t n) const { trace->add_ops(s, n); }
+};
+
+namespace detail {
+/// Runs `body` for block indices [0, grid_blocks) on the worker pool.
+/// Blocks are claimed in increasing index order, which together with
+/// yielding spin-waits guarantees forward progress for chained-scan
+/// lookback even when workers outnumber hardware threads.
+void run_blocks(Device& dev, const char* kernel_name, size_t grid_blocks,
+                const std::function<void(const BlockCtx&)>& body);
+}  // namespace detail
+
+/// Launch a kernel: `body(const BlockCtx&)` is invoked once per block.
+template <typename F>
+void launch(Device& dev, const char* kernel_name, size_t grid_blocks,
+            F&& body) {
+  detail::run_blocks(dev, kernel_name, grid_blocks,
+                     std::function<void(const BlockCtx&)>(std::forward<F>(body)));
+}
+
+}  // namespace szp::gpusim

@@ -1,0 +1,153 @@
+#include "szp/gpusim/scan.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+namespace szp::gpusim {
+
+std::uint64_t ChainedScanState::publish_and_lookback(const BlockCtx& ctx,
+                                                     Stage stage, size_t p,
+                                                     std::uint64_t aggregate) {
+  if ((aggregate & ~kValueMask) != 0) {
+    throw format_error("ChainedScanState: aggregate exceeds 62 bits");
+  }
+  std::atomic_ref<std::uint64_t> self(state_[p]);
+
+  if (p == 0) {
+    // Partition 0's inclusive prefix is its aggregate; publish directly.
+    self.store((kFlagPrefix << kFlagShift) | aggregate,
+               std::memory_order_release);
+    ctx.write(stage, sizeof(std::uint64_t));
+    return 0;
+  }
+
+  self.store((kFlagAggregate << kFlagShift) | aggregate,
+             std::memory_order_release);
+  ctx.write(stage, sizeof(std::uint64_t));
+
+  std::uint64_t exclusive = 0;
+  std::uint64_t reads = 0;
+  size_t i = p;
+  std::uint64_t spins = 0;
+  while (i > 0) {
+    std::atomic_ref<std::uint64_t> pred(state_[i - 1]);
+    const std::uint64_t word = pred.load(std::memory_order_acquire);
+    ++reads;
+    const std::uint64_t flag = word >> kFlagShift;
+    if (flag == kFlagPrefix) {
+      exclusive += word & kValueMask;
+      break;
+    }
+    if (flag == kFlagAggregate) {
+      exclusive += word & kValueMask;
+      --i;
+      continue;
+    }
+    // Predecessor has not published yet: yield and retry. The launch
+    // scheduler claims blocks in increasing order, so progress is
+    // guaranteed; the cap converts a logic bug into an error, not a hang.
+    if (++spins > (std::uint64_t{1} << 34)) {
+      throw format_error("ChainedScanState: lookback stalled");
+    }
+    std::this_thread::yield();
+  }
+  ctx.read(stage, reads * sizeof(std::uint64_t));
+
+  self.store((kFlagPrefix << kFlagShift) | ((exclusive + aggregate) & kValueMask),
+             std::memory_order_release);
+  ctx.write(stage, sizeof(std::uint64_t));
+  return exclusive;
+}
+
+std::uint64_t ChainedScanState::inclusive_prefix(size_t p) {
+  std::atomic_ref<std::uint64_t> ref(state_[p]);
+  const std::uint64_t word = ref.load(std::memory_order_acquire);
+  if ((word >> kFlagShift) != kFlagPrefix) {
+    throw format_error("ChainedScanState: prefix not published");
+  }
+  return word & kValueMask;
+}
+
+std::uint64_t chained_exclusive_scan(Device& dev,
+                                     DeviceBuffer<std::uint64_t>& data,
+                                     Stage stage, size_t items_per_block) {
+  const size_t n = data.size();
+  if (n == 0) return 0;
+  const size_t blocks = div_ceil(n, items_per_block);
+  ChainedScanState scan_state(dev, blocks);
+
+  launch(dev, "chained_exclusive_scan", blocks, [&](const BlockCtx& ctx) {
+    const size_t begin = ctx.block_idx * items_per_block;
+    const size_t end = std::min(n, begin + items_per_block);
+    // Local (in-register) scan of this partition's tile.
+    std::uint64_t aggregate = 0;
+    for (size_t i = begin; i < end; ++i) aggregate += data[i];
+    ctx.read(stage, (end - begin) * sizeof(std::uint64_t));
+
+    const std::uint64_t exclusive =
+        scan_state.publish_and_lookback(ctx, stage, ctx.block_idx, aggregate);
+
+    std::uint64_t running = exclusive;
+    for (size_t i = begin; i < end; ++i) {
+      const std::uint64_t v = data[i];
+      data[i] = running;
+      running += v;
+    }
+    ctx.write(stage, (end - begin) * sizeof(std::uint64_t));
+  });
+
+  return scan_state.inclusive_prefix(blocks - 1);
+}
+
+std::uint64_t twopass_exclusive_scan(Device& dev,
+                                     DeviceBuffer<std::uint64_t>& data,
+                                     Stage stage, size_t items_per_block) {
+  const size_t n = data.size();
+  if (n == 0) return 0;
+  const size_t blocks = div_ceil(n, items_per_block);
+  DeviceBuffer<std::uint64_t> partials(dev, blocks, std::uint64_t{0});
+
+  // Kernel 1: per-block reduction.
+  launch(dev, "twopass_reduce", blocks, [&](const BlockCtx& ctx) {
+    const size_t begin = ctx.block_idx * items_per_block;
+    const size_t end = std::min(n, begin + items_per_block);
+    std::uint64_t sum = 0;
+    for (size_t i = begin; i < end; ++i) sum += data[i];
+    partials[ctx.block_idx] = sum;
+    ctx.read(stage, (end - begin) * sizeof(std::uint64_t));
+    ctx.write(stage, sizeof(std::uint64_t));
+  });
+
+  // Kernel 2: single-block scan of the partials.
+  std::uint64_t total = 0;
+  launch(dev, "twopass_spine", 1, [&](const BlockCtx& ctx) {
+    std::uint64_t running = 0;
+    for (size_t b = 0; b < blocks; ++b) {
+      const std::uint64_t v = partials[b];
+      partials[b] = running;
+      running += v;
+    }
+    total = running;
+    ctx.read(stage, blocks * sizeof(std::uint64_t));
+    ctx.write(stage, blocks * sizeof(std::uint64_t));
+  });
+
+  // Kernel 3: per-block local scan + offset.
+  launch(dev, "twopass_downsweep", blocks, [&](const BlockCtx& ctx) {
+    const size_t begin = ctx.block_idx * items_per_block;
+    const size_t end = std::min(n, begin + items_per_block);
+    std::uint64_t running = partials[ctx.block_idx];
+    for (size_t i = begin; i < end; ++i) {
+      const std::uint64_t v = data[i];
+      data[i] = running;
+      running += v;
+    }
+    ctx.read(stage, (end - begin + 1) * sizeof(std::uint64_t));
+    ctx.write(stage, (end - begin) * sizeof(std::uint64_t));
+  });
+
+  return total;
+}
+
+}  // namespace szp::gpusim

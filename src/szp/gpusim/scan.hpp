@@ -1,0 +1,55 @@
+// Device prefix-sum building blocks.
+//
+// ChainedScanState implements the single-pass chained-scan ("decoupled
+// lookback") protocol cuSZp uses for its in-kernel Global Synchronization:
+// each partition publishes its local aggregate, then walks backwards over
+// predecessor descriptors, summing aggregates until it meets a published
+// inclusive prefix. A two-pass scan is also provided for the ablation
+// study (DESIGN.md §5).
+#pragma once
+
+#include <cstdint>
+
+#include "szp/gpusim/buffer.hpp"
+#include "szp/gpusim/launch.hpp"
+
+namespace szp::gpusim {
+
+class ChainedScanState {
+ public:
+  ChainedScanState(Device& dev, size_t partitions)
+      : state_(dev, partitions, std::uint64_t{0}) {}
+
+  /// Called once by partition `p` with its local aggregate. Publishes the
+  /// aggregate, resolves the exclusive prefix by lookback, publishes the
+  /// inclusive prefix, and returns the exclusive prefix. Safe to call
+  /// concurrently from blocks executing in any (claimed-in-order) schedule.
+  std::uint64_t publish_and_lookback(const BlockCtx& ctx, Stage stage,
+                                     size_t p, std::uint64_t aggregate);
+
+  [[nodiscard]] size_t partitions() const { return state_.size(); }
+
+  /// Inclusive prefix of partition p; valid only after its block finished.
+  [[nodiscard]] std::uint64_t inclusive_prefix(size_t p);
+
+ private:
+  static constexpr std::uint64_t kFlagShift = 62;
+  static constexpr std::uint64_t kValueMask = (std::uint64_t{1} << 62) - 1;
+  static constexpr std::uint64_t kFlagInvalid = 0;
+  static constexpr std::uint64_t kFlagAggregate = 1;
+  static constexpr std::uint64_t kFlagPrefix = 2;
+
+  DeviceBuffer<std::uint64_t> state_;
+};
+
+/// Exclusive scan of `data` in place using the single-pass chained scan;
+/// one kernel launch. Returns the total sum.
+std::uint64_t chained_exclusive_scan(Device& dev, DeviceBuffer<std::uint64_t>& data,
+                                     Stage stage, size_t items_per_block = 1024);
+
+/// Exclusive scan of `data` in place using a classic three-kernel
+/// reduce-then-scan; kept for the scan ablation. Returns the total sum.
+std::uint64_t twopass_exclusive_scan(Device& dev, DeviceBuffer<std::uint64_t>& data,
+                                     Stage stage, size_t items_per_block = 1024);
+
+}  // namespace szp::gpusim

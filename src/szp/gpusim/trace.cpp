@@ -1,0 +1,87 @@
+#include "szp/gpusim/trace.hpp"
+
+namespace szp::gpusim {
+
+std::string_view stage_name(Stage s) {
+  switch (s) {
+    case Stage::kQuantPredict: return "QP";
+    case Stage::kFixedLenEncode: return "FE";
+    case Stage::kGlobalSync: return "GS";
+    case Stage::kBitShuffle: return "BB";
+    case Stage::kTransform: return "Transform";
+    case Stage::kHistogram: return "Histogram";
+    case Stage::kHuffman: return "Huffman";
+    case Stage::kBlockEncode: return "BlockEncode";
+    case Stage::kGather: return "Gather";
+    case Stage::kOther: return "Other";
+    case Stage::kCount_: break;
+  }
+  return "?";
+}
+
+TraceSnapshot TraceSnapshot::operator-(const TraceSnapshot& rhs) const {
+  TraceSnapshot d;
+  for (unsigned i = 0; i < kNumStages; ++i) {
+    d.stages[i].read_bytes = stages[i].read_bytes - rhs.stages[i].read_bytes;
+    d.stages[i].write_bytes =
+        stages[i].write_bytes - rhs.stages[i].write_bytes;
+    d.stages[i].ops = stages[i].ops - rhs.stages[i].ops;
+  }
+  d.kernel_launches = kernel_launches - rhs.kernel_launches;
+  d.h2d_bytes = h2d_bytes - rhs.h2d_bytes;
+  d.d2h_bytes = d2h_bytes - rhs.d2h_bytes;
+  d.d2d_bytes = d2d_bytes - rhs.d2d_bytes;
+  d.host_bytes = host_bytes - rhs.host_bytes;
+  d.host_stages = host_stages - rhs.host_stages;
+  return d;
+}
+
+std::uint64_t TraceSnapshot::total_device_read_bytes() const {
+  std::uint64_t t = 0;
+  for (const auto& s : stages) t += s.read_bytes;
+  return t;
+}
+
+std::uint64_t TraceSnapshot::total_device_write_bytes() const {
+  std::uint64_t t = 0;
+  for (const auto& s : stages) t += s.write_bytes;
+  return t;
+}
+
+std::uint64_t TraceSnapshot::total_ops() const {
+  std::uint64_t t = 0;
+  for (const auto& s : stages) t += s.ops;
+  return t;
+}
+
+TraceSnapshot Trace::snapshot() const {
+  TraceSnapshot s;
+  for (unsigned i = 0; i < kNumStages; ++i) {
+    s.stages[i].read_bytes = stages_[i].read_bytes.load();
+    s.stages[i].write_bytes = stages_[i].write_bytes.load();
+    s.stages[i].ops = stages_[i].ops.load();
+  }
+  s.kernel_launches = kernel_launches_.load();
+  s.h2d_bytes = h2d_bytes_.load();
+  s.d2h_bytes = d2h_bytes_.load();
+  s.d2d_bytes = d2d_bytes_.load();
+  s.host_bytes = host_bytes_.load();
+  s.host_stages = host_stages_.load();
+  return s;
+}
+
+void Trace::reset() {
+  for (auto& st : stages_) {
+    st.read_bytes.store(0);
+    st.write_bytes.store(0);
+    st.ops.store(0);
+  }
+  kernel_launches_.store(0);
+  h2d_bytes_.store(0);
+  d2h_bytes_.store(0);
+  d2d_bytes_.store(0);
+  host_bytes_.store(0);
+  host_stages_.store(0);
+}
+
+}  // namespace szp::gpusim

@@ -1,0 +1,109 @@
+// Instrumentation counters for the simulated device runtime.
+//
+// Kernels account their global-memory traffic and arithmetic per pipeline
+// stage; memcpys and host-side stages are accounted by the runtime. The
+// perfmodel module turns snapshots of these counters into modeled times.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+
+namespace szp::gpusim {
+
+/// Pipeline stages used for attribution. The first four are cuSZp's own
+/// stages (paper Fig. 21); the rest cover the baseline codecs.
+enum class Stage : unsigned {
+  kQuantPredict = 0,  // QP: pre-quantization + Lorenzo
+  kFixedLenEncode,    // FE: sign map + fixed-length selection
+  kGlobalSync,        // GS: prefix-sum synchronization
+  kBitShuffle,        // BB: bit-shuffle + payload store
+  kTransform,         // vzfp decorrelating transform
+  kHistogram,         // vsz histogram
+  kHuffman,           // vsz Huffman encode/decode
+  kBlockEncode,       // xsz constant/nonconstant block coding
+  kGather,            // scatter/gather of compressed payloads
+  kOther,
+  kCount_,
+};
+
+[[nodiscard]] std::string_view stage_name(Stage s);
+
+inline constexpr unsigned kNumStages = static_cast<unsigned>(Stage::kCount_);
+
+/// Plain-value copy of the counters; supports diffing.
+struct TraceSnapshot {
+  struct StageCounts {
+    std::uint64_t read_bytes = 0;
+    std::uint64_t write_bytes = 0;
+    std::uint64_t ops = 0;
+  };
+  std::array<StageCounts, kNumStages> stages{};
+  std::uint64_t kernel_launches = 0;
+  std::uint64_t h2d_bytes = 0;
+  std::uint64_t d2h_bytes = 0;
+  std::uint64_t d2d_bytes = 0;
+  std::uint64_t host_bytes = 0;  // bytes processed by host-CPU stages
+  std::uint64_t host_stages = 0;
+
+  [[nodiscard]] TraceSnapshot operator-(const TraceSnapshot& rhs) const;
+
+  [[nodiscard]] std::uint64_t total_device_read_bytes() const;
+  [[nodiscard]] std::uint64_t total_device_write_bytes() const;
+  [[nodiscard]] std::uint64_t total_ops() const;
+  [[nodiscard]] std::uint64_t total_memcpy_bytes() const {
+    return h2d_bytes + d2h_bytes + d2d_bytes;
+  }
+};
+
+/// Thread-safe counters; owned by a Device.
+class Trace {
+ public:
+  void add_read(Stage s, std::uint64_t bytes) {
+    stages_[idx(s)].read_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void add_write(Stage s, std::uint64_t bytes) {
+    stages_[idx(s)].write_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void add_ops(Stage s, std::uint64_t n) {
+    stages_[idx(s)].ops.fetch_add(n, std::memory_order_relaxed);
+  }
+  void add_kernel_launch() {
+    kernel_launches_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void add_h2d(std::uint64_t bytes) {
+    h2d_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void add_d2h(std::uint64_t bytes) {
+    d2h_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void add_d2d(std::uint64_t bytes) {
+    d2d_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void add_host_stage(std::uint64_t bytes) {
+    host_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    host_stages_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] TraceSnapshot snapshot() const;
+  void reset();
+
+ private:
+  static constexpr unsigned idx(Stage s) { return static_cast<unsigned>(s); }
+
+  struct AtomicStage {
+    std::atomic<std::uint64_t> read_bytes{0};
+    std::atomic<std::uint64_t> write_bytes{0};
+    std::atomic<std::uint64_t> ops{0};
+  };
+  std::array<AtomicStage, kNumStages> stages_{};
+  std::atomic<std::uint64_t> kernel_launches_{0};
+  std::atomic<std::uint64_t> h2d_bytes_{0};
+  std::atomic<std::uint64_t> d2h_bytes_{0};
+  std::atomic<std::uint64_t> d2d_bytes_{0};
+  std::atomic<std::uint64_t> host_bytes_{0};
+  std::atomic<std::uint64_t> host_stages_{0};
+};
+
+}  // namespace szp::gpusim

@@ -1,0 +1,99 @@
+// Warp-level primitive emulation.
+//
+// Kernels in this repository are written at warp granularity: a value held
+// "per lane" is a Lanes<T> (array of 32). The primitives mirror the CUDA
+// intrinsics cuSZp uses (__shfl_up_sync, __ballot_sync, warp scans) so the
+// kernel code keeps the same structure as the GPU original.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace szp::gpusim::warp {
+
+inline constexpr unsigned kWarpSize = 32;
+
+template <typename T>
+using Lanes = std::array<T, kWarpSize>;
+
+/// Broadcast the value held by lane `src` to all lanes (__shfl_sync).
+template <typename T>
+[[nodiscard]] constexpr T shfl(const Lanes<T>& v, unsigned src_lane) {
+  return v[src_lane % kWarpSize];
+}
+
+/// __shfl_up_sync: each lane receives the value `delta` lanes below it;
+/// lanes below `delta` keep their own value (CUDA semantics).
+template <typename T>
+[[nodiscard]] constexpr Lanes<T> shfl_up(const Lanes<T>& v, unsigned delta) {
+  Lanes<T> out{};
+  for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+    out[lane] = lane >= delta ? v[lane - delta] : v[lane];
+  }
+  return out;
+}
+
+/// __shfl_down_sync with the symmetric convention.
+template <typename T>
+[[nodiscard]] constexpr Lanes<T> shfl_down(const Lanes<T>& v, unsigned delta) {
+  Lanes<T> out{};
+  for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+    out[lane] = lane + delta < kWarpSize ? v[lane + delta] : v[lane];
+  }
+  return out;
+}
+
+/// __ballot_sync: bit `i` set iff lane i's predicate is true.
+[[nodiscard]] constexpr std::uint32_t ballot(const Lanes<bool>& pred) {
+  std::uint32_t mask = 0;
+  for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+    if (pred[lane]) mask |= (std::uint32_t{1} << lane);
+  }
+  return mask;
+}
+
+/// Kogge-Stone inclusive scan built from shfl_up, exactly as a CUDA warp
+/// scan would be written.
+template <typename T>
+[[nodiscard]] constexpr Lanes<T> inclusive_scan(Lanes<T> v) {
+  for (unsigned delta = 1; delta < kWarpSize; delta <<= 1) {
+    const Lanes<T> shifted = shfl_up(v, delta);
+    for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+      if (lane >= delta) v[lane] = static_cast<T>(v[lane] + shifted[lane]);
+    }
+  }
+  return v;
+}
+
+/// Exclusive scan (identity in lane 0).
+template <typename T>
+[[nodiscard]] constexpr Lanes<T> exclusive_scan(const Lanes<T>& v) {
+  const Lanes<T> inc = inclusive_scan(v);
+  Lanes<T> out{};
+  for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+    out[lane] = lane == 0 ? T{} : inc[lane - 1];
+  }
+  return out;
+}
+
+/// Butterfly max reduction (all lanes end with the max).
+template <typename T>
+[[nodiscard]] constexpr T reduce_max(const Lanes<T>& v) {
+  T m = v[0];
+  for (unsigned lane = 1; lane < kWarpSize; ++lane) {
+    m = v[lane] > m ? v[lane] : m;
+  }
+  return m;
+}
+
+/// Sum reduction.
+template <typename T>
+[[nodiscard]] constexpr T reduce_add(const Lanes<T>& v) {
+  T s{};
+  for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+    s = static_cast<T>(s + v[lane]);
+  }
+  return s;
+}
+
+}  // namespace szp::gpusim::warp

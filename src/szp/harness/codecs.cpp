@@ -1,0 +1,161 @@
+#include "szp/harness/codecs.hpp"
+
+#include <chrono>
+
+#include "szp/baselines/vsz/vsz.hpp"
+#include "szp/baselines/vzfp/vzfp.hpp"
+#include "szp/baselines/xsz/xsz.hpp"
+#include "szp/core/compressor.hpp"
+
+namespace szp::harness {
+
+namespace gs = gpusim;
+
+std::string codec_name(CodecId id) {
+  switch (id) {
+    case CodecId::kSzp: return "cuSZp";
+    case CodecId::kSz: return "cuSZ";
+    case CodecId::kSzx: return "cuSZx";
+    case CodecId::kZfp: return "cuZFP";
+  }
+  return "?";
+}
+
+const std::vector<CodecId>& all_codecs() {
+  static const std::vector<CodecId> v = {CodecId::kSzp, CodecId::kSz,
+                                         CodecId::kSzx, CodecId::kZfp};
+  return v;
+}
+
+const std::vector<CodecId>& error_bounded_codecs() {
+  static const std::vector<CodecId> v = {CodecId::kSzp, CodecId::kSz,
+                                         CodecId::kSzx};
+  return v;
+}
+
+const std::vector<double>& rel_bounds() {
+  static const std::vector<double> v = {1e-1, 1e-2, 1e-3, 1e-4};
+  return v;
+}
+
+const std::vector<double>& fixed_rates() {
+  static const std::vector<double> v = {4, 8, 16, 24};
+  return v;
+}
+
+data::Dims fuse_dims(const data::Dims& dims, size_t max_dims) {
+  if (dims.ndim() <= max_dims) return dims;
+  data::Dims out;
+  size_t fused = 1;
+  const size_t to_fuse = dims.ndim() - max_dims + 1;
+  for (size_t a = 0; a < to_fuse; ++a) fused *= dims[a];
+  out.extents.push_back(fused);
+  for (size_t a = to_fuse; a < dims.ndim(); ++a) {
+    out.extents.push_back(dims[a]);
+  }
+  return out;
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+RunResult run_codec(const CodecSetting& setting, const data::Field& field) {
+  RunResult r;
+  r.original_bytes = field.size_bytes();
+  const size_t n = field.count();
+  const double range = field.value_range();
+
+  gs::Device dev;
+  auto d_in = gs::to_device<float>(dev, field.values);
+  gs::DeviceBuffer<float> d_recon(dev, std::max<size_t>(1, n));
+
+  switch (setting.id) {
+    case CodecId::kSzp: {
+      core::Params p;
+      p.mode = core::ErrorMode::kRel;
+      p.error_bound = setting.rel;
+      Compressor c(p);
+      gs::DeviceBuffer<byte_t> d_cmp(dev,
+                                     core::max_compressed_bytes(n, p.block_len));
+      auto t0 = Clock::now();
+      const auto cres = c.compress_on_device(dev, d_in, n, range, d_cmp);
+      r.wall_comp_s = seconds_since(t0);
+      r.compressed_bytes = cres.bytes;
+      r.comp_trace = cres.trace;
+      r.eb_abs = core::resolve_eb(p, range);
+      t0 = Clock::now();
+      const auto dres = c.decompress_on_device(dev, d_cmp, d_recon);
+      r.wall_decomp_s = seconds_since(t0);
+      r.decomp_trace = dres.trace;
+      break;
+    }
+    case CodecId::kSz: {
+      vsz::Params p;
+      p.mode = core::ErrorMode::kRel;
+      p.error_bound = setting.rel;
+      const data::Dims fd = fuse_dims(field.dims, 3);
+      vsz::Grid grid{fd.extents};
+      const double eb = std::max(setting.rel * range, 1e-30);
+      gs::DeviceBuffer<byte_t> d_cmp(dev, vsz::max_compressed_bytes(n));
+      auto t0 = Clock::now();
+      const auto cres = vsz::compress_device(dev, d_in, grid, p, eb, d_cmp);
+      r.wall_comp_s = seconds_since(t0);
+      r.compressed_bytes = cres.bytes;
+      r.comp_trace = cres.trace;
+      r.eb_abs = eb;
+      t0 = Clock::now();
+      const auto dres = vsz::decompress_device(dev, d_cmp, d_recon);
+      r.wall_decomp_s = seconds_since(t0);
+      r.decomp_trace = dres.trace;
+      break;
+    }
+    case CodecId::kSzx: {
+      xsz::Params p;
+      p.mode = core::ErrorMode::kRel;
+      p.error_bound = setting.rel;
+      const double eb = std::max(setting.rel * range, 1e-30);
+      gs::DeviceBuffer<byte_t> d_cmp(dev,
+                                     xsz::max_compressed_bytes(n, p.block_len));
+      auto t0 = Clock::now();
+      const auto cres = xsz::compress_device(dev, d_in, n, p, eb, d_cmp);
+      r.wall_comp_s = seconds_since(t0);
+      r.compressed_bytes = cres.bytes;
+      r.comp_trace = cres.trace;
+      r.eb_abs = eb;
+      t0 = Clock::now();
+      const auto dres = xsz::decompress_device(dev, d_cmp, d_recon);
+      r.wall_decomp_s = seconds_since(t0);
+      r.decomp_trace = dres.trace;
+      break;
+    }
+    case CodecId::kZfp: {
+      vzfp::Params p;
+      p.rate = setting.rate;
+      const data::Dims fd = fuse_dims(field.dims, 3);
+      gs::DeviceBuffer<byte_t> d_cmp(dev, vzfp::compressed_bytes(fd, p));
+      auto t0 = Clock::now();
+      const auto cres = vzfp::compress_device(dev, d_in, fd, p, d_cmp);
+      r.wall_comp_s = seconds_since(t0);
+      r.compressed_bytes = cres.bytes;
+      r.comp_trace = cres.trace;
+      t0 = Clock::now();
+      const auto dres = vzfp::decompress_device(dev, d_cmp, d_recon);
+      r.wall_decomp_s = seconds_since(t0);
+      r.decomp_trace = dres.trace;
+      break;
+    }
+  }
+
+  r.reconstruction = gs::to_host(dev, d_recon);
+  r.reconstruction.resize(n);
+  return r;
+}
+
+}  // namespace szp::harness

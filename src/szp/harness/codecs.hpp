@@ -1,0 +1,64 @@
+// Uniform codec harness: runs any of the four compressors on a field via
+// the device (simulated-GPU) path and returns sizes, traces and the
+// reconstruction. Every figure/table bench is built on this.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "szp/data/field.hpp"
+#include "szp/gpusim/trace.hpp"
+
+namespace szp::harness {
+
+enum class CodecId { kSzp, kSz, kSzx, kZfp };
+
+[[nodiscard]] std::string codec_name(CodecId id);
+[[nodiscard]] const std::vector<CodecId>& all_codecs();
+[[nodiscard]] const std::vector<CodecId>& error_bounded_codecs();
+
+/// One codec configuration. Error-bounded codecs use `rel` (value-range
+/// relative bound, the paper's REL mode); vzfp uses `rate` bits/value.
+struct CodecSetting {
+  CodecId id = CodecId::kSzp;
+  double rel = 1e-2;
+  double rate = 8.0;
+};
+
+/// The paper's standard sweeps (§5.1.4).
+[[nodiscard]] const std::vector<double>& rel_bounds();  // 1e-1 .. 1e-4
+[[nodiscard]] const std::vector<double>& fixed_rates(); // 4, 8, 16, 24
+
+struct RunResult {
+  size_t original_bytes = 0;
+  size_t compressed_bytes = 0;
+  double eb_abs = 0;  // resolved bound (0 for vzfp)
+  gpusim::TraceSnapshot comp_trace;
+  gpusim::TraceSnapshot decomp_trace;
+  std::vector<float> reconstruction;
+  double wall_comp_s = 0;    // real host seconds of the simulated run
+  double wall_decomp_s = 0;
+
+  [[nodiscard]] double compression_ratio() const {
+    return compressed_bytes > 0 ? static_cast<double>(original_bytes) /
+                                      static_cast<double>(compressed_bytes)
+                                : 0;
+  }
+  [[nodiscard]] double bit_rate() const {
+    return original_bytes > 0 ? 32.0 * static_cast<double>(compressed_bytes) /
+                                    static_cast<double>(original_bytes)
+                              : 0;
+  }
+};
+
+/// Compress + decompress `field` on a fresh device. The input starts in
+/// device memory and the compressed/reconstructed data end in device
+/// memory (the paper's end-to-end definition); the traces cover exactly
+/// those two operations.
+[[nodiscard]] RunResult run_codec(const CodecSetting& setting,
+                                  const data::Field& field);
+
+/// Fuse leading axes until at most `max_dims` remain (vsz/vzfp need <= 3).
+[[nodiscard]] data::Dims fuse_dims(const data::Dims& dims, size_t max_dims);
+
+}  // namespace szp::harness

@@ -1,0 +1,78 @@
+#include "szp/harness/runner.hpp"
+
+#include <algorithm>
+
+namespace szp::harness {
+
+Throughput throughput_of(const RunResult& r,
+                         const perfmodel::CostModel& model) {
+  Throughput t;
+  t.e2e_comp_gbps = model.end_to_end_gbps(r.comp_trace, r.original_bytes);
+  t.e2e_decomp_gbps = model.end_to_end_gbps(r.decomp_trace, r.original_bytes);
+  t.kernel_comp_gbps = model.kernel_gbps(r.comp_trace, r.original_bytes);
+  t.kernel_decomp_gbps = model.kernel_gbps(r.decomp_trace, r.original_bytes);
+  return t;
+}
+
+SuiteThroughput sweep_codec(const std::vector<data::Field>& fields,
+                            CodecId codec,
+                            const perfmodel::CostModel& model) {
+  SuiteThroughput out;
+  out.codec = codec;
+  const bool fixed_rate = codec == CodecId::kZfp;
+  const auto& sweep = fixed_rate ? fixed_rates() : rel_bounds();
+
+  double n = 0, cr_sum = 0;
+  for (const auto& field : fields) {
+    for (const double v : sweep) {
+      CodecSetting s;
+      s.id = codec;
+      (fixed_rate ? s.rate : s.rel) = v;
+      const RunResult r = run_codec(s, field);
+      const Throughput t = throughput_of(r, model);
+      out.avg.e2e_comp_gbps += t.e2e_comp_gbps;
+      out.avg.e2e_decomp_gbps += t.e2e_decomp_gbps;
+      out.avg.kernel_comp_gbps += t.kernel_comp_gbps;
+      out.avg.kernel_decomp_gbps += t.kernel_decomp_gbps;
+      cr_sum += r.compression_ratio();
+      n += 1;
+    }
+  }
+  if (n > 0) {
+    out.avg.e2e_comp_gbps /= n;
+    out.avg.e2e_decomp_gbps /= n;
+    out.avg.kernel_comp_gbps /= n;
+    out.avg.kernel_decomp_gbps /= n;
+    out.avg_compression_ratio = cr_sum / n;
+  }
+  return out;
+}
+
+CrStats cr_over_fields(const std::vector<data::Field>& fields, CodecId codec,
+                       double rel) {
+  CrStats s;
+  bool first = true;
+  double sum = 0;
+  for (const auto& field : fields) {
+    CodecSetting setting;
+    setting.id = codec;
+    setting.rel = rel;
+    const RunResult r = run_codec(setting, field);
+    const double cr = r.compression_ratio();
+    s.min = first ? cr : std::min(s.min, cr);
+    s.max = first ? cr : std::max(s.max, cr);
+    sum += cr;
+    first = false;
+  }
+  if (!fields.empty()) s.avg = sum / static_cast<double>(fields.size());
+  return s;
+}
+
+const std::vector<data::Suite>& all_suite_ids() {
+  static const std::vector<data::Suite> v = {
+      data::Suite::kHurricane, data::Suite::kNyx,  data::Suite::kQmcpack,
+      data::Suite::kRtm,       data::Suite::kHacc, data::Suite::kCesmAtm};
+  return v;
+}
+
+}  // namespace szp::harness

@@ -1,0 +1,47 @@
+// Shared sweep driver for the figure/table benches: iterates suites,
+// fields and error bounds, aggregating modeled throughput and quality.
+#pragma once
+
+#include <vector>
+
+#include "szp/data/registry.hpp"
+#include "szp/harness/codecs.hpp"
+#include "szp/perfmodel/cost.hpp"
+
+namespace szp::harness {
+
+/// Modeled throughput of one run on given hardware.
+struct Throughput {
+  double e2e_comp_gbps = 0;
+  double e2e_decomp_gbps = 0;
+  double kernel_comp_gbps = 0;
+  double kernel_decomp_gbps = 0;
+};
+
+[[nodiscard]] Throughput throughput_of(const RunResult& r,
+                                       const perfmodel::CostModel& model);
+
+/// Average throughput/CR of a codec over pre-generated fields across the
+/// standard error bounds (fixed rates for vzfp) — the aggregation behind
+/// Fig. 13/15 and Table 3.
+struct SuiteThroughput {
+  CodecId codec = CodecId::kSzp;
+  Throughput avg;
+  double avg_compression_ratio = 0;
+};
+
+[[nodiscard]] SuiteThroughput sweep_codec(
+    const std::vector<data::Field>& fields, CodecId codec,
+    const perfmodel::CostModel& model);
+
+/// Per-(codec, bound) compression-ratio stats over a suite (Table 3 rows).
+struct CrStats {
+  double min = 0, max = 0, avg = 0;
+};
+[[nodiscard]] CrStats cr_over_fields(const std::vector<data::Field>& fields,
+                                     CodecId codec, double rel);
+
+/// The six evaluation suites in paper order.
+[[nodiscard]] const std::vector<data::Suite>& all_suite_ids();
+
+}  // namespace szp::harness

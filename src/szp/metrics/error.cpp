@@ -1,0 +1,73 @@
+#include "szp/metrics/error.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace szp::metrics {
+
+ErrorStats compare(std::span<const float> a, std::span<const float> b) {
+  if (a.size() != b.size()) throw std::invalid_argument("compare: size mismatch");
+  ErrorStats s;
+  if (a.empty()) return s;
+
+  double mn = a[0], mx = a[0];
+  double sum_a = 0, sum_b = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    mn = std::min(mn, static_cast<double>(a[i]));
+    mx = std::max(mx, static_cast<double>(a[i]));
+    sum_a += a[i];
+    sum_b += b[i];
+  }
+  s.value_range = mx - mn;
+  const double n = static_cast<double>(a.size());
+  const double mean_a = sum_a / n, mean_b = sum_b / n;
+
+  double sq_err = 0, max_err = 0;
+  double cov = 0, var_a = 0, var_b = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    sq_err += d * d;
+    max_err = std::max(max_err, std::abs(d));
+    const double da = a[i] - mean_a, db = b[i] - mean_b;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  s.max_abs_err = max_err;
+  s.max_rel_err = s.value_range > 0 ? max_err / s.value_range : 0;
+  const double mse = sq_err / n;
+  s.nrmse = s.value_range > 0 ? std::sqrt(mse) / s.value_range : 0;
+  s.psnr = mse > 0 && s.value_range > 0
+               ? 20.0 * std::log10(s.value_range) - 10.0 * std::log10(mse)
+               : std::numeric_limits<double>::infinity();
+  s.pearson = (var_a > 0 && var_b > 0) ? cov / std::sqrt(var_a * var_b) : 1.0;
+  return s;
+}
+
+bool error_bounded(std::span<const float> a, std::span<const float> b,
+                   double bound) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = std::abs(static_cast<double>(a[i]) -
+                              static_cast<double>(b[i]));
+    if (d > bound) return false;
+  }
+  return true;
+}
+
+double compression_ratio(std::uint64_t original_bytes,
+                         std::uint64_t compressed_bytes) {
+  return compressed_bytes > 0 ? static_cast<double>(original_bytes) /
+                                    static_cast<double>(compressed_bytes)
+                              : 0.0;
+}
+
+double bit_rate(std::uint64_t num_elements, std::uint64_t compressed_bytes) {
+  return num_elements > 0 ? 8.0 * static_cast<double>(compressed_bytes) /
+                                static_cast<double>(num_elements)
+                          : 0.0;
+}
+
+}  // namespace szp::metrics

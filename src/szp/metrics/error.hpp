@@ -1,0 +1,35 @@
+// Reconstruction-quality metrics: the statistical measures the paper uses
+// (PSNR, NRMSE, Pearson, max errors) plus compression-ratio helpers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace szp::metrics {
+
+struct ErrorStats {
+  double max_abs_err = 0;   // max |a_i - b_i|
+  double max_rel_err = 0;   // max_abs_err / value range of `a`
+  double psnr = 0;          // dB, relative to the value range of `a`
+  double nrmse = 0;         // RMSE / value range
+  double pearson = 0;       // correlation coefficient
+  double value_range = 0;   // max(a) - min(a)
+};
+
+/// Compare reconstruction `b` against original `a` (sizes must match).
+[[nodiscard]] ErrorStats compare(std::span<const float> a,
+                                 std::span<const float> b);
+
+/// True iff max |a_i - b_i| <= bound (exact check, no tolerance).
+[[nodiscard]] bool error_bounded(std::span<const float> a,
+                                 std::span<const float> b, double bound);
+
+/// Compression ratio original/compressed (in bytes).
+[[nodiscard]] double compression_ratio(std::uint64_t original_bytes,
+                                       std::uint64_t compressed_bytes);
+
+/// Bit rate: average compressed bits per data point.
+[[nodiscard]] double bit_rate(std::uint64_t num_elements,
+                              std::uint64_t compressed_bytes);
+
+}  // namespace szp::metrics

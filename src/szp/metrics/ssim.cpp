@@ -1,0 +1,134 @@
+#include "szp/metrics/ssim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace szp::metrics {
+
+namespace {
+
+constexpr double kK1 = 0.01;
+constexpr double kK2 = 0.03;
+
+struct WindowMoments {
+  double mean_a = 0, mean_b = 0, var_a = 0, var_b = 0, cov = 0;
+};
+
+double ssim_from_moments(const WindowMoments& m, double c1, double c2) {
+  const double num = (2 * m.mean_a * m.mean_b + c1) * (2 * m.cov + c2);
+  const double den = (m.mean_a * m.mean_a + m.mean_b * m.mean_b + c1) *
+                     (m.var_a + m.var_b + c2);
+  return den != 0 ? num / den : 1.0;
+}
+
+double derive_range(std::span<const float> a) {
+  if (a.empty()) return 0;
+  const auto [mn, mx] = std::minmax_element(a.begin(), a.end());
+  return static_cast<double>(*mx) - static_cast<double>(*mn);
+}
+
+}  // namespace
+
+double ssim_2d(std::span<const float> a, std::span<const float> b,
+               size_t height, size_t width, double range, size_t window) {
+  if (a.size() != b.size() || a.size() != height * width) {
+    throw std::invalid_argument("ssim_2d: size mismatch");
+  }
+  if (range <= 0) range = derive_range(a);
+  if (range <= 0) range = 1.0;
+  const double c1 = (kK1 * range) * (kK1 * range);
+  const double c2 = (kK2 * range) * (kK2 * range);
+
+  const size_t wy = std::min(window, height);
+  const size_t wx = std::min(window, width);
+  const double inv_n = 1.0 / static_cast<double>(wy * wx);
+
+  double total = 0;
+  size_t count = 0;
+  for (size_t y0 = 0; y0 + wy <= height; y0 += wy) {
+    for (size_t x0 = 0; x0 + wx <= width; x0 += wx) {
+      WindowMoments m;
+      for (size_t y = y0; y < y0 + wy; ++y) {
+        for (size_t x = x0; x < x0 + wx; ++x) {
+          m.mean_a += a[y * width + x];
+          m.mean_b += b[y * width + x];
+        }
+      }
+      m.mean_a *= inv_n;
+      m.mean_b *= inv_n;
+      for (size_t y = y0; y < y0 + wy; ++y) {
+        for (size_t x = x0; x < x0 + wx; ++x) {
+          const double da = a[y * width + x] - m.mean_a;
+          const double db = b[y * width + x] - m.mean_b;
+          m.var_a += da * da;
+          m.var_b += db * db;
+          m.cov += da * db;
+        }
+      }
+      m.var_a *= inv_n;
+      m.var_b *= inv_n;
+      m.cov *= inv_n;
+      total += ssim_from_moments(m, c1, c2);
+      ++count;
+    }
+  }
+  return count > 0 ? total / static_cast<double>(count) : 1.0;
+}
+
+double ssim_1d(std::span<const float> a, std::span<const float> b,
+               double range, size_t window) {
+  if (a.size() != b.size()) throw std::invalid_argument("ssim_1d: size mismatch");
+  if (a.empty()) return 1.0;
+  if (range <= 0) range = derive_range(a);
+  if (range <= 0) range = 1.0;
+  const double c1 = (kK1 * range) * (kK1 * range);
+  const double c2 = (kK2 * range) * (kK2 * range);
+  const size_t w = std::min(window, a.size());
+  const double inv_n = 1.0 / static_cast<double>(w);
+
+  double total = 0;
+  size_t count = 0;
+  for (size_t i0 = 0; i0 + w <= a.size(); i0 += w) {
+    WindowMoments m;
+    for (size_t i = i0; i < i0 + w; ++i) {
+      m.mean_a += a[i];
+      m.mean_b += b[i];
+    }
+    m.mean_a *= inv_n;
+    m.mean_b *= inv_n;
+    for (size_t i = i0; i < i0 + w; ++i) {
+      const double da = a[i] - m.mean_a;
+      const double db = b[i] - m.mean_b;
+      m.var_a += da * da;
+      m.var_b += db * db;
+      m.cov += da * db;
+    }
+    m.var_a *= inv_n;
+    m.var_b *= inv_n;
+    m.cov *= inv_n;
+    total += ssim_from_moments(m, c1, c2);
+    ++count;
+  }
+  return count > 0 ? total / static_cast<double>(count) : 1.0;
+}
+
+double ssim(const data::Field& a, const data::Field& b) {
+  if (a.dims != b.dims) throw std::invalid_argument("ssim: shape mismatch");
+  const size_t ndim = a.dims.ndim();
+  if (ndim <= 1) return ssim_1d(a.values, b.values);
+  const size_t width = a.dims[ndim - 1];
+  const size_t height = a.dims[ndim - 2];
+  const size_t plane = width * height;
+  const size_t planes = a.count() / plane;
+  const double range = derive_range(a.values);
+  double total = 0;
+  for (size_t p = 0; p < planes; ++p) {
+    total += ssim_2d(std::span(a.values).subspan(p * plane, plane),
+                     std::span(b.values).subspan(p * plane, plane), height,
+                     width, range);
+  }
+  return planes > 0 ? total / static_cast<double>(planes) : 1.0;
+}
+
+}  // namespace szp::metrics

@@ -1,0 +1,29 @@
+// Structural Similarity (SSIM) for scientific fields.
+//
+// Follows Wang et al. 2004: windowed means/variances/covariance with
+// stabilizers C1=(K1*R)^2, C2=(K2*R)^2 where R is the value range of the
+// reference. 2D fields use 8x8 windows; higher-dimensional fields average
+// SSIM over their 2D slices (the convention the QCAT tool the paper uses
+// applies); 1D data uses length-64 windows.
+#pragma once
+
+#include <span>
+
+#include "szp/data/field.hpp"
+
+namespace szp::metrics {
+
+/// SSIM of a 2D plane (row-major h x w). `range` is the reference range
+/// used for the stabilizers; pass <= 0 to derive it from `a`.
+[[nodiscard]] double ssim_2d(std::span<const float> a, std::span<const float> b,
+                             size_t height, size_t width, double range = -1,
+                             size_t window = 8);
+
+/// SSIM of a 1D signal using sliding windows of `window` samples.
+[[nodiscard]] double ssim_1d(std::span<const float> a, std::span<const float> b,
+                             double range = -1, size_t window = 64);
+
+/// Dimension-dispatching SSIM of two equally-shaped fields.
+[[nodiscard]] double ssim(const data::Field& a, const data::Field& b);
+
+}  // namespace szp::metrics

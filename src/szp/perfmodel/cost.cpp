@@ -1,0 +1,49 @@
+#include "szp/perfmodel/cost.hpp"
+
+#include <algorithm>
+
+namespace szp::perfmodel {
+
+double RunCost::gpu_fraction() const {
+  const double t = end_to_end_s();
+  return t > 0 ? device_s / t : 0;
+}
+double RunCost::memcpy_fraction() const {
+  const double t = end_to_end_s();
+  return t > 0 ? memcpy_s / t : 0;
+}
+double RunCost::host_fraction() const {
+  const double t = end_to_end_s();
+  return t > 0 ? host_s / t : 0;
+}
+
+RunCost CostModel::run(const gpusim::TraceSnapshot& diff) const {
+  RunCost c;
+  for (unsigned i = 0; i < gpusim::kNumStages; ++i) {
+    const auto& st = diff.stages[i];
+    const double traffic_s =
+        static_cast<double>(st.read_bytes + st.write_bytes) /
+        spec_.hbm_bandwidth;
+    const double compute_s = static_cast<double>(st.ops) * spec_.op_cost[i];
+    // A stage is either bandwidth- or compute-limited; overlap the two.
+    c.stage_s[i] = std::max(traffic_s, compute_s);
+    c.device_s += c.stage_s[i];
+  }
+  c.device_s += static_cast<double>(diff.kernel_launches) * spec_.kernel_launch_s;
+  c.memcpy_s = static_cast<double>(diff.total_memcpy_bytes()) / spec_.pcie_bandwidth;
+  c.host_s = static_cast<double>(diff.host_bytes) / spec_.host_bandwidth +
+             static_cast<double>(diff.host_stages) * spec_.host_stage_s;
+  return c;
+}
+
+double CostModel::end_to_end_gbps(const gpusim::TraceSnapshot& diff,
+                                  std::uint64_t bytes) const {
+  return gbps(bytes, run(diff).end_to_end_s());
+}
+
+double CostModel::kernel_gbps(const gpusim::TraceSnapshot& diff,
+                              std::uint64_t bytes) const {
+  return gbps(bytes, run(diff).device_s);
+}
+
+}  // namespace szp::perfmodel

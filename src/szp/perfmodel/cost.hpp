@@ -1,0 +1,51 @@
+// Turns trace snapshots into modeled times and throughput reports.
+#pragma once
+
+#include <array>
+
+#include "szp/perfmodel/hardware.hpp"
+
+namespace szp::perfmodel {
+
+/// Modeled time of one codec run (a trace diff).
+struct RunCost {
+  double device_s = 0;  // kernel execution (includes launch overhead)
+  double memcpy_s = 0;  // host<->device transfers
+  double host_s = 0;    // CPU stages
+  std::array<double, gpusim::kNumStages> stage_s{};  // device time per stage
+
+  [[nodiscard]] double end_to_end_s() const {
+    return device_s + memcpy_s + host_s;
+  }
+  /// Fractions of end-to-end time, for Fig. 14-style breakdowns.
+  [[nodiscard]] double gpu_fraction() const;
+  [[nodiscard]] double memcpy_fraction() const;
+  [[nodiscard]] double host_fraction() const;
+};
+
+class CostModel {
+ public:
+  explicit CostModel(HardwareSpec spec) : spec_(std::move(spec)) {}
+
+  [[nodiscard]] const HardwareSpec& spec() const { return spec_; }
+
+  /// Model the cost of everything recorded in `diff`.
+  [[nodiscard]] RunCost run(const gpusim::TraceSnapshot& diff) const;
+
+  /// GB/s of processing `bytes` of original data in modeled end-to-end /
+  /// device-kernel time.
+  [[nodiscard]] double end_to_end_gbps(const gpusim::TraceSnapshot& diff,
+                                       std::uint64_t bytes) const;
+  [[nodiscard]] double kernel_gbps(const gpusim::TraceSnapshot& diff,
+                                   std::uint64_t bytes) const;
+
+ private:
+  HardwareSpec spec_;
+};
+
+/// GB/s helper: bytes / seconds, in gigabytes.
+[[nodiscard]] inline double gbps(std::uint64_t bytes, double seconds) {
+  return seconds > 0 ? static_cast<double>(bytes) / seconds / 1e9 : 0.0;
+}
+
+}  // namespace szp::perfmodel

@@ -1,0 +1,40 @@
+// Analytic hardware cost model (DESIGN.md §2).
+//
+// The simulated runtime records *what* each codec did (bytes moved per
+// stage, abstract work items, kernel launches, host stages); this module
+// says how long that would take on a given GPU. Coefficients are
+// calibrated once, against the absolute numbers the paper reports for the
+// A100 (Fig. 10/13/15/21), and are never tuned per experiment — every
+// bench consumes the same model, so relative shapes are emergent.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "szp/gpusim/trace.hpp"
+
+namespace szp::perfmodel {
+
+struct HardwareSpec {
+  std::string name;
+  double hbm_bandwidth = 0;      // effective device-memory B/s
+  double pcie_bandwidth = 0;     // host<->device B/s
+  double kernel_launch_s = 0;    // seconds per kernel launch
+  double host_bandwidth = 0;     // B/s for host-side (CPU) stages
+  double host_stage_s = 0;       // fixed seconds per host stage (sync etc.)
+  /// Seconds per abstract work item, per pipeline stage. Work items are
+  /// defined by the kernels (e.g. QP reports one item per element).
+  std::array<double, gpusim::kNumStages> op_cost{};
+};
+
+/// NVIDIA A100-SXM4-40GB (the paper's platform).
+[[nodiscard]] HardwareSpec a100();
+/// NVIDIA V100 (paper §6, "Compatibility with Other Lower-End GPUs").
+[[nodiscard]] HardwareSpec v100();
+/// NVIDIA RTX 3080 10 GB (paper §6).
+[[nodiscard]] HardwareSpec rtx3080();
+
+/// All presets, for sweeps.
+[[nodiscard]] std::array<HardwareSpec, 3> all_gpus();
+
+}  // namespace szp::perfmodel

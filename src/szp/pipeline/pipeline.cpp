@@ -1,0 +1,104 @@
+#include "szp/pipeline/pipeline.hpp"
+
+#include "szp/core/device.hpp"
+#include "szp/gpusim/buffer.hpp"
+
+namespace szp::pipeline {
+
+InlinePipeline::InlinePipeline(Config config) : config_(config) {
+  config_.params.validate();
+  if (config_.workers == 0) config_.workers = 1;
+  if (config_.max_queue == 0) config_.max_queue = 1;
+  workers_.reserve(config_.workers);
+  for (unsigned w = 0; w < config_.workers; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+InlinePipeline::~InlinePipeline() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    closing_ = true;
+  }
+  job_available_.notify_all();
+  for (auto& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void InlinePipeline::submit(data::Field snapshot) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (finished_) throw format_error("pipeline: submit after finish");
+  space_available_.wait(
+      lock, [&] { return queue_.size() < config_.max_queue || closing_; });
+  if (closing_) throw format_error("pipeline: closed");
+  Job job;
+  job.seq = next_seq_++;
+  job.field = std::move(snapshot);
+  results_.resize(next_seq_);
+  queue_.push_back(std::move(job));
+  lock.unlock();
+  job_available_.notify_one();
+}
+
+std::vector<SnapshotResult> InlinePipeline::finish() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    finished_ = true;
+    closing_ = true;
+  }
+  job_available_.notify_all();
+  for (auto& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (first_error_) std::rethrow_exception(first_error_);
+  return std::move(results_);
+}
+
+void InlinePipeline::worker_loop() {
+  // One simulated device per worker, as a multi-GPU node would have.
+  gpusim::Device dev;
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      job_available_.wait(lock,
+                          [&] { return !queue_.empty() || closing_; });
+      if (queue_.empty()) return;  // closing and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    space_available_.notify_one();
+
+    try {
+      const size_t n = job.field.count();
+      auto d_in = gpusim::to_device<float>(dev, job.field.values);
+      gpusim::DeviceBuffer<byte_t> d_cmp(
+          dev, core::max_compressed_bytes(n, config_.params.block_len));
+      const double eb =
+          core::resolve_eb(config_.params, job.field.value_range());
+      const auto res =
+          core::compress_device(dev, d_in, n, config_.params, eb, d_cmp);
+
+      SnapshotResult result;
+      result.name = job.field.name;
+      result.raw_bytes = job.field.size_bytes();
+      result.comp_trace = res.trace;
+      result.stream = gpusim::to_host(dev, d_cmp);
+      result.stream.resize(res.bytes);
+
+      const std::lock_guard<std::mutex> lock(mutex_);
+      results_[job.seq] = std::move(result);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+      closing_ = true;
+      job_available_.notify_all();
+      space_available_.notify_all();
+      return;
+    }
+  }
+}
+
+}  // namespace szp::pipeline

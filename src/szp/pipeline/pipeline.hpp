@@ -1,0 +1,81 @@
+// Inline-compression pipeline (extension; the paper's future-work item of
+// integrating cuSZp into running simulations).
+//
+// A simulation thread submits snapshots; a pool of worker threads — each
+// owning its own simulated device — compresses them concurrently, so
+// output compression overlaps the next timestep's compute. Results come
+// back in submission order regardless of completion order.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "szp/core/format.hpp"
+#include "szp/data/field.hpp"
+#include "szp/gpusim/trace.hpp"
+
+namespace szp::pipeline {
+
+struct Config {
+  unsigned workers = 2;        // devices compressing concurrently
+  size_t max_queue = 4;        // submit() blocks beyond this backlog
+  core::Params params;         // codec configuration for every snapshot
+};
+
+struct SnapshotResult {
+  std::string name;
+  size_t raw_bytes = 0;
+  std::vector<byte_t> stream;           // the compressed snapshot
+  gpusim::TraceSnapshot comp_trace;     // for modeled-throughput reporting
+
+  [[nodiscard]] double compression_ratio() const {
+    return stream.empty() ? 0
+                          : static_cast<double>(raw_bytes) /
+                                static_cast<double>(stream.size());
+  }
+};
+
+class InlinePipeline {
+ public:
+  explicit InlinePipeline(Config config);
+  ~InlinePipeline();
+
+  InlinePipeline(const InlinePipeline&) = delete;
+  InlinePipeline& operator=(const InlinePipeline&) = delete;
+
+  /// Enqueue a snapshot for compression; blocks while the backlog is at
+  /// max_queue (back-pressure on the simulation).
+  void submit(data::Field snapshot);
+
+  /// Drain the queue, stop the workers and return every result in
+  /// submission order. The pipeline cannot be reused afterwards.
+  [[nodiscard]] std::vector<SnapshotResult> finish();
+
+  [[nodiscard]] size_t submitted() const { return next_seq_; }
+
+ private:
+  struct Job {
+    size_t seq = 0;
+    data::Field field;
+  };
+
+  void worker_loop();
+
+  Config config_;
+  std::mutex mutex_;
+  std::condition_variable job_available_;
+  std::condition_variable space_available_;
+  std::deque<Job> queue_;
+  std::vector<SnapshotResult> results_;
+  std::vector<std::thread> workers_;
+  std::exception_ptr first_error_;
+  size_t next_seq_ = 0;
+  bool closing_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace szp::pipeline

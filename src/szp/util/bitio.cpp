@@ -1,0 +1,65 @@
+#include "szp/util/bitio.hpp"
+
+#include <cassert>
+
+namespace szp {
+
+void BitWriter::put(std::uint64_t value, unsigned nbits) {
+  assert(nbits <= 64);
+  if (nbits == 0) return;
+  if (nbits < 64) value &= (std::uint64_t{1} << nbits) - 1;
+  bit_count_ += nbits;
+  while (nbits > 0) {
+    const unsigned take = std::min(nbits, 64u - acc_bits_);
+    acc_ |= (take == 64 ? value : (value & ((std::uint64_t{1} << take) - 1)))
+            << acc_bits_;
+    acc_bits_ += take;
+    value = take == 64 ? 0 : value >> take;
+    nbits -= take;
+    while (acc_bits_ >= 8) {
+      buf_.push_back(static_cast<byte_t>(acc_ & 0xffu));
+      acc_ >>= 8;
+      acc_bits_ -= 8;
+    }
+  }
+}
+
+void BitWriter::align_to_byte() {
+  const unsigned rem = static_cast<unsigned>(bit_count_ % 8);
+  if (rem != 0) put(0, 8 - rem);
+}
+
+std::vector<byte_t> BitWriter::take() && {
+  align_to_byte();
+  assert(acc_bits_ == 0);
+  return std::move(buf_);
+}
+
+std::uint64_t BitReader::get(unsigned nbits) {
+  assert(nbits <= 64);
+  if (nbits == 0) return 0;
+  if (pos_ + nbits > data_.size() * 8) {
+    throw format_error("BitReader: read past end of stream");
+  }
+  std::uint64_t out = 0;
+  unsigned got = 0;
+  while (got < nbits) {
+    const size_t byte_idx = (pos_ + got) / 8;
+    const unsigned bit_idx = static_cast<unsigned>((pos_ + got) % 8);
+    const unsigned take = std::min(nbits - got, 8 - bit_idx);
+    const std::uint64_t chunk =
+        (static_cast<std::uint64_t>(data_[byte_idx]) >> bit_idx) &
+        ((std::uint64_t{1} << take) - 1);
+    out |= chunk << got;
+    got += take;
+  }
+  pos_ += nbits;
+  return out;
+}
+
+void BitReader::align_to_byte() {
+  const size_t rem = pos_ % 8;
+  if (rem != 0) pos_ += 8 - rem;
+}
+
+}  // namespace szp

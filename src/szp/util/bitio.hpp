@@ -1,0 +1,70 @@
+// Bit-granular writer/reader over a byte buffer.
+//
+// Bits are packed LSB-first within each byte, which matches the layout the
+// codecs in this repository use for sign maps and bit planes: bit `k` of
+// byte `j` corresponds to element `8*j + k`.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "szp/util/common.hpp"
+
+namespace szp {
+
+/// Appends bit fields to a growing byte vector.
+class BitWriter {
+ public:
+  BitWriter() = default;
+
+  /// Append the low `nbits` bits of `value` (LSB first). nbits in [0, 64].
+  void put(std::uint64_t value, unsigned nbits);
+
+  /// Append a single bit.
+  void put_bit(bool b) { put(b ? 1u : 0u, 1); }
+
+  /// Pad with zero bits to the next byte boundary.
+  void align_to_byte();
+
+  /// Number of bits written so far.
+  [[nodiscard]] size_t bit_count() const { return bit_count_; }
+
+  /// Finish (pads to a byte boundary) and take the buffer.
+  [[nodiscard]] std::vector<byte_t> take() &&;
+
+  /// Access the partially written buffer (excluding any pending bits).
+  [[nodiscard]] const std::vector<byte_t>& bytes() const { return buf_; }
+
+ private:
+  std::vector<byte_t> buf_;
+  std::uint64_t acc_ = 0;   // pending bits, LSB-first
+  unsigned acc_bits_ = 0;   // number of pending bits in acc_
+  size_t bit_count_ = 0;
+};
+
+/// Reads bit fields from a byte span. Throws `format_error` on overrun.
+class BitReader {
+ public:
+  explicit BitReader(std::span<const byte_t> data) : data_(data) {}
+
+  /// Read `nbits` bits (LSB first). nbits in [0, 64].
+  [[nodiscard]] std::uint64_t get(unsigned nbits);
+
+  [[nodiscard]] bool get_bit() { return get(1) != 0; }
+
+  /// Skip to the next byte boundary.
+  void align_to_byte();
+
+  /// Bits consumed so far.
+  [[nodiscard]] size_t bit_position() const { return pos_; }
+
+  /// Bits remaining.
+  [[nodiscard]] size_t bits_left() const { return data_.size() * 8 - pos_; }
+
+ private:
+  std::span<const byte_t> data_;
+  size_t pos_ = 0;  // absolute bit position
+};
+
+}  // namespace szp

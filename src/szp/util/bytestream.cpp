@@ -1,0 +1,5 @@
+#include "szp/util/bytestream.hpp"
+
+// Header-only; this TU exists so the library has a stable archive member
+// and to keep the build graph uniform across modules.
+namespace szp {}

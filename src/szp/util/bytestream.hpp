@@ -1,0 +1,92 @@
+// Byte-granular serialization helpers for compressed-stream headers.
+// All multi-byte fields are little-endian (memcpy on the build targets we
+// support; a static_assert guards mixed-endian platforms).
+#pragma once
+
+#include <bit>
+#include <cstring>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "szp/util/common.hpp"
+
+namespace szp {
+
+static_assert(std::endian::native == std::endian::little,
+              "little-endian hosts only");
+
+/// Appends POD values to a growing byte vector.
+class ByteWriter {
+ public:
+  template <typename T>
+  void put(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const size_t off = buf_.size();
+    buf_.resize(off + sizeof(T));
+    std::memcpy(buf_.data() + off, &v, sizeof(T));
+  }
+
+  void put_bytes(std::span<const byte_t> bytes) {
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  }
+
+  /// Reserve `n` zero bytes and return their offset (for back-patching).
+  size_t put_placeholder(size_t n) {
+    const size_t off = buf_.size();
+    buf_.resize(off + n, byte_t{0});
+    return off;
+  }
+
+  template <typename T>
+  void patch(size_t offset, const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (offset + sizeof(T) > buf_.size()) {
+      throw format_error("ByteWriter::patch out of range");
+    }
+    std::memcpy(buf_.data() + offset, &v, sizeof(T));
+  }
+
+  [[nodiscard]] size_t size() const { return buf_.size(); }
+  [[nodiscard]] std::vector<byte_t> take() && { return std::move(buf_); }
+  [[nodiscard]] const std::vector<byte_t>& bytes() const { return buf_; }
+
+ private:
+  std::vector<byte_t> buf_;
+};
+
+/// Reads POD values from a byte span; throws `format_error` on overrun.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const byte_t> data) : data_(data) {}
+
+  template <typename T>
+  [[nodiscard]] T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (pos_ + sizeof(T) > data_.size()) {
+      throw format_error("ByteReader: read past end of stream");
+    }
+    T v;
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  [[nodiscard]] std::span<const byte_t> get_bytes(size_t n) {
+    if (pos_ + n > data_.size()) {
+      throw format_error("ByteReader: read past end of stream");
+    }
+    auto s = data_.subspan(pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  [[nodiscard]] size_t position() const { return pos_; }
+  [[nodiscard]] size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::span<const byte_t> data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace szp

@@ -1,0 +1,45 @@
+// Small shared helpers used across every module.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+
+namespace szp {
+
+using std::size_t;
+using byte_t = std::uint8_t;
+
+/// Ceiling division for non-negative integers.
+template <typename T>
+[[nodiscard]] constexpr T div_ceil(T a, T b) {
+  static_assert(std::is_integral_v<T>);
+  return static_cast<T>((a + b - 1) / b);
+}
+
+/// Round `a` up to the nearest multiple of `b`.
+template <typename T>
+[[nodiscard]] constexpr T round_up(T a, T b) {
+  return div_ceil(a, b) * b;
+}
+
+/// Narrowing cast that throws if the value does not fit.
+template <typename To, typename From>
+[[nodiscard]] constexpr To checked_cast(From v) {
+  const To r = static_cast<To>(v);
+  if (static_cast<From>(r) != v || ((r < To{}) != (v < From{}))) {
+    throw std::range_error("checked_cast: value out of range");
+  }
+  return r;
+}
+
+/// Error type thrown on malformed compressed streams.
+class format_error : public std::runtime_error {
+ public:
+  explicit format_error(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace szp

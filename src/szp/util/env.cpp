@@ -1,0 +1,20 @@
+#include "szp/util/env.hpp"
+
+#include <cstdlib>
+
+namespace szp {
+
+double bench_scale() {
+  if (const char* s = std::getenv("SZP_BENCH_SCALE")) {
+    const double v = std::atof(s);
+    if (v > 0) return v;
+  }
+  return 1.0;
+}
+
+std::string bench_outdir() {
+  if (const char* s = std::getenv("SZP_BENCH_OUTDIR")) return s;
+  return "bench_artifacts";
+}
+
+}  // namespace szp

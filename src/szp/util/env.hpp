@@ -1,0 +1,17 @@
+// Environment-variable knobs shared by the bench harnesses.
+#pragma once
+
+#include <string>
+
+namespace szp {
+
+/// SZP_BENCH_SCALE: multiplies the default synthetic field sizes used by
+/// the figure/table benches. 1.0 keeps CI-friendly sizes; larger values
+/// approach the paper's full dataset dimensions. Defaults to 1.0.
+[[nodiscard]] double bench_scale();
+
+/// SZP_BENCH_OUTDIR: directory where benches drop artifacts (PGM images,
+/// CSV series). Defaults to "bench_artifacts".
+[[nodiscard]] std::string bench_outdir();
+
+}  // namespace szp

@@ -1,0 +1,39 @@
+// Deterministic random number generation for dataset synthesis and tests.
+//
+// We own the generator (xoshiro256**) instead of using std::mt19937 so the
+// synthetic datasets are bit-reproducible across standard-library versions.
+#pragma once
+
+#include <cstdint>
+
+namespace szp {
+
+/// SplitMix64 — used to seed xoshiro and for cheap hashing.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** by Blackman & Vigna; public-domain algorithm.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  [[nodiscard]] std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  [[nodiscard]] double next_double();
+
+  /// Uniform in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller (uses an internal cache).
+  [[nodiscard]] double normal();
+
+  /// Uniform integer in [0, n).
+  [[nodiscard]] std::uint64_t next_below(std::uint64_t n);
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace szp

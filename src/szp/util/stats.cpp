@@ -1,0 +1,57 @@
+#include "szp/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace szp {
+
+namespace {
+template <typename T>
+Summary summarize_impl(std::span<const T> xs) {
+  Summary s;
+  if (xs.empty()) return s;
+  double mn = xs[0], mx = xs[0], sum = 0;
+  for (const T x : xs) {
+    mn = std::min(mn, static_cast<double>(x));
+    mx = std::max(mx, static_cast<double>(x));
+    sum += static_cast<double>(x);
+  }
+  s.min = mn;
+  s.max = mx;
+  s.mean = sum / static_cast<double>(xs.size());
+  return s;
+}
+}  // namespace
+
+Summary summarize(std::span<const double> xs) { return summarize_impl(xs); }
+Summary summarize(std::span<const float> xs) { return summarize_impl(xs); }
+
+std::vector<double> empirical_cdf(std::span<const double> xs,
+                                  std::span<const double> points) {
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> out;
+  out.reserve(points.size());
+  for (const double p : points) {
+    const auto it = std::upper_bound(sorted.begin(), sorted.end(), p);
+    out.push_back(sorted.empty()
+                      ? 0.0
+                      : static_cast<double>(it - sorted.begin()) /
+                            static_cast<double>(sorted.size()));
+  }
+  return out;
+}
+
+double percentile(std::span<const double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = std::clamp(p, 0.0, 100.0) / 100.0 *
+                      static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<size_t>(std::floor(rank));
+  const auto hi = static_cast<size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace szp

@@ -1,0 +1,24 @@
+// Small statistics helpers: summaries and empirical CDFs.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace szp {
+
+struct Summary {
+  double min = 0, max = 0, mean = 0;
+};
+
+/// min/max/mean of a sample (0s for an empty span).
+[[nodiscard]] Summary summarize(std::span<const double> xs);
+[[nodiscard]] Summary summarize(std::span<const float> xs);
+
+/// Empirical CDF evaluated at `points`: fraction of samples <= point.
+[[nodiscard]] std::vector<double> empirical_cdf(std::span<const double> xs,
+                                                std::span<const double> points);
+
+/// p-th percentile (p in [0,100]) by nearest-rank on a copy of the data.
+[[nodiscard]] double percentile(std::span<const double> xs, double p);
+
+}  // namespace szp

@@ -1,0 +1,36 @@
+// Minimal fixed-column table printer used by the benchmark harnesses to
+// emit the rows/series of the paper's tables and figures.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace szp {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Start a new row.
+  Table& row();
+
+  /// Append one cell to the current row.
+  Table& cell(std::string text);
+  Table& cell(double v, int precision = 2);
+  Table& cell(long long v);
+
+  /// Render with aligned columns.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (helper shared by benches).
+[[nodiscard]] std::string format_fixed(double v, int precision);
+
+}  // namespace szp

@@ -1,0 +1,68 @@
+#include "szp/vis/pgm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "szp/util/common.hpp"
+
+namespace szp::vis {
+
+namespace {
+
+void write_pgm_bytes(const std::string& path, size_t w, size_t h,
+                     const std::vector<byte_t>& pixels) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw format_error("write_pgm: cannot open " + path);
+  out << "P5\n" << w << " " << h << "\n255\n";
+  out.write(reinterpret_cast<const char*>(pixels.data()),
+            static_cast<std::streamsize>(pixels.size()));
+  if (!out) throw format_error("write_pgm: short write");
+}
+
+}  // namespace
+
+void write_pgm(const std::string& path, const data::Slice2D& slice, double lo,
+               double hi) {
+  if (lo >= hi) {
+    const auto [mn, mx] =
+        std::minmax_element(slice.values.begin(), slice.values.end());
+    lo = *mn;
+    hi = *mx;
+    if (lo >= hi) hi = lo + 1;
+  }
+  const double inv = 255.0 / (hi - lo);
+  std::vector<byte_t> pixels(slice.values.size());
+  for (size_t i = 0; i < pixels.size(); ++i) {
+    const double v = (static_cast<double>(slice.values[i]) - lo) * inv;
+    pixels[i] = static_cast<byte_t>(std::clamp(v, 0.0, 255.0));
+  }
+  write_pgm_bytes(path, slice.width, slice.height, pixels);
+}
+
+void write_diff_pgm(const std::string& path, const data::Slice2D& a,
+                    const data::Slice2D& b, double scale) {
+  if (a.values.size() != b.values.size()) {
+    throw format_error("write_diff_pgm: size mismatch");
+  }
+  if (scale <= 0) scale = 1;
+  std::vector<byte_t> pixels(a.values.size());
+  for (size_t i = 0; i < pixels.size(); ++i) {
+    const double d = std::abs(static_cast<double>(a.values[i]) -
+                              static_cast<double>(b.values[i]));
+    pixels[i] = static_cast<byte_t>(std::clamp(d / scale * 2550.0, 0.0, 255.0));
+  }
+  write_pgm_bytes(path, a.width, a.height, pixels);
+}
+
+double mean_abs_diff(const data::Slice2D& a, const data::Slice2D& b) {
+  if (a.values.size() != b.values.size() || a.values.empty()) return 0;
+  double sum = 0;
+  for (size_t i = 0; i < a.values.size(); ++i) {
+    sum += std::abs(static_cast<double>(a.values[i]) -
+                    static_cast<double>(b.values[i]));
+  }
+  return sum / static_cast<double>(a.values.size());
+}
+
+}  // namespace szp::vis

@@ -1,0 +1,27 @@
+// Grayscale slice rendering (binary PGM) — the repository's stand-in for
+// the paper's visual quality assessment (Figs. 1, 7, 16, 19, 20). Benches
+// emit original / reconstruction / |difference| images so artifacts like
+// cuSZx's constant-block stripes are inspectable.
+#pragma once
+
+#include <string>
+
+#include "szp/data/field.hpp"
+
+namespace szp::vis {
+
+/// Write a 2D slice as an 8-bit PGM, normalizing values to [lo, hi]
+/// (pass lo >= hi to auto-range from the slice).
+void write_pgm(const std::string& path, const data::Slice2D& slice,
+               double lo = 0, double hi = 0);
+
+/// Write |a - b| as a PGM normalized to `scale` (e.g. the value range).
+void write_diff_pgm(const std::string& path, const data::Slice2D& a,
+                    const data::Slice2D& b, double scale);
+
+/// Mean absolute per-pixel difference between two slices (quick artifact
+/// score used by the visual-quality bench).
+[[nodiscard]] double mean_abs_diff(const data::Slice2D& a,
+                                   const data::Slice2D& b);
+
+}  // namespace szp::vis

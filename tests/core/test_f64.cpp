@@ -1,0 +1,121 @@
+// Double-precision extension: same stream layout, f64 pre-quantization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "szp/core/device.hpp"
+#include "szp/core/serial.hpp"
+#include "szp/gpusim/buffer.hpp"
+#include "szp/util/rng.hpp"
+
+namespace szp::core {
+namespace {
+
+std::vector<double> smooth_f64(size_t n) {
+  std::vector<double> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i) * 0.002;
+    v[i] = std::sin(x) * 100 + std::sin(x * 17.3) * 0.5;
+  }
+  return v;
+}
+
+TEST(F64, RoundtripRespectsBound) {
+  const auto data = smooth_f64(50000);
+  Params p;
+  p.mode = ErrorMode::kAbs;
+  p.error_bound = 1e-4;
+  const auto stream = compress_serial_f64(data, p);
+  const auto recon = decompress_serial_f64(stream);
+  ASSERT_EQ(recon.size(), data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_LE(std::abs(data[i] - recon[i]), p.error_bound + 1e-12) << i;
+  }
+}
+
+TEST(F64, TighterBoundsThanF32UlpArePossible) {
+  // The point of f64 support: bounds below the f32 ULP of the data.
+  std::vector<double> data(4096);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = 1000.0 + std::sin(i * 0.01) * 1e-3;
+  }
+  Params p;
+  p.mode = ErrorMode::kAbs;
+  p.error_bound = 1e-5;  // below the f32 ULP at 1000 (~6.1e-5)
+  const auto recon = decompress_serial_f64(compress_serial_f64(data, p));
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_LE(std::abs(data[i] - recon[i]), 1e-5 + 1e-13);
+  }
+}
+
+TEST(F64, HeaderCarriesTypeFlag) {
+  const auto data = smooth_f64(100);
+  Params p;
+  p.mode = ErrorMode::kAbs;
+  p.error_bound = 1e-3;
+  const auto stream = compress_serial_f64(data, p);
+  const Header h = Header::deserialize(stream);
+  EXPECT_TRUE(h.is_f64());
+  // Decoding with the wrong type throws instead of mis-reading.
+  EXPECT_THROW((void)decompress_serial(stream), format_error);
+
+  const std::vector<float> f32_data(100, 1.0f);
+  const auto f32_stream = compress_serial(f32_data, p);
+  EXPECT_FALSE(Header::deserialize(f32_stream).is_f64());
+  EXPECT_THROW((void)decompress_serial_f64(f32_stream), format_error);
+}
+
+TEST(F64, RelModeAndIdempotence) {
+  Rng rng(77);
+  std::vector<double> data(10000);
+  for (auto& v : data) v = rng.normal() * 5 + std::sin(v);
+  Params p;
+  p.mode = ErrorMode::kRel;
+  p.error_bound = 1e-5;
+  const auto s1 = compress_serial_f64(data, p);
+  const auto r1 = decompress_serial_f64(s1);
+  const auto s2 = compress_serial_f64(r1, p);
+  EXPECT_EQ(decompress_serial_f64(s2), r1);
+}
+
+TEST(F64, DeviceMatchesSerialByteForByte) {
+  const auto data = smooth_f64(30000);
+  Params p;
+  p.mode = ErrorMode::kAbs;
+  p.error_bound = 1e-5;
+  const auto serial = compress_serial_f64(data, p);
+
+  gpusim::Device dev;
+  auto d_in = gpusim::to_device<double>(dev, data);
+  gpusim::DeviceBuffer<byte_t> d_cmp(
+      dev, max_compressed_bytes(data.size(), p.block_len));
+  const auto res =
+      compress_device_f64(dev, d_in, data.size(), p, p.error_bound, d_cmp);
+  ASSERT_EQ(res.bytes, serial.size());
+  EXPECT_EQ(res.trace.kernel_launches, 1u);  // still single-kernel
+  const auto bytes = gpusim::to_host(dev, d_cmp);
+  for (size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(bytes[i], serial[i]) << i;
+  }
+
+  gpusim::DeviceBuffer<double> d_out(dev, data.size());
+  (void)decompress_device_f64(dev, d_cmp, d_out);
+  const auto recon = gpusim::to_host(dev, d_out);
+  EXPECT_EQ(recon, decompress_serial_f64(serial));
+
+  // Type-mismatched device decompression throws.
+  gpusim::DeviceBuffer<float> d_wrong(dev, data.size());
+  EXPECT_THROW((void)decompress_device(dev, d_cmp, d_wrong), format_error);
+}
+
+TEST(F64, ZeroBlocksStillBypass) {
+  std::vector<double> zeros(1024, 0.0);
+  Params p;
+  p.mode = ErrorMode::kAbs;
+  p.error_bound = 1e-6;
+  const auto stream = compress_serial_f64(zeros, p);
+  EXPECT_EQ(stream.size(), Header::kSize + 1024 / 32);
+}
+
+}  // namespace
+}  // namespace szp::core

@@ -1,0 +1,150 @@
+// Stream format: header serialization, validation, Eq. 2, stream
+// inspection, and robustness against malformed inputs.
+#include <gtest/gtest.h>
+
+#include "szp/core/format.hpp"
+#include "szp/core/serial.hpp"
+#include "szp/util/rng.hpp"
+
+namespace szp::core {
+namespace {
+
+TEST(Format, HeaderRoundtrip) {
+  Header h;
+  h.num_elements = 123456789;
+  h.eb_abs = 3.25e-4;
+  h.block_len = 64;
+  h.flags = 0b101;
+  std::vector<byte_t> buf(Header::kSize);
+  h.serialize(buf);
+  const Header g = Header::deserialize(buf);
+  EXPECT_EQ(g.num_elements, h.num_elements);
+  EXPECT_DOUBLE_EQ(g.eb_abs, h.eb_abs);
+  EXPECT_EQ(g.block_len, h.block_len);
+  EXPECT_EQ(g.flags, h.flags);
+  EXPECT_TRUE(g.lorenzo());
+  EXPECT_FALSE(g.zero_block_bypass());
+  EXPECT_TRUE(g.bit_shuffle());
+}
+
+TEST(Format, HeaderRejectsBadMagicAndFields) {
+  Header h;
+  h.num_elements = 10;
+  h.eb_abs = 1e-3;
+  std::vector<byte_t> buf(Header::kSize);
+  h.serialize(buf);
+  auto bad = buf;
+  bad[0] ^= 0xFF;
+  EXPECT_THROW((void)Header::deserialize(bad), format_error);
+  EXPECT_THROW((void)Header::deserialize(std::span<const byte_t>(buf.data(), 8)),
+               format_error);
+}
+
+TEST(Format, ParamsValidation) {
+  Params p;
+  p.block_len = 12;  // not a multiple of 8
+  EXPECT_THROW(p.validate(), format_error);
+  p.block_len = 32;
+  p.error_bound = 0;
+  EXPECT_THROW(p.validate(), format_error);
+  p.error_bound = 1.5;
+  p.mode = ErrorMode::kRel;
+  EXPECT_THROW(p.validate(), format_error);  // REL must be < 1
+  p.mode = ErrorMode::kAbs;
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(Format, ResolveEb) {
+  Params p;
+  p.mode = ErrorMode::kAbs;
+  p.error_bound = 0.25;
+  EXPECT_DOUBLE_EQ(resolve_eb(p, 100.0), 0.25);
+  p.mode = ErrorMode::kRel;
+  p.error_bound = 1e-3;
+  EXPECT_DOUBLE_EQ(resolve_eb(p, 100.0), 0.1);
+  EXPECT_GT(resolve_eb(p, 0.0), 0);  // constant data: still positive
+}
+
+TEST(Format, Equation2BlockBytes) {
+  // CmpL = (F + 1) * L / 8 (paper Eq. 2); zero-block bypass -> 0.
+  EXPECT_EQ(block_cmp_bytes(8, 8), 9u);  // the paper's worked example
+  EXPECT_EQ(block_cmp_bytes(4, 32), 20u);
+  EXPECT_EQ(block_cmp_bytes(0, 32, true), 0u);
+  EXPECT_EQ(block_cmp_bytes(0, 32, false), 4u);  // sign map only
+  EXPECT_EQ(num_blocks(100, 32), 4u);
+  EXPECT_EQ(num_blocks(0, 32), 0u);
+}
+
+TEST(Format, InspectStreamCountsZeroBlocks) {
+  std::vector<float> data(320, 0.0f);
+  for (size_t i = 64; i < 96; ++i) data[i] = 5.0f;  // one loud block
+  Params p;
+  p.mode = ErrorMode::kAbs;
+  p.error_bound = 1e-2;
+  const auto stream = compress_serial(data, p);
+  const auto stats = inspect_stream(stream);
+  EXPECT_EQ(stats.num_blocks, 10u);
+  EXPECT_EQ(stats.zero_blocks, 9u);
+  EXPECT_GT(stats.mean_fixed_length, 0.0);
+  EXPECT_GT(stats.payload_bytes, 0u);
+}
+
+TEST(Format, DecompressRejectsTruncatedStreams) {
+  Rng rng(17);
+  std::vector<float> data(1000);
+  for (auto& v : data) v = static_cast<float>(rng.normal());
+  Params p;
+  p.mode = ErrorMode::kAbs;
+  p.error_bound = 1e-3;
+  const auto stream = compress_serial(data, p);
+  // Truncate at many boundaries: must throw format_error, never crash or
+  // return silently wrong sizes.
+  for (const size_t keep :
+       {size_t{0}, size_t{8}, Header::kSize - 1, Header::kSize,
+        Header::kSize + 5, stream.size() - 1}) {
+    EXPECT_THROW(
+        (void)decompress_serial(std::span<const byte_t>(stream.data(), keep)),
+        format_error)
+        << "keep=" << keep;
+  }
+}
+
+TEST(Format, DecompressSurvivesBitFlipsInLengthArea) {
+  // Corrupted length bytes may change sizes arbitrarily; decompression
+  // must either succeed (flip was benign) or throw format_error.
+  Rng rng(18);
+  std::vector<float> data(2048);
+  for (auto& v : data) v = static_cast<float>(rng.normal());
+  Params p;
+  p.mode = ErrorMode::kAbs;
+  p.error_bound = 1e-2;
+  const auto stream = compress_serial(data, p);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto corrupted = stream;
+    const size_t pos =
+        lengths_offset() + rng.next_below(num_blocks(2048, 32));
+    corrupted[pos] = static_cast<byte_t>(rng.next_below(256));
+    try {
+      const auto out = decompress_serial(corrupted);
+      EXPECT_EQ(out.size(), data.size());
+    } catch (const format_error&) {
+      // acceptable
+    }
+  }
+}
+
+TEST(Format, StreamSizeMatchesInspectAccounting) {
+  Rng rng(19);
+  std::vector<float> data(5000);
+  for (auto& v : data) v = static_cast<float>(rng.normal() * 3);
+  Params p;
+  p.mode = ErrorMode::kAbs;
+  p.error_bound = 5e-3;
+  const auto stream = compress_serial(data, p);
+  const auto stats = inspect_stream(stream);
+  EXPECT_EQ(stream.size(),
+            payload_offset(stats.num_blocks) + stats.payload_bytes);
+}
+
+}  // namespace
+}  // namespace szp::core

@@ -1,0 +1,88 @@
+// 2-layer Lorenzo (paper §4.1's "higher layers" discussion): correctness
+// and the paper's claim that it performs similarly to the 1-layer choice.
+#include <gtest/gtest.h>
+
+#include "szp/core/serial.hpp"
+#include "szp/core/stages.hpp"
+#include "szp/data/registry.hpp"
+#include "szp/metrics/error.hpp"
+#include "szp/util/rng.hpp"
+
+namespace szp::core {
+namespace {
+
+TEST(Lorenzo2, ForwardInverseIdentity) {
+  Rng rng(51);
+  std::vector<std::int32_t> v(256);
+  for (auto& x : v) {
+    x = static_cast<std::int32_t>(rng.next_below(1u << 27)) - (1 << 26);
+  }
+  auto w = v;
+  lorenzo2_forward(w);
+  lorenzo2_inverse(w);
+  EXPECT_EQ(w, v);
+}
+
+TEST(Lorenzo2, LinearRampBecomesSparse) {
+  // A perfect linear ramp has zero second differences (beyond the two
+  // boundary terms) — the case where 2 layers beat 1.
+  std::vector<std::int32_t> ramp(64);
+  for (size_t i = 0; i < ramp.size(); ++i) {
+    ramp[i] = static_cast<std::int32_t>(1000 + 7 * i);
+  }
+  auto v = ramp;
+  lorenzo2_forward(v);
+  for (size_t i = 2; i < v.size(); ++i) EXPECT_EQ(v[i], 0) << i;
+  lorenzo2_inverse(v);
+  EXPECT_EQ(v, ramp);
+}
+
+TEST(Lorenzo2, OverflowThrows) {
+  std::vector<std::int32_t> v = {1 << 29, -(1 << 29), 1 << 29};
+  EXPECT_THROW(lorenzo2_forward(v), format_error);
+}
+
+TEST(Lorenzo2, CodecRoundtripHoldsBound) {
+  const auto field = data::make_field(data::Suite::kCesmAtm, 2, 0.03);
+  Params p;
+  p.error_bound = 1e-3;
+  p.lorenzo_layers = 2;
+  const double range = field.value_range();
+  const auto stream = compress_serial(field.values, p, range);
+  EXPECT_TRUE(Header::deserialize(stream).lorenzo2());
+  const auto recon = decompress_serial(stream);
+  const auto stats = metrics::compare(field.values, recon);
+  EXPECT_LE(stats.max_rel_err, 1e-3 * (1 + 1e-6));
+}
+
+TEST(Lorenzo2, ParamsValidation) {
+  Params p;
+  p.lorenzo_layers = 3;
+  EXPECT_THROW(p.validate(), format_error);
+  p.lorenzo_layers = 0;
+  EXPECT_THROW(p.validate(), format_error);
+}
+
+TEST(Lorenzo2, SimilarCompressionToOneLayer) {
+  // The paper's stated (unshown) experimental finding: within blocks of
+  // smooth data, 1-layer and higher-layer Lorenzo perform similarly —
+  // which is why cuSZp picks the cheaper one.
+  for (const auto suite :
+       {data::Suite::kHurricane, data::Suite::kNyx, data::Suite::kCesmAtm}) {
+    const auto field = data::make_field(suite, 0, 0.03);
+    const double range = field.value_range();
+    Params p;
+    p.error_bound = 1e-3;
+    p.lorenzo_layers = 1;
+    const auto one = compress_serial(field.values, p, range);
+    p.lorenzo_layers = 2;
+    const auto two = compress_serial(field.values, p, range);
+    const double ratio = static_cast<double>(two.size()) /
+                         static_cast<double>(one.size());
+    EXPECT_GT(ratio, 0.75) << data::suite_info(suite).name;
+    EXPECT_LT(ratio, 1.35) << data::suite_info(suite).name;
+  }
+}
+
+}  // namespace
+}  // namespace szp::core

@@ -1,0 +1,182 @@
+// Outlier-tolerant fixed-length extension: correctness, CR benefit on
+// spiky data, device equivalence, range-decoding compatibility.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "szp/core/block_codec.hpp"
+#include "szp/core/compressor.hpp"
+#include "szp/core/random_access.hpp"
+#include "szp/data/registry.hpp"
+#include "szp/metrics/error.hpp"
+#include "szp/util/rng.hpp"
+
+namespace szp::core {
+namespace {
+
+/// Smooth signal with isolated spikes: the workload outlier mode targets.
+std::vector<float> spiky(size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<float>(std::sin(i * 0.01) +
+                              rng.normal() * 0.002);
+  }
+  for (size_t i = 0; i < n; i += 256) {  // one spike per 8 blocks
+    v[i + rng.next_below(256) % std::min<size_t>(256, n - i)] +=
+        static_cast<float>(rng.uniform(50, 500));
+  }
+  return v;
+}
+
+Params outlier_params(double eb) {
+  Params p;
+  p.mode = ErrorMode::kAbs;
+  p.error_bound = eb;
+  p.outlier_mode = true;
+  return p;
+}
+
+TEST(OutlierMode, ErrorBoundHolds) {
+  const auto data = spiky(20000, 1);
+  const auto p = outlier_params(1e-3);
+  const auto stream = compress_serial(data, p);
+  const auto recon = decompress_serial(stream);
+  EXPECT_TRUE(metrics::error_bounded(data, recon, 1e-3 + 600 * 1.2e-7));
+  EXPECT_TRUE(Header::deserialize(stream).outlier_mode());
+}
+
+TEST(OutlierMode, ImprovesCrOnSpikyData) {
+  const auto data = spiky(100000, 2);
+  auto p = outlier_params(1e-3);
+  const auto with = compress_serial(data, p);
+  p.outlier_mode = false;
+  const auto without = compress_serial(data, p);
+  EXPECT_LT(with.size(), without.size());
+  const auto stats = inspect_stream(with);
+  EXPECT_GT(stats.outlier_blocks, 0u);
+}
+
+TEST(OutlierMode, NeverHurtsByMoreThanSideRecord) {
+  // On smooth data outlier blocks are simply not selected, so the stream
+  // is identical to the plain mode (only the header flag differs).
+  const auto field = data::make_field(data::Suite::kCesmAtm, 0, 0.02);
+  auto p = outlier_params(1e-4);
+  p.mode = ErrorMode::kRel;
+  const auto with = compress_serial(field.values, p, field.value_range());
+  p.outlier_mode = false;
+  const auto without = compress_serial(field.values, p, field.value_range());
+  EXPECT_LE(with.size(), without.size());
+}
+
+TEST(OutlierMode, DeviceMatchesSerialByteForByte) {
+  const auto data = spiky(30000, 3);
+  const auto p = outlier_params(1e-3);
+  const auto serial = compress_serial(data, p);
+
+  gpusim::Device dev;
+  auto d_in = gpusim::to_device<float>(dev, data);
+  gpusim::DeviceBuffer<byte_t> d_cmp(
+      dev, max_compressed_bytes(data.size(), p.block_len));
+  const auto res =
+      compress_device(dev, d_in, data.size(), p, p.error_bound, d_cmp);
+  ASSERT_EQ(res.bytes, serial.size());
+  const auto bytes = gpusim::to_host(dev, d_cmp);
+  for (size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(bytes[i], serial[i]) << i;
+  }
+
+  gpusim::DeviceBuffer<float> d_out(dev, data.size());
+  (void)decompress_device(dev, d_cmp, d_out);
+  EXPECT_EQ(gpusim::to_host(dev, d_out), decompress_serial(serial));
+}
+
+TEST(OutlierMode, RandomAccessDecodesOutlierBlocks) {
+  const auto data = spiky(50000, 4);
+  const auto p = outlier_params(1e-3);
+  const auto stream = compress_serial(data, p);
+  const auto full = decompress_serial(stream);
+  const auto part = decompress_range(stream, 10000, 20000);
+  for (size_t i = 0; i < part.size(); ++i) {
+    ASSERT_EQ(part[i], full[10000 + i]);
+  }
+}
+
+TEST(OutlierMode, IdempotentRecompression) {
+  const auto data = spiky(10000, 5);
+  const auto p = outlier_params(1e-2);
+  const auto r1 = decompress_serial(compress_serial(data, p));
+  const auto s2 = compress_serial(r1, p);
+  EXPECT_EQ(decompress_serial(s2), r1);
+}
+
+TEST(OutlierMode, RejectsLongBlocks) {
+  Params p;
+  p.outlier_mode = true;
+  p.block_len = 512;  // u8 positions cannot address past 256
+  EXPECT_THROW(p.validate(), format_error);
+  p.block_len = 256;
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(OutlierBlockCodec, FirstElementOffsetSelectsOutlierEncoding) {
+  // After the per-block Lorenzo reset, l_0 = r_0 carries the block's full
+  // offset from zero while the other deltas stay tiny — the single-delta
+  // outlier the mode is built to absorb (this is where most of its CR
+  // gain comes from in practice).
+  std::vector<float> block(32);
+  for (size_t i = 0; i < block.size(); ++i) {
+    block[i] = 1000.0f + 0.002f * static_cast<float>(i);
+  }
+  Params p;
+  p.mode = ErrorMode::kAbs;
+  p.error_bound = 1e-3;
+  p.outlier_mode = true;
+  BlockScratch scratch;
+  size_t elems = 0;
+  const std::uint8_t lb = encode_block<float>(block, block.size(), 0, 32,
+                                              p.error_bound, p, scratch, elems);
+  ASSERT_GE(lb, kOutlierFlag);
+  EXPECT_EQ(scratch.outlier_pos, 0u);
+  // F covers only the 1-quantum deltas, not the 500000-quanta offset.
+  EXPECT_LT(lb - kOutlierFlag, 4);
+}
+
+TEST(OutlierBlockCodec, MidBlockValueSpikeMakesTwoDeltasAndStaysPlain) {
+  // A value spike in the middle of a block turns into TWO large Lorenzo
+  // deltas (up and back down); a single-outlier record cannot pay off, so
+  // the encoder must keep the plain fixed length.
+  std::vector<float> block(32, 0.001f);
+  block[17] = 1000.0f;
+  Params p;
+  p.mode = ErrorMode::kAbs;
+  p.error_bound = 1e-3;
+  p.outlier_mode = true;
+  BlockScratch scratch;
+  size_t elems = 0;
+  const std::uint8_t lb = encode_block<float>(block, block.size(), 0, 32,
+                                              p.error_bound, p, scratch, elems);
+  EXPECT_LT(lb, kOutlierFlag);
+}
+
+TEST(OutlierMode, WorksWithF64) {
+  std::vector<double> data(5000);
+  Rng rng(6);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = std::sin(i * 0.01) + rng.normal() * 1e-4;
+  }
+  data[1234] = 7e5;
+  Params p;
+  p.mode = ErrorMode::kAbs;
+  p.error_bound = 1e-2;
+  p.outlier_mode = true;
+  const auto stream = compress_serial_f64(data, p);
+  const auto recon = decompress_serial_f64(stream);
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_LE(std::abs(data[i] - recon[i]), 1e-2 + 1e-9) << i;
+  }
+  EXPECT_GT(inspect_stream(stream).outlier_blocks, 0u);
+}
+
+}  // namespace
+}  // namespace szp::core

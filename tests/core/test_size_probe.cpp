@@ -1,0 +1,53 @@
+// exact_compressed_bytes: the dry-run size probe must match the real
+// stream exactly across configurations.
+#include <gtest/gtest.h>
+
+#include "szp/core/serial.hpp"
+#include "szp/data/registry.hpp"
+
+namespace szp::core {
+namespace {
+
+class SizeProbe : public ::testing::TestWithParam<double> {};
+
+TEST_P(SizeProbe, MatchesActualStreamAcrossSuites) {
+  const double rel = GetParam();
+  for (const auto& info : data::all_suites()) {
+    const auto field = data::make_field(info.id, 0, 0.02);
+    Params p;
+    p.error_bound = rel;
+    const double range = field.value_range();
+    const size_t probed = exact_compressed_bytes(field.values, p, range);
+    const auto stream = compress_serial(field.values, p, range);
+    EXPECT_EQ(probed, stream.size()) << info.name << " rel=" << rel;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, SizeProbe,
+                         ::testing::Values(1e-1, 1e-2, 1e-3, 1e-4));
+
+TEST(SizeProbe, MatchesWithOutlierModeAndToggles) {
+  const auto field = data::make_field(data::Suite::kHacc, 0, 0.02);
+  for (const bool outlier : {false, true}) {
+    for (const bool lorenzo : {false, true}) {
+      Params p;
+      p.error_bound = 1e-3;
+      p.outlier_mode = outlier;
+      p.lorenzo = lorenzo;
+      const double range = field.value_range();
+      EXPECT_EQ(exact_compressed_bytes(field.values, p, range),
+                compress_serial(field.values, p, range).size())
+          << outlier << lorenzo;
+    }
+  }
+}
+
+TEST(SizeProbe, EmptyInput) {
+  Params p;
+  p.mode = ErrorMode::kAbs;
+  p.error_bound = 1;
+  EXPECT_EQ(exact_compressed_bytes({}, p), Header::kSize);
+}
+
+}  // namespace
+}  // namespace szp::core

@@ -1,0 +1,176 @@
+// Unit tests of the four cuSZp stages in isolation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "szp/core/stages.hpp"
+#include "szp/util/rng.hpp"
+
+namespace szp::core {
+namespace {
+
+TEST(Quantize, RoundsToNearestBin) {
+  const std::vector<float> in = {0.0f, 0.09f, 0.11f, -0.29f, 1.0f};
+  std::vector<std::int32_t> out(in.size());
+  quantize(in, 0.1, out);  // bin = 0.2
+  EXPECT_EQ(out[0], 0);
+  EXPECT_EQ(out[1], 0);   // 0.09/0.2 = 0.45 -> 0
+  EXPECT_EQ(out[2], 1);   // 0.11/0.2 = 0.55 -> 1
+  EXPECT_EQ(out[3], -1);  // -1.45 -> -1
+  EXPECT_EQ(out[4], 5);
+}
+
+TEST(Quantize, ErrorWithinBound) {
+  Rng rng(3);
+  std::vector<float> in(10000);
+  for (auto& v : in) v = static_cast<float>(rng.normal() * 100);
+  std::vector<std::int32_t> q(in.size());
+  std::vector<float> back(in.size());
+  const double eb = 0.05;
+  quantize(in, eb, q);
+  dequantize(q, eb, back);
+  for (size_t i = 0; i < in.size(); ++i) {
+    ASSERT_LE(std::abs(back[i] - in[i]), eb + 1e-9);
+  }
+}
+
+TEST(Quantize, ThrowsWhenMagnitudeTooLargeForBound) {
+  const std::vector<float> in = {1e20f};
+  std::vector<std::int32_t> out(1);
+  EXPECT_THROW(quantize(in, 1e-6, out), format_error);
+}
+
+TEST(Lorenzo, ForwardInverseIdentity) {
+  Rng rng(4);
+  std::vector<std::int32_t> v(256);
+  for (auto& x : v) {
+    x = static_cast<std::int32_t>(rng.next_below(1u << 29)) - (1 << 28);
+  }
+  auto w = v;
+  lorenzo_forward(w);
+  lorenzo_inverse(w);
+  EXPECT_EQ(w, v);
+}
+
+TEST(Lorenzo, DeltasOfConstantRunAreZero) {
+  std::vector<std::int32_t> v = {7, 7, 7, 7, 7};
+  lorenzo_forward(v);
+  EXPECT_EQ(v, (std::vector<std::int32_t>{7, 0, 0, 0, 0}));
+}
+
+TEST(Lorenzo, ExtremeValuesDoNotOverflow) {
+  // The quantizer guarantees |r| <= 2^29; the worst delta is +-2^30.
+  std::vector<std::int32_t> v = {1 << 29, -(1 << 29), 1 << 29};
+  lorenzo_forward(v);
+  EXPECT_EQ(v[1], -(1 << 30));
+  EXPECT_EQ(v[2], 1 << 30);
+  lorenzo_inverse(v);
+  EXPECT_EQ(v, (std::vector<std::int32_t>{1 << 29, -(1 << 29), 1 << 29}));
+}
+
+TEST(Signs, SplitApplyRoundtrip) {
+  Rng rng(5);
+  std::vector<std::int32_t> v(64);
+  for (auto& x : v) {
+    x = static_cast<std::int32_t>(rng.next_below(1u << 30)) - (1 << 29);
+  }
+  std::vector<std::uint32_t> mags(v.size());
+  std::vector<byte_t> signs(v.size() / 8);
+  split_signs(v, mags, signs);
+  for (size_t i = 0; i < v.size(); ++i) {
+    ASSERT_EQ(mags[i], static_cast<std::uint32_t>(std::abs(
+                           static_cast<std::int64_t>(v[i]))));
+  }
+  std::vector<std::int32_t> back(v.size());
+  apply_signs(mags, signs, back);
+  EXPECT_EQ(back, v);
+}
+
+TEST(Signs, LayoutBitPerElement) {
+  std::vector<std::int32_t> v(16, 1);
+  v[3] = -1;
+  v[9] = -5;
+  std::vector<std::uint32_t> mags(16);
+  std::vector<byte_t> signs(2);
+  split_signs(v, mags, signs);
+  EXPECT_EQ(signs[0], 1u << 3);
+  EXPECT_EQ(signs[1], 1u << 1);  // element 9 = byte 1 bit 1
+}
+
+TEST(FixedLength, PaperExample) {
+  // Paper §4.2: block {1,2,5,11,2,0,0,1} -> max 11 -> 4 bits.
+  const std::vector<std::uint32_t> mags = {1, 2, 5, 11, 2, 0, 0, 1};
+  EXPECT_EQ(fixed_length_of(mags), 4u);
+}
+
+TEST(FixedLength, Cases) {
+  EXPECT_EQ(fixed_length_of(std::vector<std::uint32_t>{0, 0, 0}), 0u);
+  EXPECT_EQ(fixed_length_of(std::vector<std::uint32_t>{1}), 1u);
+  EXPECT_EQ(fixed_length_of(std::vector<std::uint32_t>{0, 128}), 8u);
+  EXPECT_EQ(fixed_length_of(std::vector<std::uint32_t>{0x40000000u}), 31u);
+}
+
+class ShuffleWidth : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ShuffleWidth, BitShuffleBijection) {
+  const unsigned f = GetParam();
+  Rng rng(f * 31 + 7);
+  for (const size_t L : {8u, 32u, 64u, 128u}) {
+    std::vector<std::uint32_t> mags(L);
+    const std::uint32_t mask =
+        f >= 32 ? ~0u : ((1u << f) - 1);
+    for (auto& m : mags) {
+      m = static_cast<std::uint32_t>(rng.next_u64()) & mask;
+    }
+    std::vector<byte_t> planes(f * L / 8 + 1, byte_t{0});
+    bit_shuffle(mags, f, planes);
+    std::vector<std::uint32_t> back(L, 999);
+    bit_unshuffle(planes, f, back);
+    ASSERT_EQ(back, mags) << "L=" << L << " f=" << f;
+  }
+}
+
+TEST_P(ShuffleWidth, BitPackBijection) {
+  const unsigned f = GetParam();
+  Rng rng(f * 131 + 3);
+  const size_t L = 32;
+  std::vector<std::uint32_t> mags(L);
+  const std::uint32_t mask = f >= 32 ? ~0u : ((1u << f) - 1);
+  for (auto& m : mags) {
+    m = static_cast<std::uint32_t>(rng.next_u64()) & mask;
+  }
+  std::vector<byte_t> packed(f * L / 8 + 8, byte_t{0});
+  bit_pack(mags, f, packed);
+  std::vector<std::uint32_t> back(L, 999);
+  bit_unpack(packed, f, back);
+  EXPECT_EQ(back, mags);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ShuffleWidth,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 7u, 8u, 9u,
+                                           12u, 15u, 16u, 17u, 21u, 24u, 27u,
+                                           30u, 31u));
+
+TEST(Shuffle, PaperFigure11Layout) {
+  // Fig. 11: plane k byte j holds bit k of elements 8j..8j+7, bit position
+  // within the byte = element offset.
+  std::vector<std::uint32_t> mags(8, 0);
+  mags[0] = 0b1;    // element 0 contributes to plane 0
+  mags[3] = 0b10;   // element 3 contributes to plane 1
+  std::vector<byte_t> planes(2, byte_t{0});
+  bit_shuffle(mags, 2, planes);
+  EXPECT_EQ(planes[0], 1u << 0);  // plane 0: element 0
+  EXPECT_EQ(planes[1], 1u << 3);  // plane 1: element 3
+}
+
+TEST(Shuffle, ZeroPlanesIsEmpty) {
+  std::vector<std::uint32_t> mags(32, 0);
+  std::vector<byte_t> planes(1, byte_t{0xFF});
+  bit_shuffle(mags, 0, std::span<byte_t>(planes.data(), 0));
+  std::vector<std::uint32_t> back(32, 7);
+  bit_unshuffle(std::span<const byte_t>(planes.data(), 0), 0, back);
+  for (const auto m : back) EXPECT_EQ(m, 0u);
+}
+
+}  // namespace
+}  // namespace szp::core

@@ -1,0 +1,182 @@
+// Dataset substrate: registry consistency, generator determinism and the
+// statistical properties the experiments depend on (smoothness, sparsity,
+// heavy-tailed amplitudes, RTM time behaviour), plus f32 IO and slicing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "szp/data/generators.hpp"
+#include "szp/data/registry.hpp"
+
+namespace szp::data {
+namespace {
+
+TEST(Registry, SuiteInfoMatchesPaperTable2) {
+  ASSERT_EQ(all_suites().size(), 6u);
+  EXPECT_EQ(suite_info(Suite::kHurricane).paper_dims.to_string(),
+            "100x500x500");
+  EXPECT_EQ(suite_info(Suite::kHurricane).paper_num_fields, 13u);
+  EXPECT_EQ(suite_info(Suite::kNyx).paper_dims.to_string(), "512x512x512");
+  EXPECT_EQ(suite_info(Suite::kQmcpack).paper_dims.to_string(),
+            "288x115x69x69");
+  EXPECT_EQ(suite_info(Suite::kRtm).paper_num_fields, 36u);
+  EXPECT_EQ(suite_info(Suite::kHacc).paper_dims.count(), 280953867u);
+  EXPECT_EQ(suite_info(Suite::kCesmAtm).paper_num_fields, 79u);
+}
+
+TEST(Registry, FieldsAreDeterministic) {
+  for (const auto& info : all_suites()) {
+    const Field a = make_field(info.id, 0, 0.05);
+    const Field b = make_field(info.id, 0, 0.05);
+    ASSERT_EQ(a.values, b.values) << info.name;
+    ASSERT_EQ(a.name, b.name);
+  }
+}
+
+TEST(Registry, FieldsWithinSuiteDiffer) {
+  const Field a = make_field(Suite::kHurricane, 0, 0.05);
+  const Field b = make_field(Suite::kHurricane, 1, 0.05);
+  EXPECT_NE(a.values, b.values);
+}
+
+TEST(Registry, ScaleControlsElementCount) {
+  for (const auto& info : all_suites()) {
+    const size_t small = scaled_dims(info.id, 0.1).count();
+    const size_t large = scaled_dims(info.id, 1.0).count();
+    EXPECT_LT(small, large) << info.name;
+    // Roughly linear in scale (within integer-rounding slack).
+    EXPECT_GT(static_cast<double>(large) / static_cast<double>(small), 4.0);
+  }
+}
+
+TEST(Registry, AllFieldsFiniteAndNonConstant) {
+  for (const auto& info : all_suites()) {
+    for (size_t fidx = 0; fidx < info.num_fields; ++fidx) {
+      const Field f = make_field(info.id, fidx, 0.03);
+      ASSERT_EQ(f.count(), f.dims.count());
+      double range = f.value_range();
+      ASSERT_TRUE(std::isfinite(range)) << info.name << " " << fidx;
+      ASSERT_GT(range, 0) << info.name << " " << fidx;
+      for (const float v : f.values) ASSERT_TRUE(std::isfinite(v));
+    }
+  }
+}
+
+TEST(Generators, HeavyTailedAmplitude) {
+  // The property the CR ladders rely on: most samples are orders of
+  // magnitude below the value range.
+  const Field f = make_field(Suite::kHurricane, 0, 0.1);
+  const double range = f.value_range();
+  size_t quiet = 0;
+  for (const float v : f.values) {
+    if (std::abs(v) < 1e-2 * range) ++quiet;
+  }
+  EXPECT_GT(static_cast<double>(quiet) / f.count(), 0.5);
+}
+
+TEST(Generators, RtmHasExactZerosAheadOfFront) {
+  const Field f = make_rtm_snapshot(600, 0.1);
+  size_t zeros = 0;
+  for (const float v : f.values) {
+    if (v == 0.0f) ++zeros;
+  }
+  // Early timestep: the wave has lit only a small part of the volume.
+  EXPECT_GT(static_cast<double>(zeros) / f.count(), 0.5);
+}
+
+TEST(Generators, RtmRangeDecaysWithTime) {
+  double prev = 1e30;
+  for (const size_t t : {600u, 1500u, 2400u, 3300u}) {
+    const double r = make_rtm_snapshot(t, 0.05).value_range();
+    EXPECT_LT(r, prev) << t;
+    prev = r;
+  }
+}
+
+TEST(Generators, RtmZeroFractionShrinksWithTime) {
+  auto zero_frac = [](const Field& f) {
+    size_t z = 0;
+    for (const float v : f.values) z += (v == 0.0f);
+    return static_cast<double>(z) / f.count();
+  };
+  EXPECT_GT(zero_frac(make_rtm_snapshot(600, 0.05)),
+            zero_frac(make_rtm_snapshot(3000, 0.05)));
+}
+
+TEST(Generators, ParticleStreamIsRoughAtSampleScale) {
+  const Field f = particle_stream("vx", 100000, 7, 7600, 130);
+  // Adjacent-sample differences are noise-dominated: their stddev is close
+  // to sqrt(2)*noise_sigma within halos.
+  double sumsq = 0;
+  size_t n = 0;
+  for (size_t i = 1; i < f.count(); ++i) {
+    if (i % 512 == 0) continue;  // skip halo boundaries
+    const double d = f.values[i] - f.values[i - 1];
+    sumsq += d * d;
+    ++n;
+  }
+  const double sigma = std::sqrt(sumsq / n);
+  EXPECT_NEAR(sigma, 130.0 * std::sqrt(2.0), 10.0);
+}
+
+TEST(Generators, CosineMixtureRespectsAmplitudeBound) {
+  const Field f =
+      cosine_mixture("t", Dims{{64, 64}}, 3, 12, 8, 64, 1.0, 5.0, 2.0);
+  for (const float v : f.values) {
+    ASSERT_LE(std::abs(v - 2.0f), 5.0f + 1e-4f);
+  }
+}
+
+TEST(Generators, LogEnvelopeOnlyScalesDown) {
+  Field f = cosine_mixture("t", Dims{{64, 64}}, 4, 8, 8, 64, 1.0, 1.0, 0.0);
+  const Field orig = f;
+  apply_log_envelope(f, 9, -5, 0, 16, 64);
+  for (size_t i = 0; i < f.count(); ++i) {
+    ASSERT_LE(std::abs(f.values[i]), std::abs(orig.values[i]) + 1e-6);
+  }
+}
+
+TEST(FieldIo, F32Roundtrip) {
+  const Field f = make_field(Suite::kCesmAtm, 0, 0.02);
+  const std::string path = "/tmp/szp_test_io.f32";
+  save_f32(path, f);
+  const Field g = load_f32(path, f.dims, "reloaded");
+  EXPECT_EQ(g.values, f.values);
+  EXPECT_EQ(g.dims, f.dims);
+  std::filesystem::remove(path);
+}
+
+TEST(FieldIo, LoadErrors) {
+  EXPECT_THROW((void)load_f32("/nonexistent/x.f32", Dims{{4}}), format_error);
+  const std::string path = "/tmp/szp_short.f32";
+  save_f32(path, Field{"s", Dims{{2}}, {1.0f, 2.0f}});
+  EXPECT_THROW((void)load_f32(path, Dims{{100}}), format_error);
+  std::filesystem::remove(path);
+}
+
+TEST(Field, Slice2D) {
+  Field f{"t", Dims{{3, 4, 5}}, std::vector<float>(60)};
+  for (size_t i = 0; i < 60; ++i) f.values[i] = static_cast<float>(i);
+  const Slice2D s = slice2d(f, 1);
+  EXPECT_EQ(s.height, 4u);
+  EXPECT_EQ(s.width, 5u);
+  ASSERT_EQ(s.values.size(), 20u);
+  EXPECT_EQ(s.values[0], 20.0f);
+  EXPECT_EQ(s.values[19], 39.0f);
+  EXPECT_THROW((void)slice2d(f, 3), format_error);
+  Field one_d{"o", Dims{{7}}, std::vector<float>(7)};
+  EXPECT_THROW((void)slice2d(one_d, 0), format_error);
+}
+
+TEST(Field, DimsHelpers) {
+  const Dims d{{2, 3, 4}};
+  EXPECT_EQ(d.count(), 24u);
+  EXPECT_EQ(d.ndim(), 3u);
+  EXPECT_EQ(d.to_string(), "2x3x4");
+  EXPECT_EQ(Dims{}.count(), 0u);
+}
+
+}  // namespace
+}  // namespace szp::data

@@ -1,0 +1,94 @@
+// Scheduling determinism: the compressed stream must be byte-identical no
+// matter how many workers execute the kernels (the chained scan resolves
+// the same prefixes under any schedule).
+#include <gtest/gtest.h>
+
+#include "szp/core/compressor.hpp"
+#include "szp/data/registry.hpp"
+
+namespace szp {
+namespace {
+
+class WorkerCount : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(WorkerCount, StreamIndependentOfPoolSize) {
+  const auto field = data::make_field(data::Suite::kHurricane, 0, 0.03);
+  const double range = field.value_range();
+  core::Params p;
+  p.error_bound = 1e-3;
+  Compressor c(p);
+
+  auto run = [&](unsigned workers) {
+    gpusim::Device dev(workers);
+    auto d_in = gpusim::to_device<float>(dev, field.values);
+    gpusim::DeviceBuffer<byte_t> d_cmp(
+        dev, core::max_compressed_bytes(field.count(), p.block_len));
+    const auto res = c.compress_on_device(dev, d_in, field.count(), range,
+                                          d_cmp);
+    auto bytes = gpusim::to_host(dev, d_cmp);
+    bytes.resize(res.bytes);
+    return bytes;
+  };
+
+  const auto reference = run(1);
+  EXPECT_EQ(run(GetParam()), reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(Pools, WorkerCount,
+                         ::testing::Values(2u, 3u, 4u, 8u, 16u));
+
+TEST(WorkerCount, DecompressionDeterministicToo) {
+  const auto field = data::make_field(data::Suite::kRtm, 1, 0.03);
+  core::Params p;
+  p.error_bound = 1e-2;
+  Compressor c(p);
+  const auto stream = c.compress(field.values, field.value_range());
+
+  std::vector<float> reference;
+  for (const unsigned workers : {1u, 7u, 13u}) {
+    gpusim::Device dev(workers);
+    auto d_cmp = gpusim::to_device<byte_t>(dev, stream);
+    gpusim::DeviceBuffer<float> d_out(dev, field.count());
+    (void)c.decompress_on_device(dev, d_cmp, d_out);
+    const auto out = gpusim::to_host(dev, d_out);
+    if (reference.empty()) {
+      reference = out;
+    } else {
+      EXPECT_EQ(out, reference) << workers << " workers";
+    }
+  }
+}
+
+TEST(WorkerCount, TraceCountersIndependentOfSchedule) {
+  const auto field = data::make_field(data::Suite::kNyx, 1, 0.02);
+  core::Params p;
+  Compressor c(p);
+  gpusim::TraceSnapshot first{};
+  bool have_first = false;
+  for (const unsigned workers : {1u, 6u}) {
+    gpusim::Device dev(workers);
+    auto d_in = gpusim::to_device<float>(dev, field.values);
+    gpusim::DeviceBuffer<byte_t> d_cmp(
+        dev, core::max_compressed_bytes(field.count(), p.block_len));
+    const auto res = c.compress_on_device(dev, d_in, field.count(),
+                                          field.value_range(), d_cmp);
+    if (!have_first) {
+      first = res.trace;
+      have_first = true;
+      continue;
+    }
+    // All deterministic counters must match; only the chained-scan
+    // lookback read count is schedule-dependent.
+    for (unsigned s = 0; s < gpusim::kNumStages; ++s) {
+      if (s == unsigned(gpusim::Stage::kGlobalSync)) continue;
+      EXPECT_EQ(res.trace.stages[s].read_bytes, first.stages[s].read_bytes);
+      EXPECT_EQ(res.trace.stages[s].write_bytes, first.stages[s].write_bytes);
+      EXPECT_EQ(res.trace.stages[s].ops, first.stages[s].ops);
+    }
+    EXPECT_EQ(res.trace.stages[unsigned(gpusim::Stage::kGlobalSync)].ops,
+              first.stages[unsigned(gpusim::Stage::kGlobalSync)].ops);
+  }
+}
+
+}  // namespace
+}  // namespace szp

@@ -1,0 +1,101 @@
+// Warp-primitive emulation vs. straightforward references.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "szp/gpusim/warp.hpp"
+#include "szp/util/rng.hpp"
+
+namespace szp::gpusim::warp {
+namespace {
+
+Lanes<std::uint64_t> random_lanes(std::uint64_t seed, std::uint64_t max) {
+  Rng rng(seed);
+  Lanes<std::uint64_t> v{};
+  for (auto& x : v) x = rng.next_below(max);
+  return v;
+}
+
+TEST(Warp, ShflBroadcast) {
+  Lanes<int> v{};
+  std::iota(v.begin(), v.end(), 100);
+  EXPECT_EQ(shfl(v, 0), 100);
+  EXPECT_EQ(shfl(v, 31), 131);
+  EXPECT_EQ(shfl(v, 35), 103);  // wraps modulo warp size (CUDA semantics)
+}
+
+TEST(Warp, ShflUpKeepsLowLanes) {
+  Lanes<int> v{};
+  std::iota(v.begin(), v.end(), 0);
+  const auto s = shfl_up(v, 4);
+  for (unsigned lane = 0; lane < 4; ++lane) EXPECT_EQ(s[lane], int(lane));
+  for (unsigned lane = 4; lane < kWarpSize; ++lane) {
+    EXPECT_EQ(s[lane], int(lane - 4));
+  }
+}
+
+TEST(Warp, ShflDownKeepsHighLanes) {
+  Lanes<int> v{};
+  std::iota(v.begin(), v.end(), 0);
+  const auto s = shfl_down(v, 3);
+  for (unsigned lane = 0; lane < kWarpSize - 3; ++lane) {
+    EXPECT_EQ(s[lane], int(lane + 3));
+  }
+  for (unsigned lane = kWarpSize - 3; lane < kWarpSize; ++lane) {
+    EXPECT_EQ(s[lane], int(lane));
+  }
+}
+
+TEST(Warp, BallotMatchesBits) {
+  Lanes<bool> pred{};
+  pred[0] = pred[5] = pred[31] = true;
+  const std::uint32_t mask = ballot(pred);
+  EXPECT_EQ(mask, (1u << 0) | (1u << 5) | (1u << 31));
+  Lanes<bool> none{};
+  EXPECT_EQ(ballot(none), 0u);
+}
+
+class WarpScan : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WarpScan, InclusiveMatchesReference) {
+  const auto v = random_lanes(GetParam(), 1u << 20);
+  const auto scanned = inclusive_scan(v);
+  std::uint64_t acc = 0;
+  for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+    acc += v[lane];
+    ASSERT_EQ(scanned[lane], acc) << "lane " << lane;
+  }
+}
+
+TEST_P(WarpScan, ExclusiveMatchesReference) {
+  const auto v = random_lanes(GetParam() ^ 0xABCD, 1u << 20);
+  const auto scanned = exclusive_scan(v);
+  std::uint64_t acc = 0;
+  for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+    ASSERT_EQ(scanned[lane], acc) << "lane " << lane;
+    acc += v[lane];
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WarpScan,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+TEST(Warp, Reductions) {
+  const auto v = random_lanes(99, 1000);
+  std::uint64_t mx = 0, sum = 0;
+  for (const auto x : v) {
+    mx = std::max(mx, x);
+    sum += x;
+  }
+  EXPECT_EQ(reduce_max(v), mx);
+  EXPECT_EQ(reduce_add(v), sum);
+}
+
+TEST(Warp, ScanAllZeros) {
+  Lanes<std::uint64_t> zeros{};
+  const auto inc = inclusive_scan(zeros);
+  for (const auto x : inc) EXPECT_EQ(x, 0u);
+}
+
+}  // namespace
+}  // namespace szp::gpusim::warp

@@ -1,0 +1,101 @@
+// Archive container: multi-field roundtrip, random access, file IO,
+// malformed-blob handling.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "szp/archive/archive.hpp"
+#include "szp/data/registry.hpp"
+#include "szp/metrics/error.hpp"
+
+namespace szp::archive {
+namespace {
+
+core::Params rel_params(double rel) {
+  core::Params p;
+  p.mode = core::ErrorMode::kRel;
+  p.error_bound = rel;
+  return p;
+}
+
+TEST(Archive, MultiFieldRoundtrip) {
+  const auto fields = data::make_suite(data::Suite::kHurricane, 0.02);
+  Writer w(rel_params(1e-3));
+  for (const auto& f : fields) w.add(f);
+  EXPECT_EQ(w.num_fields(), fields.size());
+  const auto blob = std::move(w).finish();
+
+  Reader r(blob);
+  ASSERT_EQ(r.entries().size(), fields.size());
+  for (size_t i = 0; i < fields.size(); ++i) {
+    EXPECT_EQ(r.entries()[i].name, fields[i].name);
+    EXPECT_EQ(r.entries()[i].dims, fields[i].dims);
+    EXPECT_GT(r.entries()[i].compression_ratio(), 1.0);
+    const auto out = r.extract(i);
+    const auto stats = metrics::compare(fields[i].values, out.values);
+    EXPECT_LE(stats.max_rel_err, 1e-3 * (1 + 1e-9)) << fields[i].name;
+  }
+}
+
+TEST(Archive, ExtractByName) {
+  Writer w(rel_params(1e-2));
+  w.add(data::make_field(data::Suite::kNyx, 0, 0.01));
+  w.add(data::make_field(data::Suite::kNyx, 2, 0.01));
+  Reader r(std::move(w).finish());
+  EXPECT_EQ(r.extract("velocity_x").name, "velocity_x");
+  EXPECT_THROW((void)r.extract("nope"), format_error);
+}
+
+TEST(Archive, DuplicateNameRejected) {
+  Writer w(rel_params(1e-2));
+  const auto f = data::make_field(data::Suite::kHacc, 0, 0.01);
+  w.add(f);
+  EXPECT_THROW(w.add(f), format_error);
+}
+
+TEST(Archive, RangeExtractionMatchesFull) {
+  Writer w(rel_params(1e-3));
+  const auto f = data::make_field(data::Suite::kCesmAtm, 0, 0.05);
+  w.add(f);
+  Reader r(std::move(w).finish());
+  const auto full = r.extract(0);
+  const auto part = r.extract_range(0, 100, 1100);
+  ASSERT_EQ(part.size(), 1000u);
+  for (size_t i = 0; i < part.size(); ++i) {
+    ASSERT_EQ(part[i], full.values[100 + i]);
+  }
+}
+
+TEST(Archive, FileRoundtrip) {
+  Writer w(rel_params(1e-2));
+  w.add(data::make_field(data::Suite::kQmcpack, 0, 0.02));
+  const auto blob = std::move(w).finish();
+  const std::string path = "/tmp/szp_test.szpa";
+  save_archive(path, blob);
+  const Reader r = load_archive(path);
+  EXPECT_EQ(r.entries().size(), 1u);
+  EXPECT_EQ(r.extract(0).count(), r.entries()[0].dims.count());
+  std::filesystem::remove(path);
+}
+
+TEST(Archive, MalformedBlobsThrow) {
+  EXPECT_THROW((void)Reader(std::vector<byte_t>{1, 2, 3}), format_error);
+  Writer w(rel_params(1e-2));
+  w.add(data::make_field(data::Suite::kHacc, 1, 0.01));
+  auto blob = std::move(w).finish();
+  blob[0] ^= 0xFF;  // magic
+  EXPECT_THROW((void)Reader(blob), format_error);
+  blob[0] ^= 0xFF;
+  blob.resize(blob.size() / 2);  // truncated streams
+  EXPECT_THROW((void)Reader(std::move(blob)), format_error);
+}
+
+TEST(Archive, EmptyArchive) {
+  Writer w(rel_params(1e-2));
+  const Reader r(std::move(w).finish());
+  EXPECT_TRUE(r.entries().empty());
+  EXPECT_THROW((void)r.extract(size_t{0}), format_error);
+}
+
+}  // namespace
+}  // namespace szp::archive

@@ -1,0 +1,175 @@
+// Cross-codec integration: every codec on every suite through the harness,
+// checking error bounds, throughput structure and relative behaviours the
+// paper's evaluation depends on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "szp/harness/runner.hpp"
+#include "szp/metrics/error.hpp"
+#include "szp/baselines/vzfp/vzfp.hpp"
+#include "szp/perfmodel/hardware.hpp"
+
+namespace szp {
+namespace {
+
+using harness::CodecId;
+
+class CodecOnSuite
+    : public ::testing::TestWithParam<std::tuple<CodecId, data::Suite>> {};
+
+TEST_P(CodecOnSuite, RunsAndRespectsBound) {
+  const auto [codec, suite] = GetParam();
+  const auto field = data::make_field(suite, 0, 0.02);
+  harness::CodecSetting s;
+  s.id = codec;
+  s.rel = 1e-3;
+  s.rate = 8;
+  const auto r = harness::run_codec(s, field);
+  ASSERT_EQ(r.reconstruction.size(), field.count());
+  ASSERT_GT(r.compressed_bytes, 0u);
+  for (const float v : r.reconstruction) ASSERT_TRUE(std::isfinite(v));
+
+  if (codec != CodecId::kZfp) {
+    // Error-bounded codecs must respect REL 1e-3 exactly.
+    const auto stats = metrics::compare(field.values, r.reconstruction);
+    EXPECT_LE(stats.max_rel_err, 1e-3 * (1 + 1e-9))
+        << harness::codec_name(codec);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CodecOnSuite,
+    ::testing::Combine(
+        ::testing::Values(CodecId::kSzp, CodecId::kSz, CodecId::kSzx,
+                          CodecId::kZfp),
+        ::testing::Values(data::Suite::kHurricane, data::Suite::kNyx,
+                          data::Suite::kQmcpack, data::Suite::kRtm,
+                          data::Suite::kHacc, data::Suite::kCesmAtm)));
+
+TEST(CrossCodec, SingleKernelCodecsHaveEqualKernelAndE2eThroughput) {
+  const auto field = data::make_field(data::Suite::kHurricane, 0, 0.02);
+  const perfmodel::CostModel model(perfmodel::a100());
+  for (const auto codec : {CodecId::kSzp, CodecId::kZfp}) {
+    harness::CodecSetting s;
+    s.id = codec;
+    const auto r = harness::run_codec(s, field);
+    const auto t = harness::throughput_of(r, model);
+    EXPECT_NEAR(t.e2e_comp_gbps, t.kernel_comp_gbps,
+                t.kernel_comp_gbps * 0.02)
+        << harness::codec_name(codec);
+  }
+}
+
+TEST(CrossCodec, HybridCodecsCollapseEndToEnd) {
+  // The paper's Fig. 13 vs 15 structure: cuSZ/cuSZx kernel throughput is
+  // decent, but end-to-end drops by >10x; cuSZp does not.
+  const auto field = data::make_field(data::Suite::kNyx, 0, 0.25);
+  const perfmodel::CostModel model(perfmodel::a100());
+  for (const auto codec : {CodecId::kSz, CodecId::kSzx}) {
+    harness::CodecSetting s;
+    s.id = codec;
+    const auto r = harness::run_codec(s, field);
+    const auto t = harness::throughput_of(r, model);
+    EXPECT_GT(t.kernel_comp_gbps / t.e2e_comp_gbps, 10.0)
+        << harness::codec_name(codec);
+  }
+  harness::CodecSetting s;
+  s.id = CodecId::kSzp;
+  const auto r = harness::run_codec(s, field);
+  const auto t = harness::throughput_of(r, model);
+  EXPECT_LT(t.kernel_comp_gbps / t.e2e_comp_gbps, 1.1);
+}
+
+TEST(CrossCodec, SzpEndToEndDominatesHybrids) {
+  const auto field = data::make_field(data::Suite::kHurricane, 1, 0.05);
+  const perfmodel::CostModel model(perfmodel::a100());
+  auto e2e = [&](CodecId id) {
+    harness::CodecSetting s;
+    s.id = id;
+    const auto r = harness::run_codec(s, field);
+    return harness::throughput_of(r, model).e2e_comp_gbps;
+  };
+  const double szp = e2e(CodecId::kSzp);
+  EXPECT_GT(szp / e2e(CodecId::kSz), 20.0);
+  EXPECT_GT(szp / e2e(CodecId::kSzx), 10.0);
+}
+
+TEST(CrossCodec, TighterBoundsCostMoreBits) {
+  const auto field = data::make_field(data::Suite::kQmcpack, 0, 0.05);
+  for (const auto codec : {CodecId::kSzp, CodecId::kSz, CodecId::kSzx}) {
+    double prev_cr = 1e30;
+    for (const double rel : harness::rel_bounds()) {
+      harness::CodecSetting s;
+      s.id = codec;
+      s.rel = rel;
+      const auto r = harness::run_codec(s, field);
+      EXPECT_LE(r.compression_ratio(), prev_cr * 1.001)
+          << harness::codec_name(codec) << " rel=" << rel;
+      prev_cr = r.compression_ratio();
+    }
+  }
+}
+
+TEST(CrossCodec, TighterBoundsImprovePsnr) {
+  const auto field = data::make_field(data::Suite::kCesmAtm, 0, 0.05);
+  for (const auto codec : harness::error_bounded_codecs()) {
+    double prev_psnr = 0;
+    for (const double rel : harness::rel_bounds()) {
+      harness::CodecSetting s;
+      s.id = codec;
+      s.rel = rel;
+      const auto r = harness::run_codec(s, field);
+      const auto stats = metrics::compare(field.values, r.reconstruction);
+      EXPECT_GE(stats.psnr, prev_psnr - 0.5) << harness::codec_name(codec);
+      prev_psnr = stats.psnr;
+    }
+  }
+}
+
+TEST(CrossCodec, ZfpFixedRateBytesExactlyMatchShape) {
+  // Fixed-rate: the compressed size is a pure function of shape and rate
+  // (edge blocks are padded, so the per-*valid*-element bit rate can sit
+  // slightly above the nominal rate on non-multiple-of-4 dims).
+  const auto field = data::make_field(data::Suite::kHurricane, 0, 0.02);
+  harness::CodecSetting s;
+  s.id = CodecId::kZfp;
+  s.rate = 8;
+  const auto r1 = harness::run_codec(s, field);
+  vzfp::Params p;
+  p.rate = 8;
+  EXPECT_EQ(r1.compressed_bytes,
+            vzfp::compressed_bytes(harness::fuse_dims(field.dims, 3), p));
+  EXPECT_GE(r1.bit_rate(), 8.0);
+  EXPECT_LT(r1.bit_rate(), 11.0);
+}
+
+TEST(FuseDims, CollapsesLeadingAxes) {
+  const data::Dims d4{{6, 29, 69, 69}};
+  const data::Dims fused = harness::fuse_dims(d4, 3);
+  EXPECT_EQ(fused.to_string(), "174x69x69");
+  EXPECT_EQ(fused.count(), d4.count());
+  EXPECT_EQ(harness::fuse_dims(d4, 4), d4);
+  const data::Dims d1{{100}};
+  EXPECT_EQ(harness::fuse_dims(d1, 3), d1);
+}
+
+TEST(Harness, RunResultAccounting) {
+  const auto field = data::make_field(data::Suite::kHacc, 0, 0.02);
+  harness::CodecSetting s;
+  s.id = CodecId::kSzp;
+  s.rel = 1e-2;
+  const auto r = harness::run_codec(s, field);
+  EXPECT_EQ(r.original_bytes, field.size_bytes());
+  EXPECT_GT(r.eb_abs, 0);
+  EXPECT_NEAR(r.bit_rate(),
+              8.0 * static_cast<double>(r.compressed_bytes) /
+                  static_cast<double>(field.count()),
+              1e-9);
+  EXPECT_GT(r.wall_comp_s, 0);
+  EXPECT_GT(r.wall_decomp_s, 0);
+}
+
+}  // namespace
+}  // namespace szp

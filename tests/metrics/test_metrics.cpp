@@ -1,0 +1,138 @@
+// Quality metrics: known values, invariances, and the behaviours the
+// rate-distortion benches rely on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "szp/metrics/error.hpp"
+#include "szp/metrics/ssim.hpp"
+#include "szp/util/rng.hpp"
+
+namespace szp::metrics {
+namespace {
+
+std::vector<float> ramp(size_t n) {
+  std::vector<float> v(n);
+  for (size_t i = 0; i < n; ++i) v[i] = static_cast<float>(i);
+  return v;
+}
+
+TEST(ErrorStats, IdenticalDataIsPerfect) {
+  const auto a = ramp(1000);
+  const auto s = compare(a, a);
+  EXPECT_EQ(s.max_abs_err, 0);
+  EXPECT_TRUE(std::isinf(s.psnr));
+  EXPECT_EQ(s.nrmse, 0);
+  EXPECT_DOUBLE_EQ(s.pearson, 1.0);
+  EXPECT_DOUBLE_EQ(s.value_range, 999.0);
+}
+
+TEST(ErrorStats, KnownUniformError) {
+  // b = a + 1 everywhere: RMSE = 1, range = 999 -> PSNR = 20*log10(999).
+  const auto a = ramp(1000);
+  auto b = a;
+  for (auto& v : b) v += 1.0f;
+  const auto s = compare(a, b);
+  EXPECT_DOUBLE_EQ(s.max_abs_err, 1.0);
+  EXPECT_NEAR(s.psnr, 20.0 * std::log10(999.0), 1e-6);
+  EXPECT_NEAR(s.nrmse, 1.0 / 999.0, 1e-9);
+  EXPECT_NEAR(s.pearson, 1.0, 1e-12);  // shift preserves correlation
+}
+
+TEST(ErrorStats, AntiCorrelated) {
+  const auto a = ramp(100);
+  std::vector<float> b(a.rbegin(), a.rend());
+  EXPECT_NEAR(compare(a, b).pearson, -1.0, 1e-12);
+}
+
+TEST(ErrorStats, SizeMismatchThrows) {
+  const auto a = ramp(10);
+  const auto b = ramp(11);
+  EXPECT_THROW((void)compare(a, b), std::invalid_argument);
+}
+
+TEST(ErrorBounded, ExactThreshold) {
+  const std::vector<float> a = {0, 1, 2};
+  const std::vector<float> b = {0.5f, 1.5f, 2.5f};
+  EXPECT_TRUE(error_bounded(a, b, 0.5));
+  EXPECT_FALSE(error_bounded(a, b, 0.4999));
+  EXPECT_FALSE(error_bounded(a, ramp(2), 100));  // size mismatch
+}
+
+TEST(Ratios, CompressionRatioAndBitRate) {
+  EXPECT_DOUBLE_EQ(compression_ratio(4000, 400), 10.0);
+  EXPECT_EQ(compression_ratio(4000, 0), 0.0);
+  EXPECT_DOUBLE_EQ(bit_rate(1000, 500), 4.0);  // 500 B over 1000 points
+  EXPECT_EQ(bit_rate(0, 10), 0.0);
+}
+
+TEST(Ssim, IdenticalIsOne) {
+  Rng rng(5);
+  std::vector<float> a(64 * 64);
+  for (auto& v : a) v = static_cast<float>(rng.normal());
+  EXPECT_DOUBLE_EQ(ssim_2d(a, a, 64, 64), 1.0);
+  EXPECT_DOUBLE_EQ(ssim_1d(a, a), 1.0);
+}
+
+TEST(Ssim, DegradesWithNoise) {
+  Rng rng(6);
+  std::vector<float> a(128 * 128);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<float>(std::sin(i * 0.01) + std::cos(i * 0.003));
+  }
+  auto slightly = a, heavily = a;
+  for (auto& v : slightly) v += static_cast<float>(rng.normal() * 0.01);
+  for (auto& v : heavily) v += static_cast<float>(rng.normal() * 0.5);
+  const double s_slight = ssim_2d(a, slightly, 128, 128);
+  const double s_heavy = ssim_2d(a, heavily, 128, 128);
+  EXPECT_GT(s_slight, 0.95);
+  EXPECT_LT(s_heavy, s_slight);
+}
+
+TEST(Ssim, DetectsStructuralLoss) {
+  // Flattening blocks (the cuSZx failure mode) hurts SSIM even when the
+  // pointwise error is moderate.
+  std::vector<float> a(64 * 64);
+  for (size_t y = 0; y < 64; ++y) {
+    for (size_t x = 0; x < 64; ++x) {
+      a[y * 64 + x] = static_cast<float>(std::sin(x * 0.4) * std::sin(y * 0.4));
+    }
+  }
+  std::vector<float> flat(a.size());
+  for (size_t y0 = 0; y0 < 64; y0 += 8) {
+    for (size_t x0 = 0; x0 < 64; x0 += 8) {
+      double mean = 0;
+      for (size_t y = y0; y < y0 + 8; ++y) {
+        for (size_t x = x0; x < x0 + 8; ++x) mean += a[y * 64 + x];
+      }
+      mean /= 64.0;
+      for (size_t y = y0; y < y0 + 8; ++y) {
+        for (size_t x = x0; x < x0 + 8; ++x) {
+          flat[y * 64 + x] = static_cast<float>(mean);
+        }
+      }
+    }
+  }
+  EXPECT_LT(ssim_2d(a, flat, 64, 64), 0.5);
+}
+
+TEST(Ssim, FieldDispatchByDimension) {
+  data::Field f3{"a", data::Dims{{4, 32, 32}}, std::vector<float>(4096)};
+  for (size_t i = 0; i < f3.values.size(); ++i) {
+    f3.values[i] = static_cast<float>(std::sin(i * 0.02));
+  }
+  EXPECT_DOUBLE_EQ(ssim(f3, f3), 1.0);
+  data::Field f1{"b", data::Dims{{512}}, std::vector<float>(512, 1.0f)};
+  EXPECT_DOUBLE_EQ(ssim(f1, f1), 1.0);
+  data::Field other{"c", data::Dims{{512, 1}}, std::vector<float>(512)};
+  EXPECT_THROW((void)ssim(f3, other), std::invalid_argument);
+}
+
+TEST(Ssim, RangeStabilizerFromReference) {
+  // A constant pair is perfectly similar regardless of derived range.
+  const std::vector<float> c(256, 3.0f);
+  EXPECT_DOUBLE_EQ(ssim_2d(c, c, 16, 16), 1.0);
+}
+
+}  // namespace
+}  // namespace szp::metrics

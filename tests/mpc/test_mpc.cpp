@@ -1,0 +1,123 @@
+// MPC lossless baseline: bit-exact roundtrips, CR behaviour, device path.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "szp/baselines/mpc/mpc.hpp"
+#include "szp/data/registry.hpp"
+#include "szp/util/rng.hpp"
+
+namespace szp::mpc {
+namespace {
+
+bool bit_identical(std::span<const float> a, std::span<const float> b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * 4) == 0;
+}
+
+TEST(Mpc, LosslessOnEverySuite) {
+  for (const auto& info : data::all_suites()) {
+    const auto field = data::make_field(info.id, 0, 0.02);
+    const auto stream = compress_serial(field.values);
+    const auto recon = decompress_serial(stream);
+    ASSERT_TRUE(bit_identical(field.values, recon)) << info.name;
+  }
+}
+
+TEST(Mpc, LosslessOnHostileBitPatterns) {
+  Rng rng(3);
+  std::vector<float> data(10000);
+  for (size_t i = 0; i < data.size(); ++i) {
+    // Random bit patterns, including NaNs/infinities and denormals —
+    // lossless means every payload survives.
+    std::uint32_t w = static_cast<std::uint32_t>(rng.next_u64());
+    std::memcpy(&data[i], &w, 4);
+  }
+  const auto recon = decompress_serial(compress_serial(data));
+  EXPECT_TRUE(bit_identical(data, recon));
+}
+
+TEST(Mpc, ChunkBoundarySizes) {
+  Rng rng(4);
+  for (const size_t n : {0u, 1u, 31u, 32u, 1023u, 1024u, 1025u, 5000u}) {
+    std::vector<float> data(n);
+    for (auto& v : data) v = static_cast<float>(rng.normal());
+    const auto recon = decompress_serial(compress_serial(data));
+    ASSERT_TRUE(bit_identical(data, recon)) << n;
+  }
+}
+
+TEST(Mpc, CompressesSmoothDataAndNotNoise) {
+  // Smooth ramp: deltas tiny, most bit planes zero -> CR well above 1.
+  std::vector<float> smooth(100000);
+  for (size_t i = 0; i < smooth.size(); ++i) {
+    smooth[i] = static_cast<float>(i) * 0.25f;
+  }
+  const auto s1 = compress_serial(smooth);
+  EXPECT_GT(static_cast<double>(smooth.size() * 4) /
+                static_cast<double>(s1.size()),
+            2.0);
+
+  // White noise: essentially incompressible (bitmap overhead only).
+  Rng rng(5);
+  std::vector<float> noise(100000);
+  for (auto& v : noise) v = static_cast<float>(rng.normal() * 1e9);
+  const auto s2 = compress_serial(noise);
+  const double cr = static_cast<double>(noise.size() * 4) /
+                    static_cast<double>(s2.size());
+  EXPECT_GT(cr, 0.9);
+  EXPECT_LT(cr, 1.3);
+}
+
+TEST(Mpc, StrideHelpsInterleavedVectors) {
+  // xyzxyz... interleaving: stride-3 prediction beats stride-1.
+  Rng rng(6);
+  std::vector<float> data(30000);
+  double x = 0, y = 1000, z = -500;
+  for (size_t i = 0; i < data.size(); i += 3) {
+    x += rng.normal() * 0.01;
+    y += rng.normal() * 0.01;
+    z += rng.normal() * 0.01;
+    data[i] = static_cast<float>(x);
+    data[i + 1] = static_cast<float>(y);
+    data[i + 2] = static_cast<float>(z);
+  }
+  Params p1, p3;
+  p1.stride = 1;
+  p3.stride = 3;
+  const auto s1 = compress_serial(data, p1);
+  const auto s3 = compress_serial(data, p3);
+  EXPECT_LT(s3.size(), s1.size());
+  EXPECT_TRUE(bit_identical(data, decompress_serial(s3)));
+}
+
+TEST(Mpc, DeviceMatchesSerial) {
+  const auto field = data::make_field(data::Suite::kCesmAtm, 0, 0.05);
+  const auto serial = compress_serial(field.values);
+
+  gpusim::Device dev;
+  auto d_in = gpusim::to_device<float>(dev, field.values);
+  gpusim::DeviceBuffer<byte_t> d_cmp(dev, max_compressed_bytes(field.count()));
+  const auto res = compress_device(dev, d_in, field.count(), {}, d_cmp);
+  ASSERT_EQ(res.bytes, serial.size());
+  EXPECT_EQ(res.trace.kernel_launches, 1u);
+  const auto bytes = gpusim::to_host(dev, d_cmp);
+  for (size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(bytes[i], serial[i]) << i;
+  }
+}
+
+TEST(Mpc, TruncatedStreamThrows) {
+  std::vector<float> data(2048, 1.5f);
+  const auto stream = compress_serial(data);
+  for (const size_t keep : {size_t{4}, size_t{20}, stream.size() - 3}) {
+    EXPECT_THROW((void)decompress_serial(
+                     std::span<const byte_t>(stream.data(), keep)),
+                 format_error)
+        << keep;
+  }
+}
+
+}  // namespace
+}  // namespace szp::mpc

@@ -1,0 +1,107 @@
+// Cost model: structure, monotonicity, hardware preset ordering.
+#include <gtest/gtest.h>
+
+#include "szp/perfmodel/cost.hpp"
+
+namespace szp::perfmodel {
+namespace {
+
+using gpusim::Stage;
+using gpusim::TraceSnapshot;
+
+TEST(CostModel, EmptyTraceCostsNothing) {
+  const CostModel model(a100());
+  const TraceSnapshot empty{};
+  const RunCost c = model.run(empty);
+  EXPECT_EQ(c.device_s, 0);
+  EXPECT_EQ(c.memcpy_s, 0);
+  EXPECT_EQ(c.host_s, 0);
+  EXPECT_EQ(c.end_to_end_s(), 0);
+}
+
+TEST(CostModel, LaunchOverheadCharged) {
+  const CostModel model(a100());
+  TraceSnapshot t{};
+  t.kernel_launches = 10;
+  EXPECT_DOUBLE_EQ(model.run(t).device_s, 10 * a100().kernel_launch_s);
+}
+
+TEST(CostModel, StageTimeIsMaxOfTrafficAndCompute) {
+  const CostModel model(a100());
+  TraceSnapshot t{};
+  auto& qp = t.stages[unsigned(Stage::kQuantPredict)];
+  // Huge traffic, no ops: bandwidth-bound.
+  qp.read_bytes = 1'000'000'000;
+  const double bw_bound = model.run(t).device_s;
+  EXPECT_NEAR(bw_bound, 1e9 / a100().hbm_bandwidth, 1e-9);
+  // Add a few ops: still bandwidth-bound (max, not sum).
+  qp.ops = 10;
+  EXPECT_DOUBLE_EQ(model.run(t).device_s, bw_bound);
+  // Huge ops: compute-bound.
+  qp.ops = 1'000'000'000'000ULL;
+  EXPECT_GT(model.run(t).device_s, bw_bound * 100);
+}
+
+TEST(CostModel, MemcpyAndHostSeparateFromDevice) {
+  const CostModel model(a100());
+  TraceSnapshot t{};
+  t.h2d_bytes = 600'000'000;
+  t.d2h_bytes = 600'000'000;
+  t.host_bytes = 150'000'000;
+  t.host_stages = 2;
+  const RunCost c = model.run(t);
+  EXPECT_NEAR(c.memcpy_s, 1.2e9 / a100().pcie_bandwidth, 1e-9);
+  EXPECT_NEAR(c.host_s,
+              1.5e8 / a100().host_bandwidth + 2 * a100().host_stage_s, 1e-9);
+  EXPECT_EQ(c.device_s, 0);
+  EXPECT_NEAR(c.gpu_fraction() + c.memcpy_fraction() + c.host_fraction(), 1.0,
+              1e-12);
+}
+
+TEST(CostModel, MonotoneInWork) {
+  const CostModel model(a100());
+  TraceSnapshot small{}, big{};
+  small.stages[0].ops = 1000;
+  big.stages[0].ops = 2000;
+  EXPECT_LT(model.run(small).device_s, model.run(big).device_s);
+}
+
+TEST(Hardware, PresetsOrderedByCapability) {
+  // A100 > V100 > RTX3080 in both bandwidth and compute throughput.
+  const auto gpus = all_gpus();
+  ASSERT_EQ(gpus.size(), 3u);
+  EXPECT_GT(gpus[0].hbm_bandwidth, gpus[1].hbm_bandwidth);
+  EXPECT_GT(gpus[1].hbm_bandwidth, gpus[2].hbm_bandwidth);
+  for (unsigned s = 0; s < gpusim::kNumStages; ++s) {
+    EXPECT_LE(gpus[0].op_cost[s], gpus[1].op_cost[s]);
+    EXPECT_LE(gpus[1].op_cost[s], gpus[2].op_cost[s]);
+  }
+}
+
+TEST(Hardware, SameKernelSlowerOnLowerEndGpu) {
+  TraceSnapshot t{};
+  t.stages[unsigned(Stage::kQuantPredict)].ops = 1'000'000;
+  t.stages[unsigned(Stage::kQuantPredict)].read_bytes = 4'000'000;
+  t.kernel_launches = 1;
+  const double a = CostModel(a100()).run(t).device_s;
+  const double v = CostModel(v100()).run(t).device_s;
+  const double r = CostModel(rtx3080()).run(t).device_s;
+  EXPECT_LT(a, v);
+  EXPECT_LT(v, r);
+}
+
+TEST(CostModel, GbpsHelpers) {
+  EXPECT_DOUBLE_EQ(gbps(2'000'000'000ULL, 1.0), 2.0);
+  EXPECT_EQ(gbps(100, 0.0), 0.0);
+  const CostModel model(a100());
+  TraceSnapshot t{};
+  t.stages[0].ops = 1'000'000'000;
+  const double e2e = model.end_to_end_gbps(t, 4'000'000'000ULL);
+  const double kern = model.kernel_gbps(t, 4'000'000'000ULL);
+  EXPECT_DOUBLE_EQ(e2e, kern);  // no memcpy/host in this trace
+  t.h2d_bytes = 1'000'000'000;
+  EXPECT_LT(model.end_to_end_gbps(t, 4'000'000'000ULL), kern);
+}
+
+}  // namespace
+}  // namespace szp::perfmodel

@@ -1,0 +1,92 @@
+// ByteWriter/ByteReader: POD roundtrips, placeholders/patching, overruns.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "szp/util/bytestream.hpp"
+
+namespace szp {
+namespace {
+
+TEST(ByteStream, PodRoundtrip) {
+  ByteWriter w;
+  w.put(std::uint32_t{0xDEADBEEF});
+  w.put(std::uint16_t{0x1234});
+  w.put(double{3.14159});
+  w.put(std::int64_t{-42});
+  w.put(byte_t{7});
+  const auto bytes = std::move(w).take();
+
+  ByteReader r(bytes);
+  EXPECT_EQ(r.get<std::uint32_t>(), 0xDEADBEEFu);
+  EXPECT_EQ(r.get<std::uint16_t>(), 0x1234u);
+  EXPECT_DOUBLE_EQ(r.get<double>(), 3.14159);
+  EXPECT_EQ(r.get<std::int64_t>(), -42);
+  EXPECT_EQ(r.get<byte_t>(), 7u);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(ByteStream, PlaceholderPatch) {
+  ByteWriter w;
+  w.put(std::uint8_t{1});
+  const size_t off = w.put_placeholder(sizeof(std::uint64_t));
+  w.put(std::uint8_t{2});
+  w.patch(off, std::uint64_t{0xCAFEBABE12345678ULL});
+  const auto bytes = std::move(w).take();
+
+  ByteReader r(bytes);
+  EXPECT_EQ(r.get<std::uint8_t>(), 1u);
+  EXPECT_EQ(r.get<std::uint64_t>(), 0xCAFEBABE12345678ULL);
+  EXPECT_EQ(r.get<std::uint8_t>(), 2u);
+}
+
+TEST(ByteStream, PatchOutOfRangeThrows) {
+  ByteWriter w;
+  w.put(std::uint8_t{1});
+  EXPECT_THROW(w.patch(0, std::uint64_t{0}), format_error);
+}
+
+TEST(ByteStream, ReadPastEndThrows) {
+  const std::vector<byte_t> tiny = {1, 2, 3};
+  ByteReader r(tiny);
+  EXPECT_EQ(r.get<std::uint16_t>(), 0x0201u);
+  EXPECT_THROW((void)r.get<std::uint32_t>(), format_error);
+}
+
+TEST(ByteStream, GetBytesSpans) {
+  ByteWriter w;
+  const std::vector<byte_t> payload = {9, 8, 7, 6};
+  w.put_bytes(payload);
+  const auto bytes = std::move(w).take();
+  ByteReader r(bytes);
+  const auto s = r.get_bytes(4);
+  EXPECT_TRUE(std::equal(s.begin(), s.end(), payload.begin()));
+  EXPECT_THROW((void)r.get_bytes(1), format_error);
+}
+
+TEST(ByteStream, LittleEndianLayout) {
+  ByteWriter w;
+  w.put(std::uint32_t{0x04030201});
+  const auto bytes = std::move(w).take();
+  ASSERT_EQ(bytes.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) EXPECT_EQ(bytes[i], i + 1);
+}
+
+TEST(CheckedCast, AcceptsAndRejects) {
+  EXPECT_EQ(checked_cast<std::uint8_t>(255), 255u);
+  EXPECT_THROW((void)checked_cast<std::uint8_t>(256), std::range_error);
+  EXPECT_THROW((void)checked_cast<std::uint32_t>(-1), std::range_error);
+  EXPECT_EQ(checked_cast<std::int16_t>(-32768), -32768);
+}
+
+TEST(DivCeil, Basics) {
+  EXPECT_EQ(div_ceil(0, 8), 0);
+  EXPECT_EQ(div_ceil(1, 8), 1);
+  EXPECT_EQ(div_ceil(8, 8), 1);
+  EXPECT_EQ(div_ceil(9, 8), 2);
+  EXPECT_EQ(round_up(9, 8), 16);
+  EXPECT_EQ(round_up(16, 8), 16);
+}
+
+}  // namespace
+}  // namespace szp

@@ -1,0 +1,129 @@
+// Rng determinism and distribution sanity; stats helpers; table printing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "szp/util/rng.hpp"
+#include "szp/util/stats.hpp"
+#include "szp/util/table.hpp"
+
+namespace szp {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(12345), b(12345);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.uniform(-3.5, 2.5);
+    ASSERT_GE(d, -3.5);
+    ASSERT_LT(d, 2.5);
+  }
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng rng(9);
+  double sum = 0, sumsq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sumsq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, NextBelowBoundsAndCoverage) {
+  Rng rng(10);
+  std::vector<int> hits(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.next_below(10);
+    ASSERT_LT(v, 10u);
+    ++hits[v];
+  }
+  for (const int h : hits) EXPECT_GT(h, 700);  // roughly uniform
+  EXPECT_EQ(rng.next_below(0), 0u);
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Stats, SummarizeBasics) {
+  const std::vector<double> xs = {3, -1, 4, 1, 5};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.min, -1);
+  EXPECT_EQ(s.max, 5);
+  EXPECT_DOUBLE_EQ(s.mean, 2.4);
+  const Summary empty = summarize(std::span<const double>{});
+  EXPECT_EQ(empty.min, 0);
+}
+
+TEST(Stats, EmpiricalCdfMonotone) {
+  const std::vector<double> xs = {0.1, 0.2, 0.2, 0.7, 0.9};
+  const std::vector<double> pts = {0.0, 0.15, 0.2, 0.5, 1.0};
+  const auto cdf = empirical_cdf(xs, pts);
+  ASSERT_EQ(cdf.size(), pts.size());
+  EXPECT_DOUBLE_EQ(cdf[0], 0.0);
+  EXPECT_DOUBLE_EQ(cdf[1], 0.2);
+  EXPECT_DOUBLE_EQ(cdf[2], 0.6);  // <= 0.2 includes both 0.2 samples
+  EXPECT_DOUBLE_EQ(cdf[4], 1.0);
+  for (size_t i = 1; i < cdf.size(); ++i) EXPECT_GE(cdf[i], cdf[i - 1]);
+}
+
+TEST(Stats, Percentile) {
+  std::vector<double> xs;
+  for (int i = 0; i <= 100; ++i) xs.push_back(i);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 50);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 100);
+  EXPECT_NEAR(percentile(xs, 90), 90, 1.0);
+}
+
+TEST(Table, AlignsColumnsAndCounts) {
+  Table t({"name", "value"});
+  t.row().cell("alpha").cell(1.5, 2);
+  t.row().cell("b").cell(static_cast<long long>(42));
+  EXPECT_EQ(t.num_rows(), 2u);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("1.50"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Table, FormatFixed) {
+  EXPECT_EQ(format_fixed(1.23456, 2), "1.23");
+  EXPECT_EQ(format_fixed(-0.5, 1), "-0.5");
+  EXPECT_EQ(format_fixed(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace szp

@@ -1,0 +1,89 @@
+// PGM rendering: file structure, normalization, diff maps.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "szp/vis/pgm.hpp"
+
+namespace szp::vis {
+namespace {
+
+data::Slice2D make_slice(size_t h, size_t w) {
+  data::Slice2D s;
+  s.height = h;
+  s.width = w;
+  s.values.resize(h * w);
+  for (size_t i = 0; i < s.values.size(); ++i) {
+    s.values[i] = static_cast<float>(i);
+  }
+  return s;
+}
+
+std::vector<char> read_all(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+TEST(Pgm, WritesValidHeaderAndSize) {
+  const auto s = make_slice(5, 7);
+  const std::string path = "/tmp/szp_test.pgm";
+  write_pgm(path, s);
+  const auto bytes = read_all(path);
+  ASSERT_GT(bytes.size(), 10u);
+  EXPECT_EQ(bytes[0], 'P');
+  EXPECT_EQ(bytes[1], '5');
+  const std::string content(bytes.begin(), bytes.end());
+  EXPECT_NE(content.find("7 5"), std::string::npos);
+  // Header + exactly h*w payload bytes.
+  const size_t header_end = content.find("255\n") + 4;
+  EXPECT_EQ(bytes.size() - header_end, 35u);
+  std::filesystem::remove(path);
+}
+
+TEST(Pgm, NormalizationSpansFullRange) {
+  const auto s = make_slice(4, 8);
+  const std::string path = "/tmp/szp_norm.pgm";
+  write_pgm(path, s);
+  const auto bytes = read_all(path);
+  const std::string content(bytes.begin(), bytes.end());
+  const size_t off = content.find("255\n") + 4;
+  EXPECT_EQ(static_cast<unsigned char>(bytes[off]), 0u);
+  EXPECT_EQ(static_cast<unsigned char>(bytes.back()), 255u);
+  std::filesystem::remove(path);
+}
+
+TEST(Pgm, DiffMapZeroForIdentical) {
+  const auto s = make_slice(4, 4);
+  const std::string path = "/tmp/szp_diff.pgm";
+  write_diff_pgm(path, s, s, 100.0);
+  const auto bytes = read_all(path);
+  const std::string content(bytes.begin(), bytes.end());
+  const size_t off = content.find("255\n") + 4;
+  for (size_t i = off; i < bytes.size(); ++i) {
+    EXPECT_EQ(static_cast<unsigned char>(bytes[i]), 0u);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Pgm, DiffMapSizeMismatchThrows) {
+  const auto a = make_slice(4, 4);
+  const auto b = make_slice(4, 5);
+  EXPECT_THROW(write_diff_pgm("/tmp/x.pgm", a, b, 1.0), format_error);
+}
+
+TEST(Pgm, MeanAbsDiff) {
+  auto a = make_slice(2, 2);
+  auto b = a;
+  b.values[0] += 4.0f;
+  EXPECT_DOUBLE_EQ(mean_abs_diff(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(mean_abs_diff(a, a), 0.0);
+}
+
+TEST(Pgm, UnwritablePathThrows) {
+  const auto s = make_slice(2, 2);
+  EXPECT_THROW(write_pgm("/nonexistent_dir/x.pgm", s), format_error);
+}
+
+}  // namespace
+}  // namespace szp::vis

@@ -1,0 +1,177 @@
+// cuSZ-style baseline: Huffman, N-D Lorenzo, outliers, device pipeline.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "szp/baselines/vsz/vsz.hpp"
+#include "szp/data/registry.hpp"
+#include "szp/metrics/error.hpp"
+#include "szp/util/rng.hpp"
+
+namespace szp {
+namespace {
+
+using vsz::Grid;
+
+std::vector<float> noisy(size_t n, double amp, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.normal() * amp);
+  return v;
+}
+
+TEST(VszHuffman, RoundtripRandomSymbols) {
+  Rng rng(7);
+  std::vector<std::uint64_t> freq(1024, 0);
+  std::vector<std::uint16_t> symbols(50000);
+  for (auto& s : symbols) {
+    // Geometric-ish distribution around 512 (like quant codes).
+    const double g = rng.normal() * 20 + 512;
+    s = static_cast<std::uint16_t>(std::clamp(g, 0.0, 1023.0));
+    ++freq[s];
+  }
+  const auto book = vsz::HuffmanCodebook::build(freq);
+  const auto bits = vsz::huffman_encode(symbols, book);
+  const auto decoded = vsz::huffman_decode(bits, book, symbols.size());
+  EXPECT_EQ(decoded, symbols);
+  // Entropy coding should beat the 10-bit flat code on this skew.
+  EXPECT_LT(bits.size() * 8, symbols.size() * 10);
+}
+
+TEST(VszHuffman, KraftInequalityHolds) {
+  Rng rng(8);
+  std::vector<std::uint64_t> freq(4096);
+  for (auto& f : freq) f = rng.next_below(1000);
+  const auto book = vsz::HuffmanCodebook::build(freq);
+  EXPECT_LE(book.kraft_sum(),
+            std::uint64_t{1} << vsz::HuffmanCodebook::kMaxCodeLength);
+}
+
+TEST(VszHuffman, SingleSymbolAlphabet) {
+  std::vector<std::uint64_t> freq(16, 0);
+  freq[5] = 100;
+  const auto book = vsz::HuffmanCodebook::build(freq);
+  std::vector<std::uint16_t> symbols(100, 5);
+  const auto bits = vsz::huffman_encode(symbols, book);
+  EXPECT_EQ(vsz::huffman_decode(bits, book, 100), symbols);
+}
+
+TEST(VszHuffman, SerializationRebuildsCanonicalCodes) {
+  std::vector<std::uint64_t> freq = {5, 9, 12, 13, 16, 45};
+  const auto book = vsz::HuffmanCodebook::build(freq);
+  const auto book2 = vsz::HuffmanCodebook::deserialize(book.serialize());
+  EXPECT_EQ(book.lengths, book2.lengths);
+  EXPECT_EQ(book.codes, book2.codes);
+}
+
+TEST(VszLorenzo, ForwardInverse3D) {
+  Rng rng(11);
+  Grid g{{7, 9, 11}};
+  std::vector<std::int32_t> v(g.count());
+  for (auto& x : v) {
+    x = static_cast<std::int32_t>(rng.next_below(1 << 20)) - (1 << 19);
+  }
+  auto w = v;
+  vsz::lorenzo_nd_forward(w, g);
+  vsz::lorenzo_nd_inverse(w, g);
+  EXPECT_EQ(w, v);
+}
+
+TEST(VszLorenzo, DiffThenSumIsIdentityPerAxis) {
+  Rng rng(12);
+  Grid g{{5, 6, 7}};
+  std::vector<std::int32_t> v(g.count());
+  for (auto& x : v) x = static_cast<std::int32_t>(rng.next_below(1000));
+  for (size_t axis = 0; axis < 3; ++axis) {
+    auto w = v;
+    vsz::axis_diff(w, g, axis);
+    vsz::axis_prefix_sum(w, g, axis);
+    EXPECT_EQ(w, v) << "axis " << axis;
+  }
+}
+
+TEST(Vsz, ErrorBoundHolds3D) {
+  const auto field = data::make_field(data::Suite::kNyx, 2, 0.05);
+  vsz::Params p;
+  p.mode = core::ErrorMode::kAbs;
+  p.error_bound = field.value_range() * 1e-3;
+  Grid g{field.dims.extents};
+  const auto stream = vsz::compress_serial(field.values, g, p);
+  const auto recon = vsz::decompress_serial(stream);
+  EXPECT_TRUE(metrics::error_bounded(field.values, recon, p.error_bound));
+}
+
+TEST(Vsz, OutliersAreHandled) {
+  // Rough data with spikes: many deltas exceed the radius.
+  auto data = noisy(10000, 1000.0, 13);
+  data[137] = 1e6f;
+  data[9000] = -1e6f;
+  vsz::Params p;
+  p.mode = core::ErrorMode::kAbs;
+  p.error_bound = 0.5;
+  p.radius = 16;  // tiny radius to force outliers
+  Grid g{{data.size()}};
+  const auto stream = vsz::compress_serial(data, g, p);
+  const auto h = vsz::Header::deserialize(stream);
+  EXPECT_GT(h.num_outliers, 0u);
+  const auto recon = vsz::decompress_serial(stream);
+  EXPECT_TRUE(metrics::error_bounded(data, recon, p.error_bound));
+}
+
+TEST(Vsz, DeviceMatchesSerial) {
+  const auto field = data::make_field(data::Suite::kHurricane, 2, 0.05);
+  vsz::Params p;
+  const double eb = 1e-3 * field.value_range();
+  p.mode = core::ErrorMode::kAbs;
+  p.error_bound = eb;
+  Grid g{field.dims.extents};
+  const auto serial = vsz::compress_serial(field.values, g, p);
+
+  gpusim::Device dev;
+  auto d_in = gpusim::to_device<float>(dev, field.values);
+  gpusim::DeviceBuffer<byte_t> d_cmp(dev,
+                                     vsz::max_compressed_bytes(field.count()));
+  const auto res = vsz::compress_device(dev, d_in, g, p, eb, d_cmp);
+  ASSERT_EQ(res.bytes, serial.size());
+  const auto bytes = gpusim::to_host(dev, d_cmp);
+  for (size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(bytes[i], serial[i]) << "byte " << i;
+  }
+
+  gpusim::DeviceBuffer<float> d_out(dev, field.count());
+  const auto dres = vsz::decompress_device(dev, d_cmp, d_out);
+  ASSERT_EQ(dres.bytes, field.count());
+  const auto recon = gpusim::to_host(dev, d_out);
+  const auto recon_serial = vsz::decompress_serial(serial);
+  for (size_t i = 0; i < recon.size(); ++i) {
+    ASSERT_EQ(recon[i], recon_serial[i]);
+  }
+}
+
+TEST(Vsz, DevicePathIsMultiKernelWithHostWork) {
+  const auto field = data::make_field(data::Suite::kHurricane, 0, 0.05);
+  vsz::Params p;
+  gpusim::Device dev;
+  auto d_in = gpusim::to_device<float>(dev, field.values);
+  gpusim::DeviceBuffer<byte_t> d_cmp(dev,
+                                     vsz::max_compressed_bytes(field.count()));
+  Grid g{field.dims.extents};
+  const auto res = vsz::compress_device(dev, d_in, g, p,
+                                        1e-3 * field.value_range(), d_cmp);
+  EXPECT_GE(res.trace.kernel_launches, 4u);  // quant, 3x lorenzo, hist, ...
+  EXPECT_GT(res.trace.host_stages, 0u);
+  EXPECT_GT(res.trace.d2h_bytes, field.size_bytes() / 4);
+}
+
+TEST(Vsz, CompressionBeatsRawOnSmoothData) {
+  const auto field = data::make_field(data::Suite::kNyx, 0, 0.05);
+  vsz::Params p;
+  p.error_bound = 1e-3;
+  Grid g{field.dims.extents};
+  const auto stream =
+      vsz::compress_serial(field.values, g, p, field.value_range());
+  EXPECT_LT(stream.size(), field.size_bytes() / 4);
+}
+
+}  // namespace
+}  // namespace szp

@@ -1,0 +1,175 @@
+// vsz edge cases: chunk boundaries, radius sweep, adversarial Huffman
+// inputs, corrupted streams.
+#include <gtest/gtest.h>
+
+#include "szp/baselines/vsz/vsz.hpp"
+#include "szp/data/registry.hpp"
+#include "szp/metrics/error.hpp"
+#include "szp/util/rng.hpp"
+
+namespace szp {
+namespace {
+
+using vsz::Grid;
+
+std::vector<float> smooth(size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  double acc = 0;
+  for (auto& x : v) {
+    acc += rng.normal() * 0.1;
+    x = static_cast<float>(acc);
+  }
+  return v;
+}
+
+class VszChunkBoundary : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(VszChunkBoundary, RoundtripAtBoundary) {
+  const size_t n = GetParam();
+  const auto data = smooth(n, n);
+  vsz::Params p;
+  p.mode = core::ErrorMode::kAbs;
+  p.error_bound = 1e-3;
+  p.chunk = 1024;
+  Grid g{{n}};
+  const auto stream = vsz::compress_serial(data, g, p);
+  const auto recon = vsz::decompress_serial(stream);
+  ASSERT_EQ(recon.size(), n);
+  EXPECT_TRUE(metrics::error_bounded(data, recon, p.error_bound + 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Boundaries, VszChunkBoundary,
+                         ::testing::Values(1u, 1023u, 1024u, 1025u, 2048u,
+                                           10000u));
+
+class VszRadius : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(VszRadius, BoundHoldsAcrossRadii) {
+  const auto data = smooth(20000, 5);
+  vsz::Params p;
+  p.mode = core::ErrorMode::kAbs;
+  p.error_bound = 1e-2;
+  p.radius = GetParam();
+  Grid g{{200, 100}};
+  const auto stream = vsz::compress_serial(data, g, p);
+  const auto recon = vsz::decompress_serial(stream);
+  EXPECT_TRUE(metrics::error_bounded(data, recon, p.error_bound + 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Radii, VszRadius,
+                         ::testing::Values(2u, 16u, 128u, 512u, 4096u));
+
+TEST(VszEdge, SmallRadiusMeansMoreOutliersSameBound) {
+  const auto data = smooth(20000, 6);
+  Grid g{{20000}};
+  auto outliers_at = [&](std::uint32_t radius) {
+    vsz::Params p;
+    p.mode = core::ErrorMode::kAbs;
+    p.error_bound = 1e-3;
+    p.radius = radius;
+    const auto stream = vsz::compress_serial(data, g, p);
+    return vsz::Header::deserialize(stream).num_outliers;
+  };
+  EXPECT_GE(outliers_at(4), outliers_at(4096));
+}
+
+TEST(VszEdge, EmptyInput) {
+  vsz::Params p;
+  p.mode = core::ErrorMode::kAbs;
+  p.error_bound = 1e-3;
+  Grid g{{0}};
+  const std::vector<float> empty;
+  const auto stream = vsz::compress_serial(empty, g, p);
+  EXPECT_EQ(vsz::decompress_serial(stream).size(), 0u);
+}
+
+TEST(VszEdge, GridMismatchThrows) {
+  vsz::Params p;
+  const std::vector<float> data(100);
+  EXPECT_THROW((void)vsz::compress_serial(data, Grid{{99}}, p), format_error);
+  EXPECT_THROW((void)vsz::compress_serial(data, Grid{{2, 5, 5, 2}}, p),
+               format_error);
+}
+
+TEST(VszHuffmanEdge, AdversarialFibonacciFrequencies) {
+  // Fibonacci-like frequencies maximize code lengths; the length limiter
+  // must keep everything decodable within kMaxCodeLength.
+  std::vector<std::uint64_t> freq(64);
+  std::uint64_t a = 1, b = 1;
+  for (auto& f : freq) {
+    f = a;
+    const std::uint64_t c = a + b;
+    a = b;
+    b = c;
+  }
+  const auto book = vsz::HuffmanCodebook::build(freq);
+  unsigned max_len = 0;
+  for (const auto l : book.lengths) max_len = std::max<unsigned>(max_len, l);
+  EXPECT_LE(max_len, vsz::HuffmanCodebook::kMaxCodeLength);
+  EXPECT_LE(book.kraft_sum(),
+            std::uint64_t{1} << vsz::HuffmanCodebook::kMaxCodeLength);
+
+  // Still decodes correctly after limiting.
+  Rng rng(77);
+  std::vector<std::uint16_t> symbols(5000);
+  for (auto& s : symbols) s = static_cast<std::uint16_t>(rng.next_below(64));
+  const auto bits = vsz::huffman_encode(symbols, book);
+  EXPECT_EQ(vsz::huffman_decode(bits, book, symbols.size()), symbols);
+}
+
+TEST(VszHuffmanEdge, EncodedBitsMatchesEncodeOutput) {
+  Rng rng(78);
+  std::vector<std::uint64_t> freq(256);
+  for (auto& f : freq) f = 1 + rng.next_below(100);
+  const auto book = vsz::HuffmanCodebook::build(freq);
+  std::vector<std::uint16_t> symbols(3000);
+  for (auto& s : symbols) s = static_cast<std::uint16_t>(rng.next_below(256));
+  const auto bits = vsz::huffman_encoded_bits(symbols, book);
+  const auto bytes = vsz::huffman_encode(symbols, book);
+  EXPECT_EQ(bytes.size(), (bits + 7) / 8);
+}
+
+TEST(VszHuffmanEdge, UnknownSymbolThrows) {
+  std::vector<std::uint64_t> freq(16, 0);
+  freq[1] = freq[2] = 10;
+  const auto book = vsz::HuffmanCodebook::build(freq);
+  const std::vector<std::uint16_t> bad = {1, 2, 9};
+  EXPECT_THROW((void)vsz::huffman_encode(bad, book), format_error);
+}
+
+TEST(VszEdge, CorruptedStreamDoesNotCrash) {
+  const auto data = smooth(8192, 9);
+  vsz::Params p;
+  p.mode = core::ErrorMode::kAbs;
+  p.error_bound = 1e-3;
+  Grid g{{8192}};
+  const auto stream = vsz::compress_serial(data, g, p);
+  Rng rng(10);
+  for (int trial = 0; trial < 30; ++trial) {
+    auto bad = stream;
+    bad[rng.next_below(bad.size())] ^=
+        static_cast<byte_t>(1u << rng.next_below(8));
+    try {
+      (void)vsz::decompress_serial(bad);
+    } catch (const format_error&) {
+      // fine
+    }
+  }
+}
+
+TEST(VszEdge, NdLorenzoImprovesOver1DOnSmooth3D) {
+  // The reason cuSZ reaches high quality: multi-dimensional prediction.
+  const auto field = data::make_field(data::Suite::kNyx, 2, 0.05);
+  vsz::Params p;
+  p.mode = core::ErrorMode::kAbs;
+  p.error_bound = 1e-4 * field.value_range();
+  const auto s3d =
+      vsz::compress_serial(field.values, Grid{field.dims.extents}, p);
+  const auto s1d =
+      vsz::compress_serial(field.values, Grid{{field.count()}}, p);
+  EXPECT_LT(s3d.size(), s1d.size() * 1.05);
+}
+
+}  // namespace
+}  // namespace szp

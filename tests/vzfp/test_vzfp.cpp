@@ -1,0 +1,198 @@
+// cuZFP-style baseline: transform invertibility, fixed-rate property,
+// rate-distortion monotonicity, device equivalence.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "szp/baselines/vzfp/block_codec.hpp"
+#include "szp/baselines/vzfp/transform.hpp"
+#include "szp/baselines/vzfp/vzfp.hpp"
+#include "szp/data/registry.hpp"
+#include "szp/metrics/error.hpp"
+#include "szp/util/rng.hpp"
+
+namespace szp {
+namespace {
+
+// ZFP's integer lift is deliberately not bit-exact: each ">> 1" drops a
+// parity bit (the transform is part of the lossy path). The invariant is
+// bounded round-off, a few units in the fixed-point grid.
+TEST(VzfpTransform, LiftRoundoffIsBounded) {
+  Rng rng(21);
+  for (int iter = 0; iter < 1000; ++iter) {
+    std::int32_t v[4];
+    for (auto& x : v) {
+      x = static_cast<std::int32_t>(rng.next_below(1u << 27)) - (1 << 26);
+    }
+    std::int32_t w[4] = {v[0], v[1], v[2], v[3]};
+    vzfp::fwd_lift4(w, 1);
+    vzfp::inv_lift4(w, 1);
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_LE(std::abs(static_cast<std::int64_t>(w[i]) - v[i]), 8);
+    }
+  }
+}
+
+TEST(VzfpTransform, BlockTransformRoundoffBounded123D) {
+  Rng rng(22);
+  for (unsigned dims = 1; dims <= 3; ++dims) {
+    const size_t m = dims == 1 ? 4 : dims == 2 ? 16 : 64;
+    std::vector<std::int32_t> v(m);
+    for (auto& x : v) {
+      x = static_cast<std::int32_t>(rng.next_below(1u << 26)) - (1 << 25);
+    }
+    auto w = v;
+    vzfp::fwd_transform(w, dims);
+    vzfp::inv_transform(w, dims);
+    for (size_t i = 0; i < m; ++i) {
+      // Round-off compounds per axis; stays tiny vs. the 2^26 value scale.
+      EXPECT_LE(std::abs(static_cast<std::int64_t>(w[i]) - v[i]), 64)
+          << "dims " << dims;
+    }
+  }
+}
+
+TEST(VzfpTransform, NegabinaryRoundtrip) {
+  Rng rng(23);
+  for (int iter = 0; iter < 1000; ++iter) {
+    const auto x = static_cast<std::int32_t>(rng.next_u64());
+    EXPECT_EQ(vzfp::from_negabinary(vzfp::to_negabinary(x)), x);
+  }
+  EXPECT_EQ(vzfp::to_negabinary(0), 0u);
+}
+
+TEST(VzfpTransform, TotalOrderIsAPermutationByDegree) {
+  for (unsigned dims = 1; dims <= 3; ++dims) {
+    const auto perm = vzfp::total_order(dims);
+    const size_t m = dims == 1 ? 4 : dims == 2 ? 16 : 64;
+    ASSERT_EQ(perm.size(), m);
+    std::vector<bool> seen(m, false);
+    unsigned prev_degree = 0;
+    for (const auto idx : perm) {
+      ASSERT_LT(idx, m);
+      EXPECT_FALSE(seen[idx]);
+      seen[idx] = true;
+      unsigned g = 0, v = idx;
+      for (unsigned a = 0; a < dims; ++a) {
+        g += v % 4;
+        v /= 4;
+      }
+      EXPECT_GE(g, prev_degree);
+      prev_degree = g;
+    }
+  }
+}
+
+TEST(VzfpBlock, ExactBudgetConsumption) {
+  Rng rng(24);
+  std::vector<float> block(64);
+  for (auto& v : block) v = static_cast<float>(rng.normal());
+  for (const size_t budget : {64u, 128u, 256u, 512u, 1024u}) {
+    std::vector<byte_t> slot((budget + 7) / 8, byte_t{0});
+    vzfp::encode_block(block, 3, budget, slot);
+    std::vector<float> out(64);
+    vzfp::decode_block(slot, 3, budget, out);  // must not throw / overrun
+  }
+}
+
+TEST(VzfpBlock, HighRateIsNearLossless) {
+  Rng rng(25);
+  std::vector<float> block(64);
+  for (auto& v : block) v = static_cast<float>(rng.normal());
+  std::vector<byte_t> slot(64 * 4, byte_t{0});
+  vzfp::encode_block(block, 3, 64 * 32, slot);
+  std::vector<float> out(64);
+  vzfp::decode_block(slot, 3, 64 * 32, out);
+  for (size_t i = 0; i < 64; ++i) {
+    EXPECT_NEAR(out[i], block[i], 1e-5);
+  }
+}
+
+TEST(Vzfp, FixedRateProperty) {
+  // Compressed size depends only on shape and rate, never on content.
+  const data::Dims dims{{32, 48, 20}};
+  vzfp::Params p;
+  p.rate = 8;
+  const auto a = data::make_field(data::Suite::kNyx, 0, 0.02);
+  std::vector<float> zeros(dims.count(), 0.0f);
+  std::vector<float> content(dims.count());
+  for (size_t i = 0; i < content.size(); ++i) {
+    content[i] = a.values[i % a.values.size()];
+  }
+  const auto s1 = vzfp::compress_serial(zeros, dims, p);
+  const auto s2 = vzfp::compress_serial(content, dims, p);
+  EXPECT_EQ(s1.size(), s2.size());
+  EXPECT_EQ(s1.size(), vzfp::compressed_bytes(dims, p));
+}
+
+TEST(Vzfp, PsnrImprovesWithRate) {
+  const auto field = data::make_field(data::Suite::kHurricane, 0, 0.05);
+  double prev_psnr = 0;
+  for (const double rate : {2.0, 4.0, 8.0, 16.0}) {
+    vzfp::Params p;
+    p.rate = rate;
+    const auto stream = vzfp::compress_serial(field.values, field.dims, p);
+    const auto recon = vzfp::decompress_serial(stream);
+    const auto stats = metrics::compare(field.values, recon);
+    EXPECT_GT(stats.psnr, prev_psnr) << "rate " << rate;
+    prev_psnr = stats.psnr;
+  }
+  EXPECT_GT(prev_psnr, 60.0);  // rate 16 should be high quality
+}
+
+TEST(Vzfp, DeviceMatchesSerial) {
+  const auto field = data::make_field(data::Suite::kCesmAtm, 1, 0.1);
+  vzfp::Params p;
+  p.rate = 8;
+  const auto serial = vzfp::compress_serial(field.values, field.dims, p);
+
+  gpusim::Device dev;
+  auto d_in = gpusim::to_device<float>(dev, field.values);
+  gpusim::DeviceBuffer<byte_t> d_cmp(dev,
+                                     vzfp::compressed_bytes(field.dims, p));
+  const auto res = vzfp::compress_device(dev, d_in, field.dims, p, d_cmp);
+  ASSERT_EQ(res.bytes, serial.size());
+  const auto bytes = gpusim::to_host(dev, d_cmp);
+  for (size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(bytes[i], serial[i]) << "byte " << i;
+  }
+
+  gpusim::DeviceBuffer<float> d_out(dev, field.count());
+  (void)vzfp::decompress_device(dev, d_cmp, d_out);
+  const auto recon = gpusim::to_host(dev, d_out);
+  const auto recon_serial = vzfp::decompress_serial(serial);
+  for (size_t i = 0; i < recon.size(); ++i) {
+    ASSERT_EQ(recon[i], recon_serial[i]);
+  }
+}
+
+TEST(Vzfp, SingleKernelEachWay) {
+  const auto field = data::make_field(data::Suite::kNyx, 1, 0.02);
+  vzfp::Params p;
+  gpusim::Device dev;
+  auto d_in = gpusim::to_device<float>(dev, field.values);
+  gpusim::DeviceBuffer<byte_t> d_cmp(dev,
+                                     vzfp::compressed_bytes(field.dims, p));
+  const auto c = vzfp::compress_device(dev, d_in, field.dims, p, d_cmp);
+  EXPECT_EQ(c.trace.kernel_launches, 1u);
+  EXPECT_EQ(c.trace.host_stages, 0u);
+  gpusim::DeviceBuffer<float> d_out(dev, field.count());
+  const auto d = vzfp::decompress_device(dev, d_cmp, d_out);
+  EXPECT_EQ(d.trace.kernel_launches, 1u);
+}
+
+TEST(Vzfp, PartialBlocksAtEdges) {
+  const data::Dims dims{{5, 7}};  // not multiples of 4
+  std::vector<float> data(35);
+  Rng rng(26);
+  for (auto& v : data) v = static_cast<float>(rng.normal());
+  vzfp::Params p;
+  p.rate = 24;
+  const auto recon = vzfp::decompress_serial(vzfp::compress_serial(data, dims, p));
+  ASSERT_EQ(recon.size(), data.size());
+  const auto stats = metrics::compare(data, recon);
+  EXPECT_GT(stats.psnr, 40.0);
+}
+
+}  // namespace
+}  // namespace szp

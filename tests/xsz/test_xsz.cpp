@@ -1,0 +1,126 @@
+// cuSZx-style baseline: error bound, constant-block behaviour, device path.
+#include <gtest/gtest.h>
+
+#include "szp/baselines/xsz/xsz.hpp"
+#include "szp/data/registry.hpp"
+#include "szp/metrics/error.hpp"
+#include "szp/util/rng.hpp"
+
+namespace szp {
+namespace {
+
+std::vector<float> noisy(size_t n, double amp, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.normal() * amp);
+  return v;
+}
+
+TEST(Xsz, ErrorBoundHolds) {
+  const auto data = noisy(20000, 30.0, 3);
+  xsz::Params p;
+  p.mode = core::ErrorMode::kAbs;
+  p.error_bound = 0.05;
+  const auto stream = xsz::compress_serial(data, p);
+  const auto recon = xsz::decompress_serial(stream);
+  EXPECT_TRUE(metrics::error_bounded(data, recon, p.error_bound));
+}
+
+TEST(Xsz, SmoothRegionsBecomeConstantBlocks) {
+  // A slowly varying ramp with a large error bound: most blocks flush.
+  std::vector<float> data(128 * 64);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<float>(i) * 1e-4f;
+  }
+  xsz::Params p;
+  p.mode = core::ErrorMode::kAbs;
+  p.error_bound = 0.5;
+  const auto stream = xsz::compress_serial(data, p);
+  EXPECT_GT(xsz::constant_block_fraction(stream), 0.9);
+  // Constant flush stays error-bounded even so.
+  const auto recon = xsz::decompress_serial(stream);
+  EXPECT_TRUE(metrics::error_bounded(data, recon, p.error_bound));
+}
+
+TEST(Xsz, ConstantFlushCreatesBlockArtifacts) {
+  // Within a flushed block the reconstruction is exactly constant — the
+  // mechanism behind the stripe artifacts of paper Fig. 16.
+  std::vector<float> data(256);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<float>(i) * 1e-3f;
+  }
+  xsz::Params p;
+  p.mode = core::ErrorMode::kAbs;
+  p.error_bound = 0.2;
+  p.block_len = 128;
+  const auto recon = xsz::decompress_serial(xsz::compress_serial(data, p));
+  for (size_t b = 0; b < 2; ++b) {
+    for (size_t i = 1; i < 128; ++i) {
+      EXPECT_EQ(recon[b * 128 + i], recon[b * 128]);
+    }
+  }
+}
+
+TEST(Xsz, DeviceMatchesSerial) {
+  const auto field = data::make_field(data::Suite::kCesmAtm, 0, 0.1);
+  xsz::Params p;
+  p.error_bound = 1e-3;
+  const double range = field.value_range();
+  const double eb = p.error_bound * range;
+  const auto serial = xsz::compress_serial(field.values, p, range);
+
+  gpusim::Device dev;
+  auto d_in = gpusim::to_device<float>(dev, field.values);
+  gpusim::DeviceBuffer<byte_t> d_cmp(
+      dev, xsz::max_compressed_bytes(field.count(), p.block_len));
+  const auto res =
+      xsz::compress_device(dev, d_in, field.count(), p, eb, d_cmp);
+  ASSERT_EQ(res.bytes, serial.size());
+  const auto bytes = gpusim::to_host(dev, d_cmp);
+  for (size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(bytes[i], serial[i]) << "byte " << i;
+  }
+
+  gpusim::DeviceBuffer<float> d_out(dev, field.count());
+  const auto dres = xsz::decompress_device(dev, d_cmp, d_out);
+  ASSERT_EQ(dres.bytes, field.count());
+  const auto recon = gpusim::to_host(dev, d_out);
+  const auto recon_serial = xsz::decompress_serial(serial);
+  for (size_t i = 0; i < recon_serial.size(); ++i) {
+    ASSERT_EQ(recon[i], recon_serial[i]);
+  }
+}
+
+TEST(Xsz, DevicePathUsesHostRoundTrips) {
+  // The structural property the paper measures: xsz cannot stay on the
+  // device — its trace must show host stages and PCIe traffic.
+  const auto field = data::make_field(data::Suite::kHurricane, 1, 0.05);
+  xsz::Params p;
+  gpusim::Device dev;
+  auto d_in = gpusim::to_device<float>(dev, field.values);
+  gpusim::DeviceBuffer<byte_t> d_cmp(
+      dev, xsz::max_compressed_bytes(field.count(), p.block_len));
+  const auto res = xsz::compress_device(dev, d_in, field.count(), p,
+                                        1e-3 * field.value_range(), d_cmp);
+  EXPECT_GT(res.trace.host_stages, 0u);
+  EXPECT_GT(res.trace.d2h_bytes, field.size_bytes() / 2);  // scratch D2H
+  EXPECT_GT(res.trace.h2d_bytes, 0u);
+  EXPECT_GE(res.trace.kernel_launches, 1u);
+}
+
+TEST(Xsz, PartialBlockAndEmpty) {
+  xsz::Params p;
+  p.mode = core::ErrorMode::kAbs;
+  p.error_bound = 1e-2;
+  for (const size_t n : {1u, 127u, 129u, 1000u}) {
+    const auto data = noisy(n, 5.0, n);
+    const auto recon = xsz::decompress_serial(xsz::compress_serial(data, p));
+    ASSERT_EQ(recon.size(), n);
+    EXPECT_TRUE(metrics::error_bounded(data, recon, p.error_bound));
+  }
+  const std::vector<float> empty;
+  EXPECT_EQ(xsz::decompress_serial(xsz::compress_serial(empty, p)).size(), 0u);
+}
+
+}  // namespace
+}  // namespace szp

@@ -1,0 +1,30 @@
+// QCAT-calculateSSIM equivalent.
+//
+//   calculate_ssim <a.f32> <b.f32> <dim0> [dim1 [dim2]]
+// Dimensions are slowest-first (SDRBench convention).
+#include <cstdio>
+#include <cstdlib>
+
+#include "szp/data/field.hpp"
+#include "szp/metrics/ssim.hpp"
+
+int main(int argc, char** argv) try {
+  if (argc < 4 || argc > 6) {
+    std::fprintf(stderr,
+                 "usage: calculate_ssim <a.f32> <b.f32> <d0> [d1 [d2]]\n");
+    return 2;
+  }
+  using namespace szp;
+  data::Dims dims;
+  for (int i = 3; i < argc; ++i) {
+    dims.extents.push_back(std::strtoull(argv[i], nullptr, 10));
+  }
+  const auto a = data::load_f32(argv[1], dims);
+  const auto b = data::load_f32(argv[2], dims);
+  std::printf("calculating...\n");
+  std::printf("ssim = %f\n", metrics::ssim(a, b));
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "calculate_ssim: %s\n", e.what());
+  return 1;
+}

@@ -1,0 +1,39 @@
+// QCAT-compareData equivalent: statistical comparison of two .f32 files.
+//
+//   compare_data <original.f32> <reconstructed.f32>
+#include <cstdio>
+#include <filesystem>
+
+#include "szp/data/field.hpp"
+#include "szp/metrics/error.hpp"
+
+int main(int argc, char** argv) try {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: compare_data <a.f32> <b.f32>\n");
+    return 2;
+  }
+  using namespace szp;
+  const auto bytes = std::filesystem::file_size(argv[1]);
+  const data::Dims dims{{bytes / 4}};
+  const auto a = data::load_f32(argv[1], dims);
+  const auto b = data::load_f32(argv[2], dims);
+  const auto s = metrics::compare(a.values, b.values);
+
+  double mn = a.values.empty() ? 0 : a.values[0];
+  double mx = mn;
+  for (const float v : a.values) {
+    mn = std::min(mn, static_cast<double>(v));
+    mx = std::max(mx, static_cast<double>(v));
+  }
+  std::printf("reading data from %s\n", argv[1]);
+  std::printf("Min = %.12g, Max = %.12g, range = %.12g\n", mn, mx,
+              s.value_range);
+  std::printf("Max absolute error = %.10f\n", s.max_abs_err);
+  std::printf("Max relative error = %.6f\n", s.max_rel_err);
+  std::printf("PSNR = %f, NRMSE = %.16e\n", s.psnr, s.nrmse);
+  std::printf("pearson coeff = %f\n", s.pearson);
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "compare_data: %s\n", e.what());
+  return 1;
+}

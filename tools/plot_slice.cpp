@@ -1,0 +1,35 @@
+// QCAT-PlotSliceImage equivalent: render one 2D slice of an .f32 grid as
+// a PGM image.
+//
+//   plot_slice <data.f32> <d0> <d1> [d2] <slice_index> <out.pgm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "szp/data/field.hpp"
+#include "szp/vis/pgm.hpp"
+
+int main(int argc, char** argv) try {
+  if (argc != 6 && argc != 7) {
+    std::fprintf(stderr,
+                 "usage: plot_slice <data.f32> <d0> <d1> [d2] <slice> "
+                 "<out.pgm>\n");
+    return 2;
+  }
+  using namespace szp;
+  data::Dims dims;
+  const int ndims = argc - 4;
+  for (int i = 0; i < ndims; ++i) {
+    dims.extents.push_back(std::strtoull(argv[2 + i], nullptr, 10));
+  }
+  const auto slice_index = std::strtoull(argv[argc - 2], nullptr, 10);
+  const std::string out = argv[argc - 1];
+  const auto field = data::load_f32(argv[1], dims);
+  vis::write_pgm(out, data::slice2d(field, slice_index));
+  std::printf("Image file is plotted and put here: %s\n", out.c_str());
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "plot_slice: %s\n", e.what());
+  return 1;
+}

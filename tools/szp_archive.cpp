@@ -1,0 +1,102 @@
+// Archive tool: pack fields into a .szpa archive, list its contents, or
+// extract a field back to .f32.
+//
+//   szp_archive pack <out.szpa> <rel_bound> <file.f32:d0xd1[xd2]>...
+//   szp_archive demo <out.szpa> <rel_bound> <suite>
+//   szp_archive list <archive.szpa>
+//   szp_archive extract <archive.szpa> <field-name> <out.f32>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "szp/archive/archive.hpp"
+#include "szp/data/registry.hpp"
+
+namespace {
+
+using namespace szp;
+
+data::Dims parse_dims(const std::string& spec) {
+  data::Dims dims;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t next = spec.find('x', pos);
+    if (next == std::string::npos) next = spec.size();
+    dims.extents.push_back(std::stoull(spec.substr(pos, next - pos)));
+    pos = next + 1;
+  }
+  return dims;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: szp_archive pack <out.szpa> <rel> <f32:dims>...\n"
+               "       szp_archive demo <out.szpa> <rel> <suite>\n"
+               "       szp_archive list <archive.szpa>\n"
+               "       szp_archive extract <archive.szpa> <field> <out.f32>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  if (argc < 3) return usage();
+  const std::string cmd = argv[1];
+
+  if (cmd == "pack" || cmd == "demo") {
+    if (argc < 5) return usage();
+    core::Params p;
+    p.mode = core::ErrorMode::kRel;
+    p.error_bound = std::atof(argv[3]);
+    archive::Writer w(p);
+    if (cmd == "demo") {
+      for (const auto& info : data::all_suites()) {
+        if (info.name == argv[4]) {
+          for (const auto& f : data::make_suite(info.id, 0.5)) w.add(f);
+        }
+      }
+      if (w.num_fields() == 0) return usage();
+    } else {
+      for (int i = 4; i < argc; ++i) {
+        const std::string spec = argv[i];
+        const size_t colon = spec.rfind(':');
+        if (colon == std::string::npos) return usage();
+        const std::string path = spec.substr(0, colon);
+        w.add(data::load_f32(path, parse_dims(spec.substr(colon + 1)), path));
+      }
+    }
+    const size_t fields = w.num_fields();
+    const auto blob = std::move(w).finish();
+    archive::save_archive(argv[2], blob);
+    std::printf("packed %zu fields into %s (%zu bytes)\n", fields, argv[2],
+                blob.size());
+    return 0;
+  }
+
+  if (cmd == "list") {
+    const auto r = archive::load_archive(argv[2]);
+    std::printf("%-24s %-16s %12s %8s\n", "field", "dims", "bytes", "CR");
+    for (const auto& e : r.entries()) {
+      std::printf("%-24s %-16s %12llu %8.2f\n", e.name.c_str(),
+                  e.dims.to_string().c_str(),
+                  static_cast<unsigned long long>(e.stream_bytes),
+                  e.compression_ratio());
+    }
+    return 0;
+  }
+
+  if (cmd == "extract") {
+    if (argc != 5) return usage();
+    const auto r = archive::load_archive(argv[2]);
+    const auto field = r.extract(std::string(argv[3]));
+    data::save_f32(argv[4], field);
+    std::printf("extracted %s (%s) -> %s\n", field.name.c_str(),
+                field.dims.to_string().c_str(), argv[4]);
+    return 0;
+  }
+
+  return usage();
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "szp_archive: %s\n", e.what());
+  return 1;
+}

@@ -1,0 +1,122 @@
+// Command-line compressor mirroring the paper's artifact workflow:
+//
+//   szp_cli <data.f32> <rel_error_bound>          (artifact: compx ...)
+//   szp_cli --abs <data.f32> <abs_error_bound>
+//   szp_cli --demo <suite> <rel_error_bound>      (synthetic input)
+//
+// Compresses and decompresses through the single-kernel device path,
+// prints modeled end-to-end speeds, the compression ratio and an error
+// check, and writes <file>.szp.cmp / <file>.szp.dec.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "szp/core/compressor.hpp"
+#include "szp/data/registry.hpp"
+#include "szp/metrics/error.hpp"
+#include "szp/perfmodel/cost.hpp"
+
+namespace {
+
+using namespace szp;
+
+data::Field load_raw(const std::string& path) {
+  const auto bytes = std::filesystem::file_size(path);
+  if (bytes % 4 != 0) throw format_error("file size not a multiple of 4");
+  return data::load_f32(path, data::Dims{{bytes / 4}});
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: szp_cli [--abs] <data.f32> <error_bound>\n"
+               "       szp_cli --demo <Hurricane|NYX|QMCPack|RTM|HACC|"
+               "CESM-ATM> <rel_bound>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  std::string mode = "rel";
+  int arg = 1;
+  if (argc > 1 && std::strcmp(argv[1], "--abs") == 0) {
+    mode = "abs";
+    ++arg;
+  } else if (argc > 1 && std::strcmp(argv[1], "--demo") == 0) {
+    mode = "demo";
+    ++arg;
+  }
+  if (argc - arg != 2) return usage();
+  const std::string target = argv[arg];
+  const double bound = std::atof(argv[arg + 1]);
+  if (bound <= 0) return usage();
+
+  data::Field field;
+  std::string out_base = target;
+  if (mode == "demo") {
+    bool found = false;
+    for (const auto& info : data::all_suites()) {
+      if (info.name == target) {
+        field = data::make_field(info.id, 0, 1.0);
+        found = true;
+      }
+    }
+    if (!found) return usage();
+    out_base = target + "_" + field.name;
+  } else {
+    field = load_raw(target);
+  }
+
+  core::Params params;
+  params.mode = mode == "abs" ? core::ErrorMode::kAbs : core::ErrorMode::kRel;
+  params.error_bound = bound;
+  Compressor compressor(params);
+  const double range = field.value_range();
+
+  gpusim::Device dev;
+  auto d_in = gpusim::to_device<float>(dev, field.values);
+  gpusim::DeviceBuffer<byte_t> d_cmp(
+      dev, core::max_compressed_bytes(field.count(), params.block_len));
+  const auto comp = compressor.compress_on_device(dev, d_in, field.count(),
+                                                  range, d_cmp);
+  std::printf("cuSZp compression kernel finished!\n");
+
+  gpusim::DeviceBuffer<float> d_out(dev, field.count());
+  const auto dec = compressor.decompress_on_device(dev, d_cmp, d_out);
+  std::printf("cuSZp decompression kernel finished!\n\n");
+
+  const perfmodel::CostModel model(perfmodel::a100());
+  std::printf("cuSZp compression   end-to-end speed: %f GB/s (modeled A100)\n",
+              model.end_to_end_gbps(comp.trace, field.size_bytes()));
+  std::printf("cuSZp decompression end-to-end speed: %f GB/s (modeled A100)\n",
+              model.end_to_end_gbps(dec.trace, field.size_bytes()));
+  std::printf("cuSZp compression ratio: %f\n\n",
+              static_cast<double>(field.size_bytes()) /
+                  static_cast<double>(comp.bytes));
+
+  const auto recon = gpusim::to_host(dev, d_out);
+  const double eb = core::resolve_eb(params, range);
+  const double max_abs = std::abs(range) * 1.2e-7 + eb;
+  if (metrics::error_bounded(field.values, recon, max_abs)) {
+    std::printf("Pass error check!\n");
+  } else {
+    std::printf("ERROR CHECK FAILED\n");
+    return 1;
+  }
+
+  // Persist the compressed stream and reconstruction like the artifact.
+  const auto cmp_bytes = gpusim::to_host(dev, d_cmp);
+  std::ofstream cmp_out(out_base + ".szp.cmp", std::ios::binary);
+  cmp_out.write(reinterpret_cast<const char*>(cmp_bytes.data()),
+                static_cast<std::streamsize>(comp.bytes));
+  data::save_f32(out_base + ".szp.dec",
+                 data::Field{field.name, field.dims, recon});
+  std::printf("wrote %s.szp.cmp (%zu bytes) and %s.szp.dec\n",
+              out_base.c_str(), comp.bytes, out_base.c_str());
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "szp_cli: %s\n", e.what());
+  return 1;
+}
