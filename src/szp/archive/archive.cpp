@@ -5,6 +5,7 @@
 
 #include "szp/core/random_access.hpp"
 #include "szp/core/serial.hpp"
+#include "szp/robust/try_decode.hpp"
 #include "szp/util/bytestream.hpp"
 
 namespace szp::archive {
@@ -81,7 +82,9 @@ Reader::Reader(std::vector<byte_t> blob) : blob_(std::move(blob)) {
     }
     e.stream_offset = r.get<std::uint64_t>();
     e.stream_bytes = r.get<std::uint64_t>();
-    if (e.stream_offset + e.stream_bytes > blob_.size()) {
+    // Overflow-safe: offset + bytes can wrap for hostile index entries.
+    if (e.stream_offset > blob_.size() ||
+        e.stream_bytes > blob_.size() - e.stream_offset) {
       throw format_error("archive: index points past end of blob");
     }
     entries_.push_back(std::move(e));
@@ -118,6 +121,34 @@ data::Field Reader::extract(const std::string& name) const {
 std::vector<float> Reader::extract_range(size_t index, size_t begin,
                                          size_t end) const {
   return core::decompress_range(stream_of(index), begin, end);
+}
+
+std::vector<robust::DecodeReport> Reader::verify(bool want_groups) const {
+  std::vector<robust::DecodeReport> reports;
+  reports.reserve(entries_.size());
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    reports.push_back(robust::verify_stream(stream_of(i), want_groups));
+  }
+  return reports;
+}
+
+robust::DecodeReport Reader::try_extract(
+    size_t index, data::Field& out, const robust::DecodeOptions& opts) const {
+  if (index >= entries_.size()) {
+    robust::DecodeReport rep;
+    rep.status = robust::Status::kInternalError;
+    rep.detail = "archive: bad index";
+    return rep;
+  }
+  const Entry& e = entries_[index];
+  out.name = e.name;
+  out.dims = e.dims;
+  auto rep = robust::try_decompress(stream_of(index), out.values, opts);
+  if (rep.ok() && out.values.size() != e.dims.count()) {
+    rep.status = robust::Status::kSizeMismatch;
+    rep.detail = "archive: stream element count does not match field dims";
+  }
+  return rep;
 }
 
 void save_archive(const std::string& path, std::span<const byte_t> blob) {

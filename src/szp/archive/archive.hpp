@@ -18,6 +18,7 @@
 
 #include "szp/core/format.hpp"
 #include "szp/data/field.hpp"
+#include "szp/robust/status.hpp"
 
 namespace szp::archive {
 
@@ -70,6 +71,16 @@ class Reader {
   /// Decompress only elements [begin, end) of a field (random access).
   [[nodiscard]] std::vector<float> extract_range(size_t index, size_t begin,
                                                  size_t end) const;
+
+  /// Integrity-check every entry without decoding (one report each). A
+  /// corrupt entry does not prevent the others from being checked.
+  [[nodiscard]] std::vector<robust::DecodeReport> verify(
+      bool want_groups = false) const;
+
+  /// No-throw extraction: classifies corruption and salvages what the
+  /// entry's checksums vouch for instead of throwing.
+  robust::DecodeReport try_extract(size_t index, data::Field& out,
+                                   const robust::DecodeOptions& opts = {}) const;
 
  private:
   [[nodiscard]] std::span<const byte_t> stream_of(size_t index) const;

@@ -115,7 +115,7 @@ std::vector<byte_t> compress_serial(std::span<const float> data,
   if (params.stride == 0) throw format_error("mpc: stride must be positive");
   const size_t n = data.size();
   std::vector<std::uint32_t> words(n);
-  std::memcpy(words.data(), data.data(), n * 4);
+  if (n != 0) std::memcpy(words.data(), data.data(), n * 4);
 
   ByteWriter w;
   w.put(kMagic);
@@ -153,7 +153,7 @@ std::vector<float> decompress_serial(std::span<const byte_t> stream) {
     off += bytes;
   }
   std::vector<float> out(n);
-  std::memcpy(out.data(), words.data(), n * 4);
+  if (n != 0) std::memcpy(out.data(), words.data(), n * 4);
   return out;
 }
 

@@ -22,6 +22,16 @@ namespace szp::core {
 
 inline constexpr std::uint8_t kOutlierFlag = 64;
 inline constexpr size_t kOutlierExtraBytes = 1 + 4;  // u8 position + u32 mag
+inline constexpr unsigned kMaxFixedLength = 32;
+
+/// A length byte an encoder can legally produce: F in 0..32 plain, or
+/// kOutlierFlag + F for outlier blocks. Decoders must reject anything
+/// else (a corrupt length byte would otherwise drive out-of-range bit
+/// shifts in the plane codecs).
+[[nodiscard]] inline bool valid_length_byte(std::uint8_t lb) {
+  if (lb <= kMaxFixedLength) return true;
+  return lb >= kOutlierFlag && lb <= kOutlierFlag + kMaxFixedLength;
+}
 
 /// Compressed bytes of a block from its length byte (supersedes
 /// block_cmp_bytes for streams that may contain outlier blocks).

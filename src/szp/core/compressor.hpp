@@ -17,6 +17,7 @@
 #include "szp/core/device.hpp"
 #include "szp/core/format.hpp"
 #include "szp/core/serial.hpp"
+#include "szp/robust/status.hpp"
 
 namespace szp {
 
@@ -46,6 +47,17 @@ class Compressor {
   [[nodiscard]] core::DeviceCodecResult decompress_on_device(
       gpusim::Device& dev, const gpusim::DeviceBuffer<byte_t>& cmp,
       gpusim::DeviceBuffer<float>& out) const;
+
+  /// No-throw decode with salvage (see szp/robust/try_decode.hpp): corrupt
+  /// streams are classified, recoverable checksum groups decoded, the rest
+  /// zero-filled and reported. Defined in the szp_robust library — callers
+  /// of these two must link it.
+  robust::DecodeReport try_decompress(
+      std::span<const byte_t> stream, std::vector<float>& out,
+      const robust::DecodeOptions& opts = {}) const;
+  robust::DecodeReport try_decompress_f64(
+      std::span<const byte_t> stream, std::vector<double>& out,
+      const robust::DecodeOptions& opts = {}) const;
 
  private:
   core::Params params_;

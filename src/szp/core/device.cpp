@@ -1,6 +1,9 @@
 #include "szp/core/device.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "szp/core/block_codec.hpp"
@@ -19,14 +22,94 @@ namespace {
 /// szp-blocks handled per warp: one per lane, as in the CUDA kernel.
 constexpr size_t kBlocksPerWarp = w::kWarpSize;
 
+/// In-kernel bookkeeping for the v2 checksum footer. Each warp credits its
+/// blocks once their stream bytes are final; the credit that completes a
+/// checksum group CRCs that group, and the credit that completes the LAST
+/// group runs `on_all` (footer write on compress, footer check on
+/// decompress). This keeps integrity inside the single codec kernel — no
+/// extra launch, no host stage — exactly as the CUDA kernel would chain it
+/// off global atomics after its Global-Synchronization step.
+class GroupChecksumState {
+ public:
+  GroupChecksumState(size_t nblocks, unsigned group_blocks)
+      : group_blocks_(group_blocks),
+        nblocks_(nblocks),
+        groups_(num_checksum_groups(nblocks, group_blocks)),
+        begins_(groups_, 0),
+        ends_(groups_, 0),
+        crcs_(groups_, 0),
+        counts_(groups_) {}
+
+  [[nodiscard]] size_t groups() const { return groups_; }
+  [[nodiscard]] std::uint64_t begin(size_t g) const { return begins_[g]; }
+  [[nodiscard]] std::uint32_t crc(size_t g) const { return crcs_[g]; }
+  /// Stream offset just past the payload (== footer position); only valid
+  /// once every group has completed.
+  [[nodiscard]] std::uint64_t footer_offset() const { return ends_.back(); }
+
+  /// Publish block `b`'s payload extent [off, off+len) if it opens or
+  /// closes a group. Must precede the owning warp's credit() call.
+  void publish_boundary(size_t b, std::uint64_t off, std::uint64_t len) {
+    const size_t g = b / group_blocks_;
+    if (b % group_blocks_ == 0) begins_[g] = off;
+    if (b + 1 == nblocks_ || (b + 1) % group_blocks_ == 0) {
+      ends_[g] = off + len;
+    }
+  }
+
+  /// Credit blocks [first, first+count) as final in `stream`. The
+  /// release/acquire ordering on the group counters makes every earlier
+  /// warp's payload writes visible to whichever warp ends up CRC-ing.
+  template <typename OnAll>
+  void credit(std::span<const byte_t> stream, const gs::BlockCtx& ctx,
+              size_t first, size_t count, OnAll&& on_all) {
+    if (count == 0) return;
+    const size_t g_lo = first / group_blocks_;
+    const size_t g_hi = (first + count - 1) / group_blocks_;
+    for (size_t g = g_lo; g <= g_hi; ++g) {
+      const size_t gfirst = g * group_blocks_;
+      const size_t glast = std::min(nblocks_, gfirst + group_blocks_);
+      const auto add = static_cast<std::uint32_t>(
+          std::min(first + count, glast) - std::max(first, gfirst));
+      const auto size = static_cast<std::uint32_t>(glast - gfirst);
+      if (counts_[g].fetch_add(add, std::memory_order_acq_rel) + add !=
+          size) {
+        continue;
+      }
+      // Last contributor: every byte of group g is in place.
+      const GroupSpan span{gfirst, glast, begins_[g], ends_[g]};
+      crcs_[g] = checksum_group_crc(stream, span);
+      const std::uint64_t covered = (span.last_block - span.first_block) +
+                                    (span.payload_end - span.payload_begin);
+      ctx.read(gs::Stage::kOther, covered);
+      ctx.ops(gs::Stage::kOther, covered);
+      if (done_.fetch_add(1, std::memory_order_acq_rel) + 1 == groups_) {
+        on_all();
+      }
+    }
+  }
+
+ private:
+  unsigned group_blocks_;
+  size_t nblocks_;
+  size_t groups_;
+  std::vector<std::uint64_t> begins_, ends_;
+  std::vector<std::uint32_t> crcs_;
+  std::vector<std::atomic<std::uint32_t>> counts_;
+  std::atomic<size_t> done_{0};
+};
+
 }  // namespace
 
-size_t max_compressed_bytes(size_t n, unsigned block_len) {
+size_t max_compressed_bytes(size_t n, unsigned block_len,
+                            unsigned checksum_group_blocks) {
   const size_t nblocks = num_blocks(n, block_len);
   // 1 length byte + worst-case (F=31 -> 32 bit planes incl. sign map) plus
-  // the outlier side record.
+  // the outlier side record, plus the integrity footer.
   return Header::kSize + nblocks +
-         nblocks * (static_cast<size_t>(block_len) * 4 + kOutlierExtraBytes);
+         nblocks * (static_cast<size_t>(block_len) * 4 + kOutlierExtraBytes) +
+         ChecksumFooter::bytes_for(
+             num_checksum_groups(nblocks, checksum_group_blocks));
 }
 
 template <typename T>
@@ -37,12 +120,14 @@ DeviceCodecResult compress_device_impl(gs::Device& dev,
   params.validate();
   const unsigned L = params.block_len;
   const size_t nblocks = num_blocks(n, L);
-  if (out.size() < max_compressed_bytes(n, L)) {
+  if (out.size() < max_compressed_bytes(n, L, params.checksum_group_blocks)) {
     throw format_error("compress_device: output buffer too small");
   }
   const auto before = dev.snapshot();
 
   Header h;
+  h.version =
+      params.checksum_group_blocks > 0 ? Header::kVersion : Header::kVersionV1;
   h.num_elements = n;
   h.eb_abs = eb_abs;
   h.block_len = static_cast<std::uint16_t>(L);
@@ -53,6 +138,24 @@ DeviceCodecResult compress_device_impl(gs::Device& dev,
   const size_t warps = std::max<size_t>(1, div_ceil(nblocks, kBlocksPerWarp));
   const std::span<const T> data = in.span().first(n);
   const std::span<byte_t> stream = out.span();
+
+  std::optional<GroupChecksumState> chk;
+  if (h.checksummed()) chk.emplace(nblocks, params.checksum_group_blocks);
+  // Footer writer; runs inside the kernel, on the warp whose group credit
+  // completed the last checksum group.
+  const auto write_footer = [&](const gs::BlockCtx& ctx) {
+    ChecksumFooter footer;
+    footer.group_blocks = params.checksum_group_blocks;
+    footer.offsets.reserve(chk->groups());
+    footer.crcs.reserve(chk->groups());
+    for (size_t g = 0; g < chk->groups(); ++g) {
+      footer.offsets.push_back(chk->begin(g) - base);
+      footer.crcs.push_back(chk->crc(g));
+    }
+    const size_t off = chk->groups() == 0 ? base : chk->footer_offset();
+    footer.serialize(stream.subspan(off, footer.bytes()));
+    ctx.write(gs::Stage::kOther, footer.bytes());
+  };
 
   std::uint64_t total_payload = 0;
 
@@ -109,6 +212,19 @@ DeviceCodecResult compress_device_impl(gs::Device& dev,
       ctx.write(gs::Stage::kBitShuffle, payload_bytes);
       // Shuffle register work runs per element of every non-zero block.
       ctx.ops(gs::Stage::kBitShuffle, nonzero_elems);
+
+      // S5 (format v2): credit finished blocks to their checksum groups;
+      // completing a group CRCs it, completing the last writes the footer.
+      if (chk) {
+        for (unsigned lane = 0; lane < active; ++lane) {
+          chk->publish_boundary(first_block + lane,
+                                base + prefix + lane_off[lane],
+                                lane_len[lane]);
+        }
+        chk->credit(stream, ctx, first_block, active,
+                    [&] { write_footer(ctx); });
+        if (chk->groups() == 0 && ctx.block_idx == 0) write_footer(ctx);
+      }
     });
 
     total_payload = scan_state.inclusive_prefix(warps - 1);
@@ -173,10 +289,50 @@ DeviceCodecResult compress_device_impl(gs::Device& dev,
       ctx.ops(gs::Stage::kBitShuffle, payload_bytes);
     });
     dev.trace().add_d2h(sizeof(std::uint64_t));
+
+    // The multi-kernel ablation checksums in a fourth kernel (one group
+    // per lane), reusing the scanned offsets still sitting in `lens`.
+    if (h.checksummed()) {
+      const unsigned gb = params.checksum_group_blocks;
+      const size_t groups = num_checksum_groups(nblocks, gb);
+      ChecksumFooter footer;
+      footer.group_blocks = gb;
+      footer.offsets.resize(groups);
+      footer.crcs.resize(groups);
+      const size_t cwarps = std::max<size_t>(1, div_ceil(groups,
+                                                         kBlocksPerWarp));
+      gs::launch(dev, "szp_checksum", cwarps, [&](const gs::BlockCtx& ctx) {
+        std::uint64_t covered = 0;
+        for (unsigned lane = 0; lane < w::kWarpSize; ++lane) {
+          const size_t g = ctx.block_idx * kBlocksPerWarp + lane;
+          if (g >= groups) continue;
+          GroupSpan span;
+          span.first_block = g * gb;
+          span.last_block = std::min(nblocks, span.first_block + gb);
+          span.payload_begin = base + lens[span.first_block];
+          span.payload_end = span.last_block == nblocks
+                                 ? base + total_payload
+                                 : base + lens[span.last_block];
+          footer.offsets[g] = span.payload_begin - base;
+          footer.crcs[g] = checksum_group_crc(stream, span);
+          covered += (span.last_block - span.first_block) +
+                     (span.payload_end - span.payload_begin);
+        }
+        ctx.read(gs::Stage::kOther, covered);
+        ctx.ops(gs::Stage::kOther, covered);
+      });
+      footer.serialize(stream.subspan(base + total_payload, footer.bytes()));
+      dev.trace().add_write(gs::Stage::kOther, footer.bytes());
+    }
   }
 
+  const size_t footer_bytes =
+      h.checksummed() ? ChecksumFooter::bytes_for(num_checksum_groups(
+                            nblocks, params.checksum_group_blocks))
+                      : 0;
+
   DeviceCodecResult res;
-  res.bytes = base + total_payload;
+  res.bytes = base + total_payload + footer_bytes;
   res.trace = dev.snapshot() - before;
   return res;
 }
@@ -199,12 +355,40 @@ DeviceCodecResult decompress_device_impl(gs::Device& dev,
     throw format_error("decompress_device: output buffer too small");
   }
   const auto before = dev.snapshot();
+  if (cmp.size() < payload_offset(nblocks)) {
+    throw format_error("decompress_device: truncated length area");
+  }
 
   const size_t base = payload_offset(nblocks);
   const size_t warps = std::max<size_t>(1, div_ceil(nblocks, kBlocksPerWarp));
   const std::span<const byte_t> stream = cmp.span();
   const std::span<T> data = out.span().first(n);
   gs::ChainedScanState scan_state(dev, warps);
+
+  std::optional<GroupChecksumState> chk;
+  if (h.checksummed()) chk.emplace(nblocks, h.checksum_group_blocks);
+  // Footer checker; runs inside the kernel once every group's actual CRC
+  // is known, on the warp whose credit completed the last group.
+  const auto check_footer = [&](const gs::BlockCtx& ctx) {
+    const size_t footer_off = chk->groups() == 0 ? base : chk->footer_offset();
+    if (footer_off > stream.size()) {
+      throw format_error("decompress_device: truncated payload");
+    }
+    const ChecksumFooter footer =
+        ChecksumFooter::deserialize(stream.subspan(footer_off));
+    ctx.read(gs::Stage::kOther, footer.bytes());
+    if (footer.group_blocks != h.checksum_group_blocks ||
+        footer.crcs.size() != chk->groups()) {
+      throw format_error("decompress_device: checksum group layout mismatch");
+    }
+    for (size_t g = 0; g < chk->groups(); ++g) {
+      if (footer.offsets[g] != chk->begin(g) - base ||
+          footer.crcs[g] != chk->crc(g)) {
+        throw format_error("decompress_device: checksum mismatch in group " +
+                           std::to_string(g));
+      }
+    }
+  };
 
   gs::launch(dev, "szp_decompress", warps, [&](const gs::BlockCtx& ctx) {
     std::array<std::uint8_t, w::kWarpSize> lbs{};
@@ -216,6 +400,9 @@ DeviceCodecResult decompress_device_impl(gs::Device& dev,
     size_t nonzero_blocks = 0;
     for (unsigned lane = 0; lane < active; ++lane) {
       lbs[lane] = stream[lengths_offset() + first_block + lane];
+      if (!valid_length_byte(lbs[lane])) {
+        throw format_error("decompress_device: invalid length byte");
+      }
       lane_len[lane] = block_payload_bytes(lbs[lane], L,
                                            h.zero_block_bypass());
       if (lane_len[lane] > 0) ++nonzero_blocks;
@@ -264,6 +451,19 @@ DeviceCodecResult decompress_device_impl(gs::Device& dev,
     ctx.write(gs::Stage::kQuantPredict, elems * sizeof(T));
     // Reverse QP = prefix-sum + scale: two passes over the block.
     ctx.ops(gs::Stage::kQuantPredict, 2 * elems);
+
+    // Format v2: verify group CRCs alongside decoding. Block outputs are
+    // discarded when any group (or the footer itself) fails.
+    if (chk) {
+      for (unsigned lane = 0; lane < active; ++lane) {
+        chk->publish_boundary(first_block + lane,
+                              base + prefix + lane_off[lane],
+                              lane_len[lane]);
+      }
+      chk->credit(stream, ctx, first_block, active,
+                  [&] { check_footer(ctx); });
+      if (chk->groups() == 0 && ctx.block_idx == 0) check_footer(ctx);
+    }
   });
 
   DeviceCodecResult res;

@@ -21,8 +21,12 @@ struct DeviceCodecResult {
 };
 
 /// Worst-case compressed size (used to allocate the output buffer before
-/// the size is known, as the CUDA implementation does).
-[[nodiscard]] size_t max_compressed_bytes(size_t n, unsigned block_len);
+/// the size is known, as the CUDA implementation does). Includes the v2
+/// checksum footer; pass the Params' group size when it deviates from the
+/// default (0 = legacy v1 stream, no footer).
+[[nodiscard]] size_t max_compressed_bytes(
+    size_t n, unsigned block_len,
+    unsigned checksum_group_blocks = kChecksumGroupBlocks);
 
 /// Compress `n` floats from `in` into `out` (pre-allocated to at least
 /// max_compressed_bytes). `eb_abs` is the resolved absolute bound; REL

@@ -1,7 +1,12 @@
 #include "szp/core/format.hpp"
 
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
 #include "szp/core/block_codec.hpp"
 #include "szp/util/bytestream.hpp"
+#include "szp/util/crc32c.hpp"
 
 namespace szp::core {
 
@@ -22,6 +27,9 @@ void Params::validate() const {
     throw format_error(
         "Params: outlier mode stores u8 in-block positions (L <= 256)");
   }
+  if (checksum_group_blocks > 0xFFFF) {
+    throw format_error("Params: checksum_group_blocks must fit in 16 bits");
+  }
 }
 
 std::uint8_t Header::make_flags(const Params& p) {
@@ -38,12 +46,17 @@ void Header::serialize(std::span<byte_t> out) const {
   if (out.size() < kSize) throw format_error("Header: buffer too small");
   ByteWriter w;
   w.put(kMagic);
-  w.put(kVersion);
+  w.put(version);
   w.put(block_len);
   w.put(num_elements);
   w.put(eb_abs);
   w.put(flags);
-  // Pad to kSize.
+  w.put(version >= 2 ? checksum_group_blocks : std::uint16_t{0});
+  while (w.size() < kCrcOffset) w.put(byte_t{0});
+  // v2 headers are self-checking; v1 keeps the old all-zero padding.
+  if (version >= 2) {
+    w.put(crc32c(std::span<const byte_t>(w.bytes()).first(kCrcOffset)));
+  }
   while (w.size() < kSize) w.put(byte_t{0});
   const auto& bytes = w.bytes();
   std::copy(bytes.begin(), bytes.end(), out.begin());
@@ -55,18 +68,38 @@ Header Header::deserialize(std::span<const byte_t> in) {
   if (r.get<std::uint32_t>() != kMagic) {
     throw format_error("Header: bad magic");
   }
-  if (r.get<std::uint16_t>() != kVersion) {
+  Header h;
+  h.version = r.get<std::uint16_t>();
+  if (h.version != kVersionV1 && h.version != kVersion) {
     throw format_error("Header: unsupported version");
   }
-  Header h;
   h.block_len = r.get<std::uint16_t>();
   h.num_elements = r.get<std::uint64_t>();
   h.eb_abs = r.get<double>();
   h.flags = r.get<std::uint8_t>();
+  h.checksum_group_blocks = r.get<std::uint16_t>();
+  if (h.version >= 2) {
+    std::uint32_t stored;
+    std::memcpy(&stored, in.data() + kCrcOffset, sizeof(stored));
+    if (stored != crc32c(in.first(kCrcOffset))) {
+      throw format_error("Header: checksum mismatch");
+    }
+  }
   if (h.block_len == 0 || h.block_len % 8 != 0) {
     throw format_error("Header: invalid block length");
   }
+  // num_blocks() computes div_ceil(n, L) = (n + L - 1) / L; a hostile
+  // element count near 2^64 would wrap that sum and sail past every
+  // downstream truncation check.
+  if (h.num_elements >
+      std::numeric_limits<std::uint64_t>::max() - h.block_len) {
+    throw format_error("Header: element count overflow");
+  }
   if (h.eb_abs <= 0) throw format_error("Header: invalid error bound");
+  if (h.version >= 2 && h.checksum_group_blocks == 0) {
+    throw format_error("Header: invalid checksum group size");
+  }
+  if (h.version < 2) h.checksum_group_blocks = 0;
   return h;
 }
 
@@ -81,9 +114,146 @@ double resolve_eb(const Params& p, double value_range) {
   return eb;
 }
 
+// ------------------------------------------------- integrity footer ----
+
+void ChecksumFooter::serialize(std::span<byte_t> out) const {
+  if (out.size() < bytes()) {
+    throw format_error("ChecksumFooter: buffer too small");
+  }
+  ByteWriter w;
+  w.put(kMagic);
+  w.put(group_blocks);
+  w.put(checked_cast<std::uint32_t>(crcs.size()));
+  for (size_t g = 0; g < crcs.size(); ++g) {
+    w.put(offsets[g]);
+    w.put(crcs[g]);
+  }
+  w.put(crc32c(w.bytes()));
+  const auto& b = w.bytes();
+  std::copy(b.begin(), b.end(), out.begin());
+}
+
+ChecksumFooter ChecksumFooter::deserialize(std::span<const byte_t> in) {
+  if (in.size() < kFixedBytes) {
+    throw format_error("ChecksumFooter: truncated");
+  }
+  ByteReader r(in);
+  if (r.get<std::uint32_t>() != kMagic) {
+    throw format_error("ChecksumFooter: bad magic");
+  }
+  ChecksumFooter f;
+  f.group_blocks = r.get<std::uint32_t>();
+  const auto groups = r.get<std::uint32_t>();
+  const size_t total = bytes_for(groups);
+  if (in.size() < total) throw format_error("ChecksumFooter: truncated");
+  std::uint32_t stored;
+  std::memcpy(&stored, in.data() + total - 4, sizeof(stored));
+  if (stored != crc32c(in.first(total - 4))) {
+    throw format_error("ChecksumFooter: footer checksum mismatch");
+  }
+  f.offsets.reserve(groups);
+  f.crcs.reserve(groups);
+  for (std::uint32_t g = 0; g < groups; ++g) {
+    f.offsets.push_back(r.get<std::uint64_t>());
+    f.crcs.push_back(r.get<std::uint32_t>());
+  }
+  if (f.group_blocks == 0 && groups != 0) {
+    throw format_error("ChecksumFooter: zero group size with groups present");
+  }
+  return f;
+}
+
+std::vector<GroupSpan> checksum_group_spans(std::span<const byte_t> stream,
+                                            const Header& h,
+                                            unsigned group_blocks) {
+  const size_t nblocks = num_blocks(h.num_elements, h.block_len);
+  if (stream.size() < payload_offset(nblocks)) {
+    throw format_error("checksum_group_spans: truncated length area");
+  }
+  const size_t groups = num_checksum_groups(nblocks, group_blocks);
+  std::vector<GroupSpan> spans;
+  spans.reserve(groups);
+  size_t off = payload_offset(nblocks);
+  for (size_t g = 0; g < groups; ++g) {
+    GroupSpan s;
+    s.first_block = g * group_blocks;
+    s.last_block = std::min(nblocks, s.first_block + group_blocks);
+    s.payload_begin = off;
+    for (size_t b = s.first_block; b < s.last_block; ++b) {
+      const std::uint8_t lb = stream[lengths_offset() + b];
+      if (!valid_length_byte(lb)) {
+        throw format_error("checksum_group_spans: invalid length byte");
+      }
+      off += block_payload_bytes(lb, h.block_len, h.zero_block_bypass());
+    }
+    s.payload_end = off;
+    spans.push_back(s);
+  }
+  if (off > stream.size()) {
+    throw format_error("checksum_group_spans: truncated payload");
+  }
+  return spans;
+}
+
+std::uint32_t checksum_group_crc(std::span<const byte_t> stream,
+                                 const GroupSpan& g) {
+  Crc32c crc;
+  crc.update(stream.subspan(lengths_offset() + g.first_block,
+                            g.last_block - g.first_block));
+  crc.update(
+      stream.subspan(g.payload_begin, g.payload_end - g.payload_begin));
+  return crc.value();
+}
+
+void verify_checksums(std::span<const byte_t> stream, const Header& h,
+                      size_t first_block, size_t last_block) {
+  if (!h.checksummed()) return;
+  const size_t nblocks = num_blocks(h.num_elements, h.block_len);
+  // Footer location from the prefix sum over all length bytes (any
+  // tampered length byte shifts it, which the footer magic/CRC catches).
+  size_t footer_off = payload_offset(nblocks);
+  if (stream.size() < footer_off) {
+    throw format_error("verify_checksums: truncated length area");
+  }
+  for (size_t b = 0; b < nblocks; ++b) {
+    const std::uint8_t lb = stream[lengths_offset() + b];
+    if (!valid_length_byte(lb)) {
+      throw format_error("verify_checksums: invalid length byte");
+    }
+    footer_off += block_payload_bytes(lb, h.block_len, h.zero_block_bypass());
+  }
+  if (footer_off > stream.size()) {
+    throw format_error("verify_checksums: truncated payload");
+  }
+  const ChecksumFooter footer =
+      ChecksumFooter::deserialize(stream.subspan(footer_off));
+  if (footer.group_blocks != h.checksum_group_blocks) {
+    throw format_error("verify_checksums: group size disagrees with header");
+  }
+  if (footer.crcs.size() !=
+      num_checksum_groups(nblocks, footer.group_blocks)) {
+    throw format_error("verify_checksums: group count mismatch");
+  }
+  const auto spans = checksum_group_spans(stream, h, footer.group_blocks);
+  const size_t payload_base = payload_offset(nblocks);
+  for (size_t g = 0; g < spans.size(); ++g) {
+    if (spans[g].last_block <= first_block || spans[g].first_block >= last_block) {
+      continue;  // outside the requested block range
+    }
+    if (footer.offsets[g] != spans[g].payload_begin - payload_base) {
+      throw format_error("verify_checksums: group offset mismatch");
+    }
+    if (footer.crcs[g] != checksum_group_crc(stream, spans[g])) {
+      throw format_error("verify_checksums: checksum mismatch in group " +
+                         std::to_string(g));
+    }
+  }
+}
+
 StreamStats inspect_stream(std::span<const byte_t> stream) {
   const Header h = Header::deserialize(stream);
   StreamStats s;
+  s.version = h.version;
   s.num_blocks = num_blocks(h.num_elements, h.block_len);
   if (stream.size() < payload_offset(s.num_blocks)) {
     throw format_error("inspect_stream: truncated length area");
@@ -91,6 +261,9 @@ StreamStats inspect_stream(std::span<const byte_t> stream) {
   double f_sum = 0;
   for (size_t b = 0; b < s.num_blocks; ++b) {
     const std::uint8_t lb = stream[lengths_offset() + b];
+    if (!valid_length_byte(lb)) {
+      throw format_error("inspect_stream: invalid length byte");
+    }
     if (lb == 0) {
       ++s.zero_blocks;
     } else if (lb >= kOutlierFlag) {
@@ -101,6 +274,16 @@ StreamStats inspect_stream(std::span<const byte_t> stream) {
     }
     s.payload_bytes += block_payload_bytes(lb, h.block_len,
                                            h.zero_block_bypass());
+  }
+  if (h.checksummed()) {
+    const size_t footer_off = payload_offset(s.num_blocks) + s.payload_bytes;
+    if (footer_off > stream.size()) {
+      throw format_error("inspect_stream: truncated payload");
+    }
+    const ChecksumFooter footer =
+        ChecksumFooter::deserialize(stream.subspan(footer_off));
+    s.footer_bytes = footer.bytes();
+    s.checksum_groups = footer.crcs.size();
   }
   const size_t nonzero = s.num_blocks - s.zero_blocks;
   s.mean_fixed_length = nonzero > 0 ? f_sum / static_cast<double>(nonzero) : 0;

@@ -1,15 +1,21 @@
 // cuSZp compressed-stream format and codec parameters (paper Fig. 12).
 //
-// Stream layout:
-//   [Header]                          32 bytes
+// Stream layout (format v2):
+//   [Header]                          32 bytes, CRC32C-protected
 //   [fixed-length byte per block]     num_blocks bytes (0 => zero block)
 //   [payload]                         per non-zero block, at its prefix-sum
 //                                     offset: sign map (L/8 bytes) followed
 //                                     by F_k bit planes (L/8 bytes each)
+//   [checksum footer]                 per-group CRC32C over length bytes
+//                                     and payload (v2 streams only)
 //
 // Payload offsets are not stored: both directions recompute them with the
 // same prefix sum over CmpL_k = (F_k + 1) * L / 8 (Eq. 2), exactly as the
-// paper's Global Synchronization does.
+// paper's Global Synchronization does. The footer additionally records
+// each checksum group's payload start so a decoder can re-align after a
+// corrupt group instead of losing everything downstream.
+//
+// v1 streams (no header CRC, no footer) decode unchanged.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +33,9 @@ enum class ErrorMode : std::uint8_t { kAbs = 0, kRel = 1 };
 /// Prefix-sum implementation used by the device codec (ablation knob).
 enum class ScanAlgo : std::uint8_t { kChained = 0, kTwoPass = 1 };
 
+/// Blocks covered by one integrity checksum (format v2 footer).
+inline constexpr unsigned kChecksumGroupBlocks = 256;
+
 struct Params {
   ErrorMode mode = ErrorMode::kRel;
   double error_bound = 1e-3;  // ABS bound, or REL ratio in (0,1)
@@ -38,24 +47,36 @@ struct Params {
   bool outlier_mode = false;      // outlier-tolerant fixed length (extension;
                                   // the cuSZp2 follow-on direction)
   ScanAlgo scan = ScanAlgo::kChained;
+  unsigned checksum_group_blocks = kChecksumGroupBlocks;
+  // ^ blocks per integrity checksum group; 0 emits a legacy v1 stream
+  //   without the checksum footer.
 
   void validate() const;
 };
 
 /// Fixed-size stream header. `eb_abs` is the *resolved* absolute bound, so
-/// decompression never needs the original value range.
+/// decompression never needs the original value range. Version-2 headers
+/// carry a CRC32C of their first 28 bytes in the last 4; version-1 headers
+/// (pre-integrity streams) leave those bytes zero and are still accepted.
 struct Header {
   static constexpr std::uint32_t kMagic = 0x70355A53;  // "SZ5p"
-  static constexpr std::uint16_t kVersion = 1;
+  static constexpr std::uint16_t kVersion = 2;
+  static constexpr std::uint16_t kVersionV1 = 1;
 
+  std::uint16_t version = kVersion;
   std::uint64_t num_elements = 0;
   double eb_abs = 0;
   std::uint16_t block_len = 32;
   std::uint8_t flags = 0;  // bit0 lorenzo, bit1 zero-bypass, bit2 shuffle,
                            // bit3 f64 source data, bit4 outlier mode,
                            // bit5 two-layer Lorenzo
+  std::uint16_t checksum_group_blocks = kChecksumGroupBlocks;
+  // ^ blocks per checksum group of the v2 footer; 0 on v1 streams. Kept in
+  //   the header so a decoder knows the group layout before it reaches the
+  //   footer (the single-kernel device decoder needs it up front).
 
   static constexpr size_t kSize = 32;
+  static constexpr size_t kCrcOffset = 28;  // CRC32C over bytes [0, 28)
 
   [[nodiscard]] bool lorenzo() const { return (flags & 1u) != 0; }
   [[nodiscard]] bool zero_block_bypass() const { return (flags & 2u) != 0; }
@@ -63,6 +84,7 @@ struct Header {
   [[nodiscard]] bool is_f64() const { return (flags & 8u) != 0; }
   [[nodiscard]] bool outlier_mode() const { return (flags & 16u) != 0; }
   [[nodiscard]] bool lorenzo2() const { return (flags & 32u) != 0; }
+  [[nodiscard]] bool checksummed() const { return version >= 2; }
 
   static std::uint8_t make_flags(const Params& p);
 
@@ -96,12 +118,76 @@ struct Header {
   return Header::kSize + nblocks;
 }
 
+// ------------------------------------------------- integrity footer ----
+
+/// Checksum groups covering `nblocks` blocks (0 when checksums are off).
+[[nodiscard]] inline size_t num_checksum_groups(size_t nblocks,
+                                                unsigned group_blocks) {
+  if (group_blocks == 0) return 0;
+  return div_ceil(nblocks, static_cast<size_t>(group_blocks));
+}
+
+/// v2 checksum footer, appended after the payload area:
+///   0        4    magic "SZ5C"
+///   4        4    u32 blocks per group
+///   8        4    u32 group count G
+///   12       12*G per group: u64 payload start (relative to the payload
+///                 area) + u32 CRC32C over the group's length bytes
+///                 followed by its payload bytes
+///   12+12*G  4    u32 CRC32C of footer bytes [0, 12+12*G)
+struct ChecksumFooter {
+  static constexpr std::uint32_t kMagic = 0x43355A53;  // "SZ5C"
+  static constexpr size_t kFixedBytes = 16;
+  static constexpr size_t kEntryBytes = 12;
+
+  std::uint32_t group_blocks = kChecksumGroupBlocks;
+  std::vector<std::uint64_t> offsets;  // payload-relative group starts
+  std::vector<std::uint32_t> crcs;     // one CRC32C per group
+
+  [[nodiscard]] static constexpr size_t bytes_for(size_t groups) {
+    return kFixedBytes + kEntryBytes * groups;
+  }
+  [[nodiscard]] size_t bytes() const { return bytes_for(crcs.size()); }
+
+  void serialize(std::span<byte_t> out) const;  // out.size() >= bytes()
+  /// Parses and self-CRC-verifies a footer at the start of `in`; throws
+  /// format_error on truncation, bad magic, or checksum mismatch.
+  [[nodiscard]] static ChecksumFooter deserialize(std::span<const byte_t> in);
+};
+
+/// Byte extents of one checksum group within a laid-out stream.
+struct GroupSpan {
+  size_t first_block = 0, last_block = 0;      // block indices [first, last)
+  size_t payload_begin = 0, payload_end = 0;   // absolute stream offsets
+};
+
+/// Partition a stream's blocks into checksum groups, validating every
+/// length byte and that the payload fits inside `stream`. Throws
+/// format_error on truncation or invalid length bytes.
+[[nodiscard]] std::vector<GroupSpan> checksum_group_spans(
+    std::span<const byte_t> stream, const Header& h, unsigned group_blocks);
+
+/// CRC32C of one group: its length bytes followed by its payload bytes.
+[[nodiscard]] std::uint32_t checksum_group_crc(std::span<const byte_t> stream,
+                                               const GroupSpan& g);
+
+/// Verify a v2 stream's checksum footer (header must already be parsed):
+/// footer location and self-CRC, group bookkeeping consistency, and the
+/// CRCs of every group intersecting blocks [first_block, last_block).
+/// Throws format_error on any mismatch; no-op for v1 headers.
+void verify_checksums(std::span<const byte_t> stream, const Header& h,
+                      size_t first_block = 0,
+                      size_t last_block = static_cast<size_t>(-1));
+
 /// Summary of a compressed stream, for tests and benches.
 struct StreamStats {
+  std::uint16_t version = 0;
   size_t num_blocks = 0;
   size_t zero_blocks = 0;
   size_t outlier_blocks = 0;
   size_t payload_bytes = 0;
+  size_t footer_bytes = 0;       // 0 for v1 streams
+  size_t checksum_groups = 0;    // 0 for v1 streams
   double mean_fixed_length = 0;  // over non-zero blocks
 };
 [[nodiscard]] StreamStats inspect_stream(std::span<const byte_t> stream);

@@ -34,21 +34,31 @@ RangePlan plan_range(std::span<const byte_t> stream, size_t begin,
   plan.last_block = begin == end ? plan.first_block : div_ceil(end, size_t{L});
 
   // Prefix-sum the length bytes up to the first covered block, then the
-  // covered span; the tail of the stream is never touched.
+  // covered span; the tail of the stream is only touched for integrity
+  // verification of v2 streams.
   size_t off = 0;
   for (size_t b = 0; b < plan.first_block; ++b) {
-    off += block_payload_bytes(stream[lengths_offset() + b], L,
-                               plan.header.zero_block_bypass());
+    const std::uint8_t lb = stream[lengths_offset() + b];
+    if (!valid_length_byte(lb)) {
+      throw format_error("decompress_range: invalid length byte");
+    }
+    off += block_payload_bytes(lb, L, plan.header.zero_block_bypass());
   }
   plan.payload_base = payload_offset(nblocks) + off;
   for (size_t b = plan.first_block; b < plan.last_block; ++b) {
+    const std::uint8_t lb = stream[lengths_offset() + b];
+    if (!valid_length_byte(lb)) {
+      throw format_error("decompress_range: invalid length byte");
+    }
     plan.payload_bytes +=
-        block_payload_bytes(stream[lengths_offset() + b], L,
-                            plan.header.zero_block_bypass());
+        block_payload_bytes(lb, L, plan.header.zero_block_bypass());
   }
   if (plan.payload_base + plan.payload_bytes > stream.size()) {
     throw format_error("decompress_range: truncated payload");
   }
+  // Random access keeps its locality: only the checksum groups covering
+  // [first_block, last_block) are CRC-verified (plus the footer itself).
+  verify_checksums(stream, plan.header, plan.first_block, plan.last_block);
   return plan;
 }
 

@@ -28,11 +28,15 @@ std::vector<byte_t> compress_impl(std::span<const T> data,
   const size_t nblocks = num_blocks(n, L);
 
   Header h;
+  h.version =
+      params.checksum_group_blocks > 0 ? Header::kVersion : Header::kVersionV1;
   h.num_elements = n;
   h.eb_abs = eb;
   h.block_len = static_cast<std::uint16_t>(L);
   h.flags = Header::make_flags(params);
   if constexpr (std::is_same_v<T, double>) h.flags |= 8u;
+  h.checksum_group_blocks =
+      static_cast<std::uint16_t>(params.checksum_group_blocks);
 
   // Pass 1: per-block quantize/predict/encode metadata; collect payloads
   // (the shared block codec is also what the device kernels run).
@@ -61,13 +65,30 @@ std::vector<byte_t> compress_impl(std::span<const T> data,
     total_payload += cmp_len[b];
   }
 
-  std::vector<byte_t> out(payload_offset(nblocks) + total_payload, byte_t{0});
+  const size_t groups =
+      num_checksum_groups(nblocks, params.checksum_group_blocks);
+  const size_t footer_bytes =
+      h.checksummed() ? ChecksumFooter::bytes_for(groups) : 0;
+  std::vector<byte_t> out(
+      payload_offset(nblocks) + total_payload + footer_bytes, byte_t{0});
   h.serialize(std::span(out).first(Header::kSize));
   std::copy(lengths.begin(), lengths.end(), out.begin() + lengths_offset());
   const size_t base = payload_offset(nblocks);
   for (size_t b = 0; b < nblocks; ++b) {
     std::copy(block_payload[b].begin(), block_payload[b].end(),
               out.begin() + base + offset[b]);
+  }
+  if (h.checksummed()) {
+    ChecksumFooter footer;
+    footer.group_blocks = params.checksum_group_blocks;
+    const auto spans =
+        checksum_group_spans(out, h, params.checksum_group_blocks);
+    for (const GroupSpan& g : spans) {
+      footer.offsets.push_back(g.payload_begin - base);
+      footer.crcs.push_back(checksum_group_crc(out, g));
+    }
+    footer.serialize(
+        std::span(out).subspan(base + total_payload, footer_bytes));
   }
   return out;
 }
@@ -89,14 +110,20 @@ std::vector<T> decompress_impl(std::span<const byte_t> stream) {
   std::vector<size_t> offset(nblocks, 0);
   size_t total = 0;
   for (size_t b = 0; b < nblocks; ++b) {
+    const std::uint8_t lb = stream[lengths_offset() + b];
+    if (!valid_length_byte(lb)) {
+      throw format_error("decompress: invalid length byte");
+    }
     offset[b] = total;
-    total += block_payload_bytes(stream[lengths_offset() + b], L,
-                                 h.zero_block_bypass());
+    total += block_payload_bytes(lb, L, h.zero_block_bypass());
   }
   const size_t base = payload_offset(nblocks);
   if (stream.size() < base + total) {
     throw format_error("decompress: truncated payload");
   }
+  // v2 streams are integrity-checked before any payload is interpreted;
+  // a flipped bit fails here instead of dequantizing into garbage.
+  verify_checksums(stream, h);
 
   std::vector<T> out(n, T{0});
   BlockScratch scratch;
@@ -144,6 +171,10 @@ size_t exact_compressed_bytes(std::span<const float> data,
         encode_block<float>(data, data.size(), b, L, eb, params, scratch,
                             elems);
     total += encoded_block_bytes(lb, L, params);
+  }
+  if (params.checksum_group_blocks > 0) {
+    total += ChecksumFooter::bytes_for(
+        num_checksum_groups(nblocks, params.checksum_group_blocks));
   }
   return total;
 }

@@ -73,10 +73,14 @@ void lorenzo_forward(std::span<std::int32_t> r) {
 }
 
 void lorenzo_inverse(std::span<std::int32_t> l) {
-  std::int32_t acc = 0;
+  // Unsigned accumulation: corrupt (unchecksummed v1) streams can hold
+  // arbitrary deltas, and signed wrap would be UB. The reconstruction is
+  // garbage either way, but it must be *defined* garbage so the salvage
+  // and fuzz paths stay sanitizer-clean.
+  std::uint32_t acc = 0;
   for (auto& v : l) {
-    acc += v;
-    v = acc;
+    acc += static_cast<std::uint32_t>(v);
+    v = static_cast<std::int32_t>(acc);
   }
 }
 

@@ -73,7 +73,8 @@ class DeviceBuffer {
 template <typename T>
 void copy_h2d(Device& dev, DeviceBuffer<T>& dst, std::span<const T> src) {
   if (src.size() > dst.size()) throw format_error("copy_h2d: overflow");
-  std::memcpy(dst.data(), src.data(), src.size() * sizeof(T));
+  // Empty copies are legal no-ops (memcpy with null src/dst is UB).
+  if (!src.empty()) std::memcpy(dst.data(), src.data(), src.size() * sizeof(T));
   dev.trace().add_h2d(src.size() * sizeof(T));
 }
 
@@ -84,7 +85,7 @@ void copy_d2h(Device& dev, std::span<T> dst, const DeviceBuffer<T>& src,
   if (count > src.size() || count > dst.size()) {
     throw format_error("copy_d2h: overflow");
   }
-  std::memcpy(dst.data(), src.data(), count * sizeof(T));
+  if (count != 0) std::memcpy(dst.data(), src.data(), count * sizeof(T));
   dev.trace().add_d2h(count * sizeof(T));
 }
 
@@ -95,7 +96,7 @@ void copy_d2d(Device& dev, DeviceBuffer<T>& dst, const DeviceBuffer<T>& src,
   if (count > src.size() || count > dst.size()) {
     throw format_error("copy_d2d: overflow");
   }
-  std::memcpy(dst.data(), src.data(), count * sizeof(T));
+  if (count != 0) std::memcpy(dst.data(), src.data(), count * sizeof(T));
   dev.trace().add_d2d(count * sizeof(T));
 }
 

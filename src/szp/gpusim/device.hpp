@@ -9,8 +9,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "szp/gpusim/trace.hpp"
@@ -53,12 +55,25 @@ class Device {
   [[nodiscard]] std::vector<KernelRecord> launch_log() const;
   void clear_launch_log();
 
+  /// Fault-injection hook: invoked with the kernel name after each launch
+  /// fully retires (all blocks done, no exception). Tests use it to corrupt
+  /// device memory between pipeline stages. Empty by default.
+  using KernelHook = std::function<void(const std::string&)>;
+  void set_post_kernel_hook(KernelHook hook) {
+    post_kernel_hook_ = std::move(hook);
+  }
+  void clear_post_kernel_hook() { post_kernel_hook_ = nullptr; }
+  [[nodiscard]] const KernelHook& post_kernel_hook() const {
+    return post_kernel_hook_;
+  }
+
  private:
   unsigned workers_;
   Trace trace_;
   std::atomic<size_t> alloc_bytes_{0};
   mutable std::mutex log_mutex_;
   std::vector<KernelRecord> launch_log_;
+  KernelHook post_kernel_hook_;
 };
 
 }  // namespace szp::gpusim

@@ -27,7 +27,7 @@ void run_blocks(Device& dev, const char* kernel_name, size_t grid_blocks,
     for (;;) {
       const size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= grid_blocks || failed.load(std::memory_order_relaxed)) return;
-      BlockCtx ctx{i, grid_blocks, &dev.trace()};
+      BlockCtx ctx{i, grid_blocks, &dev.trace(), &failed};
       try {
         body(ctx);
       } catch (...) {
@@ -50,6 +50,12 @@ void run_blocks(Device& dev, const char* kernel_name, size_t grid_blocks,
     for (auto& t : pool) t.join();
   }
   if (first_error) std::rethrow_exception(first_error);
+
+  // Fault-injection hook (tests): corrupt device memory between pipeline
+  // stages once the kernel has fully retired.
+  if (const Device::KernelHook& hook = dev.post_kernel_hook()) {
+    hook(kernel_name);
+  }
 }
 
 }  // namespace szp::gpusim::detail

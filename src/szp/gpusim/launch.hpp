@@ -3,6 +3,7 @@
 // block, as cuSZp configures); the warp-level primitives live in warp.hpp.
 #pragma once
 
+#include <atomic>
 #include <functional>
 
 #include "szp/gpusim/device.hpp"
@@ -14,12 +15,21 @@ struct BlockCtx {
   size_t block_idx = 0;
   size_t grid_blocks = 0;
   Trace* trace = nullptr;
+  const std::atomic<bool>* abort_flag = nullptr;
 
   void read(Stage s, std::uint64_t bytes) const { trace->add_read(s, bytes); }
   void write(Stage s, std::uint64_t bytes) const {
     trace->add_write(s, bytes);
   }
   void ops(Stage s, std::uint64_t n) const { trace->add_ops(s, n); }
+
+  /// True once any block of this launch has thrown: spin-waits (e.g. the
+  /// chained-scan lookback) must bail out instead of waiting on a
+  /// descriptor that will never be published.
+  [[nodiscard]] bool aborted() const {
+    return abort_flag != nullptr &&
+           abort_flag->load(std::memory_order_relaxed);
+  }
 };
 
 namespace detail {

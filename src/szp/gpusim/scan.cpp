@@ -47,6 +47,11 @@ std::uint64_t ChainedScanState::publish_and_lookback(const BlockCtx& ctx,
     // Predecessor has not published yet: yield and retry. The launch
     // scheduler claims blocks in increasing order, so progress is
     // guaranteed; the cap converts a logic bug into an error, not a hang.
+    // If another block of this launch threw (corrupt input), its prefix
+    // will never be published — bail out instead of spinning to the cap.
+    if (ctx.aborted()) {
+      throw format_error("ChainedScanState: lookback aborted");
+    }
     if (++spins > (std::uint64_t{1} << 34)) {
       throw format_error("ChainedScanState: lookback stalled");
     }

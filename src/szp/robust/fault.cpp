@@ -1,0 +1,95 @@
+#include "szp/robust/fault.hpp"
+
+#include <algorithm>
+
+#include "szp/core/format.hpp"
+
+namespace szp::robust {
+
+std::string FaultInjector::Mutation::describe() const {
+  switch (kind) {
+    case Kind::kBitFlip:
+      return "bit-flip @" + std::to_string(offset) + " bit " +
+             std::to_string(bit);
+    case Kind::kByteSet:
+      return "byte-set @" + std::to_string(offset) + " = " +
+             std::to_string(bit);
+    case Kind::kTruncate:
+      return "truncate " + std::to_string(offset) + " -> " +
+             std::to_string(new_size);
+    case Kind::kLengthTamper:
+      return "length-tamper @" + std::to_string(offset) + " = " +
+             std::to_string(bit);
+  }
+  return "?";
+}
+
+FaultInjector::Mutation FaultInjector::mutate(std::vector<byte_t>& stream) {
+  switch (rng_.next_below(4)) {
+    case 0: return flip_bit(stream);
+    case 1: return set_byte(stream);
+    case 2: return truncate(stream);
+    default: return tamper_length_byte(stream);
+  }
+}
+
+FaultInjector::Mutation FaultInjector::flip_bit(std::vector<byte_t>& stream) {
+  return corrupt_buffer(stream);
+}
+
+FaultInjector::Mutation FaultInjector::set_byte(std::vector<byte_t>& stream) {
+  Mutation m;
+  m.kind = Kind::kByteSet;
+  m.new_size = stream.size();
+  if (stream.empty()) return m;
+  m.offset = static_cast<size_t>(rng_.next_below(stream.size()));
+  // Guarantee a change: XOR with a non-zero delta instead of rerolling.
+  const auto delta = static_cast<byte_t>(1 + rng_.next_below(255));
+  stream[m.offset] = static_cast<byte_t>(stream[m.offset] ^ delta);
+  m.bit = stream[m.offset];
+  return m;
+}
+
+FaultInjector::Mutation FaultInjector::truncate(std::vector<byte_t>& stream) {
+  Mutation m;
+  m.kind = Kind::kTruncate;
+  m.offset = stream.size();
+  if (stream.empty()) return m;
+  m.new_size = static_cast<size_t>(rng_.next_below(stream.size()));
+  stream.resize(m.new_size);
+  return m;
+}
+
+FaultInjector::Mutation FaultInjector::tamper_length_byte(
+    std::vector<byte_t>& stream) {
+  size_t nblocks = 0;
+  try {
+    const auto h = core::Header::deserialize(stream);
+    nblocks = core::num_blocks(h.num_elements, h.block_len);
+  } catch (const format_error&) {
+  }
+  const size_t lo = core::lengths_offset();
+  if (nblocks == 0 || stream.size() <= lo) return set_byte(stream);
+  const size_t avail = std::min(nblocks, stream.size() - lo);
+  Mutation m;
+  m.kind = Kind::kLengthTamper;
+  m.new_size = stream.size();
+  m.offset = lo + static_cast<size_t>(rng_.next_below(avail));
+  const auto delta = static_cast<byte_t>(1 + rng_.next_below(255));
+  stream[m.offset] = static_cast<byte_t>(stream[m.offset] ^ delta);
+  m.bit = stream[m.offset];
+  return m;
+}
+
+FaultInjector::Mutation FaultInjector::corrupt_buffer(std::span<byte_t> buf) {
+  Mutation m;
+  m.kind = Kind::kBitFlip;
+  m.new_size = buf.size();
+  if (buf.empty()) return m;
+  m.offset = static_cast<size_t>(rng_.next_below(buf.size()));
+  m.bit = static_cast<std::uint8_t>(rng_.next_below(8));
+  buf[m.offset] = static_cast<byte_t>(buf[m.offset] ^ (1u << m.bit));
+  return m;
+}
+
+}  // namespace szp::robust

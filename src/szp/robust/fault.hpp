@@ -1,0 +1,60 @@
+// Deterministic fault injection for the fuzz harness.
+//
+// Every mutation is drawn from a seeded Rng, so a failing case replays
+// from its seed alone. Mutations model storage/transport faults (bit
+// flips, byte smashes, truncation) plus one format-aware attack (length
+// byte tampering, which desynchronizes the payload prefix sum).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "szp/util/common.hpp"
+#include "szp/util/rng.hpp"
+
+namespace szp::robust {
+
+class FaultInjector {
+ public:
+  enum class Kind : std::uint8_t {
+    kBitFlip = 0,   // flip one random bit
+    kByteSet,       // overwrite one byte with a random value
+    kTruncate,      // drop a random-length tail
+    kLengthTamper,  // rewrite one per-block length byte
+  };
+
+  /// Record of one applied mutation, for failure reports.
+  struct Mutation {
+    Kind kind = Kind::kBitFlip;
+    size_t offset = 0;     // byte offset (old size for truncation)
+    std::uint8_t bit = 0;  // bit index (kBitFlip) or new value (others)
+    size_t new_size = 0;   // post-mutation size (kTruncate)
+
+    [[nodiscard]] std::string describe() const;
+  };
+
+  explicit FaultInjector(std::uint64_t seed) : rng_(seed) {}
+
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+  /// Apply one random mutation of a random kind. Length tampering needs a
+  /// parseable header to find the length area; when it cannot, it falls
+  /// back to a byte smash.
+  Mutation mutate(std::vector<byte_t>& stream);
+
+  Mutation flip_bit(std::vector<byte_t>& stream);
+  Mutation set_byte(std::vector<byte_t>& stream);
+  Mutation truncate(std::vector<byte_t>& stream);
+  Mutation tamper_length_byte(std::vector<byte_t>& stream);
+
+  /// Flip one random bit inside an arbitrary buffer (used by the gpusim
+  /// post-kernel hook to corrupt device-resident streams mid-pipeline).
+  Mutation corrupt_buffer(std::span<byte_t> buf);
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace szp::robust

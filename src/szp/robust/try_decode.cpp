@@ -1,0 +1,364 @@
+#include "szp/robust/try_decode.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <optional>
+#include <type_traits>
+
+#include "szp/core/block_codec.hpp"
+#include "szp/core/compressor.hpp"
+#include "szp/core/format.hpp"
+#include "szp/core/stages.hpp"
+#include "szp/util/crc32c.hpp"
+
+namespace szp::robust {
+
+namespace {
+
+using core::ChecksumFooter;
+using core::Header;
+
+/// Parse a header without throwing, classifying each failure mode along
+/// the way (Header::deserialize collapses them all into format_error).
+Status classify_header(std::span<const byte_t> stream, Header& h,
+                       std::string& detail) {
+  if (stream.size() < Header::kSize) {
+    detail = "stream shorter than a header";
+    return Status::kTruncated;
+  }
+  std::uint32_t magic;
+  std::memcpy(&magic, stream.data(), sizeof(magic));
+  if (magic != Header::kMagic) {
+    detail = "not a cuSZp stream";
+    return Status::kBadMagic;
+  }
+  std::uint16_t version;
+  std::memcpy(&version, stream.data() + 4, sizeof(version));
+  if (version != Header::kVersionV1 && version != Header::kVersion) {
+    detail = "unsupported stream version " + std::to_string(version);
+    return Status::kUnsupportedVersion;
+  }
+  if (version >= 2) {
+    std::uint32_t stored;
+    std::memcpy(&stored, stream.data() + Header::kCrcOffset, sizeof(stored));
+    if (stored != crc32c(stream.first(Header::kCrcOffset))) {
+      detail = "header CRC mismatch";
+      return Status::kHeaderCorrupt;
+    }
+  }
+  try {
+    h = Header::deserialize(stream);
+  } catch (const format_error& e) {
+    detail = e.what();
+    return Status::kBadHeaderField;
+  }
+  return Status::kOk;
+}
+
+/// Locate and parse the v2 footer: first at the offset the length bytes
+/// imply, then (corrupt length bytes shift that) by scanning the tail for
+/// a self-verifying footer. Returns its absolute offset via `footer_off`.
+std::optional<ChecksumFooter> find_footer(std::span<const byte_t> stream,
+                                          size_t payload_base,
+                                          size_t computed_off_or_npos,
+                                          size_t& footer_off) {
+  if (computed_off_or_npos != static_cast<size_t>(-1) &&
+      computed_off_or_npos <= stream.size()) {
+    try {
+      auto f = ChecksumFooter::deserialize(
+          stream.subspan(computed_off_or_npos));
+      footer_off = computed_off_or_npos;
+      return f;
+    } catch (const format_error&) {
+    }
+  }
+  if (stream.size() < payload_base + ChecksumFooter::kFixedBytes) {
+    return std::nullopt;
+  }
+  for (size_t off = stream.size() - ChecksumFooter::kFixedBytes;;) {
+    std::uint32_t magic;
+    std::memcpy(&magic, stream.data() + off, sizeof(magic));
+    if (magic == ChecksumFooter::kMagic) {
+      try {
+        auto f = ChecksumFooter::deserialize(stream.subspan(off));
+        footer_off = off;
+        return f;
+      } catch (const format_error&) {
+      }
+    }
+    if (off == payload_base) break;
+    --off;
+  }
+  return std::nullopt;
+}
+
+template <typename T>
+DecodeReport try_decode_impl(std::span<const byte_t> stream,
+                             std::vector<T>* out, const DecodeOptions& opts) {
+  DecodeReport rep;
+  if (out) out->clear();
+
+  Header h;
+  rep.status = classify_header(stream, h, rep.detail);
+  if (!rep.ok()) return rep;
+  if (out && h.is_f64() != std::is_same_v<T, double>) {
+    rep.status = Status::kTypeMismatch;
+    rep.detail = h.is_f64() ? "stream holds f64 data" : "stream holds f32 data";
+    return rep;
+  }
+
+  const unsigned L = h.block_len;
+  const size_t n = h.num_elements;
+  const size_t nblocks = core::num_blocks(n, L);
+  const size_t base = core::payload_offset(nblocks);
+  rep.num_elements = n;
+  rep.num_blocks = nblocks;
+  rep.checksummed = h.checksummed();
+
+  // The stream must physically contain its length area before anything is
+  // sized from the header — a corrupt v1 header can claim any element
+  // count, and this bound caps it by the bytes actually present.
+  if (stream.size() < base) {
+    rep.status = Status::kTruncated;
+    rep.detail = "length area truncated";
+    return rep;
+  }
+
+  auto mark_corrupt = [&](size_t first, size_t last) {
+    if (first >= last) return;
+    if (!rep.corrupt_blocks.empty() &&
+        rep.corrupt_blocks.back().last_block == first) {
+      rep.corrupt_blocks.back().last_block = last;
+    } else {
+      rep.corrupt_blocks.push_back({first, last});
+    }
+  };
+
+  core::BlockScratch scratch;
+  std::vector<T> block_out(L);
+  // Decode one structurally validated block into the output.
+  auto decode_block = [&](size_t b, std::uint8_t lb, size_t off, size_t cl) {
+    if (cl != 0) {
+      core::read_block_payload(stream.subspan(off, cl), lb, L,
+                               h.bit_shuffle(), scratch);
+      if (h.lorenzo()) {
+        if (h.lorenzo2()) {
+          core::lorenzo2_inverse(scratch.quant);
+        } else {
+          core::lorenzo_inverse(scratch.quant);
+        }
+      }
+      core::dequantize(scratch.quant, h.eb_abs, std::span<T>(block_out));
+    } else {
+      std::fill(block_out.begin(), block_out.end(), T{0});
+    }
+    const size_t begin = b * L;
+    const size_t len = std::min<size_t>(L, n - begin);
+    std::copy(block_out.begin(), block_out.begin() + len,
+              out->begin() + begin);
+  };
+
+  const auto block_bytes = [&](std::uint8_t lb) {
+    return core::block_payload_bytes(lb, L, h.zero_block_bypass());
+  };
+
+  if (!h.checksummed()) {
+    // ---- v1: structural validation only; no re-alignment is possible
+    // past the first defect, so salvage keeps the prefix.
+    if (out) out->assign(n, T{0});
+    size_t off = base;
+    for (size_t b = 0; b < nblocks; ++b) {
+      const std::uint8_t lb = stream[core::lengths_offset() + b];
+      if (!core::valid_length_byte(lb)) {
+        rep.status = Status::kBadLengthByte;
+        rep.detail = "invalid length byte at block " + std::to_string(b);
+        mark_corrupt(b, nblocks);
+        break;
+      }
+      const size_t cl = block_bytes(lb);
+      if (off + cl > stream.size()) {
+        rep.status = Status::kTruncated;
+        rep.detail = "payload truncated at block " + std::to_string(b);
+        mark_corrupt(b, nblocks);
+        break;
+      }
+      if (out) decode_block(b, lb, off, cl);
+      off += cl;
+    }
+    if (!rep.ok() && out) {
+      if (opts.salvage) {
+        rep.salvaged = true;
+      } else {
+        out->clear();
+      }
+    }
+    return rep;
+  }
+
+  // ---- v2: verify and decode group by group, re-aligning from the
+  // footer's per-group payload offsets after any corrupt group.
+  size_t computed_off = base;
+  for (size_t b = 0; b < nblocks; ++b) {
+    const std::uint8_t lb = stream[core::lengths_offset() + b];
+    if (!core::valid_length_byte(lb)) {
+      computed_off = static_cast<size_t>(-1);
+      break;
+    }
+    computed_off += block_bytes(lb);
+  }
+
+  size_t footer_off = 0;
+  const auto footer = find_footer(stream, base, computed_off, footer_off);
+  const unsigned gb = h.checksum_group_blocks;
+  rep.groups_total = core::num_checksum_groups(nblocks, gb);
+
+  bool footer_usable = footer.has_value();
+  if (footer_usable && (footer->group_blocks != gb ||
+                        footer->crcs.size() != rep.groups_total)) {
+    footer_usable = false;
+  }
+  if (!footer_usable) {
+    // No trustworthy footer: nothing in the stream can be vouched for.
+    rep.status = footer ? Status::kSizeMismatch : Status::kFooterMissing;
+    rep.detail = footer ? "footer layout disagrees with header"
+                        : "no usable checksum footer";
+    rep.groups_bad = rep.groups_total;
+    mark_corrupt(0, nblocks);
+    for (size_t g = 0; opts.want_groups && g < rep.groups_total; ++g) {
+      rep.groups.push_back({g, g * gb, std::min(nblocks, (g + 1) * size_t{gb}),
+                            false});
+    }
+    if (out && opts.salvage) {
+      out->assign(n, T{0});
+      rep.salvaged = true;
+    }
+    return rep;
+  }
+
+  if (out) out->assign(n, T{0});
+  for (size_t g = 0; g < rep.groups_total; ++g) {
+    const size_t first = g * gb;
+    const size_t last = std::min(nblocks, first + gb);
+    const size_t pb = base + footer->offsets[g];
+    const size_t pe = g + 1 < rep.groups_total
+                          ? base + footer->offsets[g + 1]
+                          : footer_off;
+    bool ok = footer->offsets[g] <= footer_off - base && pb <= pe &&
+              pe <= footer_off && footer_off <= stream.size();
+    size_t lb_sum = 0;
+    if (ok) {
+      for (size_t b = first; b < last; ++b) {
+        const std::uint8_t lb = stream[core::lengths_offset() + b];
+        if (!core::valid_length_byte(lb)) {
+          ok = false;
+          break;
+        }
+        lb_sum += block_bytes(lb);
+      }
+    }
+    ok = ok && pb + lb_sum == pe;
+    if (ok) {
+      const core::GroupSpan span{first, last, pb, pe};
+      ok = footer->crcs[g] == core::checksum_group_crc(stream, span);
+    }
+    if (opts.want_groups) rep.groups.push_back({g, first, last, ok});
+    if (!ok) {
+      ++rep.groups_bad;
+      mark_corrupt(first, last);
+      if (rep.ok()) {
+        rep.status = Status::kChecksumMismatch;
+        rep.detail = "checksum mismatch in group " + std::to_string(g);
+      }
+      continue;
+    }
+    if (out) {
+      size_t off = pb;
+      for (size_t b = first; b < last; ++b) {
+        const std::uint8_t lb = stream[core::lengths_offset() + b];
+        const size_t cl = block_bytes(lb);
+        decode_block(b, lb, off, cl);
+        off += cl;
+      }
+    }
+  }
+  if (!rep.ok() && out) {
+    if (opts.salvage) {
+      rep.salvaged = true;
+    } else {
+      out->clear();
+    }
+  }
+  return rep;
+}
+
+template <typename T>
+DecodeReport guarded(std::span<const byte_t> stream, std::vector<T>* out,
+                     const DecodeOptions& opts) {
+  try {
+    return try_decode_impl<T>(stream, out, opts);
+  } catch (const std::exception& e) {
+    // try_decode_impl validates before it trusts; reaching here is a bug,
+    // but the no-throw contract still holds.
+    DecodeReport rep;
+    rep.status = Status::kInternalError;
+    rep.detail = e.what();
+    if (out) out->clear();
+    return rep;
+  }
+}
+
+}  // namespace
+
+const char* to_string(Status s) {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kTruncated: return "truncated";
+    case Status::kBadMagic: return "bad magic";
+    case Status::kUnsupportedVersion: return "unsupported version";
+    case Status::kHeaderCorrupt: return "header corrupt";
+    case Status::kBadHeaderField: return "bad header field";
+    case Status::kTypeMismatch: return "type mismatch";
+    case Status::kBadLengthByte: return "bad length byte";
+    case Status::kFooterMissing: return "footer missing";
+    case Status::kChecksumMismatch: return "checksum mismatch";
+    case Status::kSizeMismatch: return "size mismatch";
+    case Status::kInternalError: return "internal error";
+  }
+  return "unknown";
+}
+
+DecodeReport verify_stream(std::span<const byte_t> stream, bool want_groups) {
+  DecodeOptions opts;
+  opts.want_groups = want_groups;
+  return guarded<float>(stream, nullptr, opts);
+}
+
+DecodeReport try_decompress(std::span<const byte_t> stream,
+                            std::vector<float>& out,
+                            const DecodeOptions& opts) {
+  return guarded<float>(stream, &out, opts);
+}
+
+DecodeReport try_decompress_f64(std::span<const byte_t> stream,
+                                std::vector<double>& out,
+                                const DecodeOptions& opts) {
+  return guarded<double>(stream, &out, opts);
+}
+
+}  // namespace szp::robust
+
+namespace szp {
+
+robust::DecodeReport Compressor::try_decompress(
+    std::span<const byte_t> stream, std::vector<float>& out,
+    const robust::DecodeOptions& opts) const {
+  return robust::try_decompress(stream, out, opts);
+}
+
+robust::DecodeReport Compressor::try_decompress_f64(
+    std::span<const byte_t> stream, std::vector<double>& out,
+    const robust::DecodeOptions& opts) const {
+  return robust::try_decompress_f64(stream, out, opts);
+}
+
+}  // namespace szp

@@ -1,0 +1,36 @@
+// No-throw decoding and stream verification (format v2 fault tolerance).
+//
+// try_decompress never throws on malformed input: it classifies the
+// defect, decodes every checksum group that still verifies, zero-fills
+// the blocks it cannot trust, and reports exactly which ranges were lost.
+// v1 streams (no checksums) are decoded with structural validation only —
+// corruption past the first defect cannot be re-aligned, so salvage stops
+// there.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "szp/robust/status.hpp"
+#include "szp/util/common.hpp"
+
+namespace szp::robust {
+
+/// Integrity-check a stream without producing output: header, length
+/// bytes, footer, and every group CRC. `want_groups` fills the per-group
+/// verdict list (used by szp_verify).
+[[nodiscard]] DecodeReport verify_stream(std::span<const byte_t> stream,
+                                         bool want_groups = false);
+
+/// Decode `stream` into `out` without throwing. On full success `out`
+/// holds all elements and report.ok(); on salvage, corrupt blocks decode
+/// as zeros and are listed in report.corrupt_blocks; on unrecoverable
+/// defects (or salvage disabled) `out` is empty.
+DecodeReport try_decompress(std::span<const byte_t> stream,
+                            std::vector<float>& out,
+                            const DecodeOptions& opts = {});
+DecodeReport try_decompress_f64(std::span<const byte_t> stream,
+                                std::vector<double>& out,
+                                const DecodeOptions& opts = {});
+
+}  // namespace szp::robust

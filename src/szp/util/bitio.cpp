@@ -36,7 +36,9 @@ std::vector<byte_t> BitWriter::take() && {
 }
 
 std::uint64_t BitReader::get(unsigned nbits) {
-  assert(nbits <= 64);
+  // Corrupt container metadata can request absurd widths; reject instead
+  // of asserting so Debug and Release agree on malformed input.
+  if (nbits > 64) throw format_error("BitReader: invalid field width");
   if (nbits == 0) return 0;
   if (pos_ + nbits > data_.size() * 8) {
     throw format_error("BitReader: read past end of stream");

@@ -1,0 +1,58 @@
+#include "szp/util/crc32c.hpp"
+
+#include <array>
+
+namespace szp {
+
+namespace {
+
+// Slicing-by-4 tables, generated at compile time from the reflected
+// Castagnoli polynomial.
+constexpr std::uint32_t kPoly = 0x82F63B78u;
+
+constexpr std::array<std::array<std::uint32_t, 256>, 4> make_tables() {
+  std::array<std::array<std::uint32_t, 256>, 4> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+    }
+    t[0][i] = crc;
+  }
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xFFu];
+    t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xFFu];
+    t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xFFu];
+  }
+  return t;
+}
+
+constexpr auto kTables = make_tables();
+
+std::uint32_t advance(std::uint32_t state, std::span<const byte_t> data) {
+  size_t i = 0;
+  for (; i + 4 <= data.size(); i += 4) {
+    state ^= static_cast<std::uint32_t>(data[i]) |
+             (static_cast<std::uint32_t>(data[i + 1]) << 8) |
+             (static_cast<std::uint32_t>(data[i + 2]) << 16) |
+             (static_cast<std::uint32_t>(data[i + 3]) << 24);
+    state = kTables[3][state & 0xFFu] ^ kTables[2][(state >> 8) & 0xFFu] ^
+            kTables[1][(state >> 16) & 0xFFu] ^ kTables[0][state >> 24];
+  }
+  for (; i < data.size(); ++i) {
+    state = (state >> 8) ^ kTables[0][(state ^ data[i]) & 0xFFu];
+  }
+  return state;
+}
+
+}  // namespace
+
+std::uint32_t crc32c(std::span<const byte_t> data) {
+  return advance(0xFFFFFFFFu, data) ^ 0xFFFFFFFFu;
+}
+
+void Crc32c::update(std::span<const byte_t> data) {
+  state_ = advance(state_, data);
+}
+
+}  // namespace szp

@@ -142,8 +142,11 @@ TEST(Format, StreamSizeMatchesInspectAccounting) {
   p.error_bound = 5e-3;
   const auto stream = compress_serial(data, p);
   const auto stats = inspect_stream(stream);
-  EXPECT_EQ(stream.size(),
-            payload_offset(stats.num_blocks) + stats.payload_bytes);
+  EXPECT_EQ(stream.size(), payload_offset(stats.num_blocks) +
+                               stats.payload_bytes + stats.footer_bytes);
+  EXPECT_EQ(stats.version, Header::kVersion);
+  EXPECT_EQ(stats.checksum_groups,
+            num_checksum_groups(stats.num_blocks, kChecksumGroupBlocks));
 }
 
 }  // namespace

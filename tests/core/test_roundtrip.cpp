@@ -89,8 +89,12 @@ TEST(Roundtrip, AllZeroInputIsOneByteMetadataPerBlock) {
   p.error_bound = 1e-4;
   Compressor c(p);
   const auto stream = c.compress(zeros);
-  // Header + 1 length byte per block, zero payload: CR ~= 128 for L=32.
-  EXPECT_EQ(stream.size(), core::Header::kSize + 4096 / 32);
+  // Header + 1 length byte per block, zero payload, checksum footer:
+  // CR ~= 128 for L=32.
+  EXPECT_EQ(stream.size(),
+            core::Header::kSize + 4096 / 32 +
+                core::ChecksumFooter::bytes_for(core::num_checksum_groups(
+                    4096 / 32, core::kChecksumGroupBlocks)));
   const auto recon = c.decompress(stream);
   for (const float v : recon) EXPECT_EQ(v, 0.0f);
 }

@@ -12,8 +12,8 @@ namespace szp::mpc {
 namespace {
 
 bool bit_identical(std::span<const float> a, std::span<const float> b) {
-  return a.size() == b.size() &&
-         std::memcmp(a.data(), b.data(), a.size() * 4) == 0;
+  if (a.size() != b.size()) return false;
+  return a.empty() || std::memcmp(a.data(), b.data(), a.size() * 4) == 0;
 }
 
 TEST(Mpc, LosslessOnEverySuite) {

@@ -1,0 +1,292 @@
+// No-throw decode + salvage semantics (szp/robust/try_decode.hpp): clean
+// streams report kOk, single-group corruption loses exactly that group,
+// and archives with one rotten entry still yield the others.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "szp/archive/archive.hpp"
+#include "szp/core/compressor.hpp"
+#include "szp/core/serial.hpp"
+#include "szp/robust/try_decode.hpp"
+
+namespace {
+
+using namespace szp;
+
+std::vector<float> make_data(size_t n) {
+  std::vector<float> data(n);
+  for (size_t i = 0; i < n; ++i) {
+    data[i] = std::sin(0.02 * static_cast<double>(i)) * 5.0f +
+              std::cos(0.13 * static_cast<double>(i)) * 0.5f;
+  }
+  // A run of zero blocks exercises the zero-bypass path inside a group.
+  for (size_t i = 96; i < 160 && i < n; ++i) data[i] = 0.0f;
+  return data;
+}
+
+core::Params small_group_params(unsigned group_blocks = 4) {
+  core::Params p;
+  p.mode = core::ErrorMode::kAbs;
+  p.error_bound = 1e-3;
+  p.checksum_group_blocks = group_blocks;
+  return p;
+}
+
+/// Elements [first_block*L, last_block*L) of `got` must be bit-identical
+/// to `ref`; used to pin down exactly which blocks salvage recovered.
+void expect_blocks_equal(const std::vector<float>& got,
+                         const std::vector<float>& ref, size_t first_block,
+                         size_t last_block, unsigned block_len) {
+  const size_t lo = first_block * block_len;
+  const size_t hi = std::min(last_block * block_len, ref.size());
+  for (size_t i = lo; i < hi; ++i) {
+    ASSERT_EQ(std::memcmp(&got[i], &ref[i], sizeof(float)), 0)
+        << "element " << i;
+  }
+}
+
+TEST(TryDecode, CleanV2StreamReportsOk) {
+  const auto data = make_data(500);
+  const auto params = small_group_params();
+  const auto stream = core::compress_serial(data, params);
+  const auto ref = core::decompress_serial(stream);
+
+  std::vector<float> out;
+  const auto rep = robust::try_decompress(stream, out);
+  EXPECT_EQ(rep.status, robust::Status::kOk);
+  EXPECT_TRUE(rep.checksummed);
+  EXPECT_FALSE(rep.salvaged);
+  EXPECT_EQ(rep.num_elements, data.size());
+  EXPECT_TRUE(rep.corrupt_blocks.empty());
+  ASSERT_EQ(out.size(), ref.size());
+  EXPECT_EQ(std::memcmp(out.data(), ref.data(), ref.size() * 4), 0);
+}
+
+TEST(TryDecode, CleanV1StreamReportsOk) {
+  const auto data = make_data(500);
+  auto params = small_group_params();
+  params.checksum_group_blocks = 0;  // legacy v1, no footer
+  const auto stream = core::compress_serial(data, params);
+  const auto ref = core::decompress_serial(stream);
+
+  std::vector<float> out;
+  const auto rep = robust::try_decompress(stream, out);
+  EXPECT_EQ(rep.status, robust::Status::kOk);
+  EXPECT_FALSE(rep.checksummed);
+  ASSERT_EQ(out.size(), ref.size());
+  EXPECT_EQ(std::memcmp(out.data(), ref.data(), ref.size() * 4), 0);
+}
+
+TEST(TryDecode, SalvageLosesExactlyTheCorruptGroup) {
+  const auto data = make_data(640);  // 20 blocks -> 5 groups of 4
+  const auto params = small_group_params(4);
+  const auto stream = core::compress_serial(data, params);
+  const auto ref = core::decompress_serial(stream);
+  const auto h = core::Header::deserialize(stream);
+  const auto spans = core::checksum_group_spans(stream, h, 4);
+  ASSERT_EQ(spans.size(), 5u);
+
+  // Smash one payload byte in the middle group.
+  auto bad = stream;
+  ASSERT_GT(spans[2].payload_end, spans[2].payload_begin);
+  bad[spans[2].payload_begin] ^= 0xFF;
+
+  robust::DecodeOptions opts;
+  opts.want_groups = true;
+  std::vector<float> out;
+  const auto rep = robust::try_decompress(bad, out, opts);
+  EXPECT_EQ(rep.status, robust::Status::kChecksumMismatch);
+  EXPECT_TRUE(rep.salvaged);
+  EXPECT_EQ(rep.groups_total, 5u);
+  EXPECT_EQ(rep.groups_bad, 1u);
+  ASSERT_EQ(rep.corrupt_blocks.size(), 1u);
+  EXPECT_EQ(rep.corrupt_blocks[0],
+            (robust::CorruptRange{spans[2].first_block, spans[2].last_block}));
+
+  ASSERT_EQ(rep.groups.size(), 5u);
+  for (size_t g = 0; g < rep.groups.size(); ++g) {
+    EXPECT_EQ(rep.groups[g].ok, g != 2) << "group " << g;
+    EXPECT_EQ(rep.groups[g].first_block, spans[g].first_block);
+    EXPECT_EQ(rep.groups[g].last_block, spans[g].last_block);
+  }
+
+  // Healthy groups decode bit-identically; the lost group is zero-filled.
+  ASSERT_EQ(out.size(), ref.size());
+  expect_blocks_equal(out, ref, 0, spans[2].first_block, h.block_len);
+  expect_blocks_equal(out, ref, spans[2].last_block, spans.back().last_block,
+                      h.block_len);
+  for (size_t i = spans[2].first_block * h.block_len;
+       i < spans[2].last_block * h.block_len; ++i) {
+    ASSERT_EQ(out[i], 0.0f) << "element " << i;
+  }
+}
+
+TEST(TryDecode, SalvageDisabledLeavesOutputEmpty) {
+  const auto data = make_data(640);
+  const auto stream = core::compress_serial(data, small_group_params());
+  auto bad = stream;
+  bad[bad.size() / 2] ^= 0x55;
+
+  robust::DecodeOptions opts;
+  opts.salvage = false;
+  std::vector<float> out;
+  const auto rep = robust::try_decompress(bad, out, opts);
+  EXPECT_FALSE(rep.ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(TryDecode, HeaderDefectsAreClassified) {
+  const auto stream = core::compress_serial(make_data(100),
+                                            small_group_params());
+  std::vector<float> out;
+
+  {  // empty input
+    const auto rep = robust::try_decompress({}, out);
+    EXPECT_EQ(rep.status, robust::Status::kTruncated);
+  }
+  {  // wrong magic
+    auto bad = stream;
+    bad[0] ^= 0x01;
+    const auto rep = robust::try_decompress(bad, out);
+    EXPECT_EQ(rep.status, robust::Status::kBadMagic);
+  }
+  {  // future version (breaks the CRC too, but version is checked first)
+    auto bad = stream;
+    bad[4] = 0x09;
+    const auto rep = robust::try_decompress(bad, out);
+    EXPECT_TRUE(rep.status == robust::Status::kUnsupportedVersion ||
+                rep.status == robust::Status::kHeaderCorrupt);
+  }
+  {  // flipped bit inside the CRC-protected region
+    auto bad = stream;
+    bad[9] ^= 0x40;  // num_elements
+    const auto rep = robust::try_decompress(bad, out);
+    EXPECT_EQ(rep.status, robust::Status::kHeaderCorrupt);
+    EXPECT_TRUE(out.empty());
+  }
+}
+
+TEST(TryDecode, TypeMismatchIsReportedNotThrown) {
+  std::vector<double> d64(200);
+  for (size_t i = 0; i < d64.size(); ++i) d64[i] = std::sin(0.05 * i);
+  const auto stream = core::compress_serial_f64(d64, small_group_params());
+
+  std::vector<float> out32;
+  EXPECT_EQ(robust::try_decompress(stream, out32).status,
+            robust::Status::kTypeMismatch);
+  EXPECT_TRUE(out32.empty());
+
+  std::vector<double> out64;
+  const auto rep = robust::try_decompress_f64(stream, out64);
+  EXPECT_EQ(rep.status, robust::Status::kOk);
+  const auto ref = core::decompress_serial_f64(stream);
+  ASSERT_EQ(out64.size(), ref.size());
+  EXPECT_EQ(std::memcmp(out64.data(), ref.data(), ref.size() * 8), 0);
+}
+
+TEST(TryDecode, VerifyStreamMatchesDecodeVerdict) {
+  const auto stream = core::compress_serial(make_data(640),
+                                            small_group_params());
+  EXPECT_TRUE(robust::verify_stream(stream).ok());
+
+  auto bad = stream;
+  bad[bad.size() - 7] ^= 0x10;  // inside the footer -> self-CRC fails
+  const auto rep = robust::verify_stream(bad, /*want_groups=*/true);
+  EXPECT_FALSE(rep.ok());
+}
+
+TEST(TryDecode, V1StructuralDefectSalvagesPrefix) {
+  const auto data = make_data(640);
+  auto params = small_group_params();
+  params.checksum_group_blocks = 0;
+  const auto stream = core::compress_serial(data, params);
+  const auto ref = core::decompress_serial(stream);
+  const auto h = core::Header::deserialize(stream);
+
+  // Length byte 10 set to a value no encoder can produce (33..63 range).
+  auto bad = stream;
+  bad[core::lengths_offset() + 10] = 0x3F;
+
+  std::vector<float> out;
+  const auto rep = robust::try_decompress(bad, out);
+  EXPECT_EQ(rep.status, robust::Status::kBadLengthByte);
+  EXPECT_TRUE(rep.salvaged);
+  ASSERT_EQ(out.size(), ref.size());
+  // Blocks before the defect survive; the rest is unrecoverable in v1.
+  expect_blocks_equal(out, ref, 0, 10, h.block_len);
+  ASSERT_EQ(rep.corrupt_blocks.size(), 1u);
+  EXPECT_EQ(rep.corrupt_blocks[0].first_block, 10u);
+  EXPECT_EQ(rep.corrupt_blocks[0].last_block, rep.num_blocks);
+}
+
+TEST(TryDecode, CompressorMemberEntryPoint) {
+  Compressor c(small_group_params());
+  const auto data = make_data(300);
+  const auto stream = c.compress(data);
+  std::vector<float> out;
+  EXPECT_TRUE(c.try_decompress(stream, out).ok());
+  EXPECT_EQ(out.size(), data.size());
+}
+
+TEST(TryDecode, ArchiveOneCorruptEntryDoesNotSinkOthers) {
+  archive::Writer w(small_group_params());
+  const auto d0 = make_data(320);
+  const auto d1 = make_data(480);
+  const auto d2 = make_data(256);
+  w.add(data::Field{"alpha", data::Dims{{320}}, d0});
+  w.add(data::Field{"beta", data::Dims{{480}}, d1});
+  w.add(data::Field{"gamma", data::Dims{{256}}, d2});
+  auto blob = std::move(w).finish();
+
+  // Corrupt the middle of beta's stream (payload area, past its header).
+  archive::Reader clean(blob);
+  const auto& e1 = clean.entries()[1];
+  blob[e1.stream_offset + e1.stream_bytes / 2] ^= 0xA5;
+
+  const archive::Reader reader(std::move(blob));
+  const auto reports = reader.verify(/*want_groups=*/true);
+  ASSERT_EQ(reports.size(), 3u);
+  EXPECT_TRUE(reports[0].ok());
+  EXPECT_FALSE(reports[1].ok());
+  EXPECT_TRUE(reports[2].ok());
+
+  data::Field f0;
+  EXPECT_TRUE(reader.try_extract(0, f0).ok());
+  EXPECT_EQ(f0.name, "alpha");
+  EXPECT_EQ(f0.values.size(), d0.size());
+
+  data::Field f1;
+  const auto rep1 = reader.try_extract(1, f1);
+  EXPECT_FALSE(rep1.ok());
+  EXPECT_GT(rep1.corrupt_block_count(), 0u);
+
+  data::Field f2;
+  EXPECT_TRUE(reader.try_extract(2, f2).ok());
+  EXPECT_EQ(f2.values.size(), d2.size());
+
+  data::Field oob;
+  EXPECT_EQ(reader.try_extract(99, oob).status,
+            robust::Status::kInternalError);
+}
+
+TEST(TryDecode, FooterTornOffIsDetected) {
+  const auto stream = core::compress_serial(make_data(640),
+                                            small_group_params());
+  const auto h = core::Header::deserialize(stream);
+  const auto stats = core::inspect_stream(stream);
+  ASSERT_GT(stats.footer_bytes, 0u);
+
+  // Chop the entire footer: the stream now ends exactly at the payload.
+  const std::span<const byte_t> torn(stream.data(),
+                                     stream.size() - stats.footer_bytes);
+  (void)h;
+  const auto rep = robust::verify_stream(torn);
+  EXPECT_FALSE(rep.ok());
+  EXPECT_TRUE(rep.status == robust::Status::kTruncated ||
+              rep.status == robust::Status::kFooterMissing);
+}
+
+}  // namespace

@@ -96,6 +96,12 @@ int main(int argc, char** argv) try {
   }
 
   return usage();
+} catch (const szp::format_error& e) {
+  // Corrupt archive or stream: fail cleanly with a pointed message (run
+  // szp_verify for per-group diagnosis and salvage).
+  std::fprintf(stderr, "szp_archive: corrupt or malformed input: %s\n",
+               e.what());
+  return 1;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "szp_archive: %s\n", e.what());
   return 1;

@@ -116,6 +116,11 @@ int main(int argc, char** argv) try {
   std::printf("wrote %s.szp.cmp (%zu bytes) and %s.szp.dec\n",
               out_base.c_str(), comp.bytes, out_base.c_str());
   return 0;
+} catch (const szp::format_error& e) {
+  // Malformed or corrupt stream input: report and fail cleanly instead of
+  // surfacing as a generic error (run szp_verify for a full diagnosis).
+  std::fprintf(stderr, "szp_cli: corrupt or malformed stream: %s\n", e.what());
+  return 1;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "szp_cli: %s\n", e.what());
   return 1;

@@ -1,0 +1,158 @@
+// Stream/archive integrity checker and salvage tool.
+//
+//   szp_verify <stream.szp | archive.szpa>
+//   szp_verify --salvage <out-prefix> <stream.szp | archive.szpa>
+//
+// Prints the verdict for the stream (or for every archive entry), with
+// per-checksum-group status for v2 streams. With --salvage, whatever the
+// checksums vouch for is decoded and written as raw f32/f64 next to a
+// report of the zero-filled block ranges.
+//
+// Exit codes: 0 = intact, 1 = corruption detected, 2 = usage/IO error.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "szp/archive/archive.hpp"
+#include "szp/robust/try_decode.hpp"
+#include "szp/util/common.hpp"
+
+namespace {
+
+using namespace szp;
+
+std::vector<byte_t> load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw format_error("cannot open " + path);
+  return std::vector<byte_t>((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+}
+
+template <typename T>
+void save_raw(const std::string& path, const std::vector<T>& values) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw format_error("cannot open " + path);
+  out.write(reinterpret_cast<const char*>(values.data()),
+            static_cast<std::streamsize>(values.size() * sizeof(T)));
+  if (!out) throw format_error("short write to " + path);
+}
+
+void print_report(const std::string& label, const robust::DecodeReport& rep) {
+  std::printf("%s: %s%s%s\n", label.c_str(), robust::to_string(rep.status),
+              rep.detail.empty() ? "" : " — ", rep.detail.c_str());
+  if (rep.num_blocks > 0) {
+    std::printf("  %zu elements in %zu blocks, %s\n", rep.num_elements,
+                rep.num_blocks,
+                rep.checksummed ? "checksummed (v2)" : "no checksums (v1)");
+  }
+  if (rep.groups_total > 0) {
+    std::printf("  checksum groups: %zu total, %zu bad\n", rep.groups_total,
+                rep.groups_bad);
+    size_t printed = 0;
+    for (const auto& g : rep.groups) {
+      if (g.ok) continue;
+      if (++printed > 16) {
+        std::printf("    ... (%zu more bad groups)\n",
+                    rep.groups_bad - (printed - 1));
+        break;
+      }
+      std::printf("    group %zu [blocks %zu, %zu): CORRUPT\n", g.index,
+                  g.first_block, g.last_block);
+    }
+  }
+  for (const auto& r : rep.corrupt_blocks) {
+    std::printf("  corrupt blocks [%zu, %zu)\n", r.first_block, r.last_block);
+  }
+}
+
+/// Salvage a single stream to `out_path`; returns true if bytes were
+/// written (even partially recovered ones).
+bool salvage_stream(std::span<const byte_t> stream,
+                    const std::string& out_path) {
+  robust::DecodeOptions opts;
+  opts.salvage = true;
+  std::vector<float> f32;
+  auto rep = robust::try_decompress(stream, f32, opts);
+  if (rep.status == robust::Status::kTypeMismatch) {
+    std::vector<double> f64;
+    rep = robust::try_decompress_f64(stream, f64, opts);
+    if (f64.empty()) return false;
+    save_raw(out_path, f64);
+  } else {
+    if (f32.empty()) return false;
+    save_raw(out_path, f32);
+  }
+  std::printf("  salvaged %zu/%zu blocks -> %s\n",
+              rep.num_blocks - rep.corrupt_block_count(), rep.num_blocks,
+              out_path.c_str());
+  return true;
+}
+
+bool is_archive(const std::vector<byte_t>& bytes) {
+  constexpr std::uint32_t kArchiveMagic = 0x41355A53;  // "SZ5A"
+  std::uint32_t magic = 0;
+  if (bytes.size() >= 4) std::memcpy(&magic, bytes.data(), 4);
+  return magic == kArchiveMagic;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: szp_verify <stream.szp | archive.szpa>\n"
+               "       szp_verify --salvage <out-prefix> "
+               "<stream.szp | archive.szpa>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  std::string salvage_prefix;
+  int arg = 1;
+  if (argc > 1 && std::strcmp(argv[1], "--salvage") == 0) {
+    if (argc < 3) return usage();
+    salvage_prefix = argv[2];
+    arg = 3;
+  }
+  if (argc - arg != 1) return usage();
+  const std::string path = argv[arg];
+  const auto bytes = load_file(path);
+
+  bool corrupt = false;
+  if (is_archive(bytes)) {
+    // Archive entries are independent; one corrupt entry must not sink
+    // the others, so Reader parsing failures are the only fatal case.
+    const archive::Reader reader((std::vector<byte_t>(bytes)));
+    const auto reports = reader.verify(/*want_groups=*/true);
+    for (size_t i = 0; i < reports.size(); ++i) {
+      print_report(reader.entries()[i].name, reports[i]);
+      if (!reports[i].ok()) corrupt = true;
+      if (!salvage_prefix.empty()) {
+        data::Field field;
+        const auto rep = reader.try_extract(i, field);
+        if (!field.values.empty()) {
+          save_raw(salvage_prefix + "_" + field.name + ".f32", field.values);
+          std::printf("  salvaged %zu/%zu blocks -> %s_%s.f32\n",
+                      rep.num_blocks - rep.corrupt_block_count(),
+                      rep.num_blocks, salvage_prefix.c_str(),
+                      field.name.c_str());
+        }
+      }
+    }
+  } else {
+    const auto rep = robust::verify_stream(bytes, /*want_groups=*/true);
+    print_report(path, rep);
+    if (!rep.ok()) corrupt = true;
+    if (!salvage_prefix.empty()) {
+      salvage_stream(bytes, salvage_prefix + ".f32");
+    }
+  }
+  return corrupt ? 1 : 0;
+} catch (const szp::format_error& e) {
+  std::fprintf(stderr, "szp_verify: unreadable input: %s\n", e.what());
+  return 2;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "szp_verify: %s\n", e.what());
+  return 2;
+}
