@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "szp/core/stages.hpp"
+#include "szp/obs/metrics.hpp"
 
 namespace szp::core {
 
@@ -32,6 +33,25 @@ OutlierScan scan_outlier(std::span<const std::uint32_t> mags) {
   }
   s.rest_width = static_cast<unsigned>(std::bit_width(rest));
   return s;
+}
+
+/// Domain metrics for one encoded block: the F_k bit-width distribution
+/// and the zero-block ratio (paper §4.2's compressibility story). Both
+/// the serial reference and the device kernels encode through here, so
+/// every compression path reports. One branch when collection is off.
+void record_encode_metrics(std::uint8_t lb) {
+  if (!obs::metrics_enabled()) return;
+  auto& reg = obs::Registry::instance();
+  static auto& fk = reg.histogram(
+      "szp.encode.fk", obs::Histogram::linear_bounds(0.0, 33.0, 33));
+  static auto& blocks = reg.counter("szp.encode.blocks");
+  static auto& zeros = reg.counter("szp.encode.zero_blocks");
+  static auto& outliers = reg.counter("szp.encode.outlier_blocks");
+  const unsigned f = lb >= kOutlierFlag ? lb - kOutlierFlag : lb;
+  fk.observe(static_cast<double>(f));
+  blocks.add();
+  if (lb == 0) zeros.add();
+  if (lb >= kOutlierFlag) outliers.add();
 }
 
 }  // namespace
@@ -69,10 +89,14 @@ std::uint8_t encode_block(std::span<const T> data, size_t n, size_t block,
       scratch.outlier_pos = s.max_pos;
       scratch.outlier_mag = s.max_mag;
       scratch.mags[s.max_pos] = 0;  // excluded from the bit planes
-      return static_cast<std::uint8_t>(kOutlierFlag + s.rest_width);
+      const auto lb = static_cast<std::uint8_t>(kOutlierFlag + s.rest_width);
+      record_encode_metrics(lb);
+      return lb;
     }
   }
-  return static_cast<std::uint8_t>(f_all);
+  const auto lb = static_cast<std::uint8_t>(f_all);
+  record_encode_metrics(lb);
+  return lb;
 }
 
 template std::uint8_t encode_block<float>(std::span<const float>, size_t,

@@ -1,6 +1,40 @@
 #include "szp/core/compressor.hpp"
 
+#include "szp/obs/metrics.hpp"
+#include "szp/obs/tracer.hpp"
+
 namespace szp {
+
+namespace {
+
+/// Per-call compression accounting at the public API boundary. Both the
+/// serial and device paths report, so CLI `--stats` always has the
+/// end-to-end ratio regardless of codec. One branch when collection is off.
+void record_compress_call(std::uint64_t in_bytes, std::uint64_t out_bytes) {
+  if (!obs::metrics_enabled()) return;
+  auto& reg = obs::Registry::instance();
+  static auto& calls = reg.counter("szp.compress.calls");
+  static auto& in = reg.counter("szp.compress.in_bytes");
+  static auto& out = reg.counter("szp.compress.out_bytes");
+  static auto& ratio = reg.gauge("szp.compress.last_ratio");
+  calls.add();
+  in.add(in_bytes);
+  out.add(out_bytes);
+  if (out_bytes > 0) {
+    ratio.set(static_cast<double>(in_bytes) / static_cast<double>(out_bytes));
+  }
+}
+
+void record_decompress_call(std::uint64_t out_bytes) {
+  if (!obs::metrics_enabled()) return;
+  auto& reg = obs::Registry::instance();
+  static auto& calls = reg.counter("szp.decompress.calls");
+  static auto& out = reg.counter("szp.decompress.out_bytes");
+  calls.add();
+  out.add(out_bytes);
+}
+
+}  // namespace
 
 Compressor::Compressor(core::Params params) : params_(params) {
   params_.validate();
@@ -8,25 +42,37 @@ Compressor::Compressor(core::Params params) : params_(params) {
 
 std::vector<byte_t> Compressor::compress(
     std::span<const float> data, std::optional<double> value_range) const {
-  return core::compress_serial(data, params_, value_range);
+  const obs::Span span("api", "compress", "elements", data.size());
+  auto out = core::compress_serial(data, params_, value_range);
+  record_compress_call(data.size() * sizeof(float), out.size());
+  return out;
 }
 
 std::vector<float> Compressor::decompress(
     std::span<const byte_t> stream) const {
-  return core::decompress_serial(stream);
+  const obs::Span span("api", "decompress", "bytes", stream.size());
+  auto out = core::decompress_serial(stream);
+  record_decompress_call(out.size() * sizeof(float));
+  return out;
 }
 
 core::DeviceCodecResult Compressor::compress_on_device(
     gpusim::Device& dev, const gpusim::DeviceBuffer<float>& in, size_t n,
     double value_range, gpusim::DeviceBuffer<byte_t>& out) const {
+  const obs::Span span("api", "compress_on_device", "elements", n);
   const double eb = core::resolve_eb(params_, value_range);
-  return core::compress_device(dev, in, n, params_, eb, out);
+  const auto res = core::compress_device(dev, in, n, params_, eb, out);
+  record_compress_call(n * sizeof(float), res.bytes);
+  return res;
 }
 
 core::DeviceCodecResult Compressor::decompress_on_device(
     gpusim::Device& dev, const gpusim::DeviceBuffer<byte_t>& cmp,
     gpusim::DeviceBuffer<float>& out) const {
-  return core::decompress_device(dev, cmp, out);
+  const obs::Span span("api", "decompress_on_device", "bytes", cmp.size());
+  const auto res = core::decompress_device(dev, cmp, out);
+  record_decompress_call(res.bytes * sizeof(float));
+  return res;
 }
 
 }  // namespace szp

@@ -11,6 +11,7 @@
 #include "szp/gpusim/launch.hpp"
 #include "szp/gpusim/scan.hpp"
 #include "szp/gpusim/warp.hpp"
+#include "szp/obs/tracer.hpp"
 
 namespace szp::core {
 
@@ -175,12 +176,19 @@ DeviceCodecResult compress_device_impl(gs::Device& dev,
       const size_t first_block = ctx.block_idx * kBlocksPerWarp;
 
       // S1+S2: per-lane quantization, prediction, fixed-length selection.
+      // QP time is the encode_block calls; the remaining loop body (length
+      // selection + length-byte store) is attributed to FE.
+      const bool tr = obs::tracing_enabled();
+      const std::uint64_t sec0 = tr ? obs::now_ns() : 0;
+      std::uint64_t qp_ns = 0;
       for (unsigned lane = 0; lane < w::kWarpSize; ++lane) {
         const size_t block = first_block + lane;
         if (block >= nblocks) continue;
         size_t lane_elems = 0;
+        const std::uint64_t lane_t0 = tr ? obs::now_ns() : 0;
         lbs[lane] = encode_block<T>(data, n, block, L, eb_abs, params,
                                     scratch[lane], lane_elems);
+        if (tr) qp_ns += obs::now_ns() - lane_t0;
         elems += lane_elems;
         lane_len[lane] = encoded_block_bytes(lbs[lane], L, params);
         if (lane_len[lane] > 0) nonzero_elems += L;
@@ -191,16 +199,28 @@ DeviceCodecResult compress_device_impl(gs::Device& dev,
       ctx.ops(gs::Stage::kQuantPredict, elems);
       ctx.ops(gs::Stage::kFixedLenEncode, elems + nonzero_elems);
       ctx.write(gs::Stage::kFixedLenEncode, active);
+      if (tr) {
+        // Emit back-to-back so the lane nests cleanly in trace viewers;
+        // durations are the measured split of the fused S1+S2 loop.
+        const std::uint64_t sec1 = obs::now_ns();
+        obs::complete("stage", "QP", sec0, qp_ns, "blocks", active);
+        obs::complete("stage", "FE", sec0 + qp_ns,
+                      sec1 - sec0 > qp_ns ? sec1 - sec0 - qp_ns : 0, "blocks",
+                      active);
+      }
 
       // S3: warp-level scan (shuffle) + global chained scan.
+      obs::Span gs_span("stage", "GS", "warp", ctx.block_idx);
       const w::Lanes<std::uint64_t> lane_off = w::exclusive_scan(lane_len);
       const std::uint64_t aggregate = w::reduce_add(lane_len);
       const std::uint64_t prefix = scan_state.publish_and_lookback(
           ctx, gs::Stage::kGlobalSync, ctx.block_idx, aggregate);
       // One offset computed per block plus one restore per non-zero block.
       ctx.ops(gs::Stage::kGlobalSync, active + nonzero_elems / L);
+      gs_span.close();
 
       // S4: bit-shuffle payload store at the synchronized offsets.
+      obs::Span bb_span("stage", "BB", "warp", ctx.block_idx);
       for (unsigned lane = 0; lane < w::kWarpSize; ++lane) {
         const size_t block = first_block + lane;
         if (block >= nblocks || lane_len[lane] == 0) continue;
@@ -212,6 +232,7 @@ DeviceCodecResult compress_device_impl(gs::Device& dev,
       ctx.write(gs::Stage::kBitShuffle, payload_bytes);
       // Shuffle register work runs per element of every non-zero block.
       ctx.ops(gs::Stage::kBitShuffle, nonzero_elems);
+      bb_span.close();
 
       // S5 (format v2): credit finished blocks to their checksum groups;
       // completing a group CRCs it, completing the last writes the footer.
@@ -397,6 +418,7 @@ DeviceCodecResult decompress_device_impl(gs::Device& dev,
     const size_t active = std::min(kBlocksPerWarp, nblocks - first_block);
 
     // Read per-block length bytes (FE is nearly free in decompression).
+    obs::Span fe_span("stage", "FE", "warp", ctx.block_idx);
     size_t nonzero_blocks = 0;
     for (unsigned lane = 0; lane < active; ++lane) {
       lbs[lane] = stream[lengths_offset() + first_block + lane];
@@ -409,13 +431,21 @@ DeviceCodecResult decompress_device_impl(gs::Device& dev,
     }
     ctx.read(gs::Stage::kFixedLenEncode, active);
     ctx.ops(gs::Stage::kFixedLenEncode, active);
+    fe_span.close();
 
+    obs::Span gs_span("stage", "GS", "warp", ctx.block_idx);
     const w::Lanes<std::uint64_t> lane_off = w::exclusive_scan(lane_len);
     const std::uint64_t aggregate = w::reduce_add(lane_len);
     const std::uint64_t prefix = scan_state.publish_and_lookback(
         ctx, gs::Stage::kGlobalSync, ctx.block_idx, aggregate);
     ctx.ops(gs::Stage::kGlobalSync, active + nonzero_blocks);
+    gs_span.close();
 
+    // BB time is the payload unshuffle (read_block_payload); the rest of
+    // the decode loop (inverse prediction + dequantize + store) is QP.
+    const bool tr = obs::tracing_enabled();
+    const std::uint64_t sec0 = tr ? obs::now_ns() : 0;
+    std::uint64_t bb_ns = 0;
     BlockScratch scratch;
     std::vector<T> block_out(L);
     size_t elems = 0, payload_bytes = 0;
@@ -432,8 +462,10 @@ DeviceCodecResult decompress_device_impl(gs::Device& dev,
       if (off + lane_len[lane] > stream.size()) {
         throw format_error("decompress_device: truncated payload");
       }
+      const std::uint64_t lane_t0 = tr ? obs::now_ns() : 0;
       read_block_payload(stream.subspan(off, lane_len[lane]), lbs[lane], L,
                          h.bit_shuffle(), scratch);
+      if (tr) bb_ns += obs::now_ns() - lane_t0;
       if (h.lorenzo()) {
       if (h.lorenzo2()) {
         lorenzo2_inverse(scratch.quant);
@@ -451,6 +483,15 @@ DeviceCodecResult decompress_device_impl(gs::Device& dev,
     ctx.write(gs::Stage::kQuantPredict, elems * sizeof(T));
     // Reverse QP = prefix-sum + scale: two passes over the block.
     ctx.ops(gs::Stage::kQuantPredict, 2 * elems);
+    if (tr) {
+      // Back-to-back synthetic split of the fused decode loop (see the
+      // matching QP/FE emission in the compress kernel).
+      const std::uint64_t sec1 = obs::now_ns();
+      obs::complete("stage", "BB", sec0, bb_ns, "blocks", active);
+      obs::complete("stage", "QP", sec0 + bb_ns,
+                    sec1 - sec0 > bb_ns ? sec1 - sec0 - bb_ns : 0, "blocks",
+                    active);
+    }
 
     // Format v2: verify group CRCs alongside decoding. Block outputs are
     // discarded when any group (or the footer itself) fails.

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "szp/gpusim/device.hpp"
+#include "szp/obs/tracer.hpp"
 #include "szp/util/common.hpp"
 
 namespace szp::gpusim {
@@ -73,6 +74,7 @@ class DeviceBuffer {
 template <typename T>
 void copy_h2d(Device& dev, DeviceBuffer<T>& dst, std::span<const T> src) {
   if (src.size() > dst.size()) throw format_error("copy_h2d: overflow");
+  const obs::Span span("memcpy", "h2d", "bytes", src.size() * sizeof(T));
   // Empty copies are legal no-ops (memcpy with null src/dst is UB).
   if (!src.empty()) std::memcpy(dst.data(), src.data(), src.size() * sizeof(T));
   dev.trace().add_h2d(src.size() * sizeof(T));
@@ -85,6 +87,7 @@ void copy_d2h(Device& dev, std::span<T> dst, const DeviceBuffer<T>& src,
   if (count > src.size() || count > dst.size()) {
     throw format_error("copy_d2h: overflow");
   }
+  const obs::Span span("memcpy", "d2h", "bytes", count * sizeof(T));
   if (count != 0) std::memcpy(dst.data(), src.data(), count * sizeof(T));
   dev.trace().add_d2h(count * sizeof(T));
 }
@@ -96,6 +99,7 @@ void copy_d2d(Device& dev, DeviceBuffer<T>& dst, const DeviceBuffer<T>& src,
   if (count > src.size() || count > dst.size()) {
     throw format_error("copy_d2d: overflow");
   }
+  const obs::Span span("memcpy", "d2d", "bytes", count * sizeof(T));
   if (count != 0) std::memcpy(dst.data(), src.data(), count * sizeof(T));
   dev.trace().add_d2d(count * sizeof(T));
 }

@@ -12,6 +12,24 @@ Device::Device(unsigned workers) : workers_(workers) {
   }
 }
 
+TraceSnapshot Device::snapshot() const {
+  if (launches_in_flight() != 0) {
+    throw std::logic_error(
+        "Device::snapshot: a kernel launch is in flight; counters would be "
+        "torn");
+  }
+  return trace_.snapshot();
+}
+
+void Device::reset_trace() {
+  if (launches_in_flight() != 0) {
+    throw std::logic_error(
+        "Device::reset_trace: a kernel launch is in flight; a concurrent "
+        "kernel would mix pre- and post-reset counts");
+  }
+  trace_.reset();
+}
+
 void Device::log_launch(std::string name, size_t grid_blocks) {
   const std::lock_guard<std::mutex> lock(log_mutex_);
   launch_log_.push_back({std::move(name), grid_blocks});

@@ -35,7 +35,30 @@ class Device {
 
   [[nodiscard]] Trace& trace() { return trace_; }
   [[nodiscard]] const Trace& trace() const { return trace_; }
-  [[nodiscard]] TraceSnapshot snapshot() const { return trace_.snapshot(); }
+
+  /// Consistent counter snapshot. Throws std::logic_error if a kernel
+  /// launch is in flight: blocks still executing would keep mutating the
+  /// counters, so the "snapshot" could mix values from different points
+  /// in time (the Trace::snapshot()/reset() torn-read hazard).
+  [[nodiscard]] TraceSnapshot snapshot() const;
+
+  /// Zero the trace counters; same quiescence requirement as snapshot().
+  void reset_trace();
+
+  /// Number of launches currently executing blocks on this device.
+  /// Nonzero only when observed from inside a kernel body (or another
+  /// thread racing a launch).
+  [[nodiscard]] unsigned launches_in_flight() const {
+    return launches_in_flight_.load(std::memory_order_relaxed);
+  }
+
+  /// Launch bookkeeping (paired, called by detail::run_blocks).
+  void begin_launch() {
+    launches_in_flight_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void end_launch() {
+    launches_in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  }
 
   [[nodiscard]] unsigned workers() const { return workers_; }
 
@@ -70,6 +93,7 @@ class Device {
  private:
   unsigned workers_;
   Trace trace_;
+  std::atomic<unsigned> launches_in_flight_{0};
   std::atomic<size_t> alloc_bytes_{0};
   mutable std::mutex log_mutex_;
   std::vector<KernelRecord> launch_log_;

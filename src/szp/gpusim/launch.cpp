@@ -7,12 +7,28 @@
 #include <thread>
 #include <vector>
 
+#include "szp/obs/tracer.hpp"
+
 namespace szp::gpusim::detail {
+
+namespace {
+/// Keeps Device::launches_in_flight() accurate on every exit path; the
+/// trace snapshot/reset guards depend on it.
+struct LaunchScope {
+  explicit LaunchScope(Device& d) : dev(d) { dev.begin_launch(); }
+  ~LaunchScope() { dev.end_launch(); }
+  Device& dev;
+};
+}  // namespace
 
 void run_blocks(Device& dev, const char* kernel_name, size_t grid_blocks,
                 const std::function<void(const BlockCtx&)>& body) {
   dev.trace().add_kernel_launch();
   dev.log_launch(kernel_name, grid_blocks);
+  // Kernel-level begin/end pair on the launching thread; per-block 'X'
+  // spans land on the worker threads' lanes.
+  const obs::BeginEndSpan kernel_span("kernel", kernel_name, "grid_blocks",
+                                      grid_blocks);
   if (grid_blocks == 0) return;
 
   const unsigned workers = static_cast<unsigned>(
@@ -23,11 +39,13 @@ void run_blocks(Device& dev, const char* kernel_name, size_t grid_blocks,
   std::mutex error_mutex;
   std::atomic<bool> failed{false};
 
-  auto worker_fn = [&] {
+  auto worker_fn = [&](bool pooled) {
+    if (pooled) obs::set_thread_name("gpusim-worker");
     for (;;) {
       const size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= grid_blocks || failed.load(std::memory_order_relaxed)) return;
       BlockCtx ctx{i, grid_blocks, &dev.trace(), &failed};
+      obs::Span block_span("block", kernel_name, "block", i);
       try {
         body(ctx);
       } catch (...) {
@@ -41,18 +59,24 @@ void run_blocks(Device& dev, const char* kernel_name, size_t grid_blocks,
     }
   };
 
-  if (workers <= 1) {
-    worker_fn();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker_fn);
-    for (auto& t : pool) t.join();
+  {
+    const LaunchScope scope(dev);
+    if (workers <= 1) {
+      worker_fn(false);
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(workers);
+      for (unsigned w = 0; w < workers; ++w) {
+        pool.emplace_back(worker_fn, true);
+      }
+      for (auto& t : pool) t.join();
+    }
   }
   if (first_error) std::rethrow_exception(first_error);
 
   // Fault-injection hook (tests): corrupt device memory between pipeline
-  // stages once the kernel has fully retired.
+  // stages once the kernel has fully retired. Runs outside the launch
+  // scope so hooks may snapshot the (now quiescent) trace.
   if (const Device::KernelHook& hook = dev.post_kernel_hook()) {
     hook(kernel_name);
   }

@@ -19,20 +19,30 @@ std::string_view stage_name(Stage s) {
   return "?";
 }
 
+namespace {
+/// Saturating ("monus") subtraction: counters are monotonic, so a
+/// negative diff can only come from operand mix-ups — clamp to 0 instead
+/// of wrapping to astronomically large byte counts.
+constexpr std::uint64_t sat_sub(std::uint64_t a, std::uint64_t b) {
+  return a > b ? a - b : 0;
+}
+}  // namespace
+
 TraceSnapshot TraceSnapshot::operator-(const TraceSnapshot& rhs) const {
   TraceSnapshot d;
   for (unsigned i = 0; i < kNumStages; ++i) {
-    d.stages[i].read_bytes = stages[i].read_bytes - rhs.stages[i].read_bytes;
+    d.stages[i].read_bytes =
+        sat_sub(stages[i].read_bytes, rhs.stages[i].read_bytes);
     d.stages[i].write_bytes =
-        stages[i].write_bytes - rhs.stages[i].write_bytes;
-    d.stages[i].ops = stages[i].ops - rhs.stages[i].ops;
+        sat_sub(stages[i].write_bytes, rhs.stages[i].write_bytes);
+    d.stages[i].ops = sat_sub(stages[i].ops, rhs.stages[i].ops);
   }
-  d.kernel_launches = kernel_launches - rhs.kernel_launches;
-  d.h2d_bytes = h2d_bytes - rhs.h2d_bytes;
-  d.d2h_bytes = d2h_bytes - rhs.d2h_bytes;
-  d.d2d_bytes = d2d_bytes - rhs.d2d_bytes;
-  d.host_bytes = host_bytes - rhs.host_bytes;
-  d.host_stages = host_stages - rhs.host_stages;
+  d.kernel_launches = sat_sub(kernel_launches, rhs.kernel_launches);
+  d.h2d_bytes = sat_sub(h2d_bytes, rhs.h2d_bytes);
+  d.d2h_bytes = sat_sub(d2h_bytes, rhs.d2h_bytes);
+  d.d2d_bytes = sat_sub(d2d_bytes, rhs.d2d_bytes);
+  d.host_bytes = sat_sub(host_bytes, rhs.host_bytes);
+  d.host_stages = sat_sub(host_stages, rhs.host_stages);
   return d;
 }
 

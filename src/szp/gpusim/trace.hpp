@@ -32,7 +32,10 @@ enum class Stage : unsigned {
 
 inline constexpr unsigned kNumStages = static_cast<unsigned>(Stage::kCount_);
 
-/// Plain-value copy of the counters; supports diffing.
+/// Plain-value copy of the counters; supports diffing. operator- is
+/// saturating (wrap-free): a counter that is smaller in the minuend than
+/// in the subtrahend yields 0 rather than wrapping to ~2^64, so a diff
+/// against a later snapshot never explodes downstream byte/op totals.
 struct TraceSnapshot {
   struct StageCounts {
     std::uint64_t read_bytes = 0;
@@ -86,7 +89,17 @@ class Trace {
     host_stages_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  /// Copy all counters. NOT atomic as a whole: each counter is loaded
+  /// independently, so a kernel running concurrently can leave the copy
+  /// internally inconsistent (stage A pre-update, stage B post-update).
+  /// Callers must quiesce the device first — prefer Device::snapshot(),
+  /// which asserts that no launch is in flight.
   [[nodiscard]] TraceSnapshot snapshot() const;
+
+  /// Zero all counters. Same contract as snapshot(): racing a live
+  /// kernel mixes pre- and post-reset values (the launch would add its
+  /// remaining traffic on top of the zeroed counters, attributing part
+  /// of the old run to the new epoch). Prefer Device::reset_trace().
   void reset();
 
  private:

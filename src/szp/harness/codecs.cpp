@@ -6,6 +6,7 @@
 #include "szp/baselines/vzfp/vzfp.hpp"
 #include "szp/baselines/xsz/xsz.hpp"
 #include "szp/core/compressor.hpp"
+#include "szp/obs/tracer.hpp"
 
 namespace szp::harness {
 
@@ -64,9 +65,23 @@ double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
+/// Time one harness phase, tracing it under cat "harness" so sweep points
+/// show up as lanes enclosing the kernel spans they contain.
+template <typename Fn>
+auto timed_phase(const char* phase, CodecId id, double& wall_s, Fn&& fn) {
+  const obs::Span span("harness", phase, "codec",
+                       static_cast<std::uint64_t>(id));
+  const auto t0 = Clock::now();
+  auto res = fn();
+  wall_s = seconds_since(t0);
+  return res;
+}
+
 }  // namespace
 
 RunResult run_codec(const CodecSetting& setting, const data::Field& field) {
+  // Bench binaries opt into tracing via SZP_TRACE / SZP_STATS; idempotent.
+  obs::init_from_env();
   RunResult r;
   r.original_bytes = field.size_bytes();
   const size_t n = field.count();
@@ -84,15 +99,15 @@ RunResult run_codec(const CodecSetting& setting, const data::Field& field) {
       Compressor c(p);
       gs::DeviceBuffer<byte_t> d_cmp(dev,
                                      core::max_compressed_bytes(n, p.block_len));
-      auto t0 = Clock::now();
-      const auto cres = c.compress_on_device(dev, d_in, n, range, d_cmp);
-      r.wall_comp_s = seconds_since(t0);
+      const auto cres = timed_phase("compress", setting.id, r.wall_comp_s, [&] {
+        return c.compress_on_device(dev, d_in, n, range, d_cmp);
+      });
       r.compressed_bytes = cres.bytes;
       r.comp_trace = cres.trace;
       r.eb_abs = core::resolve_eb(p, range);
-      t0 = Clock::now();
-      const auto dres = c.decompress_on_device(dev, d_cmp, d_recon);
-      r.wall_decomp_s = seconds_since(t0);
+      const auto dres =
+          timed_phase("decompress", setting.id, r.wall_decomp_s,
+                      [&] { return c.decompress_on_device(dev, d_cmp, d_recon); });
       r.decomp_trace = dres.trace;
       break;
     }
@@ -104,15 +119,15 @@ RunResult run_codec(const CodecSetting& setting, const data::Field& field) {
       vsz::Grid grid{fd.extents};
       const double eb = std::max(setting.rel * range, 1e-30);
       gs::DeviceBuffer<byte_t> d_cmp(dev, vsz::max_compressed_bytes(n));
-      auto t0 = Clock::now();
-      const auto cres = vsz::compress_device(dev, d_in, grid, p, eb, d_cmp);
-      r.wall_comp_s = seconds_since(t0);
+      const auto cres = timed_phase("compress", setting.id, r.wall_comp_s, [&] {
+        return vsz::compress_device(dev, d_in, grid, p, eb, d_cmp);
+      });
       r.compressed_bytes = cres.bytes;
       r.comp_trace = cres.trace;
       r.eb_abs = eb;
-      t0 = Clock::now();
-      const auto dres = vsz::decompress_device(dev, d_cmp, d_recon);
-      r.wall_decomp_s = seconds_since(t0);
+      const auto dres =
+          timed_phase("decompress", setting.id, r.wall_decomp_s,
+                      [&] { return vsz::decompress_device(dev, d_cmp, d_recon); });
       r.decomp_trace = dres.trace;
       break;
     }
@@ -123,15 +138,15 @@ RunResult run_codec(const CodecSetting& setting, const data::Field& field) {
       const double eb = std::max(setting.rel * range, 1e-30);
       gs::DeviceBuffer<byte_t> d_cmp(dev,
                                      xsz::max_compressed_bytes(n, p.block_len));
-      auto t0 = Clock::now();
-      const auto cres = xsz::compress_device(dev, d_in, n, p, eb, d_cmp);
-      r.wall_comp_s = seconds_since(t0);
+      const auto cres = timed_phase("compress", setting.id, r.wall_comp_s, [&] {
+        return xsz::compress_device(dev, d_in, n, p, eb, d_cmp);
+      });
       r.compressed_bytes = cres.bytes;
       r.comp_trace = cres.trace;
       r.eb_abs = eb;
-      t0 = Clock::now();
-      const auto dres = xsz::decompress_device(dev, d_cmp, d_recon);
-      r.wall_decomp_s = seconds_since(t0);
+      const auto dres =
+          timed_phase("decompress", setting.id, r.wall_decomp_s,
+                      [&] { return xsz::decompress_device(dev, d_cmp, d_recon); });
       r.decomp_trace = dres.trace;
       break;
     }
@@ -140,14 +155,14 @@ RunResult run_codec(const CodecSetting& setting, const data::Field& field) {
       p.rate = setting.rate;
       const data::Dims fd = fuse_dims(field.dims, 3);
       gs::DeviceBuffer<byte_t> d_cmp(dev, vzfp::compressed_bytes(fd, p));
-      auto t0 = Clock::now();
-      const auto cres = vzfp::compress_device(dev, d_in, fd, p, d_cmp);
-      r.wall_comp_s = seconds_since(t0);
+      const auto cres = timed_phase("compress", setting.id, r.wall_comp_s, [&] {
+        return vzfp::compress_device(dev, d_in, fd, p, d_cmp);
+      });
       r.compressed_bytes = cres.bytes;
       r.comp_trace = cres.trace;
-      t0 = Clock::now();
-      const auto dres = vzfp::decompress_device(dev, d_cmp, d_recon);
-      r.wall_decomp_s = seconds_since(t0);
+      const auto dres = timed_phase(
+          "decompress", setting.id, r.wall_decomp_s,
+          [&] { return vzfp::decompress_device(dev, d_cmp, d_recon); });
       r.decomp_trace = dres.trace;
       break;
     }

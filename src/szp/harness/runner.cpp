@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "szp/obs/tracer.hpp"
+
 namespace szp::harness {
 
 Throughput throughput_of(const RunResult& r,
@@ -28,6 +30,9 @@ SuiteThroughput sweep_codec(const std::vector<data::Field>& fields,
       CodecSetting s;
       s.id = codec;
       (fixed_rate ? s.rate : s.rel) = v;
+      const obs::Span sweep_span("harness", "sweep_point", "codec",
+                                 static_cast<std::uint64_t>(codec), "point",
+                                 static_cast<std::uint64_t>(n));
       const RunResult r = run_codec(s, field);
       const Throughput t = throughput_of(r, model);
       out.avg.e2e_comp_gbps += t.e2e_comp_gbps;

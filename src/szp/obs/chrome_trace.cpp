@@ -1,0 +1,126 @@
+#include "szp/obs/chrome_trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+
+#include "szp/obs/tracer.hpp"
+
+namespace szp::obs {
+
+namespace {
+
+/// Events carry literal names; escaping is still applied for safety.
+void write_json_string(std::ostream& os, const char* s) {
+  os << '"';
+  for (; *s != '\0'; ++s) {
+    switch (*s) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      default: os << *s;
+    }
+  }
+  os << '"';
+}
+
+/// Chrome traces use microsecond timestamps; emit fractional µs to keep
+/// nanosecond resolution.
+void write_us(std::ostream& os, std::uint64_t ns) {
+  os << ns / 1000 << '.' << static_cast<char>('0' + (ns % 1000) / 100)
+     << static_cast<char>('0' + (ns % 100) / 10)
+     << static_cast<char>('0' + ns % 10);
+}
+
+struct FlatEvent {
+  const Event* e;
+  std::uint32_t tid;
+};
+
+void write_event(std::ostream& os, const FlatEvent& fe) {
+  const Event& e = *fe.e;
+  os << "{\"name\": ";
+  write_json_string(os, e.name);
+  os << ", \"cat\": ";
+  write_json_string(os, e.cat);
+  os << ", \"ph\": \"" << static_cast<char>(e.ph) << "\", \"ts\": ";
+  write_us(os, e.ts_ns);
+  if (e.ph == Phase::kComplete) {
+    os << ", \"dur\": ";
+    write_us(os, e.dur_ns);
+  }
+  if (e.ph == Phase::kInstant) os << ", \"s\": \"t\"";
+  os << ", \"pid\": 1, \"tid\": " << fe.tid;
+  if (e.arg1_name != nullptr || e.arg2_name != nullptr) {
+    os << ", \"args\": {";
+    if (e.arg1_name != nullptr) {
+      write_json_string(os, e.arg1_name);
+      os << ": " << e.arg1;
+    }
+    if (e.arg2_name != nullptr) {
+      if (e.arg1_name != nullptr) os << ", ";
+      write_json_string(os, e.arg2_name);
+      os << ": " << e.arg2;
+    }
+    os << '}';
+  }
+  os << '}';
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os) {
+  const std::vector<ThreadEvents> threads = Tracer::instance().collect();
+
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  const auto sep = [&] {
+    os << (first ? "\n" : ",\n");
+    first = false;
+  };
+
+  // Thread-name metadata rows: explicit names first, then a default so
+  // every lane is labeled in the viewer.
+  for (const ThreadEvents& t : threads) {
+    sep();
+    const std::string label = t.thread_name.empty()
+                                  ? "thread-" + std::to_string(t.tid)
+                                  : t.thread_name;
+    os << "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": "
+       << t.tid << ", \"args\": {\"name\": ";
+    write_json_string(os, label.c_str());
+    os << "}}";
+    if (t.overwritten > 0) {
+      sep();
+      os << "{\"name\": \"ring_overwrote\", \"cat\": \"obs\", \"ph\": "
+            "\"i\", \"s\": \"t\", \"ts\": 0.000, \"pid\": 1, \"tid\": "
+         << t.tid << ", \"args\": {\"events\": " << t.overwritten << "}}";
+    }
+  }
+
+  // Flatten and sort by timestamp so viewers that expect ordered input
+  // (and humans reading the raw JSON) get a chronological stream.
+  std::vector<FlatEvent> flat;
+  for (const ThreadEvents& t : threads) {
+    for (const Event& e : t.events) flat.push_back({&e, t.tid});
+  }
+  std::stable_sort(flat.begin(), flat.end(),
+                   [](const FlatEvent& a, const FlatEvent& b) {
+                     return a.e->ts_ns < b.e->ts_ns;
+                   });
+  for (const FlatEvent& fe : flat) {
+    sep();
+    write_event(os, fe);
+  }
+  os << "\n]}\n";
+}
+
+bool write_chrome_trace_file(const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_chrome_trace(os);
+  os.flush();
+  return static_cast<bool>(os);
+}
+
+}  // namespace szp::obs

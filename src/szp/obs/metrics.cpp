@@ -1,0 +1,272 @@
+#include "szp/obs/metrics.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <map>
+#include <mutex>
+#include <ostream>
+
+namespace szp::obs {
+
+namespace {
+
+/// Relaxed fetch-add for atomic<double> (no hardware fetch_add pre-C++20
+/// on all targets; CAS loop is fine off the fast path).
+void atomic_add(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), buckets_(bounds_.size() + 1) {
+  if (bounds_.empty()) bounds_.push_back(1.0);
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    std::sort(bounds_.begin(), bounds_.end());
+  }
+  if (buckets_.size() != bounds_.size() + 1) {
+    // bounds_ may have grown by the empty-guard above.
+    std::vector<std::atomic<std::uint64_t>> b(bounds_.size() + 1);
+    buckets_.swap(b);
+  }
+}
+
+std::vector<double> Histogram::linear_bounds(double lo, double hi,
+                                             std::size_t n) {
+  std::vector<double> b;
+  b.reserve(std::max<std::size_t>(1, n));
+  const double step = n > 0 ? (hi - lo) / static_cast<double>(n) : (hi - lo);
+  for (std::size_t i = 1; i <= std::max<std::size_t>(1, n); ++i) {
+    b.push_back(lo + step * static_cast<double>(i));
+  }
+  return b;
+}
+
+std::vector<double> Histogram::pow2_bounds(std::size_t n) {
+  std::vector<double> b;
+  b.reserve(std::max<std::size_t>(1, n));
+  double v = 1.0;
+  for (std::size_t i = 0; i < std::max<std::size_t>(1, n); ++i) {
+    b.push_back(v);
+    v *= 2.0;
+  }
+  return b;
+}
+
+void Histogram::observe(double v) {
+  if (!metrics_enabled()) return;
+  const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), v);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t prev = count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, v);
+  if (prev == 0) {
+    // First observation seeds min/max; racing observers still converge
+    // through the CAS loops below.
+    min_.store(v, std::memory_order_relaxed);
+    max_.store(v, std::memory_order_relaxed);
+  }
+  atomic_min(min_, v);
+  atomic_max(max_, v);
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+struct Registry::Impl {
+  mutable std::mutex mutex;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+};
+
+Registry& Registry::instance() {
+  static Registry* r = new Registry();  // leaked: usable from exit handlers
+  return *r;
+}
+
+Registry::Impl& Registry::impl() const {
+  static Impl* i = new Impl();
+  return *i;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  Impl& im = impl();
+  const std::lock_guard<std::mutex> lock(im.mutex);
+  auto it = im.counters.find(name);
+  if (it == im.counters.end()) {
+    it = im.counters.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  Impl& im = impl();
+  const std::lock_guard<std::mutex> lock(im.mutex);
+  auto it = im.gauges.find(name);
+  if (it == im.gauges.end()) {
+    it = im.gauges.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::vector<double> bounds) {
+  Impl& im = impl();
+  const std::lock_guard<std::mutex> lock(im.mutex);
+  auto it = im.histograms.find(name);
+  if (it == im.histograms.end()) {
+    it = im.histograms
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return *it->second;
+}
+
+const Counter* Registry::find_counter(std::string_view name) const {
+  Impl& im = impl();
+  const std::lock_guard<std::mutex> lock(im.mutex);
+  const auto it = im.counters.find(name);
+  return it == im.counters.end() ? nullptr : it->second.get();
+}
+
+const Gauge* Registry::find_gauge(std::string_view name) const {
+  Impl& im = impl();
+  const std::lock_guard<std::mutex> lock(im.mutex);
+  const auto it = im.gauges.find(name);
+  return it == im.gauges.end() ? nullptr : it->second.get();
+}
+
+const Histogram* Registry::find_histogram(std::string_view name) const {
+  Impl& im = impl();
+  const std::lock_guard<std::mutex> lock(im.mutex);
+  const auto it = im.histograms.find(name);
+  return it == im.histograms.end() ? nullptr : it->second.get();
+}
+
+void Registry::reset() {
+  Impl& im = impl();
+  const std::lock_guard<std::mutex> lock(im.mutex);
+  for (auto& [name, c] : im.counters) c->reset();
+  for (auto& [name, g] : im.gauges) g->reset();
+  for (auto& [name, h] : im.histograms) h->reset();
+}
+
+namespace {
+
+void write_json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default: os << c;
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void Registry::write_json(std::ostream& os) const {
+  Impl& im = impl();
+  const std::lock_guard<std::mutex> lock(im.mutex);
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : im.counters) {
+    os << (first ? "\n    " : ",\n    ");
+    write_json_string(os, name);
+    os << ": " << c->value();
+    first = false;
+  }
+  os << "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : im.gauges) {
+    if (!g->has_value()) continue;
+    os << (first ? "\n    " : ",\n    ");
+    write_json_string(os, name);
+    os << ": " << g->value();
+    first = false;
+  }
+  os << "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : im.histograms) {
+    os << (first ? "\n    " : ",\n    ");
+    write_json_string(os, name);
+    os << ": {\"count\": " << h->count() << ", \"sum\": " << h->sum()
+       << ", \"min\": " << h->min() << ", \"max\": " << h->max()
+       << ", \"bounds\": [";
+    for (std::size_t i = 0; i < h->bounds().size(); ++i) {
+      os << (i ? ", " : "") << h->bounds()[i];
+    }
+    os << "], \"buckets\": [";
+    for (std::size_t i = 0; i < h->num_buckets(); ++i) {
+      os << (i ? ", " : "") << h->bucket_count(i);
+    }
+    os << "]}";
+    first = false;
+  }
+  os << "\n  }\n}\n";
+}
+
+void Registry::write_text(std::ostream& os) const {
+  Impl& im = impl();
+  const std::lock_guard<std::mutex> lock(im.mutex);
+  for (const auto& [name, c] : im.counters) {
+    if (c->value() == 0) continue;
+    os << "  " << std::left << std::setw(36) << name << ' ' << c->value()
+       << '\n';
+  }
+  for (const auto& [name, g] : im.gauges) {
+    if (!g->has_value()) continue;
+    os << "  " << std::left << std::setw(36) << name << ' ' << g->value()
+       << '\n';
+  }
+  for (const auto& [name, h] : im.histograms) {
+    if (h->count() == 0) continue;
+    os << "  " << std::left << std::setw(36) << name << " count="
+       << h->count() << " mean=" << h->mean() << " min=" << h->min()
+       << " max=" << h->max() << "\n    buckets:";
+    for (std::size_t i = 0; i < h->num_buckets(); ++i) {
+      const std::uint64_t n = h->bucket_count(i);
+      if (n == 0) continue;
+      os << ' ';
+      if (i == 0) {
+        os << "(-inf," << h->bounds()[0] << ")";
+      } else if (i == h->bounds().size()) {
+        os << "[" << h->bounds().back() << ",inf)";
+      } else {
+        os << "[" << h->bounds()[i - 1] << ',' << h->bounds()[i] << ")";
+      }
+      os << '=' << n;
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace szp::obs

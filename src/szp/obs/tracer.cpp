@@ -1,0 +1,217 @@
+#include "szp/obs/tracer.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+
+#include "szp/obs/chrome_trace.hpp"
+#include "szp/obs/metrics.hpp"
+#include "szp/util/env.hpp"
+
+namespace szp::obs {
+
+std::uint64_t now_ns() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           epoch)
+          .count());
+}
+
+/// One thread's ring. push() is only ever called by the owning thread;
+/// the mutex serializes it against collect()/clear() from other threads.
+struct Tracer::ThreadBuffer {
+  mutable std::mutex mutex;
+  std::uint32_t tid = 0;
+  std::string name;
+  bool alive = true;  // owning thread still running
+  std::size_t capacity = 0;
+  std::size_t head = 0;  // next write position
+  std::uint64_t overwritten = 0;
+  std::vector<Event> ring;
+
+  void push(const Event& e) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    if (ring.size() < capacity) {
+      ring.push_back(e);
+      head = ring.size() % capacity;
+    } else {
+      ring[head] = e;
+      head = (head + 1) % capacity;
+      ++overwritten;
+    }
+  }
+};
+
+struct Tracer::Registry {
+  mutable std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::uint32_t next_tid = 0;
+  std::size_t ring_capacity = 1u << 15;
+};
+
+Tracer& Tracer::instance() {
+  static Tracer* t = new Tracer();  // leaked: usable from exit handlers
+  return *t;
+}
+
+Tracer::Registry& Tracer::registry() const {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+void Tracer::set_ring_capacity(std::size_t events) {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.ring_capacity = std::max<std::size_t>(16, events);
+}
+
+std::size_t Tracer::ring_capacity() const {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  return reg.ring_capacity;
+}
+
+namespace {
+/// Marks the registry entry dead when the owning thread exits; the buffer
+/// itself stays registered (and exportable) until Tracer::clear().
+struct ThreadLocalHandle {
+  std::shared_ptr<Tracer::ThreadBuffer> buffer;
+  ~ThreadLocalHandle() {
+    if (buffer) {
+      const std::lock_guard<std::mutex> lock(buffer->mutex);
+      buffer->alive = false;
+    }
+  }
+};
+}  // namespace
+
+Tracer::ThreadBuffer& Tracer::local_buffer() {
+  thread_local ThreadLocalHandle handle;
+  if (!handle.buffer) {
+    auto buf = std::make_shared<ThreadBuffer>();
+    Registry& reg = registry();
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    buf->tid = reg.next_tid++;
+    buf->capacity = reg.ring_capacity;
+    buf->ring.reserve(std::min<std::size_t>(buf->capacity, 1024));
+    reg.buffers.push_back(buf);
+    handle.buffer = std::move(buf);
+  }
+  return *handle.buffer;
+}
+
+void Tracer::record(const Event& e) { local_buffer().push(e); }
+
+void Tracer::set_thread_name(std::string name) {
+  ThreadBuffer& buf = local_buffer();
+  const std::lock_guard<std::mutex> lock(buf.mutex);
+  buf.name = std::move(name);
+}
+
+std::vector<ThreadEvents> Tracer::collect() const {
+  Registry& reg = registry();
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    buffers = reg.buffers;
+  }
+  std::vector<ThreadEvents> out;
+  out.reserve(buffers.size());
+  for (const auto& buf : buffers) {
+    const std::lock_guard<std::mutex> lock(buf->mutex);
+    ThreadEvents te;
+    te.tid = buf->tid;
+    te.thread_name = buf->name;
+    te.overwritten = buf->overwritten;
+    te.events.reserve(buf->ring.size());
+    // Ring order: oldest first. When full, `head` is the oldest slot.
+    if (buf->ring.size() == buf->capacity) {
+      te.events.insert(te.events.end(), buf->ring.begin() +
+                       static_cast<std::ptrdiff_t>(buf->head),
+                       buf->ring.end());
+      te.events.insert(te.events.end(), buf->ring.begin(),
+                       buf->ring.begin() +
+                       static_cast<std::ptrdiff_t>(buf->head));
+    } else {
+      te.events = buf->ring;
+    }
+    out.push_back(std::move(te));
+  }
+  return out;
+}
+
+std::size_t Tracer::event_count() const {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  std::size_t n = 0;
+  for (const auto& buf : reg.buffers) {
+    const std::lock_guard<std::mutex> buf_lock(buf->mutex);
+    n += buf->ring.size();
+  }
+  return n;
+}
+
+void Tracer::clear() {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  auto& v = reg.buffers;
+  v.erase(std::remove_if(v.begin(), v.end(),
+                         [](const std::shared_ptr<ThreadBuffer>& b) {
+                           const std::lock_guard<std::mutex> bl(b->mutex);
+                           return !b->alive;
+                         }),
+          v.end());
+  for (const auto& buf : v) {
+    const std::lock_guard<std::mutex> buf_lock(buf->mutex);
+    buf->ring.clear();
+    buf->ring.shrink_to_fit();
+    buf->head = 0;
+    buf->overwritten = 0;
+    buf->capacity = reg.ring_capacity;  // re-apply a changed capacity
+  }
+}
+
+namespace {
+
+void flush_env_outputs() {
+  const std::string path = trace_env_path();
+  if (!path.empty()) {
+    if (write_chrome_trace_file(path)) {
+      std::fprintf(stderr, "[szp-obs] wrote trace to %s (%zu events)\n",
+                   path.c_str(), Tracer::instance().event_count());
+    } else {
+      std::fprintf(stderr, "[szp-obs] FAILED to write trace to %s\n",
+                   path.c_str());
+    }
+  }
+  if (stats_env_enabled()) {
+    std::cerr << "[szp-obs] metrics summary:\n";
+    Registry::instance().write_text(std::cerr);
+  }
+}
+
+}  // namespace
+
+void init_from_env() {
+  static const bool done = [] {
+    bool hooked = false;
+    if (!trace_env_path().empty()) {
+      Tracer::instance().set_enabled(true);
+      hooked = true;
+    }
+    if (stats_env_enabled()) {
+      Registry::instance().set_enabled(true);
+      hooked = true;
+    }
+    if (hooked) std::atexit(flush_env_outputs);
+    return true;
+  }();
+  (void)done;
+}
+
+}  // namespace szp::obs

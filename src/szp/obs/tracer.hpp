@@ -1,0 +1,257 @@
+// Wall-clock span tracer for the host/device pipeline.
+//
+// Complements gpusim::Trace (which *counts* bytes/ops for the perfmodel)
+// with *when* things happened: nestable RAII spans, instant events and
+// begin/end pairs, recorded into per-thread ring buffers with a wall
+// clock and a stable small thread id. The chrome_trace exporter turns a
+// recording into Perfetto / chrome://tracing JSON where gpusim worker
+// threads appear as thread-block lanes.
+//
+// Overhead contract: with tracing disabled (the default) every
+// instrumentation site costs exactly one relaxed atomic load and branch —
+// no clock read, no allocation, no lock — so the Tier-1 perf figures are
+// unaffected. Enable via Tracer::set_enabled(true) or the SZP_TRACE
+// environment variable (see init_from_env).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace szp::obs {
+
+namespace detail {
+/// Global enable flag; inline so the fast-path check can be inlined into
+/// every instrumentation site.
+inline std::atomic<bool> g_tracing{false};
+}  // namespace detail
+
+/// The one-branch fast path: every event helper checks this first.
+[[nodiscard]] inline bool tracing_enabled() {
+  return detail::g_tracing.load(std::memory_order_relaxed);
+}
+
+/// Nanoseconds on a monotonic clock, relative to process start.
+[[nodiscard]] std::uint64_t now_ns();
+
+/// Chrome trace-event phases we emit (the exporter writes the letter).
+enum class Phase : char {
+  kComplete = 'X',  // span with ts + dur
+  kBegin = 'B',     // begin/end pair (matched by name, same thread)
+  kEnd = 'E',
+  kInstant = 'i',
+};
+
+/// One recorded event. Names and categories must be string literals (or
+/// otherwise outlive the tracer recording) — events store the pointer.
+struct Event {
+  const char* name = "";
+  const char* cat = "";
+  Phase ph = Phase::kComplete;
+  std::uint64_t ts_ns = 0;
+  std::uint64_t dur_ns = 0;  // kComplete only
+  // Up to two optional numeric args (arg name nullptr = absent).
+  const char* arg1_name = nullptr;
+  std::uint64_t arg1 = 0;
+  const char* arg2_name = nullptr;
+  std::uint64_t arg2 = 0;
+};
+
+/// Per-thread ring buffer snapshot returned by Tracer::collect().
+struct ThreadEvents {
+  std::uint32_t tid = 0;
+  std::string thread_name;
+  std::uint64_t overwritten = 0;  // events lost to ring wrap-around
+  std::vector<Event> events;     // in recording order
+};
+
+/// Process-wide tracer. Threads register a ring buffer lazily on their
+/// first event; buffers survive thread exit until clear() so that the
+/// short-lived gpusim worker threads keep their lanes in the export.
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  void set_enabled(bool on) {
+    detail::g_tracing.store(on, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const { return tracing_enabled(); }
+
+  /// Ring capacity (events per thread) applied to buffers registered
+  /// after the call, and to existing buffers at the next clear().
+  /// Minimum 16.
+  void set_ring_capacity(std::size_t events);
+  [[nodiscard]] std::size_t ring_capacity() const;
+
+  /// Record into the calling thread's ring. The enabled check is the
+  /// caller's job (the Span/instant helpers do it); record() itself
+  /// always stores.
+  void record(const Event& e);
+
+  /// Label the calling thread in exported traces (e.g. "gpusim-worker").
+  void set_thread_name(std::string name);
+
+  /// Snapshot every thread's ring (including exited threads').
+  [[nodiscard]] std::vector<ThreadEvents> collect() const;
+
+  /// Total events currently held across all rings.
+  [[nodiscard]] std::size_t event_count() const;
+
+  /// Drop all recorded events and forget buffers of exited threads.
+  void clear();
+
+  // Implementation details (public so the thread-local registration
+  // helper in tracer.cpp can hold a shared_ptr to its buffer).
+  struct ThreadBuffer;
+  struct Registry;
+
+ private:
+  Tracer() = default;
+  [[nodiscard]] ThreadBuffer& local_buffer();
+
+  Registry& registry() const;
+};
+
+// ------------------------------------------------------------ helpers ----
+
+/// RAII complete-span ('X'): clocks construction..destruction.
+class Span {
+ public:
+  Span(const char* cat, const char* name) {
+    if (tracing_enabled()) open(cat, name);
+  }
+  Span(const char* cat, const char* name, const char* arg1_name,
+       std::uint64_t arg1) {
+    if (tracing_enabled()) {
+      open(cat, name);
+      e_.arg1_name = arg1_name;
+      e_.arg1 = arg1;
+    }
+  }
+  Span(const char* cat, const char* name, const char* arg1_name,
+       std::uint64_t arg1, const char* arg2_name, std::uint64_t arg2) {
+    if (tracing_enabled()) {
+      open(cat, name);
+      e_.arg1_name = arg1_name;
+      e_.arg1 = arg1;
+      e_.arg2_name = arg2_name;
+      e_.arg2 = arg2;
+    }
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { close(); }
+
+  /// End the span before scope exit (idempotent).
+  void close() {
+    if (!active_) return;
+    active_ = false;
+    e_.dur_ns = now_ns() - e_.ts_ns;
+    Tracer::instance().record(e_);
+  }
+
+ private:
+  void open(const char* cat, const char* name) {
+    active_ = true;
+    e_.cat = cat;
+    e_.name = name;
+    e_.ph = Phase::kComplete;
+    e_.ts_ns = now_ns();
+  }
+  bool active_ = false;
+  Event e_;
+};
+
+/// RAII begin/end pair ('B'/'E') — used for long-lived phases (kernel
+/// launches, API entry points) so nested X spans from other threads stay
+/// readable in the viewer.
+class BeginEndSpan {
+ public:
+  BeginEndSpan(const char* cat, const char* name, const char* arg1_name,
+               std::uint64_t arg1) {
+    if (!tracing_enabled()) return;
+    active_ = true;
+    cat_ = cat;
+    name_ = name;
+    Event e;
+    e.cat = cat;
+    e.name = name;
+    e.ph = Phase::kBegin;
+    e.ts_ns = now_ns();
+    e.arg1_name = arg1_name;
+    e.arg1 = arg1;
+    Tracer::instance().record(e);
+  }
+  BeginEndSpan(const char* cat, const char* name)
+      : BeginEndSpan(cat, name, nullptr, 0) {}
+  BeginEndSpan(const BeginEndSpan&) = delete;
+  BeginEndSpan& operator=(const BeginEndSpan&) = delete;
+  ~BeginEndSpan() {
+    if (!active_) return;
+    Event e;
+    e.cat = cat_;
+    e.name = name_;
+    e.ph = Phase::kEnd;
+    e.ts_ns = now_ns();
+    Tracer::instance().record(e);
+  }
+
+ private:
+  bool active_ = false;
+  const char* cat_ = "";
+  const char* name_ = "";
+};
+
+/// Zero-duration marker.
+inline void instant(const char* cat, const char* name,
+                    const char* arg1_name = nullptr, std::uint64_t arg1 = 0,
+                    const char* arg2_name = nullptr, std::uint64_t arg2 = 0) {
+  if (!tracing_enabled()) return;
+  Event e;
+  e.cat = cat;
+  e.name = name;
+  e.ph = Phase::kInstant;
+  e.ts_ns = now_ns();
+  e.arg1_name = arg1_name;
+  e.arg1 = arg1;
+  e.arg2_name = arg2_name;
+  e.arg2 = arg2;
+  Tracer::instance().record(e);
+}
+
+/// Emit a complete span from an explicit start/duration (for call sites
+/// that accumulate time across loop iterations before emitting).
+inline void complete(const char* cat, const char* name, std::uint64_t ts_ns,
+                     std::uint64_t dur_ns, const char* arg1_name = nullptr,
+                     std::uint64_t arg1 = 0, const char* arg2_name = nullptr,
+                     std::uint64_t arg2 = 0) {
+  if (!tracing_enabled()) return;
+  Event e;
+  e.cat = cat;
+  e.name = name;
+  e.ph = Phase::kComplete;
+  e.ts_ns = ts_ns;
+  e.dur_ns = dur_ns;
+  e.arg1_name = arg1_name;
+  e.arg1 = arg1;
+  e.arg2_name = arg2_name;
+  e.arg2 = arg2;
+  Tracer::instance().record(e);
+}
+
+inline void set_thread_name(std::string name) {
+  if (!tracing_enabled()) return;
+  Tracer::instance().set_thread_name(std::move(name));
+}
+
+/// Process the SZP_TRACE / SZP_STATS environment variables once:
+///   SZP_TRACE=<path>  enable the tracer; write Chrome-trace JSON to
+///                     <path> at process exit.
+///   SZP_STATS=1       enable the metrics registry; print the text
+///                     summary to stderr at process exit.
+/// Idempotent and cheap; the bench harness calls it on every run.
+void init_from_env();
+
+}  // namespace szp::obs

@@ -9,6 +9,8 @@
 #include "szp/core/compressor.hpp"
 #include "szp/core/format.hpp"
 #include "szp/core/stages.hpp"
+#include "szp/obs/metrics.hpp"
+#include "szp/obs/tracer.hpp"
 #include "szp/util/crc32c.hpp"
 
 namespace szp::robust {
@@ -291,11 +293,35 @@ DecodeReport try_decode_impl(std::span<const byte_t> stream,
   return rep;
 }
 
+/// Surface salvage outcomes through the metrics registry so fuzz runs and
+/// CLI `--stats` can report fault-tolerance behaviour in aggregate. One
+/// branch when collection is off.
+void record_decode_report(const DecodeReport& rep) {
+  if (!obs::metrics_enabled()) return;
+  auto& reg = obs::Registry::instance();
+  static auto& calls = reg.counter("robust.try_decompress.calls");
+  static auto& ok = reg.counter("robust.try_decompress.ok");
+  static auto& failed = reg.counter("robust.try_decompress.failed");
+  static auto& corrupt_groups = reg.counter("robust.corrupt_groups");
+  static auto& corrupt_blocks = reg.counter("robust.corrupt_blocks");
+  static auto& salvaged = reg.counter("robust.salvaged_streams");
+  calls.add();
+  if (rep.ok()) ok.add(); else failed.add();
+  corrupt_groups.add(rep.groups_bad);
+  std::uint64_t blocks = 0;
+  for (const auto& r : rep.corrupt_blocks) blocks += r.last_block - r.first_block;
+  corrupt_blocks.add(blocks);
+  if (rep.salvaged) salvaged.add();
+}
+
 template <typename T>
 DecodeReport guarded(std::span<const byte_t> stream, std::vector<T>* out,
                      const DecodeOptions& opts) {
+  const obs::Span span("api", "try_decompress", "bytes", stream.size());
   try {
-    return try_decode_impl<T>(stream, out, opts);
+    const DecodeReport rep = try_decode_impl<T>(stream, out, opts);
+    record_decode_report(rep);
+    return rep;
   } catch (const std::exception& e) {
     // try_decode_impl validates before it trusts; reaching here is a bug,
     // but the no-throw contract still holds.
@@ -303,6 +329,7 @@ DecodeReport guarded(std::span<const byte_t> stream, std::vector<T>* out,
     rep.status = Status::kInternalError;
     rep.detail = e.what();
     if (out) out->clear();
+    record_decode_report(rep);
     return rep;
   }
 }

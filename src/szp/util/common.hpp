@@ -13,6 +13,9 @@ namespace szp {
 using std::size_t;
 using byte_t = std::uint8_t;
 
+/// Library version surfaced by the CLI tools (`szp_cli --version`).
+inline constexpr const char kVersionString[] = "0.2.0 (stream format v2)";
+
 /// Ceiling division for non-negative integers.
 template <typename T>
 [[nodiscard]] constexpr T div_ceil(T a, T b) {

@@ -17,4 +17,14 @@ std::string bench_outdir() {
   return "bench_artifacts";
 }
 
+std::string trace_env_path() {
+  if (const char* s = std::getenv("SZP_TRACE")) return s;
+  return {};
+}
+
+bool stats_env_enabled() {
+  const char* s = std::getenv("SZP_STATS");
+  return s != nullptr && s[0] != '\0' && !(s[0] == '0' && s[1] == '\0');
+}
+
 }  // namespace szp

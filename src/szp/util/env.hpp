@@ -14,4 +14,14 @@ namespace szp {
 /// CSV series). Defaults to "bench_artifacts".
 [[nodiscard]] std::string bench_outdir();
 
+/// SZP_TRACE: when set (to an output path), the obs tracer records the
+/// run and writes Chrome-trace JSON there at process exit. Empty when
+/// unset. Consumed by obs::init_from_env().
+[[nodiscard]] std::string trace_env_path();
+
+/// SZP_STATS: when set to anything but "" / "0", the obs metrics
+/// registry collects during the run and a text summary goes to stderr at
+/// process exit. Consumed by obs::init_from_env().
+[[nodiscard]] bool stats_env_enabled();
+
 }  // namespace szp

@@ -1,0 +1,135 @@
+// Tests for the device trace counters: saturating snapshot diffs,
+// stage_name exhaustiveness, and the snapshot/reset quiescence guard.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+
+#include "szp/gpusim/device.hpp"
+#include "szp/gpusim/launch.hpp"
+#include "szp/gpusim/trace.hpp"
+
+namespace {
+
+using namespace szp;
+using gpusim::Stage;
+using gpusim::TraceSnapshot;
+
+TEST(TraceSnapshotDiff, SubtractsComponentwise) {
+  TraceSnapshot a, b;
+  a.stages[0].read_bytes = 100;
+  b.stages[0].read_bytes = 30;
+  a.h2d_bytes = 10;
+  b.h2d_bytes = 4;
+  a.kernel_launches = 5;
+  b.kernel_launches = 2;
+  const TraceSnapshot d = a - b;
+  EXPECT_EQ(d.stages[0].read_bytes, 70u);
+  EXPECT_EQ(d.h2d_bytes, 6u);
+  EXPECT_EQ(d.kernel_launches, 3u);
+}
+
+TEST(TraceSnapshotDiff, UnderflowSaturatesToZeroInsteadOfWrapping) {
+  TraceSnapshot a, b;
+  // Every field smaller in the minuend: a reversed diff (a - b with b the
+  // later snapshot) must clamp to 0, not wrap to ~2^64.
+  for (unsigned i = 0; i < gpusim::kNumStages; ++i) {
+    a.stages[i].read_bytes = 1;
+    a.stages[i].write_bytes = 2;
+    a.stages[i].ops = 3;
+    b.stages[i].read_bytes = 10;
+    b.stages[i].write_bytes = 20;
+    b.stages[i].ops = 30;
+  }
+  a.kernel_launches = 0;
+  b.kernel_launches = 7;
+  a.h2d_bytes = 0;
+  b.h2d_bytes = std::numeric_limits<std::uint64_t>::max();
+  a.d2h_bytes = 5;
+  b.d2h_bytes = 6;
+  a.d2d_bytes = 0;
+  b.d2d_bytes = 1;
+  a.host_bytes = 0;
+  b.host_bytes = 2;
+  a.host_stages = 0;
+  b.host_stages = 3;
+  const TraceSnapshot d = a - b;
+  for (unsigned i = 0; i < gpusim::kNumStages; ++i) {
+    EXPECT_EQ(d.stages[i].read_bytes, 0u);
+    EXPECT_EQ(d.stages[i].write_bytes, 0u);
+    EXPECT_EQ(d.stages[i].ops, 0u);
+  }
+  EXPECT_EQ(d.kernel_launches, 0u);
+  EXPECT_EQ(d.h2d_bytes, 0u);
+  EXPECT_EQ(d.d2h_bytes, 0u);
+  EXPECT_EQ(d.d2d_bytes, 0u);
+  EXPECT_EQ(d.host_bytes, 0u);
+  EXPECT_EQ(d.host_stages, 0u);
+  // Totals of a saturated diff stay small instead of exploding.
+  EXPECT_EQ(d.total_device_read_bytes(), 0u);
+  EXPECT_EQ(d.total_ops(), 0u);
+  EXPECT_EQ(d.total_memcpy_bytes(), 0u);
+}
+
+TEST(TraceSnapshotDiff, MixedDirectionsClampPerField) {
+  TraceSnapshot a, b;
+  a.stages[1].ops = 50;
+  b.stages[1].ops = 20;  // forward: 30
+  a.stages[2].ops = 20;
+  b.stages[2].ops = 50;  // reversed: clamps to 0
+  const TraceSnapshot d = a - b;
+  EXPECT_EQ(d.stages[1].ops, 30u);
+  EXPECT_EQ(d.stages[2].ops, 0u);
+}
+
+TEST(StageName, EveryEnumeratorHasADistinctName) {
+  for (unsigned i = 0; i < gpusim::kNumStages; ++i) {
+    const auto name = gpusim::stage_name(static_cast<Stage>(i));
+    EXPECT_FALSE(name.empty()) << "stage " << i;
+    EXPECT_NE(name, "?") << "stage " << i;
+    for (unsigned j = i + 1; j < gpusim::kNumStages; ++j) {
+      EXPECT_NE(name, gpusim::stage_name(static_cast<Stage>(j)))
+          << "stages " << i << " and " << j;
+    }
+  }
+  // The paper's four pipeline stages keep their Fig. 21 abbreviations.
+  EXPECT_EQ(gpusim::stage_name(Stage::kQuantPredict), "QP");
+  EXPECT_EQ(gpusim::stage_name(Stage::kFixedLenEncode), "FE");
+  EXPECT_EQ(gpusim::stage_name(Stage::kGlobalSync), "GS");
+  EXPECT_EQ(gpusim::stage_name(Stage::kBitShuffle), "BB");
+  // The sentinel is not a reportable stage.
+  EXPECT_EQ(gpusim::stage_name(Stage::kCount_), "?");
+}
+
+TEST(DeviceTraceGuard, SnapshotAndResetThrowWhileLaunchInFlight) {
+  gpusim::Device dev(2);
+  EXPECT_EQ(dev.launches_in_flight(), 0u);
+  gpusim::launch(dev, "guard_probe", 4, [&](const gpusim::BlockCtx& ctx) {
+    if (ctx.block_idx != 0) return;
+    // Observed from inside a kernel, the launch is in flight and both
+    // trace accessors refuse the torn read.
+    EXPECT_GE(dev.launches_in_flight(), 1u);
+    EXPECT_THROW((void)dev.snapshot(), std::logic_error);
+    EXPECT_THROW(dev.reset_trace(), std::logic_error);
+  });
+  // Quiesced again: both succeed.
+  EXPECT_EQ(dev.launches_in_flight(), 0u);
+  EXPECT_NO_THROW((void)dev.snapshot());
+  EXPECT_NO_THROW(dev.reset_trace());
+  EXPECT_EQ(dev.snapshot().kernel_launches, 0u);  // reset happened
+}
+
+TEST(DeviceTraceGuard, ResetZeroesAllCounters) {
+  gpusim::Device dev(2);
+  dev.trace().add_read(Stage::kQuantPredict, 123);
+  dev.trace().add_h2d(456);
+  dev.trace().add_kernel_launch();
+  dev.reset_trace();
+  const TraceSnapshot s = dev.snapshot();
+  EXPECT_EQ(s.total_device_read_bytes(), 0u);
+  EXPECT_EQ(s.h2d_bytes, 0u);
+  EXPECT_EQ(s.kernel_launches, 0u);
+}
+
+}  // namespace

@@ -1,0 +1,333 @@
+// Schema test for the Chrome trace exporter: run the real device codec
+// with tracing on, export, parse the JSON with a minimal validating
+// parser, and check the events the acceptance contract requires — 'X'
+// spans for every cuSZp stage (QP/FE/GS/BB), kernel 'B'/'E' pairs,
+// memcpy spans and chained-scan lookback events.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <map>
+#include <span>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "szp/core/compressor.hpp"
+#include "szp/gpusim/buffer.hpp"
+#include "szp/obs/chrome_trace.hpp"
+#include "szp/obs/tracer.hpp"
+
+namespace {
+
+using namespace szp;
+
+// ------------------------------------------------------- mini JSON -------
+// Just enough of a strict JSON parser to validate exporter output:
+// objects, arrays, strings with escapes, numbers, true/false/null.
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool b = false;
+  double num = 0;
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::map<std::string, JsonValue> obj;
+
+  [[nodiscard]] const JsonValue* find(const std::string& key) const {
+    const auto it = obj.find(key);
+    return it == obj.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) {
+    throw std::runtime_error("JSON error at offset " + std::to_string(pos_) +
+                             ": " + why);
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end");
+    return s_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_value();
+      case 't': case 'f': return boolean();
+      case 'n': return null();
+      default: return number();
+    }
+  }
+
+  JsonValue object() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') { ++pos_; return v; }
+    while (true) {
+      skip_ws();
+      const std::string key = raw_string();
+      skip_ws();
+      expect(':');
+      v.obj[key] = value();
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue array() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') { ++pos_; return v; }
+    while (true) {
+      v.arr.push_back(value());
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string raw_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character");
+      if (c != '\\') { out.push_back(c); continue; }
+      if (pos_ >= s_.size()) fail("unterminated escape");
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) fail("short \\u escape");
+          for (int i = 0; i < 4; ++i) {
+            if (!std::isxdigit(static_cast<unsigned char>(s_[pos_ + static_cast<size_t>(i)]))) {
+              fail("bad \\u escape");
+            }
+          }
+          pos_ += 4;
+          out.push_back('?');  // codepoint identity is irrelevant here
+          break;
+        }
+        default: fail("bad escape");
+      }
+    }
+  }
+
+  JsonValue string_value() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kString;
+    v.str = raw_string();
+    return v;
+  }
+
+  JsonValue boolean() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kBool;
+    if (s_.compare(pos_, 4, "true") == 0) { v.b = true; pos_ += 4; return v; }
+    if (s_.compare(pos_, 5, "false") == 0) { v.b = false; pos_ += 5; return v; }
+    fail("bad literal");
+  }
+
+  JsonValue null() {
+    if (s_.compare(pos_, 4, "null") != 0) fail("bad literal");
+    pos_ += 4;
+    return JsonValue{};
+  }
+
+  JsonValue number() {
+    const size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("bad number");
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    v.num = std::stod(s_.substr(start, pos_ - start));
+    return v;
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+// ------------------------------------------------------------ fixture ----
+
+class ChromeTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::Tracer::instance().clear();
+    obs::Tracer::instance().set_enabled(true);
+  }
+  void TearDown() override {
+    obs::Tracer::instance().set_enabled(false);
+    obs::Tracer::instance().clear();
+  }
+
+  /// Run a real compress+decompress through the device path.
+  static void run_pipeline() {
+    std::vector<float> data(64 * 1024);
+    for (size_t i = 0; i < data.size(); ++i) {
+      data[i] = std::sin(static_cast<double>(i) * 0.001) * 10.0;
+    }
+    core::Params params;
+    params.mode = core::ErrorMode::kRel;
+    params.error_bound = 1e-3;
+    Compressor c(params);
+    gpusim::Device dev;
+    auto d_in = gpusim::to_device<float>(dev, std::span<const float>(data));
+    gpusim::DeviceBuffer<byte_t> d_cmp(
+        dev, core::max_compressed_bytes(data.size(), params.block_len));
+    gpusim::DeviceBuffer<float> d_out(dev, data.size());
+    (void)c.compress_on_device(dev, d_in, data.size(), 20.0, d_cmp);
+    (void)c.decompress_on_device(dev, d_cmp, d_out);
+    (void)gpusim::to_host(dev, d_out);
+  }
+};
+
+TEST_F(ChromeTraceTest, ExportParsesAndSatisfiesSchema) {
+  run_pipeline();
+
+  std::ostringstream os;
+  obs::write_chrome_trace(os);
+  const std::string text = os.str();
+  JsonValue doc;
+  ASSERT_NO_THROW(doc = JsonParser(text).parse()) << text.substr(0, 400);
+
+  ASSERT_EQ(doc.kind, JsonValue::Kind::kObject);
+  const JsonValue* unit = doc.find("displayTimeUnit");
+  ASSERT_NE(unit, nullptr);
+  EXPECT_EQ(unit->str, "ms");
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->kind, JsonValue::Kind::kArray);
+  ASSERT_GT(events->arr.size(), 0u);
+
+  // Count events per (cat, name, ph); validate required fields as we go.
+  std::map<std::string, size_t> seen;
+  double last_ts = -1;
+  for (const auto& e : events->arr) {
+    ASSERT_EQ(e.kind, JsonValue::Kind::kObject);
+    const JsonValue* ph = e.find("ph");
+    ASSERT_NE(ph, nullptr);
+    const JsonValue* name = e.find("name");
+    ASSERT_NE(name, nullptr);
+    ASSERT_NE(e.find("pid"), nullptr);
+    ASSERT_NE(e.find("tid"), nullptr);
+    if (ph->str == "M") continue;  // metadata events carry no ts
+    const JsonValue* ts = e.find("ts");
+    ASSERT_NE(ts, nullptr);
+    EXPECT_GE(ts->num, 0.0);
+    if (ph->str == "X") {
+      const JsonValue* dur = e.find("dur");
+      ASSERT_NE(dur, nullptr);
+      EXPECT_GE(dur->num, 0.0);
+      EXPECT_GE(ts->num, last_ts);  // sorted by timestamp
+      last_ts = ts->num;
+    }
+    const JsonValue* cat = e.find("cat");
+    const std::string c = cat != nullptr ? cat->str : "";
+    seen[c + "/" + name->str + "/" + ph->str] += 1;
+  }
+
+  // Acceptance schema: X spans for every stage of the paper's pipeline...
+  for (const char* stage : {"QP", "FE", "GS", "BB"}) {
+    EXPECT_GE(seen[std::string("stage/") + stage + "/X"], 1u) << stage;
+  }
+  // ...kernel B/E pairs for both codec kernels...
+  for (const char* kernel : {"szp_compress", "szp_decompress"}) {
+    EXPECT_EQ(seen[std::string("kernel/") + kernel + "/B"], 1u) << kernel;
+    EXPECT_EQ(seen[std::string("kernel/") + kernel + "/E"], 1u) << kernel;
+    EXPECT_GE(seen[std::string("block/") + kernel + "/X"], 1u) << kernel;
+  }
+  // ...memcpy spans and the chained-scan lookback events.
+  EXPECT_GE(seen["memcpy/h2d/X"], 1u);
+  EXPECT_GE(seen["memcpy/d2h/X"], 1u);
+  EXPECT_GE(seen["gs/lookback/X"], 1u);
+  // API entry points recorded on the host lane.
+  EXPECT_EQ(seen["api/compress_on_device/X"], 1u);
+  EXPECT_EQ(seen["api/decompress_on_device/X"], 1u);
+}
+
+TEST_F(ChromeTraceTest, WorkerThreadsAreNamedLanes) {
+  run_pipeline();
+  std::ostringstream os;
+  obs::write_chrome_trace(os);
+  const JsonValue doc = JsonParser(os.str()).parse();
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  size_t worker_lanes = 0;
+  for (const auto& e : events->arr) {
+    const JsonValue* ph = e.find("ph");
+    if (ph == nullptr || ph->str != "M") continue;
+    const JsonValue* name = e.find("name");
+    ASSERT_NE(name, nullptr);
+    EXPECT_EQ(name->str, "thread_name");
+    const JsonValue* args = e.find("args");
+    ASSERT_NE(args, nullptr);
+    const JsonValue* label = args->find("name");
+    ASSERT_NE(label, nullptr);
+    if (label->str.find("gpusim-worker") != std::string::npos) ++worker_lanes;
+  }
+  EXPECT_GE(worker_lanes, 1u);
+}
+
+TEST_F(ChromeTraceTest, EmptyRecordingStillParses) {
+  std::ostringstream os;
+  obs::write_chrome_trace(os);
+  const JsonValue doc = JsonParser(os.str()).parse();
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  // Only this thread's (empty or missing) lane metadata may be present;
+  // no timed events.
+  for (const auto& e : events->arr) {
+    const JsonValue* ph = e.find("ph");
+    ASSERT_NE(ph, nullptr);
+    EXPECT_EQ(ph->str, "M");
+  }
+}
+
+}  // namespace

@@ -1,0 +1,74 @@
+// Benchmark guard for the disabled-path overhead contract: with tracing
+// and metrics off, an instrumentation site is one relaxed atomic load and
+// a branch. The guard times a large batch of disabled sites and fails if
+// the per-site cost is orders of magnitude above that — i.e. if someone
+// accidentally adds a clock read, lock or allocation to the fast path.
+// The bound is deliberately generous (~100x a branch+load) so it never
+// flakes on slow CI machines, while still catching a clock_gettime call
+// (which would blow past it).
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "szp/obs/metrics.hpp"
+#include "szp/obs/tracer.hpp"
+
+namespace {
+
+using namespace szp;
+using Clock = std::chrono::steady_clock;
+
+constexpr int kIters = 2'000'000;
+// 100 ns per disabled site ~= 100x the expected cost on any machine this
+// test runs on; a stray now_ns() alone costs ~20-30 ns per span *plus*
+// ring-buffer work, and enabled spans measure >100 ns (checked below).
+constexpr double kMaxDisabledNsPerSite = 100.0;
+
+double ns_per_iter(Clock::time_point t0, int iters) {
+  const auto dt = Clock::now() - t0;
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count()) /
+         iters;
+}
+
+TEST(ObsOverhead, DisabledSpansAreBranchCheap) {
+  ASSERT_FALSE(obs::tracing_enabled());
+  const auto t0 = Clock::now();
+  for (int i = 0; i < kIters; ++i) {
+    const obs::Span s("bench", "disabled", "i", static_cast<std::uint64_t>(i));
+  }
+  const double ns = ns_per_iter(t0, kIters);
+  RecordProperty("ns_per_span", std::to_string(ns));
+  EXPECT_LT(ns, kMaxDisabledNsPerSite);
+}
+
+TEST(ObsOverhead, DisabledMetricsAreBranchCheap) {
+  ASSERT_FALSE(obs::metrics_enabled());
+  auto& c = obs::Registry::instance().counter("bench.disabled");
+  auto& h = obs::Registry::instance().histogram(
+      "bench.disabled.h", obs::Histogram::pow2_bounds(16));
+  const auto t0 = Clock::now();
+  for (int i = 0; i < kIters; ++i) {
+    c.add();
+    h.observe(static_cast<double>(i));
+  }
+  const double ns = ns_per_iter(t0, kIters);
+  RecordProperty("ns_per_update", std::to_string(ns));
+  EXPECT_LT(ns, kMaxDisabledNsPerSite);
+  EXPECT_EQ(c.value(), 0u);  // nothing recorded while disabled
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(ObsOverhead, DisabledInstantAndCompleteAreBranchCheap) {
+  ASSERT_FALSE(obs::tracing_enabled());
+  const auto t0 = Clock::now();
+  for (int i = 0; i < kIters; ++i) {
+    obs::instant("bench", "disabled");
+    obs::complete("bench", "disabled", 0, 0);
+  }
+  const double ns = ns_per_iter(t0, kIters);
+  RecordProperty("ns_per_pair", std::to_string(ns));
+  EXPECT_LT(ns, 2 * kMaxDisabledNsPerSite);
+}
+
+}  // namespace

@@ -23,6 +23,7 @@
 #include "szp/core/random_access.hpp"
 #include "szp/core/serial.hpp"
 #include "szp/gpusim/buffer.hpp"
+#include "szp/obs/metrics.hpp"
 #include "szp/robust/fault.hpp"
 #include "szp/robust/try_decode.hpp"
 #include "szp/util/rng.hpp"
@@ -244,6 +245,62 @@ TEST(FaultFuzz, PostKernelHookCorruptionIsDetectedDownstream) {
               robust::Status::kOk)
         << "seed " << seed;
   }
+}
+
+// Fuzz runs surface their aggregate salvage behaviour through the
+// metrics registry: every try_decompress call is counted, mutations show
+// up as failed calls with corrupt groups/blocks, and salvage mode counts
+// the streams it recovered.
+TEST(FaultFuzz, SalvageCountersFlowThroughMetricsRegistry) {
+  auto& reg = obs::Registry::instance();
+  reg.reset();
+  reg.set_enabled(true);
+
+  const auto g = make_golden(4096, 8);
+  robust::DecodeOptions opts;
+  opts.salvage = true;
+  const std::uint64_t kSeeds = 50;
+  std::uint64_t expect_failed = 0;
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    robust::FaultInjector inj(seed);
+    auto m = g.stream;
+    (void)inj.mutate(m);
+    std::vector<float> out;
+    const auto rep = robust::try_decompress(m, out, opts);
+    if (!rep.ok()) ++expect_failed;
+  }
+  // One clean decode on top, so both ok and failed are exercised.
+  {
+    std::vector<float> out;
+    EXPECT_EQ(robust::try_decompress(g.stream, out, opts).status,
+              robust::Status::kOk);
+  }
+
+  const auto* calls = reg.find_counter("robust.try_decompress.calls");
+  const auto* ok = reg.find_counter("robust.try_decompress.ok");
+  const auto* failed = reg.find_counter("robust.try_decompress.failed");
+  const auto* groups = reg.find_counter("robust.corrupt_groups");
+  const auto* blocks = reg.find_counter("robust.corrupt_blocks");
+  const auto* salvaged = reg.find_counter("robust.salvaged_streams");
+  ASSERT_NE(calls, nullptr);
+  ASSERT_NE(ok, nullptr);
+  ASSERT_NE(failed, nullptr);
+  ASSERT_NE(groups, nullptr);
+  ASSERT_NE(blocks, nullptr);
+  ASSERT_NE(salvaged, nullptr);
+  EXPECT_EQ(calls->value(), kSeeds + 1);
+  EXPECT_EQ(failed->value(), expect_failed);
+  EXPECT_EQ(ok->value(), kSeeds + 1 - expect_failed);
+  // v2 mutations are always detected, so the fuzz batch must have failed
+  // calls, corrupt groups/blocks, and salvaged streams to report.
+  EXPECT_GT(expect_failed, 0u);
+  EXPECT_GT(groups->value(), 0u);
+  EXPECT_GT(blocks->value(), 0u);
+  EXPECT_GT(salvaged->value(), 0u);
+  EXPECT_LE(salvaged->value(), failed->value());
+
+  reg.set_enabled(false);
+  reg.reset();
 }
 
 }  // namespace

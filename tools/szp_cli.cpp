@@ -7,15 +7,28 @@
 // Compresses and decompresses through the single-kernel device path,
 // prints modeled end-to-end speeds, the compression ratio and an error
 // check, and writes <file>.szp.cmp / <file>.szp.dec.
+//
+// Observability flags (may appear anywhere on the command line):
+//   --trace <out.json>  record spans, write Chrome trace-event JSON
+//   --stats             record metrics, print the summary after the run
+//   --breakdown         print the per-stage device counter table
+//   --version / --help
+#include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <string>
+#include <vector>
 
 #include "szp/core/compressor.hpp"
 #include "szp/data/registry.hpp"
 #include "szp/metrics/error.hpp"
+#include "szp/obs/chrome_trace.hpp"
+#include "szp/obs/metrics.hpp"
+#include "szp/obs/tracer.hpp"
 #include "szp/perfmodel/cost.hpp"
 
 namespace {
@@ -28,30 +41,89 @@ data::Field load_raw(const std::string& path) {
   return data::load_f32(path, data::Dims{{bytes / 4}});
 }
 
-int usage() {
-  std::fprintf(stderr,
-               "usage: szp_cli [--abs] <data.f32> <error_bound>\n"
+void print_usage(std::FILE* to) {
+  std::fprintf(to,
+               "usage: szp_cli [options] <data.f32> <error_bound>\n"
                "       szp_cli --demo <Hurricane|NYX|QMCPack|RTM|HACC|"
-               "CESM-ATM> <rel_bound>\n");
+               "CESM-ATM> <rel_bound>\n"
+               "options:\n"
+               "  --abs             treat <error_bound> as absolute\n"
+               "  --demo            compress a synthetic suite field\n"
+               "  --trace <file>    write a Chrome trace (load in Perfetto)\n"
+               "  --stats           print the metrics summary after the run\n"
+               "  --breakdown       print the per-stage device counter table\n"
+               "  --version         print the version and exit\n"
+               "  --help            print this message and exit\n");
+}
+
+int usage() {
+  print_usage(stderr);
   return 2;
+}
+
+/// Per-stage device-counter table from the perfmodel trace snapshots —
+/// the simulated analogue of the paper's Fig. 21 stage breakdown.
+void print_breakdown(const char* label, const gpusim::TraceSnapshot& t) {
+  std::printf("%s stage breakdown:\n", label);
+  std::printf("  %-6s %14s %14s %14s\n", "stage", "read B", "write B", "ops");
+  for (unsigned s = 0; s < gpusim::kNumStages; ++s) {
+    const auto& c = t.stages[s];
+    if (c.read_bytes == 0 && c.write_bytes == 0 && c.ops == 0) continue;
+    const auto name = gpusim::stage_name(static_cast<gpusim::Stage>(s));
+    std::printf("  %-6.*s %14llu %14llu %14llu\n",
+                static_cast<int>(name.size()), name.data(),
+                static_cast<unsigned long long>(c.read_bytes),
+                static_cast<unsigned long long>(c.write_bytes),
+                static_cast<unsigned long long>(c.ops));
+  }
+  std::printf("  %-6s %14llu %14llu (h2d/d2h B), %llu launches\n", "pcie",
+              static_cast<unsigned long long>(t.h2d_bytes),
+              static_cast<unsigned long long>(t.d2h_bytes),
+              static_cast<unsigned long long>(t.kernel_launches));
 }
 
 }  // namespace
 
 int main(int argc, char** argv) try {
   std::string mode = "rel";
-  int arg = 1;
-  if (argc > 1 && std::strcmp(argv[1], "--abs") == 0) {
-    mode = "abs";
-    ++arg;
-  } else if (argc > 1 && std::strcmp(argv[1], "--demo") == 0) {
-    mode = "demo";
-    ++arg;
+  std::string trace_path;
+  bool stats = false;
+  bool breakdown = false;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--abs") {
+      mode = "abs";
+    } else if (a == "--demo") {
+      mode = "demo";
+    } else if (a == "--trace") {
+      if (++i >= argc) return usage();
+      trace_path = argv[i];
+    } else if (a == "--stats") {
+      stats = true;
+    } else if (a == "--breakdown") {
+      breakdown = true;
+    } else if (a == "--version") {
+      std::printf("szp_cli %s\n", kVersionString);
+      return 0;
+    } else if (a == "--help") {
+      print_usage(stdout);
+      return 0;
+    } else if (a.size() > 1 && a[0] == '-' &&
+               !std::isdigit(static_cast<unsigned char>(a[1]))) {
+      std::fprintf(stderr, "szp_cli: unknown option %s\n", a.c_str());
+      return usage();
+    } else {
+      positional.push_back(a);
+    }
   }
-  if (argc - arg != 2) return usage();
-  const std::string target = argv[arg];
-  const double bound = std::atof(argv[arg + 1]);
+  if (positional.size() != 2) return usage();
+  const std::string target = positional[0];
+  const double bound = std::atof(positional[1].c_str());
   if (bound <= 0) return usage();
+
+  if (!trace_path.empty()) obs::Tracer::instance().set_enabled(true);
+  if (stats) obs::Registry::instance().set_enabled(true);
 
   data::Field field;
   std::string out_base = target;
@@ -96,6 +168,12 @@ int main(int argc, char** argv) try {
               static_cast<double>(field.size_bytes()) /
                   static_cast<double>(comp.bytes));
 
+  if (breakdown) {
+    print_breakdown("compression", comp.trace);
+    print_breakdown("decompression", dec.trace);
+    std::printf("\n");
+  }
+
   const auto recon = gpusim::to_host(dev, d_out);
   const double eb = core::resolve_eb(params, range);
   const double max_abs = std::abs(range) * 1.2e-7 + eb;
@@ -115,6 +193,21 @@ int main(int argc, char** argv) try {
                  data::Field{field.name, field.dims, recon});
   std::printf("wrote %s.szp.cmp (%zu bytes) and %s.szp.dec\n",
               out_base.c_str(), comp.bytes, out_base.c_str());
+
+  if (!trace_path.empty()) {
+    if (!obs::write_chrome_trace_file(trace_path)) {
+      std::fprintf(stderr, "szp_cli: cannot write trace to %s\n",
+                   trace_path.c_str());
+      return 1;
+    }
+    std::printf("wrote trace to %s (%zu events)\n", trace_path.c_str(),
+                obs::Tracer::instance().event_count());
+  }
+  if (stats) {
+    std::printf("\n");
+    std::fflush(stdout);
+    obs::Registry::instance().write_text(std::cout);
+  }
   return 0;
 } catch (const szp::format_error& e) {
   // Malformed or corrupt stream input: report and fail cleanly instead of

@@ -12,10 +12,14 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <string>
 #include <vector>
 
 #include "szp/archive/archive.hpp"
+#include "szp/obs/chrome_trace.hpp"
+#include "szp/obs/metrics.hpp"
+#include "szp/obs/tracer.hpp"
 #include "szp/robust/try_decode.hpp"
 #include "szp/util/common.hpp"
 
@@ -99,7 +103,8 @@ bool is_archive(const std::vector<byte_t>& bytes) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: szp_verify <stream.szp | archive.szpa>\n"
+               "usage: szp_verify [--stats] [--trace <out.json>] "
+               "<stream.szp | archive.szpa>\n"
                "       szp_verify --salvage <out-prefix> "
                "<stream.szp | archive.szpa>\n");
   return 2;
@@ -109,14 +114,32 @@ int usage() {
 
 int main(int argc, char** argv) try {
   std::string salvage_prefix;
-  int arg = 1;
-  if (argc > 1 && std::strcmp(argv[1], "--salvage") == 0) {
-    if (argc < 3) return usage();
-    salvage_prefix = argv[2];
-    arg = 3;
+  std::string trace_path;
+  bool stats = false;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--salvage") {
+      if (++i >= argc) return usage();
+      salvage_prefix = argv[i];
+    } else if (a == "--trace") {
+      if (++i >= argc) return usage();
+      trace_path = argv[i];
+    } else if (a == "--stats") {
+      stats = true;
+    } else if (a == "--version") {
+      std::printf("szp_verify %s\n", kVersionString);
+      return 0;
+    } else if (!a.empty() && a[0] == '-') {
+      return usage();
+    } else {
+      positional.push_back(a);
+    }
   }
-  if (argc - arg != 1) return usage();
-  const std::string path = argv[arg];
+  if (positional.size() != 1) return usage();
+  if (!trace_path.empty()) obs::Tracer::instance().set_enabled(true);
+  if (stats) obs::Registry::instance().set_enabled(true);
+  const std::string path = positional[0];
   const auto bytes = load_file(path);
 
   bool corrupt = false;
@@ -147,6 +170,15 @@ int main(int argc, char** argv) try {
     if (!salvage_prefix.empty()) {
       salvage_stream(bytes, salvage_prefix + ".f32");
     }
+  }
+  if (!trace_path.empty() && !obs::write_chrome_trace_file(trace_path)) {
+    std::fprintf(stderr, "szp_verify: cannot write trace to %s\n",
+                 trace_path.c_str());
+    return 2;
+  }
+  if (stats) {
+    std::fflush(stdout);
+    obs::Registry::instance().write_text(std::cout);
   }
   return corrupt ? 1 : 0;
 } catch (const szp::format_error& e) {
