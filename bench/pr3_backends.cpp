@@ -1,0 +1,177 @@
+// Engine backend bench: serial vs parallel-host vs device codec paths on
+// one field from every suite, emitted as machine-readable JSON
+// (BENCH_pr3.json in SZP_BENCH_OUTDIR) for CI schema checks and regression
+// tracking. Host backends report measured wall throughput; the device
+// backend additionally reports modeled A100 end-to-end throughput.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "szp/data/registry.hpp"
+#include "szp/engine/engine.hpp"
+#include "szp/perfmodel/cost.hpp"
+#include "szp/util/common.hpp"
+#include "szp/util/env.hpp"
+
+namespace {
+
+using namespace szp;
+using Clock = std::chrono::steady_clock;
+
+constexpr int kReps = 3;
+
+struct Measurement {
+  double wall_comp_s = 0;
+  double wall_decomp_s = 0;
+  double ratio = 0;
+  double modeled_comp_gbps = 0;    // device backend only
+  double modeled_decomp_gbps = 0;  // device backend only
+};
+
+double gbps(size_t bytes, double seconds) {
+  return seconds > 0 ? static_cast<double>(bytes) / 1e9 / seconds : 0;
+}
+
+/// Best-of-kReps roundtrip through one engine backend.
+Measurement measure(engine::Engine& eng, const data::Field& field,
+                    const perfmodel::CostModel* model) {
+  Measurement m;
+  m.wall_comp_s = 1e30;
+  m.wall_decomp_s = 1e30;
+  const double range = field.value_range();
+  for (int rep = 0; rep < kReps; ++rep) {
+    auto t0 = Clock::now();
+    auto stream = eng.compress(field.values, range);
+    const double comp_s =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    t0 = Clock::now();
+    const auto recon = eng.decompress(stream.bytes);
+    const double decomp_s =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    m.wall_comp_s = std::min(m.wall_comp_s, comp_s);
+    m.wall_decomp_s = std::min(m.wall_decomp_s, decomp_s);
+    m.ratio = static_cast<double>(field.size_bytes()) /
+              static_cast<double>(stream.bytes.size());
+    if (model != nullptr) {
+      m.modeled_comp_gbps =
+          model->end_to_end_gbps(stream.trace, field.size_bytes());
+    }
+  }
+  if (model != nullptr) {
+    // One traced decompress for the modeled number.
+    auto stream = eng.compress(field.values, range);
+    gpusim::TraceSnapshot dt;
+    (void)eng.backend().decompress(stream.bytes, &dt);
+    m.modeled_decomp_gbps = model->end_to_end_gbps(dt, field.size_bytes());
+  }
+  return m;
+}
+
+void emit_backend(std::ostream& os, const char* name, const Measurement& m,
+                  size_t raw_bytes, unsigned threads, bool modeled,
+                  bool last) {
+  os << "      {\"backend\": \"" << name << "\", "
+     << "\"threads\": " << threads << ", "
+     << "\"wall_comp_s\": " << m.wall_comp_s << ", "
+     << "\"wall_decomp_s\": " << m.wall_decomp_s << ", "
+     << "\"comp_gbps\": " << gbps(raw_bytes, m.wall_comp_s) << ", "
+     << "\"decomp_gbps\": " << gbps(raw_bytes, m.wall_decomp_s) << ", "
+     << "\"ratio\": " << m.ratio << ", "
+     << "\"modeled\": " << (modeled ? "true" : "false");
+  if (modeled) {
+    os << ", \"modeled_comp_gbps\": " << m.modeled_comp_gbps
+       << ", \"modeled_decomp_gbps\": " << m.modeled_decomp_gbps;
+  }
+  os << "}" << (last ? "" : ",") << "\n";
+}
+
+}  // namespace
+
+int main() {
+  const double scale = bench_scale();
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned par_threads = std::max(4u, hw);
+
+  core::Params p;
+  p.mode = core::ErrorMode::kRel;
+  p.error_bound = 1e-3;
+
+  engine::Engine serial({.params = p, .backend = engine::BackendKind::kSerial});
+  engine::Engine parallel({.params = p,
+                           .backend = engine::BackendKind::kParallelHost,
+                           .threads = par_threads});
+  engine::Engine device({.params = p, .backend = engine::BackendKind::kDevice});
+  const perfmodel::CostModel model(perfmodel::a100());
+
+  std::cout << "=== PR3: codec engine backend comparison ===\n"
+            << "scale=" << scale << " hardware_threads=" << hw
+            << " parallel_threads=" << par_threads << "\n\n";
+
+  const std::string outdir = bench_outdir();
+  std::filesystem::create_directories(outdir);
+  const std::string out_path = outdir + "/BENCH_pr3.json";
+  std::ofstream js(out_path);
+  js << "{\n"
+     << "  \"bench\": \"pr3_backends\",\n"
+     << "  \"version\": \"" << kVersionString << "\",\n"
+     << "  \"rel_bound\": " << p.error_bound << ",\n"
+     << "  \"scale\": " << scale << ",\n"
+     << "  \"hardware_threads\": " << hw << ",\n"
+     << "  \"parallel_threads\": " << par_threads << ",\n"
+     << "  \"datasets\": [\n";
+
+  double sum_ser_c = 0, sum_par_c = 0, sum_ser_d = 0, sum_par_d = 0;
+  size_t n_fields = 0;
+
+  const auto& suites = data::all_suites();
+  for (size_t s = 0; s < suites.size(); ++s) {
+    const auto field = data::make_field(suites[s].id, 0, scale);
+    const auto ser = measure(serial, field, nullptr);
+    const auto par = measure(parallel, field, nullptr);
+    const auto dev = measure(device, field, &model);
+    sum_ser_c += ser.wall_comp_s;
+    sum_par_c += par.wall_comp_s;
+    sum_ser_d += ser.wall_decomp_s;
+    sum_par_d += par.wall_decomp_s;
+    ++n_fields;
+
+    std::printf("%-10s %-10s serial %7.3f GB/s | parallel(%u) %7.3f GB/s | "
+                "device %7.2f GB/s modeled | CR %.2f\n",
+                suites[s].name.c_str(), field.name.c_str(),
+                gbps(field.size_bytes(), ser.wall_comp_s), par_threads,
+                gbps(field.size_bytes(), par.wall_comp_s),
+                dev.modeled_comp_gbps, ser.ratio);
+
+    js << "    {\"suite\": \"" << suites[s].name << "\", \"field\": \""
+       << field.name << "\", \"elements\": " << field.count()
+       << ", \"raw_bytes\": " << field.size_bytes() << ", \"backends\": [\n";
+    emit_backend(js, "serial", ser, field.size_bytes(), 1, false, false);
+    emit_backend(js, "parallel", par, field.size_bytes(), par_threads, false,
+                 false);
+    emit_backend(js, "device", dev, field.size_bytes(), 1, true, true);
+    js << "    ]}" << (s + 1 < suites.size() ? "," : "") << "\n";
+  }
+
+  const double speedup_c = sum_par_c > 0 ? sum_ser_c / sum_par_c : 0;
+  const double speedup_d = sum_par_d > 0 ? sum_ser_d / sum_par_d : 0;
+  js << "  ],\n"
+     << "  \"summary\": {\"fields\": " << n_fields
+     << ", \"parallel_threads\": " << par_threads
+     << ", \"serial_comp_wall_s\": " << sum_ser_c
+     << ", \"parallel_comp_wall_s\": " << sum_par_c
+     << ", \"parallel_comp_speedup\": " << speedup_c
+     << ", \"parallel_decomp_speedup\": " << speedup_d << "}\n"
+     << "}\n";
+  js.close();
+
+  std::printf("\nparallel-host speedup over serial at %u threads: "
+              "compress %.2fx, decompress %.2fx\n",
+              par_threads, speedup_c, speedup_d);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

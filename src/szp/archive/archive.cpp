@@ -4,7 +4,6 @@
 #include <fstream>
 
 #include "szp/core/random_access.hpp"
-#include "szp/core/serial.hpp"
 #include "szp/robust/try_decode.hpp"
 #include "szp/util/bytestream.hpp"
 
@@ -15,6 +14,12 @@ constexpr std::uint32_t kMagic = 0x41355A53;  // "SZ5A"
 constexpr std::uint16_t kVersion = 1;
 }  // namespace
 
+Writer::Writer(core::Params params, engine::BackendKind backend,
+               unsigned threads) {
+  engine_ = std::make_shared<engine::Engine>(engine::EngineConfig{
+      .params = params, .backend = backend, .threads = threads});
+}
+
 void Writer::add(const data::Field& field, std::optional<double> value_range) {
   for (const auto& e : entries_) {
     if (e.name == field.name) {
@@ -24,7 +29,7 @@ void Writer::add(const data::Field& field, std::optional<double> value_range) {
   Entry e;
   e.name = field.name;
   e.dims = field.dims;
-  streams_.push_back(core::compress_serial(field.values, params_, value_range));
+  streams_.push_back(engine_->compress(field.values, value_range).bytes);
   e.stream_bytes = streams_.back().size();
   entries_.push_back(std::move(e));
 }
@@ -60,7 +65,9 @@ std::vector<byte_t> Writer::finish() && {
   return std::move(w).take();
 }
 
-Reader::Reader(std::vector<byte_t> blob) : blob_(std::move(blob)) {
+Reader::Reader(std::vector<byte_t> blob)
+    : blob_(std::move(blob)),
+      engine_(std::make_shared<engine::Engine>()) {
   ByteReader r(blob_);
   if (r.get<std::uint32_t>() != kMagic) {
     throw format_error("archive: bad magic");
@@ -104,7 +111,7 @@ data::Field Reader::extract(size_t index) const {
   data::Field f;
   f.name = e.name;
   f.dims = e.dims;
-  f.values = core::decompress_serial(stream_of(index));
+  f.values = engine_->decompress(stream_of(index));
   if (f.values.size() != f.dims.count()) {
     throw format_error("archive: stream size does not match dims");
   }

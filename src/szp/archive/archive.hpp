@@ -12,12 +12,14 @@
 //   [concatenated cuSZp streams]
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "szp/core/format.hpp"
 #include "szp/data/field.hpp"
+#include "szp/engine/engine.hpp"
 #include "szp/robust/status.hpp"
 
 namespace szp::archive {
@@ -35,14 +37,17 @@ struct Entry {
   }
 };
 
-/// Builds an archive by compressing fields one at a time.
+/// Builds an archive by compressing fields one at a time through an
+/// engine (any backend produces the same bytes; pick the parallel-host
+/// backend to pack large campaigns faster).
 class Writer {
  public:
-  explicit Writer(core::Params params = {}) : params_(params) {
-    params_.validate();
-  }
+  explicit Writer(core::Params params = {},
+                  engine::BackendKind backend = engine::BackendKind::kSerial,
+                  unsigned threads = 0);
 
-  /// Compress and append a field. Names must be unique.
+  /// Compress and append a field. Names must be unique. Pass the value
+  /// range when known to avoid a REL-mode rescan of the field.
   void add(const data::Field& field,
            std::optional<double> value_range = std::nullopt);
 
@@ -52,7 +57,7 @@ class Writer {
   [[nodiscard]] std::vector<byte_t> finish() &&;
 
  private:
-  core::Params params_;
+  std::shared_ptr<engine::Engine> engine_;
   std::vector<Entry> entries_;
   std::vector<std::vector<byte_t>> streams_;
 };
@@ -87,6 +92,7 @@ class Reader {
 
   std::vector<byte_t> blob_;
   std::vector<Entry> entries_;
+  std::shared_ptr<engine::Engine> engine_;  // serial decode delegate
 };
 
 /// File helpers.

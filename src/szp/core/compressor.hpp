@@ -10,6 +10,7 @@
 // instrumentation needed for modeled throughput.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -20,6 +21,10 @@
 #include "szp/robust/status.hpp"
 
 namespace szp {
+
+namespace engine {
+class Engine;
+}
 
 class Compressor {
  public:
@@ -61,6 +66,9 @@ class Compressor {
 
  private:
   core::Params params_;
+  // Host-path delegate (serial backend). Defined in the szp_engine
+  // library, which also provides this class's member definitions.
+  std::shared_ptr<engine::Engine> engine_;
 };
 
 }  // namespace szp

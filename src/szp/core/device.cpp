@@ -126,14 +126,8 @@ DeviceCodecResult compress_device_impl(gs::Device& dev,
   }
   const auto before = dev.snapshot();
 
-  Header h;
-  h.version =
-      params.checksum_group_blocks > 0 ? Header::kVersion : Header::kVersionV1;
-  h.num_elements = n;
-  h.eb_abs = eb_abs;
-  h.block_len = static_cast<std::uint16_t>(L);
-  h.flags = Header::make_flags(params);
-  if constexpr (std::is_same_v<T, double>) h.flags |= 8u;
+  const Header h =
+      Header::make(params, n, eb_abs, std::is_same_v<T, double>);
 
   const size_t base = payload_offset(nblocks);
   const size_t warps = std::max<size_t>(1, div_ceil(nblocks, kBlocksPerWarp));

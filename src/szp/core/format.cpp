@@ -42,6 +42,19 @@ std::uint8_t Header::make_flags(const Params& p) {
   return f;
 }
 
+Header Header::make(const Params& p, size_t num_elements, double eb_abs,
+                    bool f64) {
+  Header h;
+  h.version = p.checksum_group_blocks > 0 ? kVersion : kVersionV1;
+  h.num_elements = num_elements;
+  h.eb_abs = eb_abs;
+  h.block_len = static_cast<std::uint16_t>(p.block_len);
+  h.flags = make_flags(p);
+  if (f64) h.flags |= 8u;
+  h.checksum_group_blocks = static_cast<std::uint16_t>(p.checksum_group_blocks);
+  return h;
+}
+
 void Header::serialize(std::span<byte_t> out) const {
   if (out.size() < kSize) throw format_error("Header: buffer too small");
   ByteWriter w;

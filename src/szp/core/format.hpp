@@ -88,6 +88,14 @@ struct Header {
 
   static std::uint8_t make_flags(const Params& p);
 
+  /// The one place a stream header is built from codec parameters: picks
+  /// the format version from the checksum configuration, encodes the
+  /// feature flags and records the resolved absolute bound. Every backend
+  /// (serial, parallel-host, device) goes through this factory so the
+  /// stream prefix is identical by construction.
+  [[nodiscard]] static Header make(const Params& p, size_t num_elements,
+                                   double eb_abs, bool f64);
+
   void serialize(std::span<byte_t> out) const;  // out.size() >= kSize
   [[nodiscard]] static Header deserialize(std::span<const byte_t> in);
 };

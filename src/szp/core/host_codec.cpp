@@ -1,0 +1,263 @@
+#include "szp/core/host_codec.hpp"
+
+#include <cstring>
+
+#include "szp/core/stages.hpp"
+
+namespace szp::core {
+
+namespace {
+
+/// Contiguous block range [begin, end) owned by one executor task.
+struct BlockRange {
+  size_t begin = 0, end = 0;
+};
+
+BlockRange chunk_range(size_t nblocks, size_t nchunks, size_t c) {
+  const size_t per = div_ceil(nblocks, nchunks);
+  BlockRange r;
+  r.begin = std::min(nblocks, c * per);
+  r.end = std::min(nblocks, r.begin + per);
+  return r;
+}
+
+/// Chunks worth creating for `nblocks` of work on `exec`: one per executor
+/// slot, never more than the block count (empty chunks are legal but
+/// pointless).
+size_t chunk_count(size_t nblocks, const Executor& exec) {
+  return std::max<size_t>(1,
+                          std::min<size_t>(exec.width(),
+                                           std::max<size_t>(1, nblocks)));
+}
+
+template <typename T>
+std::vector<byte_t> compress_impl(std::span<const T> data,
+                                  const Params& params, double eb_abs,
+                                  Executor& exec, HostScratch& scratch) {
+  params.validate();
+  const unsigned L = params.block_len;
+  const size_t n = data.size();
+  const size_t nblocks = num_blocks(n, L);
+  const Header h = Header::make(params, n, eb_abs, std::is_same_v<T, double>);
+
+  const size_t nchunks = chunk_count(nblocks, exec);
+  if (scratch.chunks.size() < nchunks) scratch.chunks.resize(nchunks);
+  scratch.chunk_bytes.assign(nchunks, 0);
+  scratch.chunk_offset.assign(nchunks, 0);
+
+  const size_t groups =
+      num_checksum_groups(nblocks, params.checksum_group_blocks);
+  const size_t footer_bytes =
+      h.checksummed() ? ChecksumFooter::bytes_for(groups) : 0;
+
+  // The length byte area is written in place during pass 1 (disjoint per
+  // chunk); payload bytes go to per-chunk arenas first because their final
+  // offsets are only known after the prefix sum.
+  std::vector<byte_t> out(payload_offset(nblocks), byte_t{0});
+
+  // Pass 1 (parallel): per-block quantize/predict/encode; lengths to the
+  // stream, payloads to the chunk arena.
+  exec.run(nchunks, [&](size_t c) {
+    const BlockRange r = chunk_range(nblocks, nchunks, c);
+    HostScratch::Chunk& ch = scratch.chunks[c];
+    ch.payload.clear();
+    for (size_t b = r.begin; b < r.end; ++b) {
+      size_t lane_elems = 0;
+      const std::uint8_t lb =
+          encode_block<T>(data, n, b, L, eb_abs, params, ch.block, lane_elems);
+      out[lengths_offset() + b] = lb;
+      const size_t cl = encoded_block_bytes(lb, L, params);
+      if (cl == 0) continue;
+      const size_t at = ch.payload.size();
+      ch.payload.resize(at + cl, byte_t{0});
+      write_block_payload(ch.block, lb, L, params.bit_shuffle,
+                          std::span(ch.payload).subspan(at, cl));
+    }
+    scratch.chunk_bytes[c] = ch.payload.size();
+  });
+
+  // Global synchronization: exclusive prefix sum over the chunk totals
+  // (block offsets within a chunk are implied by arena order).
+  std::uint64_t total_payload = 0;
+  for (size_t c = 0; c < nchunks; ++c) {
+    scratch.chunk_offset[c] = total_payload;
+    total_payload += scratch.chunk_bytes[c];
+  }
+
+  const size_t base = payload_offset(nblocks);
+  out.resize(base + total_payload + footer_bytes, byte_t{0});
+  h.serialize(std::span(out).first(Header::kSize));
+
+  // Pass 2 (parallel): scatter each chunk's arena to its synchronized
+  // offset — consecutive blocks are consecutive in the stream, so one
+  // memcpy per chunk.
+  exec.run(nchunks, [&](size_t c) {
+    const auto& payload = scratch.chunks[c].payload;
+    if (payload.empty()) return;
+    std::memcpy(out.data() + base + scratch.chunk_offset[c], payload.data(),
+                payload.size());
+  });
+
+  if (h.checksummed()) {
+    ChecksumFooter footer;
+    footer.group_blocks = params.checksum_group_blocks;
+    const auto spans =
+        checksum_group_spans(out, h, params.checksum_group_blocks);
+    footer.offsets.resize(spans.size());
+    footer.crcs.resize(spans.size());
+    const size_t gchunks = chunk_count(spans.size(), exec);
+    exec.run(gchunks, [&](size_t c) {
+      const BlockRange r = chunk_range(spans.size(), gchunks, c);
+      for (size_t g = r.begin; g < r.end; ++g) {
+        footer.offsets[g] = spans[g].payload_begin - base;
+        footer.crcs[g] = checksum_group_crc(out, spans[g]);
+      }
+    });
+    footer.serialize(std::span(out).subspan(base + total_payload,
+                                            footer_bytes));
+  }
+  return out;
+}
+
+template <typename T>
+std::vector<T> decompress_impl(std::span<const byte_t> stream, Executor& exec,
+                               HostScratch& scratch) {
+  const Header h = Header::deserialize(stream);
+  if (h.is_f64() != std::is_same_v<T, double>) {
+    throw format_error("decompress: stream data type mismatch (f32 vs f64)");
+  }
+  const unsigned L = h.block_len;
+  const size_t n = h.num_elements;
+  const size_t nblocks = num_blocks(n, L);
+  if (stream.size() < payload_offset(nblocks)) {
+    throw format_error("decompress: truncated length area");
+  }
+
+  // Rebuild offsets with the same prefix sum the compressor used.
+  scratch.offsets.resize(nblocks);
+  std::uint64_t total = 0;
+  for (size_t b = 0; b < nblocks; ++b) {
+    const std::uint8_t lb = stream[lengths_offset() + b];
+    if (!valid_length_byte(lb)) {
+      throw format_error("decompress: invalid length byte");
+    }
+    scratch.offsets[b] = total;
+    total += block_payload_bytes(lb, L, h.zero_block_bypass());
+  }
+  const size_t base = payload_offset(nblocks);
+  if (stream.size() < base + total) {
+    throw format_error("decompress: truncated payload");
+  }
+  // v2 streams are integrity-checked before any payload is interpreted;
+  // a flipped bit fails here instead of dequantizing into garbage.
+  verify_checksums(stream, h);
+
+  std::vector<T> out(n, T{0});
+  const size_t nchunks = chunk_count(nblocks, exec);
+  if (scratch.chunks.size() < nchunks) scratch.chunks.resize(nchunks);
+
+  // Parallel per-block decode into disjoint output ranges.
+  exec.run(nchunks, [&](size_t c) {
+    const BlockRange r = chunk_range(nblocks, nchunks, c);
+    HostScratch::Chunk& ch = scratch.chunks[c];
+    auto& block_out = [&]() -> std::vector<T>& {
+      if constexpr (std::is_same_v<T, double>) return ch.out_f64;
+      else return ch.out_f32;
+    }();
+    block_out.resize(L);
+    for (size_t b = r.begin; b < r.end; ++b) {
+      const size_t begin = b * L;
+      const size_t len = std::min<size_t>(L, n - begin);
+      const std::uint8_t lb = stream[lengths_offset() + b];
+      const size_t cl = block_payload_bytes(lb, L, h.zero_block_bypass());
+      if (cl == 0) continue;  // zero block: out is pre-zeroed
+      read_block_payload(stream.subspan(base + scratch.offsets[b], cl), lb, L,
+                         h.bit_shuffle(), ch.block);
+      if (h.lorenzo()) {
+        if (h.lorenzo2()) {
+          lorenzo2_inverse(ch.block.quant);
+        } else {
+          lorenzo_inverse(ch.block.quant);
+        }
+      }
+      dequantize(ch.block.quant, h.eb_abs, std::span<T>(block_out));
+      std::copy(block_out.begin(), block_out.begin() + len,
+                out.begin() + begin);
+    }
+  });
+  return out;
+}
+
+}  // namespace
+
+Executor& serial_executor() {
+  static Executor exec;
+  return exec;
+}
+
+double value_range_of(std::span<const float> data) {
+  if (data.empty()) return 0;
+  const auto [mn, mx] = std::minmax_element(data.begin(), data.end());
+  return static_cast<double>(*mx) - static_cast<double>(*mn);
+}
+
+double value_range_of(std::span<const double> data) {
+  if (data.empty()) return 0;
+  const auto [mn, mx] = std::minmax_element(data.begin(), data.end());
+  return *mx - *mn;
+}
+
+std::vector<byte_t> compress_host(std::span<const float> data,
+                                  const Params& params, double eb_abs,
+                                  Executor& exec, HostScratch& scratch) {
+  return compress_impl(data, params, eb_abs, exec, scratch);
+}
+
+std::vector<byte_t> compress_host(std::span<const double> data,
+                                  const Params& params, double eb_abs,
+                                  Executor& exec, HostScratch& scratch) {
+  return compress_impl(data, params, eb_abs, exec, scratch);
+}
+
+std::vector<float> decompress_host(std::span<const byte_t> stream,
+                                   Executor& exec, HostScratch& scratch) {
+  return decompress_impl<float>(stream, exec, scratch);
+}
+
+std::vector<double> decompress_host_f64(std::span<const byte_t> stream,
+                                        Executor& exec, HostScratch& scratch) {
+  return decompress_impl<double>(stream, exec, scratch);
+}
+
+size_t compressed_bytes_probe(std::span<const float> data,
+                              const Params& params, double eb_abs,
+                              Executor& exec, HostScratch& scratch) {
+  params.validate();
+  const unsigned L = params.block_len;
+  const size_t nblocks = num_blocks(data.size(), L);
+  const size_t nchunks = chunk_count(nblocks, exec);
+  if (scratch.chunks.size() < nchunks) scratch.chunks.resize(nchunks);
+  scratch.chunk_bytes.assign(nchunks, 0);
+  exec.run(nchunks, [&](size_t c) {
+    const BlockRange r = chunk_range(nblocks, nchunks, c);
+    HostScratch::Chunk& ch = scratch.chunks[c];
+    std::uint64_t bytes = 0;
+    for (size_t b = r.begin; b < r.end; ++b) {
+      size_t elems = 0;
+      const std::uint8_t lb = encode_block<float>(data, data.size(), b, L,
+                                                  eb_abs, params, ch.block,
+                                                  elems);
+      bytes += encoded_block_bytes(lb, L, params);
+    }
+    scratch.chunk_bytes[c] = bytes;
+  });
+  size_t total = payload_offset(nblocks);
+  for (size_t c = 0; c < nchunks; ++c) total += scratch.chunk_bytes[c];
+  if (params.checksum_group_blocks > 0) {
+    total += ChecksumFooter::bytes_for(
+        num_checksum_groups(nblocks, params.checksum_group_blocks));
+  }
+  return total;
+}
+
+}  // namespace szp::core

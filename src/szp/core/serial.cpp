@@ -1,156 +1,24 @@
 #include "szp/core/serial.hpp"
 
-#include <algorithm>
-
-#include "szp/core/block_codec.hpp"
-#include "szp/core/stages.hpp"
+#include "szp/core/host_codec.hpp"
 
 namespace szp::core {
 
 namespace {
 
-template <typename T>
-double range_of(std::span<const T> data) {
-  if (data.empty()) return 0;
-  const auto [mn, mx] = std::minmax_element(data.begin(), data.end());
-  return static_cast<double>(*mx) - static_cast<double>(*mn);
+/// Scratch reused by every serial call on this thread — steady-state
+/// compression through the legacy entry points does no per-call buffer
+/// allocation (the engine pools scratch explicitly instead).
+HostScratch& local_scratch() {
+  static thread_local HostScratch scratch;
+  return scratch;
 }
 
 template <typename T>
-std::vector<byte_t> compress_impl(std::span<const T> data,
-                                  const Params& params,
-                                  std::optional<double> value_range) {
-  params.validate();
-  const double eb =
-      resolve_eb(params, value_range ? *value_range : range_of(data));
-  const unsigned L = params.block_len;
-  const size_t n = data.size();
-  const size_t nblocks = num_blocks(n, L);
-
-  Header h;
-  h.version =
-      params.checksum_group_blocks > 0 ? Header::kVersion : Header::kVersionV1;
-  h.num_elements = n;
-  h.eb_abs = eb;
-  h.block_len = static_cast<std::uint16_t>(L);
-  h.flags = Header::make_flags(params);
-  if constexpr (std::is_same_v<T, double>) h.flags |= 8u;
-  h.checksum_group_blocks =
-      static_cast<std::uint16_t>(params.checksum_group_blocks);
-
-  // Pass 1: per-block quantize/predict/encode metadata; collect payloads
-  // (the shared block codec is also what the device kernels run).
-  std::vector<byte_t> lengths(nblocks, 0);
-  std::vector<size_t> cmp_len(nblocks, 0);
-  std::vector<std::vector<byte_t>> block_payload(nblocks);
-  BlockScratch scratch;
-
-  for (size_t b = 0; b < nblocks; ++b) {
-    size_t lane_elems = 0;
-    const std::uint8_t lb =
-        encode_block<T>(data, n, b, L, eb, params, scratch, lane_elems);
-    lengths[b] = lb;
-    cmp_len[b] = encoded_block_bytes(lb, L, params);
-    if (cmp_len[b] == 0) continue;
-    auto& payload = block_payload[b];
-    payload.resize(cmp_len[b], byte_t{0});
-    write_block_payload(scratch, lb, L, params.bit_shuffle, payload);
-  }
-
-  // Global synchronization: exclusive prefix sum of the block lengths.
-  size_t total_payload = 0;
-  std::vector<size_t> offset(nblocks, 0);
-  for (size_t b = 0; b < nblocks; ++b) {
-    offset[b] = total_payload;
-    total_payload += cmp_len[b];
-  }
-
-  const size_t groups =
-      num_checksum_groups(nblocks, params.checksum_group_blocks);
-  const size_t footer_bytes =
-      h.checksummed() ? ChecksumFooter::bytes_for(groups) : 0;
-  std::vector<byte_t> out(
-      payload_offset(nblocks) + total_payload + footer_bytes, byte_t{0});
-  h.serialize(std::span(out).first(Header::kSize));
-  std::copy(lengths.begin(), lengths.end(), out.begin() + lengths_offset());
-  const size_t base = payload_offset(nblocks);
-  for (size_t b = 0; b < nblocks; ++b) {
-    std::copy(block_payload[b].begin(), block_payload[b].end(),
-              out.begin() + base + offset[b]);
-  }
-  if (h.checksummed()) {
-    ChecksumFooter footer;
-    footer.group_blocks = params.checksum_group_blocks;
-    const auto spans =
-        checksum_group_spans(out, h, params.checksum_group_blocks);
-    for (const GroupSpan& g : spans) {
-      footer.offsets.push_back(g.payload_begin - base);
-      footer.crcs.push_back(checksum_group_crc(out, g));
-    }
-    footer.serialize(
-        std::span(out).subspan(base + total_payload, footer_bytes));
-  }
-  return out;
-}
-
-template <typename T>
-std::vector<T> decompress_impl(std::span<const byte_t> stream) {
-  const Header h = Header::deserialize(stream);
-  if (h.is_f64() != std::is_same_v<T, double>) {
-    throw format_error("decompress: stream data type mismatch (f32 vs f64)");
-  }
-  const unsigned L = h.block_len;
-  const size_t n = h.num_elements;
-  const size_t nblocks = num_blocks(n, L);
-  if (stream.size() < payload_offset(nblocks)) {
-    throw format_error("decompress: truncated length area");
-  }
-
-  // Rebuild offsets with the same prefix sum the compressor used.
-  std::vector<size_t> offset(nblocks, 0);
-  size_t total = 0;
-  for (size_t b = 0; b < nblocks; ++b) {
-    const std::uint8_t lb = stream[lengths_offset() + b];
-    if (!valid_length_byte(lb)) {
-      throw format_error("decompress: invalid length byte");
-    }
-    offset[b] = total;
-    total += block_payload_bytes(lb, L, h.zero_block_bypass());
-  }
-  const size_t base = payload_offset(nblocks);
-  if (stream.size() < base + total) {
-    throw format_error("decompress: truncated payload");
-  }
-  // v2 streams are integrity-checked before any payload is interpreted;
-  // a flipped bit fails here instead of dequantizing into garbage.
-  verify_checksums(stream, h);
-
-  std::vector<T> out(n, T{0});
-  BlockScratch scratch;
-  std::vector<T> block_out(L);
-
-  for (size_t b = 0; b < nblocks; ++b) {
-    const size_t begin = b * L;
-    const size_t len = std::min<size_t>(L, n - begin);
-    const std::uint8_t lb = stream[lengths_offset() + b];
-    const size_t cl = block_payload_bytes(lb, L, h.zero_block_bypass());
-    if (cl == 0) {
-      // Zero block: reconstruction is exactly zero (out is pre-zeroed).
-      continue;
-    }
-    read_block_payload(stream.subspan(base + offset[b], cl), lb, L,
-                       h.bit_shuffle(), scratch);
-    if (h.lorenzo()) {
-      if (h.lorenzo2()) {
-        lorenzo2_inverse(scratch.quant);
-      } else {
-        lorenzo_inverse(scratch.quant);
-      }
-    }
-    dequantize(scratch.quant, h.eb_abs, std::span<T>(block_out));
-    std::copy(block_out.begin(), block_out.begin() + len, out.begin() + begin);
-  }
-  return out;
+double resolve_range(std::span<const T> data, const Params& params,
+                     std::optional<double> value_range) {
+  if (params.mode == ErrorMode::kAbs) return 0;
+  return value_range ? *value_range : value_range_of(data);
 }
 
 }  // namespace
@@ -158,45 +26,34 @@ std::vector<T> decompress_impl(std::span<const byte_t> stream) {
 size_t exact_compressed_bytes(std::span<const float> data,
                               const Params& params,
                               std::optional<double> value_range) {
-  params.validate();
   const double eb =
-      resolve_eb(params, value_range ? *value_range : range_of(data));
-  const unsigned L = params.block_len;
-  const size_t nblocks = num_blocks(data.size(), L);
-  BlockScratch scratch;
-  size_t total = payload_offset(nblocks);
-  for (size_t b = 0; b < nblocks; ++b) {
-    size_t elems = 0;
-    const std::uint8_t lb =
-        encode_block<float>(data, data.size(), b, L, eb, params, scratch,
-                            elems);
-    total += encoded_block_bytes(lb, L, params);
-  }
-  if (params.checksum_group_blocks > 0) {
-    total += ChecksumFooter::bytes_for(
-        num_checksum_groups(nblocks, params.checksum_group_blocks));
-  }
-  return total;
+      resolve_eb(params, resolve_range(data, params, value_range));
+  return compressed_bytes_probe(data, params, eb, serial_executor(),
+                                local_scratch());
 }
 
 std::vector<byte_t> compress_serial(std::span<const float> data,
                                     const Params& params,
                                     std::optional<double> value_range) {
-  return compress_impl(data, params, value_range);
+  const double eb =
+      resolve_eb(params, resolve_range(data, params, value_range));
+  return compress_host(data, params, eb, serial_executor(), local_scratch());
 }
 
 std::vector<float> decompress_serial(std::span<const byte_t> stream) {
-  return decompress_impl<float>(stream);
+  return decompress_host(stream, serial_executor(), local_scratch());
 }
 
 std::vector<byte_t> compress_serial_f64(std::span<const double> data,
                                         const Params& params,
                                         std::optional<double> value_range) {
-  return compress_impl(data, params, value_range);
+  const double eb =
+      resolve_eb(params, resolve_range(data, params, value_range));
+  return compress_host(data, params, eb, serial_executor(), local_scratch());
 }
 
 std::vector<double> decompress_serial_f64(std::span<const byte_t> stream) {
-  return decompress_impl<double>(stream);
+  return decompress_host_f64(stream, serial_executor(), local_scratch());
 }
 
 }  // namespace szp::core

@@ -1,0 +1,204 @@
+// Codec execution backends. A Backend turns (host data, params, resolved
+// absolute error bound) into a cuSZp stream and back; every backend
+// produces byte-identical streams because the stream layout is a pure
+// function of the inputs. Three implementations:
+//
+//   SerialBackend       reference path, one thread, pooled scratch
+//   ParallelHostBackend same host codec fanned out over a thread pool
+//                       (two-pass scheme mirroring the kernel: parallel
+//                       per-block QP+FE, prefix sum, parallel BB scatter)
+//   DeviceBackend       the paper's single-kernel path on gpusim, with
+//                       pooled device buffers
+//
+// Orchestration policy (REL resolution, obs spans, metrics, batching)
+// lives above this interface, in engine::Engine.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "szp/core/device.hpp"
+#include "szp/core/host_codec.hpp"
+#include "szp/engine/scratch_pool.hpp"
+#include "szp/engine/thread_pool.hpp"
+#include "szp/gpusim/device.hpp"
+#include "szp/gpusim/pool.hpp"
+
+namespace szp::engine {
+
+enum class BackendKind : std::uint8_t {
+  kSerial,
+  kParallelHost,
+  kDevice,
+};
+
+[[nodiscard]] std::string_view backend_name(BackendKind kind);
+
+/// Parse "serial" / "parallel" / "device" (throws format_error otherwise).
+[[nodiscard]] BackendKind backend_from_name(std::string_view name);
+
+/// A compressed stream plus the device trace that produced it (zeroed for
+/// host backends, where no simulated device is involved).
+struct CompressedStream {
+  std::vector<byte_t> bytes;
+  gpusim::TraceSnapshot trace;
+};
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  [[nodiscard]] virtual BackendKind kind() const = 0;
+
+  [[nodiscard]] virtual CompressedStream compress(std::span<const float> data,
+                                                  const core::Params& params,
+                                                  double eb_abs) = 0;
+  [[nodiscard]] virtual CompressedStream compress_f64(
+      std::span<const double> data, const core::Params& params,
+      double eb_abs) = 0;
+
+  [[nodiscard]] virtual std::vector<float> decompress(
+      std::span<const byte_t> stream,
+      gpusim::TraceSnapshot* trace = nullptr) = 0;
+  [[nodiscard]] virtual std::vector<double> decompress_f64(
+      std::span<const byte_t> stream,
+      gpusim::TraceSnapshot* trace = nullptr) = 0;
+};
+
+/// One-thread reference path: core host codec + serial executor.
+class SerialBackend final : public Backend {
+ public:
+  [[nodiscard]] BackendKind kind() const override {
+    return BackendKind::kSerial;
+  }
+  [[nodiscard]] CompressedStream compress(std::span<const float> data,
+                                          const core::Params& params,
+                                          double eb_abs) override;
+  [[nodiscard]] CompressedStream compress_f64(std::span<const double> data,
+                                              const core::Params& params,
+                                              double eb_abs) override;
+  [[nodiscard]] std::vector<float> decompress(
+      std::span<const byte_t> stream,
+      gpusim::TraceSnapshot* trace) override;
+  [[nodiscard]] std::vector<double> decompress_f64(
+      std::span<const byte_t> stream,
+      gpusim::TraceSnapshot* trace) override;
+
+  [[nodiscard]] ScratchPool& scratch_pool() { return scratch_; }
+
+ private:
+  ScratchPool scratch_;
+};
+
+/// Host codec over a persistent thread pool. Byte-identical to the serial
+/// backend for every input.
+class ParallelHostBackend final : public Backend {
+ public:
+  /// `threads` = execution slots including the caller; 0 = auto.
+  explicit ParallelHostBackend(unsigned threads = 0);
+
+  [[nodiscard]] BackendKind kind() const override {
+    return BackendKind::kParallelHost;
+  }
+  [[nodiscard]] unsigned threads() const { return pool_.width(); }
+
+  [[nodiscard]] CompressedStream compress(std::span<const float> data,
+                                          const core::Params& params,
+                                          double eb_abs) override;
+  [[nodiscard]] CompressedStream compress_f64(std::span<const double> data,
+                                              const core::Params& params,
+                                              double eb_abs) override;
+  [[nodiscard]] std::vector<float> decompress(
+      std::span<const byte_t> stream,
+      gpusim::TraceSnapshot* trace) override;
+  [[nodiscard]] std::vector<double> decompress_f64(
+      std::span<const byte_t> stream,
+      gpusim::TraceSnapshot* trace) override;
+
+  [[nodiscard]] ScratchPool& scratch_pool() { return scratch_; }
+
+ private:
+  ThreadPool pool_;
+  ScratchPool scratch_;
+};
+
+/// The paper's single-kernel pipeline on an owned gpusim::Device, staged
+/// through pooled device buffers. Host-facing compress/decompress include
+/// the H2D/D2H transfers; device-resident entry points are on Engine.
+/// Calls are serialized internally (gpusim snapshots require exclusive
+/// launch windows).
+class DeviceBackend final : public Backend {
+ public:
+  DeviceBackend();
+
+  [[nodiscard]] BackendKind kind() const override {
+    return BackendKind::kDevice;
+  }
+  [[nodiscard]] gpusim::Device& device() { return dev_; }
+
+  [[nodiscard]] CompressedStream compress(std::span<const float> data,
+                                          const core::Params& params,
+                                          double eb_abs) override;
+  [[nodiscard]] CompressedStream compress_f64(std::span<const double> data,
+                                              const core::Params& params,
+                                              double eb_abs) override;
+  [[nodiscard]] std::vector<float> decompress(
+      std::span<const byte_t> stream,
+      gpusim::TraceSnapshot* trace) override;
+  [[nodiscard]] std::vector<double> decompress_f64(
+      std::span<const byte_t> stream,
+      gpusim::TraceSnapshot* trace) override;
+
+  [[nodiscard]] gpusim::BufferPool<float>& f32_pool() { return f32_; }
+  [[nodiscard]] gpusim::BufferPool<double>& f64_pool() { return f64_; }
+  [[nodiscard]] gpusim::BufferPool<byte_t>& byte_pool() { return bytes_; }
+  [[nodiscard]] std::mutex& op_mutex() { return op_mutex_; }
+
+ private:
+  template <typename T>
+  CompressedStream compress_impl(std::span<const T> data,
+                                 const core::Params& params, double eb_abs);
+  template <typename T>
+  std::vector<T> decompress_impl(std::span<const byte_t> stream,
+                                 gpusim::TraceSnapshot* trace);
+
+  gpusim::Device dev_;
+  gpusim::BufferPool<float> f32_;
+  gpusim::BufferPool<double> f64_;
+  gpusim::BufferPool<byte_t> bytes_;
+  std::mutex op_mutex_;
+};
+
+[[nodiscard]] std::unique_ptr<Backend> make_backend(BackendKind kind,
+                                                    unsigned threads = 0);
+
+/// Device codec entry points with the engine's obs-span and metrics
+/// wiring. Everything that runs the single-kernel pipeline — Engine,
+/// szp::Compressor, the harness — funnels through these two, so the
+/// "api/compress_on_device" span is emitted in exactly one place.
+core::DeviceCodecResult device_compress(gpusim::Device& dev,
+                                        const gpusim::DeviceBuffer<float>& in,
+                                        size_t n, const core::Params& params,
+                                        double eb_abs,
+                                        gpusim::DeviceBuffer<byte_t>& out);
+core::DeviceCodecResult device_decompress(
+    gpusim::Device& dev, const gpusim::DeviceBuffer<byte_t>& cmp,
+    gpusim::DeviceBuffer<float>& out);
+core::DeviceCodecResult device_compress_f64(
+    gpusim::Device& dev, const gpusim::DeviceBuffer<double>& in, size_t n,
+    const core::Params& params, double eb_abs,
+    gpusim::DeviceBuffer<byte_t>& out);
+core::DeviceCodecResult device_decompress_f64(
+    gpusim::Device& dev, const gpusim::DeviceBuffer<byte_t>& cmp,
+    gpusim::DeviceBuffer<double>& out);
+
+namespace detail {
+/// Per-call accounting at the engine boundary (CLI `--stats` totals).
+void record_compress_call(std::uint64_t in_bytes, std::uint64_t out_bytes);
+void record_decompress_call(std::uint64_t out_bytes);
+}  // namespace detail
+
+}  // namespace szp::engine

@@ -1,0 +1,262 @@
+#include "szp/engine/backend.hpp"
+
+#include <string>
+
+#include "szp/obs/metrics.hpp"
+#include "szp/obs/tracer.hpp"
+
+namespace szp::engine {
+
+std::string_view backend_name(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kSerial: return "serial";
+    case BackendKind::kParallelHost: return "parallel";
+    case BackendKind::kDevice: return "device";
+  }
+  return "unknown";
+}
+
+BackendKind backend_from_name(std::string_view name) {
+  if (name == "serial") return BackendKind::kSerial;
+  if (name == "parallel" || name == "parallel-host") {
+    return BackendKind::kParallelHost;
+  }
+  if (name == "device") return BackendKind::kDevice;
+  throw format_error("unknown backend '" + std::string(name) +
+                     "' (expected serial|parallel|device)");
+}
+
+std::unique_ptr<Backend> make_backend(BackendKind kind, unsigned threads) {
+  switch (kind) {
+    case BackendKind::kSerial: return std::make_unique<SerialBackend>();
+    case BackendKind::kParallelHost:
+      return std::make_unique<ParallelHostBackend>(threads);
+    case BackendKind::kDevice: return std::make_unique<DeviceBackend>();
+  }
+  throw format_error("make_backend: invalid backend kind");
+}
+
+namespace detail {
+
+void record_compress_call(std::uint64_t in_bytes, std::uint64_t out_bytes) {
+  if (!obs::metrics_enabled()) return;
+  auto& reg = obs::Registry::instance();
+  static auto& calls = reg.counter("szp.compress.calls");
+  static auto& in = reg.counter("szp.compress.in_bytes");
+  static auto& out = reg.counter("szp.compress.out_bytes");
+  static auto& ratio = reg.gauge("szp.compress.last_ratio");
+  calls.add();
+  in.add(in_bytes);
+  out.add(out_bytes);
+  if (out_bytes > 0) {
+    ratio.set(static_cast<double>(in_bytes) / static_cast<double>(out_bytes));
+  }
+}
+
+void record_decompress_call(std::uint64_t out_bytes) {
+  if (!obs::metrics_enabled()) return;
+  auto& reg = obs::Registry::instance();
+  static auto& calls = reg.counter("szp.decompress.calls");
+  static auto& out = reg.counter("szp.decompress.out_bytes");
+  calls.add();
+  out.add(out_bytes);
+}
+
+}  // namespace detail
+
+// ------------------------------------------------------ host backends ----
+
+namespace {
+
+template <typename T>
+CompressedStream host_compress(std::span<const T> data,
+                               const core::Params& params, double eb_abs,
+                               core::Executor& exec, ScratchPool& pool) {
+  auto lease = pool.acquire(data.size(), params.block_len);
+  CompressedStream out;
+  out.bytes = core::compress_host(data, params, eb_abs, exec, lease.scratch());
+  return out;
+}
+
+}  // namespace
+
+CompressedStream SerialBackend::compress(std::span<const float> data,
+                                         const core::Params& params,
+                                         double eb_abs) {
+  return host_compress(data, params, eb_abs, core::serial_executor(),
+                       scratch_);
+}
+
+CompressedStream SerialBackend::compress_f64(std::span<const double> data,
+                                             const core::Params& params,
+                                             double eb_abs) {
+  return host_compress(data, params, eb_abs, core::serial_executor(),
+                       scratch_);
+}
+
+std::vector<float> SerialBackend::decompress(std::span<const byte_t> stream,
+                                             gpusim::TraceSnapshot*) {
+  auto lease = scratch_.acquire(0, 0);
+  return core::decompress_host(stream, core::serial_executor(),
+                               lease.scratch());
+}
+
+std::vector<double> SerialBackend::decompress_f64(
+    std::span<const byte_t> stream, gpusim::TraceSnapshot*) {
+  auto lease = scratch_.acquire(0, 0);
+  return core::decompress_host_f64(stream, core::serial_executor(),
+                                   lease.scratch());
+}
+
+ParallelHostBackend::ParallelHostBackend(unsigned threads) : pool_(threads) {}
+
+CompressedStream ParallelHostBackend::compress(std::span<const float> data,
+                                               const core::Params& params,
+                                               double eb_abs) {
+  return host_compress(data, params, eb_abs, pool_, scratch_);
+}
+
+CompressedStream ParallelHostBackend::compress_f64(
+    std::span<const double> data, const core::Params& params, double eb_abs) {
+  return host_compress(data, params, eb_abs, pool_, scratch_);
+}
+
+std::vector<float> ParallelHostBackend::decompress(
+    std::span<const byte_t> stream, gpusim::TraceSnapshot*) {
+  auto lease = scratch_.acquire(0, 0);
+  return core::decompress_host(stream, pool_, lease.scratch());
+}
+
+std::vector<double> ParallelHostBackend::decompress_f64(
+    std::span<const byte_t> stream, gpusim::TraceSnapshot*) {
+  auto lease = scratch_.acquire(0, 0);
+  return core::decompress_host_f64(stream, pool_, lease.scratch());
+}
+
+// ------------------------------------------------------ device wiring ----
+
+core::DeviceCodecResult device_compress(gpusim::Device& dev,
+                                        const gpusim::DeviceBuffer<float>& in,
+                                        size_t n, const core::Params& params,
+                                        double eb_abs,
+                                        gpusim::DeviceBuffer<byte_t>& out) {
+  const obs::Span span("api", "compress_on_device", "elements", n);
+  const auto res = core::compress_device(dev, in, n, params, eb_abs, out);
+  detail::record_compress_call(n * sizeof(float), res.bytes);
+  return res;
+}
+
+core::DeviceCodecResult device_decompress(
+    gpusim::Device& dev, const gpusim::DeviceBuffer<byte_t>& cmp,
+    gpusim::DeviceBuffer<float>& out) {
+  const obs::Span span("api", "decompress_on_device", "bytes", cmp.size());
+  const auto res = core::decompress_device(dev, cmp, out);
+  detail::record_decompress_call(res.bytes * sizeof(float));
+  return res;
+}
+
+core::DeviceCodecResult device_compress_f64(
+    gpusim::Device& dev, const gpusim::DeviceBuffer<double>& in, size_t n,
+    const core::Params& params, double eb_abs,
+    gpusim::DeviceBuffer<byte_t>& out) {
+  const obs::Span span("api", "compress_on_device", "elements", n);
+  const auto res = core::compress_device_f64(dev, in, n, params, eb_abs, out);
+  detail::record_compress_call(n * sizeof(double), res.bytes);
+  return res;
+}
+
+core::DeviceCodecResult device_decompress_f64(
+    gpusim::Device& dev, const gpusim::DeviceBuffer<byte_t>& cmp,
+    gpusim::DeviceBuffer<double>& out) {
+  const obs::Span span("api", "decompress_on_device", "bytes", cmp.size());
+  const auto res = core::decompress_device_f64(dev, cmp, out);
+  detail::record_decompress_call(res.bytes * sizeof(double));
+  return res;
+}
+
+// ------------------------------------------------------ DeviceBackend ----
+
+DeviceBackend::DeviceBackend()
+    : f32_(dev_), f64_(dev_), bytes_(dev_) {}
+
+namespace {
+
+template <typename T>
+gpusim::BufferPool<T>& pool_of(DeviceBackend& b) {
+  if constexpr (std::is_same_v<T, float>) {
+    return b.f32_pool();
+  } else {
+    return b.f64_pool();
+  }
+}
+
+}  // namespace
+
+template <typename T>
+CompressedStream DeviceBackend::compress_impl(std::span<const T> data,
+                                              const core::Params& params,
+                                              double eb_abs) {
+  const std::lock_guard<std::mutex> lock(op_mutex_);
+  auto in = pool_of<T>(*this).acquire(data.size());
+  gpusim::copy_h2d(dev_, *in, data);
+  auto cmp = bytes_.acquire(core::max_compressed_bytes(
+      data.size(), params.block_len, params.checksum_group_blocks));
+  core::DeviceCodecResult res;
+  if constexpr (std::is_same_v<T, float>) {
+    res = device_compress(dev_, *in, data.size(), params, eb_abs, *cmp);
+  } else {
+    res = device_compress_f64(dev_, *in, data.size(), params, eb_abs, *cmp);
+  }
+  CompressedStream out;
+  out.trace = res.trace;
+  out.bytes.resize(res.bytes);
+  gpusim::copy_d2h<byte_t>(dev_, out.bytes, *cmp, res.bytes);
+  return out;
+}
+
+template <typename T>
+std::vector<T> DeviceBackend::decompress_impl(std::span<const byte_t> stream,
+                                              gpusim::TraceSnapshot* trace) {
+  const core::Header h = core::Header::deserialize(stream);
+  if (h.is_f64() != std::is_same_v<T, double>) {
+    throw format_error("DeviceBackend: stream precision mismatch");
+  }
+  const std::lock_guard<std::mutex> lock(op_mutex_);
+  auto cmp = bytes_.acquire(stream.size());
+  gpusim::copy_h2d(dev_, *cmp, stream);
+  auto out = pool_of<T>(*this).acquire(h.num_elements);
+  core::DeviceCodecResult res;
+  if constexpr (std::is_same_v<T, float>) {
+    res = device_decompress(dev_, *cmp, *out);
+  } else {
+    res = device_decompress_f64(dev_, *cmp, *out);
+  }
+  if (trace != nullptr) *trace = res.trace;
+  std::vector<T> host(res.bytes);
+  gpusim::copy_d2h<T>(dev_, host, *out, res.bytes);
+  return host;
+}
+
+CompressedStream DeviceBackend::compress(std::span<const float> data,
+                                         const core::Params& params,
+                                         double eb_abs) {
+  return compress_impl<float>(data, params, eb_abs);
+}
+
+CompressedStream DeviceBackend::compress_f64(std::span<const double> data,
+                                             const core::Params& params,
+                                             double eb_abs) {
+  return compress_impl<double>(data, params, eb_abs);
+}
+
+std::vector<float> DeviceBackend::decompress(std::span<const byte_t> stream,
+                                             gpusim::TraceSnapshot* trace) {
+  return decompress_impl<float>(stream, trace);
+}
+
+std::vector<double> DeviceBackend::decompress_f64(
+    std::span<const byte_t> stream, gpusim::TraceSnapshot* trace) {
+  return decompress_impl<double>(stream, trace);
+}
+
+}  // namespace szp::engine

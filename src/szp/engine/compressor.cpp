@@ -1,0 +1,41 @@
+// szp::Compressor, implemented on top of engine::Engine. The class stays
+// the stable public entry point; orchestration (REL resolution, obs spans,
+// metrics, scratch pooling) lives in the engine it delegates to.
+#include "szp/core/compressor.hpp"
+
+#include "szp/engine/engine.hpp"
+
+namespace szp {
+
+Compressor::Compressor(core::Params params) : params_(params) {
+  params_.validate();
+  engine::EngineConfig cfg;
+  cfg.params = params_;
+  cfg.backend = engine::BackendKind::kSerial;
+  engine_ = std::make_shared<engine::Engine>(cfg);
+}
+
+std::vector<byte_t> Compressor::compress(
+    std::span<const float> data, std::optional<double> value_range) const {
+  return engine_->compress(data, value_range).bytes;
+}
+
+std::vector<float> Compressor::decompress(
+    std::span<const byte_t> stream) const {
+  return engine_->decompress(stream);
+}
+
+core::DeviceCodecResult Compressor::compress_on_device(
+    gpusim::Device& dev, const gpusim::DeviceBuffer<float>& in, size_t n,
+    double value_range, gpusim::DeviceBuffer<byte_t>& out) const {
+  const double eb = core::resolve_eb(params_, value_range);
+  return engine::device_compress(dev, in, n, params_, eb, out);
+}
+
+core::DeviceCodecResult Compressor::decompress_on_device(
+    gpusim::Device& dev, const gpusim::DeviceBuffer<byte_t>& cmp,
+    gpusim::DeviceBuffer<float>& out) const {
+  return engine::device_decompress(dev, cmp, out);
+}
+
+}  // namespace szp

@@ -1,0 +1,90 @@
+// Engine: the one place that orchestrates codec execution. Owns a Backend
+// (serial / parallel-host / device), resolves REL bounds, emits the "api"
+// obs spans, records the compression metrics, and pools scratch and device
+// buffers across calls. szp::Compressor, the pipeline, the harness and the
+// tools all delegate here instead of carrying their own orchestration.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "szp/engine/backend.hpp"
+
+namespace szp::engine {
+
+struct EngineConfig {
+  core::Params params{};
+  BackendKind backend = BackendKind::kSerial;
+  /// Parallel-host execution slots including the caller (0 = auto). Ignored
+  /// by the other backends.
+  unsigned threads = 0;
+};
+
+/// Result of one harness-style device roundtrip: compress and decompress on
+/// the engine's device, input uploaded first, reconstruction downloaded at
+/// the end (the paper's end-to-end measurement shape).
+struct DeviceRoundtrip {
+  size_t compressed_bytes = 0;
+  double eb_abs = 0;
+  gpusim::TraceSnapshot comp_trace;
+  gpusim::TraceSnapshot decomp_trace;
+  std::vector<float> reconstruction;
+  double wall_comp_s = 0;
+  double wall_decomp_s = 0;
+  std::vector<byte_t> stream;  // filled only when keep_stream
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineConfig cfg = {});
+
+  [[nodiscard]] const core::Params& params() const { return cfg_.params; }
+  [[nodiscard]] BackendKind backend_kind() const { return backend_->kind(); }
+  [[nodiscard]] Backend& backend() { return *backend_; }
+
+  /// The engine's simulated device (device backend only; throws otherwise).
+  [[nodiscard]] gpusim::Device& device();
+
+  /// Resolve the absolute error bound for `data` under the engine params.
+  /// REL mode scans the data only when `value_range` is not provided —
+  /// callers that already know the range (pipeline, batch) pass it through
+  /// so the field is not rescanned per call.
+  [[nodiscard]] double eb_abs_for(std::span<const float> data,
+                                  std::optional<double> value_range) const;
+  [[nodiscard]] double eb_abs_for(std::span<const double> data,
+                                  std::optional<double> value_range) const;
+
+  [[nodiscard]] CompressedStream compress(
+      std::span<const float> data,
+      std::optional<double> value_range = std::nullopt);
+  [[nodiscard]] CompressedStream compress_f64(
+      std::span<const double> data,
+      std::optional<double> value_range = std::nullopt);
+
+  [[nodiscard]] std::vector<float> decompress(std::span<const byte_t> stream);
+  [[nodiscard]] std::vector<double> decompress_f64(
+      std::span<const byte_t> stream);
+
+  /// Compress many fields through one engine under one obs span, reusing
+  /// the pooled scratch/buffers across items. `shared_value_range` applies
+  /// one REL range to every field (e.g. a global range over a dataset);
+  /// without it each field resolves its own.
+  [[nodiscard]] std::vector<CompressedStream> compress_batch(
+      std::span<const std::span<const float>> fields,
+      std::optional<double> shared_value_range = std::nullopt);
+
+  /// Harness-style measured roundtrip on the device backend (throws on the
+  /// host backends). Emits the "harness" compress/decompress lane spans so
+  /// sweep traces keep their shape.
+  [[nodiscard]] DeviceRoundtrip device_roundtrip(
+      std::span<const float> data,
+      std::optional<double> value_range = std::nullopt,
+      bool keep_stream = false);
+
+ private:
+  EngineConfig cfg_;
+  std::unique_ptr<Backend> backend_;
+};
+
+}  // namespace szp::engine

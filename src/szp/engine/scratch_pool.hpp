@@ -1,0 +1,105 @@
+// Pool of host codec scratch arenas keyed by (element count, block length).
+// A compress call leases an arena sized for its field; repeated calls on
+// same-shaped fields hit warm arenas and do no per-call allocation.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "szp/core/host_codec.hpp"
+
+namespace szp::engine {
+
+class ScratchPool {
+  struct Entry {
+    size_t n = 0;
+    unsigned block_len = 0;
+    bool in_use = false;
+    core::HostScratch scratch;
+  };
+
+ public:
+  ScratchPool() = default;
+  ScratchPool(const ScratchPool&) = delete;
+  ScratchPool& operator=(const ScratchPool&) = delete;
+
+  /// RAII lease; destruction returns the arena to the pool. Entries are
+  /// heap-stable, so leases survive concurrent pool growth.
+  class Lease {
+   public:
+    Lease(ScratchPool* pool, Entry* entry) : pool_(pool), entry_(entry) {}
+    Lease(Lease&& o) noexcept : pool_(o.pool_), entry_(o.entry_) {
+      o.pool_ = nullptr;
+      o.entry_ = nullptr;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    Lease& operator=(Lease&&) = delete;
+    ~Lease() {
+      if (pool_ != nullptr) pool_->put_back(entry_);
+    }
+
+    [[nodiscard]] core::HostScratch& scratch() { return entry_->scratch; }
+
+   private:
+    ScratchPool* pool_;
+    Entry* entry_;
+  };
+
+  /// Lease an arena for an `n`-element field with block length `block_len`.
+  /// An idle arena last used for the same shape counts as a hit (its
+  /// internal vectors are already at size); any other idle arena is
+  /// repurposed, and a new one is created only when all are leased.
+  [[nodiscard]] Lease acquire(size_t n, unsigned block_len) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Entry* idle = nullptr;
+    for (const auto& e : entries_) {
+      if (e->in_use) continue;
+      if (e->n == n && e->block_len == block_len) {
+        e->in_use = true;
+        ++hits_;
+        return Lease(this, e.get());
+      }
+      idle = e.get();
+    }
+    ++misses_;
+    if (idle != nullptr) {
+      idle->n = n;
+      idle->block_len = block_len;
+      idle->in_use = true;
+      return Lease(this, idle);
+    }
+    entries_.push_back(std::make_unique<Entry>());
+    entries_.back()->n = n;
+    entries_.back()->block_len = block_len;
+    entries_.back()->in_use = true;
+    return Lease(this, entries_.back().get());
+  }
+
+  [[nodiscard]] size_t hits() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+  }
+  [[nodiscard]] size_t misses() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+  }
+  [[nodiscard]] size_t size() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+  }
+
+ private:
+  void put_back(Entry* entry) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    entry->in_use = false;
+  }
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+};
+
+}  // namespace szp::engine

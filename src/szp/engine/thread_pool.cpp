@@ -1,0 +1,82 @@
+#include "szp/engine/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace szp::engine {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) {
+    threads = std::max(2u, std::thread::hardware_concurrency());
+  }
+  // The calling thread is one of the `threads` slots.
+  const unsigned workers = threads - 1;
+  workers_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::run(size_t count, const std::function<void(size_t)>& task) {
+  if (count == 0) return;
+  if (workers_.empty() || count == 1) {
+    for (size_t i = 0; i < count; ++i) task(i);
+    return;
+  }
+  auto batch = std::make_shared<Batch>();
+  batch->task = &task;
+  batch->count = count;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    batch_ = batch;
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  process(*batch);
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_done_.wait(lock, [&] { return batch->done == batch->count; });
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    cv_start_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    // Keep the batch alive past the submitting run() call: process() may
+    // make one final (empty) index claim after the batch completed.
+    const std::shared_ptr<Batch> batch = batch_;
+    lock.unlock();
+    process(*batch);
+    lock.lock();
+  }
+}
+
+void ThreadPool::process(Batch& batch) {
+  size_t i;
+  while ((i = batch.next.fetch_add(1, std::memory_order_relaxed)) <
+         batch.count) {
+    try {
+      (*batch.task)(i);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (!batch.error) batch.error = std::current_exception();
+    }
+    // The mutex hand-off publishes this task's writes to whoever observes
+    // completion in run().
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (++batch.done == batch.count) cv_done_.notify_all();
+  }
+}
+
+}  // namespace szp::engine

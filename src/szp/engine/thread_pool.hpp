@@ -1,0 +1,65 @@
+// Persistent worker pool implementing core::Executor for the
+// parallel-host backend. Workers live for the pool's lifetime, so a
+// compress call costs two condition-variable signals instead of thread
+// spawns. The calling thread participates in every batch, so a pool with
+// W workers gives W+1 execution slots.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "szp/core/host_codec.hpp"
+
+namespace szp::engine {
+
+class ThreadPool final : public core::Executor {
+ public:
+  /// `threads` = total execution slots (workers + the calling thread);
+  /// 0 picks std::thread::hardware_concurrency (at least 2).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool() override;
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned width() const override {
+    return static_cast<unsigned>(workers_.size()) + 1;
+  }
+
+  /// Run task(0..count). Tasks may execute on any worker or the calling
+  /// thread; returns after all complete. The first task exception is
+  /// rethrown (remaining tasks still run). Safe to call from multiple
+  /// threads: each call completes its own batch (concurrent batches share
+  /// the workers).
+  void run(size_t count, const std::function<void(size_t)>& task) override;
+
+ private:
+  /// One batch of tasks. Heap-shared so a worker that observed a batch can
+  /// finish its (empty) claim loop safely even after the submitting run()
+  /// call returned.
+  struct Batch {
+    const std::function<void(size_t)>* task = nullptr;
+    size_t count = 0;
+    std::atomic<size_t> next{0};
+    size_t done = 0;               // guarded by the pool mutex
+    std::exception_ptr error;      // guarded by the pool mutex
+  };
+
+  void worker_loop();
+  void process(Batch& batch);
+
+  std::mutex mutex_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  std::vector<std::thread> workers_;
+  std::shared_ptr<Batch> batch_;   // guarded by mutex_
+  std::uint64_t generation_ = 0;   // guarded by mutex_
+  bool stop_ = false;              // guarded by mutex_
+};
+
+}  // namespace szp::engine

@@ -1,0 +1,131 @@
+// Pooled device buffers: reuse allocations across codec calls instead of
+// paying a cudaMalloc/cudaFree pair per operation (the host-side overhead
+// the paper's end-to-end numbers are measured without, and the reason the
+// CUDA artifact allocates once up front). Thread-safe; leases are RAII.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "szp/gpusim/buffer.hpp"
+
+namespace szp::gpusim {
+
+template <typename T>
+class BufferPool {
+  struct Entry {
+    DeviceBuffer<T> buf;
+    bool in_use = false;
+  };
+
+ public:
+  explicit BufferPool(Device& dev) : dev_(&dev) {}
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// RAII lease of a pooled buffer with size() >= the requested count.
+  /// Returning the lease (destruction) puts the buffer back in the pool.
+  /// Entries are heap-stable, so a lease stays valid while other threads
+  /// grow the pool.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(BufferPool* pool, Entry* entry) : pool_(pool), entry_(entry) {}
+    Lease(Lease&& o) noexcept : pool_(o.pool_), entry_(o.entry_) {
+      o.pool_ = nullptr;
+      o.entry_ = nullptr;
+    }
+    Lease& operator=(Lease&& o) noexcept {
+      if (this != &o) {
+        release();
+        pool_ = o.pool_;
+        entry_ = o.entry_;
+        o.pool_ = nullptr;
+        o.entry_ = nullptr;
+      }
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { release(); }
+
+    [[nodiscard]] DeviceBuffer<T>& buffer() { return entry_->buf; }
+    [[nodiscard]] const DeviceBuffer<T>& buffer() const { return entry_->buf; }
+    [[nodiscard]] DeviceBuffer<T>& operator*() { return buffer(); }
+    [[nodiscard]] DeviceBuffer<T>* operator->() { return &buffer(); }
+
+   private:
+    void release() {
+      if (pool_ != nullptr) pool_->put_back(entry_);
+      pool_ = nullptr;
+      entry_ = nullptr;
+    }
+
+    BufferPool* pool_ = nullptr;
+    Entry* entry_ = nullptr;
+  };
+
+  /// Lease a buffer holding at least `n` elements. Reuses the smallest
+  /// idle buffer that fits; grows (reallocates) an idle buffer if none
+  /// fits; allocates a new slot only when every buffer is leased out.
+  [[nodiscard]] Lease acquire(size_t n) {
+    n = std::max<size_t>(1, n);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Entry* best = nullptr;
+    Entry* any_idle = nullptr;
+    for (const auto& e : entries_) {
+      if (e->in_use) continue;
+      any_idle = e.get();
+      if (e->buf.size() >= n &&
+          (best == nullptr || e->buf.size() < best->buf.size())) {
+        best = e.get();
+      }
+    }
+    if (best != nullptr) {
+      best->in_use = true;
+      ++reuses_;
+      return Lease(this, best);
+    }
+    if (any_idle != nullptr) {
+      // Idle but too small: grow in place (frees the old allocation).
+      any_idle->buf = DeviceBuffer<T>(*dev_, n);
+      any_idle->in_use = true;
+      ++allocations_;
+      return Lease(this, any_idle);
+    }
+    entries_.push_back(
+        std::make_unique<Entry>(Entry{DeviceBuffer<T>(*dev_, n), true}));
+    ++allocations_;
+    return Lease(this, entries_.back().get());
+  }
+
+  /// Pool statistics, for tests and the bench report.
+  [[nodiscard]] size_t allocations() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return allocations_;
+  }
+  [[nodiscard]] size_t reuses() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return reuses_;
+  }
+  [[nodiscard]] size_t size() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+  }
+
+ private:
+  void put_back(Entry* entry) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    entry->in_use = false;
+  }
+
+  Device* dev_;
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+  size_t allocations_ = 0;
+  size_t reuses_ = 0;
+};
+
+}  // namespace szp::gpusim

@@ -5,7 +5,7 @@
 #include "szp/baselines/vsz/vsz.hpp"
 #include "szp/baselines/vzfp/vzfp.hpp"
 #include "szp/baselines/xsz/xsz.hpp"
-#include "szp/core/compressor.hpp"
+#include "szp/engine/engine.hpp"
 #include "szp/obs/tracer.hpp"
 
 namespace szp::harness {
@@ -87,30 +87,34 @@ RunResult run_codec(const CodecSetting& setting, const data::Field& field) {
   const size_t n = field.count();
   const double range = field.value_range();
 
+  if (setting.id == CodecId::kSzp) {
+    // cuSZp runs through the engine, which owns the device, the pooled
+    // buffers and the measured-roundtrip orchestration.
+    core::Params p;
+    p.mode = core::ErrorMode::kRel;
+    p.error_bound = setting.rel;
+    engine::Engine eng({.params = p,
+                        .backend = engine::BackendKind::kDevice,
+                        .threads = 0});
+    auto rt = eng.device_roundtrip(field.values, range);
+    r.compressed_bytes = rt.compressed_bytes;
+    r.eb_abs = rt.eb_abs;
+    r.comp_trace = rt.comp_trace;
+    r.decomp_trace = rt.decomp_trace;
+    r.wall_comp_s = rt.wall_comp_s;
+    r.wall_decomp_s = rt.wall_decomp_s;
+    r.reconstruction = std::move(rt.reconstruction);
+    r.reconstruction.resize(n);
+    return r;
+  }
+
   gs::Device dev;
   auto d_in = gs::to_device<float>(dev, field.values);
   gs::DeviceBuffer<float> d_recon(dev, std::max<size_t>(1, n));
 
   switch (setting.id) {
-    case CodecId::kSzp: {
-      core::Params p;
-      p.mode = core::ErrorMode::kRel;
-      p.error_bound = setting.rel;
-      Compressor c(p);
-      gs::DeviceBuffer<byte_t> d_cmp(dev,
-                                     core::max_compressed_bytes(n, p.block_len));
-      const auto cres = timed_phase("compress", setting.id, r.wall_comp_s, [&] {
-        return c.compress_on_device(dev, d_in, n, range, d_cmp);
-      });
-      r.compressed_bytes = cres.bytes;
-      r.comp_trace = cres.trace;
-      r.eb_abs = core::resolve_eb(p, range);
-      const auto dres =
-          timed_phase("decompress", setting.id, r.wall_decomp_s,
-                      [&] { return c.decompress_on_device(dev, d_cmp, d_recon); });
-      r.decomp_trace = dres.trace;
-      break;
-    }
+    case CodecId::kSzp:
+      break;  // handled above
     case CodecId::kSz: {
       vsz::Params p;
       p.mode = core::ErrorMode::kRel;

@@ -1,8 +1,5 @@
 #include "szp/pipeline/pipeline.hpp"
 
-#include "szp/core/device.hpp"
-#include "szp/gpusim/buffer.hpp"
-
 namespace szp::pipeline {
 
 InlinePipeline::InlinePipeline(Config config) : config_(config) {
@@ -26,7 +23,8 @@ InlinePipeline::~InlinePipeline() {
   }
 }
 
-void InlinePipeline::submit(data::Field snapshot) {
+void InlinePipeline::submit(data::Field snapshot,
+                            std::optional<double> value_range) {
   std::unique_lock<std::mutex> lock(mutex_);
   if (finished_) throw format_error("pipeline: submit after finish");
   space_available_.wait(
@@ -35,6 +33,7 @@ void InlinePipeline::submit(data::Field snapshot) {
   Job job;
   job.seq = next_seq_++;
   job.field = std::move(snapshot);
+  job.value_range = value_range;
   results_.resize(next_seq_);
   queue_.push_back(std::move(job));
   lock.unlock();
@@ -44,6 +43,7 @@ void InlinePipeline::submit(data::Field snapshot) {
 std::vector<SnapshotResult> InlinePipeline::finish() {
   {
     std::unique_lock<std::mutex> lock(mutex_);
+    if (finished_) throw format_error("pipeline: finish after finish");
     finished_ = true;
     closing_ = true;
   }
@@ -57,8 +57,12 @@ std::vector<SnapshotResult> InlinePipeline::finish() {
 }
 
 void InlinePipeline::worker_loop() {
-  // One simulated device per worker, as a multi-GPU node would have.
-  gpusim::Device dev;
+  // One engine per worker: with the device backend that is one simulated
+  // device per worker, as a multi-GPU node would have; with the host
+  // backends, one scratch pool (and thread pool) per worker.
+  engine::Engine eng({.params = config_.params,
+                      .backend = config_.backend,
+                      .threads = config_.threads});
   for (;;) {
     Job job;
     {
@@ -72,21 +76,13 @@ void InlinePipeline::worker_loop() {
     space_available_.notify_one();
 
     try {
-      const size_t n = job.field.count();
-      auto d_in = gpusim::to_device<float>(dev, job.field.values);
-      gpusim::DeviceBuffer<byte_t> d_cmp(
-          dev, core::max_compressed_bytes(n, config_.params.block_len));
-      const double eb =
-          core::resolve_eb(config_.params, job.field.value_range());
-      const auto res =
-          core::compress_device(dev, d_in, n, config_.params, eb, d_cmp);
+      auto compressed = eng.compress(job.field.values, job.value_range);
 
       SnapshotResult result;
       result.name = job.field.name;
       result.raw_bytes = job.field.size_bytes();
-      result.comp_trace = res.trace;
-      result.stream = gpusim::to_host(dev, d_cmp);
-      result.stream.resize(res.bytes);
+      result.comp_trace = compressed.trace;
+      result.stream = std::move(compressed.bytes);
 
       const std::lock_guard<std::mutex> lock(mutex_);
       results_[job.seq] = std::move(result);

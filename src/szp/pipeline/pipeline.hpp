@@ -16,14 +16,19 @@
 
 #include "szp/core/format.hpp"
 #include "szp/data/field.hpp"
+#include "szp/engine/engine.hpp"
 #include "szp/gpusim/trace.hpp"
 
 namespace szp::pipeline {
 
 struct Config {
-  unsigned workers = 2;        // devices compressing concurrently
+  unsigned workers = 2;        // engines compressing concurrently
   size_t max_queue = 4;        // submit() blocks beyond this backlog
   core::Params params;         // codec configuration for every snapshot
+  /// Codec backend each worker runs (each worker owns its own engine, so
+  /// kDevice means one simulated device per worker, as before).
+  engine::BackendKind backend = engine::BackendKind::kDevice;
+  unsigned threads = 0;        // parallel-host slots per worker (0 = auto)
 };
 
 struct SnapshotResult {
@@ -48,11 +53,15 @@ class InlinePipeline {
   InlinePipeline& operator=(const InlinePipeline&) = delete;
 
   /// Enqueue a snapshot for compression; blocks while the backlog is at
-  /// max_queue (back-pressure on the simulation).
-  void submit(data::Field snapshot);
+  /// max_queue (back-pressure on the simulation). A simulation that
+  /// already knows the snapshot's value range passes it so REL resolution
+  /// does not rescan the field; omit it to derive the range on the worker.
+  void submit(data::Field snapshot,
+              std::optional<double> value_range = std::nullopt);
 
   /// Drain the queue, stop the workers and return every result in
-  /// submission order. The pipeline cannot be reused afterwards.
+  /// submission order. The pipeline cannot be reused afterwards: a second
+  /// finish() (or any later submit()) throws.
   [[nodiscard]] std::vector<SnapshotResult> finish();
 
   [[nodiscard]] size_t submitted() const { return next_seq_; }
@@ -61,6 +70,7 @@ class InlinePipeline {
   struct Job {
     size_t seq = 0;
     data::Field field;
+    std::optional<double> value_range;
   };
 
   void worker_loop();

@@ -5,9 +5,14 @@
 //   szp_archive demo <out.szpa> <rel_bound> <suite>
 //   szp_archive list <archive.szpa>
 //   szp_archive extract <archive.szpa> <field-name> <out.f32>
+//
+// pack/demo accept --backend serial|parallel|device (default serial) and
+// --threads <n> to compress through the corresponding engine backend; the
+// archive bytes are identical either way.
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "szp/archive/archive.hpp"
 #include "szp/data/registry.hpp"
@@ -33,13 +38,33 @@ int usage() {
                "usage: szp_archive pack <out.szpa> <rel> <f32:dims>...\n"
                "       szp_archive demo <out.szpa> <rel> <suite>\n"
                "       szp_archive list <archive.szpa>\n"
-               "       szp_archive extract <archive.szpa> <field> <out.f32>\n");
+               "       szp_archive extract <archive.szpa> <field> <out.f32>\n"
+               "options (pack/demo): --backend serial|parallel|device,"
+               " --threads <n>\n");
   return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) try {
+  std::string backend_name = "serial";
+  unsigned threads = 0;
+  std::vector<char*> args{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--backend") {
+      if (++i >= argc) return usage();
+      backend_name = argv[i];
+    } else if (a == "--threads") {
+      if (++i >= argc) return usage();
+      threads = static_cast<unsigned>(std::atoi(argv[i]));
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  argc = static_cast<int>(args.size());
+  argv = args.data();
+
   if (argc < 3) return usage();
   const std::string cmd = argv[1];
 
@@ -48,7 +73,7 @@ int main(int argc, char** argv) try {
     core::Params p;
     p.mode = core::ErrorMode::kRel;
     p.error_bound = std::atof(argv[3]);
-    archive::Writer w(p);
+    archive::Writer w(p, engine::backend_from_name(backend_name), threads);
     if (cmd == "demo") {
       for (const auto& info : data::all_suites()) {
         if (info.name == argv[4]) {

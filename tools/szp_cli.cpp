@@ -12,8 +12,11 @@
 //   --trace <out.json>  record spans, write Chrome trace-event JSON
 //   --stats             record metrics, print the summary after the run
 //   --breakdown         print the per-stage device counter table
+//   --backend <name>    serial | parallel | device (default: device)
+//   --threads <n>       parallel-host execution slots (0 = auto)
 //   --version / --help
 #include <cctype>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -23,8 +26,8 @@
 #include <string>
 #include <vector>
 
-#include "szp/core/compressor.hpp"
 #include "szp/data/registry.hpp"
+#include "szp/engine/engine.hpp"
 #include "szp/metrics/error.hpp"
 #include "szp/obs/chrome_trace.hpp"
 #include "szp/obs/metrics.hpp"
@@ -49,6 +52,8 @@ void print_usage(std::FILE* to) {
                "options:\n"
                "  --abs             treat <error_bound> as absolute\n"
                "  --demo            compress a synthetic suite field\n"
+               "  --backend <name>  serial | parallel | device (default)\n"
+               "  --threads <n>     parallel-host execution slots (0 = auto)\n"
                "  --trace <file>    write a Chrome trace (load in Perfetto)\n"
                "  --stats           print the metrics summary after the run\n"
                "  --breakdown       print the per-stage device counter table\n"
@@ -87,6 +92,8 @@ void print_breakdown(const char* label, const gpusim::TraceSnapshot& t) {
 int main(int argc, char** argv) try {
   std::string mode = "rel";
   std::string trace_path;
+  std::string backend_name = "device";
+  unsigned threads = 0;
   bool stats = false;
   bool breakdown = false;
   std::vector<std::string> positional;
@@ -96,6 +103,12 @@ int main(int argc, char** argv) try {
       mode = "abs";
     } else if (a == "--demo") {
       mode = "demo";
+    } else if (a == "--backend") {
+      if (++i >= argc) return usage();
+      backend_name = argv[i];
+    } else if (a == "--threads") {
+      if (++i >= argc) return usage();
+      threads = static_cast<unsigned>(std::atoi(argv[i]));
     } else if (a == "--trace") {
       if (++i >= argc) return usage();
       trace_path = argv[i];
@@ -144,37 +157,59 @@ int main(int argc, char** argv) try {
   core::Params params;
   params.mode = mode == "abs" ? core::ErrorMode::kAbs : core::ErrorMode::kRel;
   params.error_bound = bound;
-  Compressor compressor(params);
+  const engine::BackendKind backend = engine::backend_from_name(backend_name);
+  engine::Engine eng(
+      {.params = params, .backend = backend, .threads = threads});
   const double range = field.value_range();
 
-  gpusim::Device dev;
-  auto d_in = gpusim::to_device<float>(dev, field.values);
-  gpusim::DeviceBuffer<byte_t> d_cmp(
-      dev, core::max_compressed_bytes(field.count(), params.block_len));
-  const auto comp = compressor.compress_on_device(dev, d_in, field.count(),
-                                                  range, d_cmp);
-  std::printf("cuSZp compression kernel finished!\n");
-
-  gpusim::DeviceBuffer<float> d_out(dev, field.count());
-  const auto dec = compressor.decompress_on_device(dev, d_cmp, d_out);
-  std::printf("cuSZp decompression kernel finished!\n\n");
-
-  const perfmodel::CostModel model(perfmodel::a100());
-  std::printf("cuSZp compression   end-to-end speed: %f GB/s (modeled A100)\n",
-              model.end_to_end_gbps(comp.trace, field.size_bytes()));
-  std::printf("cuSZp decompression end-to-end speed: %f GB/s (modeled A100)\n",
-              model.end_to_end_gbps(dec.trace, field.size_bytes()));
+  std::vector<byte_t> stream;
+  std::vector<float> recon;
+  gpusim::TraceSnapshot comp_trace;
+  gpusim::TraceSnapshot dec_trace;
+  double wall_comp_s = 0;
+  double wall_decomp_s = 0;
+  if (backend == engine::BackendKind::kDevice) {
+    auto rt = eng.device_roundtrip(field.values, range, /*keep_stream=*/true);
+    std::printf("cuSZp compression kernel finished!\n");
+    std::printf("cuSZp decompression kernel finished!\n\n");
+    stream = std::move(rt.stream);
+    recon = std::move(rt.reconstruction);
+    comp_trace = rt.comp_trace;
+    dec_trace = rt.decomp_trace;
+    const perfmodel::CostModel model(perfmodel::a100());
+    std::printf(
+        "cuSZp compression   end-to-end speed: %f GB/s (modeled A100)\n",
+        model.end_to_end_gbps(comp_trace, field.size_bytes()));
+    std::printf(
+        "cuSZp decompression end-to-end speed: %f GB/s (modeled A100)\n",
+        model.end_to_end_gbps(dec_trace, field.size_bytes()));
+  } else {
+    using Clock = std::chrono::steady_clock;
+    auto t0 = Clock::now();
+    stream = eng.compress(field.values, range).bytes;
+    wall_comp_s = std::chrono::duration<double>(Clock::now() - t0).count();
+    std::printf("cuSZp host compression finished!\n");
+    t0 = Clock::now();
+    recon = eng.decompress(stream);
+    wall_decomp_s = std::chrono::duration<double>(Clock::now() - t0).count();
+    std::printf("cuSZp host decompression finished!\n\n");
+    const double gb = static_cast<double>(field.size_bytes()) / 1e9;
+    std::printf("cuSZp compression   host speed: %f GB/s (%s backend)\n",
+                wall_comp_s > 0 ? gb / wall_comp_s : 0.0, backend_name.c_str());
+    std::printf("cuSZp decompression host speed: %f GB/s (%s backend)\n",
+                wall_decomp_s > 0 ? gb / wall_decomp_s : 0.0,
+                backend_name.c_str());
+  }
   std::printf("cuSZp compression ratio: %f\n\n",
               static_cast<double>(field.size_bytes()) /
-                  static_cast<double>(comp.bytes));
+                  static_cast<double>(stream.size()));
 
-  if (breakdown) {
-    print_breakdown("compression", comp.trace);
-    print_breakdown("decompression", dec.trace);
+  if (breakdown && backend == engine::BackendKind::kDevice) {
+    print_breakdown("compression", comp_trace);
+    print_breakdown("decompression", dec_trace);
     std::printf("\n");
   }
 
-  const auto recon = gpusim::to_host(dev, d_out);
   const double eb = core::resolve_eb(params, range);
   const double max_abs = std::abs(range) * 1.2e-7 + eb;
   if (metrics::error_bounded(field.values, recon, max_abs)) {
@@ -185,14 +220,13 @@ int main(int argc, char** argv) try {
   }
 
   // Persist the compressed stream and reconstruction like the artifact.
-  const auto cmp_bytes = gpusim::to_host(dev, d_cmp);
   std::ofstream cmp_out(out_base + ".szp.cmp", std::ios::binary);
-  cmp_out.write(reinterpret_cast<const char*>(cmp_bytes.data()),
-                static_cast<std::streamsize>(comp.bytes));
+  cmp_out.write(reinterpret_cast<const char*>(stream.data()),
+                static_cast<std::streamsize>(stream.size()));
   data::save_f32(out_base + ".szp.dec",
                  data::Field{field.name, field.dims, recon});
   std::printf("wrote %s.szp.cmp (%zu bytes) and %s.szp.dec\n",
-              out_base.c_str(), comp.bytes, out_base.c_str());
+              out_base.c_str(), stream.size(), out_base.c_str());
 
   if (!trace_path.empty()) {
     if (!obs::write_chrome_trace_file(trace_path)) {
