@@ -87,9 +87,11 @@ class Reader {
   robust::DecodeReport try_extract(size_t index, data::Field& out,
                                    const robust::DecodeOptions& opts = {}) const;
 
- private:
+  /// Raw compressed stream of one entry (tools re-decode entries through
+  /// alternative paths, e.g. szp_verify --devcheck).
   [[nodiscard]] std::span<const byte_t> stream_of(size_t index) const;
 
+ private:
   std::vector<byte_t> blob_;
   std::vector<Entry> entries_;
   std::shared_ptr<engine::Engine> engine_;  // serial decode delegate

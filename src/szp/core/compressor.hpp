@@ -48,10 +48,13 @@ class Compressor {
       gpusim::Device& dev, const gpusim::DeviceBuffer<float>& in, size_t n,
       double value_range, gpusim::DeviceBuffer<byte_t>& out) const;
 
-  /// Single-kernel device decompression.
+  /// Single-kernel device decompression. `stream_bytes` is the logical
+  /// stream length inside `cmp` (0 = the whole buffer); pass it when `cmp`
+  /// was sized with max_compressed_bytes, so the codec does not read the
+  /// uninitialized tail past the stream.
   [[nodiscard]] core::DeviceCodecResult decompress_on_device(
       gpusim::Device& dev, const gpusim::DeviceBuffer<byte_t>& cmp,
-      gpusim::DeviceBuffer<float>& out) const;
+      gpusim::DeviceBuffer<float>& out, size_t stream_bytes = 0) const;
 
   /// No-throw decode with salvage (see szp/robust/try_decode.hpp): corrupt
   /// streams are classified, recoverable checksum groups decoded, the rest

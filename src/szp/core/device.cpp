@@ -10,7 +10,9 @@
 #include "szp/core/stages.hpp"
 #include "szp/gpusim/launch.hpp"
 #include "szp/gpusim/scan.hpp"
+#include "szp/gpusim/view.hpp"
 #include "szp/gpusim/warp.hpp"
+#include "szp/gpusim/warp_sync.hpp"
 #include "szp/obs/tracer.hpp"
 
 namespace szp::core {
@@ -60,10 +62,14 @@ class GroupChecksumState {
 
   /// Credit blocks [first, first+count) as final in `stream`. The
   /// release/acquire ordering on the group counters makes every earlier
-  /// warp's payload writes visible to whichever warp ends up CRC-ing.
-  template <typename OnAll>
-  void credit(std::span<const byte_t> stream, const gs::BlockCtx& ctx,
-              size_t first, size_t count, OnAll&& on_all) {
+  /// warp's payload writes visible to whichever warp ends up CRC-ing;
+  /// the sync_release/sync_acquire hooks teach the sanitizer's racecheck
+  /// the same edges. `view` is the stream's checked device view (mutable
+  /// on compress, const on decompress), used to declare the CRC reads.
+  template <typename View, typename OnAll>
+  void credit(std::span<const byte_t> stream, const View& view,
+              const gs::BlockCtx& ctx, size_t first, size_t count,
+              OnAll&& on_all) {
     if (count == 0) return;
     const size_t g_lo = first / group_blocks_;
     const size_t g_hi = (first + count - 1) / group_blocks_;
@@ -73,18 +79,27 @@ class GroupChecksumState {
       const auto add = static_cast<std::uint32_t>(
           std::min(first + count, glast) - std::max(first, gfirst));
       const auto size = static_cast<std::uint32_t>(glast - gfirst);
+      ctx.sync_release(&counts_[g]);
       if (counts_[g].fetch_add(add, std::memory_order_acq_rel) + add !=
           size) {
         continue;
       }
-      // Last contributor: every byte of group g is in place.
+      // Last contributor: every byte of group g is in place (and every
+      // earlier contributor's clock is joined through the counter).
+      ctx.sync_acquire(&counts_[g]);
       const GroupSpan span{gfirst, glast, begins_[g], ends_[g]};
+      (void)view.load_span(lengths_offset() + span.first_block,
+                           span.last_block - span.first_block);
+      (void)view.load_span(span.payload_begin,
+                           span.payload_end - span.payload_begin);
       crcs_[g] = checksum_group_crc(stream, span);
       const std::uint64_t covered = (span.last_block - span.first_block) +
                                     (span.payload_end - span.payload_begin);
       ctx.read(gs::Stage::kOther, covered);
       ctx.ops(gs::Stage::kOther, covered);
+      ctx.sync_release(&done_);
       if (done_.fetch_add(1, std::memory_order_acq_rel) + 1 == groups_) {
+        ctx.sync_acquire(&done_);
         on_all();
       }
     }
@@ -148,7 +163,8 @@ DeviceCodecResult compress_device_impl(gs::Device& dev,
       footer.crcs.push_back(chk->crc(g));
     }
     const size_t off = chk->groups() == 0 ? base : chk->footer_offset();
-    footer.serialize(stream.subspan(off, footer.bytes()));
+    const auto sv = gs::device_view(out, ctx);
+    footer.serialize(sv.store_span(off, footer.bytes()));
     ctx.write(gs::Stage::kOther, footer.bytes());
   };
 
@@ -159,8 +175,10 @@ DeviceCodecResult compress_device_impl(gs::Device& dev,
     gs::ChainedScanState scan_state(dev, warps);
 
     gs::launch(dev, "szp_compress", warps, [&](const gs::BlockCtx& ctx) {
+      const auto dv = gs::device_view(in, ctx);
+      const auto sv = gs::device_view(out, ctx);
       if (ctx.block_idx == 0) {
-        h.serialize(stream.first(Header::kSize));
+        h.serialize(sv.store_span(0, Header::kSize));
         ctx.write(gs::Stage::kOther, Header::kSize);
       }
       std::array<BlockScratch, w::kWarpSize> scratch;
@@ -168,6 +186,12 @@ DeviceCodecResult compress_device_impl(gs::Device& dev,
       w::Lanes<std::uint64_t> lane_len{};
       size_t elems = 0, nonzero_elems = 0, payload_bytes = 0;
       const size_t first_block = ctx.block_idx * kBlocksPerWarp;
+      // Declare this warp's slice of the input to the sanitizer (the
+      // encode_block calls below read it through the captured raw span).
+      const size_t in_begin = std::min(n, first_block * L);
+      const size_t in_end =
+          std::min(n, (first_block + kBlocksPerWarp) * size_t{L});
+      (void)dv.load_span(in_begin, in_end - in_begin);
 
       // S1+S2: per-lane quantization, prediction, fixed-length selection.
       // QP time is the encode_block calls; the remaining loop body (length
@@ -186,7 +210,7 @@ DeviceCodecResult compress_device_impl(gs::Device& dev,
         elems += lane_elems;
         lane_len[lane] = encoded_block_bytes(lbs[lane], L, params);
         if (lane_len[lane] > 0) nonzero_elems += L;
-        stream[lengths_offset() + block] = lbs[lane];
+        sv.store(lengths_offset() + block, lbs[lane]);
       }
       const size_t active = std::min(kBlocksPerWarp, nblocks - first_block);
       ctx.read(gs::Stage::kQuantPredict, elems * sizeof(T));
@@ -205,8 +229,10 @@ DeviceCodecResult compress_device_impl(gs::Device& dev,
 
       // S3: warp-level scan (shuffle) + global chained scan.
       obs::Span gs_span("stage", "GS", "warp", ctx.block_idx);
-      const w::Lanes<std::uint64_t> lane_off = w::exclusive_scan(lane_len);
-      const std::uint64_t aggregate = w::reduce_add(lane_len);
+      const w::Lanes<std::uint64_t> lane_off =
+          w::exclusive_scan_sync(ctx, w::kFullMask, lane_len);
+      const std::uint64_t aggregate =
+          w::reduce_add_sync(ctx, w::kFullMask, lane_len);
       const std::uint64_t prefix = scan_state.publish_and_lookback(
           ctx, gs::Stage::kGlobalSync, ctx.block_idx, aggregate);
       // One offset computed per block plus one restore per non-zero block.
@@ -220,7 +246,7 @@ DeviceCodecResult compress_device_impl(gs::Device& dev,
         if (block >= nblocks || lane_len[lane] == 0) continue;
         const size_t off = base + prefix + lane_off[lane];
         write_block_payload(scratch[lane], lbs[lane], L, params.bit_shuffle,
-                            stream.subspan(off, lane_len[lane]));
+                            sv.store_span(off, lane_len[lane]));
         payload_bytes += lane_len[lane];
       }
       ctx.write(gs::Stage::kBitShuffle, payload_bytes);
@@ -236,7 +262,7 @@ DeviceCodecResult compress_device_impl(gs::Device& dev,
                                 base + prefix + lane_off[lane],
                                 lane_len[lane]);
         }
-        chk->credit(stream, ctx, first_block, active,
+        chk->credit(stream, sv, ctx, first_block, active,
                     [&] { write_footer(ctx); });
         if (chk->groups() == 0 && ctx.block_idx == 0) write_footer(ctx);
       }
@@ -249,13 +275,20 @@ DeviceCodecResult compress_device_impl(gs::Device& dev,
     gs::DeviceBuffer<std::uint64_t> lens(dev, std::max<size_t>(1, nblocks), 0);
 
     gs::launch(dev, "szp_lengths", warps, [&](const gs::BlockCtx& ctx) {
+      const auto dv = gs::device_view(in, ctx);
+      const auto sv = gs::device_view(out, ctx);
+      const auto lv = gs::device_view(lens, ctx);
       if (ctx.block_idx == 0) {
-        h.serialize(stream.first(Header::kSize));
+        h.serialize(sv.store_span(0, Header::kSize));
         ctx.write(gs::Stage::kOther, Header::kSize);
       }
       BlockScratch scratch;
       size_t elems = 0, nonzero_elems = 0;
       const size_t first_block = ctx.block_idx * kBlocksPerWarp;
+      const size_t in_begin = std::min(n, first_block * L);
+      const size_t in_end =
+          std::min(n, (first_block + kBlocksPerWarp) * size_t{L});
+      (void)dv.load_span(in_begin, in_end - in_begin);
       for (unsigned lane = 0; lane < w::kWarpSize; ++lane) {
         const size_t block = first_block + lane;
         if (block >= nblocks) continue;
@@ -265,8 +298,8 @@ DeviceCodecResult compress_device_impl(gs::Device& dev,
         elems += lane_elems;
         const size_t cl = encoded_block_bytes(lb, L, params);
         if (cl > 0) nonzero_elems += L;
-        lens[block] = cl;
-        stream[lengths_offset() + block] = lb;
+        lv.store(block, cl);
+        sv.store(lengths_offset() + block, lb);
       }
       ctx.read(gs::Stage::kQuantPredict, elems * sizeof(T));
       ctx.ops(gs::Stage::kQuantPredict, elems);
@@ -280,13 +313,21 @@ DeviceCodecResult compress_device_impl(gs::Device& dev,
                                                gs::Stage::kGlobalSync);
 
     gs::launch(dev, "szp_payload", warps, [&](const gs::BlockCtx& ctx) {
+      const auto dv = gs::device_view(in, ctx);
+      const auto sv = gs::device_view(out, ctx);
+      const auto lv = gs::device_view(lens, ctx);
       BlockScratch scratch;
       size_t elems = 0, payload_bytes = 0;
       const size_t first_block = ctx.block_idx * kBlocksPerWarp;
+      const size_t in_begin = std::min(n, first_block * L);
+      const size_t in_end =
+          std::min(n, (first_block + kBlocksPerWarp) * size_t{L});
+      (void)dv.load_span(in_begin, in_end - in_begin);
       for (unsigned lane = 0; lane < w::kWarpSize; ++lane) {
         const size_t block = first_block + lane;
         if (block >= nblocks) continue;
-        const std::uint8_t lb = stream[lengths_offset() + block];
+        const auto lb =
+            static_cast<std::uint8_t>(sv.load(lengths_offset() + block));
         const size_t cl = encoded_block_bytes(lb, L, params);
         if (cl == 0) continue;
         size_t lane_elems = 0;
@@ -295,7 +336,7 @@ DeviceCodecResult compress_device_impl(gs::Device& dev,
                               lane_elems);
         elems += lane_elems;
         write_block_payload(scratch, lb, L, params.bit_shuffle,
-                            stream.subspan(base + lens[block], cl));
+                            sv.store_span(base + lv.load(block), cl));
         payload_bytes += cl;
       }
       ctx.read(gs::Stage::kQuantPredict, elems * sizeof(T));
@@ -317,6 +358,8 @@ DeviceCodecResult compress_device_impl(gs::Device& dev,
       const size_t cwarps = std::max<size_t>(1, div_ceil(groups,
                                                          kBlocksPerWarp));
       gs::launch(dev, "szp_checksum", cwarps, [&](const gs::BlockCtx& ctx) {
+        const auto sv = gs::device_view(out, ctx);
+        const auto lv = gs::device_view(lens, ctx);
         std::uint64_t covered = 0;
         for (unsigned lane = 0; lane < w::kWarpSize; ++lane) {
           const size_t g = ctx.block_idx * kBlocksPerWarp + lane;
@@ -324,11 +367,15 @@ DeviceCodecResult compress_device_impl(gs::Device& dev,
           GroupSpan span;
           span.first_block = g * gb;
           span.last_block = std::min(nblocks, span.first_block + gb);
-          span.payload_begin = base + lens[span.first_block];
+          span.payload_begin = base + lv.load(span.first_block);
           span.payload_end = span.last_block == nblocks
                                  ? base + total_payload
-                                 : base + lens[span.last_block];
+                                 : base + lv.load(span.last_block);
           footer.offsets[g] = span.payload_begin - base;
+          (void)sv.load_span(lengths_offset() + span.first_block,
+                             span.last_block - span.first_block);
+          (void)sv.load_span(span.payload_begin,
+                             span.payload_end - span.payload_begin);
           footer.crcs[g] = checksum_group_crc(stream, span);
           covered += (span.last_block - span.first_block) +
                      (span.payload_end - span.payload_begin);
@@ -336,7 +383,8 @@ DeviceCodecResult compress_device_impl(gs::Device& dev,
         ctx.read(gs::Stage::kOther, covered);
         ctx.ops(gs::Stage::kOther, covered);
       });
-      footer.serialize(stream.subspan(base + total_payload, footer.bytes()));
+      const auto hv = gs::host_view(out);
+      footer.serialize(hv.store_span(base + total_payload, footer.bytes()));
       dev.trace().add_write(gs::Stage::kOther, footer.bytes());
     }
   }
@@ -355,10 +403,18 @@ DeviceCodecResult compress_device_impl(gs::Device& dev,
 template <typename T>
 DeviceCodecResult decompress_device_impl(gs::Device& dev,
                                          const gs::DeviceBuffer<byte_t>& cmp,
-                                         gs::DeviceBuffer<T>& out) {
+                                         gs::DeviceBuffer<T>& out,
+                                         size_t stream_bytes) {
+  // The logical stream may be shorter than the buffer holding it (pooled
+  // leases round sizes up): truncation checks must measure the stream,
+  // not the lease's capacity.
+  if (stream_bytes == 0) stream_bytes = cmp.size();
+  if (stream_bytes > cmp.size()) {
+    throw format_error("decompress_device: stream_bytes exceeds buffer");
+  }
   // Header fields (n, eb, L) travel with the API call in the CUDA tool;
   // reading them costs one tiny D2H.
-  const Header h = Header::deserialize(cmp.span());
+  const Header h = Header::deserialize(cmp.span().first(stream_bytes));
   if (h.is_f64() != std::is_same_v<T, double>) {
     throw format_error("decompress_device: stream data type mismatch");
   }
@@ -370,13 +426,13 @@ DeviceCodecResult decompress_device_impl(gs::Device& dev,
     throw format_error("decompress_device: output buffer too small");
   }
   const auto before = dev.snapshot();
-  if (cmp.size() < payload_offset(nblocks)) {
+  if (stream_bytes < payload_offset(nblocks)) {
     throw format_error("decompress_device: truncated length area");
   }
 
   const size_t base = payload_offset(nblocks);
   const size_t warps = std::max<size_t>(1, div_ceil(nblocks, kBlocksPerWarp));
-  const std::span<const byte_t> stream = cmp.span();
+  const std::span<const byte_t> stream = cmp.span().first(stream_bytes);
   const std::span<T> data = out.span().first(n);
   gs::ChainedScanState scan_state(dev, warps);
 
@@ -389,6 +445,8 @@ DeviceCodecResult decompress_device_impl(gs::Device& dev,
     if (footer_off > stream.size()) {
       throw format_error("decompress_device: truncated payload");
     }
+    const auto cv = gs::device_view(cmp, ctx);
+    (void)cv.load_span(footer_off, stream.size() - footer_off);
     const ChecksumFooter footer =
         ChecksumFooter::deserialize(stream.subspan(footer_off));
     ctx.read(gs::Stage::kOther, footer.bytes());
@@ -406,14 +464,23 @@ DeviceCodecResult decompress_device_impl(gs::Device& dev,
   };
 
   gs::launch(dev, "szp_decompress", warps, [&](const gs::BlockCtx& ctx) {
+    const auto cv = gs::device_view(cmp, ctx);
+    const auto ov = gs::device_view(out, ctx);
     std::array<std::uint8_t, w::kWarpSize> lbs{};
     w::Lanes<std::uint64_t> lane_len{};
     const size_t first_block = ctx.block_idx * kBlocksPerWarp;
     const size_t active = std::min(kBlocksPerWarp, nblocks - first_block);
+    // Declare this warp's output slice (zero-fill or decode fills every
+    // element of it through the captured raw span below).
+    const size_t out_begin = std::min(n, first_block * size_t{L});
+    const size_t out_end =
+        std::min(n, (first_block + kBlocksPerWarp) * size_t{L});
+    (void)ov.store_span(out_begin, out_end - out_begin);
 
     // Read per-block length bytes (FE is nearly free in decompression).
     obs::Span fe_span("stage", "FE", "warp", ctx.block_idx);
     size_t nonzero_blocks = 0;
+    (void)cv.load_span(lengths_offset() + first_block, active);
     for (unsigned lane = 0; lane < active; ++lane) {
       lbs[lane] = stream[lengths_offset() + first_block + lane];
       if (!valid_length_byte(lbs[lane])) {
@@ -428,8 +495,10 @@ DeviceCodecResult decompress_device_impl(gs::Device& dev,
     fe_span.close();
 
     obs::Span gs_span("stage", "GS", "warp", ctx.block_idx);
-    const w::Lanes<std::uint64_t> lane_off = w::exclusive_scan(lane_len);
-    const std::uint64_t aggregate = w::reduce_add(lane_len);
+    const w::Lanes<std::uint64_t> lane_off =
+        w::exclusive_scan_sync(ctx, w::kFullMask, lane_len);
+    const std::uint64_t aggregate =
+        w::reduce_add_sync(ctx, w::kFullMask, lane_len);
     const std::uint64_t prefix = scan_state.publish_and_lookback(
         ctx, gs::Stage::kGlobalSync, ctx.block_idx, aggregate);
     ctx.ops(gs::Stage::kGlobalSync, active + nonzero_blocks);
@@ -457,6 +526,7 @@ DeviceCodecResult decompress_device_impl(gs::Device& dev,
         throw format_error("decompress_device: truncated payload");
       }
       const std::uint64_t lane_t0 = tr ? obs::now_ns() : 0;
+      (void)cv.load_span(off, lane_len[lane]);
       read_block_payload(stream.subspan(off, lane_len[lane]), lbs[lane], L,
                          h.bit_shuffle(), scratch);
       if (tr) bb_ns += obs::now_ns() - lane_t0;
@@ -495,7 +565,7 @@ DeviceCodecResult decompress_device_impl(gs::Device& dev,
                               base + prefix + lane_off[lane],
                               lane_len[lane]);
       }
-      chk->credit(stream, ctx, first_block, active,
+      chk->credit(stream, cv, ctx, first_block, active,
                   [&] { check_footer(ctx); });
       if (chk->groups() == 0 && ctx.block_idx == 0) check_footer(ctx);
     }
@@ -524,14 +594,16 @@ DeviceCodecResult compress_device_f64(gs::Device& dev,
 
 DeviceCodecResult decompress_device(gs::Device& dev,
                                     const gs::DeviceBuffer<byte_t>& cmp,
-                                    gs::DeviceBuffer<float>& out) {
-  return decompress_device_impl(dev, cmp, out);
+                                    gs::DeviceBuffer<float>& out,
+                                    size_t stream_bytes) {
+  return decompress_device_impl(dev, cmp, out, stream_bytes);
 }
 
 DeviceCodecResult decompress_device_f64(gs::Device& dev,
                                         const gs::DeviceBuffer<byte_t>& cmp,
-                                        gs::DeviceBuffer<double>& out) {
-  return decompress_device_impl(dev, cmp, out);
+                                        gs::DeviceBuffer<double>& out,
+                                        size_t stream_bytes) {
+  return decompress_device_impl(dev, cmp, out, stream_bytes);
 }
 
 }  // namespace szp::core

@@ -38,10 +38,14 @@ DeviceCodecResult compress_device(gpusim::Device& dev,
                                   gpusim::DeviceBuffer<byte_t>& out);
 
 /// Decompress a device-resident stream into `out` (pre-allocated to the
-/// element count). Returns the number of elements written.
+/// element count). `stream_bytes` is the logical stream length inside
+/// `cmp` (0 = the whole buffer); pass it when `cmp` is a pooled buffer
+/// larger than the stream, so truncation checks measure the stream and
+/// not the lease's capacity. Returns the number of elements written.
 DeviceCodecResult decompress_device(gpusim::Device& dev,
                                     const gpusim::DeviceBuffer<byte_t>& cmp,
-                                    gpusim::DeviceBuffer<float>& out);
+                                    gpusim::DeviceBuffer<float>& out,
+                                    size_t stream_bytes = 0);
 
 /// Double-precision variants of the single-kernel pipeline (extension;
 /// same stream layout, f64 pre-quantization).
@@ -52,6 +56,7 @@ DeviceCodecResult compress_device_f64(gpusim::Device& dev,
                                       gpusim::DeviceBuffer<byte_t>& out);
 DeviceCodecResult decompress_device_f64(gpusim::Device& dev,
                                         const gpusim::DeviceBuffer<byte_t>& cmp,
-                                        gpusim::DeviceBuffer<double>& out);
+                                        gpusim::DeviceBuffer<double>& out,
+                                        size_t stream_bytes = 0);
 
 }  // namespace szp::core

@@ -186,14 +186,14 @@ core::DeviceCodecResult device_compress(gpusim::Device& dev,
                                         gpusim::DeviceBuffer<byte_t>& out);
 core::DeviceCodecResult device_decompress(
     gpusim::Device& dev, const gpusim::DeviceBuffer<byte_t>& cmp,
-    gpusim::DeviceBuffer<float>& out);
+    gpusim::DeviceBuffer<float>& out, size_t stream_bytes = 0);
 core::DeviceCodecResult device_compress_f64(
     gpusim::Device& dev, const gpusim::DeviceBuffer<double>& in, size_t n,
     const core::Params& params, double eb_abs,
     gpusim::DeviceBuffer<byte_t>& out);
 core::DeviceCodecResult device_decompress_f64(
     gpusim::Device& dev, const gpusim::DeviceBuffer<byte_t>& cmp,
-    gpusim::DeviceBuffer<double>& out);
+    gpusim::DeviceBuffer<double>& out, size_t stream_bytes = 0);
 
 namespace detail {
 /// Per-call accounting at the engine boundary (CLI `--stats` totals).

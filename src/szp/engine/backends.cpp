@@ -148,9 +148,10 @@ core::DeviceCodecResult device_compress(gpusim::Device& dev,
 
 core::DeviceCodecResult device_decompress(
     gpusim::Device& dev, const gpusim::DeviceBuffer<byte_t>& cmp,
-    gpusim::DeviceBuffer<float>& out) {
-  const obs::Span span("api", "decompress_on_device", "bytes", cmp.size());
-  const auto res = core::decompress_device(dev, cmp, out);
+    gpusim::DeviceBuffer<float>& out, size_t stream_bytes) {
+  const obs::Span span("api", "decompress_on_device", "bytes",
+                       stream_bytes != 0 ? stream_bytes : cmp.size());
+  const auto res = core::decompress_device(dev, cmp, out, stream_bytes);
   detail::record_decompress_call(res.bytes * sizeof(float));
   return res;
 }
@@ -167,9 +168,10 @@ core::DeviceCodecResult device_compress_f64(
 
 core::DeviceCodecResult device_decompress_f64(
     gpusim::Device& dev, const gpusim::DeviceBuffer<byte_t>& cmp,
-    gpusim::DeviceBuffer<double>& out) {
-  const obs::Span span("api", "decompress_on_device", "bytes", cmp.size());
-  const auto res = core::decompress_device_f64(dev, cmp, out);
+    gpusim::DeviceBuffer<double>& out, size_t stream_bytes) {
+  const obs::Span span("api", "decompress_on_device", "bytes",
+                       stream_bytes != 0 ? stream_bytes : cmp.size());
+  const auto res = core::decompress_device_f64(dev, cmp, out, stream_bytes);
   detail::record_decompress_call(res.bytes * sizeof(double));
   return res;
 }
@@ -227,9 +229,9 @@ std::vector<T> DeviceBackend::decompress_impl(std::span<const byte_t> stream,
   auto out = pool_of<T>(*this).acquire(h.num_elements);
   core::DeviceCodecResult res;
   if constexpr (std::is_same_v<T, float>) {
-    res = device_decompress(dev_, *cmp, *out);
+    res = device_decompress(dev_, *cmp, *out, stream.size());
   } else {
-    res = device_decompress_f64(dev_, *cmp, *out);
+    res = device_decompress_f64(dev_, *cmp, *out, stream.size());
   }
   if (trace != nullptr) *trace = res.trace;
   std::vector<T> host(res.bytes);

@@ -34,8 +34,8 @@ core::DeviceCodecResult Compressor::compress_on_device(
 
 core::DeviceCodecResult Compressor::decompress_on_device(
     gpusim::Device& dev, const gpusim::DeviceBuffer<byte_t>& cmp,
-    gpusim::DeviceBuffer<float>& out) const {
-  return engine::device_decompress(dev, cmp, out);
+    gpusim::DeviceBuffer<float>& out, size_t stream_bytes) const {
+  return engine::device_decompress(dev, cmp, out, stream_bytes);
 }
 
 }  // namespace szp

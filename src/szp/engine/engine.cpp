@@ -144,7 +144,8 @@ DeviceRoundtrip Engine::device_roundtrip(std::span<const float> data,
     const obs::Span span("harness", "decompress", "bytes",
                          r.compressed_bytes);
     const auto t0 = Clock::now();
-    const auto dres = device_decompress(dev, *d_cmp, *d_out);
+    const auto dres =
+        device_decompress(dev, *d_cmp, *d_out, r.compressed_bytes);
     r.wall_decomp_s = seconds_since(t0);
     r.decomp_trace = dres.trace;
   }

@@ -1,15 +1,48 @@
 #include "szp/gpusim/device.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <mutex>
 #include <thread>
 
+#include "szp/gpusim/sanitize/checker.hpp"
+
 namespace szp::gpusim {
 
-Device::Device(unsigned workers) : workers_(workers) {
+Device::Device(unsigned workers) : Device(workers, sanitize::tools_from_env()) {}
+
+Device::Device(unsigned workers, sanitize::Tools devcheck) : workers_(workers) {
   if (workers_ == 0) {
     workers_ = std::max(2u, std::thread::hardware_concurrency());
   }
+  if (devcheck.any()) {
+    checker_ =
+        std::make_unique<sanitize::Checker>(devcheck, &launches_in_flight_);
+  }
+}
+
+Device::~Device() {
+  if (checker_ == nullptr || !checker_->abort_on_teardown()) return;
+  checker_->finalize();
+  if (checker_->finding_count() == 0) return;
+  const std::string report = checker_->snapshot().to_string();
+  std::fputs(report.c_str(), stderr);
+  std::fputs("devcheck: aborting at Device teardown (SZP_DEVCHECK set)\n",
+             stderr);
+  std::abort();
+}
+
+sanitize::Report Device::sanitize_report() const {
+  return checker_ != nullptr ? checker_->snapshot() : sanitize::Report{};
+}
+
+void Device::sanitize_finalize() {
+  if (checker_ != nullptr) checker_->finalize();
+}
+
+void Device::clear_sanitize_findings() {
+  if (checker_ != nullptr) checker_->clear_findings();
 }
 
 TraceSnapshot Device::snapshot() const {

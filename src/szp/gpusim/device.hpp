@@ -10,15 +10,21 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "szp/gpusim/sanitize/report.hpp"
 #include "szp/gpusim/trace.hpp"
 #include "szp/util/common.hpp"
 
 namespace szp::gpusim {
+
+namespace sanitize {
+class Checker;
+}  // namespace sanitize
 
 /// Record of one kernel launch (name + grid size), for tests and reports.
 struct KernelRecord {
@@ -31,7 +37,32 @@ class Device {
   /// `workers` = number of host threads used to execute thread blocks.
   /// 0 picks a default based on hardware concurrency (at least 2, so the
   /// chained-scan lookback is exercised concurrently even on 1-core hosts).
+  /// Sanitizer tools are picked up from SZP_DEVCHECK (sanitize::
+  /// tools_from_env); throws format_error on an unknown tool name.
   explicit Device(unsigned workers = 0);
+
+  /// Explicit sanitizer activation (tests, --devcheck tooling); ignores
+  /// the environment.
+  Device(unsigned workers, sanitize::Tools devcheck);
+
+  /// When env activation requested abort_on_teardown and findings exist,
+  /// runs the leak sweep, prints the report to stderr and aborts — the
+  /// compute-sanitizer --error-exitcode analogue for unattended runs.
+  ~Device();
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  /// Sanitizer engine; nullptr when no tool is enabled (the zero-overhead
+  /// fast path: instrumentation sites check this one pointer).
+  [[nodiscard]] sanitize::Checker* checker() const { return checker_.get(); }
+
+  /// Snapshot of sanitizer findings (empty when disabled).
+  [[nodiscard]] sanitize::Report sanitize_report() const;
+  /// Leak sweep now (normally run at teardown). No-op when disabled.
+  void sanitize_finalize();
+  /// Drop collected findings (tools print-then-clear before teardown).
+  void clear_sanitize_findings();
 
   [[nodiscard]] Trace& trace() { return trace_; }
   [[nodiscard]] const Trace& trace() const { return trace_; }
@@ -98,6 +129,7 @@ class Device {
   mutable std::mutex log_mutex_;
   std::vector<KernelRecord> launch_log_;
   KernelHook post_kernel_hook_;
+  std::unique_ptr<sanitize::Checker> checker_;
 };
 
 }  // namespace szp::gpusim

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -34,6 +35,11 @@ void run_blocks(Device& dev, const char* kernel_name, size_t grid_blocks,
   const unsigned workers = static_cast<unsigned>(
       std::min<size_t>(dev.workers(), grid_blocks));
 
+  std::unique_ptr<sanitize::LaunchCheck> lc;
+  if (sanitize::Checker* chk = dev.checker()) {
+    lc = chk->begin_launch(kernel_name, grid_blocks);
+  }
+
   std::atomic<size_t> next{0};
   std::exception_ptr first_error;
   std::mutex error_mutex;
@@ -41,10 +47,11 @@ void run_blocks(Device& dev, const char* kernel_name, size_t grid_blocks,
 
   auto worker_fn = [&](bool pooled) {
     if (pooled) obs::set_thread_name("gpusim-worker");
+    const sanitize::KernelThreadScope kernel_thread;
     for (;;) {
       const size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= grid_blocks || failed.load(std::memory_order_relaxed)) return;
-      BlockCtx ctx{i, grid_blocks, &dev.trace(), &failed};
+      BlockCtx ctx{i, grid_blocks, &dev.trace(), &failed, lc.get()};
       obs::Span block_span("block", kernel_name, "block", i);
       try {
         body(ctx);
@@ -72,6 +79,9 @@ void run_blocks(Device& dev, const char* kernel_name, size_t grid_blocks,
       for (auto& t : pool) t.join();
     }
   }
+  // The launch retired (or aborted): bump the sanitizer epoch on every
+  // exit path so host accesses after the launch are ordered.
+  if (lc != nullptr) dev.checker()->end_launch(*lc);
   if (first_error) std::rethrow_exception(first_error);
 
   // Fault-injection hook (tests): corrupt device memory between pipeline

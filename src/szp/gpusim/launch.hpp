@@ -7,6 +7,7 @@
 #include <functional>
 
 #include "szp/gpusim/device.hpp"
+#include "szp/gpusim/sanitize/checker.hpp"
 
 namespace szp::gpusim {
 
@@ -16,6 +17,9 @@ struct BlockCtx {
   size_t grid_blocks = 0;
   Trace* trace = nullptr;
   const std::atomic<bool>* abort_flag = nullptr;
+  /// Sanitizer state for this launch; nullptr when disabled (every hook
+  /// below is a single null-check then).
+  sanitize::LaunchCheck* devcheck = nullptr;
 
   void read(Stage s, std::uint64_t bytes) const { trace->add_read(s, bytes); }
   void write(Stage s, std::uint64_t bytes) const {
@@ -29,6 +33,33 @@ struct BlockCtx {
   [[nodiscard]] bool aborted() const {
     return abort_flag != nullptr &&
            abort_flag->load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint32_t actor() const {
+    return static_cast<std::uint32_t>(block_idx);
+  }
+
+  /// Racecheck happens-before edges. Kernels call these next to the
+  /// release/acquire atomics they synchronize through (chained-scan flag
+  /// publishes, checksum group credits); `key` is the atomic's address.
+  void sync_release(const void* key) const {
+    if (devcheck != nullptr) devcheck->sync_release(actor(), key);
+  }
+  void sync_acquire(const void* key) const {
+    if (devcheck != nullptr) devcheck->sync_acquire(actor(), key);
+  }
+
+  /// Synccheck. Kernels declare divergence (set_active_mask) and the
+  /// lanes arriving at each block-wide barrier; warp primitives declare
+  /// their participation mask via the *_sync wrappers in warp_sync.hpp.
+  void set_active_mask(std::uint32_t mask) const {
+    if (devcheck != nullptr) devcheck->set_active_mask(actor(), mask);
+  }
+  void block_barrier(std::uint32_t arrived_mask = 0xffffffffu) const {
+    if (devcheck != nullptr) devcheck->block_barrier(actor(), arrived_mask);
+  }
+  void warp_op(const char* op, std::uint32_t mask) const {
+    if (devcheck != nullptr) devcheck->warp_op(actor(), op, mask);
   }
 };
 

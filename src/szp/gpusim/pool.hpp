@@ -86,6 +86,9 @@ class BufferPool {
     if (best != nullptr) {
       best->in_use = true;
       ++reuses_;
+      // The previous lease's contents are stale: reset the sanitizer's
+      // init bitmap so reading them before writing is flagged.
+      best->buf.note_pool_reuse();
       return Lease(this, best);
     }
     if (any_idle != nullptr) {

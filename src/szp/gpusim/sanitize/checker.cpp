@@ -1,0 +1,290 @@
+#include "szp/gpusim/sanitize/checker.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "szp/obs/metrics.hpp"
+
+namespace szp::gpusim::sanitize {
+
+namespace {
+
+/// Finding cap: dedup handles repeats at one site, the cap bounds memory
+/// when a defect sprays across many distinct cells.
+constexpr size_t kMaxFindings = 256;
+
+constexpr std::uint32_t kFullMask = 0xffffffffu;
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+void count_finding(Kind kind) {
+  auto& reg = obs::Registry::instance();
+  switch (kind_tool(kind)) {
+    case Tool::kMemcheck: {
+      static obs::Counter& c = reg.counter("devcheck.memcheck.findings");
+      c.add();
+      break;
+    }
+    case Tool::kRacecheck: {
+      static obs::Counter& c = reg.counter("devcheck.racecheck.findings");
+      c.add();
+      break;
+    }
+    case Tool::kSynccheck: {
+      static obs::Counter& c = reg.counter("devcheck.synccheck.findings");
+      c.add();
+      break;
+    }
+  }
+}
+
+std::string mask_str(std::uint32_t mask) {
+  char buf[11];
+  std::snprintf(buf, sizeof buf, "0x%08x", mask);
+  return buf;
+}
+
+void join(std::vector<std::uint32_t>& dst,
+          const std::vector<std::uint32_t>& src) {
+  for (size_t i = 0; i < dst.size(); ++i) dst[i] = std::max(dst[i], src[i]);
+}
+
+}  // namespace
+
+Checker::Checker(Tools tools, const std::atomic<unsigned>* launches_in_flight)
+    : tools_(tools), in_flight_(launches_in_flight) {}
+
+Checker::~Checker() = default;
+
+std::shared_ptr<BufferShadow> Checker::on_alloc(size_t cells,
+                                                size_t elem_bytes) {
+  auto sh = std::make_shared<BufferShadow>(
+      *this, next_buffer_id_.fetch_add(1, std::memory_order_relaxed), cells,
+      elem_bytes);
+  std::lock_guard<std::mutex> lock(live_mutex_);
+  live_.emplace(sh->id(), sh);
+  return sh;
+}
+
+void Checker::on_free(BufferShadow& sh, bool redzones_intact) {
+  sh.mark_freed();
+  if (!redzones_intact) {
+    report(Kind::kRedzoneCorruption,
+           "redzone overwritten adjacent to buffer #" + std::to_string(sh.id()),
+           sh.id(), 0);
+  }
+  std::lock_guard<std::mutex> lock(live_mutex_);
+  live_.erase(sh.id());
+}
+
+std::unique_ptr<LaunchCheck> Checker::begin_launch(const char* kernel,
+                                                   size_t grid_blocks) {
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  kernel_.store(kernel, std::memory_order_release);
+  return std::make_unique<LaunchCheck>(*this, kernel, grid_blocks);
+}
+
+void Checker::end_launch(LaunchCheck& lc) {
+  (void)lc;
+  kernel_.store(nullptr, std::memory_order_release);
+  // A completed launch is a device-wide sync point: bump the epoch so
+  // host accesses and later launches are ordered after everything the
+  // kernel did.
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void Checker::report(Kind kind, std::string message, std::uint64_t buffer_id,
+                     std::uint64_t index) {
+  const char* k = kernel_.load(std::memory_order_acquire);
+  std::uint64_t fp = fnv1a(0xcbf29ce484222325ull,
+                           static_cast<std::uint64_t>(kind));
+  fp = fnv1a(fp, buffer_id);
+  fp = fnv1a(fp, index);
+  if (k != nullptr) {
+    for (const char* p = k; *p != '\0'; ++p) {
+      fp = fnv1a(fp, static_cast<unsigned char>(*p));
+    }
+  }
+  count_finding(kind);
+  std::lock_guard<std::mutex> lock(findings_mutex_);
+  if (auto it = finding_sites_.find(fp); it != finding_sites_.end()) {
+    ++findings_[it->second].count;
+    return;
+  }
+  if (findings_.size() >= kMaxFindings) {
+    ++dropped_;
+    return;
+  }
+  finding_sites_.emplace(fp, findings_.size());
+  findings_.push_back(Finding{kind, std::move(message),
+                              k != nullptr ? std::string(k) : std::string(),
+                              buffer_id, index, 1});
+}
+
+Report Checker::snapshot() const {
+  std::lock_guard<std::mutex> lock(findings_mutex_);
+  return Report{findings_, dropped_};
+}
+
+size_t Checker::finding_count() const {
+  std::lock_guard<std::mutex> lock(findings_mutex_);
+  return findings_.size() + (dropped_ > 0 ? 1 : 0);
+}
+
+void Checker::clear_findings() {
+  std::lock_guard<std::mutex> lock(findings_mutex_);
+  findings_.clear();
+  finding_sites_.clear();
+  dropped_ = 0;
+}
+
+void Checker::finalize() {
+  if (!tools_.memcheck) return;
+  std::vector<std::shared_ptr<BufferShadow>> leaked;
+  {
+    std::lock_guard<std::mutex> lock(live_mutex_);
+    for (auto& [id, sh] : live_) leaked.push_back(sh);
+    live_.clear();
+  }
+  std::sort(leaked.begin(), leaked.end(),
+            [](const auto& a, const auto& b) { return a->id() < b->id(); });
+  for (const auto& sh : leaked) {
+    report(Kind::kLeak,
+           "buffer #" + std::to_string(sh->id()) + " (" +
+               std::to_string(sh->cells() * sh->elem_bytes()) +
+               " bytes) still allocated at leak check",
+           sh->id(), 0);
+  }
+}
+
+LaunchCheck::LaunchCheck(Checker& chk, const char* kernel, size_t grid_blocks)
+    : chk_(chk),
+      kernel_(kernel),
+      grid_(grid_blocks),
+      epoch_(chk.epoch()),
+      race_enabled_(chk.tools().racecheck && grid_blocks <= kMaxRaceActors) {
+  if (race_enabled_) vc_.resize(grid_);
+  if (chk.tools().synccheck) active_mask_.assign(grid_, kFullMask);
+}
+
+std::vector<std::uint32_t>& LaunchCheck::vc(std::uint32_t actor) {
+  auto& v = vc_[actor];
+  if (v.empty()) {
+    v.assign(grid_, 0);
+    v[actor] = 1;
+  }
+  return v;
+}
+
+bool LaunchCheck::ordered(const std::vector<std::uint32_t>& myvc,
+                          std::uint32_t prior_actor,
+                          std::uint32_t prior_clock) const {
+  return prior_clock == 0 || myvc[prior_actor] >= prior_clock;
+}
+
+void LaunchCheck::race_range(BufferShadow& sh, size_t begin, size_t end,
+                             std::uint32_t actor, bool is_write) {
+  if (!race_enabled_) return;
+  if (sh.race_.empty()) sh.race_.resize(sh.cells());
+  auto& myvc = vc(actor);
+  const std::uint32_t myclock = myvc[actor];
+  bool reported = false;
+  for (size_t i = begin; i < end; ++i) {
+    auto& c = sh.race_[i];
+    if (c.epoch != epoch_) {
+      // First touch this launch: prior-launch accesses are ordered by the
+      // launch boundary, forget them.
+      c = BufferShadow::RaceCell{};
+      c.epoch = epoch_;
+    }
+    if (c.w_clock != 0 && c.w_actor != actor &&
+        !ordered(myvc, c.w_actor, c.w_clock) && !reported) {
+      chk_.report(Kind::kRace,
+                  std::string("unordered write-") +
+                      (is_write ? "write" : "read") + ": blocks " +
+                      std::to_string(c.w_actor) + " and " +
+                      std::to_string(actor) + " on cell " + std::to_string(i) +
+                      " of buffer #" + std::to_string(sh.id()),
+                  sh.id(), i);
+      reported = true;
+    }
+    if (is_write) {
+      if (c.r_clock != 0 && c.r_actor != actor &&
+          !ordered(myvc, c.r_actor, c.r_clock) && !reported) {
+        chk_.report(Kind::kRace,
+                    "unordered read-write: blocks " +
+                        std::to_string(c.r_actor) + " and " +
+                        std::to_string(actor) + " on cell " +
+                        std::to_string(i) + " of buffer #" +
+                        std::to_string(sh.id()),
+                    sh.id(), i);
+        reported = true;
+      }
+      c.w_actor = actor;
+      c.w_clock = myclock;
+    } else {
+      c.r_actor = actor;
+      c.r_clock = myclock;
+    }
+  }
+}
+
+void LaunchCheck::sync_release(std::uint32_t actor, const void* key) {
+  if (!race_enabled_) return;
+  std::lock_guard<std::mutex> lock(chk_.race_mutex_);
+  auto& myvc = vc(actor);
+  auto& s = sync_vc_[key];
+  if (s.empty()) {
+    s = myvc;
+  } else {
+    join(s, myvc);
+  }
+  ++myvc[actor];
+}
+
+void LaunchCheck::sync_acquire(std::uint32_t actor, const void* key) {
+  if (!race_enabled_) return;
+  std::lock_guard<std::mutex> lock(chk_.race_mutex_);
+  if (auto it = sync_vc_.find(key); it != sync_vc_.end()) {
+    join(vc(actor), it->second);
+  }
+}
+
+void LaunchCheck::set_active_mask(std::uint32_t actor, std::uint32_t mask) {
+  if (actor < active_mask_.size()) active_mask_[actor] = mask;
+}
+
+void LaunchCheck::block_barrier(std::uint32_t actor,
+                                std::uint32_t arrived_mask) {
+  if (actor >= active_mask_.size()) return;
+  const std::uint32_t active = active_mask_[actor];
+  if (arrived_mask != active) {
+    chk_.report(Kind::kBarrierDivergence,
+                "block " + std::to_string(actor) + ": barrier reached by " +
+                    mask_str(arrived_mask) + " but active mask is " +
+                    mask_str(active),
+                0, actor);
+  }
+}
+
+void LaunchCheck::warp_op(std::uint32_t actor, const char* op,
+                          std::uint32_t mask) {
+  if (actor >= active_mask_.size()) return;
+  const std::uint32_t active = active_mask_[actor];
+  if (mask != active) {
+    chk_.report(Kind::kMaskMismatch,
+                std::string(op) + " in block " + std::to_string(actor) +
+                    " with mask " + mask_str(mask) +
+                    " but converged active mask is " + mask_str(active),
+                0, actor);
+  }
+}
+
+}  // namespace szp::gpusim::sanitize

@@ -1,0 +1,162 @@
+// The gpusim sanitizer engine: one Checker per Device, one LaunchCheck
+// per kernel launch.
+//
+// The Checker owns the global state — active tools, the set of live
+// buffer shadows, the deduplicated finding log, the launch epoch counter
+// — and is shared by every worker thread. A LaunchCheck carries the
+// per-launch racecheck vector clocks (FastTrack-style, one clock per
+// block since gpusim runs each block on exactly one worker) and the
+// per-block synccheck convergence state.
+//
+// Happens-before model: launch boundaries are device-wide barriers in
+// this synchronous runtime, so the epoch counter is bumped at launch
+// begin AND end; accesses from different epochs are always ordered and
+// racecheck only compares accesses within one launch. Inside a launch,
+// sync edges come from the release/acquire hooks that instrumented
+// kernels attach to their atomics (chained-scan lookback flags, checksum
+// group credits): `sync_release(key)` publishes the releasing block's
+// clock under `key`, `sync_acquire(key)` joins it into the acquiring
+// block's clock.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "szp/gpusim/sanitize/report.hpp"
+#include "szp/gpusim/sanitize/shadow.hpp"
+
+namespace szp::gpusim::sanitize {
+
+class LaunchCheck;
+
+class Checker {
+ public:
+  /// `launches_in_flight` points at the owning Device's launch counter
+  /// (used to flag host access while a kernel is running).
+  Checker(Tools tools, const std::atomic<unsigned>* launches_in_flight);
+  ~Checker();
+
+  Checker(const Checker&) = delete;
+  Checker& operator=(const Checker&) = delete;
+
+  [[nodiscard]] const Tools& tools() const { return tools_; }
+
+  /// Buffer lifecycle (called by DeviceBuffer / BufferPool).
+  [[nodiscard]] std::shared_ptr<BufferShadow> on_alloc(size_t cells,
+                                                       size_t elem_bytes);
+  void on_free(BufferShadow& sh, bool redzones_intact);
+
+  /// Launch lifecycle (called by run_blocks). begin_launch bumps the
+  /// epoch so prior accesses are ordered-before this launch; end_launch
+  /// bumps it again so host accesses after the launch are ordered too.
+  [[nodiscard]] std::unique_ptr<LaunchCheck> begin_launch(const char* kernel,
+                                                          size_t grid_blocks);
+  void end_launch(LaunchCheck& lc);
+
+  /// Record a finding, deduplicated on (kind, buffer, index, kernel).
+  void report(Kind kind, std::string message, std::uint64_t buffer_id = 0,
+              std::uint64_t index = 0);
+
+  [[nodiscard]] Report snapshot() const;
+  [[nodiscard]] size_t finding_count() const;
+  void clear_findings();
+
+  /// Leak sweep: every shadow still alive becomes a kLeak finding. Call
+  /// at Device teardown (after all buffers/pools are destroyed) or from
+  /// tests that deliberately leak.
+  void finalize();
+
+  [[nodiscard]] bool in_kernel() const {
+    return in_flight_ != nullptr &&
+           in_flight_->load(std::memory_order_acquire) > 0;
+  }
+  [[nodiscard]] std::uint64_t epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] bool abort_on_teardown() const {
+    return tools_.abort_on_teardown;
+  }
+
+ private:
+  friend class BufferShadow;
+  friend class LaunchCheck;
+
+  Tools tools_;
+  const std::atomic<unsigned>* in_flight_;
+  std::atomic<const char*> kernel_{nullptr};
+  std::atomic<std::uint64_t> epoch_{1};
+  std::atomic<std::uint64_t> next_buffer_id_{1};
+
+  mutable std::mutex findings_mutex_;
+  std::vector<Finding> findings_;
+  std::unordered_map<std::uint64_t, size_t> finding_sites_;  // fp -> index
+  std::uint64_t dropped_ = 0;
+
+  mutable std::mutex live_mutex_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<BufferShadow>> live_;
+
+  /// Single lock for all racecheck state (cells + vector clocks): keeps
+  /// detection deterministic and the implementation simple; racecheck is
+  /// a debugging tool, not a fast path.
+  std::mutex race_mutex_;
+};
+
+class LaunchCheck {
+ public:
+  LaunchCheck(Checker& chk, const char* kernel, size_t grid_blocks);
+
+  LaunchCheck(const LaunchCheck&) = delete;
+  LaunchCheck& operator=(const LaunchCheck&) = delete;
+
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+  [[nodiscard]] const char* kernel() const { return kernel_; }
+
+  /// Racecheck sync edges, forwarded from BlockCtx. `key` identifies the
+  /// synchronizing object (typically the address of the atomic).
+  void sync_release(std::uint32_t actor, const void* key);
+  void sync_acquire(std::uint32_t actor, const void* key);
+
+  /// Synccheck. Each simulated block runs on one worker thread, so the
+  /// per-block convergence state needs no locking.
+  void set_active_mask(std::uint32_t actor, std::uint32_t mask);
+  void block_barrier(std::uint32_t actor, std::uint32_t arrived_mask);
+  void warp_op(std::uint32_t actor, const char* op, std::uint32_t mask);
+
+ private:
+  friend class BufferShadow;
+
+  /// Racecheck core, called by BufferShadow with race_mutex_ held.
+  void race_range(BufferShadow& sh, size_t begin, size_t end,
+                  std::uint32_t actor, bool is_write);
+  std::vector<std::uint32_t>& vc(std::uint32_t actor);
+  [[nodiscard]] bool ordered(const std::vector<std::uint32_t>& myvc,
+                             std::uint32_t prior_actor,
+                             std::uint32_t prior_clock) const;
+
+  Checker& chk_;
+  const char* kernel_;
+  size_t grid_;
+  std::uint64_t epoch_;
+  bool race_enabled_;
+
+  // Racecheck (guarded by Checker::race_mutex_). Per-actor vector clocks
+  // are lazily initialised; sync-var clocks keyed by object address.
+  std::vector<std::vector<std::uint32_t>> vc_;
+  std::unordered_map<const void*, std::vector<std::uint32_t>> sync_vc_;
+
+  // Synccheck: per-block active mask (one worker per block, no lock).
+  std::vector<std::uint32_t> active_mask_;
+};
+
+/// Memory guard: racecheck tracks one vector-clock slot per block per
+/// sync var, so launches wider than this run with racecheck disabled
+/// (memcheck/synccheck still apply). Far above any grid this codebase
+/// launches; documented in docs/SANITIZERS.md.
+inline constexpr size_t kMaxRaceActors = 1u << 16;
+
+}  // namespace szp::gpusim::sanitize

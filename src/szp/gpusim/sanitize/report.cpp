@@ -1,0 +1,129 @@
+#include "szp/gpusim/sanitize/report.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace szp::gpusim::sanitize {
+
+std::string_view tool_name(Tool t) {
+  switch (t) {
+    case Tool::kMemcheck: return "memcheck";
+    case Tool::kRacecheck: return "racecheck";
+    case Tool::kSynccheck: return "synccheck";
+  }
+  return "?";
+}
+
+Tools tools_from_string(std::string_view spec) {
+  Tools t;
+  if (spec.empty() || spec == "0" || spec == "off" || spec == "none") {
+    return t;
+  }
+  if (spec == "1" || spec == "all") {
+    return Tools::all();
+  }
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    const size_t comma = std::min(spec.find(',', pos), spec.size());
+    const std::string_view tok = spec.substr(pos, comma - pos);
+    if (tok == "memcheck") {
+      t.memcheck = true;
+    } else if (tok == "racecheck") {
+      t.racecheck = true;
+    } else if (tok == "synccheck") {
+      t.synccheck = true;
+    } else if (!tok.empty()) {
+      throw format_error("SZP_DEVCHECK: unknown tool '" + std::string(tok) +
+                         "' (expected memcheck|racecheck|synccheck|all)");
+    }
+    pos = comma + 1;
+  }
+  return t;
+}
+
+Tools tools_from_env() {
+  const char* s = std::getenv("SZP_DEVCHECK");
+  if (s == nullptr) return {};
+  Tools t = tools_from_string(s);
+  t.abort_on_teardown = t.any();
+  return t;
+}
+
+std::string_view kind_name(Kind k) {
+  switch (k) {
+    case Kind::kOobRead: return "out-of-bounds read";
+    case Kind::kOobWrite: return "out-of-bounds write";
+    case Kind::kUninitRead: return "uninitialized read";
+    case Kind::kUseAfterFree: return "use after free";
+    case Kind::kRedzoneCorruption: return "redzone corruption";
+    case Kind::kHostAccessDuringKernel: return "host access during kernel";
+    case Kind::kLeak: return "device memory leak";
+    case Kind::kRace: return "unordered conflicting access";
+    case Kind::kBarrierDivergence: return "barrier divergence";
+    case Kind::kMaskMismatch: return "warp mask mismatch";
+  }
+  return "?";
+}
+
+Tool kind_tool(Kind k) {
+  switch (k) {
+    case Kind::kOobRead:
+    case Kind::kOobWrite:
+    case Kind::kUninitRead:
+    case Kind::kUseAfterFree:
+    case Kind::kRedzoneCorruption:
+    case Kind::kHostAccessDuringKernel:
+    case Kind::kLeak: return Tool::kMemcheck;
+    case Kind::kRace: return Tool::kRacecheck;
+    case Kind::kBarrierDivergence:
+    case Kind::kMaskMismatch: return Tool::kSynccheck;
+  }
+  return Tool::kMemcheck;
+}
+
+std::uint64_t Report::total() const {
+  std::uint64_t n = dropped;
+  for (const auto& f : findings) n += f.count;
+  return n;
+}
+
+std::uint64_t Report::count(Tool t) const {
+  std::uint64_t n = 0;
+  for (const auto& f : findings) {
+    if (f.tool() == t) n += f.count;
+  }
+  return n;
+}
+
+std::uint64_t Report::count(Kind k) const {
+  std::uint64_t n = 0;
+  for (const auto& f : findings) {
+    if (f.kind == k) n += f.count;
+  }
+  return n;
+}
+
+std::string Report::to_string() const {
+  std::ostringstream os;
+  if (empty()) {
+    os << "devcheck: no findings\n";
+    return os.str();
+  }
+  os << "devcheck: " << total() << " finding(s)"
+     << " [memcheck " << count(Tool::kMemcheck) << ", racecheck "
+     << count(Tool::kRacecheck) << ", synccheck " << count(Tool::kSynccheck)
+     << "]\n";
+  for (const auto& f : findings) {
+    os << "  [" << tool_name(f.tool()) << "] " << kind_name(f.kind) << ": "
+       << f.message;
+    if (!f.kernel.empty()) os << " (kernel " << f.kernel << ")";
+    if (f.count > 1) os << " x" << f.count;
+    os << "\n";
+  }
+  if (dropped > 0) {
+    os << "  ... " << dropped << " further distinct finding(s) dropped\n";
+  }
+  return os.str();
+}
+
+}  // namespace szp::gpusim::sanitize

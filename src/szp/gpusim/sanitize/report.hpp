@@ -1,0 +1,100 @@
+// gpusim-sanitizer reporting types.
+//
+// The sanitize layer is the simulated-runtime analogue of
+// `compute-sanitizer --tool {memcheck,racecheck,synccheck}`: an opt-in
+// checking layer that polices the access patterns the cuSZp kernel relies
+// on (checked device loads/stores, chained-scan lookback ordering, warp
+// primitive convergence). Findings are collected into a structured Report
+// rather than printed as they occur, so tests can assert on exact defect
+// classes and tools can decide the exit code.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "szp/util/common.hpp"
+
+namespace szp::gpusim::sanitize {
+
+/// The three checking tools, mirroring compute-sanitizer's.
+enum class Tool : std::uint8_t { kMemcheck, kRacecheck, kSynccheck };
+
+[[nodiscard]] std::string_view tool_name(Tool t);
+
+/// Which tools are active on a Device. Zero-size-of-disabled contract:
+/// when no tool is enabled the Device carries no Checker at all and every
+/// instrumentation site costs one null-pointer branch.
+struct Tools {
+  bool memcheck = false;
+  bool racecheck = false;
+  bool synccheck = false;
+  /// When set (env activation), Device teardown with findings aborts the
+  /// process after printing the report — the `compute-sanitizer
+  /// --error-exitcode` behaviour that makes unattended ctest runs fail
+  /// loudly. Config-flag activation leaves this off so tests can consume
+  /// findings programmatically.
+  bool abort_on_teardown = false;
+
+  [[nodiscard]] bool any() const { return memcheck || racecheck || synccheck; }
+  [[nodiscard]] static Tools all() { return {true, true, true, false}; }
+  [[nodiscard]] static Tools none() { return {}; }
+};
+
+/// Parse a SZP_DEVCHECK-style selector: "all" / "1" enables everything,
+/// "" / "0" / "off" nothing, otherwise a comma list of tool names
+/// ("memcheck,racecheck,synccheck"). Throws format_error on unknown names.
+[[nodiscard]] Tools tools_from_string(std::string_view spec);
+
+/// Tools requested by the SZP_DEVCHECK environment variable (none when
+/// unset). Env activation sets abort_on_teardown.
+[[nodiscard]] Tools tools_from_env();
+
+/// Defect classes. Each maps to exactly one tool (kind_tool).
+enum class Kind : std::uint8_t {
+  // memcheck
+  kOobRead,
+  kOobWrite,
+  kUninitRead,
+  kUseAfterFree,
+  kRedzoneCorruption,
+  kHostAccessDuringKernel,
+  kLeak,
+  // racecheck
+  kRace,
+  // synccheck
+  kBarrierDivergence,
+  kMaskMismatch,
+};
+
+[[nodiscard]] std::string_view kind_name(Kind k);
+[[nodiscard]] Tool kind_tool(Kind k);
+
+/// One deduplicated defect. `count` folds repeats of the same defect at
+/// the same site (kind, buffer, cell, kernel).
+struct Finding {
+  Kind kind = Kind::kOobRead;
+  std::string message;
+  std::string kernel;         // kernel in flight when detected ("" = host)
+  std::uint64_t buffer_id = 0;  // 0 = not buffer-related
+  std::uint64_t index = 0;      // cell index where applicable
+  std::uint64_t count = 1;
+
+  [[nodiscard]] Tool tool() const { return kind_tool(kind); }
+};
+
+/// Snapshot of everything a Checker has collected.
+struct Report {
+  std::vector<Finding> findings;
+  std::uint64_t dropped = 0;  // distinct findings beyond the cap
+
+  [[nodiscard]] bool empty() const { return findings.empty() && dropped == 0; }
+  [[nodiscard]] std::uint64_t total() const;
+  [[nodiscard]] std::uint64_t count(Tool t) const;
+  [[nodiscard]] std::uint64_t count(Kind k) const;
+  /// Human-readable multi-line summary (szp_cli/szp_verify --devcheck).
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace szp::gpusim::sanitize

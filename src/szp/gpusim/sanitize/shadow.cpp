@@ -1,0 +1,191 @@
+#include "szp/gpusim/sanitize/shadow.hpp"
+
+#include <mutex>
+#include <string>
+
+#include "szp/gpusim/sanitize/checker.hpp"
+
+namespace szp::gpusim::sanitize {
+
+namespace {
+
+constexpr size_t kBitsPerWord = 64;
+
+std::string cell_str(std::uint64_t buffer_id, size_t i) {
+  return "cell " + std::to_string(i) + " of buffer #" +
+         std::to_string(buffer_id);
+}
+
+thread_local bool t_on_kernel_thread = false;
+
+}  // namespace
+
+bool on_kernel_thread() noexcept { return t_on_kernel_thread; }
+
+KernelThreadScope::KernelThreadScope() noexcept { t_on_kernel_thread = true; }
+KernelThreadScope::~KernelThreadScope() { t_on_kernel_thread = false; }
+
+BufferShadow::BufferShadow(Checker& chk, std::uint64_t id, size_t cells,
+                           size_t elem_bytes)
+    : chk_(chk),
+      id_(id),
+      cells_(cells),
+      elem_bytes_(elem_bytes),
+      memcheck_(chk.tools().memcheck),
+      racecheck_(chk.tools().racecheck) {
+  if (memcheck_) {
+    init_ = std::vector<std::atomic<std::uint64_t>>(
+        (cells_ + kBitsPerWord - 1) / kBitsPerWord);
+  }
+}
+
+bool BufferShadow::init_bit(size_t i) const {
+  return (init_[i / kBitsPerWord].load(std::memory_order_relaxed) >>
+          (i % kBitsPerWord)) &
+         1u;
+}
+
+void BufferShadow::mark_init(size_t begin, size_t end) {
+  if (init_.empty()) return;
+  for (size_t i = begin; i < end && i < cells_; ++i) {
+    init_[i / kBitsPerWord].fetch_or(std::uint64_t{1} << (i % kBitsPerWord),
+                                     std::memory_order_relaxed);
+  }
+}
+
+void BufferShadow::mark_init_all() {
+  if (all_init_.load(std::memory_order_relaxed)) return;
+  mark_init(0, cells_);
+  all_init_.store(true, std::memory_order_relaxed);
+}
+
+void BufferShadow::reset_init() {
+  all_init_.store(false, std::memory_order_relaxed);
+  for (auto& w : init_) w.store(0, std::memory_order_relaxed);
+}
+
+void BufferShadow::host_scope_check(LaunchCheck* lc) {
+  if (lc == nullptr && memcheck_ && chk_.in_kernel() && !on_kernel_thread()) {
+    chk_.report(Kind::kHostAccessDuringKernel,
+                "host access to buffer #" + std::to_string(id_) +
+                    " while a kernel launch is in flight",
+                id_, 0);
+  }
+}
+
+bool BufferShadow::pre_load(size_t i, LaunchCheck* lc, std::uint32_t actor) {
+  if (!alive()) {
+    chk_.report(Kind::kUseAfterFree, "load from freed " + cell_str(id_, i),
+                id_, i);
+    return false;
+  }
+  host_scope_check(lc);
+  if (i >= cells_) {
+    chk_.report(Kind::kOobRead,
+                "load at cell " + std::to_string(i) + " past size " +
+                    std::to_string(cells_) + " of buffer #" +
+                    std::to_string(id_),
+                id_, i);
+    return false;
+  }
+  if (memcheck_ && !init_bit(i)) {
+    chk_.report(Kind::kUninitRead, "read of uninitialized " + cell_str(id_, i),
+                id_, i);
+  }
+  if (racecheck_ && lc != nullptr) {
+    std::lock_guard<std::mutex> lock(chk_.race_mutex_);
+    lc->race_range(*this, i, i + 1, actor, /*is_write=*/false);
+  }
+  return true;
+}
+
+bool BufferShadow::pre_store(size_t i, LaunchCheck* lc, std::uint32_t actor) {
+  if (!alive()) {
+    chk_.report(Kind::kUseAfterFree, "store to freed " + cell_str(id_, i), id_,
+                i);
+    return false;
+  }
+  host_scope_check(lc);
+  if (i >= cells_) {
+    chk_.report(Kind::kOobWrite,
+                "store at cell " + std::to_string(i) + " past size " +
+                    std::to_string(cells_) + " of buffer #" +
+                    std::to_string(id_),
+                id_, i);
+    return false;
+  }
+  mark_init(i, i + 1);
+  if (racecheck_ && lc != nullptr) {
+    std::lock_guard<std::mutex> lock(chk_.race_mutex_);
+    lc->race_range(*this, i, i + 1, actor, /*is_write=*/true);
+  }
+  return true;
+}
+
+size_t BufferShadow::pre_load_range(size_t off, size_t count, LaunchCheck* lc,
+                                    std::uint32_t actor) {
+  if (count == 0) return 0;
+  if (!alive()) {
+    chk_.report(Kind::kUseAfterFree, "load from freed " + cell_str(id_, off),
+                id_, off);
+    return 0;
+  }
+  host_scope_check(lc);
+  size_t allowed = count;
+  if (off >= cells_ || count > cells_ - off) {
+    const size_t bad = off >= cells_ ? off : cells_;
+    chk_.report(Kind::kOobRead,
+                "ranged load [" + std::to_string(off) + ", " +
+                    std::to_string(off + count) + ") past size " +
+                    std::to_string(cells_) + " of buffer #" +
+                    std::to_string(id_),
+                id_, bad);
+    allowed = off >= cells_ ? 0 : cells_ - off;
+  }
+  if (allowed == 0) return 0;
+  if (memcheck_) {
+    for (size_t i = off; i < off + allowed; ++i) {
+      if (!init_bit(i)) {
+        chk_.report(Kind::kUninitRead,
+                    "read of uninitialized " + cell_str(id_, i), id_, i);
+        break;  // one finding per range keeps reports readable
+      }
+    }
+  }
+  if (racecheck_ && lc != nullptr) {
+    std::lock_guard<std::mutex> lock(chk_.race_mutex_);
+    lc->race_range(*this, off, off + allowed, actor, /*is_write=*/false);
+  }
+  return allowed;
+}
+
+size_t BufferShadow::pre_store_range(size_t off, size_t count, LaunchCheck* lc,
+                                     std::uint32_t actor) {
+  if (count == 0) return 0;
+  if (!alive()) {
+    chk_.report(Kind::kUseAfterFree, "store to freed " + cell_str(id_, off),
+                id_, off);
+    return 0;
+  }
+  host_scope_check(lc);
+  size_t allowed = count;
+  if (off >= cells_ || count > cells_ - off) {
+    const size_t bad = off >= cells_ ? off : cells_;
+    chk_.report(Kind::kOobWrite,
+                "ranged store [" + std::to_string(off) + ", " +
+                    std::to_string(off + count) + ") past size " +
+                    std::to_string(cells_) + " of buffer #" +
+                    std::to_string(id_),
+                id_, bad);
+    allowed = off >= cells_ ? 0 : cells_ - off;
+  }
+  if (allowed == 0) return 0;
+  mark_init(off, off + allowed);
+  if (racecheck_ && lc != nullptr) {
+    std::lock_guard<std::mutex> lock(chk_.race_mutex_);
+    lc->race_range(*this, off, off + allowed, actor, /*is_write=*/true);
+  }
+  return allowed;
+}
+
+}  // namespace szp::gpusim::sanitize

@@ -1,0 +1,117 @@
+// Per-DeviceBuffer shadow state for the gpusim sanitizer.
+//
+// Memcheck state: an allocated/alive flag (use-after-free), a 1-bit-per-
+// cell initialization bitmap (read-before-write), and logical bounds
+// (out-of-bounds; redzones around the raw storage are owned by
+// DeviceBuffer and verified at free). Racecheck state: one RaceCell per
+// element holding the last write and last read as (epoch, actor, clock)
+// epochs, checked against the current launch's vector clocks.
+//
+// All checks funnel through pre_load/pre_store (single cell) and the
+// _range variants (bulk accessor views); they record findings on the
+// owning Checker and return whether the underlying memory may actually be
+// touched (false for out-of-bounds / use-after-free).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "szp/gpusim/sanitize/report.hpp"
+
+namespace szp::gpusim::sanitize {
+
+class Checker;
+class LaunchCheck;
+
+/// Actor id used for host-side accesses (copies, host views).
+inline constexpr std::uint32_t kHostActor = 0xffffffffu;
+
+/// True on a thread currently executing kernel blocks. Lets the
+/// host-access-during-kernel check tell a genuine host-side poke apart
+/// from kernel code that goes through the unchecked accessors (the
+/// baseline codecs are not ported to views and capture spans up front).
+[[nodiscard]] bool on_kernel_thread() noexcept;
+
+/// RAII marker set by the launch runner around block execution.
+struct KernelThreadScope {
+  KernelThreadScope() noexcept;
+  ~KernelThreadScope();
+};
+
+class BufferShadow {
+ public:
+  BufferShadow(Checker& chk, std::uint64_t id, size_t cells,
+               size_t elem_bytes);
+
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+  [[nodiscard]] size_t cells() const { return cells_; }
+  [[nodiscard]] size_t elem_bytes() const { return elem_bytes_; }
+  [[nodiscard]] bool alive() const {
+    return alive_.load(std::memory_order_acquire);
+  }
+
+  /// Single-cell access checks. `lc` is the launch the access belongs to
+  /// (nullptr = host scope), `actor` the block index (kHostActor for host
+  /// accesses). Return false when the access must be suppressed because
+  /// the memory may be invalid (OOB, use-after-free).
+  [[nodiscard]] bool pre_load(size_t i, LaunchCheck* lc, std::uint32_t actor);
+  [[nodiscard]] bool pre_store(size_t i, LaunchCheck* lc, std::uint32_t actor);
+
+  /// Ranged access checks for the bulk view accessors; return the number
+  /// of leading cells that may be touched (clamped at the buffer bound).
+  [[nodiscard]] size_t pre_load_range(size_t off, size_t count,
+                                      LaunchCheck* lc, std::uint32_t actor);
+  [[nodiscard]] size_t pre_store_range(size_t off, size_t count,
+                                       LaunchCheck* lc, std::uint32_t actor);
+
+  /// Memcheck init-bitmap maintenance (copy_h2d, fill constructors).
+  void mark_init(size_t begin, size_t end);
+  void mark_init_all();
+  /// Pooled-buffer reuse: the old contents are stale, reading them before
+  /// writing is the defect this resets the bitmap to catch.
+  void reset_init();
+
+  /// Called by the Checker when the owning buffer is freed.
+  void mark_freed() { alive_.store(false, std::memory_order_release); }
+
+  /// Host-side accessor touch (DeviceBuffer::data/span/operator[]):
+  /// flags host access while a kernel launch is in flight.
+  void host_access() { host_scope_check(nullptr); }
+
+ private:
+  friend class LaunchCheck;
+
+  /// Report host access while a kernel launch is in flight; called for
+  /// every host-scope check so stray host reads/writes overlapping a
+  /// launch are flagged exactly like compute-sanitizer's memcheck flags
+  /// unsynchronized cudaMemcpy.
+  void host_scope_check(LaunchCheck* lc);
+  [[nodiscard]] bool init_bit(size_t i) const;
+
+  /// Racecheck per-cell state; (epoch, actor, clock) epochs with clock 0
+  /// meaning "no access recorded". Guarded by Checker::race_mutex_.
+  struct RaceCell {
+    std::uint64_t epoch = 0;
+    std::uint32_t w_actor = 0;
+    std::uint32_t w_clock = 0;
+    std::uint32_t r_actor = 0;
+    std::uint32_t r_clock = 0;
+  };
+
+  Checker& chk_;
+  std::uint64_t id_;
+  size_t cells_;
+  size_t elem_bytes_;
+  std::atomic<bool> alive_{true};
+  bool memcheck_;
+  bool racecheck_;
+  /// Fast path for unchecked codecs that call mark_init_all on every
+  /// span() touch: once fully initialized, skip the bitmap sweep.
+  std::atomic<bool> all_init_{false};
+  std::vector<std::atomic<std::uint64_t>> init_;  // empty when !memcheck
+  std::vector<RaceCell> race_;  // lazily sized; under Checker::race_mutex_
+};
+
+}  // namespace szp::gpusim::sanitize

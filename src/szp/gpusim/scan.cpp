@@ -4,6 +4,7 @@
 #include <atomic>
 #include <thread>
 
+#include "szp/gpusim/view.hpp"
 #include "szp/obs/metrics.hpp"
 #include "szp/obs/tracer.hpp"
 
@@ -40,16 +41,23 @@ std::uint64_t ChainedScanState::publish_and_lookback(const BlockCtx& ctx,
   if ((aggregate & ~kValueMask) != 0) {
     throw format_error("ChainedScanState: aggregate exceeds 62 bits");
   }
-  std::atomic_ref<std::uint64_t> self(state_[p]);
+  // Raw storage: the descriptor words are the synchronization objects
+  // themselves, accessed with atomic_ref; the sanitizer learns the
+  // happens-before edges via the sync_release/sync_acquire hooks next to
+  // each release-store / acquire-load pair.
+  std::uint64_t* st = state_.raw_data();
+  std::atomic_ref<std::uint64_t> self(st[p]);
 
   if (p == 0) {
     // Partition 0's inclusive prefix is its aggregate; publish directly.
+    ctx.sync_release(&st[p]);
     self.store((kFlagPrefix << kFlagShift) | aggregate,
                std::memory_order_release);
     ctx.write(stage, sizeof(std::uint64_t));
     return 0;
   }
 
+  ctx.sync_release(&st[p]);
   self.store((kFlagAggregate << kFlagShift) | aggregate,
              std::memory_order_release);
   ctx.write(stage, sizeof(std::uint64_t));
@@ -60,15 +68,17 @@ std::uint64_t ChainedScanState::publish_and_lookback(const BlockCtx& ctx,
   size_t i = p;
   std::uint64_t spins = 0;
   while (i > 0) {
-    std::atomic_ref<std::uint64_t> pred(state_[i - 1]);
+    std::atomic_ref<std::uint64_t> pred(st[i - 1]);
     const std::uint64_t word = pred.load(std::memory_order_acquire);
     ++reads;
     const std::uint64_t flag = word >> kFlagShift;
     if (flag == kFlagPrefix) {
+      ctx.sync_acquire(&st[i - 1]);
       exclusive += word & kValueMask;
       break;
     }
     if (flag == kFlagAggregate) {
+      ctx.sync_acquire(&st[i - 1]);
       exclusive += word & kValueMask;
       --i;
       continue;
@@ -89,6 +99,7 @@ std::uint64_t ChainedScanState::publish_and_lookback(const BlockCtx& ctx,
   ctx.read(stage, reads * sizeof(std::uint64_t));
   record_lookback(t0_ns, p, reads, spins);
 
+  ctx.sync_release(&st[p]);
   self.store((kFlagPrefix << kFlagShift) | ((exclusive + aggregate) & kValueMask),
              std::memory_order_release);
   ctx.write(stage, sizeof(std::uint64_t));
@@ -96,7 +107,7 @@ std::uint64_t ChainedScanState::publish_and_lookback(const BlockCtx& ctx,
 }
 
 std::uint64_t ChainedScanState::inclusive_prefix(size_t p) {
-  std::atomic_ref<std::uint64_t> ref(state_[p]);
+  std::atomic_ref<std::uint64_t> ref(state_.raw_data()[p]);
   const std::uint64_t word = ref.load(std::memory_order_acquire);
   if ((word >> kFlagShift) != kFlagPrefix) {
     throw format_error("ChainedScanState: prefix not published");
@@ -113,20 +124,23 @@ std::uint64_t chained_exclusive_scan(Device& dev,
   ChainedScanState scan_state(dev, blocks);
 
   launch(dev, "chained_exclusive_scan", blocks, [&](const BlockCtx& ctx) {
+    const auto dv = device_view(data, ctx);
     const size_t begin = ctx.block_idx * items_per_block;
     const size_t end = std::min(n, begin + items_per_block);
     // Local (in-register) scan of this partition's tile.
     std::uint64_t aggregate = 0;
-    for (size_t i = begin; i < end; ++i) aggregate += data[i];
+    for (const std::uint64_t v : dv.load_span(begin, end - begin)) {
+      aggregate += v;
+    }
     ctx.read(stage, (end - begin) * sizeof(std::uint64_t));
 
     const std::uint64_t exclusive =
         scan_state.publish_and_lookback(ctx, stage, ctx.block_idx, aggregate);
 
     std::uint64_t running = exclusive;
-    for (size_t i = begin; i < end; ++i) {
-      const std::uint64_t v = data[i];
-      data[i] = running;
+    for (std::uint64_t& slot : dv.store_span(begin, end - begin)) {
+      const std::uint64_t v = slot;
+      slot = running;
       running += v;
     }
     ctx.write(stage, (end - begin) * sizeof(std::uint64_t));
@@ -145,11 +159,13 @@ std::uint64_t twopass_exclusive_scan(Device& dev,
 
   // Kernel 1: per-block reduction.
   launch(dev, "twopass_reduce", blocks, [&](const BlockCtx& ctx) {
+    const auto dv = device_view(data, ctx);
+    const auto pv = device_view(partials, ctx);
     const size_t begin = ctx.block_idx * items_per_block;
     const size_t end = std::min(n, begin + items_per_block);
     std::uint64_t sum = 0;
-    for (size_t i = begin; i < end; ++i) sum += data[i];
-    partials[ctx.block_idx] = sum;
+    for (const std::uint64_t v : dv.load_span(begin, end - begin)) sum += v;
+    pv.store(ctx.block_idx, sum);
     ctx.read(stage, (end - begin) * sizeof(std::uint64_t));
     ctx.write(stage, sizeof(std::uint64_t));
   });
@@ -157,10 +173,12 @@ std::uint64_t twopass_exclusive_scan(Device& dev,
   // Kernel 2: single-block scan of the partials.
   std::uint64_t total = 0;
   launch(dev, "twopass_spine", 1, [&](const BlockCtx& ctx) {
+    const auto pv = device_view(partials, ctx);
+    (void)pv.load_span(0, blocks);  // declare the read side of the rewrite
     std::uint64_t running = 0;
-    for (size_t b = 0; b < blocks; ++b) {
-      const std::uint64_t v = partials[b];
-      partials[b] = running;
+    for (std::uint64_t& slot : pv.store_span(0, blocks)) {
+      const std::uint64_t v = slot;
+      slot = running;
       running += v;
     }
     total = running;
@@ -170,12 +188,15 @@ std::uint64_t twopass_exclusive_scan(Device& dev,
 
   // Kernel 3: per-block local scan + offset.
   launch(dev, "twopass_downsweep", blocks, [&](const BlockCtx& ctx) {
+    const auto dv = device_view(data, ctx);
+    const auto pv = device_view(partials, ctx);
     const size_t begin = ctx.block_idx * items_per_block;
     const size_t end = std::min(n, begin + items_per_block);
-    std::uint64_t running = partials[ctx.block_idx];
-    for (size_t i = begin; i < end; ++i) {
-      const std::uint64_t v = data[i];
-      data[i] = running;
+    std::uint64_t running = pv.load(ctx.block_idx);
+    (void)dv.load_span(begin, end - begin);  // read side of the rewrite
+    for (std::uint64_t& slot : dv.store_span(begin, end - begin)) {
+      const std::uint64_t v = slot;
+      slot = running;
       running += v;
     }
     ctx.read(stage, (end - begin + 1) * sizeof(std::uint64_t));

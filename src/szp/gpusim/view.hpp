@@ -1,0 +1,144 @@
+// Checked device-memory views: how kernels access DeviceBuffers under
+// the sanitizer.
+//
+// A view pairs the buffer's raw payload pointer with its shadow (when
+// the owning Device runs checked) and the launch/actor the accesses
+// belong to. The single-element load/store check bounds, init state and
+// races per cell; load_span/store_span declare a whole range in one
+// shadow transaction and hand back a raw std::span, so inner codec
+// helpers (encode_block, Header::serialize, ...) keep operating on plain
+// spans — range granularity is the checking model.
+//
+// Disabled fast path: shadow_ is null and every accessor is a pointer
+// compare away from the raw access.
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "szp/gpusim/buffer.hpp"
+#include "szp/gpusim/launch.hpp"
+
+namespace szp::gpusim {
+
+template <typename T>
+class DeviceConstView {
+ public:
+  DeviceConstView(const T* data, size_t size,
+                  std::shared_ptr<sanitize::BufferShadow> shadow,
+                  sanitize::LaunchCheck* lc, std::uint32_t actor)
+      : data_(data),
+        size_(size),
+        keep_(std::move(shadow)),
+        shadow_(keep_.get()),
+        lc_(lc),
+        actor_(actor) {}
+
+  [[nodiscard]] size_t size() const { return size_; }
+
+  /// Checked element load; on a disallowed access (OOB / use-after-free)
+  /// the finding is recorded and a value-initialized T returned.
+  [[nodiscard]] T load(size_t i) const {
+    if (shadow_ == nullptr) return data_[i];
+    return shadow_->pre_load(i, lc_, actor_) ? data_[i] : T{};
+  }
+
+  /// Declare a ranged read and return the raw (clamped) span.
+  [[nodiscard]] std::span<const T> load_span(size_t off, size_t count) const {
+    if (shadow_ == nullptr) return {data_ + off, count};
+    const size_t ok = shadow_->pre_load_range(off, count, lc_, actor_);
+    return {data_ + (off < size_ ? off : size_), ok};
+  }
+
+ private:
+  const T* data_;
+  size_t size_;
+  std::shared_ptr<sanitize::BufferShadow> keep_;  // UAF-safe
+  sanitize::BufferShadow* shadow_;
+  sanitize::LaunchCheck* lc_;
+  std::uint32_t actor_;
+};
+
+template <typename T>
+class DeviceView {
+ public:
+  DeviceView(T* data, size_t size,
+             std::shared_ptr<sanitize::BufferShadow> shadow,
+             sanitize::LaunchCheck* lc, std::uint32_t actor)
+      : data_(data),
+        size_(size),
+        keep_(std::move(shadow)),
+        shadow_(keep_.get()),
+        lc_(lc),
+        actor_(actor) {}
+
+  [[nodiscard]] size_t size() const { return size_; }
+
+  [[nodiscard]] T load(size_t i) const {
+    if (shadow_ == nullptr) return data_[i];
+    return shadow_->pre_load(i, lc_, actor_) ? data_[i] : T{};
+  }
+
+  /// Checked element store; disallowed stores are dropped (recorded as a
+  /// finding, never touching memory).
+  void store(size_t i, T v) const {
+    if (shadow_ == nullptr) {
+      data_[i] = v;
+      return;
+    }
+    if (shadow_->pre_store(i, lc_, actor_)) data_[i] = v;
+  }
+
+  [[nodiscard]] std::span<const T> load_span(size_t off, size_t count) const {
+    if (shadow_ == nullptr) return {data_ + off, count};
+    const size_t ok = shadow_->pre_load_range(off, count, lc_, actor_);
+    return {data_ + (off < size_ ? off : size_), ok};
+  }
+
+  /// Declare a ranged write (marks the cells initialized) and return the
+  /// raw (clamped) span for the caller to fill.
+  [[nodiscard]] std::span<T> store_span(size_t off, size_t count) const {
+    if (shadow_ == nullptr) return {data_ + off, count};
+    const size_t ok = shadow_->pre_store_range(off, count, lc_, actor_);
+    return {data_ + (off < size_ ? off : size_), ok};
+  }
+
+ private:
+  T* data_;
+  size_t size_;
+  std::shared_ptr<sanitize::BufferShadow> keep_;
+  sanitize::BufferShadow* shadow_;
+  sanitize::LaunchCheck* lc_;
+  std::uint32_t actor_;
+};
+
+/// View of a buffer from inside a kernel block.
+template <typename T>
+[[nodiscard]] DeviceView<T> device_view(DeviceBuffer<T>& buf,
+                                        const BlockCtx& ctx) {
+  return DeviceView<T>(buf.raw_data(), buf.size(), buf.shadow(), ctx.devcheck,
+                       ctx.actor());
+}
+
+template <typename T>
+[[nodiscard]] DeviceConstView<T> device_view(const DeviceBuffer<T>& buf,
+                                             const BlockCtx& ctx) {
+  return DeviceConstView<T>(buf.raw_data(), buf.size(), buf.shadow(),
+                            ctx.devcheck, ctx.actor());
+}
+
+/// View of a buffer from host code (between launches): host-scope
+/// accesses are checked against in-flight kernels and init state.
+template <typename T>
+[[nodiscard]] DeviceView<T> host_view(DeviceBuffer<T>& buf) {
+  return DeviceView<T>(buf.raw_data(), buf.size(), buf.shadow(), nullptr,
+                       sanitize::kHostActor);
+}
+
+template <typename T>
+[[nodiscard]] DeviceConstView<T> host_view(const DeviceBuffer<T>& buf) {
+  return DeviceConstView<T>(buf.raw_data(), buf.size(), buf.shadow(), nullptr,
+                            sanitize::kHostActor);
+}
+
+}  // namespace szp::gpusim

@@ -1,0 +1,78 @@
+// Mask-checked warp primitives: the *_sync spellings of warp.hpp.
+//
+// On real hardware every __*_sync intrinsic names its participating
+// lanes, and calling one with a mask that does not match the converged
+// active lanes is UB that compute-sanitizer's synccheck flags. These
+// wrappers declare the mask to the sanitizer (BlockCtx::warp_op) and
+// forward to the pure-math primitives; kernels declare divergence with
+// BlockCtx::set_active_mask. Zero cost when checking is disabled (one
+// null-pointer branch in warp_op).
+#pragma once
+
+#include <cstdint>
+
+#include "szp/gpusim/launch.hpp"
+#include "szp/gpusim/warp.hpp"
+
+namespace szp::gpusim::warp {
+
+inline constexpr std::uint32_t kFullMask = 0xffffffffu;
+
+template <typename T>
+[[nodiscard]] T shfl_sync(const BlockCtx& ctx, std::uint32_t mask,
+                          const Lanes<T>& v, unsigned src_lane) {
+  ctx.warp_op("shfl_sync", mask);
+  return shfl(v, src_lane);
+}
+
+template <typename T>
+[[nodiscard]] Lanes<T> shfl_up_sync(const BlockCtx& ctx, std::uint32_t mask,
+                                    const Lanes<T>& v, unsigned delta) {
+  ctx.warp_op("shfl_up_sync", mask);
+  return shfl_up(v, delta);
+}
+
+template <typename T>
+[[nodiscard]] Lanes<T> shfl_down_sync(const BlockCtx& ctx, std::uint32_t mask,
+                                      const Lanes<T>& v, unsigned delta) {
+  ctx.warp_op("shfl_down_sync", mask);
+  return shfl_down(v, delta);
+}
+
+[[nodiscard]] inline std::uint32_t ballot_sync(const BlockCtx& ctx,
+                                               std::uint32_t mask,
+                                               const Lanes<bool>& pred) {
+  ctx.warp_op("ballot_sync", mask);
+  return ballot(pred);
+}
+
+template <typename T>
+[[nodiscard]] Lanes<T> inclusive_scan_sync(const BlockCtx& ctx,
+                                           std::uint32_t mask, Lanes<T> v) {
+  ctx.warp_op("inclusive_scan_sync", mask);
+  return inclusive_scan(std::move(v));
+}
+
+template <typename T>
+[[nodiscard]] Lanes<T> exclusive_scan_sync(const BlockCtx& ctx,
+                                           std::uint32_t mask,
+                                           const Lanes<T>& v) {
+  ctx.warp_op("exclusive_scan_sync", mask);
+  return exclusive_scan(v);
+}
+
+template <typename T>
+[[nodiscard]] T reduce_max_sync(const BlockCtx& ctx, std::uint32_t mask,
+                                const Lanes<T>& v) {
+  ctx.warp_op("reduce_max_sync", mask);
+  return reduce_max(v);
+}
+
+template <typename T>
+[[nodiscard]] T reduce_add_sync(const BlockCtx& ctx, std::uint32_t mask,
+                                const Lanes<T>& v) {
+  ctx.warp_op("reduce_add_sync", mask);
+  return reduce_add(v);
+}
+
+}  // namespace szp::gpusim::warp

@@ -93,19 +93,20 @@ TEST(F64, DeviceMatchesSerialByteForByte) {
       compress_device_f64(dev, d_in, data.size(), p, p.error_bound, d_cmp);
   ASSERT_EQ(res.bytes, serial.size());
   EXPECT_EQ(res.trace.kernel_launches, 1u);  // still single-kernel
-  const auto bytes = gpusim::to_host(dev, d_cmp);
+  const auto bytes = gpusim::to_host(dev, d_cmp, res.bytes);
   for (size_t i = 0; i < serial.size(); ++i) {
     ASSERT_EQ(bytes[i], serial[i]) << i;
   }
 
   gpusim::DeviceBuffer<double> d_out(dev, data.size());
-  (void)decompress_device_f64(dev, d_cmp, d_out);
+  (void)decompress_device_f64(dev, d_cmp, d_out, res.bytes);
   const auto recon = gpusim::to_host(dev, d_out);
   EXPECT_EQ(recon, decompress_serial_f64(serial));
 
   // Type-mismatched device decompression throws.
   gpusim::DeviceBuffer<float> d_wrong(dev, data.size());
-  EXPECT_THROW((void)decompress_device(dev, d_cmp, d_wrong), format_error);
+  EXPECT_THROW((void)decompress_device(dev, d_cmp, d_wrong, res.bytes),
+               format_error);
 }
 
 TEST(F64, ZeroBlocksStillBypass) {

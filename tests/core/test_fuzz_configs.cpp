@@ -88,7 +88,7 @@ TEST(FuzzConfigs, TwoHundredRandomConfigurations) {
           dev, max_compressed_bytes(n, p.block_len));
       const auto res = compress_device(dev, d_in, n, p, p.error_bound, d_cmp);
       ASSERT_EQ(res.bytes, stream.size());
-      const auto device_stream = gpusim::to_host(dev, d_cmp);
+      const auto device_stream = gpusim::to_host(dev, d_cmp, res.bytes);
       ASSERT_TRUE(
           std::equal(stream.begin(), stream.end(), device_stream.begin()));
     }

@@ -81,13 +81,13 @@ TEST(OutlierMode, DeviceMatchesSerialByteForByte) {
   const auto res =
       compress_device(dev, d_in, data.size(), p, p.error_bound, d_cmp);
   ASSERT_EQ(res.bytes, serial.size());
-  const auto bytes = gpusim::to_host(dev, d_cmp);
+  const auto bytes = gpusim::to_host(dev, d_cmp, res.bytes);
   for (size_t i = 0; i < serial.size(); ++i) {
     ASSERT_EQ(bytes[i], serial[i]) << i;
   }
 
   gpusim::DeviceBuffer<float> d_out(dev, data.size());
-  (void)decompress_device(dev, d_cmp, d_out);
+  (void)decompress_device(dev, d_cmp, d_out, res.bytes);
   EXPECT_EQ(gpusim::to_host(dev, d_out), decompress_serial(serial));
 }
 

@@ -55,12 +55,12 @@ TEST_P(CodecProperty, ErrorBoundAndDeviceEquivalence) {
       dev, core::max_compressed_bytes(field.count(), block_len));
   const auto res = c.compress_on_device(dev, d_in, field.count(), range, d_cmp);
   ASSERT_EQ(res.bytes, stream.size());
-  const auto device_stream = gpusim::to_host(dev, d_cmp);
+  const auto device_stream = gpusim::to_host(dev, d_cmp, res.bytes);
   ASSERT_TRUE(std::equal(stream.begin(), stream.end(), device_stream.begin()));
 
   // 3. Device decompression matches the serial reconstruction exactly.
   gpusim::DeviceBuffer<float> d_out(dev, field.count());
-  (void)c.decompress_on_device(dev, d_cmp, d_out);
+  (void)c.decompress_on_device(dev, d_cmp, d_out, res.bytes);
   const auto device_recon = gpusim::to_host(dev, d_out);
   for (size_t i = 0; i < recon.size(); ++i) {
     ASSERT_EQ(device_recon[i], recon[i]) << i;
@@ -113,9 +113,7 @@ TEST_P(ScanEquivalence, ChainedAndTwoPassEmitIdenticalStreams) {
         dev, core::max_compressed_bytes(field.count(), p.block_len));
     const auto res = core::compress_device(dev, d_in, field.count(), p,
                                            core::resolve_eb(p, range), d_cmp);
-    auto bytes = gpusim::to_host(dev, d_cmp);
-    bytes.resize(res.bytes);
-    return bytes;
+    return gpusim::to_host(dev, d_cmp, res.bytes);
   };
 
   EXPECT_EQ(run(core::ScanAlgo::kChained), run(core::ScanAlgo::kTwoPass));
@@ -143,7 +141,7 @@ TEST(CodecProperty, SingleKernelClaimHolds) {
   EXPECT_LT(comp.trace.total_memcpy_bytes(), 64u);  // size readback only
 
   gpusim::DeviceBuffer<float> d_out(dev, field.count());
-  const auto dec = c.decompress_on_device(dev, d_cmp, d_out);
+  const auto dec = c.decompress_on_device(dev, d_cmp, d_out, comp.bytes);
   EXPECT_EQ(dec.trace.kernel_launches, 1u);
   EXPECT_EQ(dec.trace.host_stages, 0u);
 }

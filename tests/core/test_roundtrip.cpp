@@ -57,7 +57,7 @@ TEST(Roundtrip, DeviceMatchesSerialByteForByte) {
       c.compress_on_device(dev, d_in, field.count(), range, d_out);
 
   ASSERT_EQ(res.bytes, serial.size());
-  const auto device_bytes = gpusim::to_host(dev, d_out);
+  const auto device_bytes = gpusim::to_host(dev, d_out, res.bytes);
   for (size_t i = 0; i < serial.size(); ++i) {
     ASSERT_EQ(device_bytes[i], serial[i]) << "mismatch at byte " << i;
   }

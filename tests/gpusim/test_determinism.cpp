@@ -25,9 +25,7 @@ TEST_P(WorkerCount, StreamIndependentOfPoolSize) {
         dev, core::max_compressed_bytes(field.count(), p.block_len));
     const auto res = c.compress_on_device(dev, d_in, field.count(), range,
                                           d_cmp);
-    auto bytes = gpusim::to_host(dev, d_cmp);
-    bytes.resize(res.bytes);
-    return bytes;
+    return gpusim::to_host(dev, d_cmp, res.bytes);
   };
 
   const auto reference = run(1);

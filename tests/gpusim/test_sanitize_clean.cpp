@@ -1,0 +1,181 @@
+// Positive coverage for the gpusim sanitizer: the real codec runs clean
+// under every tool, activation parsing behaves, and the disabled path
+// stays branch-cheap (the same contract tests/obs/test_overhead.cpp
+// enforces for tracing).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "szp/core/device.hpp"
+#include "szp/engine/engine.hpp"
+#include "szp/gpusim/device.hpp"
+#include "szp/gpusim/view.hpp"
+
+namespace szp {
+namespace {
+
+using core::Params;
+using core::ScanAlgo;
+using gpusim::sanitize::Tool;
+using gpusim::sanitize::Tools;
+using gpusim::sanitize::tools_from_string;
+
+std::vector<float> smooth(size_t n) {
+  std::vector<float> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = std::sin(static_cast<double>(i) * 0.01) * 40.0f;
+  }
+  return v;
+}
+
+std::vector<double> smooth_f64(size_t n) {
+  std::vector<double> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = std::cos(static_cast<double>(i) * 0.003) * 7.0;
+  }
+  return v;
+}
+
+/// One full device compress+decompress with every checker armed; the
+/// acceptance bar is a byte-empty report.
+void roundtrip_checked(ScanAlgo scan, unsigned checksum_group_blocks) {
+  const auto data = smooth(20000);
+  Params p;
+  p.mode = core::ErrorMode::kAbs;
+  p.error_bound = 1e-3;
+  p.scan = scan;
+  p.checksum_group_blocks = checksum_group_blocks;
+
+  gpusim::Device dev(4, Tools::all());
+  ASSERT_NE(dev.checker(), nullptr);
+  auto d_in = gpusim::to_device<float>(dev, data);
+  gpusim::DeviceBuffer<byte_t> d_cmp(
+      dev, core::max_compressed_bytes(data.size(), p.block_len,
+                                      p.checksum_group_blocks));
+  const auto comp =
+      core::compress_device(dev, d_in, data.size(), p, p.error_bound, d_cmp);
+  gpusim::DeviceBuffer<float> d_out(dev, data.size());
+  const auto dec =
+      core::decompress_device(dev, d_cmp, d_out, comp.bytes);
+  ASSERT_EQ(dec.bytes, data.size());
+
+  const auto recon = gpusim::to_host(dev, d_out);
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_LE(std::abs(recon[i] - data[i]), 1e-3 + 1e-12) << i;
+  }
+  EXPECT_TRUE(dev.sanitize_report().empty())
+      << dev.sanitize_report().to_string();
+}
+
+TEST(SanitizeClean, ChainedScanV2RunsClean) {
+  roundtrip_checked(ScanAlgo::kChained, core::kChecksumGroupBlocks);
+}
+
+TEST(SanitizeClean, ChainedScanV1RunsClean) {
+  roundtrip_checked(ScanAlgo::kChained, 0);
+}
+
+TEST(SanitizeClean, TwoPassScanV2RunsClean) {
+  roundtrip_checked(ScanAlgo::kTwoPass, core::kChecksumGroupBlocks);
+}
+
+TEST(SanitizeClean, TwoPassScanV1RunsClean) {
+  roundtrip_checked(ScanAlgo::kTwoPass, 0);
+}
+
+TEST(SanitizeClean, F64PipelineRunsClean) {
+  const auto data = smooth_f64(15000);
+  Params p;
+  p.mode = core::ErrorMode::kAbs;
+  p.error_bound = 1e-6;
+
+  gpusim::Device dev(3, Tools::all());
+  auto d_in = gpusim::to_device<double>(dev, data);
+  gpusim::DeviceBuffer<byte_t> d_cmp(
+      dev, core::max_compressed_bytes(data.size(), p.block_len));
+  const auto comp = core::compress_device_f64(dev, d_in, data.size(), p,
+                                              p.error_bound, d_cmp);
+  gpusim::DeviceBuffer<double> d_out(dev, data.size());
+  const auto dec = core::decompress_device_f64(dev, d_cmp, d_out, comp.bytes);
+  ASSERT_EQ(dec.bytes, data.size());
+  EXPECT_TRUE(dev.sanitize_report().empty())
+      << dev.sanitize_report().to_string();
+}
+
+TEST(SanitizeClean, EngineDeviceBackendRunsCleanUnderEnvActivation) {
+  // Env activation is what the devcheck CI job uses; abort_on_teardown is
+  // armed, so a finding here would abort loudly rather than merely fail.
+  ASSERT_EQ(setenv("SZP_DEVCHECK", "memcheck,racecheck,synccheck", 1), 0);
+  {
+    const auto data = smooth(8192);
+    Params p;
+    p.mode = core::ErrorMode::kRel;
+    p.error_bound = 1e-3;
+    engine::Engine eng(
+        {.params = p, .backend = engine::BackendKind::kDevice, .threads = 2});
+    const auto stream = eng.compress(data, 80.0);
+    const auto recon = eng.decompress(stream.bytes);
+    ASSERT_EQ(recon.size(), data.size());
+  }
+  ASSERT_EQ(unsetenv("SZP_DEVCHECK"), 0);
+}
+
+TEST(SanitizeTools, SpecParsing) {
+  EXPECT_FALSE(tools_from_string("").any());
+  EXPECT_FALSE(tools_from_string("0").any());
+  EXPECT_FALSE(tools_from_string("off").any());
+  EXPECT_FALSE(tools_from_string("none").any());
+
+  const auto all = tools_from_string("all");
+  EXPECT_TRUE(all.memcheck && all.racecheck && all.synccheck);
+  const auto one = tools_from_string("racecheck");
+  EXPECT_FALSE(one.memcheck);
+  EXPECT_TRUE(one.racecheck);
+  EXPECT_FALSE(one.synccheck);
+  const auto two = tools_from_string("memcheck,synccheck");
+  EXPECT_TRUE(two.memcheck && two.synccheck);
+  EXPECT_FALSE(two.racecheck);
+
+  EXPECT_THROW((void)tools_from_string("initcheck"), format_error);
+  EXPECT_THROW((void)tools_from_string("memcheck,bogus"), format_error);
+}
+
+TEST(SanitizeOverhead, DisabledDeviceCarriesNoChecker) {
+  gpusim::Device dev(1, Tools::none());
+  EXPECT_EQ(dev.checker(), nullptr);
+  gpusim::DeviceBuffer<float> buf(dev, 8, 1.f);
+  EXPECT_EQ(buf.shadow(), nullptr);  // no shadow, no redzones, no bitmap
+  EXPECT_TRUE(dev.sanitize_report().empty());
+}
+
+TEST(SanitizeOverhead, DisabledViewAccessIsBranchCheap) {
+  // Same guard as ObsOverhead: with checking off a view access must cost
+  // one null compare over the raw access. The generous 100 ns bound only
+  // trips if someone adds a lock, map lookup or allocation to the path.
+  using Clock = std::chrono::steady_clock;
+  constexpr int kIters = 2'000'000;
+  constexpr double kMaxDisabledNsPerSite = 100.0;
+
+  gpusim::Device dev(1, Tools::none());
+  gpusim::DeviceBuffer<std::uint64_t> buf(dev, 1024, std::uint64_t{1});
+  auto view = gpusim::host_view(buf);
+  std::uint64_t sink = 0;
+  const auto t0 = Clock::now();
+  for (int i = 0; i < kIters; ++i) {
+    sink += view.load(static_cast<size_t>(i) & 1023u);
+  }
+  const auto dt = Clock::now() - t0;
+  const double ns =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count()) /
+      kIters;
+  RecordProperty("ns_per_load", std::to_string(ns));
+  EXPECT_EQ(sink, static_cast<std::uint64_t>(kIters));
+  EXPECT_LT(ns, kMaxDisabledNsPerSite);
+}
+
+}  // namespace
+}  // namespace szp

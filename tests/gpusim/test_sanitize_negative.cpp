@@ -1,0 +1,222 @@
+// Negative kernels for the gpusim sanitizer: each test commits exactly
+// one class of defect and asserts the matching checker (and only that
+// checker) reports it. These are the simulated-runtime analogues of the
+// compute-sanitizer demo kernels (OOB store, use-after-free, missing
+// __syncthreads, divergent __ballot_sync, ...).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <optional>
+#include <thread>
+
+#include "szp/gpusim/device.hpp"
+#include "szp/gpusim/launch.hpp"
+#include "szp/gpusim/pool.hpp"
+#include "szp/gpusim/view.hpp"
+#include "szp/gpusim/warp_sync.hpp"
+
+namespace szp::gpusim {
+namespace {
+
+using sanitize::Kind;
+using sanitize::Tool;
+using sanitize::Tools;
+
+/// Asserts the report contains `kind` and nothing from the other tools
+/// — "each negative kernel triggers exactly its intended checker".
+void expect_only(const sanitize::Report& r, Kind kind) {
+  EXPECT_GE(r.count(kind), 1u) << r.to_string();
+  for (const auto t : {Tool::kMemcheck, Tool::kRacecheck, Tool::kSynccheck}) {
+    if (t == kind_tool(kind)) {
+      EXPECT_EQ(r.count(t), r.total()) << r.to_string();
+    } else {
+      EXPECT_EQ(r.count(t), 0u) << r.to_string();
+    }
+  }
+}
+
+TEST(SanitizeNegative, OobWriteIsCaughtAndSuppressed) {
+  Device dev(1, Tools::all());
+  DeviceBuffer<std::uint32_t> buf(dev, 8, 0u);
+  launch(dev, "oob_write_kernel", 1, [&](const BlockCtx& ctx) {
+    const auto v = device_view(buf, ctx);
+    v.store(8, 0xdeadbeefu);  // one past the end
+  });
+  expect_only(dev.sanitize_report(), Kind::kOobWrite);
+  // The store was suppressed, so the redzone stayed intact and no
+  // corruption finding follows at free.
+  dev.clear_sanitize_findings();
+}
+
+TEST(SanitizeNegative, OobReadIsCaughtAndReturnsZero) {
+  Device dev(1, Tools::all());
+  DeviceBuffer<std::uint32_t> buf(dev, 4, 7u);
+  std::uint32_t got = 1;
+  launch(dev, "oob_read_kernel", 1, [&](const BlockCtx& ctx) {
+    const auto v = device_view(std::as_const(buf), ctx);
+    got = v.load(100);
+  });
+  EXPECT_EQ(got, 0u);  // suppressed load value-initializes
+  expect_only(dev.sanitize_report(), Kind::kOobRead);
+}
+
+TEST(SanitizeNegative, UninitReadIsCaught) {
+  Device dev(1, Tools::all());
+  DeviceBuffer<float> buf(dev, 16);  // no fill: uninitialized
+  launch(dev, "uninit_read_kernel", 1, [&](const BlockCtx& ctx) {
+    const auto v = device_view(std::as_const(buf), ctx);
+    (void)v.load(3);
+  });
+  expect_only(dev.sanitize_report(), Kind::kUninitRead);
+}
+
+TEST(SanitizeNegative, UseAfterFreeIsCaughtAndSuppressed) {
+  Device dev(1, Tools::all());
+  std::optional<DeviceBuffer<int>> buf(std::in_place, dev, 4, 5);
+  auto view = host_view(std::as_const(*buf));  // keeps the shadow alive
+  buf.reset();                                 // ... but not the storage
+  EXPECT_EQ(view.load(0), 0);                  // suppressed, not 5
+  expect_only(dev.sanitize_report(), Kind::kUseAfterFree);
+}
+
+TEST(SanitizeNegative, RedzoneCorruptionIsCaughtAtFree) {
+  Device dev(1, Tools::all());
+  {
+    DeviceBuffer<std::uint8_t> buf(dev, 8, std::uint8_t{0});
+    buf.data()[8] = 0x00;  // scribble one byte past the payload
+  }
+  expect_only(dev.sanitize_report(), Kind::kRedzoneCorruption);
+}
+
+TEST(SanitizeNegative, LeakSweepFindsLiveBuffers) {
+  Device dev(1, Tools::all());
+  DeviceBuffer<double> buf(dev, 32, 0.0);
+  dev.sanitize_finalize();  // buffer still alive here
+  expect_only(dev.sanitize_report(), Kind::kLeak);
+  dev.clear_sanitize_findings();
+}
+
+TEST(SanitizeNegative, HostAccessDuringKernelIsCaught) {
+  Device dev(2, Tools::all());
+  DeviceBuffer<float> buf(dev, 4, 0.f);
+  std::atomic<bool> kernel_running{false};
+  std::atomic<bool> host_done{false};
+  std::thread host([&] {
+    while (!kernel_running.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    (void)std::as_const(buf).span();  // host poke while the kernel runs
+    host_done.store(true, std::memory_order_release);
+  });
+  launch(dev, "long_kernel", 1, [&](const BlockCtx&) {
+    kernel_running.store(true, std::memory_order_release);
+    while (!host_done.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  });
+  host.join();
+  expect_only(dev.sanitize_report(), Kind::kHostAccessDuringKernel);
+}
+
+TEST(SanitizeNegative, UnsynchronizedWritesRace) {
+  Device dev(2, Tools::all());
+  DeviceBuffer<std::uint32_t> buf(dev, 1, 0u);
+  // Two blocks store the same cell with no ordering between them. The
+  // vector-clock detector flags this on any schedule, even if the blocks
+  // happen to run back to back.
+  launch(dev, "racy_store_kernel", 2, [&](const BlockCtx& ctx) {
+    const auto v = device_view(buf, ctx);
+    v.store(0, ctx.actor());
+  });
+  expect_only(dev.sanitize_report(), Kind::kRace);
+}
+
+TEST(SanitizeNegative, LookbackWithoutAcquireRaces) {
+  Device dev(2, Tools::all());
+  DeviceBuffer<std::uint64_t> buf(dev, 1, std::uint64_t{0});
+  std::atomic<int> flag{0};
+  // Block 0 publishes with a release edge; block 1 spins on the flag but
+  // never declares the acquire — the exact bug class the chained-scan
+  // lookback would have if it skipped ctx.sync_acquire.
+  launch(dev, "lookback_no_acquire", 2, [&](const BlockCtx& ctx) {
+    const auto v = device_view(buf, ctx);
+    if (ctx.block_idx == 0) {
+      v.store(0, 42u);
+      ctx.sync_release(&flag);
+      flag.store(1, std::memory_order_release);
+    } else {
+      while (flag.load(std::memory_order_acquire) == 0) {
+        if (ctx.aborted()) return;
+        std::this_thread::yield();
+      }
+      // Missing: ctx.sync_acquire(&flag);
+      (void)v.load(0);
+    }
+  });
+  expect_only(dev.sanitize_report(), Kind::kRace);
+}
+
+TEST(SanitizeNegative, AcquireEdgeSilencesTheRace) {
+  Device dev(2, Tools::all());
+  DeviceBuffer<std::uint64_t> buf(dev, 1, std::uint64_t{0});
+  std::atomic<int> flag{0};
+  launch(dev, "lookback_with_acquire", 2, [&](const BlockCtx& ctx) {
+    const auto v = device_view(buf, ctx);
+    if (ctx.block_idx == 0) {
+      v.store(0, 42u);
+      ctx.sync_release(&flag);
+      flag.store(1, std::memory_order_release);
+    } else {
+      while (flag.load(std::memory_order_acquire) == 0) {
+        if (ctx.aborted()) return;
+        std::this_thread::yield();
+      }
+      ctx.sync_acquire(&flag);
+      (void)v.load(0);
+    }
+  });
+  EXPECT_TRUE(dev.sanitize_report().empty())
+      << dev.sanitize_report().to_string();
+}
+
+TEST(SanitizeNegative, BarrierDivergenceIsCaught) {
+  Device dev(1, Tools::all());
+  launch(dev, "divergent_barrier", 1, [&](const BlockCtx& ctx) {
+    ctx.set_active_mask(0xffffffffu);
+    ctx.block_barrier(0x0000ffffu);  // upper half never arrives
+  });
+  expect_only(dev.sanitize_report(), Kind::kBarrierDivergence);
+}
+
+TEST(SanitizeNegative, DivergentBallotIsCaught) {
+  Device dev(1, Tools::all());
+  launch(dev, "divergent_ballot", 1, [&](const BlockCtx& ctx) {
+    ctx.set_active_mask(0x0000ffffu);  // half the warp diverged away
+    warp::Lanes<bool> pred{};
+    (void)warp::ballot_sync(ctx, warp::kFullMask, pred);
+  });
+  expect_only(dev.sanitize_report(), Kind::kMaskMismatch);
+}
+
+TEST(SanitizeNegative, PoolReuseStaleReadIsCaught) {
+  Device dev(1, Tools::all());
+  BufferPool<std::uint32_t> pool(dev);
+  {
+    auto lease = pool.acquire(64);
+    launch(dev, "fill_kernel", 1, [&](const BlockCtx& ctx) {
+      const auto v = device_view(*lease, ctx);
+      for (std::uint32_t& slot : v.store_span(0, 64)) slot = 1;
+    });
+  }  // released back to the pool fully initialized
+  {
+    auto lease = pool.acquire(64);  // same storage, stale contents
+    launch(dev, "stale_read_kernel", 1, [&](const BlockCtx& ctx) {
+      const auto v = device_view(std::as_const(*lease), ctx);
+      (void)v.load(0);  // read before any write of this lease
+    });
+  }
+  expect_only(dev.sanitize_report(), Kind::kUninitRead);
+}
+
+}  // namespace
+}  // namespace szp::gpusim

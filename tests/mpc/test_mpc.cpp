@@ -102,7 +102,7 @@ TEST(Mpc, DeviceMatchesSerial) {
   const auto res = compress_device(dev, d_in, field.count(), {}, d_cmp);
   ASSERT_EQ(res.bytes, serial.size());
   EXPECT_EQ(res.trace.kernel_launches, 1u);
-  const auto bytes = gpusim::to_host(dev, d_cmp);
+  const auto bytes = gpusim::to_host(dev, d_cmp, res.bytes);
   for (size_t i = 0; i < serial.size(); ++i) {
     ASSERT_EQ(bytes[i], serial[i]) << i;
   }

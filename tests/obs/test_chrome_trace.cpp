@@ -222,8 +222,9 @@ class ChromeTraceTest : public ::testing::Test {
     gpusim::DeviceBuffer<byte_t> d_cmp(
         dev, core::max_compressed_bytes(data.size(), params.block_len));
     gpusim::DeviceBuffer<float> d_out(dev, data.size());
-    (void)c.compress_on_device(dev, d_in, data.size(), 20.0, d_cmp);
-    (void)c.decompress_on_device(dev, d_cmp, d_out);
+    const auto comp =
+        c.compress_on_device(dev, d_in, data.size(), 20.0, d_cmp);
+    (void)c.decompress_on_device(dev, d_cmp, d_out, comp.bytes);
     (void)gpusim::to_host(dev, d_out);
   }
 };

@@ -133,7 +133,7 @@ TEST(Vsz, DeviceMatchesSerial) {
                                      vsz::max_compressed_bytes(field.count()));
   const auto res = vsz::compress_device(dev, d_in, g, p, eb, d_cmp);
   ASSERT_EQ(res.bytes, serial.size());
-  const auto bytes = gpusim::to_host(dev, d_cmp);
+  const auto bytes = gpusim::to_host(dev, d_cmp, res.bytes);
   for (size_t i = 0; i < serial.size(); ++i) {
     ASSERT_EQ(bytes[i], serial[i]) << "byte " << i;
   }

@@ -152,7 +152,7 @@ TEST(Vzfp, DeviceMatchesSerial) {
                                      vzfp::compressed_bytes(field.dims, p));
   const auto res = vzfp::compress_device(dev, d_in, field.dims, p, d_cmp);
   ASSERT_EQ(res.bytes, serial.size());
-  const auto bytes = gpusim::to_host(dev, d_cmp);
+  const auto bytes = gpusim::to_host(dev, d_cmp, res.bytes);
   for (size_t i = 0; i < serial.size(); ++i) {
     ASSERT_EQ(bytes[i], serial[i]) << "byte " << i;
   }

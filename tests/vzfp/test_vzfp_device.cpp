@@ -28,7 +28,7 @@ TEST_P(RateDims, DeviceAndSerialAgreeEverywhere) {
   gpusim::DeviceBuffer<byte_t> d_cmp(dev, serial.size());
   const auto res = compress_device(dev, d_in, dims, p, d_cmp);
   ASSERT_EQ(res.bytes, serial.size());
-  const auto bytes = gpusim::to_host(dev, d_cmp);
+  const auto bytes = gpusim::to_host(dev, d_cmp, res.bytes);
   ASSERT_TRUE(std::equal(serial.begin(), serial.end(), bytes.begin()));
 
   gpusim::DeviceBuffer<float> d_out(dev, field.count());

@@ -76,7 +76,7 @@ TEST(Xsz, DeviceMatchesSerial) {
   const auto res =
       xsz::compress_device(dev, d_in, field.count(), p, eb, d_cmp);
   ASSERT_EQ(res.bytes, serial.size());
-  const auto bytes = gpusim::to_host(dev, d_cmp);
+  const auto bytes = gpusim::to_host(dev, d_cmp, res.bytes);
   for (size_t i = 0; i < serial.size(); ++i) {
     ASSERT_EQ(bytes[i], serial[i]) << "byte " << i;
   }

@@ -14,9 +14,13 @@
 //   --breakdown         print the per-stage device counter table
 //   --backend <name>    serial | parallel | device (default: device)
 //   --threads <n>       parallel-host execution slots (0 = auto)
+//   --devcheck          run the gpusim sanitizer (memcheck+racecheck+
+//                       synccheck) over the device kernels; prints the
+//                       report and exits 3 on findings
 //   --version / --help
 #include <cctype>
 #include <chrono>
+#include <cstdlib>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -28,6 +32,7 @@
 
 #include "szp/data/registry.hpp"
 #include "szp/engine/engine.hpp"
+#include "szp/gpusim/device.hpp"
 #include "szp/metrics/error.hpp"
 #include "szp/obs/chrome_trace.hpp"
 #include "szp/obs/metrics.hpp"
@@ -57,6 +62,8 @@ void print_usage(std::FILE* to) {
                "  --trace <file>    write a Chrome trace (load in Perfetto)\n"
                "  --stats           print the metrics summary after the run\n"
                "  --breakdown       print the per-stage device counter table\n"
+               "  --devcheck        run the device sanitizer; exit 3 on "
+               "findings\n"
                "  --version         print the version and exit\n"
                "  --help            print this message and exit\n");
 }
@@ -96,6 +103,7 @@ int main(int argc, char** argv) try {
   unsigned threads = 0;
   bool stats = false;
   bool breakdown = false;
+  bool devcheck = false;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -114,6 +122,8 @@ int main(int argc, char** argv) try {
       trace_path = argv[i];
     } else if (a == "--stats") {
       stats = true;
+    } else if (a == "--devcheck") {
+      devcheck = true;
     } else if (a == "--breakdown") {
       breakdown = true;
     } else if (a == "--version") {
@@ -158,6 +168,15 @@ int main(int argc, char** argv) try {
   params.mode = mode == "abs" ? core::ErrorMode::kAbs : core::ErrorMode::kRel;
   params.error_bound = bound;
   const engine::BackendKind backend = engine::backend_from_name(backend_name);
+  if (devcheck) {
+    if (backend != engine::BackendKind::kDevice) {
+      std::fprintf(stderr, "szp_cli: --devcheck requires --backend device\n");
+      return 2;
+    }
+    // Arm every checker on the engine's Device before it is constructed;
+    // findings are consumed below, so teardown never aborts.
+    setenv("SZP_DEVCHECK", "all", 1);
+  }
   engine::Engine eng(
       {.params = params, .backend = backend, .threads = threads});
   const double range = field.value_range();
@@ -241,6 +260,12 @@ int main(int argc, char** argv) try {
     std::printf("\n");
     std::fflush(stdout);
     obs::Registry::instance().write_text(std::cout);
+  }
+  if (devcheck) {
+    const auto rep = eng.device().sanitize_report();
+    std::printf("\n%s", rep.to_string().c_str());
+    eng.device().clear_sanitize_findings();
+    if (!rep.empty()) return 3;
   }
   return 0;
 } catch (const szp::format_error& e) {

@@ -8,7 +8,12 @@
 // checksums vouch for is decoded and written as raw f32/f64 next to a
 // report of the zero-filled block ranges.
 //
-// Exit codes: 0 = intact, 1 = corruption detected, 2 = usage/IO error.
+// With --devcheck, each intact stream is additionally decoded on a
+// checked gpusim Device (memcheck+racecheck+synccheck armed); sanitizer
+// findings are printed and exit with code 3.
+//
+// Exit codes: 0 = intact, 1 = corruption detected, 2 = usage/IO error,
+// 3 = sanitizer findings.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -17,6 +22,9 @@
 #include <vector>
 
 #include "szp/archive/archive.hpp"
+#include "szp/core/device.hpp"
+#include "szp/gpusim/buffer.hpp"
+#include "szp/gpusim/device.hpp"
 #include "szp/obs/chrome_trace.hpp"
 #include "szp/obs/metrics.hpp"
 #include "szp/obs/tracer.hpp"
@@ -94,6 +102,30 @@ bool salvage_stream(std::span<const byte_t> stream,
   return true;
 }
 
+/// Decode `stream` through the device codec with every sanitizer tool
+/// armed; prints the devcheck report. Returns true when the report is
+/// clean. Corrupt streams are skipped by the caller — this checks the
+/// kernels, not the stream.
+bool devcheck_stream(const std::string& label,
+                     std::span<const byte_t> stream) {
+  gpusim::Device dev(0, gpusim::sanitize::Tools::all());
+  const auto d_cmp = gpusim::to_device<byte_t>(dev, stream);
+  const core::Header h = core::Header::deserialize(stream);
+  if ((h.flags & 0x08) != 0) {  // bit3: f64 source data
+    gpusim::DeviceBuffer<double> out(dev, std::max<size_t>(1, h.num_elements));
+    (void)core::decompress_device_f64(dev, d_cmp, out, stream.size());
+  } else {
+    gpusim::DeviceBuffer<float> out(dev, std::max<size_t>(1, h.num_elements));
+    (void)core::decompress_device(dev, d_cmp, out, stream.size());
+  }
+  const auto rep = dev.sanitize_report();
+  std::printf("%s devcheck: %s", label.c_str(),
+              rep.empty() ? "clean\n" : "\n");
+  if (!rep.empty()) std::printf("%s", rep.to_string().c_str());
+  dev.clear_sanitize_findings();
+  return rep.empty();
+}
+
 bool is_archive(const std::vector<byte_t>& bytes) {
   constexpr std::uint32_t kArchiveMagic = 0x41355A53;  // "SZ5A"
   std::uint32_t magic = 0;
@@ -104,7 +136,7 @@ bool is_archive(const std::vector<byte_t>& bytes) {
 int usage() {
   std::fprintf(stderr,
                "usage: szp_verify [--stats] [--trace <out.json>] "
-               "<stream.szp | archive.szpa>\n"
+               "[--devcheck] <stream.szp | archive.szpa>\n"
                "       szp_verify --salvage <out-prefix> "
                "<stream.szp | archive.szpa>\n");
   return 2;
@@ -116,6 +148,7 @@ int main(int argc, char** argv) try {
   std::string salvage_prefix;
   std::string trace_path;
   bool stats = false;
+  bool devcheck = false;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -127,6 +160,8 @@ int main(int argc, char** argv) try {
       trace_path = argv[i];
     } else if (a == "--stats") {
       stats = true;
+    } else if (a == "--devcheck") {
+      devcheck = true;
     } else if (a == "--version") {
       std::printf("szp_verify %s\n", kVersionString);
       return 0;
@@ -143,6 +178,7 @@ int main(int argc, char** argv) try {
   const auto bytes = load_file(path);
 
   bool corrupt = false;
+  bool devcheck_clean = true;
   if (is_archive(bytes)) {
     // Archive entries are independent; one corrupt entry must not sink
     // the others, so Reader parsing failures are the only fatal case.
@@ -151,6 +187,10 @@ int main(int argc, char** argv) try {
     for (size_t i = 0; i < reports.size(); ++i) {
       print_report(reader.entries()[i].name, reports[i]);
       if (!reports[i].ok()) corrupt = true;
+      if (devcheck && reports[i].ok()) {
+        devcheck_clean &=
+            devcheck_stream(reader.entries()[i].name, reader.stream_of(i));
+      }
       if (!salvage_prefix.empty()) {
         data::Field field;
         const auto rep = reader.try_extract(i, field);
@@ -167,6 +207,9 @@ int main(int argc, char** argv) try {
     const auto rep = robust::verify_stream(bytes, /*want_groups=*/true);
     print_report(path, rep);
     if (!rep.ok()) corrupt = true;
+    if (devcheck && rep.ok()) {
+      devcheck_clean &= devcheck_stream(path, bytes);
+    }
     if (!salvage_prefix.empty()) {
       salvage_stream(bytes, salvage_prefix + ".f32");
     }
@@ -180,7 +223,8 @@ int main(int argc, char** argv) try {
     std::fflush(stdout);
     obs::Registry::instance().write_text(std::cout);
   }
-  return corrupt ? 1 : 0;
+  if (corrupt) return 1;
+  return devcheck_clean ? 0 : 3;
 } catch (const szp::format_error& e) {
   std::fprintf(stderr, "szp_verify: unreadable input: %s\n", e.what());
   return 2;
