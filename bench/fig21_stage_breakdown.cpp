@@ -2,7 +2,15 @@
 // stages (QP = Quantization+Prediction, FE = Fixed-length Encoding, GS =
 // Global Synchronization, BB = Block Bit-shuffle) at REL 1e-2, for
 // compression and decompression, per dataset suite.
+//
+// Default rows come from the analytic cost model over the device trace.
+// With SZP_PROFILE set, a second table is printed from the kernel
+// profiler's measured per-stage wall time — the counter-backed analogue
+// of the modeled split.
+#include <array>
+#include <cstdint>
 #include <iostream>
+#include <string_view>
 
 #include "szp/data/registry.hpp"
 #include "szp/harness/runner.hpp"
@@ -18,10 +26,13 @@ int main() {
   const Stage stages[] = {Stage::kBitShuffle, Stage::kGlobalSync,
                           Stage::kFixedLenEncode, Stage::kQuantPredict};
 
+  const bool profiled = !profile_env_spec().empty();
+
   std::cout << "=== Fig. 21: cuSZp kernel-time stage breakdown (REL 1e-2) "
                "===\n\n";
   for (const bool decomp : {false, true}) {
     Table t({"Dataset", "BB %", "GS %", "FE %", "QP %"});
+    Table tm({"Dataset", "BB %", "GS %", "FE %", "QP %"});
     for (const auto suite : harness::all_suite_ids()) {
       const auto field = data::make_field(suite, 0, scale);
       harness::CodecSetting s;
@@ -39,11 +50,41 @@ int main() {
                    std::max(stage_total, 1e-30),
                2);
       }
+      if (profiled && r.profile.has_value()) {
+        // Measured split: sum the profiler's per-stage wall nanoseconds
+        // over the launches of the matching kernel.
+        const std::string_view want = decomp ? "szp_decompress"
+                                             : "szp_compress";
+        std::array<std::uint64_t, gpusim::kNumStages> ns{};
+        for (const auto& lp : r.profile->launches) {
+          if (lp.kernel != want) continue;
+          for (unsigned st = 0; st < gpusim::kNumStages; ++st) {
+            ns[st] += lp.stages[st].ns;
+          }
+        }
+        double total = 0;
+        for (const Stage st : stages) total += ns[static_cast<unsigned>(st)];
+        tm.row().cell(data::suite_info(suite).name);
+        for (const Stage st : stages) {
+          tm.cell(100.0 *
+                      static_cast<double>(ns[static_cast<unsigned>(st)]) /
+                      std::max(total, 1.0),
+                  2);
+        }
+      }
     }
     std::cout << (decomp ? "(b) Decompression kernel\n"
                          : "(a) Compression kernel\n");
     t.print(std::cout);
     std::cout << '\n';
+    if (profiled) {
+      std::cout << (decomp ? "(b') Decompression kernel, measured "
+                             "(profiler stage wall time)\n"
+                           : "(a') Compression kernel, measured "
+                             "(profiler stage wall time)\n");
+      tm.print(std::cout);
+      std::cout << '\n';
+    }
   }
   std::cout << "Paper: compression BB 21.67%, GS 37.50%, FE 30.00%, QP "
                "10.83%; decompression dominated by BB/GS/QP with FE nearly "

@@ -94,7 +94,11 @@ void emit_backend(std::ostream& os, const char* name, const Measurement& m,
 
 int main() {
   const double scale = bench_scale();
-  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  // hardware_concurrency() may legitimately return 0 (unknown) or a small
+  // value inside CI containers; record the raw value and the pool size the
+  // backend actually built so downstream consumers can judge the numbers.
+  const unsigned hw_raw = std::thread::hardware_concurrency();
+  const unsigned hw = std::max(1u, hw_raw);
   const unsigned par_threads = std::max(4u, hw);
 
   core::Params p;
@@ -107,10 +111,22 @@ int main() {
                            .threads = par_threads});
   engine::Engine device({.params = p, .backend = engine::BackendKind::kDevice});
   const perfmodel::CostModel model(perfmodel::a100());
+  const auto* par_backend =
+      dynamic_cast<const engine::ParallelHostBackend*>(&parallel.backend());
+  const unsigned effective_threads =
+      par_backend != nullptr ? par_backend->threads() : par_threads;
+  // The speedup columns only measure real parallelism when the pool fits
+  // the machine: an oversubscribed (or unknown-width) host makes the
+  // serial/parallel wall-clock ratio a scheduling artifact.
+  const bool speedup_reliable = hw_raw != 0 && effective_threads <= hw_raw;
 
   std::cout << "=== PR3: codec engine backend comparison ===\n"
             << "scale=" << scale << " hardware_threads=" << hw
-            << " parallel_threads=" << par_threads << "\n\n";
+            << " (raw=" << hw_raw << ")"
+            << " parallel_threads=" << effective_threads
+            << (speedup_reliable ? "" : "  [speedups unreliable: pool wider "
+                                        "than the machine]")
+            << "\n\n";
 
   const std::string outdir = bench_outdir();
   std::filesystem::create_directories(outdir);
@@ -122,7 +138,9 @@ int main() {
      << "  \"rel_bound\": " << p.error_bound << ",\n"
      << "  \"scale\": " << scale << ",\n"
      << "  \"hardware_threads\": " << hw << ",\n"
+     << "  \"hardware_threads_raw\": " << hw_raw << ",\n"
      << "  \"parallel_threads\": " << par_threads << ",\n"
+     << "  \"effective_parallel_threads\": " << effective_threads << ",\n"
      << "  \"datasets\": [\n";
 
   double sum_ser_c = 0, sum_par_c = 0, sum_ser_d = 0, sum_par_d = 0;
@@ -143,7 +161,7 @@ int main() {
     std::printf("%-10s %-10s serial %7.3f GB/s | parallel(%u) %7.3f GB/s | "
                 "device %7.2f GB/s modeled | CR %.2f\n",
                 suites[s].name.c_str(), field.name.c_str(),
-                gbps(field.size_bytes(), ser.wall_comp_s), par_threads,
+                gbps(field.size_bytes(), ser.wall_comp_s), effective_threads,
                 gbps(field.size_bytes(), par.wall_comp_s),
                 dev.modeled_comp_gbps, ser.ratio);
 
@@ -151,8 +169,8 @@ int main() {
        << field.name << "\", \"elements\": " << field.count()
        << ", \"raw_bytes\": " << field.size_bytes() << ", \"backends\": [\n";
     emit_backend(js, "serial", ser, field.size_bytes(), 1, false, false);
-    emit_backend(js, "parallel", par, field.size_bytes(), par_threads, false,
-                 false);
+    emit_backend(js, "parallel", par, field.size_bytes(), effective_threads,
+                 false, false);
     emit_backend(js, "device", dev, field.size_bytes(), 1, true, true);
     js << "    ]}" << (s + 1 < suites.size() ? "," : "") << "\n";
   }
@@ -161,7 +179,8 @@ int main() {
   const double speedup_d = sum_par_d > 0 ? sum_ser_d / sum_par_d : 0;
   js << "  ],\n"
      << "  \"summary\": {\"fields\": " << n_fields
-     << ", \"parallel_threads\": " << par_threads
+     << ", \"parallel_threads\": " << effective_threads
+     << ", \"speedup_reliable\": " << (speedup_reliable ? "true" : "false")
      << ", \"serial_comp_wall_s\": " << sum_ser_c
      << ", \"parallel_comp_wall_s\": " << sum_par_c
      << ", \"parallel_comp_speedup\": " << speedup_c
@@ -170,8 +189,10 @@ int main() {
   js.close();
 
   std::printf("\nparallel-host speedup over serial at %u threads: "
-              "compress %.2fx, decompress %.2fx\n",
-              par_threads, speedup_c, speedup_d);
+              "compress %.2fx, decompress %.2fx%s\n",
+              effective_threads, speedup_c, speedup_d,
+              speedup_reliable ? ""
+                               : "  (unreliable: pool wider than machine)");
   std::printf("wrote %s\n", out_path.c_str());
   return 0;
 }

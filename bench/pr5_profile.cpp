@@ -1,0 +1,138 @@
+// Kernel-profiler bench: runs the cuSZp device roundtrip on one field per
+// suite with the gpusim profiler armed and emits the measured per-stage
+// counters next to the wall/modeled throughput as machine-readable JSON
+// (BENCH_pr5.json in SZP_BENCH_OUTDIR) for CI schema checks.
+//
+// Where pr3 compares backends by wall clock alone, this bench records
+// *why* a kernel costs what it does: per-stage bytes/ops/ns, atomic and
+// barrier counts, lookback statistics and the block load balance — the
+// simulated analogue of an Nsight Compute section per launch.
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "szp/data/registry.hpp"
+#include "szp/gpusim/trace.hpp"
+#include "szp/harness/codecs.hpp"
+#include "szp/harness/runner.hpp"
+#include "szp/perfmodel/cost.hpp"
+#include "szp/util/common.hpp"
+#include "szp/util/env.hpp"
+
+namespace {
+
+using namespace szp;
+
+double gbps(size_t bytes, double seconds) {
+  return seconds > 0 ? static_cast<double>(bytes) / 1e9 / seconds : 0;
+}
+
+void emit_launch(std::ostream& os, const gpusim::profile::LaunchProfile& lp,
+                 bool last) {
+  os << "        {\"kernel\": \"" << lp.kernel << "\", "
+     << "\"grid_blocks\": " << lp.grid_blocks << ", \"stages\": {";
+  bool first = true;
+  for (unsigned s = 0; s < gpusim::kNumStages; ++s) {
+    const auto& st = lp.stages[s];
+    if (st.counters_empty() && st.ns == 0) continue;
+    const auto name = gpusim::stage_name(static_cast<gpusim::Stage>(s));
+    os << (first ? "" : ", ") << '"' << name << "\": {\"read_bytes\": "
+       << st.read_bytes << ", \"write_bytes\": " << st.write_bytes
+       << ", \"ops\": " << st.ops << ", \"ns\": " << st.ns << '}';
+    first = false;
+  }
+  os << "}, \"atomic_stores\": " << lp.atomic_stores
+     << ", \"atomic_rmws\": " << lp.atomic_rmws
+     << ", \"barriers\": " << lp.barriers
+     << ", \"lookback_calls\": " << lp.lookback_calls
+     << ", \"wall_ns\": " << lp.wall_ns
+     << ", \"block_imbalance\": " << lp.blocks.imbalance
+     << ", \"avg_concurrency\": " << lp.blocks.avg_concurrency << '}'
+     << (last ? "" : ",") << '\n';
+}
+
+}  // namespace
+
+int main() {
+  // Arm collect-only profiling before any Device exists; the report below
+  // is emitted explicitly per roundtrip, so no atexit export runs.
+  setenv("SZP_PROFILE", "1", 1);
+  const double scale = bench_scale();
+  const perfmodel::CostModel model(perfmodel::a100());
+
+  std::cout << "=== PR5: cuSZp kernel profile (measured device counters) "
+               "===\n"
+            << "scale=" << scale << "\n\n";
+
+  const std::string outdir = bench_outdir();
+  std::filesystem::create_directories(outdir);
+  const std::string out_path = outdir + "/BENCH_pr5.json";
+  std::ofstream js(out_path);
+  js << "{\n"
+     << "  \"bench\": \"pr5_profile\",\n"
+     << "  \"version\": \"" << kVersionString << "\",\n"
+     << "  \"rel_bound\": 0.001,\n"
+     << "  \"scale\": " << scale << ",\n"
+     << "  \"datasets\": [\n";
+
+  size_t total_launches = 0;
+  const auto suites = harness::all_suite_ids();
+  for (size_t i = 0; i < suites.size(); ++i) {
+    const auto field = data::make_field(suites[i], 0, scale);
+    harness::CodecSetting setting;
+    setting.id = harness::CodecId::kSzp;
+    setting.rel = 1e-3;
+    const auto r = harness::run_codec(setting, field);
+    if (!r.profile.has_value()) {
+      std::fprintf(stderr, "pr5_profile: roundtrip returned no profile\n");
+      return 1;
+    }
+    const auto& prof = *r.profile;
+    total_launches += prof.launches.size();
+
+    std::uint64_t qp_ns = 0;
+    for (const auto& lp : prof.launches) {
+      qp_ns += lp.stages[static_cast<unsigned>(gpusim::Stage::kQuantPredict)]
+                   .ns;
+    }
+    std::printf("%-10s %-12s wall comp %7.3f GB/s | modeled %7.2f GB/s | "
+                "%zu launches | QP %llu us\n",
+                data::suite_info(suites[i]).name.c_str(), field.name.c_str(),
+                gbps(field.size_bytes(), r.wall_comp_s),
+                model.end_to_end_gbps(r.comp_trace, field.size_bytes()),
+                prof.launches.size(),
+                static_cast<unsigned long long>(qp_ns / 1000));
+
+    js << "    {\"suite\": \"" << data::suite_info(suites[i]).name
+       << "\", \"field\": \"" << field.name
+       << "\", \"elements\": " << field.count()
+       << ", \"raw_bytes\": " << field.size_bytes()
+       << ",\n     \"wall_comp_gbps\": " << gbps(field.size_bytes(),
+                                                 r.wall_comp_s)
+       << ", \"wall_decomp_gbps\": " << gbps(field.size_bytes(),
+                                             r.wall_decomp_s)
+       << ", \"modeled_comp_gbps\": "
+       << model.end_to_end_gbps(r.comp_trace, field.size_bytes())
+       << ", \"modeled_decomp_gbps\": "
+       << model.end_to_end_gbps(r.decomp_trace, field.size_bytes())
+       << ",\n     \"memcpy_h2d_bytes\": " << prof.memcpy.h2d_bytes
+       << ", \"memcpy_d2h_bytes\": " << prof.memcpy.d2h_bytes
+       << ", \"launches\": [\n";
+    for (size_t l = 0; l < prof.launches.size(); ++l) {
+      emit_launch(js, prof.launches[l], l + 1 == prof.launches.size());
+    }
+    js << "    ]}" << (i + 1 < suites.size() ? "," : "") << "\n";
+  }
+
+  js << "  ],\n"
+     << "  \"summary\": {\"datasets\": " << suites.size()
+     << ", \"total_launches\": " << total_launches << "}\n"
+     << "}\n";
+  js.close();
+
+  std::printf("\nwrote %s (%zu launches profiled)\n", out_path.c_str(),
+              total_launches);
+  return 0;
+}

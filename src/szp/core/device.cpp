@@ -80,6 +80,7 @@ class GroupChecksumState {
           std::min(first + count, glast) - std::max(first, gfirst));
       const auto size = static_cast<std::uint32_t>(glast - gfirst);
       ctx.sync_release(&counts_[g]);
+      ctx.atomic_rmw_op();
       if (counts_[g].fetch_add(add, std::memory_order_acq_rel) + add !=
           size) {
         continue;
@@ -98,6 +99,7 @@ class GroupChecksumState {
       ctx.read(gs::Stage::kOther, covered);
       ctx.ops(gs::Stage::kOther, covered);
       ctx.sync_release(&done_);
+      ctx.atomic_rmw_op();
       if (done_.fetch_add(1, std::memory_order_acq_rel) + 1 == groups_) {
         ctx.sync_acquire(&done_);
         on_all();
@@ -197,16 +199,17 @@ DeviceCodecResult compress_device_impl(gs::Device& dev,
       // QP time is the encode_block calls; the remaining loop body (length
       // selection + length-byte store) is attributed to FE.
       const bool tr = obs::tracing_enabled();
-      const std::uint64_t sec0 = tr ? obs::now_ns() : 0;
+      const bool tm = tr || ctx.profiled();
+      const std::uint64_t sec0 = tm ? obs::now_ns() : 0;
       std::uint64_t qp_ns = 0;
       for (unsigned lane = 0; lane < w::kWarpSize; ++lane) {
         const size_t block = first_block + lane;
         if (block >= nblocks) continue;
         size_t lane_elems = 0;
-        const std::uint64_t lane_t0 = tr ? obs::now_ns() : 0;
+        const std::uint64_t lane_t0 = tm ? obs::now_ns() : 0;
         lbs[lane] = encode_block<T>(data, n, block, L, eb_abs, params,
                                     scratch[lane], lane_elems);
-        if (tr) qp_ns += obs::now_ns() - lane_t0;
+        if (tm) qp_ns += obs::now_ns() - lane_t0;
         elems += lane_elems;
         lane_len[lane] = encoded_block_bytes(lbs[lane], L, params);
         if (lane_len[lane] > 0) nonzero_elems += L;
@@ -217,18 +220,23 @@ DeviceCodecResult compress_device_impl(gs::Device& dev,
       ctx.ops(gs::Stage::kQuantPredict, elems);
       ctx.ops(gs::Stage::kFixedLenEncode, elems + nonzero_elems);
       ctx.write(gs::Stage::kFixedLenEncode, active);
-      if (tr) {
-        // Emit back-to-back so the lane nests cleanly in trace viewers;
-        // durations are the measured split of the fused S1+S2 loop.
+      if (tm) {
         const std::uint64_t sec1 = obs::now_ns();
-        obs::complete("stage", "QP", sec0, qp_ns, "blocks", active);
-        obs::complete("stage", "FE", sec0 + qp_ns,
-                      sec1 - sec0 > qp_ns ? sec1 - sec0 - qp_ns : 0, "blocks",
-                      active);
+        const std::uint64_t fe_ns =
+            sec1 - sec0 > qp_ns ? sec1 - sec0 - qp_ns : 0;
+        ctx.stage_ns(gs::Stage::kQuantPredict, qp_ns);
+        ctx.stage_ns(gs::Stage::kFixedLenEncode, fe_ns);
+        if (tr) {
+          // Emit back-to-back so the lane nests cleanly in trace viewers;
+          // durations are the measured split of the fused S1+S2 loop.
+          obs::complete("stage", "QP", sec0, qp_ns, "blocks", active);
+          obs::complete("stage", "FE", sec0 + qp_ns, fe_ns, "blocks", active);
+        }
       }
 
       // S3: warp-level scan (shuffle) + global chained scan.
       obs::Span gs_span("stage", "GS", "warp", ctx.block_idx);
+      const std::uint64_t gs_t0 = tm ? obs::now_ns() : 0;
       const w::Lanes<std::uint64_t> lane_off =
           w::exclusive_scan_sync(ctx, w::kFullMask, lane_len);
       const std::uint64_t aggregate =
@@ -237,10 +245,12 @@ DeviceCodecResult compress_device_impl(gs::Device& dev,
           ctx, gs::Stage::kGlobalSync, ctx.block_idx, aggregate);
       // One offset computed per block plus one restore per non-zero block.
       ctx.ops(gs::Stage::kGlobalSync, active + nonzero_elems / L);
+      if (tm) ctx.stage_ns(gs::Stage::kGlobalSync, obs::now_ns() - gs_t0);
       gs_span.close();
 
       // S4: bit-shuffle payload store at the synchronized offsets.
       obs::Span bb_span("stage", "BB", "warp", ctx.block_idx);
+      const std::uint64_t bb_t0 = tm ? obs::now_ns() : 0;
       for (unsigned lane = 0; lane < w::kWarpSize; ++lane) {
         const size_t block = first_block + lane;
         if (block >= nblocks || lane_len[lane] == 0) continue;
@@ -252,6 +262,7 @@ DeviceCodecResult compress_device_impl(gs::Device& dev,
       ctx.write(gs::Stage::kBitShuffle, payload_bytes);
       // Shuffle register work runs per element of every non-zero block.
       ctx.ops(gs::Stage::kBitShuffle, nonzero_elems);
+      if (tm) ctx.stage_ns(gs::Stage::kBitShuffle, obs::now_ns() - bb_t0);
       bb_span.close();
 
       // S5 (format v2): credit finished blocks to their checksum groups;
@@ -289,12 +300,17 @@ DeviceCodecResult compress_device_impl(gs::Device& dev,
       const size_t in_end =
           std::min(n, (first_block + kBlocksPerWarp) * size_t{L});
       (void)dv.load_span(in_begin, in_end - in_begin);
+      const bool tm = ctx.profiled();
+      const std::uint64_t sec0 = tm ? obs::now_ns() : 0;
+      std::uint64_t qp_ns = 0;
       for (unsigned lane = 0; lane < w::kWarpSize; ++lane) {
         const size_t block = first_block + lane;
         if (block >= nblocks) continue;
         size_t lane_elems = 0;
+        const std::uint64_t lane_t0 = tm ? obs::now_ns() : 0;
         const std::uint8_t lb = encode_block<T>(data, n, block, L, eb_abs,
                                                 params, scratch, lane_elems);
+        if (tm) qp_ns += obs::now_ns() - lane_t0;
         elems += lane_elems;
         const size_t cl = encoded_block_bytes(lb, L, params);
         if (cl > 0) nonzero_elems += L;
@@ -307,6 +323,12 @@ DeviceCodecResult compress_device_impl(gs::Device& dev,
       ctx.write(gs::Stage::kFixedLenEncode,
                 std::min(kBlocksPerWarp, nblocks - first_block) +
                     kBlocksPerWarp * sizeof(std::uint64_t));
+      if (tm) {
+        const std::uint64_t total = obs::now_ns() - sec0;
+        ctx.stage_ns(gs::Stage::kQuantPredict, qp_ns);
+        ctx.stage_ns(gs::Stage::kFixedLenEncode,
+                     total > qp_ns ? total - qp_ns : 0);
+      }
     });
 
     total_payload = gs::twopass_exclusive_scan(dev, lens,
@@ -323,6 +345,9 @@ DeviceCodecResult compress_device_impl(gs::Device& dev,
       const size_t in_end =
           std::min(n, (first_block + kBlocksPerWarp) * size_t{L});
       (void)dv.load_span(in_begin, in_end - in_begin);
+      const bool tm = ctx.profiled();
+      const std::uint64_t sec0 = tm ? obs::now_ns() : 0;
+      std::uint64_t qp_ns = 0;
       for (unsigned lane = 0; lane < w::kWarpSize; ++lane) {
         const size_t block = first_block + lane;
         if (block >= nblocks) continue;
@@ -331,9 +356,11 @@ DeviceCodecResult compress_device_impl(gs::Device& dev,
         const size_t cl = encoded_block_bytes(lb, L, params);
         if (cl == 0) continue;
         size_t lane_elems = 0;
+        const std::uint64_t lane_t0 = tm ? obs::now_ns() : 0;
         // Re-derive the quantized block (no inter-kernel scratch survives).
         (void)encode_block<T>(data, n, block, L, eb_abs, params, scratch,
                               lane_elems);
+        if (tm) qp_ns += obs::now_ns() - lane_t0;
         elems += lane_elems;
         write_block_payload(scratch, lb, L, params.bit_shuffle,
                             sv.store_span(base + lv.load(block), cl));
@@ -343,6 +370,12 @@ DeviceCodecResult compress_device_impl(gs::Device& dev,
       ctx.ops(gs::Stage::kQuantPredict, elems);
       ctx.write(gs::Stage::kBitShuffle, payload_bytes);
       ctx.ops(gs::Stage::kBitShuffle, payload_bytes);
+      if (tm) {
+        const std::uint64_t total = obs::now_ns() - sec0;
+        ctx.stage_ns(gs::Stage::kQuantPredict, qp_ns);
+        ctx.stage_ns(gs::Stage::kBitShuffle,
+                     total > qp_ns ? total - qp_ns : 0);
+      }
     });
     dev.trace().add_d2h(sizeof(std::uint64_t));
 
@@ -360,6 +393,8 @@ DeviceCodecResult compress_device_impl(gs::Device& dev,
       gs::launch(dev, "szp_checksum", cwarps, [&](const gs::BlockCtx& ctx) {
         const auto sv = gs::device_view(out, ctx);
         const auto lv = gs::device_view(lens, ctx);
+        const bool tm = ctx.profiled();
+        const std::uint64_t sec0 = tm ? obs::now_ns() : 0;
         std::uint64_t covered = 0;
         for (unsigned lane = 0; lane < w::kWarpSize; ++lane) {
           const size_t g = ctx.block_idx * kBlocksPerWarp + lane;
@@ -382,6 +417,7 @@ DeviceCodecResult compress_device_impl(gs::Device& dev,
         }
         ctx.read(gs::Stage::kOther, covered);
         ctx.ops(gs::Stage::kOther, covered);
+        if (tm) ctx.stage_ns(gs::Stage::kOther, obs::now_ns() - sec0);
       });
       const auto hv = gs::host_view(out);
       footer.serialize(hv.store_span(base + total_payload, footer.bytes()));
@@ -478,7 +514,10 @@ DeviceCodecResult decompress_device_impl(gs::Device& dev,
     (void)ov.store_span(out_begin, out_end - out_begin);
 
     // Read per-block length bytes (FE is nearly free in decompression).
+    const bool tr = obs::tracing_enabled();
+    const bool tm = tr || ctx.profiled();
     obs::Span fe_span("stage", "FE", "warp", ctx.block_idx);
+    const std::uint64_t fe_t0 = tm ? obs::now_ns() : 0;
     size_t nonzero_blocks = 0;
     (void)cv.load_span(lengths_offset() + first_block, active);
     for (unsigned lane = 0; lane < active; ++lane) {
@@ -492,9 +531,11 @@ DeviceCodecResult decompress_device_impl(gs::Device& dev,
     }
     ctx.read(gs::Stage::kFixedLenEncode, active);
     ctx.ops(gs::Stage::kFixedLenEncode, active);
+    if (tm) ctx.stage_ns(gs::Stage::kFixedLenEncode, obs::now_ns() - fe_t0);
     fe_span.close();
 
     obs::Span gs_span("stage", "GS", "warp", ctx.block_idx);
+    const std::uint64_t gs_t0 = tm ? obs::now_ns() : 0;
     const w::Lanes<std::uint64_t> lane_off =
         w::exclusive_scan_sync(ctx, w::kFullMask, lane_len);
     const std::uint64_t aggregate =
@@ -502,12 +543,12 @@ DeviceCodecResult decompress_device_impl(gs::Device& dev,
     const std::uint64_t prefix = scan_state.publish_and_lookback(
         ctx, gs::Stage::kGlobalSync, ctx.block_idx, aggregate);
     ctx.ops(gs::Stage::kGlobalSync, active + nonzero_blocks);
+    if (tm) ctx.stage_ns(gs::Stage::kGlobalSync, obs::now_ns() - gs_t0);
     gs_span.close();
 
     // BB time is the payload unshuffle (read_block_payload); the rest of
     // the decode loop (inverse prediction + dequantize + store) is QP.
-    const bool tr = obs::tracing_enabled();
-    const std::uint64_t sec0 = tr ? obs::now_ns() : 0;
+    const std::uint64_t sec0 = tm ? obs::now_ns() : 0;
     std::uint64_t bb_ns = 0;
     BlockScratch scratch;
     std::vector<T> block_out(L);
@@ -525,11 +566,11 @@ DeviceCodecResult decompress_device_impl(gs::Device& dev,
       if (off + lane_len[lane] > stream.size()) {
         throw format_error("decompress_device: truncated payload");
       }
-      const std::uint64_t lane_t0 = tr ? obs::now_ns() : 0;
+      const std::uint64_t lane_t0 = tm ? obs::now_ns() : 0;
       (void)cv.load_span(off, lane_len[lane]);
       read_block_payload(stream.subspan(off, lane_len[lane]), lbs[lane], L,
                          h.bit_shuffle(), scratch);
-      if (tr) bb_ns += obs::now_ns() - lane_t0;
+      if (tm) bb_ns += obs::now_ns() - lane_t0;
       if (h.lorenzo()) {
       if (h.lorenzo2()) {
         lorenzo2_inverse(scratch.quant);
@@ -547,14 +588,18 @@ DeviceCodecResult decompress_device_impl(gs::Device& dev,
     ctx.write(gs::Stage::kQuantPredict, elems * sizeof(T));
     // Reverse QP = prefix-sum + scale: two passes over the block.
     ctx.ops(gs::Stage::kQuantPredict, 2 * elems);
-    if (tr) {
-      // Back-to-back synthetic split of the fused decode loop (see the
-      // matching QP/FE emission in the compress kernel).
+    if (tm) {
       const std::uint64_t sec1 = obs::now_ns();
-      obs::complete("stage", "BB", sec0, bb_ns, "blocks", active);
-      obs::complete("stage", "QP", sec0 + bb_ns,
-                    sec1 - sec0 > bb_ns ? sec1 - sec0 - bb_ns : 0, "blocks",
-                    active);
+      const std::uint64_t dq_ns =
+          sec1 - sec0 > bb_ns ? sec1 - sec0 - bb_ns : 0;
+      ctx.stage_ns(gs::Stage::kBitShuffle, bb_ns);
+      ctx.stage_ns(gs::Stage::kQuantPredict, dq_ns);
+      if (tr) {
+        // Back-to-back synthetic split of the fused decode loop (see the
+        // matching QP/FE emission in the compress kernel).
+        obs::complete("stage", "BB", sec0, bb_ns, "blocks", active);
+        obs::complete("stage", "QP", sec0 + bb_ns, dq_ns, "blocks", active);
+      }
     }
 
     // Format v2: verify group CRCs alongside decoding. Block outputs are

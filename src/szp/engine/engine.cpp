@@ -1,6 +1,8 @@
 #include "szp/engine/engine.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <cstddef>
 
 #include "szp/obs/tracer.hpp"
 
@@ -122,6 +124,10 @@ DeviceRoundtrip Engine::device_roundtrip(std::span<const float> data,
 
   DeviceRoundtrip r;
   r.eb_abs = eb_abs_for(data, value_range);
+  // Launches archived before this roundtrip belong to earlier operations
+  // on the pooled device; slice them off the profile below.
+  const size_t profile_launch0 =
+      dev.profiler() != nullptr ? dev.profiler()->launch_count() : 0;
 
   auto d_in = dev_backend->f32_pool().acquire(std::max<size_t>(1, n));
   gpusim::copy_h2d(dev, *d_in, data);
@@ -155,6 +161,15 @@ DeviceRoundtrip Engine::device_roundtrip(std::span<const float> data,
   if (keep_stream) {
     r.stream.resize(r.compressed_bytes);
     gpusim::copy_d2h<byte_t>(dev, r.stream, *d_cmp, r.compressed_bytes);
+  }
+  if (dev.profiler() != nullptr) {
+    auto session = dev.profile_snapshot();
+    session.launches.erase(
+        session.launches.begin(),
+        session.launches.begin() +
+            static_cast<std::ptrdiff_t>(
+                std::min(profile_launch0, session.launches.size())));
+    r.profile = std::move(session);
   }
   return r;
 }

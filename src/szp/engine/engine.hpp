@@ -33,6 +33,10 @@ struct DeviceRoundtrip {
   double wall_comp_s = 0;
   double wall_decomp_s = 0;
   std::vector<byte_t> stream;  // filled only when keep_stream
+  /// Kernel profile of this roundtrip's launches (plus the session's
+  /// buffer/memcpy totals); present only when the engine's Device runs
+  /// with the profiler enabled (SZP_PROFILE or explicit Options).
+  std::optional<gpusim::profile::SessionProfile> profile;
 };
 
 class Engine {

@@ -56,7 +56,8 @@ class DeviceBuffer {
         n_(o.n_),
         rz_(o.rz_),
         storage_(std::move(o.storage_)),
-        shadow_(std::move(o.shadow_)) {
+        shadow_(std::move(o.shadow_)),
+        bprof_(std::move(o.bprof_)) {
     o.dev_ = nullptr;
     o.n_ = 0;
     o.rz_ = 0;
@@ -70,6 +71,7 @@ class DeviceBuffer {
       rz_ = o.rz_;
       storage_ = std::move(o.storage_);
       shadow_ = std::move(o.shadow_);
+      bprof_ = std::move(o.bprof_);
       o.dev_ = nullptr;
       o.n_ = 0;
       o.rz_ = 0;
@@ -111,10 +113,20 @@ class DeviceBuffer {
     return shadow_;
   }
 
+  /// Profiler traffic record; null when the owning Device runs
+  /// unprofiled. Shared with views (like the shadow) so traffic on a
+  /// view that outlives the buffer still lands somewhere accountable.
+  [[nodiscard]] const std::shared_ptr<profile::BufferProf>& profile() const {
+    return bprof_;
+  }
+
   /// Pooled reuse: contents are stale, so drop the init bitmap (reading
   /// a previous lease's data before writing is the defect to catch).
   void note_pool_reuse() {
     if (shadow_ != nullptr) shadow_->reset_init();
+    if (bprof_ != nullptr) {
+      bprof_->pool_reuses.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 
  private:
@@ -127,6 +139,9 @@ class DeviceBuffer {
       shadow_ = chk->on_alloc(n_, sizeof(T));
     } else {
       storage_.resize(n_);
+    }
+    if (profile::Profiler* prof = dev_->profiler()) {
+      bprof_ = prof->on_alloc(sizeof(T), n_);
     }
   }
 
@@ -163,6 +178,10 @@ class DeviceBuffer {
         dev_->checker()->on_free(*shadow_, redzones_intact());
         shadow_.reset();
       }
+      if (bprof_ != nullptr) {
+        bprof_->freed.store(true, std::memory_order_relaxed);
+        bprof_.reset();
+      }
       dev_->register_free(n_ * sizeof(T));
     }
     dev_ = nullptr;
@@ -173,6 +192,7 @@ class DeviceBuffer {
   size_t rz_ = 0;  // redzone elements on EACH side (0 when unchecked)
   std::vector<T> storage_;
   std::shared_ptr<sanitize::BufferShadow> shadow_;
+  std::shared_ptr<profile::BufferProf> bprof_;
 };
 
 /// Host -> device copy (accounted as PCIe traffic).
@@ -188,6 +208,9 @@ void copy_h2d(Device& dev, DeviceBuffer<T>& dst, std::span<const T> src) {
     std::memcpy(dst.raw_data(), src.data(), src.size() * sizeof(T));
   }
   dev.trace().add_h2d(src.size() * sizeof(T));
+  if (profile::Profiler* prof = dev.profiler()) {
+    prof->on_memcpy_h2d(src.size() * sizeof(T));
+  }
 }
 
 /// Device -> host copy (accounted as PCIe traffic).
@@ -203,6 +226,9 @@ void copy_d2h(Device& dev, std::span<T> dst, const DeviceBuffer<T>& src,
   }
   if (count != 0) std::memcpy(dst.data(), src.raw_data(), count * sizeof(T));
   dev.trace().add_d2h(count * sizeof(T));
+  if (profile::Profiler* prof = dev.profiler()) {
+    prof->on_memcpy_d2h(count * sizeof(T));
+  }
 }
 
 /// Device -> device copy.
@@ -221,6 +247,9 @@ void copy_d2d(Device& dev, DeviceBuffer<T>& dst, const DeviceBuffer<T>& src,
   }
   if (count != 0) std::memcpy(dst.raw_data(), src.raw_data(), count * sizeof(T));
   dev.trace().add_d2d(count * sizeof(T));
+  if (profile::Profiler* prof = dev.profiler()) {
+    prof->on_memcpy_d2d(count * sizeof(T));
+  }
 }
 
 /// Allocate a device buffer and upload host data into it.

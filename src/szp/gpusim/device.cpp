@@ -10,15 +10,25 @@
 
 namespace szp::gpusim {
 
-Device::Device(unsigned workers) : Device(workers, sanitize::tools_from_env()) {}
+Device::Device(unsigned workers)
+    : Device(workers, sanitize::tools_from_env(),
+             profile::options_from_env()) {}
 
-Device::Device(unsigned workers, sanitize::Tools devcheck) : workers_(workers) {
+Device::Device(unsigned workers, sanitize::Tools devcheck)
+    : Device(workers, devcheck, profile::Options::off()) {}
+
+Device::Device(unsigned workers, sanitize::Tools devcheck,
+               profile::Options prof)
+    : workers_(workers) {
   if (workers_ == 0) {
     workers_ = std::max(2u, std::thread::hardware_concurrency());
   }
   if (devcheck.any()) {
     checker_ =
         std::make_unique<sanitize::Checker>(devcheck, &launches_in_flight_);
+  }
+  if (prof.enabled) {
+    profiler_ = std::make_unique<profile::Profiler>(std::move(prof), workers_);
   }
 }
 
@@ -43,6 +53,20 @@ void Device::sanitize_finalize() {
 
 void Device::clear_sanitize_findings() {
   if (checker_ != nullptr) checker_->clear_findings();
+}
+
+profile::SessionProfile Device::profile_snapshot() const {
+  return profiler_ != nullptr ? profiler_->snapshot()
+                              : profile::SessionProfile{};
+}
+
+void Device::reset_profile() {
+  if (launches_in_flight() != 0) {
+    throw std::logic_error(
+        "Device::reset_profile: a kernel launch is in flight; a concurrent "
+        "kernel would mix pre- and post-reset counters");
+  }
+  if (profiler_ != nullptr) profiler_->reset();
 }
 
 TraceSnapshot Device::snapshot() const {

@@ -16,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "szp/gpusim/profile/profile.hpp"
 #include "szp/gpusim/sanitize/report.hpp"
 #include "szp/gpusim/trace.hpp"
 #include "szp/util/common.hpp"
@@ -38,12 +39,16 @@ class Device {
   /// 0 picks a default based on hardware concurrency (at least 2, so the
   /// chained-scan lookback is exercised concurrently even on 1-core hosts).
   /// Sanitizer tools are picked up from SZP_DEVCHECK (sanitize::
-  /// tools_from_env); throws format_error on an unknown tool name.
+  /// tools_from_env); throws format_error on an unknown tool name. The
+  /// profiler is picked up from SZP_PROFILE (profile::options_from_env).
   explicit Device(unsigned workers = 0);
 
   /// Explicit sanitizer activation (tests, --devcheck tooling); ignores
-  /// the environment.
+  /// the environment (profiler stays off).
   Device(unsigned workers, sanitize::Tools devcheck);
+
+  /// Explicit sanitizer + profiler activation; ignores the environment.
+  Device(unsigned workers, sanitize::Tools devcheck, profile::Options prof);
 
   /// When env activation requested abort_on_teardown and findings exist,
   /// runs the leak sweep, prints the report to stderr and aborts — the
@@ -63,6 +68,17 @@ class Device {
   void sanitize_finalize();
   /// Drop collected findings (tools print-then-clear before teardown).
   void clear_sanitize_findings();
+
+  /// Kernel profiler; nullptr when disabled (instrumentation sites check
+  /// the per-launch/per-buffer pointers derived from this one).
+  [[nodiscard]] profile::Profiler* profiler() const { return profiler_.get(); }
+
+  /// Value-typed copy of everything the profiler collected (empty
+  /// SessionProfile when disabled).
+  [[nodiscard]] profile::SessionProfile profile_snapshot() const;
+  /// Drop collected profile data; throws std::logic_error while a kernel
+  /// launch is in flight (same torn-state hazard as reset_trace).
+  void reset_profile();
 
   [[nodiscard]] Trace& trace() { return trace_; }
   [[nodiscard]] const Trace& trace() const { return trace_; }
@@ -130,6 +146,7 @@ class Device {
   std::vector<KernelRecord> launch_log_;
   KernelHook post_kernel_hook_;
   std::unique_ptr<sanitize::Checker> checker_;
+  std::unique_ptr<profile::Profiler> profiler_;
 };
 
 }  // namespace szp::gpusim

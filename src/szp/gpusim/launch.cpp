@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <memory>
 #include <mutex>
@@ -39,6 +40,13 @@ void run_blocks(Device& dev, const char* kernel_name, size_t grid_blocks,
   if (sanitize::Checker* chk = dev.checker()) {
     lc = chk->begin_launch(kernel_name, grid_blocks);
   }
+  std::shared_ptr<profile::LaunchProf> lp;
+  if (profile::Profiler* prof = dev.profiler()) {
+    lp = prof->begin_launch(kernel_name, grid_blocks);
+  }
+
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point launch_t0 = Clock::now();
 
   std::atomic<size_t> next{0};
   std::exception_ptr first_error;
@@ -51,8 +59,10 @@ void run_blocks(Device& dev, const char* kernel_name, size_t grid_blocks,
     for (;;) {
       const size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= grid_blocks || failed.load(std::memory_order_relaxed)) return;
-      BlockCtx ctx{i, grid_blocks, &dev.trace(), &failed, lc.get()};
+      BlockCtx ctx{i, grid_blocks, &dev.trace(), &failed, lc.get(), lp.get()};
       obs::Span block_span("block", kernel_name, "block", i);
+      const Clock::time_point block_t0 =
+          lp != nullptr ? Clock::now() : Clock::time_point{};
       try {
         body(ctx);
       } catch (...) {
@@ -62,6 +72,12 @@ void run_blocks(Device& dev, const char* kernel_name, size_t grid_blocks,
         }
         failed.store(true, std::memory_order_relaxed);
         return;
+      }
+      if (lp != nullptr) {
+        lp->block_done(i, static_cast<std::uint64_t>(
+                              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                  Clock::now() - block_t0)
+                                  .count()));
       }
     }
   };
@@ -82,6 +98,15 @@ void run_blocks(Device& dev, const char* kernel_name, size_t grid_blocks,
   // The launch retired (or aborted): bump the sanitizer epoch on every
   // exit path so host accesses after the launch are ordered.
   if (lc != nullptr) dev.checker()->end_launch(*lc);
+  // Archive the launch profile even on the error path: partial counters
+  // are still useful for diagnosing the failed launch.
+  if (lp != nullptr) {
+    const auto wall_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             launch_t0)
+            .count());
+    dev.profiler()->end_launch(lp, wall_ns);
+  }
   if (first_error) std::rethrow_exception(first_error);
 
   // Fault-injection hook (tests): corrupt device memory between pipeline

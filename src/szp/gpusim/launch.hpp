@@ -20,12 +20,52 @@ struct BlockCtx {
   /// Sanitizer state for this launch; nullptr when disabled (every hook
   /// below is a single null-check then).
   sanitize::LaunchCheck* devcheck = nullptr;
+  /// Profiler accumulator for this launch; nullptr when disabled (same
+  /// one-branch contract as the sanitizer).
+  profile::LaunchProf* prof = nullptr;
 
-  void read(Stage s, std::uint64_t bytes) const { trace->add_read(s, bytes); }
+  void read(Stage s, std::uint64_t bytes) const {
+    trace->add_read(s, bytes);
+    if (prof != nullptr) prof->add_read(s, bytes);
+  }
   void write(Stage s, std::uint64_t bytes) const {
     trace->add_write(s, bytes);
+    if (prof != nullptr) prof->add_write(s, bytes);
   }
-  void ops(Stage s, std::uint64_t n) const { trace->add_ops(s, n); }
+  void ops(Stage s, std::uint64_t n) const {
+    trace->add_ops(s, n);
+    if (prof != nullptr) prof->add_ops(s, n);
+  }
+
+  /// Chained-scan lookback descriptor polling. Counts toward the trace
+  /// like read(), but the profiler books it in the schedule section: how
+  /// many descriptors a partition walks depends on publication timing,
+  /// so it must stay out of the deterministic stage counters.
+  void lookback_read(Stage s, std::uint64_t bytes) const {
+    trace->add_read(s, bytes);
+    if (prof != nullptr) prof->add_lookback_bytes(bytes);
+  }
+
+  [[nodiscard]] bool profiled() const { return prof != nullptr; }
+
+  /// Timing attribution for the codec stages; kernels call this with a
+  /// measured per-lane duration when `profiled()` (or tracing) is on.
+  void stage_ns(Stage s, std::uint64_t ns) const {
+    if (prof != nullptr) prof->add_stage_ns(s, ns);
+  }
+
+  /// Atomic-operation accounting: release publishes (descriptor stores)
+  /// and read-modify-writes (checksum credits). One decoupled-lookback
+  /// walk is recorded with its descriptor-read depth and spin count.
+  void atomic_store_op() const {
+    if (prof != nullptr) prof->count_atomic_store();
+  }
+  void atomic_rmw_op() const {
+    if (prof != nullptr) prof->count_atomic_rmw();
+  }
+  void lookback(std::uint64_t depth, std::uint64_t spins) const {
+    if (prof != nullptr) prof->record_lookback(depth, spins);
+  }
 
   /// True once any block of this launch has thrown: spin-waits (e.g. the
   /// chained-scan lookback) must bail out instead of waiting on a
@@ -57,9 +97,12 @@ struct BlockCtx {
   }
   void block_barrier(std::uint32_t arrived_mask = 0xffffffffu) const {
     if (devcheck != nullptr) devcheck->block_barrier(actor(), arrived_mask);
+    if (prof != nullptr) prof->count_barrier();
   }
-  void warp_op(const char* op, std::uint32_t mask) const {
+  void warp_op(const char* op, profile::WarpOp kind,
+               std::uint32_t mask) const {
     if (devcheck != nullptr) devcheck->warp_op(actor(), op, mask);
+    if (prof != nullptr) prof->count_warp_op(kind);
   }
 };
 

@@ -1,0 +1,277 @@
+#include "szp/gpusim/profile/profile.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "szp/gpusim/profile/report.hpp"
+#include "szp/obs/metrics.hpp"
+
+namespace szp::gpusim::profile {
+
+std::string_view warp_op_name(WarpOp op) {
+  switch (op) {
+    case WarpOp::kShfl: return "shfl";
+    case WarpOp::kShflUp: return "shfl_up";
+    case WarpOp::kShflDown: return "shfl_down";
+    case WarpOp::kBallot: return "ballot";
+    case WarpOp::kInclusiveScan: return "inclusive_scan";
+    case WarpOp::kExclusiveScan: return "exclusive_scan";
+    case WarpOp::kReduceMax: return "reduce_max";
+    case WarpOp::kReduceAdd: return "reduce_add";
+    case WarpOp::kCount_: break;
+  }
+  return "?";
+}
+
+Options options_from_string(std::string_view spec) {
+  Options o;
+  if (spec.empty() || spec == "0" || spec == "off") return o;
+  o.enabled = true;
+  if (spec == "1" || spec == "on") return o;
+  o.export_path.assign(spec);
+  return o;
+}
+
+Options options_from_env() {
+  const char* raw = std::getenv("SZP_PROFILE");
+  Options o = options_from_string(raw == nullptr ? "" : raw);
+  if (o.enabled) o.from_env = true;
+  return o;
+}
+
+std::uint64_t LaunchProfile::total_read_bytes() const {
+  std::uint64_t n = 0;
+  for (const auto& s : stages) n += s.read_bytes;
+  return n;
+}
+
+std::uint64_t LaunchProfile::total_write_bytes() const {
+  std::uint64_t n = 0;
+  for (const auto& s : stages) n += s.write_bytes;
+  return n;
+}
+
+std::uint64_t LaunchProfile::total_ops() const {
+  std::uint64_t n = 0;
+  for (const auto& s : stages) n += s.ops;
+  return n;
+}
+
+namespace {
+
+template <unsigned N>
+HistSnapshot snapshot_hist(const AtomicPow2Hist<N>& h) {
+  HistSnapshot out;
+  out.buckets.resize(N);
+  for (unsigned i = 0; i < N; ++i) out.buckets[i] = h.bucket(i);
+  // Trim trailing empty buckets so reports stay compact and two runs
+  // with the same populated range compare equal.
+  while (!out.buckets.empty() && out.buckets.back() == 0) {
+    out.buckets.pop_back();
+  }
+  out.count = h.count();
+  out.sum = h.sum();
+  out.max = h.max();
+  return out;
+}
+
+}  // namespace
+
+LaunchProfile archive_launch(const LaunchProf& lp, std::uint64_t wall_ns) {
+  LaunchProfile out;
+  out.kernel = lp.kernel();
+  out.grid_blocks = lp.grid_blocks();
+  out.workers = lp.workers();
+  for (unsigned s = 0; s < kNumStages; ++s) {
+    out.stages[s].read_bytes = lp.stage_read_bytes(s);
+    out.stages[s].write_bytes = lp.stage_write_bytes(s);
+    out.stages[s].ops = lp.stage_ops(s);
+    out.stages[s].ns = lp.stage_ns(s);
+  }
+  for (unsigned w = 0; w < kNumWarpOps; ++w) {
+    out.warp_ops[w] = lp.warp_op_count(w);
+  }
+  out.atomic_stores = lp.atomic_stores();
+  out.atomic_rmws = lp.atomic_rmws();
+  out.barriers = lp.barriers();
+  out.lookback_calls = lp.lookback_calls();
+  out.lookback_read_bytes = lp.lookback_bytes();
+  out.lookback_depth = snapshot_hist(lp.lookback_depth());
+  out.lookback_spins = snapshot_hist(lp.lookback_spins());
+  out.wall_ns = wall_ns;
+
+  BlockStats& b = out.blocks;
+  b.executed = lp.blocks_run();
+  std::uint64_t sum = 0;
+  std::uint64_t mn = UINT64_MAX;
+  std::uint64_t mx = 0;
+  for (std::size_t i = 0; i < lp.grid_blocks(); ++i) {
+    const std::uint64_t ns = lp.block_wall_ns(i);
+    if (ns == 0) continue;  // aborted / unclaimed block
+    sum += ns;
+    mn = std::min(mn, ns);
+    mx = std::max(mx, ns);
+  }
+  if (b.executed > 0 && mn != UINT64_MAX) {
+    b.min_ns = mn;
+    b.max_ns = mx;
+    b.mean_ns = static_cast<double>(sum) / static_cast<double>(b.executed);
+    b.imbalance = b.mean_ns > 0 ? static_cast<double>(mx) / b.mean_ns : 0;
+    b.avg_concurrency =
+        wall_ns > 0 ? static_cast<double>(sum) / static_cast<double>(wall_ns)
+                    : 0;
+  }
+  return out;
+}
+
+Profiler::Profiler(Options opts, unsigned workers)
+    : opts_(std::move(opts)), workers_(workers) {}
+
+Profiler::~Profiler() {
+  if (opts_.from_env && !opts_.export_path.empty()) {
+    Collector::instance().set_export_path(opts_.export_path);
+    Collector::instance().archive(snapshot());
+  }
+}
+
+std::shared_ptr<LaunchProf> Profiler::begin_launch(std::string kernel,
+                                                   std::size_t grid_blocks) {
+  return std::make_shared<LaunchProf>(std::move(kernel), grid_blocks,
+                                      workers_);
+}
+
+void Profiler::end_launch(const std::shared_ptr<LaunchProf>& lp,
+                          std::uint64_t wall_ns) {
+  LaunchProfile archived = archive_launch(*lp, wall_ns);
+  if (obs::metrics_enabled()) {
+    auto& reg = obs::Registry::instance();
+    reg.counter("profile.launches").add(1);
+    reg.counter("profile.read_bytes").add(archived.total_read_bytes());
+    reg.counter("profile.write_bytes").add(archived.total_write_bytes());
+    reg.counter("profile.ops").add(archived.total_ops());
+    reg.counter("profile.atomic_rmws").add(archived.atomic_rmws);
+    reg.histogram("profile.launch_wall_ns", obs::Histogram::pow2_bounds(28))
+        .observe(static_cast<double>(wall_ns));
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  launches_.push_back(std::move(archived));
+}
+
+std::shared_ptr<BufferProf> Profiler::on_alloc(std::size_t elem_bytes,
+                                               std::size_t elems) {
+  auto bp = std::make_shared<BufferProf>();
+  bp->elem_bytes = elem_bytes;
+  bp->elems = elems;
+  const std::lock_guard<std::mutex> lock(mu_);
+  bp->id = next_buffer_id_++;
+  buffers_.push_back(bp);
+  return bp;
+}
+
+void Profiler::on_memcpy_h2d(std::uint64_t bytes) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  memcpy_.h2d_bytes += bytes;
+  memcpy_.h2d_count += 1;
+}
+
+void Profiler::on_memcpy_d2h(std::uint64_t bytes) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  memcpy_.d2h_bytes += bytes;
+  memcpy_.d2h_count += 1;
+}
+
+void Profiler::on_memcpy_d2d(std::uint64_t bytes) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  memcpy_.d2d_bytes += bytes;
+  memcpy_.d2d_count += 1;
+}
+
+SessionProfile Profiler::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  SessionProfile out;
+  out.workers = workers_;
+  out.launches = launches_;
+  out.buffers.reserve(buffers_.size());
+  for (const auto& bp : buffers_) {
+    BufferStats bs;
+    bs.id = bp->id;
+    bs.elem_bytes = bp->elem_bytes;
+    bs.elements = bp->elems;
+    bs.read_bytes = bp->read_bytes.load(std::memory_order_relaxed);
+    bs.write_bytes = bp->write_bytes.load(std::memory_order_relaxed);
+    bs.read_transactions =
+        bp->read_transactions.load(std::memory_order_relaxed);
+    bs.write_transactions =
+        bp->write_transactions.load(std::memory_order_relaxed);
+    bs.pool_reuses = bp->pool_reuses.load(std::memory_order_relaxed);
+    bs.freed = bp->freed.load(std::memory_order_relaxed);
+    out.buffers.push_back(bs);
+  }
+  out.memcpy = memcpy_;
+  return out;
+}
+
+std::size_t Profiler::launch_count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return launches_.size();
+}
+
+void Profiler::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  launches_.clear();
+  buffers_.clear();
+  next_buffer_id_ = 0;
+  memcpy_ = {};
+}
+
+namespace {
+
+void flush_collector() {
+  Collector::instance().write("");  // "" = use the configured export path
+}
+
+}  // namespace
+
+Collector& Collector::instance() {
+  static Collector c;
+  return c;
+}
+
+void Collector::archive(SessionProfile session) {
+  static std::once_flag hook_once;
+  const std::lock_guard<std::mutex> lock(mu_);
+  sessions_.push_back(std::move(session));
+  if (!export_path_.empty()) {
+    std::call_once(hook_once, [] { std::atexit(flush_collector); });
+  }
+}
+
+bool Collector::write(const std::string& path) const {
+  std::string target = path;
+  std::vector<SessionProfile> sessions;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (target.empty()) target = export_path_;
+    sessions = sessions_;
+  }
+  if (target.empty() || sessions.empty()) return true;
+  return write_profile_json_file(target, sessions, ReportOptions{});
+}
+
+std::size_t Collector::session_count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+void Collector::set_export_path(std::string path) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  export_path_ = std::move(path);
+}
+
+void Collector::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  sessions_.clear();
+  export_path_.clear();
+}
+
+}  // namespace szp::gpusim::profile

@@ -1,0 +1,216 @@
+// gpusim kernel profiler: Nsight-Compute-style counter collection for
+// the simulated device runtime.
+//
+// Activation mirrors the sanitizer:
+//   * `SZP_PROFILE=1` (or `on`) — Devices built with the default ctor
+//     collect profiles in memory; callers snapshot them explicitly
+//     (szp_cli --profile, Engine::device_roundtrip).
+//   * `SZP_PROFILE=<path>` — additionally registers every env-activated
+//     Device with a process-wide Collector that writes the combined
+//     profile JSON at exit (harness runs, ad-hoc tools).
+//   * explicit `Device(workers, tools, profile::Options)` — tests.
+//
+// Disabled overhead is one null-pointer branch per instrumentation
+// site, guarded by the same budget as the obs tracer (test_profile).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "szp/gpusim/profile/counters.hpp"
+
+namespace szp::gpusim::profile {
+
+/// Profiler configuration, resolved once at Device construction.
+struct Options {
+  bool enabled = false;
+  /// Device was armed by SZP_PROFILE (registers with the Collector when
+  /// an export path is set).
+  bool from_env = false;
+  /// Non-empty when SZP_PROFILE named a file: the Collector writes the
+  /// combined profile JSON there at process exit.
+  std::string export_path;
+
+  [[nodiscard]] static Options off() { return {}; }
+  [[nodiscard]] static Options on() {
+    Options o;
+    o.enabled = true;
+    return o;
+  }
+};
+
+/// Parse an SZP_PROFILE-style value: "" / "0" / "off" → disabled,
+/// "1" / "on" → collect only, anything else → collect + export path.
+[[nodiscard]] Options options_from_string(std::string_view spec);
+
+/// Read SZP_PROFILE from the environment (sets from_env when armed).
+[[nodiscard]] Options options_from_env();
+
+// --- snapshot value types (plain data, exporter input) -----------------
+
+struct StageProfile {
+  std::uint64_t read_bytes = 0;
+  std::uint64_t write_bytes = 0;
+  std::uint64_t ops = 0;
+  std::uint64_t ns = 0;  // timing family, not deterministic
+
+  [[nodiscard]] bool counters_empty() const {
+    return read_bytes == 0 && write_bytes == 0 && ops == 0;
+  }
+};
+
+struct HistSnapshot {
+  std::vector<std::uint64_t> buckets;  // pow2 buckets, bucket i ~ bit_width i
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t max = 0;
+};
+
+/// Per-launch wall-clock load-balance statistics over the block grid.
+struct BlockStats {
+  std::uint64_t executed = 0;
+  std::uint64_t min_ns = 0;
+  std::uint64_t max_ns = 0;
+  double mean_ns = 0;
+  /// max / mean block wall time: 1.0 = perfectly balanced grid,
+  /// large values = straggler blocks dominated the launch.
+  double imbalance = 0;
+  /// sum(block wall) / launch wall: effective blocks in flight — the
+  /// simulated runtime's occupancy analogue (capped by worker count).
+  double avg_concurrency = 0;
+};
+
+struct LaunchProfile {
+  std::string kernel;
+  std::uint64_t grid_blocks = 0;
+  unsigned workers = 0;
+
+  // deterministic counter section
+  std::array<StageProfile, kNumStages> stages{};
+  std::array<std::uint64_t, kNumWarpOps> warp_ops{};
+  std::uint64_t atomic_stores = 0;
+  std::uint64_t atomic_rmws = 0;
+  std::uint64_t barriers = 0;
+  std::uint64_t lookback_calls = 0;
+
+  // schedule section (varies run to run)
+  std::uint64_t lookback_read_bytes = 0;
+  HistSnapshot lookback_depth;
+  HistSnapshot lookback_spins;
+
+  // timing section
+  std::uint64_t wall_ns = 0;
+  BlockStats blocks;
+
+  [[nodiscard]] std::uint64_t total_read_bytes() const;
+  [[nodiscard]] std::uint64_t total_write_bytes() const;
+  [[nodiscard]] std::uint64_t total_ops() const;
+};
+
+struct BufferStats {
+  std::uint64_t id = 0;
+  std::size_t elem_bytes = 0;
+  std::size_t elements = 0;
+  std::uint64_t read_bytes = 0;
+  std::uint64_t write_bytes = 0;
+  std::uint64_t read_transactions = 0;
+  std::uint64_t write_transactions = 0;
+  std::uint64_t pool_reuses = 0;
+  bool freed = false;
+};
+
+struct MemcpyStats {
+  std::uint64_t h2d_bytes = 0;
+  std::uint64_t d2h_bytes = 0;
+  std::uint64_t d2d_bytes = 0;
+  std::uint64_t h2d_count = 0;
+  std::uint64_t d2h_count = 0;
+  std::uint64_t d2d_count = 0;
+};
+
+/// Everything one Device collected: the exporter unit.
+struct SessionProfile {
+  unsigned workers = 0;
+  std::vector<LaunchProfile> launches;
+  std::vector<BufferStats> buffers;
+  MemcpyStats memcpy;
+};
+
+// --- the profiler ------------------------------------------------------
+
+/// Owned by a Device when profiling is enabled. Thread-safe: launches
+/// are serialized by the Device, but buffer registration and memcpys
+/// can race with snapshots from other threads.
+class Profiler {
+ public:
+  explicit Profiler(Options opts, unsigned workers);
+  ~Profiler();
+
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  [[nodiscard]] const Options& options() const { return opts_; }
+
+  /// Launch lifecycle (called from run_blocks).
+  [[nodiscard]] std::shared_ptr<LaunchProf> begin_launch(
+      std::string kernel, std::size_t grid_blocks);
+  void end_launch(const std::shared_ptr<LaunchProf>& lp, std::uint64_t wall_ns);
+
+  /// Buffer lifecycle (called from DeviceBuffer).
+  [[nodiscard]] std::shared_ptr<BufferProf> on_alloc(std::size_t elem_bytes,
+                                                     std::size_t elems);
+  void on_memcpy_h2d(std::uint64_t bytes);
+  void on_memcpy_d2h(std::uint64_t bytes);
+  void on_memcpy_d2d(std::uint64_t bytes);
+
+  /// Value-typed copy of everything collected so far.
+  [[nodiscard]] SessionProfile snapshot() const;
+  /// Number of launches archived so far (for slicing roundtrips).
+  [[nodiscard]] std::size_t launch_count() const;
+  /// Drop all collected launches/buffers/memcpy totals.
+  void reset();
+
+ private:
+  Options opts_;
+  unsigned workers_;
+  mutable std::mutex mu_;
+  std::vector<LaunchProfile> launches_;
+  std::vector<std::shared_ptr<BufferProf>> buffers_;
+  std::uint64_t next_buffer_id_ = 0;
+  MemcpyStats memcpy_;
+};
+
+/// Archive a finished LaunchProf into a value-typed LaunchProfile.
+[[nodiscard]] LaunchProfile archive_launch(const LaunchProf& lp,
+                                           std::uint64_t wall_ns);
+
+// --- process-wide collection for SZP_PROFILE=<path> --------------------
+
+/// Gathers SessionProfiles from env-activated Devices and writes the
+/// combined profile JSON at process exit (std::atexit, hooked on first
+/// registration like obs::init_from_env).
+class Collector {
+ public:
+  static Collector& instance();
+
+  /// Called by env-activated Devices at teardown (and by explicit
+  /// flushes); archives a finished session.
+  void archive(SessionProfile session);
+  /// Write all archived sessions to `path`; returns false on I/O error.
+  bool write(const std::string& path) const;
+  [[nodiscard]] std::size_t session_count() const;
+  void set_export_path(std::string path);
+  void clear();
+
+ private:
+  Collector() = default;
+  mutable std::mutex mu_;
+  std::vector<SessionProfile> sessions_;
+  std::string export_path_;
+};
+
+}  // namespace szp::gpusim::profile

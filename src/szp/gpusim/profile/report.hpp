@@ -1,0 +1,75 @@
+// Profile exporters: JSON (schema documented in docs/OBSERVABILITY.md)
+// and a human-readable text report, plus the perf-model-derived
+// throughput / arithmetic-intensity section.
+//
+// gpusim cannot depend on szp_perfmodel (perfmodel consumes gpusim
+// traces), so the model inputs arrive as a plain ModelParams struct;
+// perfmodel/profile_bridge.hpp adapts a HardwareSpec into one for
+// callers that link both (CLI, benches).
+#pragma once
+
+#include <array>
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "szp/gpusim/profile/profile.hpp"
+
+namespace szp::gpusim::profile {
+
+/// Static hardware assumptions the derived section combines with the
+/// measured counters (mirrors perfmodel::HardwareSpec; see
+/// docs/PERFMODEL.md for which inputs are measured vs. assumed).
+struct ModelParams {
+  std::string gpu;
+  double hbm_bandwidth = 0;              // bytes/s
+  double pcie_bandwidth = 0;             // bytes/s
+  double kernel_launch_s = 0;            // seconds per launch
+  std::array<double, kNumStages> op_cost{};  // seconds per counted op
+};
+
+struct ReportOptions {
+  /// Include the "schedule", "timing" and "derived" sections. The
+  /// determinism tests (and any byte-comparison of two runs) set this
+  /// to false so only run-invariant counters are emitted.
+  bool include_timing = true;
+  /// When set, each launch gains a "derived" object (modeled stage
+  /// seconds from measured traffic/ops, bound classification,
+  /// arithmetic intensity, effective GB/s).
+  const ModelParams* model = nullptr;
+};
+
+/// Per-launch quantities computed from measured counters + ModelParams.
+struct DerivedLaunch {
+  std::array<double, kNumStages> stage_s{};  // max(traffic, compute) per stage
+  double device_s = 0;        // sum of stage_s + kernel launch cost
+  double effective_gbps = 0;  // total measured traffic / device_s
+  /// total ops / total bytes — the roofline x-axis.
+  double arithmetic_intensity = 0;
+  /// "memory" when HBM traffic dominates the modeled time, else "compute".
+  std::string bound;
+};
+
+[[nodiscard]] DerivedLaunch derive_launch(const LaunchProfile& lp,
+                                          const ModelParams& model);
+
+void write_profile_json(std::ostream& os,
+                        std::span<const SessionProfile> sessions,
+                        const ReportOptions& opts);
+void write_profile_text(std::ostream& os,
+                        std::span<const SessionProfile> sessions,
+                        const ReportOptions& opts);
+
+/// Convenience: open `path` and write the JSON; false on I/O failure.
+bool write_profile_json_file(const std::string& path,
+                             std::span<const SessionProfile> sessions,
+                             const ReportOptions& opts);
+
+/// The deterministic-counter fingerprint of a session list: the profile
+/// JSON with timing/schedule/derived sections omitted. Two runs with
+/// identical input and config must produce byte-identical strings (see
+/// tests/gpusim/test_profile_determinism.cpp).
+[[nodiscard]] std::string counter_fingerprint(
+    std::span<const SessionProfile> sessions);
+
+}  // namespace szp::gpusim::profile

@@ -53,6 +53,7 @@ std::uint64_t ChainedScanState::publish_and_lookback(const BlockCtx& ctx,
     ctx.sync_release(&st[p]);
     self.store((kFlagPrefix << kFlagShift) | aggregate,
                std::memory_order_release);
+    ctx.atomic_store_op();
     ctx.write(stage, sizeof(std::uint64_t));
     return 0;
   }
@@ -60,6 +61,7 @@ std::uint64_t ChainedScanState::publish_and_lookback(const BlockCtx& ctx,
   ctx.sync_release(&st[p]);
   self.store((kFlagAggregate << kFlagShift) | aggregate,
              std::memory_order_release);
+  ctx.atomic_store_op();
   ctx.write(stage, sizeof(std::uint64_t));
 
   const std::uint64_t t0_ns = obs::tracing_enabled() ? obs::now_ns() : 0;
@@ -96,12 +98,17 @@ std::uint64_t ChainedScanState::publish_and_lookback(const BlockCtx& ctx,
     }
     std::this_thread::yield();
   }
-  ctx.read(stage, reads * sizeof(std::uint64_t));
+  // Descriptor polling is schedule-dependent (how many predecessors had
+  // published a prefix), so the profiler books it separately from the
+  // deterministic stage counters.
+  ctx.lookback_read(stage, reads * sizeof(std::uint64_t));
+  ctx.lookback(reads, spins);
   record_lookback(t0_ns, p, reads, spins);
 
   ctx.sync_release(&st[p]);
   self.store((kFlagPrefix << kFlagShift) | ((exclusive + aggregate) & kValueMask),
              std::memory_order_release);
+  ctx.atomic_store_op();
   ctx.write(stage, sizeof(std::uint64_t));
   return exclusive;
 }
@@ -124,6 +131,7 @@ std::uint64_t chained_exclusive_scan(Device& dev,
   ChainedScanState scan_state(dev, blocks);
 
   launch(dev, "chained_exclusive_scan", blocks, [&](const BlockCtx& ctx) {
+    const std::uint64_t t0 = ctx.profiled() ? obs::now_ns() : 0;
     const auto dv = device_view(data, ctx);
     const size_t begin = ctx.block_idx * items_per_block;
     const size_t end = std::min(n, begin + items_per_block);
@@ -144,6 +152,7 @@ std::uint64_t chained_exclusive_scan(Device& dev,
       running += v;
     }
     ctx.write(stage, (end - begin) * sizeof(std::uint64_t));
+    if (ctx.profiled()) ctx.stage_ns(stage, obs::now_ns() - t0);
   });
 
   return scan_state.inclusive_prefix(blocks - 1);
@@ -159,6 +168,7 @@ std::uint64_t twopass_exclusive_scan(Device& dev,
 
   // Kernel 1: per-block reduction.
   launch(dev, "twopass_reduce", blocks, [&](const BlockCtx& ctx) {
+    const std::uint64_t t0 = ctx.profiled() ? obs::now_ns() : 0;
     const auto dv = device_view(data, ctx);
     const auto pv = device_view(partials, ctx);
     const size_t begin = ctx.block_idx * items_per_block;
@@ -168,11 +178,13 @@ std::uint64_t twopass_exclusive_scan(Device& dev,
     pv.store(ctx.block_idx, sum);
     ctx.read(stage, (end - begin) * sizeof(std::uint64_t));
     ctx.write(stage, sizeof(std::uint64_t));
+    if (ctx.profiled()) ctx.stage_ns(stage, obs::now_ns() - t0);
   });
 
   // Kernel 2: single-block scan of the partials.
   std::uint64_t total = 0;
   launch(dev, "twopass_spine", 1, [&](const BlockCtx& ctx) {
+    const std::uint64_t t0 = ctx.profiled() ? obs::now_ns() : 0;
     const auto pv = device_view(partials, ctx);
     (void)pv.load_span(0, blocks);  // declare the read side of the rewrite
     std::uint64_t running = 0;
@@ -184,10 +196,12 @@ std::uint64_t twopass_exclusive_scan(Device& dev,
     total = running;
     ctx.read(stage, blocks * sizeof(std::uint64_t));
     ctx.write(stage, blocks * sizeof(std::uint64_t));
+    if (ctx.profiled()) ctx.stage_ns(stage, obs::now_ns() - t0);
   });
 
   // Kernel 3: per-block local scan + offset.
   launch(dev, "twopass_downsweep", blocks, [&](const BlockCtx& ctx) {
+    const std::uint64_t t0 = ctx.profiled() ? obs::now_ns() : 0;
     const auto dv = device_view(data, ctx);
     const auto pv = device_view(partials, ctx);
     const size_t begin = ctx.block_idx * items_per_block;
@@ -201,6 +215,7 @@ std::uint64_t twopass_exclusive_scan(Device& dev,
     }
     ctx.read(stage, (end - begin + 1) * sizeof(std::uint64_t));
     ctx.write(stage, (end - begin) * sizeof(std::uint64_t));
+    if (ctx.profiled()) ctx.stage_ns(stage, obs::now_ns() - t0);
   });
 
   return total;

@@ -1,16 +1,22 @@
 // Checked device-memory views: how kernels access DeviceBuffers under
-// the sanitizer.
+// the sanitizer and the profiler.
 //
 // A view pairs the buffer's raw payload pointer with its shadow (when
-// the owning Device runs checked) and the launch/actor the accesses
-// belong to. The single-element load/store check bounds, init state and
-// races per cell; load_span/store_span declare a whole range in one
-// shadow transaction and hand back a raw std::span, so inner codec
-// helpers (encode_block, Header::serialize, ...) keep operating on plain
-// spans — range granularity is the checking model.
+// the owning Device runs checked), the buffer's traffic record (when the
+// Device runs profiled) and the launch/actor the accesses belong to. The
+// single-element load/store check bounds, init state and races per cell;
+// load_span/store_span declare a whole range in one shadow transaction
+// and hand back a raw std::span, so inner codec helpers (encode_block,
+// Header::serialize, ...) keep operating on plain spans — range
+// granularity is the checking model.
 //
-// Disabled fast path: shadow_ is null and every accessor is a pointer
-// compare away from the raw access.
+// The profiler books each accessor call as one transaction of the
+// *requested* byte count (before any sanitizer clamping), so a checked
+// and an unchecked run of the same kernel report identical traffic —
+// the tools compose without double counting (see test_profile).
+//
+// Disabled fast path: shadow_ and prof_ are null and every accessor is
+// a pointer compare away from the raw access.
 #pragma once
 
 #include <memory>
@@ -26,11 +32,14 @@ class DeviceConstView {
  public:
   DeviceConstView(const T* data, size_t size,
                   std::shared_ptr<sanitize::BufferShadow> shadow,
-                  sanitize::LaunchCheck* lc, std::uint32_t actor)
+                  sanitize::LaunchCheck* lc, std::uint32_t actor,
+                  std::shared_ptr<profile::BufferProf> prof = nullptr)
       : data_(data),
         size_(size),
         keep_(std::move(shadow)),
         shadow_(keep_.get()),
+        keep_prof_(std::move(prof)),
+        prof_(keep_prof_.get()),
         lc_(lc),
         actor_(actor) {}
 
@@ -39,12 +48,14 @@ class DeviceConstView {
   /// Checked element load; on a disallowed access (OOB / use-after-free)
   /// the finding is recorded and a value-initialized T returned.
   [[nodiscard]] T load(size_t i) const {
+    if (prof_ != nullptr) prof_->on_read(sizeof(T));
     if (shadow_ == nullptr) return data_[i];
     return shadow_->pre_load(i, lc_, actor_) ? data_[i] : T{};
   }
 
   /// Declare a ranged read and return the raw (clamped) span.
   [[nodiscard]] std::span<const T> load_span(size_t off, size_t count) const {
+    if (prof_ != nullptr) prof_->on_read(count * sizeof(T));
     if (shadow_ == nullptr) return {data_ + off, count};
     const size_t ok = shadow_->pre_load_range(off, count, lc_, actor_);
     return {data_ + (off < size_ ? off : size_), ok};
@@ -55,6 +66,8 @@ class DeviceConstView {
   size_t size_;
   std::shared_ptr<sanitize::BufferShadow> keep_;  // UAF-safe
   sanitize::BufferShadow* shadow_;
+  std::shared_ptr<profile::BufferProf> keep_prof_;
+  profile::BufferProf* prof_;
   sanitize::LaunchCheck* lc_;
   std::uint32_t actor_;
 };
@@ -64,17 +77,21 @@ class DeviceView {
  public:
   DeviceView(T* data, size_t size,
              std::shared_ptr<sanitize::BufferShadow> shadow,
-             sanitize::LaunchCheck* lc, std::uint32_t actor)
+             sanitize::LaunchCheck* lc, std::uint32_t actor,
+             std::shared_ptr<profile::BufferProf> prof = nullptr)
       : data_(data),
         size_(size),
         keep_(std::move(shadow)),
         shadow_(keep_.get()),
+        keep_prof_(std::move(prof)),
+        prof_(keep_prof_.get()),
         lc_(lc),
         actor_(actor) {}
 
   [[nodiscard]] size_t size() const { return size_; }
 
   [[nodiscard]] T load(size_t i) const {
+    if (prof_ != nullptr) prof_->on_read(sizeof(T));
     if (shadow_ == nullptr) return data_[i];
     return shadow_->pre_load(i, lc_, actor_) ? data_[i] : T{};
   }
@@ -82,6 +99,7 @@ class DeviceView {
   /// Checked element store; disallowed stores are dropped (recorded as a
   /// finding, never touching memory).
   void store(size_t i, T v) const {
+    if (prof_ != nullptr) prof_->on_write(sizeof(T));
     if (shadow_ == nullptr) {
       data_[i] = v;
       return;
@@ -90,6 +108,7 @@ class DeviceView {
   }
 
   [[nodiscard]] std::span<const T> load_span(size_t off, size_t count) const {
+    if (prof_ != nullptr) prof_->on_read(count * sizeof(T));
     if (shadow_ == nullptr) return {data_ + off, count};
     const size_t ok = shadow_->pre_load_range(off, count, lc_, actor_);
     return {data_ + (off < size_ ? off : size_), ok};
@@ -98,6 +117,7 @@ class DeviceView {
   /// Declare a ranged write (marks the cells initialized) and return the
   /// raw (clamped) span for the caller to fill.
   [[nodiscard]] std::span<T> store_span(size_t off, size_t count) const {
+    if (prof_ != nullptr) prof_->on_write(count * sizeof(T));
     if (shadow_ == nullptr) return {data_ + off, count};
     const size_t ok = shadow_->pre_store_range(off, count, lc_, actor_);
     return {data_ + (off < size_ ? off : size_), ok};
@@ -108,6 +128,8 @@ class DeviceView {
   size_t size_;
   std::shared_ptr<sanitize::BufferShadow> keep_;
   sanitize::BufferShadow* shadow_;
+  std::shared_ptr<profile::BufferProf> keep_prof_;
+  profile::BufferProf* prof_;
   sanitize::LaunchCheck* lc_;
   std::uint32_t actor_;
 };
@@ -117,14 +139,14 @@ template <typename T>
 [[nodiscard]] DeviceView<T> device_view(DeviceBuffer<T>& buf,
                                         const BlockCtx& ctx) {
   return DeviceView<T>(buf.raw_data(), buf.size(), buf.shadow(), ctx.devcheck,
-                       ctx.actor());
+                       ctx.actor(), buf.profile());
 }
 
 template <typename T>
 [[nodiscard]] DeviceConstView<T> device_view(const DeviceBuffer<T>& buf,
                                              const BlockCtx& ctx) {
   return DeviceConstView<T>(buf.raw_data(), buf.size(), buf.shadow(),
-                            ctx.devcheck, ctx.actor());
+                            ctx.devcheck, ctx.actor(), buf.profile());
 }
 
 /// View of a buffer from host code (between launches): host-scope
@@ -132,13 +154,13 @@ template <typename T>
 template <typename T>
 [[nodiscard]] DeviceView<T> host_view(DeviceBuffer<T>& buf) {
   return DeviceView<T>(buf.raw_data(), buf.size(), buf.shadow(), nullptr,
-                       sanitize::kHostActor);
+                       sanitize::kHostActor, buf.profile());
 }
 
 template <typename T>
 [[nodiscard]] DeviceConstView<T> host_view(const DeviceBuffer<T>& buf) {
   return DeviceConstView<T>(buf.raw_data(), buf.size(), buf.shadow(), nullptr,
-                            sanitize::kHostActor);
+                            sanitize::kHostActor, buf.profile());
 }
 
 }  // namespace szp::gpusim

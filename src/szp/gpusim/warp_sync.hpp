@@ -3,7 +3,8 @@
 // On real hardware every __*_sync intrinsic names its participating
 // lanes, and calling one with a mask that does not match the converged
 // active lanes is UB that compute-sanitizer's synccheck flags. These
-// wrappers declare the mask to the sanitizer (BlockCtx::warp_op) and
+// wrappers declare the mask to the sanitizer and the primitive kind
+// to the profiler (BlockCtx::warp_op) and
 // forward to the pure-math primitives; kernels declare divergence with
 // BlockCtx::set_active_mask. Zero cost when checking is disabled (one
 // null-pointer branch in warp_op).
@@ -21,35 +22,35 @@ inline constexpr std::uint32_t kFullMask = 0xffffffffu;
 template <typename T>
 [[nodiscard]] T shfl_sync(const BlockCtx& ctx, std::uint32_t mask,
                           const Lanes<T>& v, unsigned src_lane) {
-  ctx.warp_op("shfl_sync", mask);
+  ctx.warp_op("shfl_sync", profile::WarpOp::kShfl, mask);
   return shfl(v, src_lane);
 }
 
 template <typename T>
 [[nodiscard]] Lanes<T> shfl_up_sync(const BlockCtx& ctx, std::uint32_t mask,
                                     const Lanes<T>& v, unsigned delta) {
-  ctx.warp_op("shfl_up_sync", mask);
+  ctx.warp_op("shfl_up_sync", profile::WarpOp::kShflUp, mask);
   return shfl_up(v, delta);
 }
 
 template <typename T>
 [[nodiscard]] Lanes<T> shfl_down_sync(const BlockCtx& ctx, std::uint32_t mask,
                                       const Lanes<T>& v, unsigned delta) {
-  ctx.warp_op("shfl_down_sync", mask);
+  ctx.warp_op("shfl_down_sync", profile::WarpOp::kShflDown, mask);
   return shfl_down(v, delta);
 }
 
 [[nodiscard]] inline std::uint32_t ballot_sync(const BlockCtx& ctx,
                                                std::uint32_t mask,
                                                const Lanes<bool>& pred) {
-  ctx.warp_op("ballot_sync", mask);
+  ctx.warp_op("ballot_sync", profile::WarpOp::kBallot, mask);
   return ballot(pred);
 }
 
 template <typename T>
 [[nodiscard]] Lanes<T> inclusive_scan_sync(const BlockCtx& ctx,
                                            std::uint32_t mask, Lanes<T> v) {
-  ctx.warp_op("inclusive_scan_sync", mask);
+  ctx.warp_op("inclusive_scan_sync", profile::WarpOp::kInclusiveScan, mask);
   return inclusive_scan(std::move(v));
 }
 
@@ -57,21 +58,21 @@ template <typename T>
 [[nodiscard]] Lanes<T> exclusive_scan_sync(const BlockCtx& ctx,
                                            std::uint32_t mask,
                                            const Lanes<T>& v) {
-  ctx.warp_op("exclusive_scan_sync", mask);
+  ctx.warp_op("exclusive_scan_sync", profile::WarpOp::kExclusiveScan, mask);
   return exclusive_scan(v);
 }
 
 template <typename T>
 [[nodiscard]] T reduce_max_sync(const BlockCtx& ctx, std::uint32_t mask,
                                 const Lanes<T>& v) {
-  ctx.warp_op("reduce_max_sync", mask);
+  ctx.warp_op("reduce_max_sync", profile::WarpOp::kReduceMax, mask);
   return reduce_max(v);
 }
 
 template <typename T>
 [[nodiscard]] T reduce_add_sync(const BlockCtx& ctx, std::uint32_t mask,
                                 const Lanes<T>& v) {
-  ctx.warp_op("reduce_add_sync", mask);
+  ctx.warp_op("reduce_add_sync", profile::WarpOp::kReduceAdd, mask);
   return reduce_add(v);
 }
 

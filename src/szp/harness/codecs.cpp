@@ -105,6 +105,7 @@ RunResult run_codec(const CodecSetting& setting, const data::Field& field) {
     r.wall_decomp_s = rt.wall_decomp_s;
     r.reconstruction = std::move(rt.reconstruction);
     r.reconstruction.resize(n);
+    r.profile = std::move(rt.profile);
     return r;
   }
 
@@ -174,6 +175,7 @@ RunResult run_codec(const CodecSetting& setting, const data::Field& field) {
 
   r.reconstruction = gs::to_host(dev, d_recon);
   r.reconstruction.resize(n);
+  if (dev.profiler() != nullptr) r.profile = dev.profile_snapshot();
   return r;
 }
 

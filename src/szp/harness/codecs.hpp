@@ -3,10 +3,12 @@
 // reconstruction. Every figure/table bench is built on this.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "szp/data/field.hpp"
+#include "szp/gpusim/profile/profile.hpp"
 #include "szp/gpusim/trace.hpp"
 
 namespace szp::harness {
@@ -38,6 +40,9 @@ struct RunResult {
   std::vector<float> reconstruction;
   double wall_comp_s = 0;    // real host seconds of the simulated run
   double wall_decomp_s = 0;
+  /// Kernel counter profile of the run; present when the device ran with
+  /// the profiler enabled (SZP_PROFILE, or a bench arming it explicitly).
+  std::optional<gpusim::profile::SessionProfile> profile;
 
   [[nodiscard]] double compression_ratio() const {
     return compressed_bytes > 0 ? static_cast<double>(original_bytes) /

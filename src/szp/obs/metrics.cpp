@@ -6,6 +6,8 @@
 #include <mutex>
 #include <ostream>
 
+#include "szp/obs/tracer.hpp"
+
 namespace szp::obs {
 
 namespace {
@@ -231,7 +233,11 @@ void Registry::write_json(std::ostream& os) const {
     os << "]}";
     first = false;
   }
-  os << "\n  }\n}\n";
+  // Tracer ring health rides along so a stats dump records whether the
+  // companion trace (if any) is complete or has wrap-around holes.
+  os << "\n  },\n  \"tracer\": {\"events\": " << Tracer::instance().event_count()
+     << ", \"dropped_events\": " << Tracer::instance().dropped_events()
+     << "}\n}\n";
 }
 
 void Registry::write_text(std::ostream& os) const {
@@ -266,6 +272,11 @@ void Registry::write_text(std::ostream& os) const {
       os << '=' << n;
     }
     os << '\n';
+  }
+  if (const std::uint64_t dropped = Tracer::instance().dropped_events();
+      dropped > 0) {
+    os << "  " << std::left << std::setw(36) << "tracer.dropped_events" << ' '
+       << dropped << "  (WARNING: trace rings wrapped; spans were lost)\n";
   }
 }
 

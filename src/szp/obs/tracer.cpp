@@ -156,6 +156,17 @@ std::size_t Tracer::event_count() const {
   return n;
 }
 
+std::uint64_t Tracer::dropped_events() const {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  std::uint64_t n = 0;
+  for (const auto& buf : reg.buffers) {
+    const std::lock_guard<std::mutex> buf_lock(buf->mutex);
+    n += buf->overwritten;
+  }
+  return n;
+}
+
 void Tracer::clear() {
   Registry& reg = registry();
   const std::lock_guard<std::mutex> lock(reg.mutex);
@@ -184,6 +195,14 @@ void flush_env_outputs() {
     if (write_chrome_trace_file(path)) {
       std::fprintf(stderr, "[szp-obs] wrote trace to %s (%zu events)\n",
                    path.c_str(), Tracer::instance().event_count());
+      const std::uint64_t dropped = Tracer::instance().dropped_events();
+      if (dropped > 0) {
+        std::fprintf(stderr,
+                     "[szp-obs] WARNING: %llu events dropped to ring "
+                     "wrap-around; the trace has holes (raise the ring "
+                     "capacity or shorten the recording)\n",
+                     static_cast<unsigned long long>(dropped));
+      }
     } else {
       std::fprintf(stderr, "[szp-obs] FAILED to write trace to %s\n",
                    path.c_str());

@@ -99,6 +99,11 @@ class Tracer {
   /// Total events currently held across all rings.
   [[nodiscard]] std::size_t event_count() const;
 
+  /// Total events lost to ring wrap-around across all rings since the
+  /// last clear(). Nonzero means exported traces have holes — raise the
+  /// capacity with set_ring_capacity() (or shorten the recording).
+  [[nodiscard]] std::uint64_t dropped_events() const;
+
   /// Drop all recorded events and forget buffers of exited threads.
   void clear();
 

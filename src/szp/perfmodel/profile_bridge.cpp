@@ -1,0 +1,15 @@
+#include "szp/perfmodel/profile_bridge.hpp"
+
+namespace szp::perfmodel {
+
+gpusim::profile::ModelParams profile_model_params(const HardwareSpec& spec) {
+  gpusim::profile::ModelParams p;
+  p.gpu = spec.name;
+  p.hbm_bandwidth = spec.hbm_bandwidth;
+  p.pcie_bandwidth = spec.pcie_bandwidth;
+  p.kernel_launch_s = spec.kernel_launch_s;
+  p.op_cost = spec.op_cost;
+  return p;
+}
+
+}  // namespace szp::perfmodel

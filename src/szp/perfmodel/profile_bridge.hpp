@@ -1,0 +1,22 @@
+// Adapter between the analytic hardware model and the gpusim kernel
+// profiler's derived-report inputs.
+//
+// The profiler (src/szp/gpusim/profile/) cannot link against perfmodel —
+// perfmodel consumes gpusim traces, so the dependency runs the other
+// way. Callers that link both (szp_cli, the benches) use this bridge to
+// turn a HardwareSpec preset into the plain profile::ModelParams the
+// report writer combines with measured counters.
+#pragma once
+
+#include "szp/gpusim/profile/report.hpp"
+#include "szp/perfmodel/hardware.hpp"
+
+namespace szp::perfmodel {
+
+/// Copy the model coefficients the profiler's derived section consumes
+/// (HBM/PCIe bandwidth, launch cost, per-stage op costs). Host-stage
+/// coefficients stay behind: the profiler reports device launches only.
+[[nodiscard]] gpusim::profile::ModelParams profile_model_params(
+    const HardwareSpec& spec);
+
+}  // namespace szp::perfmodel

@@ -27,4 +27,9 @@ bool stats_env_enabled() {
   return s != nullptr && s[0] != '\0' && !(s[0] == '0' && s[1] == '\0');
 }
 
+std::string profile_env_spec() {
+  if (const char* s = std::getenv("SZP_PROFILE")) return s;
+  return {};
+}
+
 }  // namespace szp

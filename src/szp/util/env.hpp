@@ -24,4 +24,10 @@ namespace szp {
 /// process exit. Consumed by obs::init_from_env().
 [[nodiscard]] bool stats_env_enabled();
 
+/// SZP_PROFILE raw value: "" when unset, "1"/"on" for collect-only, or an
+/// output path for collect + JSON export at process exit. Devices parse it
+/// themselves (gpusim::profile::options_from_env); this accessor is for
+/// tools/benches that want to report or branch on the setting.
+[[nodiscard]] std::string profile_env_spec();
+
 }  // namespace szp

@@ -1,0 +1,90 @@
+// Determinism contract for the kernel profiler: two identical runs
+// produce byte-identical deterministic-counter sections (the
+// counter_fingerprint — profile JSON with the schedule/timing/derived
+// sections omitted), across both scan algorithms and both stream format
+// versions (checksummed v2 and plain v1). Wall clocks, lookback
+// depth/spin histograms and block stats legitimately vary run to run and
+// are excluded by construction.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "szp/core/compressor.hpp"
+#include "szp/gpusim/buffer.hpp"
+#include "szp/gpusim/profile/report.hpp"
+
+namespace {
+
+using namespace szp;
+namespace gs = gpusim;
+namespace prof = gpusim::profile;
+
+std::vector<float> make_data(size_t n = 48 * 1024) {
+  std::vector<float> data(n);
+  for (size_t i = 0; i < n; ++i) {
+    data[i] = static_cast<float>(std::cos(static_cast<double>(i) * 0.0017) *
+                                 5.0);
+  }
+  return data;
+}
+
+/// One full device roundtrip on a fresh profiled Device; returns the
+/// deterministic-counter fingerprint of everything collected.
+std::string fingerprint_run(const core::Params& params,
+                            const std::vector<float>& data) {
+  gs::Device dev(4, gs::sanitize::Tools::none(), prof::Options::on());
+  Compressor c(params);
+  auto d_in = gs::to_device<float>(dev, std::span<const float>(data));
+  gs::DeviceBuffer<byte_t> d_cmp(
+      dev, core::max_compressed_bytes(data.size(), params.block_len));
+  gs::DeviceBuffer<float> d_out(dev, data.size());
+  const auto comp = c.compress_on_device(dev, d_in, data.size(), 10.0, d_cmp);
+  (void)c.decompress_on_device(dev, d_cmp, d_out, comp.bytes);
+  (void)gs::to_host(dev, d_out);
+  const prof::SessionProfile sessions[] = {dev.profile_snapshot()};
+  return prof::counter_fingerprint(sessions);
+}
+
+using ScanFormatParam = std::tuple<core::ScanAlgo, unsigned>;
+
+class ProfileDeterminism : public ::testing::TestWithParam<ScanFormatParam> {};
+
+std::string param_name(const ::testing::TestParamInfo<ScanFormatParam>& info) {
+  const auto scan = std::get<0>(info.param);
+  const auto groups = std::get<1>(info.param);
+  std::string name = scan == core::ScanAlgo::kChained ? "Chained" : "TwoPass";
+  name += groups == 0 ? "_v1" : "_v2";
+  return name;
+}
+
+TEST_P(ProfileDeterminism, RepeatRunsFingerprintIdentically) {
+  const auto [scan, checksum_groups] = GetParam();
+  core::Params params;
+  params.mode = core::ErrorMode::kRel;
+  params.error_bound = 1e-3;
+  params.scan = scan;
+  params.checksum_group_blocks = checksum_groups;
+
+  const auto data = make_data();
+  const std::string a = fingerprint_run(params, data);
+  const std::string b = fingerprint_run(params, data);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  // The fingerprint must not leak timing: two runs can share it only if
+  // the schedule/timing sections are genuinely absent.
+  EXPECT_EQ(a.find("wall_ns"), std::string::npos);
+  EXPECT_EQ(a.find("lookback_depth"), std::string::npos);
+  EXPECT_EQ(a.find("\"timing\""), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ScanAndFormat, ProfileDeterminism,
+    ::testing::Combine(::testing::Values(core::ScanAlgo::kChained,
+                                         core::ScanAlgo::kTwoPass),
+                       ::testing::Values(256u, 0u)),
+    param_name);
+
+}  // namespace

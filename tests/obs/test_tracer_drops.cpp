@@ -1,0 +1,93 @@
+// Satellite: tracer ring overflow must be *reported*, not silent. When a
+// ring wraps, dropped_events() sums the per-thread overwrite counts and
+// both metrics exporters (JSON and text) surface them, so a truncated
+// trace can't masquerade as a complete one.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "szp/obs/metrics.hpp"
+#include "szp/obs/tracer.hpp"
+#include "support/mini_json.hpp"
+
+namespace {
+
+using namespace szp;
+using testsupport::JsonParser;
+using testsupport::JsonValue;
+
+class TracerDropsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    default_capacity_ = obs::Tracer::instance().ring_capacity();
+    obs::Tracer::instance().set_ring_capacity(16);
+    obs::Tracer::instance().clear();  // re-applies the new capacity
+    obs::Tracer::instance().set_enabled(true);
+  }
+  void TearDown() override {
+    obs::Tracer::instance().set_enabled(false);
+    obs::Tracer::instance().set_ring_capacity(default_capacity_);
+    obs::Tracer::instance().clear();
+  }
+
+  std::size_t default_capacity_ = 0;
+};
+
+TEST_F(TracerDropsTest, OverflowIsCountedAndSurvivesCollect) {
+  EXPECT_EQ(obs::Tracer::instance().dropped_events(), 0u);
+  constexpr int kEvents = 100;  // > ring capacity of 16
+  for (int i = 0; i < kEvents; ++i) {
+    obs::instant("test", "overflow", "i", static_cast<std::uint64_t>(i));
+  }
+  const std::uint64_t dropped = obs::Tracer::instance().dropped_events();
+  EXPECT_EQ(dropped, static_cast<std::uint64_t>(kEvents) - 16u);
+
+  // collect() reports the same loss per thread.
+  std::uint64_t collected_dropped = 0;
+  std::size_t collected_events = 0;
+  for (const auto& te : obs::Tracer::instance().collect()) {
+    collected_dropped += te.overwritten;
+    collected_events += te.events.size();
+  }
+  EXPECT_EQ(collected_dropped, dropped);
+  EXPECT_EQ(collected_events, 16u);
+
+  // clear() resets the loss counter with the rings.
+  obs::Tracer::instance().clear();
+  EXPECT_EQ(obs::Tracer::instance().dropped_events(), 0u);
+}
+
+TEST_F(TracerDropsTest, MetricsJsonReportsTracerDrops) {
+  for (int i = 0; i < 40; ++i) obs::instant("test", "overflow");
+  ASSERT_GT(obs::Tracer::instance().dropped_events(), 0u);
+
+  std::ostringstream os;
+  obs::Registry::instance().write_json(os);
+  JsonValue doc;
+  ASSERT_NO_THROW(doc = JsonParser(os.str()).parse()) << os.str();
+  const JsonValue* tracer = doc.find("tracer");
+  ASSERT_NE(tracer, nullptr);
+  const JsonValue* dropped = tracer->find("dropped_events");
+  ASSERT_NE(dropped, nullptr);
+  EXPECT_EQ(dropped->num,
+            static_cast<double>(obs::Tracer::instance().dropped_events()));
+  const JsonValue* events = tracer->find("events");
+  ASSERT_NE(events, nullptr);
+  EXPECT_GT(events->num, 0.0);
+}
+
+TEST_F(TracerDropsTest, MetricsTextWarnsOnDrops) {
+  {
+    std::ostringstream os;
+    obs::Registry::instance().write_text(os);
+    EXPECT_EQ(os.str().find("tracer.dropped_events"), std::string::npos)
+        << "no drops yet, no warning expected";
+  }
+  for (int i = 0; i < 40; ++i) obs::instant("test", "overflow");
+  std::ostringstream os;
+  obs::Registry::instance().write_text(os);
+  EXPECT_NE(os.str().find("tracer.dropped_events"), std::string::npos);
+  EXPECT_NE(os.str().find("WARNING"), std::string::npos);
+}
+
+}  // namespace

@@ -17,7 +17,10 @@
 //   --devcheck          run the gpusim sanitizer (memcheck+racecheck+
 //                       synccheck) over the device kernels; prints the
 //                       report and exits 3 on findings
+//   --profile <out>     run the gpusim kernel profiler and write the
+//                       counter/timing/derived JSON report there
 //   --version / --help
+#include <array>
 #include <cctype>
 #include <chrono>
 #include <cstdlib>
@@ -37,7 +40,9 @@
 #include "szp/obs/chrome_trace.hpp"
 #include "szp/obs/metrics.hpp"
 #include "szp/obs/tracer.hpp"
+#include "szp/gpusim/profile/report.hpp"
 #include "szp/perfmodel/cost.hpp"
+#include "szp/perfmodel/profile_bridge.hpp"
 
 namespace {
 
@@ -64,6 +69,8 @@ void print_usage(std::FILE* to) {
                "  --breakdown       print the per-stage device counter table\n"
                "  --devcheck        run the device sanitizer; exit 3 on "
                "findings\n"
+               "  --profile <file>  run the kernel profiler; write the "
+               "JSON report\n"
                "  --version         print the version and exit\n"
                "  --help            print this message and exit\n");
 }
@@ -104,6 +111,7 @@ int main(int argc, char** argv) try {
   bool stats = false;
   bool breakdown = false;
   bool devcheck = false;
+  std::string profile_path;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -124,6 +132,9 @@ int main(int argc, char** argv) try {
       stats = true;
     } else if (a == "--devcheck") {
       devcheck = true;
+    } else if (a == "--profile") {
+      if (++i >= argc) return usage();
+      profile_path = argv[i];
     } else if (a == "--breakdown") {
       breakdown = true;
     } else if (a == "--version") {
@@ -176,6 +187,17 @@ int main(int argc, char** argv) try {
     // Arm every checker on the engine's Device before it is constructed;
     // findings are consumed below, so teardown never aborts.
     setenv("SZP_DEVCHECK", "all", 1);
+  }
+  if (!profile_path.empty()) {
+    if (backend != engine::BackendKind::kDevice) {
+      std::fprintf(stderr, "szp_cli: --profile requires --backend device\n");
+      return 2;
+    }
+    // Collect-only ("1"): the engine's Device picks the option up at
+    // construction; the report below is written explicitly, with the
+    // perfmodel coefficients attached, so the env atexit exporter never
+    // double-writes the file.
+    setenv("SZP_PROFILE", "1", 1);
   }
   engine::Engine eng(
       {.params = params, .backend = backend, .threads = threads});
@@ -260,6 +282,22 @@ int main(int argc, char** argv) try {
     std::printf("\n");
     std::fflush(stdout);
     obs::Registry::instance().write_text(std::cout);
+  }
+  if (!profile_path.empty()) {
+    const auto session = eng.device().profile_snapshot();
+    const auto model =
+        perfmodel::profile_model_params(perfmodel::a100());
+    gpusim::profile::ReportOptions ropts;
+    ropts.model = &model;
+    const std::array<gpusim::profile::SessionProfile, 1> sessions{session};
+    if (!gpusim::profile::write_profile_json_file(profile_path, sessions,
+                                                  ropts)) {
+      std::fprintf(stderr, "szp_cli: cannot write profile to %s\n",
+                   profile_path.c_str());
+      return 1;
+    }
+    std::printf("wrote profile to %s (%zu launches)\n", profile_path.c_str(),
+                session.launches.size());
   }
   if (devcheck) {
     const auto rep = eng.device().sanitize_report();
