@@ -1,0 +1,182 @@
+// Sharded-archive bench: journaled ingest throughput (serial vs parallel
+// field compression) and point-query locality (time to first bytes of a
+// small element range vs a full-field decode, plus the fraction of the
+// archive the query touched). Emits BENCH_pr6.json in SZP_BENCH_OUTDIR
+// for the CI schema check; the <5% locality bar is enforced here too.
+//
+// The archive lives in a MemFs so the numbers measure the codec + commit
+// protocol, not the host page cache.
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "szp/archive/archive_v2.hpp"
+#include "szp/archive/layout.hpp"
+#include "szp/data/field.hpp"
+#include "szp/robust/io.hpp"
+#include "szp/util/common.hpp"
+#include "szp/util/env.hpp"
+#include "szp/util/rng.hpp"
+
+namespace {
+
+using namespace szp;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+double gbps(size_t bytes, double s) {
+  return s > 0 ? static_cast<double>(bytes) / 1e9 / s : 0;
+}
+
+std::vector<data::Field> make_corpus(size_t fields, size_t n) {
+  std::vector<data::Field> out;
+  for (size_t f = 0; f < fields; ++f) {
+    data::Field field;
+    field.name = "field_" + std::to_string(f);
+    field.dims.extents = {n};
+    field.values.resize(n);
+    Rng rng(1000 + f);
+    double smooth = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      smooth = 0.98 * smooth + rng.normal();
+      field.values[i] = static_cast<float>(smooth + rng.normal() * 0.05);
+    }
+    out.push_back(std::move(field));
+  }
+  return out;
+}
+
+double time_ingest(robust::MemFs& fs, const std::vector<data::Field>& corpus,
+                   unsigned threads) {
+  archive::WriterOptions opts;
+  opts.params.mode = core::ErrorMode::kRel;
+  opts.params.error_bound = 1e-3;
+  opts.threads = threads;
+  archive::ArchiveWriter w(fs, "arc", opts);
+  for (const auto& f : corpus) w.add(f);
+  const auto t0 = Clock::now();
+  w.commit();
+  return seconds_since(t0);
+}
+
+}  // namespace
+
+int main() {
+  const double scale = bench_scale();
+  const size_t kFields = 8;
+  const size_t n = std::max<size_t>(
+      1u << 16, static_cast<size_t>(scale * static_cast<double>(1u << 20)));
+  const unsigned threads =
+      std::max(2u, std::min(8u, std::thread::hardware_concurrency()));
+
+  std::printf("=== PR6: sharded archive ingest + point-query locality ===\n");
+  std::printf("scale=%.3g, %zu fields x %zu elements\n\n", scale, kFields, n);
+
+  const auto corpus = make_corpus(kFields, n);
+  const size_t raw_bytes = kFields * n * sizeof(float);
+
+  robust::MemFs fs_serial;
+  const double serial_s = time_ingest(fs_serial, corpus, 0);
+  robust::MemFs fs_parallel;
+  const double parallel_s = time_ingest(fs_parallel, corpus, threads);
+
+  // The commit protocol promises byte-identical output for any thread
+  // count; hold it to that.
+  const bool identical =
+      fs_serial.read_file(archive::layout::index_path("arc")) ==
+      fs_parallel.read_file(archive::layout::index_path("arc"));
+  if (!identical) {
+    std::fprintf(stderr, "pr6_archive: parallel ingest diverged from serial\n");
+    return 1;
+  }
+
+  std::printf("ingest  serial   %7.3f s  %7.3f GB/s\n", serial_s,
+              gbps(raw_bytes, serial_s));
+  std::printf("ingest  parallel %7.3f s  %7.3f GB/s  (%u threads, "
+              "%.2fx, byte-identical)\n",
+              parallel_s, gbps(raw_bytes, parallel_s), threads,
+              parallel_s > 0 ? serial_s / parallel_s : 0.0);
+
+  // Point query: a 2048-element window out of field_0 versus decoding the
+  // whole field, with byte-level accounting from a cold reader.
+  const size_t q_begin = n / 3;
+  const size_t q_count = 2048;
+
+  archive::ArchiveReader full_reader(fs_serial, "arc");
+  const auto t_full = Clock::now();
+  const auto full = full_reader.extract(size_t{0});
+  const double full_s = seconds_since(t_full);
+
+  archive::ArchiveReader query_reader(fs_serial, "arc");
+  const auto t_query = Clock::now();
+  const auto window =
+      query_reader.extract_range(0, q_begin, q_begin + q_count);
+  const double query_s = seconds_since(t_query);
+
+  for (size_t i = 0; i < window.size(); ++i) {
+    if (window[i] != full.values[q_begin + i]) {
+      std::fprintf(stderr, "pr6_archive: range decode mismatch at %zu\n", i);
+      return 1;
+    }
+  }
+
+  const auto archive_bytes = query_reader.archive_bytes();
+  const double touched =
+      static_cast<double>(query_reader.io_stats().bytes_read) /
+      static_cast<double>(archive_bytes);
+  std::printf("\nquery   [%zu, %zu)  %9.1f us  (full decode %9.1f us, "
+              "%.1fx)\n",
+              q_begin, q_begin + q_count, query_s * 1e6, full_s * 1e6,
+              query_s > 0 ? full_s / query_s : 0.0);
+  std::printf("locality: %llu of %llu archive bytes touched (%.3f%%)\n",
+              static_cast<unsigned long long>(
+                  query_reader.io_stats().bytes_read),
+              static_cast<unsigned long long>(archive_bytes), touched * 100);
+  if (touched >= 0.05) {
+    std::fprintf(stderr,
+                 "pr6_archive: point query touched %.2f%% of the archive "
+                 "(bar: <5%%)\n",
+                 touched * 100);
+    return 1;
+  }
+
+  const std::string outdir = bench_outdir();
+  std::filesystem::create_directories(outdir);
+  const std::string out_path = outdir + "/BENCH_pr6.json";
+  std::ofstream js(out_path);
+  js << "{\n"
+     << "  \"bench\": \"pr6_archive\",\n"
+     << "  \"version\": \"" << kVersionString << "\",\n"
+     << "  \"scale\": " << scale << ",\n"
+     << "  \"ingest\": {\"fields\": " << kFields
+     << ", \"elements_per_field\": " << n
+     << ", \"raw_bytes\": " << raw_bytes
+     << ", \"archive_bytes\": " << archive_bytes << ",\n"
+     << "    \"serial_s\": " << serial_s
+     << ", \"serial_gbps\": " << gbps(raw_bytes, serial_s)
+     << ", \"parallel_threads\": " << threads
+     << ", \"parallel_s\": " << parallel_s
+     << ", \"parallel_gbps\": " << gbps(raw_bytes, parallel_s)
+     << ",\n    \"parallel_speedup\": "
+     << (parallel_s > 0 ? serial_s / parallel_s : 0.0)
+     << ", \"identical_bytes\": " << (identical ? "true" : "false")
+     << "},\n"
+     << "  \"point_query\": {\"elements\": " << q_count
+     << ", \"query_us\": " << query_s * 1e6
+     << ", \"full_decode_us\": " << full_s * 1e6
+     << ", \"speedup\": " << (query_s > 0 ? full_s / query_s : 0.0)
+     << ",\n    \"bytes_read\": " << query_reader.io_stats().bytes_read
+     << ", \"reads\": " << query_reader.io_stats().reads
+     << ", \"archive_bytes\": " << archive_bytes
+     << ", \"touched_fraction\": " << touched << "}\n"
+     << "}\n";
+  js.close();
+  std::printf("\nwrote %s\n", out_path.c_str());
+  return 0;
+}

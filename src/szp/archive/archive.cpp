@@ -34,6 +34,27 @@ void Writer::add(const data::Field& field, std::optional<double> value_range) {
   entries_.push_back(std::move(e));
 }
 
+void Writer::add_f64(const std::string& name, data::Dims dims,
+                     std::span<const double> values,
+                     std::optional<double> value_range) {
+  for (const auto& e : entries_) {
+    if (e.name == name) {
+      throw format_error("archive: duplicate field name '" + name + "'");
+    }
+  }
+  if (values.size() != dims.count()) {
+    throw format_error("archive: field '" + name +
+                       "' dims/value count mismatch");
+  }
+  Entry e;
+  e.name = name;
+  e.dims = std::move(dims);
+  e.f64 = true;
+  streams_.push_back(engine_->compress_f64(values, value_range).bytes);
+  e.stream_bytes = streams_.back().size();
+  entries_.push_back(std::move(e));
+}
+
 std::vector<byte_t> Writer::finish() && {
   ByteWriter w;
   w.put(kMagic);
@@ -96,6 +117,15 @@ Reader::Reader(std::vector<byte_t> blob)
     }
     entries_.push_back(std::move(e));
   }
+  // The v1 index has no dtype column: recover each entry's element type
+  // from its stream header's f64 flag. A header too damaged to parse
+  // defaults to f32 (try_extract will classify the damage on access).
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    try {
+      entries_[i].f64 = core::Header::deserialize(stream_of(i)).is_f64();
+    } catch (const format_error&) {
+    }
+  }
 }
 
 std::span<const byte_t> Reader::stream_of(size_t index) const {
@@ -116,6 +146,20 @@ data::Field Reader::extract(size_t index) const {
     throw format_error("archive: stream size does not match dims");
   }
   return f;
+}
+
+std::vector<double> Reader::extract_f64(size_t index) const {
+  if (index >= entries_.size()) throw format_error("archive: bad index");
+  const Entry& e = entries_[index];
+  if (!e.f64) {
+    throw format_error("archive: field '" + e.name +
+                       "' is f32 (use extract)");
+  }
+  auto values = engine_->decompress_f64(stream_of(index));
+  if (values.size() != e.dims.count()) {
+    throw format_error("archive: stream size does not match dims");
+  }
+  return values;
 }
 
 data::Field Reader::extract(const std::string& name) const {

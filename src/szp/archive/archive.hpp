@@ -29,11 +29,19 @@ struct Entry {
   data::Dims dims;
   std::uint64_t stream_offset = 0;  // within the archive blob
   std::uint64_t stream_bytes = 0;
+  /// The stream holds f64 source data (header flag bit; the v1 index has
+  /// no dtype column, so the Reader peeks each stream header).
+  bool f64 = false;
 
+  [[nodiscard]] size_t element_bytes() const { return f64 ? 8 : 4; }
+
+  /// Raw-bytes / compressed-bytes. Element size follows the stream dtype;
+  /// hardcoding 4 misreported f64 fields by exactly 2x.
   [[nodiscard]] double compression_ratio() const {
-    return stream_bytes > 0 ? static_cast<double>(dims.count() * 4) /
-                                  static_cast<double>(stream_bytes)
-                            : 0;
+    return stream_bytes > 0
+               ? static_cast<double>(dims.count() * element_bytes()) /
+                     static_cast<double>(stream_bytes)
+               : 0;
   }
 };
 
@@ -50,6 +58,12 @@ class Writer {
   /// range when known to avoid a REL-mode rescan of the field.
   void add(const data::Field& field,
            std::optional<double> value_range = std::nullopt);
+
+  /// Compress and append an f64 field (stored as an f64-flagged stream;
+  /// extract it with Reader::extract_f64).
+  void add_f64(const std::string& name, data::Dims dims,
+               std::span<const double> values,
+               std::optional<double> value_range = std::nullopt);
 
   [[nodiscard]] size_t num_fields() const { return entries_.size(); }
 
@@ -69,9 +83,12 @@ class Reader {
 
   [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
 
-  /// Decompress a whole field by index or name.
+  /// Decompress a whole field by index or name (f32 entries).
   [[nodiscard]] data::Field extract(size_t index) const;
   [[nodiscard]] data::Field extract(const std::string& name) const;
+
+  /// Decompress an f64-flagged entry.
+  [[nodiscard]] std::vector<double> extract_f64(size_t index) const;
 
   /// Decompress only elements [begin, end) of a field (random access).
   [[nodiscard]] std::vector<float> extract_range(size_t index, size_t begin,

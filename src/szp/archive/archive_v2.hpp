@@ -1,0 +1,160 @@
+// Archive format v2: a sharded, crash-consistent, self-healing container
+// (replaces the v1 single-blob layout of archive.hpp for new archives;
+// the tools still read v1 blobs).
+//
+// An archive is a directory (layout.hpp): content-addressed shard files
+// behind a generation-numbered, checksummed index. Ingest is journaled —
+// every mutation goes through write-temp -> checksum -> atomic-rename
+// publish, and the index rename is the single commit point — so a crash
+// at ANY I/O boundary leaves the directory openable at a committed
+// generation (the previous one, or the new one), never torn. Leftover
+// temp files, unreferenced shards and a stale journal are garbage that
+// scrub reports and repair clears (scrub.hpp).
+//
+// Reads are memory-layout-aware: extract_range() decodes one element
+// range of one field by fetching only the stream header, the per-block
+// length bytes, the checksum groups covering the range, and the footer —
+// a point query into a multi-GB archive touches a few KB (io_stats()
+// reports exactly how many).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "szp/archive/shard.hpp"
+#include "szp/core/format.hpp"
+#include "szp/data/field.hpp"
+#include "szp/engine/engine.hpp"
+#include "szp/robust/io.hpp"
+#include "szp/robust/status.hpp"
+
+namespace szp::archive {
+
+struct WriterOptions {
+  core::Params params{};
+  engine::BackendKind backend = engine::BackendKind::kSerial;
+  /// Compression slots for parallel ingest (ThreadPool); 0 or 1 runs
+  /// serial. Shard bytes are identical either way.
+  unsigned threads = 0;
+  /// Target shard payload bytes (one stream never splits; an oversized
+  /// stream gets its own shard). 0 = one shard per field.
+  size_t shard_budget_bytes = 4u << 20;
+};
+
+/// Journaled ingest into a new or existing archive directory. Queue
+/// fields with add()/add_f64(), then commit() once: it compresses
+/// everything (in parallel when opts.threads > 1), packs shards, and
+/// publishes index generation prev+1 through the commit protocol.
+class ArchiveWriter {
+ public:
+  ArchiveWriter(robust::Fs& fs, std::string dir, WriterOptions opts = {});
+
+  /// Queue an f32 field. Names must be unique (checked against both the
+  /// queue and, at commit time, the committed index). Pass the value
+  /// range when known to skip a REL-mode rescan.
+  void add(const data::Field& field,
+           std::optional<double> value_range = std::nullopt);
+
+  /// Queue an f64 field.
+  void add_f64(std::string name, data::Dims dims,
+               std::span<const double> values,
+               std::optional<double> value_range = std::nullopt);
+
+  [[nodiscard]] size_t num_pending() const { return pending_.size(); }
+
+  /// Journaled commit; returns the committed generation. On an exception
+  /// (including a simulated io_crash) the previously committed generation
+  /// is untouched.
+  std::uint64_t commit();
+
+ private:
+  struct PendingField {
+    std::string name;
+    data::Dims dims;
+    Dtype dtype = Dtype::kF32;
+    std::vector<float> f32;
+    std::vector<double> f64;
+    std::optional<double> value_range;
+  };
+
+  robust::Fs& fs_;
+  std::string dir_;
+  WriterOptions opts_;
+  std::vector<PendingField> pending_;
+};
+
+/// Low-level journaled publish shared by ArchiveWriter and repair():
+/// journal intent, write+rename every new shard, write+rename the index
+/// (the commit point), drop the journal. `index.generation` must already
+/// be set by the caller; `new_shards` are the shard files the index
+/// references that are not on disk yet.
+void publish(robust::Fs& fs, const std::string& dir, const Index& index,
+             std::span<const PackedShard> new_shards);
+
+/// Byte-level read accounting (for the point-query locality bench).
+struct IoStats {
+  std::uint64_t reads = 0;
+  std::uint64_t bytes_read = 0;
+};
+
+/// Reads a committed archive directory. Opening parses and validates the
+/// index only; entry bytes are fetched on demand.
+class ArchiveReader {
+ public:
+  ArchiveReader(robust::Fs& fs, std::string dir);
+
+  [[nodiscard]] const Index& index() const { return index_; }
+  [[nodiscard]] std::uint64_t generation() const { return index_.generation; }
+  [[nodiscard]] const std::vector<EntryInfo>& entries() const {
+    return index_.entries;
+  }
+
+  /// Entry index by name; throws format_error when absent.
+  [[nodiscard]] size_t entry_index(const std::string& name) const;
+
+  /// Full decode of an f32 entry (throws format_error for f64 entries —
+  /// use extract_f64).
+  [[nodiscard]] data::Field extract(size_t i) const;
+  [[nodiscard]] data::Field extract(const std::string& name) const;
+  [[nodiscard]] std::vector<double> extract_f64(size_t i) const;
+
+  /// Random access: decode elements [begin, end) of f32 entry `i`,
+  /// reading only the bytes the range needs (header, length bytes,
+  /// covering checksum groups, footer).
+  [[nodiscard]] std::vector<float> extract_range(size_t i, size_t begin,
+                                                 size_t end) const;
+
+  /// No-throw extraction with salvage (archive-level counterpart of
+  /// robust::try_decompress).
+  robust::DecodeReport try_extract(size_t i, data::Field& out,
+                                   const robust::DecodeOptions& opts = {}) const;
+
+  /// Raw compressed stream of one entry.
+  [[nodiscard]] std::vector<byte_t> read_stream(size_t i) const;
+
+  /// Bytes fetched through this reader so far.
+  [[nodiscard]] const IoStats& io_stats() const { return stats_; }
+
+  /// Total committed bytes (index file + every referenced shard file) —
+  /// the denominator for point-query locality.
+  [[nodiscard]] std::uint64_t archive_bytes() const;
+
+ private:
+  const EntryInfo& entry_at(size_t i) const;
+  [[nodiscard]] std::string shard_path_of(const EntryInfo& e) const;
+  /// Accounted range read that throws format_error on a short read.
+  [[nodiscard]] std::vector<byte_t> read_exact(const std::string& path,
+                                               std::uint64_t offset,
+                                               size_t n) const;
+
+  robust::Fs& fs_;
+  std::string dir_;
+  Index index_;
+  std::shared_ptr<engine::Engine> engine_;
+  mutable IoStats stats_;
+};
+
+}  // namespace szp::archive

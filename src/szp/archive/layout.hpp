@@ -1,0 +1,80 @@
+// Archive format v2 on-disk layout constants (see docs/FORMAT.md,
+// "Sharded archive").
+//
+// Header-only on purpose: robust::FaultInjector's archive-aware mutations
+// target these offsets and file names without linking the archive
+// library (robust must not depend on archive — archive depends on
+// robust).
+//
+// An archive is a DIRECTORY:
+//
+//   <dir>/index.szpi        committed index (atomic-rename publish target)
+//   <dir>/journal.szpj      intent record, present only mid-ingest
+//   <dir>/shards/           content-addressed shard files
+//   <dir>/quarantine/       damaged shards moved aside by repair
+//   <dir>/*.tmp             write-temp files (garbage after a crash)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "szp/util/common.hpp"
+
+namespace szp::archive::layout {
+
+inline constexpr std::uint32_t kIndexMagic = 0x49355A53;    // "SZ5I"
+inline constexpr std::uint32_t kShardMagic = 0x53355A53;    // "SZ5S"
+inline constexpr std::uint32_t kJournalMagic = 0x4A355A53;  // "SZ5J"
+inline constexpr std::uint16_t kVersion = 2;
+
+inline constexpr const char kIndexFile[] = "index.szpi";
+inline constexpr const char kIndexTmpFile[] = "index.szpi.tmp";
+inline constexpr const char kJournalFile[] = "journal.szpj";
+inline constexpr const char kJournalTmpFile[] = "journal.szpj.tmp";
+inline constexpr const char kShardDir[] = "shards";
+inline constexpr const char kQuarantineDir[] = "quarantine";
+inline constexpr const char kTmpSuffix[] = ".tmp";
+inline constexpr const char kShardSuffix[] = ".szps";
+
+/// Index file prefix: magic u32, version u16, reserved u16, generation
+/// u64, shard count u32, entry count u32. Shard table, entry table and a
+/// trailing CRC32C over everything before it follow.
+inline constexpr size_t kIndexHeaderBytes = 24;
+/// Trailing CRC32C of the index file.
+inline constexpr size_t kIndexCrcBytes = 4;
+
+/// Shard file prefix: magic u32, version u16, reserved u16, payload bytes
+/// u64, payload CRC32C u32 (the content address). Payload follows.
+inline constexpr size_t kShardHeaderBytes = 20;
+
+/// Content-addressed shard file name: crc + payload size, so two payloads
+/// that collide on CRC32C but differ in length still get distinct names.
+[[nodiscard]] inline std::string shard_file_name(std::uint32_t payload_crc,
+                                                 std::uint64_t payload_bytes) {
+  char buf[12];
+  for (int i = 7; i >= 0; --i) {
+    buf[7 - i] = "0123456789abcdef"[(payload_crc >> (4 * i)) & 0xF];
+  }
+  buf[8] = '\0';
+  return std::string(buf) + "-" + std::to_string(payload_bytes) +
+         kShardSuffix;
+}
+
+[[nodiscard]] inline std::string index_path(const std::string& dir) {
+  return dir + "/" + kIndexFile;
+}
+[[nodiscard]] inline std::string journal_path(const std::string& dir) {
+  return dir + "/" + kJournalFile;
+}
+[[nodiscard]] inline std::string shard_dir(const std::string& dir) {
+  return dir + "/" + kShardDir;
+}
+[[nodiscard]] inline std::string shard_path(const std::string& dir,
+                                            const std::string& file) {
+  return shard_dir(dir) + "/" + file;
+}
+[[nodiscard]] inline std::string quarantine_dir(const std::string& dir) {
+  return dir + "/" + kQuarantineDir;
+}
+
+}  // namespace szp::archive::layout

@@ -1,0 +1,547 @@
+#include "szp/archive/scrub.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "szp/archive/archive_v2.hpp"
+#include "szp/archive/layout.hpp"
+#include "szp/core/format.hpp"
+#include "szp/engine/engine.hpp"
+#include "szp/robust/try_decode.hpp"
+#include "szp/util/crc32c.hpp"
+
+namespace szp::archive {
+
+namespace {
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Best-effort payload view of a shard file: the declared payload when the
+/// header parses, everything past the fixed header otherwise (a corrupt
+/// header does not make the streams behind it unreadable).
+std::span<const byte_t> shard_payload(std::span<const byte_t> file,
+                                      bool header_ok,
+                                      std::uint64_t declared_bytes) {
+  if (file.size() <= layout::kShardHeaderBytes) return {};
+  auto rest = file.subspan(layout::kShardHeaderBytes);
+  if (header_ok && declared_bytes <= rest.size()) {
+    return rest.first(static_cast<size_t>(declared_bytes));
+  }
+  return rest;
+}
+
+struct ShardProbe {
+  ShardScrub scrub;
+  std::vector<byte_t> file;   // empty when missing/unreadable
+  bool header_ok = false;
+  std::uint64_t declared_bytes = 0;
+};
+
+/// Read and classify one shard file. `expected` is the index's reference
+/// (nullptr when scanning without an index).
+ShardProbe probe_shard(robust::Fs& fs, const std::string& path,
+                       const std::string& file_name,
+                       const ShardRef* expected) {
+  ShardProbe p;
+  p.scrub.file_name = file_name;
+  if (expected != nullptr) p.scrub.ref = *expected;
+  if (!fs.exists(path)) {
+    p.scrub.state = ShardState::kMissing;
+    p.scrub.detail = "file not found";
+    return p;
+  }
+  try {
+    p.file = fs.read_file(path);
+  } catch (const robust::io_error& ex) {
+    p.scrub.state = ShardState::kUnreadable;
+    p.scrub.detail = ex.what();
+    return p;
+  }
+  try {
+    const ShardHeader h = parse_shard_header(p.file);
+    p.header_ok = true;
+    p.declared_bytes = h.payload_bytes;
+    const auto payload = shard_payload(p.file, true, h.payload_bytes);
+    const std::uint32_t actual = crc32c(payload);
+    if (actual != h.payload_crc) {
+      p.scrub.state = ShardState::kCrcMismatch;
+      p.scrub.detail = "payload CRC does not match the shard header";
+    } else if (expected != nullptr &&
+               (h.payload_crc != expected->payload_crc ||
+                h.payload_bytes != expected->payload_bytes)) {
+      p.scrub.state = ShardState::kCrcMismatch;
+      p.scrub.detail = "shard content does not match the index reference";
+    } else {
+      p.scrub.state = ShardState::kOk;
+      if (expected == nullptr) {
+        p.scrub.ref = ShardRef{h.payload_crc, h.payload_bytes};
+      }
+    }
+  } catch (const format_error& ex) {
+    p.scrub.state = ShardState::kBadHeader;
+    p.scrub.detail = ex.what();
+  }
+  return p;
+}
+
+/// Entry stream bytes inside a (possibly damaged) shard payload; empty
+/// span when the entry lies wholly outside the bytes we have.
+std::span<const byte_t> entry_stream(std::span<const byte_t> payload,
+                                     const EntryInfo& e) {
+  if (e.offset >= payload.size()) return {};
+  const size_t avail = payload.size() - static_cast<size_t>(e.offset);
+  const size_t n = std::min<size_t>(avail,
+                                    static_cast<size_t>(e.stream_bytes));
+  return payload.subspan(static_cast<size_t>(e.offset), n);
+}
+
+void scrub_entry(const EntryInfo& e, std::uint32_t shard_index,
+                 const ShardProbe& shard, const ScrubOptions& opts,
+                 ScrubReport& r) {
+  EntryScrub es;
+  es.name = e.name;
+  es.dtype = e.dtype;
+  es.shard_index = shard_index;
+  if (shard.scrub.state == ShardState::kMissing ||
+      shard.scrub.state == ShardState::kUnreadable) {
+    es.report.status = robust::Status::kTruncated;
+    es.report.detail = std::string("shard ") + to_string(shard.scrub.state);
+    r.entries_damaged += 1;
+    r.entries_unrecoverable += 1;
+    r.entries.push_back(std::move(es));
+    return;
+  }
+  const auto payload =
+      shard_payload(shard.file, shard.header_ok, shard.declared_bytes);
+  const auto stream = entry_stream(payload, e);
+  es.readable = !stream.empty();
+  es.report = robust::verify_stream(stream, opts.want_groups);
+  if (es.report.ok()) {
+    es.salvageable = true;
+    r.entries_ok += 1;
+  } else {
+    r.entries_damaged += 1;
+    if (opts.probe_salvage && es.readable) {
+      robust::DecodeOptions dopts;
+      dopts.salvage = true;
+      if (e.dtype == Dtype::kF64) {
+        std::vector<double> out;
+        (void)robust::try_decompress_f64(stream, out, dopts);
+        es.salvageable = !out.empty();
+      } else {
+        std::vector<float> out;
+        (void)robust::try_decompress(stream, out, dopts);
+        es.salvageable = !out.empty();
+      }
+    }
+    if (es.salvageable) {
+      r.entries_salvageable += 1;
+    } else {
+      r.entries_unrecoverable += 1;
+    }
+  }
+  r.entries.push_back(std::move(es));
+}
+
+std::vector<std::string> shard_files_on_disk(robust::Fs& fs,
+                                             const std::string& dir) {
+  std::vector<std::string> out;
+  for (const auto& f : fs.list_dir(layout::shard_dir(dir))) {
+    if (ends_with(f, layout::kShardSuffix)) out.push_back(f);
+  }
+  return out;
+}
+
+/// Codec parameters reconstructed from a stream header, so a salvaged
+/// entry recompresses under the settings it was originally written with.
+core::Params params_from_header(const core::Header& h) {
+  core::Params p;
+  p.mode = core::ErrorMode::kAbs;
+  p.error_bound = h.eb_abs;
+  p.block_len = h.block_len;
+  p.lorenzo = h.lorenzo();
+  p.lorenzo_layers = h.lorenzo2() ? 2u : 1u;
+  p.zero_block_bypass = h.zero_block_bypass();
+  p.bit_shuffle = h.bit_shuffle();
+  p.outlier_mode = h.outlier_mode();
+  p.checksum_group_blocks =
+      h.checksummed() ? h.checksum_group_blocks : core::kChecksumGroupBlocks;
+  return p;
+}
+
+}  // namespace
+
+const char* to_string(ShardState s) {
+  switch (s) {
+    case ShardState::kOk: return "ok";
+    case ShardState::kMissing: return "missing";
+    case ShardState::kUnreadable: return "unreadable";
+    case ShardState::kBadHeader: return "bad-header";
+    case ShardState::kCrcMismatch: return "crc-mismatch";
+  }
+  return "?";
+}
+
+bool ScrubReport::has_damage() const {
+  if (index_present && !index_ok) return true;
+  if (!index_present && !shards.empty()) return true;
+  for (const auto& s : shards) {
+    if (s.state != ShardState::kOk) return true;
+  }
+  return entries_damaged > 0;
+}
+
+bool ScrubReport::has_garbage() const {
+  return journal_present || !orphan_shards.empty() || !temp_files.empty();
+}
+
+std::string ScrubReport::to_string() const {
+  std::ostringstream os;
+  if (!index_present) {
+    os << "index: MISSING\n";
+  } else if (!index_ok) {
+    os << "index: CORRUPT (" << index_detail << ")\n";
+  } else {
+    os << "index: ok, generation " << generation << "\n";
+  }
+  if (journal_present) {
+    os << "journal: present ("
+       << (journal_ok ? "interrupted ingest targeting generation " +
+                            std::to_string(journal_target_generation)
+                      : std::string("corrupt"))
+       << ")\n";
+  }
+  if (rebuilt_from_shards) {
+    os << "inventory rebuilt from shard scan\n";
+  }
+  for (const auto& s : shards) {
+    os << "shard " << s.file_name << ": " << archive::to_string(s.state);
+    if (!s.detail.empty()) os << " (" << s.detail << ")";
+    os << "\n";
+  }
+  for (const auto& e : entries) {
+    os << "entry " << e.name << " [" << archive::to_string(e.dtype) << "]: ";
+    if (e.report.ok()) {
+      os << "ok";
+    } else {
+      os << robust::to_string(e.report.status)
+         << (e.salvageable ? " (salvageable)" : " (unrecoverable)");
+      if (!e.report.detail.empty()) os << " — " << e.report.detail;
+    }
+    os << "\n";
+  }
+  for (const auto& o : orphan_shards) os << "orphan shard: " << o << "\n";
+  for (const auto& t : temp_files) os << "temp file: " << t << "\n";
+  os << "entries: " << entries_ok << " ok, " << entries_damaged
+     << " damaged (" << entries_salvageable << " salvageable, "
+     << entries_unrecoverable << " unrecoverable)\n";
+  return os.str();
+}
+
+ScrubReport scrub(robust::Fs& fs, const std::string& dir,
+                  const ScrubOptions& opts) {
+  ScrubReport r;
+
+  Index idx;
+  r.index_present = fs.exists(layout::index_path(dir));
+  if (r.index_present) {
+    try {
+      idx = Index::deserialize(fs.read_file(layout::index_path(dir)));
+      r.index_ok = true;
+      r.generation = idx.generation;
+    } catch (const std::exception& ex) {
+      r.index_detail = ex.what();
+    }
+  } else {
+    r.index_detail = "no index file";
+  }
+
+  r.journal_present = fs.exists(layout::journal_path(dir));
+  if (r.journal_present) {
+    try {
+      const Journal j =
+          Journal::deserialize(fs.read_file(layout::journal_path(dir)));
+      r.journal_ok = true;
+      r.journal_target_generation = j.target_generation;
+    } catch (const std::exception&) {
+      r.journal_ok = false;
+    }
+  }
+
+  std::vector<ShardProbe> probes;
+  if (r.index_ok) {
+    for (const auto& ref : idx.shards) {
+      probes.push_back(probe_shard(fs, layout::shard_path(dir,
+                                                          ref.file_name()),
+                                   ref.file_name(), &ref));
+    }
+    for (size_t i = 0; i < idx.entries.size(); ++i) {
+      const EntryInfo& e = idx.entries[i];
+      scrub_entry(e, e.shard_index, probes[e.shard_index], opts, r);
+    }
+  } else {
+    // No usable index: inventory from a shard scan; the TOC at the start
+    // of each payload stands in for the entry table.
+    r.rebuilt_from_shards = true;
+    for (const auto& file : shard_files_on_disk(fs, dir)) {
+      auto probe =
+          probe_shard(fs, layout::shard_path(dir, file), file, nullptr);
+      const auto shard_index =
+          checked_cast<std::uint32_t>(probes.size());
+      const auto payload =
+          shard_payload(probe.file, probe.header_ok, probe.declared_bytes);
+      std::vector<EntryInfo> toc;
+      try {
+        toc = parse_shard_toc(payload);
+      } catch (const format_error& ex) {
+        if (probe.scrub.state == ShardState::kOk) {
+          // CRC passed but the TOC is malformed — writer bug, not rot.
+          probe.scrub.state = ShardState::kBadHeader;
+          probe.scrub.detail = ex.what();
+        }
+      }
+      for (const auto& e : toc) scrub_entry(e, shard_index, probe, opts, r);
+      probes.push_back(std::move(probe));
+    }
+  }
+  for (auto& p : probes) r.shards.push_back(std::move(p.scrub));
+
+  // Garbage: unreferenced shard files, leftover temps.
+  std::set<std::string> referenced;
+  for (const auto& s : r.shards) referenced.insert(s.file_name);
+  for (const auto& f : fs.list_dir(layout::shard_dir(dir))) {
+    if (ends_with(f, layout::kTmpSuffix)) {
+      r.temp_files.push_back(layout::shard_dir(dir) + "/" + f);
+    } else if (ends_with(f, layout::kShardSuffix) &&
+               referenced.count(f) == 0) {
+      r.orphan_shards.push_back(f);
+    }
+  }
+  for (const auto& f : fs.list_dir(dir)) {
+    if (ends_with(f, layout::kTmpSuffix)) {
+      r.temp_files.push_back(dir + "/" + f);
+    }
+  }
+  return r;
+}
+
+RepairResult repair(robust::Fs& fs, const std::string& dir,
+                    const RepairOptions& opts) {
+  RepairResult res;
+  ScrubOptions sopts;
+  sopts.probe_salvage = true;
+  res.before = scrub(fs, dir, sopts);
+  const ScrubReport& b = res.before;
+  res.new_generation = b.generation;
+  if (!b.has_damage() && !b.has_garbage()) return res;
+
+  if (b.has_damage()) {
+    // Rebuild: keep intact entries in their healthy shards, re-pack
+    // everything else from verified copies or salvaged re-encodes.
+    std::vector<std::vector<byte_t>> shard_files(b.shards.size());
+    const auto payload_of = [&](std::uint32_t si) -> std::span<const byte_t> {
+      const ShardScrub& s = b.shards[si];
+      if (s.state == ShardState::kMissing ||
+          s.state == ShardState::kUnreadable) {
+        return {};
+      }
+      if (shard_files[si].empty()) {
+        try {
+          shard_files[si] =
+              fs.read_file(layout::shard_path(dir, s.file_name));
+        } catch (const robust::io_error&) {
+          return {};
+        }
+      }
+      bool header_ok = false;
+      std::uint64_t declared = 0;
+      try {
+        const ShardHeader h = parse_shard_header(shard_files[si]);
+        header_ok = true;
+        declared = h.payload_bytes;
+      } catch (const format_error&) {
+      }
+      return shard_payload(shard_files[si], header_ok, declared);
+    };
+
+    struct Kept {
+      EntryInfo info;           // offsets valid in the old shard
+      std::uint32_t old_shard;  // into b.shards
+    };
+    std::vector<Kept> kept;
+    std::vector<PendingStream> repacked;
+    size_t salvaged_count = 0;
+
+    // Re-derive the entry geometry alongside the scrub verdicts: replay
+    // the same inventory walk scrub used (index entries, or shard TOCs),
+    // which yields b.entries' order exactly. Intact entries in healthy
+    // shards of a healthy index stay in place; everything else re-packs
+    // from verified copies or salvaged re-encodes.
+    std::vector<std::pair<EntryInfo, std::uint32_t>> inventory;
+    if (b.index_ok) {
+      const Index idx =
+          Index::deserialize(fs.read_file(layout::index_path(dir)));
+      for (const auto& e : idx.entries) {
+        inventory.emplace_back(e, e.shard_index);
+      }
+    } else {
+      for (std::uint32_t si = 0; si < b.shards.size(); ++si) {
+        const auto payload = payload_of(si);
+        try {
+          for (auto& e : parse_shard_toc(payload)) {
+            inventory.emplace_back(std::move(e), si);
+          }
+        } catch (const format_error&) {
+        }
+      }
+    }
+    if (inventory.size() != b.entries.size()) {
+      // The directory changed between scrub and repair (or a read became
+      // flaky); restart from a fresh scrub would be the caller's move.
+      throw format_error("archive repair: inventory changed under scrub");
+    }
+
+    for (size_t i = 0; i < inventory.size(); ++i) {
+      const EntryInfo& e = inventory[i].first;
+      const std::uint32_t si = inventory[i].second;
+      const EntryScrub& es = b.entries[i];
+      const bool shard_healthy =
+          b.shards[si].state == ShardState::kOk && b.index_ok;
+      if (shard_healthy && es.report.ok()) {
+        kept.push_back(Kept{e, si});
+        res.entries_intact += 1;
+        continue;
+      }
+      const auto payload = payload_of(si);
+      const auto stream = entry_stream(payload, e);
+      if (stream.empty()) {
+        res.entries_lost += 1;
+        res.lost.push_back(e.name);
+        continue;
+      }
+      PendingStream ps;
+      ps.name = e.name;
+      ps.dims = e.dims;
+      ps.dtype = e.dtype;
+      if (es.report.ok()) {
+        // Healthy stream inside an unhealthy (or index-less) shard: copy
+        // the verified bytes as-is.
+        ps.stream.assign(stream.begin(), stream.end());
+      } else {
+        // Salvage: decode what the checksums vouch for, re-encode under
+        // the original parameters. Corrupt blocks stay zero-filled.
+        try {
+          const core::Header h =
+              core::Header::deserialize(stream.first(
+                  std::min<size_t>(stream.size(), core::Header::kSize)));
+          engine::EngineConfig cfg;
+          cfg.params = params_from_header(h);
+          engine::Engine eng(cfg);
+          robust::DecodeOptions dopts;
+          dopts.salvage = true;
+          if (e.dtype == Dtype::kF64) {
+            std::vector<double> out;
+            (void)robust::try_decompress_f64(stream, out, dopts);
+            if (out.empty()) throw format_error("unrecoverable");
+            ps.stream = eng.compress_f64(out).bytes;
+          } else {
+            std::vector<float> out;
+            (void)robust::try_decompress(stream, out, dopts);
+            if (out.empty()) throw format_error("unrecoverable");
+            ps.stream = eng.compress(out).bytes;
+          }
+          salvaged_count += 1;
+        } catch (const std::exception&) {
+          res.entries_lost += 1;
+          res.lost.push_back(e.name);
+          continue;
+        }
+      }
+      repacked.push_back(std::move(ps));
+      res.entries_rebuilt += 1;
+    }
+    res.entries_salvaged = salvaged_count;
+
+    // New index: healthy old shards that still host kept entries, plus
+    // freshly packed shards for everything rebuilt.
+    Index next;
+    next.generation =
+        std::max(b.generation, b.journal_target_generation) + 1;
+    std::vector<std::uint32_t> old_to_new(b.shards.size(),
+                                          static_cast<std::uint32_t>(-1));
+    for (const auto& k : kept) {
+      if (old_to_new[k.old_shard] == static_cast<std::uint32_t>(-1)) {
+        old_to_new[k.old_shard] =
+            checked_cast<std::uint32_t>(next.shards.size());
+        next.shards.push_back(b.shards[k.old_shard].ref);
+      }
+    }
+    for (const auto& k : kept) {
+      EntryInfo e = k.info;
+      e.shard_index = old_to_new[k.old_shard];
+      next.entries.push_back(std::move(e));
+    }
+    auto packed = pack_shards(repacked, opts.shard_budget_bytes);
+    for (auto& shard : packed) {
+      const auto shard_index =
+          checked_cast<std::uint32_t>(next.shards.size());
+      next.shards.push_back(shard.ref);
+      for (auto& e : shard.entries) {
+        e.shard_index = shard_index;
+        next.entries.push_back(e);
+      }
+    }
+
+    publish(fs, dir, next, packed);
+    res.index_rebuilt = !b.index_ok;
+    res.new_generation = next.generation;
+    res.changed = true;
+  }
+
+  // Cleanup (after the publish commit point, so a crash here only leaves
+  // more garbage for the next scrub — never a torn archive).
+  for (const auto& s : b.shards) {
+    if (s.state == ShardState::kBadHeader ||
+        s.state == ShardState::kCrcMismatch) {
+      fs.make_dirs(layout::quarantine_dir(dir));
+      fs.rename(layout::shard_path(dir, s.file_name),
+                layout::quarantine_dir(dir) + "/" + s.file_name);
+      res.shards_quarantined += 1;
+      res.changed = true;
+    }
+  }
+  for (const auto& t : b.temp_files) {
+    fs.remove(t);
+    res.temps_removed += 1;
+    res.changed = true;
+  }
+  if (fs.exists(layout::journal_path(dir))) {
+    fs.remove(layout::journal_path(dir));
+    res.journal_cleared = true;
+    res.changed = true;
+  }
+  // Orphans against the *current* on-disk index (repair may have just
+  // republished), so freshly written shards are never swept.
+  std::set<std::string> referenced;
+  if (fs.exists(layout::index_path(dir))) {
+    const Index now =
+        Index::deserialize(fs.read_file(layout::index_path(dir)));
+    for (const auto& s : now.shards) referenced.insert(s.file_name());
+  }
+  for (const auto& f : shard_files_on_disk(fs, dir)) {
+    if (referenced.count(f) == 0 &&
+        fs.exists(layout::shard_path(dir, f))) {
+      fs.remove(layout::shard_path(dir, f));
+      res.orphans_removed += 1;
+      res.changed = true;
+    }
+  }
+  return res;
+}
+
+}  // namespace szp::archive

@@ -1,0 +1,134 @@
+// Archive v2 scrub-and-repair (docs/RECOVERY.md is the operator runbook).
+//
+// scrub() walks an archive directory read-only and produces a structured
+// damage report: index state, journal state, per-shard verdicts, per-entry
+// decode verdicts, orphaned shard files and leftover temp files.
+//
+// repair() takes scrub's findings and rebuilds the archive to a new
+// committed generation through the same journaled publish as ingest:
+// entries in damaged shards are re-read, verified or salvaged
+// (robust::try_decompress) and re-packed into fresh shards; damaged shard
+// files are moved to <dir>/quarantine/ rather than deleted; orphans, temp
+// files and stale journals are cleared. A destroyed index is rebuilt from
+// the shard TOCs. Crash-safe: the rebuilt index publishes atomically
+// before any cleanup touches the old files.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "szp/archive/shard.hpp"
+#include "szp/robust/io.hpp"
+#include "szp/robust/status.hpp"
+
+namespace szp::archive {
+
+enum class ShardState : std::uint8_t {
+  kOk = 0,        // readable, header parses, payload CRC matches
+  kMissing,       // referenced by the index but no file on disk
+  kUnreadable,    // I/O error reading the file
+  kBadHeader,     // magic/version/size header damage
+  kCrcMismatch,   // payload bytes do not match the content address
+};
+
+[[nodiscard]] const char* to_string(ShardState s);
+
+/// Verdict for one shard file (index-referenced, or discovered by a
+/// directory scan when the index is unusable).
+struct ShardScrub {
+  ShardRef ref;              // as referenced (or as self-declared)
+  std::string file_name;
+  ShardState state = ShardState::kOk;
+  std::string detail;
+};
+
+/// Verdict for one archived entry.
+struct EntryScrub {
+  std::string name;
+  Dtype dtype = Dtype::kF32;
+  std::uint32_t shard_index = 0;   // into ScrubReport::shards
+  bool readable = false;           // stream bytes could be fetched
+  bool salvageable = false;        // decodes fully or partially
+  robust::DecodeReport report;     // verify_stream verdict (or synthetic)
+};
+
+struct ScrubReport {
+  bool index_present = false;
+  bool index_ok = false;
+  std::string index_detail;
+  std::uint64_t generation = 0;      // 0 when the index is unusable
+
+  bool journal_present = false;
+  bool journal_ok = false;           // parses (stale-but-valid counts as ok)
+  std::uint64_t journal_target_generation = 0;
+
+  /// When the index is unusable, shards/entries come from a directory
+  /// scan of <dir>/shards and the shard TOCs instead.
+  bool rebuilt_from_shards = false;
+
+  std::vector<ShardScrub> shards;
+  std::vector<EntryScrub> entries;
+
+  std::vector<std::string> orphan_shards;  // in shards/, not referenced
+  std::vector<std::string> temp_files;     // leftover *.tmp anywhere
+
+  size_t entries_ok = 0;
+  size_t entries_damaged = 0;        // !report.ok()
+  size_t entries_salvageable = 0;    // damaged but recoverable (maybe partial)
+  size_t entries_unrecoverable = 0;  // damaged and nothing to recover
+
+  /// Anything that loses or threatens data: bad index, bad shard, bad
+  /// entry. Garbage (orphans/temps/stale journal) is not damage.
+  [[nodiscard]] bool has_damage() const;
+  /// Cleanup-only findings repair would clear without touching data.
+  [[nodiscard]] bool has_garbage() const;
+  /// Every damaged entry is at least partially recoverable.
+  [[nodiscard]] bool fully_salvageable() const {
+    return entries_unrecoverable == 0;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct ScrubOptions {
+  /// Probe damaged entries with try_decompress to classify salvageability
+  /// (costs a decode per damaged entry).
+  bool probe_salvage = true;
+  /// Per-checksum-group verdicts in each entry report.
+  bool want_groups = false;
+};
+
+[[nodiscard]] ScrubReport scrub(robust::Fs& fs, const std::string& dir,
+                                const ScrubOptions& opts = {});
+
+struct RepairOptions {
+  /// Shard payload budget for re-packed entries.
+  size_t shard_budget_bytes = 4u << 20;
+};
+
+struct RepairResult {
+  ScrubReport before;
+  bool changed = false;              // anything was rewritten/cleaned
+  std::uint64_t new_generation = 0;  // == before.generation when !changed
+
+  size_t entries_intact = 0;    // kept in place (healthy shard)
+  size_t entries_rebuilt = 0;   // re-packed (verified copy or salvage)
+  size_t entries_salvaged = 0;  // of rebuilt: lossy (zero-filled blocks)
+  size_t entries_lost = 0;
+  std::vector<std::string> lost;  // names of unrecoverable entries
+
+  size_t shards_quarantined = 0;
+  size_t orphans_removed = 0;
+  size_t temps_removed = 0;
+  bool journal_cleared = false;
+  bool index_rebuilt = false;   // index was missing/corrupt and rebuilt
+};
+
+/// Repair `dir` in place. Returns what happened; throws robust::io_error
+/// only on real I/O failure (damage is handled, not thrown). A no-op on a
+/// clean archive.
+RepairResult repair(robust::Fs& fs, const std::string& dir,
+                    const RepairOptions& opts = {});
+
+}  // namespace szp::archive

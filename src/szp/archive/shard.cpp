@@ -1,0 +1,288 @@
+#include "szp/archive/shard.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "szp/archive/layout.hpp"
+#include "szp/util/bytestream.hpp"
+#include "szp/util/crc32c.hpp"
+
+namespace szp::archive {
+
+namespace {
+
+/// Serialized size of one entry record (TOC and index use the same
+/// encoding; the index appends a shard_index u32).
+size_t entry_record_bytes(const EntryInfo& e) {
+  return 2 + e.name.size() + 1 + 1 + 8 * e.dims.ndim() + 8 + 8;
+}
+
+void put_entry(ByteWriter& w, const EntryInfo& e) {
+  w.put(checked_cast<std::uint16_t>(e.name.size()));
+  w.put_bytes(std::span<const byte_t>(
+      reinterpret_cast<const byte_t*>(e.name.data()), e.name.size()));
+  w.put(static_cast<std::uint8_t>(e.dtype));
+  w.put(checked_cast<std::uint8_t>(e.dims.ndim()));
+  for (const size_t d : e.dims.extents) w.put(static_cast<std::uint64_t>(d));
+  w.put(e.offset);
+  w.put(e.stream_bytes);
+}
+
+EntryInfo get_entry(ByteReader& r) {
+  EntryInfo e;
+  const auto name_len = r.get<std::uint16_t>();
+  const auto name_bytes = r.get_bytes(name_len);
+  e.name.assign(reinterpret_cast<const char*>(name_bytes.data()), name_len);
+  const auto dtype = r.get<std::uint8_t>();
+  if (dtype > static_cast<std::uint8_t>(Dtype::kF64)) {
+    throw format_error("archive: unknown entry dtype");
+  }
+  e.dtype = static_cast<Dtype>(dtype);
+  const auto ndim = r.get<std::uint8_t>();
+  for (unsigned d = 0; d < ndim; ++d) {
+    e.dims.extents.push_back(static_cast<size_t>(r.get<std::uint64_t>()));
+  }
+  e.offset = r.get<std::uint64_t>();
+  e.stream_bytes = r.get<std::uint64_t>();
+  return e;
+}
+
+void check_trailing_crc(std::span<const byte_t> bytes, const char* what) {
+  if (bytes.size() < layout::kIndexCrcBytes) {
+    throw format_error(std::string(what) + ": truncated");
+  }
+  std::uint32_t stored = 0;
+  std::memcpy(&stored, bytes.data() + bytes.size() - 4, 4);
+  if (stored != crc32c(bytes.first(bytes.size() - 4))) {
+    throw format_error(std::string(what) + ": checksum mismatch");
+  }
+}
+
+}  // namespace
+
+const char* to_string(Dtype t) { return t == Dtype::kF64 ? "f64" : "f32"; }
+
+std::string ShardRef::file_name() const {
+  return layout::shard_file_name(payload_crc, payload_bytes);
+}
+
+// -------------------------------------------------------------- index ----
+
+std::vector<byte_t> Index::serialize() const {
+  ByteWriter w;
+  w.put(layout::kIndexMagic);
+  w.put(layout::kVersion);
+  w.put(std::uint16_t{0});
+  w.put(generation);
+  w.put(checked_cast<std::uint32_t>(shards.size()));
+  w.put(checked_cast<std::uint32_t>(entries.size()));
+  for (const auto& s : shards) {
+    w.put(s.payload_crc);
+    w.put(s.payload_bytes);
+  }
+  for (const auto& e : entries) {
+    put_entry(w, e);
+    w.put(e.shard_index);
+  }
+  const std::uint32_t crc = crc32c(w.bytes());
+  w.put(crc);
+  return std::move(w).take();
+}
+
+Index Index::deserialize(std::span<const byte_t> bytes) {
+  check_trailing_crc(bytes, "archive index");
+  ByteReader r(bytes.first(bytes.size() - 4));
+  if (r.get<std::uint32_t>() != layout::kIndexMagic) {
+    throw format_error("archive index: bad magic");
+  }
+  if (r.get<std::uint16_t>() != layout::kVersion) {
+    throw format_error("archive index: unsupported version");
+  }
+  (void)r.get<std::uint16_t>();
+  Index idx;
+  idx.generation = r.get<std::uint64_t>();
+  const auto shard_count = r.get<std::uint32_t>();
+  const auto entry_count = r.get<std::uint32_t>();
+  for (std::uint32_t i = 0; i < shard_count; ++i) {
+    ShardRef s;
+    s.payload_crc = r.get<std::uint32_t>();
+    s.payload_bytes = r.get<std::uint64_t>();
+    idx.shards.push_back(s);
+  }
+  for (std::uint32_t i = 0; i < entry_count; ++i) {
+    EntryInfo e = get_entry(r);
+    e.shard_index = r.get<std::uint32_t>();
+    if (e.shard_index >= idx.shards.size()) {
+      throw format_error("archive index: entry references missing shard");
+    }
+    const auto& s = idx.shards[e.shard_index];
+    if (e.offset > s.payload_bytes ||
+        e.stream_bytes > s.payload_bytes - e.offset) {
+      throw format_error("archive index: entry extends past its shard");
+    }
+    idx.entries.push_back(std::move(e));
+  }
+  if (r.remaining() != 0) {
+    throw format_error("archive index: trailing bytes");
+  }
+  for (size_t i = 0; i < idx.entries.size(); ++i) {
+    for (size_t j = i + 1; j < idx.entries.size(); ++j) {
+      if (idx.entries[i].name == idx.entries[j].name) {
+        throw format_error("archive index: duplicate entry name '" +
+                           idx.entries[i].name + "'");
+      }
+    }
+  }
+  return idx;
+}
+
+size_t Index::find(const std::string& name) const {
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].name == name) return i;
+  }
+  return static_cast<size_t>(-1);
+}
+
+// ------------------------------------------------------------ journal ----
+
+std::vector<byte_t> Journal::serialize() const {
+  ByteWriter w;
+  w.put(layout::kJournalMagic);
+  w.put(layout::kVersion);
+  w.put(std::uint16_t{0});
+  w.put(target_generation);
+  w.put(checked_cast<std::uint32_t>(pending.size()));
+  for (const auto& s : pending) {
+    w.put(s.payload_crc);
+    w.put(s.payload_bytes);
+  }
+  const std::uint32_t crc = crc32c(w.bytes());
+  w.put(crc);
+  return std::move(w).take();
+}
+
+Journal Journal::deserialize(std::span<const byte_t> bytes) {
+  check_trailing_crc(bytes, "archive journal");
+  ByteReader r(bytes.first(bytes.size() - 4));
+  if (r.get<std::uint32_t>() != layout::kJournalMagic) {
+    throw format_error("archive journal: bad magic");
+  }
+  if (r.get<std::uint16_t>() != layout::kVersion) {
+    throw format_error("archive journal: unsupported version");
+  }
+  (void)r.get<std::uint16_t>();
+  Journal j;
+  j.target_generation = r.get<std::uint64_t>();
+  const auto count = r.get<std::uint32_t>();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ShardRef s;
+    s.payload_crc = r.get<std::uint32_t>();
+    s.payload_bytes = r.get<std::uint64_t>();
+    j.pending.push_back(s);
+  }
+  if (r.remaining() != 0) {
+    throw format_error("archive journal: trailing bytes");
+  }
+  return j;
+}
+
+// ------------------------------------------------------------- shards ----
+
+std::vector<PackedShard> pack_shards(std::span<const PendingStream> streams,
+                                     size_t budget_bytes) {
+  std::vector<PackedShard> shards;
+  size_t begin = 0;
+  while (begin < streams.size()) {
+    // Greedy fill: take streams until the payload budget is reached (a
+    // single oversized stream still ships, alone).
+    size_t end = begin;
+    size_t stream_bytes = 0;
+    while (end < streams.size()) {
+      const size_t next = streams[end].stream.size();
+      if (end > begin && budget_bytes > 0 &&
+          stream_bytes + next > budget_bytes) {
+        break;
+      }
+      stream_bytes += next;
+      ++end;
+      if (budget_bytes == 0) break;  // one stream per shard
+    }
+
+    PackedShard shard;
+    // TOC size first, so entry offsets (payload-relative, past the TOC)
+    // are known before serializing it.
+    size_t toc_bytes = 4;
+    for (size_t i = begin; i < end; ++i) {
+      EntryInfo e;
+      e.name = streams[i].name;
+      e.dims = streams[i].dims;
+      e.dtype = streams[i].dtype;
+      e.stream_bytes = streams[i].stream.size();
+      toc_bytes += entry_record_bytes(e);
+      shard.entries.push_back(std::move(e));
+    }
+    size_t off = toc_bytes;
+    for (auto& e : shard.entries) {
+      e.offset = off;
+      off += e.stream_bytes;
+    }
+
+    ByteWriter payload;
+    payload.put(checked_cast<std::uint32_t>(shard.entries.size()));
+    for (const auto& e : shard.entries) put_entry(payload, e);
+    if (payload.size() != toc_bytes) {
+      throw format_error("archive: shard TOC layout bug");
+    }
+    for (size_t i = begin; i < end; ++i) payload.put_bytes(streams[i].stream);
+
+    shard.ref.payload_bytes = payload.size();
+    shard.ref.payload_crc = crc32c(payload.bytes());
+
+    ByteWriter file;
+    file.put(layout::kShardMagic);
+    file.put(layout::kVersion);
+    file.put(std::uint16_t{0});
+    file.put(shard.ref.payload_bytes);
+    file.put(shard.ref.payload_crc);
+    file.put_bytes(payload.bytes());
+    shard.file_bytes = std::move(file).take();
+    shards.push_back(std::move(shard));
+    begin = end;
+  }
+  return shards;
+}
+
+ShardHeader parse_shard_header(std::span<const byte_t> file) {
+  ByteReader r(file);
+  if (r.get<std::uint32_t>() != layout::kShardMagic) {
+    throw format_error("archive shard: bad magic");
+  }
+  if (r.get<std::uint16_t>() != layout::kVersion) {
+    throw format_error("archive shard: unsupported version");
+  }
+  (void)r.get<std::uint16_t>();
+  ShardHeader h;
+  h.payload_bytes = r.get<std::uint64_t>();
+  h.payload_crc = r.get<std::uint32_t>();
+  if (file.size() - layout::kShardHeaderBytes < h.payload_bytes) {
+    throw format_error("archive shard: truncated payload");
+  }
+  return h;
+}
+
+std::vector<EntryInfo> parse_shard_toc(std::span<const byte_t> payload) {
+  ByteReader r(payload);
+  const auto count = r.get<std::uint32_t>();
+  std::vector<EntryInfo> entries;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    EntryInfo e = get_entry(r);
+    if (e.offset > payload.size() ||
+        e.stream_bytes > payload.size() - e.offset) {
+      throw format_error("archive shard: TOC entry extends past payload");
+    }
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+}  // namespace szp::archive

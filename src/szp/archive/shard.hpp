@@ -1,0 +1,129 @@
+// Archive v2 building blocks: the index, journal, and shard file codecs
+// plus fixed-budget shard packing. Byte layouts are specified in
+// docs/FORMAT.md ("Sharded archive"); magic numbers and fixed offsets
+// live in layout.hpp so the fault injector can target them.
+//
+// Every on-disk structure is self-checking:
+//   * the index and journal end in a CRC32C over everything before it;
+//   * a shard's header records the payload CRC32C, which doubles as its
+//     content address (the file is named after it);
+//   * each shard payload starts with a TOC replicating the entry metadata
+//     of that shard, so a destroyed index can be rebuilt by scanning
+//     shards (scrub/repair's last-resort path).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "szp/data/field.hpp"
+#include "szp/util/common.hpp"
+
+namespace szp::archive {
+
+/// Element type of an archived field (the archive stores both f32 and
+/// f64 cuSZp streams; the index remembers which so byte accounting and
+/// extraction don't have to peek at stream headers).
+enum class Dtype : std::uint8_t { kF32 = 0, kF64 = 1 };
+
+[[nodiscard]] inline size_t elem_bytes(Dtype t) {
+  return t == Dtype::kF64 ? 8 : 4;
+}
+[[nodiscard]] const char* to_string(Dtype t);
+
+/// Reference to one content-addressed shard file.
+struct ShardRef {
+  std::uint32_t payload_crc = 0;     // CRC32C of the payload = address
+  std::uint64_t payload_bytes = 0;
+
+  [[nodiscard]] std::string file_name() const;
+  friend bool operator==(const ShardRef&, const ShardRef&) = default;
+};
+
+/// One archived field, as recorded by the index (and, minus shard_index,
+/// by its shard's TOC).
+struct EntryInfo {
+  std::string name;
+  data::Dims dims;
+  Dtype dtype = Dtype::kF32;
+  std::uint32_t shard_index = 0;   // into Index::shards
+  std::uint64_t offset = 0;        // within the shard payload
+  std::uint64_t stream_bytes = 0;
+
+  [[nodiscard]] size_t element_bytes() const { return elem_bytes(dtype); }
+
+  /// Raw-bytes / compressed-bytes; element size follows the dtype (the
+  /// v1 container hardcoded 4 and misreported f64 fields by 2x).
+  [[nodiscard]] double compression_ratio() const {
+    return stream_bytes > 0
+               ? static_cast<double>(dims.count() * element_bytes()) /
+                     static_cast<double>(stream_bytes)
+               : 0;
+  }
+};
+
+/// The persistent index: generation number, shard table, entry table.
+struct Index {
+  std::uint64_t generation = 0;
+  std::vector<ShardRef> shards;
+  std::vector<EntryInfo> entries;
+
+  [[nodiscard]] std::vector<byte_t> serialize() const;
+  /// Parses and validates (magic, version, trailing CRC, shard/entry
+  /// cross-references); throws format_error on any defect.
+  [[nodiscard]] static Index deserialize(std::span<const byte_t> bytes);
+
+  [[nodiscard]] size_t find(const std::string& name) const;  // npos if absent
+};
+
+/// Intent record written before an ingest touches shards: the target
+/// generation plus every shard file the ingest is about to publish. A
+/// journal left behind identifies an interrupted ingest and exactly which
+/// shard files may be partial garbage.
+struct Journal {
+  std::uint64_t target_generation = 0;
+  std::vector<ShardRef> pending;
+
+  [[nodiscard]] std::vector<byte_t> serialize() const;
+  [[nodiscard]] static Journal deserialize(std::span<const byte_t> bytes);
+};
+
+/// A compressed stream queued for packing.
+struct PendingStream {
+  std::string name;
+  data::Dims dims;
+  Dtype dtype = Dtype::kF32;
+  std::vector<byte_t> stream;
+};
+
+/// A fully laid-out shard file ready to publish: header + TOC + streams.
+struct PackedShard {
+  ShardRef ref;
+  std::vector<byte_t> file_bytes;      // header included
+  std::vector<EntryInfo> entries;      // shard_index left 0; offsets final
+};
+
+/// Pack streams into shards of roughly `budget_bytes` payload each
+/// (greedy, in order; one stream never splits, so a stream larger than
+/// the budget gets a shard of its own). budget_bytes == 0 means one
+/// shard per stream.
+[[nodiscard]] std::vector<PackedShard> pack_shards(
+    std::span<const PendingStream> streams, size_t budget_bytes);
+
+/// Parsed shard file header.
+struct ShardHeader {
+  std::uint64_t payload_bytes = 0;
+  std::uint32_t payload_crc = 0;
+};
+
+/// Parses a shard header; throws format_error on bad magic/version or a
+/// file too short for its declared payload.
+[[nodiscard]] ShardHeader parse_shard_header(std::span<const byte_t> file);
+
+/// Parses the TOC at the start of a shard payload; throws format_error.
+/// Returned entries have shard_index == 0.
+[[nodiscard]] std::vector<EntryInfo> parse_shard_toc(
+    std::span<const byte_t> payload);
+
+}  // namespace szp::archive

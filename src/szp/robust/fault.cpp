@@ -2,24 +2,41 @@
 
 #include <algorithm>
 
+#include "szp/archive/layout.hpp"
 #include "szp/core/format.hpp"
 
 namespace szp::robust {
 
 std::string FaultInjector::Mutation::describe() const {
+  const std::string at = path.empty() ? std::string() : " [" + path + "]";
   switch (kind) {
     case Kind::kBitFlip:
       return "bit-flip @" + std::to_string(offset) + " bit " +
-             std::to_string(bit);
+             std::to_string(bit) + at;
     case Kind::kByteSet:
       return "byte-set @" + std::to_string(offset) + " = " +
-             std::to_string(bit);
+             std::to_string(bit) + at;
     case Kind::kTruncate:
       return "truncate " + std::to_string(offset) + " -> " +
-             std::to_string(new_size);
+             std::to_string(new_size) + at;
     case Kind::kLengthTamper:
       return "length-tamper @" + std::to_string(offset) + " = " +
-             std::to_string(bit);
+             std::to_string(bit) + at;
+    case Kind::kIndexHeaderTamper:
+      return "index-header-tamper @" + std::to_string(offset) + " = " +
+             std::to_string(bit) + at;
+    case Kind::kIndexEntryTamper:
+      return "index-entry-tamper @" + std::to_string(offset) + " = " +
+             std::to_string(bit) + at;
+    case Kind::kShardCorrupt:
+      return "shard-corrupt @" + std::to_string(offset) + " = " +
+             std::to_string(bit) + at;
+    case Kind::kShardDrop:
+      return "shard-drop" + at;
+    case Kind::kShardSwap:
+      return "shard-swap" + at + " <-> [" + other + "]";
+    case Kind::kNoop:
+      return "noop" + at;
   }
   return "?";
 }
@@ -90,6 +107,150 @@ FaultInjector::Mutation FaultInjector::corrupt_buffer(std::span<byte_t> buf) {
   m.bit = static_cast<std::uint8_t>(rng_.next_below(8));
   buf[m.offset] = static_cast<byte_t>(buf[m.offset] ^ (1u << m.bit));
   return m;
+}
+
+std::vector<FaultInjector::Mutation> FaultInjector::burst(
+    std::vector<byte_t>& stream, size_t count) {
+  std::vector<Mutation> applied;
+  applied.reserve(count);
+  for (size_t i = 0; i < count; ++i) applied.push_back(mutate(stream));
+  return applied;
+}
+
+// ------------------------------------------------- archive mutations ----
+
+namespace layout = szp::archive::layout;
+
+std::vector<std::string> FaultInjector::shard_files(Fs& fs,
+                                                    const std::string& dir) {
+  std::vector<std::string> out;
+  for (const auto& f : fs.list_dir(layout::shard_dir(dir))) {
+    if (f.size() >= 5 && f.compare(f.size() - 5, 5, layout::kShardSuffix) == 0) {
+      out.push_back(layout::shard_path(dir, f));
+    }
+  }
+  return out;
+}
+
+FaultInjector::Mutation FaultInjector::corrupt_file_range(
+    Fs& fs, const std::string& path, Kind kind, size_t lo, size_t hi) {
+  Mutation m;
+  m.kind = kind;
+  m.path = path;
+  if (!fs.exists(path)) {
+    m.kind = Kind::kNoop;
+    return m;
+  }
+  auto bytes = fs.read_file(path);
+  hi = std::min(hi, bytes.size());
+  if (lo >= hi) {
+    m.kind = Kind::kNoop;
+    return m;
+  }
+  m.offset = lo + static_cast<size_t>(rng_.next_below(hi - lo));
+  const auto delta = static_cast<byte_t>(1 + rng_.next_below(255));
+  bytes[m.offset] = static_cast<byte_t>(bytes[m.offset] ^ delta);
+  m.bit = bytes[m.offset];
+  m.new_size = bytes.size();
+  fs.write_file(path, bytes);
+  return m;
+}
+
+FaultInjector::Mutation FaultInjector::tamper_index_header(
+    Fs& fs, const std::string& dir) {
+  return corrupt_file_range(fs, layout::index_path(dir),
+                            Kind::kIndexHeaderTamper, 0,
+                            layout::kIndexHeaderBytes);
+}
+
+FaultInjector::Mutation FaultInjector::tamper_index_entry(
+    Fs& fs, const std::string& dir) {
+  const std::string path = layout::index_path(dir);
+  size_t hi = 0;
+  if (fs.exists(path)) {
+    const auto size = static_cast<size_t>(fs.file_size(path));
+    hi = size > layout::kIndexCrcBytes ? size - layout::kIndexCrcBytes : 0;
+  }
+  // Attack the shard/entry tables; the trailing CRC stays intact so the
+  // mismatch is guaranteed to be detectable.
+  return corrupt_file_range(fs, path, Kind::kIndexEntryTamper,
+                            layout::kIndexHeaderBytes, hi);
+}
+
+FaultInjector::Mutation FaultInjector::corrupt_shard_payload(
+    Fs& fs, const std::string& dir) {
+  const auto shards = shard_files(fs, dir);
+  if (shards.empty()) {
+    Mutation m;
+    m.kind = Kind::kNoop;
+    m.path = layout::shard_dir(dir);
+    return m;
+  }
+  const auto& path =
+      shards[static_cast<size_t>(rng_.next_below(shards.size()))];
+  return corrupt_file_range(fs, path, Kind::kShardCorrupt,
+                            layout::kShardHeaderBytes,
+                            static_cast<size_t>(-1));
+}
+
+FaultInjector::Mutation FaultInjector::drop_shard(Fs& fs,
+                                                  const std::string& dir) {
+  Mutation m;
+  const auto shards = shard_files(fs, dir);
+  if (shards.empty()) {
+    m.kind = Kind::kNoop;
+    m.path = layout::shard_dir(dir);
+    return m;
+  }
+  m.kind = Kind::kShardDrop;
+  m.path = shards[static_cast<size_t>(rng_.next_below(shards.size()))];
+  fs.remove(m.path);
+  return m;
+}
+
+FaultInjector::Mutation FaultInjector::swap_shards(Fs& fs,
+                                                   const std::string& dir) {
+  Mutation m;
+  const auto shards = shard_files(fs, dir);
+  if (shards.size() < 2) {
+    m.kind = Kind::kNoop;
+    m.path = layout::shard_dir(dir);
+    return m;
+  }
+  const size_t a = static_cast<size_t>(rng_.next_below(shards.size()));
+  size_t b = static_cast<size_t>(rng_.next_below(shards.size() - 1));
+  if (b >= a) ++b;
+  m.kind = Kind::kShardSwap;
+  m.path = shards[a];
+  m.other = shards[b];
+  // Swap contents, keep names: both files end up lying about their
+  // content address.
+  const auto bytes_a = fs.read_file(m.path);
+  const auto bytes_b = fs.read_file(m.other);
+  fs.write_file(m.path, bytes_b);
+  fs.write_file(m.other, bytes_a);
+  return m;
+}
+
+FaultInjector::Mutation FaultInjector::mutate_archive(Fs& fs,
+                                                      const std::string& dir) {
+  switch (rng_.next_below(5)) {
+    case 0: return tamper_index_header(fs, dir);
+    case 1: return tamper_index_entry(fs, dir);
+    case 2: return corrupt_shard_payload(fs, dir);
+    case 3: return drop_shard(fs, dir);
+    default: return swap_shards(fs, dir);
+  }
+}
+
+std::vector<FaultInjector::Mutation> FaultInjector::burst_archive(
+    Fs& fs, const std::string& dir, size_t count) {
+  std::vector<Mutation> applied;
+  applied.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    applied.push_back(mutate_archive(fs, dir));
+  }
+  return applied;
 }
 
 }  // namespace szp::robust

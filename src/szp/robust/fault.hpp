@@ -1,9 +1,12 @@
 // Deterministic fault injection for the fuzz harness.
 //
 // Every mutation is drawn from a seeded Rng, so a failing case replays
-// from its seed alone. Mutations model storage/transport faults (bit
-// flips, byte smashes, truncation) plus one format-aware attack (length
-// byte tampering, which desynchronizes the payload prefix sum).
+// from its seed alone (Mutation::describe() prints the exact damage).
+// Stream mutations model storage/transport faults (bit flips, byte
+// smashes, truncation) plus one format-aware attack (length byte
+// tampering, which desynchronizes the payload prefix sum). Archive
+// mutations attack the v2 on-disk layout through a robust::Fs: index
+// header/entry tampering, shard payload rot, shard file drop and swap.
 #pragma once
 
 #include <cstdint>
@@ -11,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "szp/robust/io.hpp"
 #include "szp/util/common.hpp"
 #include "szp/util/rng.hpp"
 
@@ -19,10 +23,17 @@ namespace szp::robust {
 class FaultInjector {
  public:
   enum class Kind : std::uint8_t {
-    kBitFlip = 0,   // flip one random bit
-    kByteSet,       // overwrite one byte with a random value
-    kTruncate,      // drop a random-length tail
-    kLengthTamper,  // rewrite one per-block length byte
+    kBitFlip = 0,       // flip one random bit
+    kByteSet,           // overwrite one byte with a random value
+    kTruncate,          // drop a random-length tail
+    kLengthTamper,      // rewrite one per-block length byte
+    // Archive-aware kinds (operate on an archive directory via Fs):
+    kIndexHeaderTamper,  // corrupt the index file's fixed prefix
+    kIndexEntryTamper,   // corrupt the index shard/entry tables
+    kShardCorrupt,       // corrupt one byte of a shard file's payload
+    kShardDrop,          // delete one shard file
+    kShardSwap,          // exchange the contents of two shard files
+    kNoop,               // target absent (e.g. no shards to attack)
   };
 
   /// Record of one applied mutation, for failure reports.
@@ -31,6 +42,8 @@ class FaultInjector {
     size_t offset = 0;     // byte offset (old size for truncation)
     std::uint8_t bit = 0;  // bit index (kBitFlip) or new value (others)
     size_t new_size = 0;   // post-mutation size (kTruncate)
+    std::string path;      // attacked file (archive mutations)
+    std::string other;     // second file (kShardSwap)
 
     [[nodiscard]] std::string describe() const;
   };
@@ -44,6 +57,10 @@ class FaultInjector {
   /// back to a byte smash.
   Mutation mutate(std::vector<byte_t>& stream);
 
+  /// Burst mode: `count` independent random mutations against one stream
+  /// (models a dirty channel rather than a single event).
+  std::vector<Mutation> burst(std::vector<byte_t>& stream, size_t count);
+
   Mutation flip_bit(std::vector<byte_t>& stream);
   Mutation set_byte(std::vector<byte_t>& stream);
   Mutation truncate(std::vector<byte_t>& stream);
@@ -53,7 +70,29 @@ class FaultInjector {
   /// post-kernel hook to corrupt device-resident streams mid-pipeline).
   Mutation corrupt_buffer(std::span<byte_t> buf);
 
+  /// Apply one random archive-aware mutation to archive directory `dir`
+  /// (layout.hpp's v2 layout). Returns kNoop when the chosen target does
+  /// not exist (e.g. dropping a shard from an empty archive).
+  Mutation mutate_archive(Fs& fs, const std::string& dir);
+
+  /// Burst mode over an archive directory.
+  std::vector<Mutation> burst_archive(Fs& fs, const std::string& dir,
+                                      size_t count);
+
+  Mutation tamper_index_header(Fs& fs, const std::string& dir);
+  Mutation tamper_index_entry(Fs& fs, const std::string& dir);
+  Mutation corrupt_shard_payload(Fs& fs, const std::string& dir);
+  Mutation drop_shard(Fs& fs, const std::string& dir);
+  Mutation swap_shards(Fs& fs, const std::string& dir);
+
  private:
+  /// XOR one random byte of `path` within [lo, min(hi, size)) with a
+  /// non-zero delta; kNoop when the window is empty or the file absent.
+  Mutation corrupt_file_range(Fs& fs, const std::string& path, Kind kind,
+                              size_t lo, size_t hi);
+  [[nodiscard]] std::vector<std::string> shard_files(Fs& fs,
+                                                     const std::string& dir);
+
   Rng rng_;
 };
 

@@ -1,0 +1,284 @@
+#include "szp/robust/io.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#ifdef __unix__
+#include <unistd.h>
+#endif
+
+namespace szp::robust {
+
+namespace fs = std::filesystem;
+
+const char* to_string(IoOp op) {
+  switch (op) {
+    case IoOp::kRead: return "read";
+    case IoOp::kWrite: return "write";
+    case IoOp::kRename: return "rename";
+    case IoOp::kRemove: return "remove";
+    case IoOp::kList: return "list";
+    case IoOp::kMakeDirs: return "mkdir";
+    case IoOp::kSync: return "sync";
+    case IoOp::kStat: return "stat";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string format_io_error(IoOp op, const std::string& path, int err,
+                            const std::string& detail) {
+  std::string msg = std::string(to_string(op)) + " " + path + ": " + detail;
+  if (err != 0) {
+    msg += " (errno ";
+    msg += std::to_string(err);
+    msg += ": ";
+    msg += std::strerror(err);
+    msg += ")";
+  }
+  return msg;
+}
+
+}  // namespace
+
+io_error::io_error(IoOp op, std::string path, int err,
+                   const std::string& detail)
+    : std::runtime_error(format_io_error(op, path, err, detail)),
+      op_(op),
+      path_(std::move(path)),
+      err_(err) {}
+
+// ------------------------------------------------------------ RealFs ----
+
+std::vector<byte_t> RealFs::read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw io_error(IoOp::kRead, path, errno, "cannot open");
+  }
+  std::vector<byte_t> data;
+  byte_t buf[1 << 16];
+  size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    data.insert(data.end(), buf, buf + got);
+  }
+  const bool bad = std::ferror(f) != 0;
+  const int err = errno;
+  std::fclose(f);
+  if (bad) throw io_error(IoOp::kRead, path, err, "read failed");
+  return data;
+}
+
+std::vector<byte_t> RealFs::read_range(const std::string& path,
+                                       std::uint64_t offset, size_t n) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw io_error(IoOp::kRead, path, errno, "cannot open");
+  }
+  std::vector<byte_t> data;
+  if (std::fseek(f, static_cast<long>(offset), SEEK_SET) != 0) {
+    const int err = errno;
+    std::fclose(f);
+    throw io_error(IoOp::kRead, path, err, "seek failed");
+  }
+  data.resize(n);
+  const size_t got = std::fread(data.data(), 1, n, f);
+  const bool bad = std::ferror(f) != 0;
+  const int err = errno;
+  std::fclose(f);
+  if (bad) throw io_error(IoOp::kRead, path, err, "read failed");
+  data.resize(got);  // short read past EOF: return what exists
+  return data;
+}
+
+void RealFs::write_file(const std::string& path,
+                        std::span<const byte_t> data) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    throw io_error(IoOp::kWrite, path, errno, "cannot open for writing");
+  }
+  const size_t put = data.empty() ? 0 : std::fwrite(data.data(), 1,
+                                                    data.size(), f);
+  const int err = errno;
+  if (std::fclose(f) != 0 || put != data.size()) {
+    throw io_error(IoOp::kWrite, path, err, "short write");
+  }
+}
+
+void RealFs::rename(const std::string& from, const std::string& to) {
+  if (std::rename(from.c_str(), to.c_str()) != 0) {
+    throw io_error(IoOp::kRename, from, errno, "cannot rename to " + to);
+  }
+}
+
+void RealFs::remove(const std::string& path) {
+  if (std::remove(path.c_str()) != 0) {
+    throw io_error(IoOp::kRemove, path, errno, "cannot remove");
+  }
+}
+
+bool RealFs::exists(const std::string& path) {
+  std::error_code ec;
+  return fs::exists(fs::path(path), ec);
+}
+
+std::vector<std::string> RealFs::list_dir(const std::string& dir) {
+  std::vector<std::string> names;
+  std::error_code ec;
+  fs::directory_iterator it(fs::path(dir), ec);
+  if (ec) return names;  // missing directory reads as empty
+  for (const auto& e : it) {
+    if (e.is_regular_file(ec)) names.push_back(e.path().filename().string());
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+void RealFs::make_dirs(const std::string& path) {
+  std::error_code ec;
+  fs::create_directories(fs::path(path), ec);
+  if (ec) {
+    throw io_error(IoOp::kMakeDirs, path, ec.value(),
+                   "cannot create directories");
+  }
+}
+
+std::uint64_t RealFs::file_size(const std::string& path) {
+  std::error_code ec;
+  const auto size = fs::file_size(fs::path(path), ec);
+  if (ec) throw io_error(IoOp::kStat, path, ec.value(), "cannot stat");
+  return static_cast<std::uint64_t>(size);
+}
+
+void RealFs::sync_file(const std::string& path) {
+#ifdef __unix__
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw io_error(IoOp::kSync, path, errno, "cannot open for fsync");
+  }
+  const int rc = ::fsync(fileno(f));
+  const int err = errno;
+  std::fclose(f);
+  if (rc != 0) throw io_error(IoOp::kSync, path, err, "fsync failed");
+#else
+  (void)path;
+#endif
+}
+
+// ------------------------------------------------------------- MemFs ----
+
+namespace {
+
+/// Parent directory of `path` ("" when none).
+std::string parent_of(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+}  // namespace
+
+std::vector<byte_t> MemFs::read_file(const std::string& path) {
+  const auto it = files_.find(path);
+  if (it == files_.end()) {
+    throw io_error(IoOp::kRead, path, 0, "no such file");
+  }
+  return it->second;
+}
+
+std::vector<byte_t> MemFs::read_range(const std::string& path,
+                                      std::uint64_t offset, size_t n) {
+  const auto it = files_.find(path);
+  if (it == files_.end()) {
+    throw io_error(IoOp::kRead, path, 0, "no such file");
+  }
+  const auto& data = it->second;
+  if (offset >= data.size()) return {};
+  const size_t avail = data.size() - static_cast<size_t>(offset);
+  const size_t take = std::min(n, avail);
+  return std::vector<byte_t>(data.begin() + static_cast<ptrdiff_t>(offset),
+                             data.begin() + static_cast<ptrdiff_t>(offset) +
+                                 static_cast<ptrdiff_t>(take));
+}
+
+void MemFs::write_file(const std::string& path,
+                       std::span<const byte_t> data) {
+  const std::string parent = parent_of(path);
+  if (!parent.empty() && dirs_.find(parent) == dirs_.end()) {
+    throw io_error(IoOp::kWrite, path, 0, "parent directory does not exist");
+  }
+  files_[path].assign(data.begin(), data.end());
+}
+
+void MemFs::rename(const std::string& from, const std::string& to) {
+  const auto it = files_.find(from);
+  if (it == files_.end()) {
+    throw io_error(IoOp::kRename, from, 0, "no such file");
+  }
+  const std::string parent = parent_of(to);
+  if (!parent.empty() && dirs_.find(parent) == dirs_.end()) {
+    throw io_error(IoOp::kRename, from, 0,
+                   "target directory for " + to + " does not exist");
+  }
+  files_[to] = std::move(it->second);
+  files_.erase(it);
+}
+
+void MemFs::remove(const std::string& path) {
+  if (files_.erase(path) == 0) {
+    throw io_error(IoOp::kRemove, path, 0, "no such file");
+  }
+}
+
+bool MemFs::exists(const std::string& path) {
+  return files_.find(path) != files_.end() ||
+         dirs_.find(path) != dirs_.end();
+}
+
+std::vector<std::string> MemFs::list_dir(const std::string& dir) {
+  std::vector<std::string> names;
+  const std::string prefix = dir + "/";
+  for (const auto& [path, data] : files_) {
+    (void)data;
+    if (path.size() <= prefix.size() || path.compare(0, prefix.size(),
+                                                     prefix) != 0) {
+      continue;
+    }
+    const std::string rest = path.substr(prefix.size());
+    if (rest.find('/') == std::string::npos) names.push_back(rest);
+  }
+  return names;  // std::map iteration is already sorted
+}
+
+void MemFs::make_dirs(const std::string& path) {
+  std::string cur;
+  for (size_t pos = 0; pos <= path.size(); ++pos) {
+    if (pos == path.size() || path[pos] == '/') {
+      cur = path.substr(0, pos);
+      if (!cur.empty()) dirs_.insert(cur);
+    }
+  }
+}
+
+std::uint64_t MemFs::file_size(const std::string& path) {
+  const auto it = files_.find(path);
+  if (it == files_.end()) {
+    throw io_error(IoOp::kStat, path, 0, "no such file");
+  }
+  return it->second.size();
+}
+
+void MemFs::sync_file(const std::string& path) {
+  if (files_.find(path) == files_.end()) {
+    throw io_error(IoOp::kSync, path, 0, "no such file");
+  }
+}
+
+std::vector<byte_t>* MemFs::find(const std::string& path) {
+  const auto it = files_.find(path);
+  return it == files_.end() ? nullptr : &it->second;
+}
+
+}  // namespace szp::robust

@@ -1,0 +1,173 @@
+// Filesystem abstraction for crash-consistent storage (archive format v2).
+//
+// Everything the archive reads or writes goes through an Fs so the same
+// code runs against the real filesystem (RealFs), a deterministic
+// in-memory one (MemFs, for the kill-point and fuzz suites), or the
+// fault-injecting decorator (FaultFs in io_fault.hpp). The interface is
+// deliberately whole-call-grained — one virtual call per syscall-shaped
+// operation — so fault injection can count, fail, or kill at exact
+// operation boundaries.
+//
+// Error model:
+//   * io_error     — the operation failed (missing file, permission,
+//                    short write...). Carries the op name, the path, and
+//                    the errno when the backend has one, so tools can
+//                    print actionable context.
+//   * io_crash     — thrown only by FaultFs to simulate the process dying
+//                    at a syscall boundary. Never thrown by real backends;
+//                    crash-recovery tests catch it where a real deployment
+//                    would reboot.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "szp/util/common.hpp"
+
+namespace szp::robust {
+
+/// Operation that failed; stable names for reports and tests.
+enum class IoOp : std::uint8_t {
+  kRead,
+  kWrite,
+  kRename,
+  kRemove,
+  kList,
+  kMakeDirs,
+  kSync,
+  kStat,
+};
+
+[[nodiscard]] const char* to_string(IoOp op);
+
+/// Filesystem operation failure with errno context (0 when the backend
+/// has no meaningful errno, e.g. MemFs).
+class io_error : public std::runtime_error {
+ public:
+  io_error(IoOp op, std::string path, int err, const std::string& detail);
+
+  [[nodiscard]] IoOp op() const { return op_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] int err() const { return err_; }
+
+ private:
+  IoOp op_ = IoOp::kRead;
+  std::string path_;
+  int err_ = 0;
+};
+
+/// Simulated process death at a syscall boundary (FaultFs kill points).
+/// Intentionally NOT derived from io_error: recovery code must never
+/// "handle" its own death.
+class io_crash : public std::exception {
+ public:
+  explicit io_crash(std::uint64_t op_index) : op_index_(op_index) {
+    what_ = "io_crash: simulated kill at mutating op " +
+            std::to_string(op_index);
+  }
+  [[nodiscard]] const char* what() const noexcept override {
+    return what_.c_str();
+  }
+  [[nodiscard]] std::uint64_t op_index() const { return op_index_; }
+
+ private:
+  std::uint64_t op_index_ = 0;
+  std::string what_;
+};
+
+/// Syscall-shaped filesystem interface. Paths use '/' separators; all
+/// operations throw io_error on failure (never return partial success)
+/// except where noted.
+class Fs {
+ public:
+  virtual ~Fs() = default;
+
+  /// Whole-file read.
+  [[nodiscard]] virtual std::vector<byte_t> read_file(
+      const std::string& path) = 0;
+
+  /// pread-style range read. Reading past EOF returns the bytes that
+  /// exist (possibly fewer than `n`); a caller that requires exactly `n`
+  /// bytes must check, which is how torn tails are detected.
+  [[nodiscard]] virtual std::vector<byte_t> read_range(const std::string& path,
+                                                       std::uint64_t offset,
+                                                       size_t n) = 0;
+
+  /// Create-or-truncate whole-file write.
+  virtual void write_file(const std::string& path,
+                          std::span<const byte_t> data) = 0;
+
+  /// Atomic replace (POSIX rename semantics: `to` is replaced if present).
+  virtual void rename(const std::string& from, const std::string& to) = 0;
+
+  virtual void remove(const std::string& path) = 0;
+
+  [[nodiscard]] virtual bool exists(const std::string& path) = 0;
+
+  /// Regular-file names directly inside `dir`, sorted (no subdirs, no
+  /// dot entries). Missing directory reads as empty.
+  [[nodiscard]] virtual std::vector<std::string> list_dir(
+      const std::string& dir) = 0;
+
+  virtual void make_dirs(const std::string& path) = 0;
+
+  [[nodiscard]] virtual std::uint64_t file_size(const std::string& path) = 0;
+
+  /// Durability barrier for a previously written file (fsync analogue).
+  /// Counted as a mutating op by FaultFs even though it moves no bytes.
+  virtual void sync_file(const std::string& path) = 0;
+};
+
+/// POSIX-backed implementation; io_error carries the real errno.
+class RealFs final : public Fs {
+ public:
+  [[nodiscard]] std::vector<byte_t> read_file(const std::string& path) override;
+  [[nodiscard]] std::vector<byte_t> read_range(const std::string& path,
+                                               std::uint64_t offset,
+                                               size_t n) override;
+  void write_file(const std::string& path,
+                  std::span<const byte_t> data) override;
+  void rename(const std::string& from, const std::string& to) override;
+  void remove(const std::string& path) override;
+  [[nodiscard]] bool exists(const std::string& path) override;
+  [[nodiscard]] std::vector<std::string> list_dir(
+      const std::string& dir) override;
+  void make_dirs(const std::string& path) override;
+  [[nodiscard]] std::uint64_t file_size(const std::string& path) override;
+  void sync_file(const std::string& path) override;
+};
+
+/// Deterministic in-memory filesystem for the recovery suites. Copyable:
+/// a fuzz iteration clones the pristine archive image instead of
+/// re-ingesting. Not thread-safe (tests are single-threaded per Fs).
+class MemFs final : public Fs {
+ public:
+  [[nodiscard]] std::vector<byte_t> read_file(const std::string& path) override;
+  [[nodiscard]] std::vector<byte_t> read_range(const std::string& path,
+                                               std::uint64_t offset,
+                                               size_t n) override;
+  void write_file(const std::string& path,
+                  std::span<const byte_t> data) override;
+  void rename(const std::string& from, const std::string& to) override;
+  void remove(const std::string& path) override;
+  [[nodiscard]] bool exists(const std::string& path) override;
+  [[nodiscard]] std::vector<std::string> list_dir(
+      const std::string& dir) override;
+  void make_dirs(const std::string& path) override;
+  [[nodiscard]] std::uint64_t file_size(const std::string& path) override;
+  void sync_file(const std::string& path) override;
+
+  /// Test hooks: direct access to a file image (corruption helpers).
+  [[nodiscard]] std::vector<byte_t>* find(const std::string& path);
+
+ private:
+  std::map<std::string, std::vector<byte_t>> files_;
+  std::set<std::string> dirs_;
+};
+
+}  // namespace szp::robust

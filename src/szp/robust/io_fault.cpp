@@ -1,0 +1,92 @@
+#include "szp/robust/io_fault.hpp"
+
+#include <algorithm>
+
+namespace szp::robust {
+
+bool FaultFs::begin_mutating_op(bool tearable) {
+  ++mutating_ops_;
+  if (opts_.crash_at_mutating_op != 0 &&
+      mutating_ops_ == opts_.crash_at_mutating_op) {
+    if (tearable && opts_.torn_writes) return true;
+    throw io_crash(mutating_ops_);
+  }
+  return false;
+}
+
+void FaultFs::maybe_perturb_read(std::vector<byte_t>& data) {
+  if (data.empty()) return;
+  if (opts_.short_read_rate > 0 &&
+      rng_.next_double() < opts_.short_read_rate) {
+    data.resize(static_cast<size_t>(rng_.next_below(data.size())));
+  }
+  if (!data.empty() && opts_.read_bitrot_rate > 0 &&
+      rng_.next_double() < opts_.read_bitrot_rate) {
+    const size_t off = static_cast<size_t>(rng_.next_below(data.size()));
+    data[off] = static_cast<byte_t>(data[off] ^
+                                    (1u << rng_.next_below(8)));
+  }
+}
+
+std::vector<byte_t> FaultFs::read_file(const std::string& path) {
+  auto data = base_.read_file(path);
+  maybe_perturb_read(data);
+  return data;
+}
+
+std::vector<byte_t> FaultFs::read_range(const std::string& path,
+                                        std::uint64_t offset, size_t n) {
+  auto data = base_.read_range(path, offset, n);
+  maybe_perturb_read(data);
+  return data;
+}
+
+void FaultFs::write_file(const std::string& path,
+                         std::span<const byte_t> data) {
+  const bool tear = begin_mutating_op(/*tearable=*/!data.empty());
+  if (tear) {
+    // Torn write: persist a strict prefix, then die.
+    const size_t keep = static_cast<size_t>(rng_.next_below(data.size()));
+    base_.write_file(path, data.first(keep));
+    throw io_crash(mutating_ops_);
+  }
+  if (opts_.write_fail_rate > 0 && !data.empty() &&
+      rng_.next_double() < opts_.write_fail_rate) {
+    base_.write_file(path, data.first(data.size() / 2));
+    throw io_error(IoOp::kWrite, path, 28 /*ENOSPC*/,
+                   "injected write failure");
+  }
+  base_.write_file(path, data);
+}
+
+void FaultFs::rename(const std::string& from, const std::string& to) {
+  (void)begin_mutating_op(/*tearable=*/false);
+  base_.rename(from, to);
+}
+
+void FaultFs::remove(const std::string& path) {
+  (void)begin_mutating_op(/*tearable=*/false);
+  base_.remove(path);
+}
+
+bool FaultFs::exists(const std::string& path) { return base_.exists(path); }
+
+std::vector<std::string> FaultFs::list_dir(const std::string& dir) {
+  return base_.list_dir(dir);
+}
+
+void FaultFs::make_dirs(const std::string& path) {
+  (void)begin_mutating_op(/*tearable=*/false);
+  base_.make_dirs(path);
+}
+
+std::uint64_t FaultFs::file_size(const std::string& path) {
+  return base_.file_size(path);
+}
+
+void FaultFs::sync_file(const std::string& path) {
+  (void)begin_mutating_op(/*tearable=*/false);
+  base_.sync_file(path);
+}
+
+}  // namespace szp::robust

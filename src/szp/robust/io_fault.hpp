@@ -1,0 +1,91 @@
+// Fault-injecting filesystem decorator (the I/O counterpart of
+// robust::FaultInjector).
+//
+// FaultFs wraps any Fs and perturbs its operations deterministically from
+// a seed, so every failure replays from (seed, options) alone:
+//
+//   * kill points    — crash_at_mutating_op N throws io_crash before the
+//                      Nth state-changing operation completes, modeling
+//                      the process dying at that exact syscall boundary.
+//                      With torn_writes, a write_file that dies persists
+//                      a seed-chosen prefix of the data first (a torn
+//                      write), which is what real storage does to
+//                      non-atomic appends.
+//   * short reads    — read_range/read_file occasionally return fewer
+//                      bytes than the file holds (silently, as a raced
+//                      truncate would); callers must detect via length
+//                      checks and checksums.
+//   * bit rot        — read results occasionally come back with one
+//                      flipped bit (latent media corruption surfacing on
+//                      read; the file itself is not modified).
+//   * write faults   — write_file occasionally fails with an ENOSPC-shaped
+//                      io_error after persisting a prefix.
+//
+// The mutating-op counter covers write_file, rename, remove, make_dirs
+// and sync_file; reads never advance it, so a kill-point sweep over
+// [1, mutating_ops()] exercises every journaled transition of a commit
+// protocol exactly once.
+#pragma once
+
+#include <cstdint>
+
+#include "szp/robust/io.hpp"
+#include "szp/util/rng.hpp"
+
+namespace szp::robust {
+
+struct FaultFsOptions {
+  std::uint64_t seed = 0;
+  /// Throw io_crash before the Nth (1-based) mutating operation takes
+  /// full effect. 0 disables kill points.
+  std::uint64_t crash_at_mutating_op = 0;
+  /// When the kill point lands inside write_file, persist a random prefix
+  /// of the data first (torn write) instead of nothing.
+  bool torn_writes = true;
+  /// Probability that a read returns silently truncated data.
+  double short_read_rate = 0;
+  /// Probability that a read result has one bit flipped (media rot).
+  double read_bitrot_rate = 0;
+  /// Probability that write_file fails with an io_error (ENOSPC-shaped)
+  /// after persisting a prefix.
+  double write_fail_rate = 0;
+};
+
+class FaultFs final : public Fs {
+ public:
+  FaultFs(Fs& base, FaultFsOptions opts) : base_(base), opts_(opts),
+                                           rng_(opts.seed) {}
+
+  [[nodiscard]] std::vector<byte_t> read_file(const std::string& path) override;
+  [[nodiscard]] std::vector<byte_t> read_range(const std::string& path,
+                                               std::uint64_t offset,
+                                               size_t n) override;
+  void write_file(const std::string& path,
+                  std::span<const byte_t> data) override;
+  void rename(const std::string& from, const std::string& to) override;
+  void remove(const std::string& path) override;
+  [[nodiscard]] bool exists(const std::string& path) override;
+  [[nodiscard]] std::vector<std::string> list_dir(
+      const std::string& dir) override;
+  void make_dirs(const std::string& path) override;
+  [[nodiscard]] std::uint64_t file_size(const std::string& path) override;
+  void sync_file(const std::string& path) override;
+
+  /// Mutating operations attempted so far (crashed ops included). Running
+  /// a workload with kill points disabled measures the sweep bound.
+  [[nodiscard]] std::uint64_t mutating_ops() const { return mutating_ops_; }
+
+ private:
+  /// Advance the mutating-op counter; throws io_crash at the kill point.
+  /// Returns true when this op IS the kill point but the caller should
+  /// partially apply first (torn writes).
+  bool begin_mutating_op(bool tearable);
+  void maybe_perturb_read(std::vector<byte_t>& data);
+
+  Fs& base_;
+  FaultFsOptions opts_;
+  Rng rng_;
+  std::uint64_t mutating_ops_ = 0;
+};
+
+}  // namespace szp::robust

@@ -1,0 +1,359 @@
+// Crash-consistency and damage-recovery suite for the sharded archive
+// (ctest label: recovery).
+//
+//   * Corruption matrix — index header, index entry table, shard payload
+//     and checksum-group footer damage must each be detected, classified,
+//     and repaired without ever crashing the reader.
+//   * Kill-point sweep — an ingest killed at EVERY mutating I/O operation
+//     (torn writes included) leaves the archive openable at a committed
+//     generation (the previous or the new one), and the ingest retries to
+//     completion on the survivor.
+//   * Archive-level fuzz — thousands of seeded mutations (burst mode)
+//     against the directory; scrub/repair/reopen never crash and repair
+//     restores every entry scrub called salvageable. Failing seeds are
+//     written to $SZP_FAULT_SEED_DIR for CI artifact upload.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "szp/archive/archive_v2.hpp"
+#include "szp/archive/layout.hpp"
+#include "szp/archive/scrub.hpp"
+#include "szp/data/field.hpp"
+#include "szp/robust/fault.hpp"
+#include "szp/robust/io.hpp"
+#include "szp/robust/io_fault.hpp"
+#include "szp/util/rng.hpp"
+
+namespace szp::archive {
+namespace {
+
+data::Field make_field(const std::string& name, size_t n,
+                       std::uint64_t seed) {
+  data::Field f;
+  f.name = name;
+  f.dims.extents = {n};
+  f.values.resize(n);
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    f.values[i] = static_cast<float>(rng.normal() * 8.0);
+  }
+  return f;
+}
+
+WriterOptions small_options() {
+  WriterOptions o;
+  o.params.mode = core::ErrorMode::kAbs;
+  o.params.error_bound = 1e-2;
+  // Small checksum groups so single streams span several groups (the
+  // footer matters) and a tight shard budget so archives hold 2+ shards.
+  o.params.checksum_group_blocks = 8;
+  o.shard_budget_bytes = 4096;
+  return o;
+}
+
+/// Build the pristine three-field archive every case starts from.
+robust::MemFs pristine_archive() {
+  robust::MemFs fs;
+  ArchiveWriter w(fs, "arc", small_options());
+  w.add(make_field("alpha", 2048, 1));
+  w.add(make_field("beta", 2048, 2));
+  w.add(make_field("gamma", 2048, 3));
+  EXPECT_EQ(w.commit(), 1u);
+  return fs;
+}
+
+/// Reader-side contract on an arbitrarily damaged directory: either the
+/// open reports (throws format_error) or every entry access resolves to
+/// data or a report — never a crash, never an unhandled error.
+void expect_reader_survives(robust::MemFs fs) {
+  try {
+    const ArchiveReader r(fs, "arc");
+    for (size_t i = 0; i < r.entries().size(); ++i) {
+      data::Field out;
+      (void)r.try_extract(i, out);
+      try {
+        if (r.entries()[i].dtype == Dtype::kF32) (void)r.extract(i);
+      } catch (const format_error&) {
+      } catch (const robust::io_error&) {
+      }
+    }
+  } catch (const format_error&) {
+    // Unopenable is a legal *reported* outcome for a damaged index.
+  }
+}
+
+void corrupt_byte(robust::MemFs& fs, const std::string& path, size_t offset) {
+  auto* file = fs.find(path);
+  ASSERT_NE(file, nullptr) << path;
+  ASSERT_LT(offset, file->size()) << path;
+  (*file)[offset] = static_cast<byte_t>((*file)[offset] ^ 0x5A);
+}
+
+std::string only_shard_path(robust::MemFs& fs, size_t which = 0) {
+  const auto files = fs.list_dir(layout::shard_dir("arc"));
+  EXPECT_GT(files.size(), which);
+  return layout::shard_path("arc", files[which]);
+}
+
+// ----------------------------------------------- corruption matrix ----
+
+TEST(ArchiveRecovery, IndexHeaderCorruption) {
+  auto fs = pristine_archive();
+  corrupt_byte(fs, layout::index_path("arc"), 4);  // version field
+  expect_reader_survives(fs);
+
+  const auto report = scrub(fs, "arc");
+  EXPECT_TRUE(report.index_present);
+  EXPECT_FALSE(report.index_ok);
+  EXPECT_TRUE(report.has_damage());
+  EXPECT_TRUE(report.fully_salvageable()) << report.to_string();
+
+  const auto res = repair(fs, "arc");
+  EXPECT_TRUE(res.changed);
+  EXPECT_TRUE(res.index_rebuilt);
+  EXPECT_EQ(res.entries_lost, 0u);
+  const ArchiveReader r(fs, "arc");
+  EXPECT_EQ(r.entries().size(), 3u);
+  EXPECT_EQ(r.extract("alpha").values.size(), 2048u);
+  EXPECT_FALSE(scrub(fs, "arc").has_damage());
+}
+
+TEST(ArchiveRecovery, IndexEntryTableCorruption) {
+  auto fs = pristine_archive();
+  const auto* index = fs.find(layout::index_path("arc"));
+  ASSERT_NE(index, nullptr);
+  // Middle of the entry table, clear of header and trailing CRC.
+  corrupt_byte(fs, layout::index_path("arc"), index->size() / 2);
+  expect_reader_survives(fs);
+
+  const auto report = scrub(fs, "arc");
+  EXPECT_FALSE(report.index_ok);
+  EXPECT_TRUE(report.rebuilt_from_shards);
+  EXPECT_TRUE(report.fully_salvageable()) << report.to_string();
+
+  const auto res = repair(fs, "arc");
+  EXPECT_TRUE(res.index_rebuilt);
+  EXPECT_EQ(res.entries_lost, 0u);
+  const ArchiveReader r(fs, "arc");
+  std::set<std::string> names;
+  for (const auto& e : r.entries()) names.insert(e.name);
+  EXPECT_EQ(names, (std::set<std::string>{"alpha", "beta", "gamma"}));
+}
+
+TEST(ArchiveRecovery, ShardPayloadCorruption) {
+  auto fs = pristine_archive();
+  const auto victim = only_shard_path(fs);
+  const auto* shard = fs.find(victim);
+  ASSERT_NE(shard, nullptr);
+  corrupt_byte(fs, victim, shard->size() / 2);
+  expect_reader_survives(fs);
+
+  const auto report = scrub(fs, "arc");
+  EXPECT_TRUE(report.index_ok);
+  EXPECT_TRUE(report.has_damage());
+  bool crc_mismatch = false;
+  for (const auto& s : report.shards) {
+    crc_mismatch |= s.state == ShardState::kCrcMismatch;
+  }
+  EXPECT_TRUE(crc_mismatch) << report.to_string();
+
+  const auto res = repair(fs, "arc");
+  EXPECT_TRUE(res.changed);
+  EXPECT_GT(res.shards_quarantined, 0u);
+  EXPECT_EQ(res.entries_lost, 0u) << "single-byte rot must be salvageable";
+  const ArchiveReader r(fs, "arc");
+  EXPECT_EQ(r.entries().size(), 3u);
+  EXPECT_FALSE(scrub(fs, "arc").has_damage());
+  // The damaged shard is preserved under quarantine/, not destroyed.
+  EXPECT_FALSE(fs.list_dir(layout::quarantine_dir("arc")).empty());
+}
+
+TEST(ArchiveRecovery, GroupFooterCorruption) {
+  auto fs = pristine_archive();
+  // The checksum footer sits at the tail of a stream; the last stream in
+  // a shard ends where the payload ends, so the shard's final bytes are
+  // footer bytes. Smash one.
+  const auto victim = only_shard_path(fs);
+  const auto* shard = fs.find(victim);
+  ASSERT_NE(shard, nullptr);
+  corrupt_byte(fs, victim, shard->size() - 3);
+  expect_reader_survives(fs);
+
+  const auto report = scrub(fs, "arc");
+  EXPECT_TRUE(report.has_damage());
+  EXPECT_TRUE(report.fully_salvageable()) << report.to_string();
+
+  const auto res = repair(fs, "arc");
+  EXPECT_EQ(res.entries_lost, 0u);
+  EXPECT_FALSE(scrub(fs, "arc").has_damage());
+  const ArchiveReader r(fs, "arc");
+  for (const auto& name : {"alpha", "beta", "gamma"}) {
+    EXPECT_EQ(r.extract(name).values.size(), 2048u) << name;
+  }
+}
+
+// ----------------------------------------------- kill-point sweeps ----
+
+/// Run one ingest over FaultFs; returns mutating-op count (no crash).
+std::uint64_t count_ingest_ops(const robust::MemFs& base,
+                               const std::vector<data::Field>& fields) {
+  robust::MemFs fs = base;
+  robust::FaultFs faulty(fs, robust::FaultFsOptions{});
+  ArchiveWriter w(faulty, "arc", small_options());
+  for (const auto& f : fields) w.add(f);
+  w.commit();
+  return faulty.mutating_ops();
+}
+
+void sweep_kill_points(const robust::MemFs& base,
+                       const std::vector<data::Field>& fields,
+                       std::uint64_t prev_generation) {
+  const std::uint64_t total_ops = count_ingest_ops(base, fields);
+  ASSERT_GT(total_ops, 5u);
+  for (std::uint64_t kill = 1; kill <= total_ops; ++kill) {
+    SCOPED_TRACE("kill at mutating op " + std::to_string(kill));
+    robust::MemFs fs = base;
+    robust::FaultFsOptions opts;
+    opts.seed = kill;
+    opts.crash_at_mutating_op = kill;
+    opts.torn_writes = true;
+    {
+      robust::FaultFs faulty(fs, opts);
+      ArchiveWriter w(faulty, "arc", small_options());
+      for (const auto& f : fields) w.add(f);
+      EXPECT_THROW(w.commit(), robust::io_crash);
+    }
+
+    // Invariant: the survivor opens at a committed generation — the
+    // previous one or (when the crash hit after the index rename) the
+    // new one. Never torn, never unreadable.
+    std::uint64_t observed = prev_generation;
+    if (prev_generation > 0 || fs.exists(layout::index_path("arc"))) {
+      const ArchiveReader r(fs, "arc");
+      observed = r.generation();
+      EXPECT_TRUE(observed == prev_generation ||
+                  observed == prev_generation + 1)
+          << "generation " << observed;
+      for (size_t i = 0; i < r.entries().size(); ++i) {
+        EXPECT_GT(r.extract(i).values.size(), 0u);
+      }
+    }
+
+    // The ingest retries to completion on the survivor (unless the crash
+    // landed after commit, in which case the names already exist).
+    if (observed == prev_generation) {
+      ArchiveWriter w(fs, "arc", small_options());
+      for (const auto& f : fields) w.add(f);
+      EXPECT_EQ(w.commit(), prev_generation + 1);
+    }
+    const ArchiveReader after(fs, "arc");
+    EXPECT_EQ(after.generation(), prev_generation + 1);
+    for (const auto& f : fields) {
+      EXPECT_EQ(after.extract(f.name).values.size(), f.count());
+    }
+
+    // Repair clears any leftover journal/temp/orphan garbage; the result
+    // scrubs clean.
+    (void)repair(fs, "arc");
+    const auto report = scrub(fs, "arc");
+    EXPECT_FALSE(report.has_damage()) << report.to_string();
+    EXPECT_FALSE(report.has_garbage()) << report.to_string();
+  }
+}
+
+TEST(ArchiveRecovery, KillPointSweepFreshIngest) {
+  const std::vector<data::Field> fields = {make_field("alpha", 2048, 1),
+                                           make_field("beta", 2048, 2)};
+  sweep_kill_points(robust::MemFs{}, fields, 0);
+}
+
+TEST(ArchiveRecovery, KillPointSweepAppendIngest) {
+  robust::MemFs base;
+  {
+    ArchiveWriter w(base, "arc", small_options());
+    w.add(make_field("alpha", 2048, 1));
+    ASSERT_EQ(w.commit(), 1u);
+  }
+  const std::vector<data::Field> fields = {make_field("delta", 2048, 9),
+                                           make_field("epsilon", 2048, 10)};
+  sweep_kill_points(base, fields, 1);
+}
+
+// --------------------------------------------------- archive fuzz ----
+
+void dump_failing_seed(std::uint64_t seed,
+                       const std::vector<robust::FaultInjector::Mutation>&
+                           mutations) {
+  const char* dir = std::getenv("SZP_FAULT_SEED_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  robust::RealFs fs;
+  try {
+    fs.make_dirs(dir);
+    std::string text = "suite: archive_recovery_fuzz\nseed: " +
+                       std::to_string(seed) + "\n";
+    for (const auto& m : mutations) text += m.describe() + "\n";
+    fs.write_file(std::string(dir) + "/archive-fuzz-seed-" +
+                      std::to_string(seed) + ".txt",
+                  std::span<const byte_t>(
+                      reinterpret_cast<const byte_t*>(text.data()),
+                      text.size()));
+  } catch (const robust::io_error&) {
+    // Best effort; the assertion failure itself still reports the seed.
+  }
+}
+
+TEST(ArchiveRecovery, FuzzScrubRepairNeverCrashes) {
+  const auto base = pristine_archive();
+  // 400 seeds x 5 mutations = 2000 archive-level mutations.
+  constexpr std::uint64_t kSeeds = 400;
+  constexpr size_t kBurst = 5;
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    robust::MemFs fs = base;
+    robust::FaultInjector injector(seed);
+    const auto mutations = injector.burst_archive(fs, "arc", kBurst);
+    SCOPED_TRACE("seed " + std::to_string(seed));
+
+    bool iteration_ok = true;
+    try {
+      expect_reader_survives(fs);
+
+      const auto before = scrub(fs, "arc");
+      std::set<std::string> salvageable;
+      for (const auto& e : before.entries) {
+        if (e.report.ok() || e.salvageable) salvageable.insert(e.name);
+      }
+
+      const auto res = repair(fs, "arc");
+      (void)res;
+
+      // Post-repair: damage-free, and every salvageable entry survived.
+      const auto after = scrub(fs, "arc");
+      EXPECT_FALSE(after.has_damage()) << after.to_string();
+      const ArchiveReader r(fs, "arc");
+      std::set<std::string> present;
+      for (const auto& e : r.entries()) present.insert(e.name);
+      for (const auto& name : salvageable) {
+        const bool found = present.count(name) > 0;
+        EXPECT_TRUE(found) << "salvageable entry lost: " << name;
+        iteration_ok &= found;
+        if (found) {
+          data::Field out;
+          (void)r.try_extract(r.entry_index(name), out);
+        }
+      }
+      iteration_ok &= !after.has_damage();
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << "seed " << seed << " raised: " << e.what();
+      iteration_ok = false;
+    }
+    if (!iteration_ok) dump_failing_seed(seed, mutations);
+  }
+}
+
+}  // namespace
+}  // namespace szp::archive

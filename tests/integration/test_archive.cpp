@@ -2,7 +2,9 @@
 // malformed-blob handling.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <filesystem>
+#include <vector>
 
 #include "szp/archive/archive.hpp"
 #include "szp/data/registry.hpp"
@@ -44,6 +46,38 @@ TEST(Archive, ExtractByName) {
   Reader r(std::move(w).finish());
   EXPECT_EQ(r.extract("velocity_x").name, "velocity_x");
   EXPECT_THROW((void)r.extract("nope"), format_error);
+}
+
+TEST(Archive, F64RatioUsesEightByteElements) {
+  // Regression: compression_ratio() hardcoded count()*4, halving the
+  // reported ratio of every f64 entry.
+  std::vector<double> values(4096);
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = std::sin(static_cast<double>(i) * 0.01) * 40.0;
+  }
+  Writer w(rel_params(1e-4));
+  w.add_f64("pressure", data::Dims{{64, 64}}, values);
+  w.add(data::make_field(data::Suite::kNyx, 0, 0.01));
+  Reader r(std::move(w).finish());
+
+  const size_t i = 0;
+  ASSERT_TRUE(r.entries()[i].f64);
+  EXPECT_EQ(r.entries()[i].element_bytes(), 8u);
+  const auto& e = r.entries()[i];
+  const double expected = static_cast<double>(e.dims.count() * 8) /
+                          static_cast<double>(e.stream_bytes);
+  EXPECT_DOUBLE_EQ(e.compression_ratio(), expected);
+
+  const auto out = r.extract_f64(i);
+  ASSERT_EQ(out.size(), values.size());
+  for (size_t k = 0; k < out.size(); ++k) {
+    ASSERT_NEAR(out[k], values[k], 80.0 * 1e-4 * (1 + 1e-9));
+  }
+  // f32 entries are unaffected and dtype mismatches are rejected.
+  EXPECT_FALSE(r.entries()[1].f64);
+  EXPECT_EQ(r.entries()[1].element_bytes(), 4u);
+  EXPECT_THROW((void)r.extract(i), format_error);
+  EXPECT_THROW((void)r.extract_f64(1), format_error);
 }
 
 TEST(Archive, DuplicateNameRejected) {

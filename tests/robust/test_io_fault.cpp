@@ -1,0 +1,220 @@
+// robust::Fs backends and the fault-injecting decorator: MemFs semantics
+// mirror RealFs, FaultFs is seed-deterministic, kill points fire at exact
+// mutating-op boundaries, and torn writes persist a strict prefix.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <vector>
+
+#include "szp/robust/io.hpp"
+#include "szp/robust/io_fault.hpp"
+#include "szp/util/common.hpp"
+
+namespace {
+
+using namespace szp;
+using robust::FaultFs;
+using robust::FaultFsOptions;
+using robust::Fs;
+using robust::IoOp;
+using robust::MemFs;
+using robust::RealFs;
+
+std::vector<byte_t> bytes_of(const std::string& s) {
+  return std::vector<byte_t>(s.begin(), s.end());
+}
+
+/// The behavioral contract shared by every backend.
+void exercise_fs(Fs& fs, const std::string& root) {
+  fs.make_dirs(root + "/sub/deep");
+  EXPECT_TRUE(fs.exists(root + "/sub/deep"));
+
+  fs.write_file(root + "/a.bin", bytes_of("hello world"));
+  EXPECT_TRUE(fs.exists(root + "/a.bin"));
+  EXPECT_EQ(fs.file_size(root + "/a.bin"), 11u);
+  EXPECT_EQ(fs.read_file(root + "/a.bin"), bytes_of("hello world"));
+
+  // pread semantics: past-EOF reads return what exists.
+  EXPECT_EQ(fs.read_range(root + "/a.bin", 6, 5), bytes_of("world"));
+  EXPECT_EQ(fs.read_range(root + "/a.bin", 6, 100), bytes_of("world"));
+  EXPECT_TRUE(fs.read_range(root + "/a.bin", 100, 5).empty());
+
+  // Atomic-replace rename.
+  fs.write_file(root + "/b.bin", bytes_of("old"));
+  fs.rename(root + "/a.bin", root + "/b.bin");
+  EXPECT_FALSE(fs.exists(root + "/a.bin"));
+  EXPECT_EQ(fs.read_file(root + "/b.bin"), bytes_of("hello world"));
+
+  fs.write_file(root + "/sub/c.bin", bytes_of("c"));
+  const auto listing = fs.list_dir(root);
+  ASSERT_EQ(listing.size(), 1u);  // b.bin only; sub/ is a directory
+  EXPECT_EQ(listing[0], "b.bin");
+  EXPECT_TRUE(fs.list_dir(root + "/does-not-exist").empty());
+
+  fs.sync_file(root + "/b.bin");
+  fs.remove(root + "/b.bin");
+  EXPECT_FALSE(fs.exists(root + "/b.bin"));
+
+  // Errors carry op + path.
+  try {
+    (void)fs.read_file(root + "/missing.bin");
+    FAIL() << "read of missing file must throw";
+  } catch (const robust::io_error& e) {
+    EXPECT_EQ(e.op(), IoOp::kRead);
+    EXPECT_EQ(e.path(), root + "/missing.bin");
+    EXPECT_NE(std::string(e.what()).find(root + "/missing.bin"),
+              std::string::npos);
+  }
+}
+
+TEST(IoFs, MemFsContract) {
+  MemFs fs;
+  exercise_fs(fs, "arc");
+}
+
+TEST(IoFs, RealFsContract) {
+  RealFs fs;
+  const auto root =
+      (std::filesystem::temp_directory_path() / "szp_io_fs_test").string();
+  std::filesystem::remove_all(root);
+  exercise_fs(fs, root);
+  std::filesystem::remove_all(root);
+}
+
+TEST(IoFs, MemFsIsCopyable) {
+  MemFs fs;
+  fs.write_file("f", bytes_of("one"));
+  MemFs snapshot = fs;
+  fs.write_file("f", bytes_of("two"));
+  EXPECT_EQ(snapshot.read_file("f"), bytes_of("one"));
+  EXPECT_EQ(fs.read_file("f"), bytes_of("two"));
+}
+
+TEST(IoFs, MemFsRealErrnoIsZeroRealFsNonzero) {
+  MemFs mem;
+  try {
+    (void)mem.read_file("nope");
+    FAIL();
+  } catch (const robust::io_error& e) {
+    EXPECT_EQ(e.err(), 0);
+  }
+  RealFs real;
+  try {
+    (void)real.read_file("/definitely/not/a/path/nope");
+    FAIL();
+  } catch (const robust::io_error& e) {
+    EXPECT_NE(e.err(), 0);  // ENOENT, reported with strerror context
+    EXPECT_NE(std::string(e.what()).find("No such file"), std::string::npos);
+  }
+}
+
+TEST(IoFault, CountsOnlyMutatingOps) {
+  MemFs mem;
+  FaultFs fs(mem, FaultFsOptions{});
+  fs.write_file("a", bytes_of("x"));   // 1
+  (void)fs.read_file("a");             // reads don't count
+  (void)fs.exists("a");
+  (void)fs.list_dir(".");
+  fs.sync_file("a");                   // 2
+  fs.rename("a", "b");                 // 3
+  fs.remove("b");                      // 4
+  fs.make_dirs("d");                   // 5
+  EXPECT_EQ(fs.mutating_ops(), 5u);
+}
+
+TEST(IoFault, KillPointFiresAtExactOp) {
+  for (std::uint64_t kill = 1; kill <= 3; ++kill) {
+    MemFs mem;
+    FaultFsOptions opts;
+    opts.crash_at_mutating_op = kill;
+    opts.torn_writes = false;
+    FaultFs fs(mem, opts);
+    std::uint64_t completed = 0;
+    try {
+      fs.write_file("a", bytes_of("aa"));
+      ++completed;
+      fs.sync_file("a");
+      ++completed;
+      fs.rename("a", "b");
+      ++completed;
+    } catch (const robust::io_crash& e) {
+      EXPECT_EQ(e.op_index(), kill);
+    }
+    EXPECT_EQ(completed, kill - 1);
+  }
+}
+
+TEST(IoFault, TornWriteLeavesStrictPrefix) {
+  MemFs mem;
+  mem.write_file("f", bytes_of("previous"));
+  FaultFsOptions opts;
+  opts.seed = 7;
+  opts.crash_at_mutating_op = 1;
+  opts.torn_writes = true;
+  FaultFs fs(mem, opts);
+  const auto payload = bytes_of("the-new-longer-content");
+  EXPECT_THROW(fs.write_file("f", payload), robust::io_crash);
+  const auto after = mem.read_file("f");
+  EXPECT_LT(after.size(), payload.size());
+  EXPECT_TRUE(std::equal(after.begin(), after.end(), payload.begin()));
+}
+
+TEST(IoFault, DeterministicAcrossRuns) {
+  const auto run = [](std::uint64_t seed) {
+    MemFs mem;
+    mem.write_file("f", std::vector<byte_t>(256, byte_t{0xAB}));
+    FaultFsOptions opts;
+    opts.seed = seed;
+    opts.short_read_rate = 0.5;
+    opts.read_bitrot_rate = 0.5;
+    FaultFs fs(mem, opts);
+    std::vector<std::vector<byte_t>> reads;
+    for (int i = 0; i < 8; ++i) reads.push_back(fs.read_file("f"));
+    return reads;
+  };
+  EXPECT_EQ(run(1), run(1));
+  EXPECT_NE(run(1), run(2));
+}
+
+TEST(IoFault, BitrotFlipsExactlyOneBit) {
+  MemFs mem;
+  const std::vector<byte_t> original(64, byte_t{0x55});
+  mem.write_file("f", original);
+  FaultFsOptions opts;
+  opts.seed = 3;
+  opts.read_bitrot_rate = 1.0;
+  FaultFs fs(mem, opts);
+  const auto got = fs.read_file("f");
+  ASSERT_EQ(got.size(), original.size());
+  int flipped_bits = 0;
+  for (size_t i = 0; i < got.size(); ++i) {
+    auto diff = static_cast<unsigned>(got[i] ^ original[i]);
+    while (diff != 0) {
+      flipped_bits += static_cast<int>(diff & 1u);
+      diff >>= 1;
+    }
+  }
+  EXPECT_EQ(flipped_bits, 1);
+  // The backing store is untouched — rot happens on the wire.
+  EXPECT_EQ(mem.read_file("f"), original);
+}
+
+TEST(IoFault, WriteFailureReportsEnospc) {
+  MemFs mem;
+  FaultFsOptions opts;
+  opts.seed = 11;
+  opts.write_fail_rate = 1.0;
+  FaultFs fs(mem, opts);
+  try {
+    fs.write_file("f", std::vector<byte_t>(100, byte_t{1}));
+    FAIL() << "injected write failure expected";
+  } catch (const robust::io_error& e) {
+    EXPECT_EQ(e.op(), IoOp::kWrite);
+    EXPECT_EQ(e.err(), 28);  // ENOSPC
+  }
+  // The failed write left a half-written file behind, like a full disk.
+  EXPECT_TRUE(mem.exists("f"));
+  EXPECT_LT(mem.file_size("f"), 100u);
+}
+
+}  // namespace

@@ -1,33 +1,44 @@
 // Stream/archive integrity checker and salvage tool.
 //
-//   szp_verify <stream.szp | archive.szpa>
-//   szp_verify --salvage <out-prefix> <stream.szp | archive.szpa>
+//   szp_verify <stream.szp | archive.szpa | archive-dir>
+//   szp_verify --salvage <out-prefix> <stream.szp | archive.szpa | dir>
 //
 // Prints the verdict for the stream (or for every archive entry), with
-// per-checksum-group status for v2 streams. With --salvage, whatever the
-// checksums vouch for is decoded and written as raw f32/f64 next to a
-// report of the zero-filled block ranges.
+// per-checksum-group status for v2 streams. A directory argument is
+// scrubbed as a sharded v2 archive (index, journal, shard and per-entry
+// verdicts). With --salvage, whatever the checksums vouch for is decoded
+// and written as raw f32/f64 next to a report of the zero-filled block
+// ranges.
 //
 // With --devcheck, each intact stream is additionally decoded on a
 // checked gpusim Device (memcheck+racecheck+synccheck armed); sanitizer
 // findings are printed and exit with code 3.
 //
-// Exit codes: 0 = intact, 1 = corruption detected, 2 = usage/IO error,
-// 3 = sanitizer findings.
+// Exit codes:
+//   0 = intact
+//   1 = corruption detected, everything damaged is still salvageable
+//   2 = usage or unreadable input (I/O errors carry errno context)
+//   3 = sanitizer findings
+//   4 = corruption detected, at least one stream/entry unrecoverable
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "szp/archive/archive.hpp"
+#include "szp/archive/archive_v2.hpp"
+#include "szp/archive/scrub.hpp"
 #include "szp/core/device.hpp"
 #include "szp/gpusim/buffer.hpp"
 #include "szp/gpusim/device.hpp"
 #include "szp/obs/chrome_trace.hpp"
 #include "szp/obs/metrics.hpp"
 #include "szp/obs/tracer.hpp"
+#include "szp/robust/io.hpp"
 #include "szp/robust/try_decode.hpp"
 #include "szp/util/common.hpp"
 
@@ -37,7 +48,10 @@ using namespace szp;
 
 std::vector<byte_t> load_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw format_error("cannot open " + path);
+  if (!in) {
+    throw format_error("cannot open " + path + ": " +
+                       std::strerror(errno));
+  }
   return std::vector<byte_t>((std::istreambuf_iterator<char>(in)),
                              std::istreambuf_iterator<char>());
 }
@@ -77,6 +91,22 @@ void print_report(const std::string& label, const robust::DecodeReport& rep) {
   for (const auto& r : rep.corrupt_blocks) {
     std::printf("  corrupt blocks [%zu, %zu)\n", r.first_block, r.last_block);
   }
+}
+
+/// True when a damaged stream still yields data through salvage (f32 or
+/// f64) — the 1-vs-4 exit code distinction.
+bool stream_salvageable(std::span<const byte_t> stream) {
+  robust::DecodeOptions opts;
+  opts.salvage = true;
+  std::vector<float> f32;
+  const auto rep = robust::try_decompress(stream, f32, opts);
+  if (!f32.empty()) return true;
+  if (rep.status == robust::Status::kTypeMismatch) {
+    std::vector<double> f64;
+    (void)robust::try_decompress_f64(stream, f64, opts);
+    return !f64.empty();
+  }
+  return false;
 }
 
 /// Salvage a single stream to `out_path`; returns true if bytes were
@@ -136,9 +166,13 @@ bool is_archive(const std::vector<byte_t>& bytes) {
 int usage() {
   std::fprintf(stderr,
                "usage: szp_verify [--stats] [--trace <out.json>] "
-               "[--devcheck] <stream.szp | archive.szpa>\n"
+               "[--devcheck] <stream.szp | archive.szpa | archive-dir>\n"
                "       szp_verify --salvage <out-prefix> "
-               "<stream.szp | archive.szpa>\n");
+               "<stream.szp | archive.szpa | archive-dir>\n"
+               "\n"
+               "exit codes: 0 intact, 1 corrupt but salvageable, 2 usage or\n"
+               "unreadable input, 3 sanitizer findings, 4 corrupt with\n"
+               "unrecoverable streams\n");
   return 2;
 }
 
@@ -175,10 +209,72 @@ int main(int argc, char** argv) try {
   if (!trace_path.empty()) obs::Tracer::instance().set_enabled(true);
   if (stats) obs::Registry::instance().set_enabled(true);
   const std::string path = positional[0];
-  const auto bytes = load_file(path);
 
   bool corrupt = false;
+  bool unrecoverable = false;
   bool devcheck_clean = true;
+
+  if (std::filesystem::is_directory(path)) {
+    // Sharded v2 archive: scrub the whole directory (index, journal,
+    // shards, per-entry verdicts with group detail).
+    robust::RealFs fs;
+    archive::ScrubOptions sopts;
+    sopts.want_groups = true;
+    const auto report = archive::scrub(fs, path, sopts);
+    std::fputs(report.to_string().c_str(), stdout);
+    corrupt = report.has_damage();
+    unrecoverable = !report.fully_salvageable();
+    if (report.index_ok && (devcheck || !salvage_prefix.empty())) {
+      const archive::ArchiveReader reader(fs, path);
+      for (size_t i = 0; i < reader.entries().size(); ++i) {
+        const auto& e = reader.entries()[i];
+        if (devcheck && report.entries[i].report.ok()) {
+          devcheck_clean &= devcheck_stream(e.name, reader.read_stream(i));
+        }
+        if (!salvage_prefix.empty()) {
+          if (e.dtype == archive::Dtype::kF64) {
+            std::vector<double> values;
+            robust::DecodeOptions dopts;
+            const auto rep = robust::try_decompress_f64(reader.read_stream(i),
+                                                        values, dopts);
+            if (!values.empty()) {
+              save_raw(salvage_prefix + "_" + e.name + ".f64", values);
+              std::printf("  salvaged %zu/%zu blocks -> %s_%s.f64\n",
+                          rep.num_blocks - rep.corrupt_block_count(),
+                          rep.num_blocks, salvage_prefix.c_str(),
+                          e.name.c_str());
+            }
+          } else {
+            data::Field field;
+            const auto rep = reader.try_extract(i, field);
+            if (!field.values.empty()) {
+              save_raw(salvage_prefix + "_" + e.name + ".f32", field.values);
+              std::printf("  salvaged %zu/%zu blocks -> %s_%s.f32\n",
+                          rep.num_blocks - rep.corrupt_block_count(),
+                          rep.num_blocks, salvage_prefix.c_str(),
+                          e.name.c_str());
+            }
+          }
+        }
+      }
+    } else if (corrupt && !report.index_ok) {
+      std::printf("index unusable — run: szp_archive repair %s\n",
+                  path.c_str());
+    }
+    if (!trace_path.empty() && !obs::write_chrome_trace_file(trace_path)) {
+      std::fprintf(stderr, "szp_verify: cannot write trace to %s\n",
+                   trace_path.c_str());
+      return 2;
+    }
+    if (stats) {
+      std::fflush(stdout);
+      obs::Registry::instance().write_text(std::cout);
+    }
+    if (corrupt) return unrecoverable ? 4 : 1;
+    return devcheck_clean ? 0 : 3;
+  }
+
+  const auto bytes = load_file(path);
   if (is_archive(bytes)) {
     // Archive entries are independent; one corrupt entry must not sink
     // the others, so Reader parsing failures are the only fatal case.
@@ -186,7 +282,10 @@ int main(int argc, char** argv) try {
     const auto reports = reader.verify(/*want_groups=*/true);
     for (size_t i = 0; i < reports.size(); ++i) {
       print_report(reader.entries()[i].name, reports[i]);
-      if (!reports[i].ok()) corrupt = true;
+      if (!reports[i].ok()) {
+        corrupt = true;
+        if (!stream_salvageable(reader.stream_of(i))) unrecoverable = true;
+      }
       if (devcheck && reports[i].ok()) {
         devcheck_clean &=
             devcheck_stream(reader.entries()[i].name, reader.stream_of(i));
@@ -206,7 +305,10 @@ int main(int argc, char** argv) try {
   } else {
     const auto rep = robust::verify_stream(bytes, /*want_groups=*/true);
     print_report(path, rep);
-    if (!rep.ok()) corrupt = true;
+    if (!rep.ok()) {
+      corrupt = true;
+      if (!stream_salvageable(bytes)) unrecoverable = true;
+    }
     if (devcheck && rep.ok()) {
       devcheck_clean &= devcheck_stream(path, bytes);
     }
@@ -223,8 +325,11 @@ int main(int argc, char** argv) try {
     std::fflush(stdout);
     obs::Registry::instance().write_text(std::cout);
   }
-  if (corrupt) return 1;
+  if (corrupt) return unrecoverable ? 4 : 1;
   return devcheck_clean ? 0 : 3;
+} catch (const szp::robust::io_error& e) {
+  std::fprintf(stderr, "szp_verify: I/O failure: %s\n", e.what());
+  return 2;
 } catch (const szp::format_error& e) {
   std::fprintf(stderr, "szp_verify: unreadable input: %s\n", e.what());
   return 2;
