@@ -1,0 +1,236 @@
+// Host thread-scaling bench with profiler attribution: the parallel-host
+// backend on one large HACC field at 1/2/4/8 execution slots, each run
+// profiled with the hostprof module so the scaling curve comes with an
+// explanation (work% vs queue-wait/dispatch/barrier/idle%). Emits
+// BENCH_pr7.json plus one hostprof JSON per thread count in
+// SZP_BENCH_OUTDIR, and double-runs the 4-thread point to verify the
+// deterministic counter fingerprint is run-to-run identical (the
+// "fingerprint_stable" summary flag the CI gate hard-checks).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "szp/data/registry.hpp"
+#include "szp/engine/engine.hpp"
+#include "szp/obs/hostprof/hostprof.hpp"
+#include "szp/obs/hostprof/report.hpp"
+#include "szp/util/common.hpp"
+#include "szp/util/env.hpp"
+
+namespace {
+
+using namespace szp;
+namespace hostprof = obs::hostprof;
+using Clock = std::chrono::steady_clock;
+
+constexpr int kReps = 3;
+constexpr unsigned kThreadMatrix[] = {1, 2, 4, 8};
+/// HACC base field is 1M elements; 25x is ~100 MB of f32 at scale 1.
+constexpr double kFieldScale = 25.0;
+
+double gbps(size_t bytes, double seconds) {
+  return seconds > 0 ? static_cast<double>(bytes) / 1e9 / seconds : 0;
+}
+
+struct Measurement {
+  double wall_comp_s = 1e30;
+  double wall_decomp_s = 1e30;
+  double ratio = 0;
+};
+
+Measurement measure(engine::Engine& eng, const data::Field& field) {
+  Measurement m;
+  const double range = field.value_range();
+  for (int rep = 0; rep < kReps; ++rep) {
+    auto t0 = Clock::now();
+    auto stream = eng.compress(field.values, range);
+    m.wall_comp_s = std::min(
+        m.wall_comp_s, std::chrono::duration<double>(Clock::now() - t0).count());
+    t0 = Clock::now();
+    const auto recon = eng.decompress(stream.bytes);
+    m.wall_decomp_s = std::min(
+        m.wall_decomp_s,
+        std::chrono::duration<double>(Clock::now() - t0).count());
+    m.ratio = static_cast<double>(field.size_bytes()) /
+              static_cast<double>(stream.bytes.size());
+    if (recon.size() != field.values.size()) std::abort();
+  }
+  return m;
+}
+
+/// One fresh profiled roundtrip; returns the counter fingerprint.
+std::string fingerprint_cycle(const core::Params& p, const data::Field& field,
+                              unsigned threads) {
+  auto& prof = hostprof::Profiler::instance();
+  prof.reset();
+  engine::Engine eng({.params = p,
+                      .backend = engine::BackendKind::kParallelHost,
+                      .threads = threads});
+  const double range = field.value_range();
+  auto stream = eng.compress(field.values, range);
+  (void)eng.decompress(stream.bytes);
+  return counter_fingerprint(prof.snapshot());
+}
+
+}  // namespace
+
+int main() {
+  const double scale = bench_scale();
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+
+  core::Params p;
+  p.mode = core::ErrorMode::kRel;
+  p.error_bound = 1e-3;
+
+  const data::Field field =
+      data::make_field(data::Suite::kHacc, 0, kFieldScale * scale);
+
+  std::printf("=== PR7: host thread scaling with profiler attribution ===\n");
+  std::printf("scale=%g field=HACC/%s elements=%zu (%.1f MB) hw_threads=%u\n\n",
+              scale, field.name.c_str(), field.count(),
+              static_cast<double>(field.size_bytes()) / 1e6, hw);
+
+  // Serial baseline, profiler off: the reference the speedup column and
+  // the matrix's profiled numbers are both judged against.
+  engine::Engine serial({.params = p, .backend = engine::BackendKind::kSerial});
+  const Measurement ser = measure(serial, field);
+  std::printf("serial          comp %7.3f GB/s  decomp %7.3f GB/s  CR %.2f\n",
+              gbps(field.size_bytes(), ser.wall_comp_s),
+              gbps(field.size_bytes(), ser.wall_decomp_s), ser.ratio);
+
+  const std::string outdir = bench_outdir();
+  std::filesystem::create_directories(outdir);
+
+  auto& prof = hostprof::Profiler::instance();
+  prof.set_enabled(true);
+
+  struct Row {
+    unsigned threads = 0;
+    Measurement m;
+    hostprof::Snapshot snap;
+  };
+  std::vector<Row> rows;
+  for (const unsigned t : kThreadMatrix) {
+    prof.reset();  // drop the previous pool's dead worker lanes
+    Row row;
+    row.threads = t;
+    {
+      engine::Engine par({.params = p,
+                          .backend = engine::BackendKind::kParallelHost,
+                          .threads = t});
+      row.m = measure(par, field);
+      row.snap = prof.snapshot();
+    }
+    const auto agg = hostprof::aggregate_attribution(row.snap);
+    const auto dom = hostprof::dominant_overhead(agg);
+    const double work_pct =
+        agg.wall_ns > 0 ? 100.0 * static_cast<double>(agg.work_ns()) /
+                              static_cast<double>(agg.wall_ns)
+                        : 0.0;
+    std::printf("parallel t=%u    comp %7.3f GB/s  decomp %7.3f GB/s  "
+                "speedup %5.2fx  work %5.1f%%  dominant overhead: %.*s\n",
+                t, gbps(field.size_bytes(), row.m.wall_comp_s),
+                gbps(field.size_bytes(), row.m.wall_decomp_s),
+                row.m.wall_comp_s > 0 ? ser.wall_comp_s / row.m.wall_comp_s
+                                      : 0.0,
+                work_pct, static_cast<int>(dom.size()), dom.data());
+    const std::string hp_path =
+        outdir + "/hostprof_t" + std::to_string(t) + ".json";
+    if (!hostprof::write_hostprof_json_file(hp_path, row.snap)) {
+      std::fprintf(stderr, "cannot write %s\n", hp_path.c_str());
+      return 1;
+    }
+    rows.push_back(std::move(row));
+  }
+
+  // Determinism gate: two fresh 4-thread roundtrips must produce
+  // byte-identical counter fingerprints.
+  const std::string fp1 = fingerprint_cycle(p, field, 4);
+  const std::string fp2 = fingerprint_cycle(p, field, 4);
+  const bool fingerprint_stable = fp1 == fp2;
+  std::printf("\ncounter fingerprint stable across runs (4 threads): %s\n",
+              fingerprint_stable ? "yes" : "NO");
+
+  prof.set_enabled(false);
+  prof.reset();
+
+  unsigned best_threads = 1;
+  double best_comp_s = 1e30;
+  for (const Row& r : rows) {
+    if (r.m.wall_comp_s < best_comp_s) {
+      best_comp_s = r.m.wall_comp_s;
+      best_threads = r.threads;
+    }
+  }
+  const double max_speedup =
+      best_comp_s > 0 ? ser.wall_comp_s / best_comp_s : 0.0;
+
+  const std::string out_path = outdir + "/BENCH_pr7.json";
+  std::ofstream js(out_path);
+  js << "{\n"
+     << "  \"bench\": \"pr7_hostscale\",\n"
+     << "  \"version\": \"" << kVersionString << "\",\n"
+     << "  \"rel_bound\": " << p.error_bound << ",\n"
+     << "  \"scale\": " << scale << ",\n"
+     << "  \"hardware_threads\": " << hw << ",\n"
+     << "  \"field\": {\"suite\": \"HACC\", \"name\": \"" << field.name
+     << "\", \"elements\": " << field.count()
+     << ", \"raw_bytes\": " << field.size_bytes() << "},\n"
+     << "  \"serial\": {\"wall_comp_s\": " << ser.wall_comp_s
+     << ", \"wall_decomp_s\": " << ser.wall_decomp_s
+     << ", \"comp_gbps\": " << gbps(field.size_bytes(), ser.wall_comp_s)
+     << ", \"decomp_gbps\": " << gbps(field.size_bytes(), ser.wall_decomp_s)
+     << ", \"ratio\": " << ser.ratio << "},\n"
+     << "  \"matrix\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    const auto agg = hostprof::aggregate_attribution(r.snap);
+    const double wall = static_cast<double>(agg.wall_ns);
+    const auto pct = [&](std::uint64_t ns) {
+      return wall > 0 ? 100.0 * static_cast<double>(ns) / wall : 0.0;
+    };
+    js << "    {\"threads\": " << r.threads
+       << ", \"wall_comp_s\": " << r.m.wall_comp_s
+       << ", \"wall_decomp_s\": " << r.m.wall_decomp_s
+       << ", \"comp_gbps\": " << gbps(field.size_bytes(), r.m.wall_comp_s)
+       << ", \"decomp_gbps\": " << gbps(field.size_bytes(), r.m.wall_decomp_s)
+       << ", \"comp_speedup\": "
+       << (r.m.wall_comp_s > 0 ? ser.wall_comp_s / r.m.wall_comp_s : 0.0)
+       << ", \"ratio\": " << r.m.ratio
+       << ", \"lanes\": " << r.snap.threads.size()
+       << ", \"work_pct\": " << pct(agg.work_ns())
+       << ", \"overhead_pct\": " << pct(agg.overhead_ns())
+       << ", \"queue_wait_pct\": " << pct(agg.bucket(hostprof::Bucket::kQueueWait))
+       << ", \"dispatch_pct\": " << pct(agg.bucket(hostprof::Bucket::kDispatch))
+       << ", \"barrier_pct\": " << pct(agg.bucket(hostprof::Bucket::kBarrier))
+       << ", \"idle_pct\": " << pct(agg.idle_ns)
+       << ", \"dominant_overhead\": \"" << hostprof::dominant_overhead(agg)
+       << "\", \"chunks\": "
+       << r.snap.counter(hostprof::HostCounter::kChunks) << ", \"tasks\": "
+       << r.snap.counter(hostprof::HostCounter::kTasks) << ", \"batches\": "
+       << r.snap.counter(hostprof::HostCounter::kBatches)
+       << ", \"false_shared_boundaries\": "
+       << r.snap.counter(hostprof::HostCounter::kFalseSharedBoundaries) << "}"
+       << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  js << "  ],\n"
+     << "  \"summary\": {\"field_bytes\": " << field.size_bytes()
+     << ", \"elements\": " << field.count()
+     << ", \"serial_comp_gbps\": " << gbps(field.size_bytes(), ser.wall_comp_s)
+     << ", \"best_threads\": " << best_threads
+     << ", \"max_comp_speedup\": " << max_speedup
+     << ", \"fingerprint_stable\": " << (fingerprint_stable ? "true" : "false")
+     << "}\n"
+     << "}\n";
+  js.close();
+
+  std::printf("best threads: %u (%.2fx over serial)\n", best_threads,
+              max_speedup);
+  std::printf("wrote %s (+ hostprof_t{1,2,4,8}.json)\n", out_path.c_str());
+  return fingerprint_stable ? 0 : 1;
+}

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "szp/core/stages.hpp"
+#include "szp/obs/hostprof/hostprof.hpp"
 #include "szp/obs/metrics.hpp"
 
 namespace szp::core {
@@ -60,6 +61,10 @@ template <typename T>
 std::uint8_t encode_block(std::span<const T> data, size_t n, size_t block,
                           unsigned L, double eb, const Params& params,
                           BlockScratch& scratch, size_t& elems) {
+  // QP = load + quantize + Lorenzo predict; FE = sign split, bit-width
+  // scan, outlier scan. The split timer closes FE at whichever return
+  // fires, so both exits are attributed.
+  obs::hostprof::SplitTimer stage(obs::hostprof::Bucket::kQP);
   const size_t begin = block * L;
   const size_t len = std::min<size_t>(L, n - begin);
   elems = len;
@@ -77,6 +82,7 @@ std::uint8_t encode_block(std::span<const T> data, size_t n, size_t block,
       lorenzo_forward(scratch.quant);
     }
   }
+  stage.split(obs::hostprof::Bucket::kFE);
   split_signs(scratch.quant, scratch.mags, scratch.signs);
   const unsigned f_all = fixed_length_of(scratch.mags);
 

@@ -3,10 +3,16 @@
 #include <cstring>
 
 #include "szp/core/stages.hpp"
+#include "szp/obs/hostprof/hostprof.hpp"
 
 namespace szp::core {
 
+namespace hostprof = obs::hostprof;
+
 namespace {
+
+/// Cache line granularity for the cross-chunk output-sharing counter.
+constexpr std::uint64_t kCacheLineBytes = 64;
 
 /// Contiguous block range [begin, end) owned by one executor task.
 struct BlockRange {
@@ -68,6 +74,7 @@ std::vector<byte_t> compress_impl(std::span<const T> data,
       out[lengths_offset() + b] = lb;
       const size_t cl = encoded_block_bytes(lb, L, params);
       if (cl == 0) continue;
+      const hostprof::ScopedTimer bb(hostprof::Bucket::kBB);
       const size_t at = ch.payload.size();
       ch.payload.resize(at + cl, byte_t{0});
       write_block_payload(ch.block, lb, L, params.bit_shuffle,
@@ -79,9 +86,12 @@ std::vector<byte_t> compress_impl(std::span<const T> data,
   // Global synchronization: exclusive prefix sum over the chunk totals
   // (block offsets within a chunk are implied by arena order).
   std::uint64_t total_payload = 0;
-  for (size_t c = 0; c < nchunks; ++c) {
-    scratch.chunk_offset[c] = total_payload;
-    total_payload += scratch.chunk_bytes[c];
+  {
+    const hostprof::ScopedTimer gs(hostprof::Bucket::kGS);
+    for (size_t c = 0; c < nchunks; ++c) {
+      scratch.chunk_offset[c] = total_payload;
+      total_payload += scratch.chunk_bytes[c];
+    }
   }
 
   const size_t base = payload_offset(nblocks);
@@ -94,6 +104,7 @@ std::vector<byte_t> compress_impl(std::span<const T> data,
   exec.run(nchunks, [&](size_t c) {
     const auto& payload = scratch.chunks[c].payload;
     if (payload.empty()) return;
+    const hostprof::ScopedTimer bb(hostprof::Bucket::kBB);
     std::memcpy(out.data() + base + scratch.chunk_offset[c], payload.data(),
                 payload.size());
   });
@@ -107,6 +118,7 @@ std::vector<byte_t> compress_impl(std::span<const T> data,
     footer.crcs.resize(spans.size());
     const size_t gchunks = chunk_count(spans.size(), exec);
     exec.run(gchunks, [&](size_t c) {
+      const hostprof::ScopedTimer crc(hostprof::Bucket::kChecksum);
       const BlockRange r = chunk_range(spans.size(), gchunks, c);
       for (size_t g = r.begin; g < r.end; ++g) {
         footer.offsets[g] = spans[g].payload_begin - base;
@@ -115,6 +127,33 @@ std::vector<byte_t> compress_impl(std::span<const T> data,
     });
     footer.serialize(std::span(out).subspan(base + total_payload,
                                             footer_bytes));
+  }
+
+  // Deterministic counters: everything below derives from serial state
+  // (submission-side sizes and the post-GS offsets), so the fingerprint is
+  // stable run to run regardless of which worker claimed which chunk.
+  if (hostprof::enabled()) {
+    auto& prof = hostprof::Profiler::instance();
+    prof.count(hostprof::HostCounter::kCompressCalls);
+    prof.count(hostprof::HostCounter::kBlocksEncoded, nblocks);
+    prof.count(hostprof::HostCounter::kBytesRead, n * sizeof(T));
+    prof.count(hostprof::HostCounter::kBytesWritten, out.size());
+    prof.count(hostprof::HostCounter::kChunks, nchunks);
+    for (size_t c = 1; c < nchunks; ++c) {
+      // Adjacent chunks whose boundary lands mid cache line: the pass-2
+      // scatter has two threads writing the same 64-byte line.
+      if (scratch.chunk_bytes[c] == 0 || scratch.chunk_bytes[c - 1] == 0) {
+        continue;
+      }
+      const std::uint64_t at = base + scratch.chunk_offset[c];
+      if ((at - 1) / kCacheLineBytes == at / kCacheLineBytes) {
+        prof.count(hostprof::HostCounter::kFalseSharedBoundaries);
+      }
+    }
+    for (size_t c = 0; c < nchunks; ++c) {
+      const BlockRange r = chunk_range(nblocks, nchunks, c);
+      prof.observe_chunk(r.end - r.begin, scratch.chunk_bytes[c]);
+    }
   }
   return out;
 }
@@ -136,13 +175,16 @@ std::vector<T> decompress_impl(std::span<const byte_t> stream, Executor& exec,
   // Rebuild offsets with the same prefix sum the compressor used.
   scratch.offsets.resize(nblocks);
   std::uint64_t total = 0;
-  for (size_t b = 0; b < nblocks; ++b) {
-    const std::uint8_t lb = stream[lengths_offset() + b];
-    if (!valid_length_byte(lb)) {
-      throw format_error("decompress: invalid length byte");
+  {
+    const hostprof::ScopedTimer gs(hostprof::Bucket::kGS);
+    for (size_t b = 0; b < nblocks; ++b) {
+      const std::uint8_t lb = stream[lengths_offset() + b];
+      if (!valid_length_byte(lb)) {
+        throw format_error("decompress: invalid length byte");
+      }
+      scratch.offsets[b] = total;
+      total += block_payload_bytes(lb, L, h.zero_block_bypass());
     }
-    scratch.offsets[b] = total;
-    total += block_payload_bytes(lb, L, h.zero_block_bypass());
   }
   const size_t base = payload_offset(nblocks);
   if (stream.size() < base + total) {
@@ -150,7 +192,10 @@ std::vector<T> decompress_impl(std::span<const byte_t> stream, Executor& exec,
   }
   // v2 streams are integrity-checked before any payload is interpreted;
   // a flipped bit fails here instead of dequantizing into garbage.
-  verify_checksums(stream, h);
+  {
+    const hostprof::ScopedTimer crc(hostprof::Bucket::kChecksum);
+    verify_checksums(stream, h);
+  }
 
   std::vector<T> out(n, T{0});
   const size_t nchunks = chunk_count(nblocks, exec);
@@ -171,8 +216,12 @@ std::vector<T> decompress_impl(std::span<const byte_t> stream, Executor& exec,
       const std::uint8_t lb = stream[lengths_offset() + b];
       const size_t cl = block_payload_bytes(lb, L, h.zero_block_bypass());
       if (cl == 0) continue;  // zero block: out is pre-zeroed
+      // BB covers undoing the payload packing; QP covers the prediction
+      // inverse and dequantize — the mirror of the compress-side split.
+      hostprof::SplitTimer stage(hostprof::Bucket::kBB);
       read_block_payload(stream.subspan(base + scratch.offsets[b], cl), lb, L,
                          h.bit_shuffle(), ch.block);
+      stage.split(hostprof::Bucket::kQP);
       if (h.lorenzo()) {
         if (h.lorenzo2()) {
           lorenzo2_inverse(ch.block.quant);
@@ -185,6 +234,15 @@ std::vector<T> decompress_impl(std::span<const byte_t> stream, Executor& exec,
                 out.begin() + begin);
     }
   });
+
+  if (hostprof::enabled()) {
+    auto& prof = hostprof::Profiler::instance();
+    prof.count(hostprof::HostCounter::kDecompressCalls);
+    prof.count(hostprof::HostCounter::kBlocksDecoded, nblocks);
+    prof.count(hostprof::HostCounter::kBytesRead, stream.size());
+    prof.count(hostprof::HostCounter::kBytesWritten, n * sizeof(T));
+    prof.count(hostprof::HostCounter::kChunks, nchunks);
+  }
   return out;
 }
 

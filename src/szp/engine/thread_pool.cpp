@@ -1,10 +1,19 @@
 #include "szp/engine/thread_pool.hpp"
 
 #include <algorithm>
+#include <string>
+
+#include "szp/obs/hostprof/hostprof.hpp"
+#include "szp/obs/tracer.hpp"
 
 namespace szp::engine {
 
+namespace hostprof = obs::hostprof;
+
 ThreadPool::ThreadPool(unsigned threads) {
+  // Arm the host profiler once per process if SZP_HOSTPROF asks for it,
+  // before any worker can take its first sample.
+  hostprof::init_from_env();
   if (threads == 0) {
     threads = std::max(2u, std::thread::hardware_concurrency());
   }
@@ -12,7 +21,7 @@ ThreadPool::ThreadPool(unsigned threads) {
   const unsigned workers = threads - 1;
   workers_.reserve(workers);
   for (unsigned i = 0; i < workers; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -27,36 +36,68 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::run(size_t count, const std::function<void(size_t)>& task) {
   if (count == 0) return;
+  if (hostprof::enabled()) {
+    auto& prof = hostprof::Profiler::instance();
+    prof.label_thread("szp-caller-", 0);
+    prof.note_batch();
+    prof.count(hostprof::HostCounter::kBatches);
+    prof.count(hostprof::HostCounter::kTasks, count);
+  }
   if (workers_.empty() || count == 1) {
-    for (size_t i = 0; i < count; ++i) task(i);
+    for (size_t i = 0; i < count; ++i) {
+      if (hostprof::enabled()) hostprof::Profiler::instance().note_task();
+      const obs::Span span("host", "chunk", "chunk", i);
+      task(i);
+    }
     return;
   }
   auto batch = std::make_shared<Batch>();
   batch->task = &task;
   batch->count = count;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    batch_ = batch;
-    ++generation_;
+    hostprof::ScopedTimer dispatch(hostprof::Bucket::kDispatch);
+    const obs::Span span("host", "dispatch", "tasks", count);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      batch_ = batch;
+      ++generation_;
+    }
+    cv_start_.notify_all();
   }
-  cv_start_.notify_all();
   process(*batch);
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_done_.wait(lock, [&] { return batch->done == batch->count; });
+  {
+    hostprof::ScopedTimer barrier(hostprof::Bucket::kBarrier);
+    const obs::Span span("host", "barrier_wait");
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_done_.wait(lock, [&] { return batch->done == batch->count; });
+  }
   if (batch->error) std::rethrow_exception(batch->error);
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(unsigned index) {
+  bool trace_named = false;
   std::uint64_t seen = 0;
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
-    cv_start_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    {
+      // The condition variable releases the pool mutex while blocked, so
+      // this interval really is time spent waiting for work.
+      hostprof::ScopedTimer wait(hostprof::Bucket::kQueueWait);
+      cv_start_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    }
     if (stop_) return;
     seen = generation_;
     // Keep the batch alive past the submitting run() call: process() may
     // make one final (empty) index claim after the batch completed.
     const std::shared_ptr<Batch> batch = batch_;
     lock.unlock();
+    if (hostprof::enabled()) {
+      hostprof::Profiler::instance().label_thread("szp-worker-", index);
+    }
+    if (obs::tracing_enabled() && !trace_named) {
+      obs::set_thread_name("szp-worker-" + std::to_string(index));
+      trace_named = true;
+    }
     process(*batch);
     lock.lock();
   }
@@ -66,7 +107,9 @@ void ThreadPool::process(Batch& batch) {
   size_t i;
   while ((i = batch.next.fetch_add(1, std::memory_order_relaxed)) <
          batch.count) {
+    if (hostprof::enabled()) hostprof::Profiler::instance().note_task();
     try {
+      const obs::Span span("host", "chunk", "chunk", i);
       (*batch.task)(i);
     } catch (...) {
       const std::lock_guard<std::mutex> lock(mutex_);

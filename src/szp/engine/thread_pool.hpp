@@ -50,7 +50,7 @@ class ThreadPool final : public core::Executor {
     std::exception_ptr error;      // guarded by the pool mutex
   };
 
-  void worker_loop();
+  void worker_loop(unsigned index);
   void process(Batch& batch);
 
   std::mutex mutex_;

@@ -79,6 +79,12 @@ void write_chrome_trace(std::ostream& os) {
     first = false;
   };
 
+  // Process-name metadata so the single-process trace groups under "szp"
+  // instead of a bare pid in the viewer.
+  sep();
+  os << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+        "\"tid\": 0, \"args\": {\"name\": \"szp\"}}";
+
   // Thread-name metadata rows: explicit names first, then a default so
   // every lane is labeled in the viewer.
   for (const ThreadEvents& t : threads) {

@@ -1,0 +1,325 @@
+#include "szp/obs/hostprof/hostprof.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+
+#include "szp/obs/hostprof/report.hpp"
+#include "szp/util/env.hpp"
+
+namespace szp::obs::hostprof {
+
+std::string_view bucket_name(Bucket b) {
+  switch (b) {
+    case Bucket::kQueueWait: return "queue_wait";
+    case Bucket::kDispatch: return "dispatch";
+    case Bucket::kQP: return "qp";
+    case Bucket::kFE: return "fe";
+    case Bucket::kGS: return "gs";
+    case Bucket::kBB: return "bb";
+    case Bucket::kChecksum: return "checksum";
+    case Bucket::kBarrier: return "barrier";
+    case Bucket::kCount_: break;
+  }
+  return "?";
+}
+
+std::string_view counter_name(HostCounter c) {
+  switch (c) {
+    case HostCounter::kCompressCalls: return "compress_calls";
+    case HostCounter::kDecompressCalls: return "decompress_calls";
+    case HostCounter::kBatches: return "batches";
+    case HostCounter::kTasks: return "tasks";
+    case HostCounter::kBlocksEncoded: return "blocks_encoded";
+    case HostCounter::kBlocksDecoded: return "blocks_decoded";
+    case HostCounter::kBytesRead: return "bytes_read";
+    case HostCounter::kBytesWritten: return "bytes_written";
+    case HostCounter::kChunks: return "chunks";
+    case HostCounter::kFalseSharedBoundaries: return "false_shared_boundaries";
+    case HostCounter::kCount_: break;
+  }
+  return "?";
+}
+
+Options options_from_string(std::string_view spec) {
+  Options o;
+  if (spec.empty() || spec == "0" || spec == "off") return o;
+  o.enabled = true;
+  if (spec == "1" || spec == "on") return o;
+  o.export_path.assign(spec);
+  return o;
+}
+
+Options options_from_env() {
+  Options o = options_from_string(hostprof_env_spec());
+  if (o.enabled) o.from_env = true;
+  return o;
+}
+
+namespace {
+
+/// Power-of-two histogram: bucket i counts values with bit_width i
+/// (v = 0 → bucket 0, 1 → 1, 2..3 → 2, ...). Concurrent observes are
+/// relaxed adds, so totals are order-independent and deterministic.
+struct AtomicPow2Hist {
+  static constexpr unsigned kBuckets = 65;  // uint64 bit widths 0..64
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets{};
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint64_t> sum{0};
+  std::atomic<std::uint64_t> max{0};
+
+  void observe(std::uint64_t v) {
+    buckets[static_cast<unsigned>(std::bit_width(v))].fetch_add(
+        1, std::memory_order_relaxed);
+    count.fetch_add(1, std::memory_order_relaxed);
+    sum.fetch_add(v, std::memory_order_relaxed);
+    std::uint64_t cur = max.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  void reset() {
+    for (auto& b : buckets) b.store(0, std::memory_order_relaxed);
+    count.store(0, std::memory_order_relaxed);
+    sum.store(0, std::memory_order_relaxed);
+    max.store(0, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] HistSnapshot snapshot() const {
+    HistSnapshot out;
+    out.buckets.resize(kBuckets);
+    for (unsigned i = 0; i < kBuckets; ++i) {
+      out.buckets[i] = buckets[i].load(std::memory_order_relaxed);
+    }
+    // Trim trailing empty buckets so two runs with the same populated
+    // range serialize identically and compactly.
+    while (!out.buckets.empty() && out.buckets.back() == 0) {
+      out.buckets.pop_back();
+    }
+    out.count = count.load(std::memory_order_relaxed);
+    out.sum = sum.load(std::memory_order_relaxed);
+    out.max = max.load(std::memory_order_relaxed);
+    return out;
+  }
+};
+
+}  // namespace
+
+/// One thread's lane. Bucket adds come only from the owning thread
+/// (relaxed atomics so snapshots from other threads read torn-free); the
+/// mutex guards label/alive.
+struct Profiler::ThreadSlot {
+  mutable std::mutex mutex;  // label + alive
+  std::uint32_t tid = 0;
+  std::string label;
+  bool alive = true;
+  std::atomic<std::uint64_t> start_ns{0};
+  std::atomic<std::uint64_t> end_ns{0};  // set once at thread exit
+  std::array<std::atomic<std::uint64_t>, kNumBuckets> bucket_ns{};
+  std::atomic<std::uint64_t> tasks{0};
+  std::atomic<std::uint64_t> batches{0};
+};
+
+struct Profiler::Registry {
+  mutable std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadSlot>> slots;
+  std::uint32_t next_tid = 0;
+  std::string export_path;
+  std::array<std::atomic<std::uint64_t>, kNumHostCounters> counters{};
+  AtomicPow2Hist chunk_blocks;
+  AtomicPow2Hist chunk_payload_bytes;
+};
+
+Profiler& Profiler::instance() {
+  static Profiler* p = new Profiler();  // leaked: usable from exit handlers
+  return *p;
+}
+
+Profiler::Registry& Profiler::registry() const {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+namespace {
+/// Marks the lane dead (and stamps its end time) when the owning thread
+/// exits; the lane itself stays registered until Profiler::reset().
+struct SlotHandle {
+  std::shared_ptr<Profiler::ThreadSlot> slot;
+  ~SlotHandle() {
+    if (slot) {
+      slot->end_ns.store(now_ns(), std::memory_order_relaxed);
+      const std::lock_guard<std::mutex> lock(slot->mutex);
+      slot->alive = false;
+    }
+  }
+};
+}  // namespace
+
+Profiler::ThreadSlot& Profiler::local_slot() {
+  thread_local SlotHandle handle;
+  if (!handle.slot) {
+    auto slot = std::make_shared<ThreadSlot>();
+    slot->start_ns.store(now_ns(), std::memory_order_relaxed);
+    Registry& reg = registry();
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    slot->tid = reg.next_tid++;
+    reg.slots.push_back(slot);
+    handle.slot = std::move(slot);
+  }
+  return *handle.slot;
+}
+
+void Profiler::add_time(Bucket b, std::uint64_t ns) {
+  local_slot().bucket_ns[static_cast<unsigned>(b)].fetch_add(
+      ns, std::memory_order_relaxed);
+}
+
+void Profiler::note_task() {
+  local_slot().tasks.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Profiler::note_batch() {
+  local_slot().batches.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Profiler::label_thread(std::string_view prefix, unsigned index) {
+  ThreadSlot& slot = local_slot();
+  const std::lock_guard<std::mutex> lock(slot.mutex);
+  if (slot.label.empty()) {
+    slot.label = std::string(prefix) + std::to_string(index);
+  }
+}
+
+void Profiler::set_thread_label(std::string label) {
+  ThreadSlot& slot = local_slot();
+  const std::lock_guard<std::mutex> lock(slot.mutex);
+  slot.label = std::move(label);
+}
+
+void Profiler::count(HostCounter c, std::uint64_t n) {
+  registry().counters[static_cast<unsigned>(c)].fetch_add(
+      n, std::memory_order_relaxed);
+}
+
+void Profiler::observe_chunk(std::uint64_t blocks,
+                             std::uint64_t payload_bytes) {
+  Registry& reg = registry();
+  reg.chunk_blocks.observe(blocks);
+  reg.chunk_payload_bytes.observe(payload_bytes);
+}
+
+Snapshot Profiler::snapshot() const {
+  Registry& reg = registry();
+  std::vector<std::shared_ptr<ThreadSlot>> slots;
+  Snapshot out;
+  {
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    slots = reg.slots;
+  }
+  for (unsigned i = 0; i < kNumHostCounters; ++i) {
+    out.counters[i] = reg.counters[i].load(std::memory_order_relaxed);
+  }
+  out.chunk_blocks = reg.chunk_blocks.snapshot();
+  out.chunk_payload_bytes = reg.chunk_payload_bytes.snapshot();
+  const std::uint64_t now = now_ns();
+  out.threads.reserve(slots.size());
+  for (const auto& slot : slots) {
+    ThreadSnapshot t;
+    {
+      const std::lock_guard<std::mutex> lock(slot->mutex);
+      t.label = slot->label;
+      t.alive = slot->alive;
+    }
+    t.tid = slot->tid;
+    const std::uint64_t start = slot->start_ns.load(std::memory_order_relaxed);
+    const std::uint64_t end =
+        t.alive ? now : slot->end_ns.load(std::memory_order_relaxed);
+    t.wall_ns = end > start ? end - start : 0;
+    std::uint64_t attributed = 0;
+    for (unsigned b = 0; b < kNumBuckets; ++b) {
+      t.bucket_ns[b] = slot->bucket_ns[b].load(std::memory_order_relaxed);
+      attributed += t.bucket_ns[b];
+    }
+    // Clock granularity can push the bucket sum a hair past the lane
+    // wall; report the wall as attributed so percentages stay sane.
+    if (attributed > t.wall_ns) t.wall_ns = attributed;
+    t.idle_ns = t.wall_ns - attributed;
+    t.tasks = slot->tasks.load(std::memory_order_relaxed);
+    t.batches = slot->batches.load(std::memory_order_relaxed);
+    out.threads.push_back(std::move(t));
+  }
+  return out;
+}
+
+void Profiler::reset() {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  auto& v = reg.slots;
+  v.erase(std::remove_if(v.begin(), v.end(),
+                         [](const std::shared_ptr<ThreadSlot>& s) {
+                           const std::lock_guard<std::mutex> sl(s->mutex);
+                           return !s->alive;
+                         }),
+          v.end());
+  const std::uint64_t now = now_ns();
+  for (const auto& slot : v) {
+    for (auto& b : slot->bucket_ns) b.store(0, std::memory_order_relaxed);
+    slot->tasks.store(0, std::memory_order_relaxed);
+    slot->batches.store(0, std::memory_order_relaxed);
+    slot->start_ns.store(now, std::memory_order_relaxed);
+    slot->end_ns.store(0, std::memory_order_relaxed);
+  }
+  for (auto& c : reg.counters) c.store(0, std::memory_order_relaxed);
+  reg.chunk_blocks.reset();
+  reg.chunk_payload_bytes.reset();
+}
+
+void Profiler::set_export_path(std::string path) {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.export_path = std::move(path);
+}
+
+std::string Profiler::export_path() const {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  return reg.export_path;
+}
+
+namespace {
+
+void flush_env_report() {
+  const std::string path = Profiler::instance().export_path();
+  if (path.empty()) return;
+  const Snapshot snap = Profiler::instance().snapshot();
+  if (write_hostprof_json_file(path, snap)) {
+    std::fprintf(stderr, "[szp-hostprof] wrote report to %s (%zu lanes)\n",
+                 path.c_str(), snap.threads.size());
+  } else {
+    std::fprintf(stderr, "[szp-hostprof] FAILED to write report to %s\n",
+                 path.c_str());
+  }
+}
+
+}  // namespace
+
+void init_from_env() {
+  static const bool done = [] {
+    const Options o = options_from_env();
+    if (o.enabled) {
+      Profiler::instance().set_enabled(true);
+      if (!o.export_path.empty()) {
+        Profiler::instance().set_export_path(o.export_path);
+        std::atexit(flush_env_report);
+      }
+    }
+    return true;
+  }();
+  (void)done;
+}
+
+}  // namespace szp::obs::hostprof

@@ -1,0 +1,50 @@
+// Exporters for hostprof snapshots: schema-v1 JSON, a human-readable
+// attribution table, and the deterministic counter fingerprint.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "szp/obs/hostprof/hostprof.hpp"
+
+namespace szp::obs::hostprof {
+
+/// Attribution totals for one lane (or aggregated across lanes).
+struct Attribution {
+  std::uint64_t wall_ns = 0;
+  std::array<std::uint64_t, kNumBuckets> bucket_ns{};
+  std::uint64_t idle_ns = 0;
+
+  [[nodiscard]] std::uint64_t bucket(Bucket b) const {
+    return bucket_ns[static_cast<unsigned>(b)];
+  }
+  /// Codec stage time: qp + fe + gs + bb + checksum.
+  [[nodiscard]] std::uint64_t work_ns() const;
+  /// Executor time: queue_wait + dispatch + barrier.
+  [[nodiscard]] std::uint64_t overhead_ns() const;
+  /// Percent of wall (0..100); 0 when wall is 0.
+  [[nodiscard]] double pct(Bucket b) const;
+  [[nodiscard]] double idle_pct() const;
+};
+
+[[nodiscard]] Attribution attribution_of(const ThreadSnapshot& t);
+/// Sum over every lane in the snapshot.
+[[nodiscard]] Attribution aggregate_attribution(const Snapshot& s);
+/// Largest executor-overhead bucket ("queue_wait" / "dispatch" /
+/// "barrier"), or "none" when no overhead was recorded.
+[[nodiscard]] std::string_view dominant_overhead(const Attribution& a);
+
+/// Schema v1: {"szp_hostprof_version": 1, "counters": {...},
+/// "threads": [...], "summary": {...}}.
+void write_hostprof_json(std::ostream& os, const Snapshot& s);
+bool write_hostprof_json_file(const std::string& path, const Snapshot& s);
+
+/// Per-lane attribution table (percent of lane wall per bucket).
+void write_hostprof_text(std::ostream& os, const Snapshot& s);
+
+/// The version + counters section only — the run-to-run byte-identical
+/// slice of the report (no lanes, no nanoseconds).
+[[nodiscard]] std::string counter_fingerprint(const Snapshot& s);
+
+}  // namespace szp::obs::hostprof

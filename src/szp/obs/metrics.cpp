@@ -88,6 +88,36 @@ void Histogram::observe(double v) {
   atomic_max(max_, v);
 }
 
+double Histogram::quantile(double q) const {
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target observation (1-based, nearest-rank with
+  // interpolation below): rank r falls in the first bucket whose
+  // cumulative count reaches it.
+  const double rank = q * static_cast<double>(total);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const std::uint64_t n = buckets_[i].load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    if (static_cast<double>(cum + n) >= rank) {
+      // Bucket edges; the open-ended first/last buckets borrow the
+      // tracked extrema so the interpolation stays finite.
+      double lo = i == 0 ? min() : bounds_[i - 1];
+      double hi = i == bounds_.size() ? max() : bounds_[i];
+      lo = std::max(lo, min());
+      hi = std::min(hi, max());
+      if (hi < lo) hi = lo;
+      const double frac =
+          (rank - static_cast<double>(cum)) / static_cast<double>(n);
+      return std::clamp(lo + (hi - lo) * std::clamp(frac, 0.0, 1.0), min(),
+                        max());
+    }
+    cum += n;
+  }
+  return max();
+}
+
 void Histogram::reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
@@ -222,7 +252,9 @@ void Registry::write_json(std::ostream& os) const {
     write_json_string(os, name);
     os << ": {\"count\": " << h->count() << ", \"sum\": " << h->sum()
        << ", \"min\": " << h->min() << ", \"max\": " << h->max()
-       << ", \"bounds\": [";
+       << ", \"p50\": " << h->quantile(0.50)
+       << ", \"p90\": " << h->quantile(0.90)
+       << ", \"p99\": " << h->quantile(0.99) << ", \"bounds\": [";
     for (std::size_t i = 0; i < h->bounds().size(); ++i) {
       os << (i ? ", " : "") << h->bounds()[i];
     }
@@ -256,8 +288,9 @@ void Registry::write_text(std::ostream& os) const {
   for (const auto& [name, h] : im.histograms) {
     if (h->count() == 0) continue;
     os << "  " << std::left << std::setw(36) << name << " count="
-       << h->count() << " mean=" << h->mean() << " min=" << h->min()
-       << " max=" << h->max() << "\n    buckets:";
+       << h->count() << " mean=" << h->mean() << " p50=" << h->quantile(0.50)
+       << " p90=" << h->quantile(0.90) << " p99=" << h->quantile(0.99)
+       << " min=" << h->min() << " max=" << h->max() << "\n    buckets:";
     for (std::size_t i = 0; i < h->num_buckets(); ++i) {
       const std::uint64_t n = h->bucket_count(i);
       if (n == 0) continue;

@@ -106,6 +106,11 @@ class Histogram {
   [[nodiscard]] double max() const {
     return max_.load(std::memory_order_relaxed);
   }
+  /// Estimated q-quantile (q in [0, 1]) from the bucket counts: linear
+  /// interpolation inside the covering bucket, with the open-ended edge
+  /// buckets tightened by the tracked min/max. 0 when empty.
+  [[nodiscard]] double quantile(double q) const;
+
   [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
   [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const {
     return buckets_[i].load(std::memory_order_relaxed);

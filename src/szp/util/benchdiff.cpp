@@ -1,0 +1,221 @@
+#include "szp/util/benchdiff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <set>
+
+namespace szp::util {
+
+namespace {
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool contains(std::string_view s, std::string_view needle) {
+  return s.find(needle) != std::string_view::npos;
+}
+
+std::string fmt_num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string_view kind_name(JsonValue::Kind k) {
+  switch (k) {
+    case JsonValue::Kind::kNull: return "null";
+    case JsonValue::Kind::kBool: return "bool";
+    case JsonValue::Kind::kNumber: return "number";
+    case JsonValue::Kind::kString: return "string";
+    case JsonValue::Kind::kArray: return "array";
+    case JsonValue::Kind::kObject: return "object";
+  }
+  return "?";
+}
+
+struct Walker {
+  const BenchDiffOptions& opts;
+  BenchDiffResult& out;
+
+  void add(DiffSeverity sev, const std::string& path, std::string message) {
+    out.findings.push_back({sev, path, std::move(message)});
+  }
+
+  bool ignored(const std::string& path) {
+    for (const std::string& pat : opts.ignore) {
+      if (contains(path, pat)) {
+        ++out.ignored;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Severity of a timing/noisy finding under the current options.
+  [[nodiscard]] DiffSeverity timing_severity() const {
+    return opts.warn_timing_only ? DiffSeverity::kWarn : DiffSeverity::kFail;
+  }
+
+  void leaf_number(const std::string& path, std::string_view leaf, double base,
+                   double cur) {
+    ++out.compared;
+    const double denom = std::max(std::abs(base), 1e-300);
+    const double rel = (cur - base) / denom;
+    switch (classify_metric(leaf)) {
+      case MetricClass::kHigherBetter:
+        if (rel < -opts.timing_threshold) {
+          add(timing_severity(), path,
+              "throughput regression: " + fmt_num(base) + " -> " +
+                  fmt_num(cur) + " (" + fmt_num(rel * 100.0) + "%)");
+        } else if (rel > opts.timing_threshold) {
+          add(DiffSeverity::kInfo, path,
+              "improved: " + fmt_num(base) + " -> " + fmt_num(cur));
+        }
+        break;
+      case MetricClass::kLowerBetter:
+        if (rel > opts.timing_threshold) {
+          add(timing_severity(), path,
+              "time regression: " + fmt_num(base) + " -> " + fmt_num(cur) +
+                  " (+" + fmt_num(rel * 100.0) + "%)");
+        } else if (rel < -opts.timing_threshold) {
+          add(DiffSeverity::kInfo, path,
+              "improved: " + fmt_num(base) + " -> " + fmt_num(cur));
+        }
+        break;
+      case MetricClass::kNoisy:
+        if (std::abs(rel) > opts.timing_threshold) {
+          add(timing_severity(), path,
+              "shifted: " + fmt_num(base) + " -> " + fmt_num(cur));
+        }
+        break;
+      case MetricClass::kExact:
+        if (std::abs(rel) > opts.exact_tolerance) {
+          add(DiffSeverity::kFail, path,
+              "value mismatch: " + fmt_num(base) + " != " + fmt_num(cur));
+        }
+        break;
+    }
+  }
+
+  void walk(const std::string& path, std::string_view leaf,
+            const JsonValue& base, const JsonValue& cur) {
+    if (ignored(path)) return;
+    if (base.kind != cur.kind) {
+      add(DiffSeverity::kFail, path,
+          std::string("type mismatch: ") + std::string(kind_name(base.kind)) +
+              " != " + std::string(kind_name(cur.kind)));
+      return;
+    }
+    switch (base.kind) {
+      case JsonValue::Kind::kObject: {
+        std::set<std::string> keys;
+        for (const auto& [k, v] : base.obj) keys.insert(k);
+        for (const auto& [k, v] : cur.obj) keys.insert(k);
+        for (const std::string& k : keys) {
+          const std::string child = path.empty() ? k : path + "." + k;
+          const JsonValue* b = base.find(k);
+          const JsonValue* c = cur.find(k);
+          if (b == nullptr) {
+            if (!ignored(child)) {
+              add(DiffSeverity::kWarn, child, "new metric (not in baseline)");
+            }
+            continue;
+          }
+          if (c == nullptr) {
+            if (!ignored(child)) {
+              add(DiffSeverity::kFail, child, "metric missing from current");
+            }
+            continue;
+          }
+          walk(child, k, *b, *c);
+        }
+        break;
+      }
+      case JsonValue::Kind::kArray: {
+        if (base.arr.size() != cur.arr.size()) {
+          add(DiffSeverity::kFail, path,
+              "array length mismatch: " + std::to_string(base.arr.size()) +
+                  " != " + std::to_string(cur.arr.size()));
+          return;
+        }
+        for (std::size_t i = 0; i < base.arr.size(); ++i) {
+          walk(path + "[" + std::to_string(i) + "]", leaf, base.arr[i],
+               cur.arr[i]);
+        }
+        break;
+      }
+      case JsonValue::Kind::kNumber:
+        leaf_number(path, leaf, base.num, cur.num);
+        break;
+      case JsonValue::Kind::kString:
+        ++out.compared;
+        if (base.str != cur.str) {
+          add(DiffSeverity::kFail, path,
+              "value mismatch: \"" + base.str + "\" != \"" + cur.str + "\"");
+        }
+        break;
+      case JsonValue::Kind::kBool:
+        ++out.compared;
+        if (base.b != cur.b) {
+          add(DiffSeverity::kFail, path,
+              std::string("value mismatch: ") + (base.b ? "true" : "false") +
+                  " != " + (cur.b ? "true" : "false"));
+        }
+        break;
+      case JsonValue::Kind::kNull:
+        ++out.compared;
+        break;
+    }
+  }
+};
+
+}  // namespace
+
+std::size_t BenchDiffResult::count(DiffSeverity s) const {
+  return static_cast<std::size_t>(
+      std::count_if(findings.begin(), findings.end(),
+                    [&](const DiffFinding& f) { return f.severity == s; }));
+}
+
+MetricClass classify_metric(std::string_view leaf_key) {
+  if (ends_with(leaf_key, "_gbps") || ends_with(leaf_key, "_mbps") ||
+      contains(leaf_key, "speedup")) {
+    return MetricClass::kHigherBetter;
+  }
+  if (ends_with(leaf_key, "_s") || ends_with(leaf_key, "_ms") ||
+      ends_with(leaf_key, "_us") || ends_with(leaf_key, "_ns") ||
+      contains(leaf_key, "wall")) {
+    return MetricClass::kLowerBetter;
+  }
+  if (ends_with(leaf_key, "_pct")) return MetricClass::kNoisy;
+  return MetricClass::kExact;
+}
+
+BenchDiffResult diff_bench(const JsonValue& baseline, const JsonValue& current,
+                           const BenchDiffOptions& opts) {
+  BenchDiffResult r;
+  Walker w{opts, r};
+  w.walk("", "", baseline, current);
+  return r;
+}
+
+void write_benchdiff_report(std::ostream& os, const BenchDiffResult& r) {
+  for (const DiffFinding& f : r.findings) {
+    const char* tag = f.severity == DiffSeverity::kFail   ? "FAIL"
+                      : f.severity == DiffSeverity::kWarn ? "WARN"
+                                                          : "info";
+    os << tag << "  " << f.path << ": " << f.message << '\n';
+  }
+  os << "benchdiff: " << r.compared << " metrics compared, "
+     << r.count(DiffSeverity::kFail) << " regressions, "
+     << r.count(DiffSeverity::kWarn) << " warnings, "
+     << r.count(DiffSeverity::kInfo) << " improvements";
+  if (r.ignored > 0) os << ", " << r.ignored << " ignored";
+  os << '\n';
+}
+
+}  // namespace szp::util

@@ -1,0 +1,67 @@
+// Metric-by-metric diff of two bench JSON files (BENCH_*.json), the
+// engine behind tools/szp_benchdiff and the CI perf gate.
+//
+// Metrics are classified by their leaf key so noisy timing numbers get a
+// relative threshold while structural facts stay exact:
+//   * higher-better timing: keys ending in "_gbps"/"_mbps" or containing
+//     "speedup" — a drop beyond the threshold is a regression.
+//   * lower-better timing: keys ending in "_s"/"_ms"/"_us"/"_ns" or
+//     containing "wall" — a rise beyond the threshold is a regression.
+//   * noisy symmetric: keys ending in "_pct" — movement beyond the
+//     threshold in either direction is flagged.
+//   * exact: everything else (ratios, element counts, flags, strings) —
+//     compared with a tiny relative tolerance; any mismatch fails.
+// `--warn-timing` downgrades the three noisy families to warnings (the
+// CI gate runs this way: timing drifts warn, schema/ratio breaks fail).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "szp/util/mini_json.hpp"
+
+namespace szp::util {
+
+struct BenchDiffOptions {
+  /// Relative change tolerated on timing metrics before flagging.
+  double timing_threshold = 0.10;
+  /// Relative tolerance on exact numeric metrics (formatting slack only).
+  double exact_tolerance = 1e-9;
+  /// Downgrade timing/noisy findings from fail to warn.
+  bool warn_timing_only = false;
+  /// Skip any metric whose path contains one of these substrings.
+  std::vector<std::string> ignore;
+};
+
+enum class DiffSeverity { kInfo, kWarn, kFail };
+
+struct DiffFinding {
+  DiffSeverity severity = DiffSeverity::kInfo;
+  std::string path;     // "summary.comp_gbps", "matrix[2].threads", ...
+  std::string message;  // human-readable, includes both values
+};
+
+struct BenchDiffResult {
+  std::vector<DiffFinding> findings;
+  std::size_t compared = 0;  // leaf metrics actually compared
+  std::size_t ignored = 0;   // leaves skipped by ignore patterns
+
+  [[nodiscard]] std::size_t count(DiffSeverity s) const;
+  /// True when no finding is kFail.
+  [[nodiscard]] bool ok() const { return count(DiffSeverity::kFail) == 0; }
+};
+
+/// How a leaf metric is compared; exposed for tests.
+enum class MetricClass { kHigherBetter, kLowerBetter, kNoisy, kExact };
+[[nodiscard]] MetricClass classify_metric(std::string_view leaf_key);
+
+/// Diff `current` against `baseline` (already-parsed JSON documents).
+[[nodiscard]] BenchDiffResult diff_bench(const JsonValue& baseline,
+                                         const JsonValue& current,
+                                         const BenchDiffOptions& opts = {});
+
+/// One line per finding plus a summary line.
+void write_benchdiff_report(std::ostream& os, const BenchDiffResult& r);
+
+}  // namespace szp::util

@@ -32,4 +32,9 @@ std::string profile_env_spec() {
   return {};
 }
 
+std::string hostprof_env_spec() {
+  if (const char* s = std::getenv("SZP_HOSTPROF")) return s;
+  return {};
+}
+
 }  // namespace szp

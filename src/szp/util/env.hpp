@@ -30,4 +30,8 @@ namespace szp {
 /// tools/benches that want to report or branch on the setting.
 [[nodiscard]] std::string profile_env_spec();
 
+/// SZP_HOSTPROF raw value, same shape as SZP_PROFILE but for the host
+/// execution profiler (obs::hostprof::options_from_env parses it).
+[[nodiscard]] std::string hostprof_env_spec();
+
 }  // namespace szp

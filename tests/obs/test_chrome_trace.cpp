@@ -132,19 +132,26 @@ TEST_F(ChromeTraceTest, WorkerThreadsAreNamedLanes) {
   const JsonValue* events = doc.find("traceEvents");
   ASSERT_NE(events, nullptr);
   size_t worker_lanes = 0;
+  size_t process_names = 0;
   for (const auto& e : events->arr) {
     const JsonValue* ph = e.find("ph");
     if (ph == nullptr || ph->str != "M") continue;
     const JsonValue* name = e.find("name");
     ASSERT_NE(name, nullptr);
-    EXPECT_EQ(name->str, "thread_name");
     const JsonValue* args = e.find("args");
     ASSERT_NE(args, nullptr);
     const JsonValue* label = args->find("name");
     ASSERT_NE(label, nullptr);
+    if (name->str == "process_name") {
+      EXPECT_EQ(label->str, "szp");
+      ++process_names;
+      continue;
+    }
+    EXPECT_EQ(name->str, "thread_name");
     if (label->str.find("gpusim-worker") != std::string::npos) ++worker_lanes;
   }
   EXPECT_GE(worker_lanes, 1u);
+  EXPECT_EQ(process_names, 1u);
 }
 
 TEST_F(ChromeTraceTest, EmptyRecordingStillParses) {

@@ -203,6 +203,53 @@ TEST_F(MetricsTest, Pow2BoundsClassifyPowers) {
   EXPECT_EQ(h.bucket_count(4), 2u);
 }
 
+TEST_F(MetricsTest, QuantilesInterpolateWithinBuckets) {
+  auto& h = obs::Registry::instance().histogram(
+      "test.quantile", obs::Histogram::linear_bounds(0, 100, 100));
+  // 1..100 uniformly: one observation per [k, k+1) bucket.
+  for (int v = 1; v <= 100; ++v) h.observe(static_cast<double>(v) - 0.5);
+  EXPECT_EQ(h.quantile(0.0), h.min());
+  EXPECT_NEAR(h.quantile(0.50), 50.0, 1.0);
+  EXPECT_NEAR(h.quantile(0.90), 90.0, 1.0);
+  EXPECT_NEAR(h.quantile(0.99), 99.0, 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), h.max());
+}
+
+TEST_F(MetricsTest, QuantileEdgeCases) {
+  auto& empty = obs::Registry::instance().histogram(
+      "test.quantile.empty", obs::Histogram::linear_bounds(0, 10, 10));
+  EXPECT_EQ(empty.quantile(0.5), 0.0);
+
+  // Everything in the overflow bucket: the tracked max bounds the answer.
+  auto& over = obs::Registry::instance().histogram(
+      "test.quantile.over", obs::Histogram::linear_bounds(0, 10, 10));
+  over.observe(1000.0);
+  over.observe(2000.0);
+  EXPECT_GE(over.quantile(0.99), 1000.0);
+  EXPECT_LE(over.quantile(0.99), 2000.0);
+
+  // A single observation is every quantile.
+  auto& one = obs::Registry::instance().histogram(
+      "test.quantile.one", obs::Histogram::linear_bounds(0, 10, 10));
+  one.observe(3.0);
+  EXPECT_DOUBLE_EQ(one.quantile(0.5), 3.0);
+}
+
+TEST_F(MetricsTest, ExportersIncludeQuantiles) {
+  auto& h = obs::Registry::instance().histogram(
+      "test.quantile.json", obs::Histogram::linear_bounds(0, 10, 10));
+  h.observe(5.0);
+  std::ostringstream js;
+  obs::Registry::instance().write_json(js);
+  EXPECT_NE(js.str().find("\"p50\""), std::string::npos);
+  EXPECT_NE(js.str().find("\"p90\""), std::string::npos);
+  EXPECT_NE(js.str().find("\"p99\""), std::string::npos);
+  std::ostringstream txt;
+  obs::Registry::instance().write_text(txt);
+  EXPECT_NE(txt.str().find("p50="), std::string::npos);
+  EXPECT_NE(txt.str().find("p99="), std::string::npos);
+}
+
 TEST_F(MetricsTest, ResetZeroesButKeepsInstruments) {
   auto& c = obs::Registry::instance().counter("test.reset");
   c.add(7);

@@ -1,0 +1,161 @@
+// Bench-diff engine: metric classification, noise thresholds, structural
+// findings, and the exit-status contract the CI perf gate depends on
+// (identity diff clean, injected 20% throughput drop flagged).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "szp/util/benchdiff.hpp"
+#include "szp/util/mini_json.hpp"
+
+namespace {
+
+using namespace szp::util;
+
+JsonValue parse(const std::string& text) { return JsonParser(text).parse(); }
+
+const char* kBaseline = R"({
+  "bench": "pr7_hostscale",
+  "summary": {
+    "comp_gbps": 1.0,
+    "wall_comp_s": 2.0,
+    "parallel_comp_speedup": 3.0,
+    "work_pct": 50.0,
+    "ratio": 4.867,
+    "elements": 1000000,
+    "fingerprint_stable": true
+  }
+})";
+
+std::string with(const std::string& key, const std::string& value) {
+  std::string s = kBaseline;
+  const auto at = s.find("\"" + key + "\": ");
+  EXPECT_NE(at, std::string::npos) << key;
+  const auto start = at + key.size() + 4;
+  const auto end = s.find_first_of(",\n}", start);
+  return s.replace(start, end - start, value);
+}
+
+TEST(BenchDiff, ClassifiesByLeafKey) {
+  EXPECT_EQ(classify_metric("comp_gbps"), MetricClass::kHigherBetter);
+  EXPECT_EQ(classify_metric("parallel_comp_speedup"),
+            MetricClass::kHigherBetter);
+  EXPECT_EQ(classify_metric("wall_comp_s"), MetricClass::kLowerBetter);
+  EXPECT_EQ(classify_metric("decomp_time_ms"), MetricClass::kLowerBetter);
+  EXPECT_EQ(classify_metric("work_pct"), MetricClass::kNoisy);
+  EXPECT_EQ(classify_metric("ratio"), MetricClass::kExact);
+  EXPECT_EQ(classify_metric("elements"), MetricClass::kExact);
+}
+
+TEST(BenchDiff, IdentityDiffIsClean) {
+  const JsonValue doc = parse(kBaseline);
+  const BenchDiffResult r = diff_bench(doc, doc);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.findings.empty());
+  EXPECT_GT(r.compared, 0u);
+}
+
+TEST(BenchDiff, TwentyPercentThroughputDropRegresses) {
+  const BenchDiffResult r =
+      diff_bench(parse(kBaseline), parse(with("comp_gbps", "0.8")));
+  EXPECT_FALSE(r.ok());
+  ASSERT_EQ(r.count(DiffSeverity::kFail), 1u);
+  EXPECT_EQ(r.findings[0].path, "summary.comp_gbps");
+}
+
+TEST(BenchDiff, SmallThroughputWiggleIsTolerated) {
+  const BenchDiffResult r =
+      diff_bench(parse(kBaseline), parse(with("comp_gbps", "0.95")));
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(BenchDiff, WallTimeIncreaseRegressesAndImprovementDoesNot) {
+  EXPECT_FALSE(
+      diff_bench(parse(kBaseline), parse(with("wall_comp_s", "2.5"))).ok());
+  const BenchDiffResult faster =
+      diff_bench(parse(kBaseline), parse(with("wall_comp_s", "1.0")));
+  EXPECT_TRUE(faster.ok());
+  EXPECT_EQ(faster.count(DiffSeverity::kInfo), 1u);  // noted, not failed
+}
+
+TEST(BenchDiff, SpeedupDropRegresses) {
+  EXPECT_FALSE(
+      diff_bench(parse(kBaseline),
+                 parse(with("parallel_comp_speedup", "2.0")))
+          .ok());
+}
+
+TEST(BenchDiff, WarnTimingDowngradesTimingButNotExact) {
+  BenchDiffOptions opts;
+  opts.warn_timing_only = true;
+  const BenchDiffResult timing =
+      diff_bench(parse(kBaseline), parse(with("comp_gbps", "0.5")), opts);
+  EXPECT_TRUE(timing.ok());
+  EXPECT_EQ(timing.count(DiffSeverity::kWarn), 1u);
+  // Exact facts still hard-fail under --warn-timing: a ratio change or a
+  // flipped determinism flag is never noise.
+  EXPECT_FALSE(
+      diff_bench(parse(kBaseline), parse(with("ratio", "4.2")), opts).ok());
+  EXPECT_FALSE(
+      diff_bench(parse(kBaseline), parse(with("fingerprint_stable", "false")),
+                 opts)
+          .ok());
+}
+
+TEST(BenchDiff, NoisyPctUsesSymmetricThreshold) {
+  EXPECT_TRUE(
+      diff_bench(parse(kBaseline), parse(with("work_pct", "52.0"))).ok());
+  EXPECT_FALSE(
+      diff_bench(parse(kBaseline), parse(with("work_pct", "30.0"))).ok());
+}
+
+TEST(BenchDiff, IgnorePatternsSkipMetrics) {
+  BenchDiffOptions opts;
+  opts.ignore = {"comp_gbps"};
+  const BenchDiffResult r =
+      diff_bench(parse(kBaseline), parse(with("comp_gbps", "0.1")), opts);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.ignored, 1u);
+}
+
+TEST(BenchDiff, StructuralMismatchesFail) {
+  // Missing metric fails; a new metric only warns.
+  const JsonValue base = parse(kBaseline);
+  JsonValue fewer = base;
+  fewer.obj["summary"].obj.erase("ratio");
+  EXPECT_FALSE(diff_bench(base, fewer).ok());
+  const BenchDiffResult extra = diff_bench(fewer, base);
+  EXPECT_TRUE(extra.ok());
+  EXPECT_EQ(extra.count(DiffSeverity::kWarn), 1u);
+
+  // Type and array-shape changes fail.
+  JsonValue retyped = base;
+  retyped.obj["summary"].obj["ratio"].kind = JsonValue::Kind::kString;
+  EXPECT_FALSE(diff_bench(base, retyped).ok());
+  const JsonValue arr_a = parse(R"({"matrix": [1, 2, 3]})");
+  const JsonValue arr_b = parse(R"({"matrix": [1, 2]})");
+  EXPECT_FALSE(diff_bench(arr_a, arr_b).ok());
+}
+
+TEST(BenchDiff, ArraysDiffElementWise) {
+  const JsonValue a = parse(R"({"matrix": [{"comp_gbps": 1.0}, {"comp_gbps": 2.0}]})");
+  const JsonValue b = parse(R"({"matrix": [{"comp_gbps": 1.0}, {"comp_gbps": 1.0}]})");
+  const BenchDiffResult r = diff_bench(a, b);
+  EXPECT_FALSE(r.ok());
+  ASSERT_EQ(r.count(DiffSeverity::kFail), 1u);
+  EXPECT_EQ(r.findings[0].path, "matrix[1].comp_gbps");
+}
+
+TEST(BenchDiff, ReportSummarizesFindings) {
+  const BenchDiffResult r =
+      diff_bench(parse(kBaseline), parse(with("comp_gbps", "0.5")));
+  std::ostringstream os;
+  write_benchdiff_report(os, r);
+  EXPECT_NE(os.str().find("FAIL"), std::string::npos);
+  EXPECT_NE(os.str().find("summary.comp_gbps"), std::string::npos);
+  EXPECT_NE(os.str().find("1 regressions"), std::string::npos);
+}
+
+}  // namespace

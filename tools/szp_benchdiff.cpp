@@ -1,0 +1,103 @@
+// szp_benchdiff — compare two bench JSON files metric by metric.
+//
+//   szp_benchdiff [options] <baseline.json> <current.json>
+//     --timing-threshold <frac>  relative noise budget for timing metrics
+//                                (default 0.10 = 10%)
+//     --warn-timing              timing drifts warn instead of failing
+//                                (exact metrics still fail)
+//     --ignore <substr>          skip metrics whose path contains substr
+//                                (repeatable)
+//
+// Exit codes: 0 = no regressions, 1 = regression or structural mismatch,
+// 2 = usage or parse error. The CI perf gate runs this against the
+// committed bench/baselines/ snapshots.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "szp/util/benchdiff.hpp"
+#include "szp/util/mini_json.hpp"
+
+namespace {
+
+void usage(std::ostream& os) {
+  os << "usage: szp_benchdiff [--timing-threshold <frac>] [--warn-timing]\n"
+        "                     [--ignore <substr>]... <baseline.json> "
+        "<current.json>\n";
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return false;
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  out = ss.str();
+  return static_cast<bool>(is || is.eof());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  szp::util::BenchDiffOptions opts;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--warn-timing") {
+      opts.warn_timing_only = true;
+    } else if (arg == "--timing-threshold") {
+      if (++i >= argc) {
+        usage(std::cerr);
+        return 2;
+      }
+      opts.timing_threshold = std::atof(argv[i]);
+      if (opts.timing_threshold <= 0) {
+        std::cerr << "szp_benchdiff: bad --timing-threshold\n";
+        return 2;
+      }
+    } else if (arg == "--ignore") {
+      if (++i >= argc) {
+        usage(std::cerr);
+        return 2;
+      }
+      opts.ignore.emplace_back(argv[i]);
+    } else if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "szp_benchdiff: unknown option " << arg << '\n';
+      usage(std::cerr);
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.size() != 2) {
+    usage(std::cerr);
+    return 2;
+  }
+
+  szp::util::JsonValue docs[2];
+  for (int i = 0; i < 2; ++i) {
+    std::string text;
+    if (!read_file(files[static_cast<size_t>(i)], text)) {
+      std::cerr << "szp_benchdiff: cannot read "
+                << files[static_cast<size_t>(i)] << '\n';
+      return 2;
+    }
+    try {
+      docs[i] = szp::util::JsonParser(text).parse();
+    } catch (const std::exception& e) {
+      std::cerr << "szp_benchdiff: " << files[static_cast<size_t>(i)] << ": "
+                << e.what() << '\n';
+      return 2;
+    }
+  }
+
+  const szp::util::BenchDiffResult r =
+      szp::util::diff_bench(docs[0], docs[1], opts);
+  szp::util::write_benchdiff_report(std::cout, r);
+  return r.ok() ? 0 : 1;
+}

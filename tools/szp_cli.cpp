@@ -38,6 +38,8 @@
 #include "szp/gpusim/device.hpp"
 #include "szp/metrics/error.hpp"
 #include "szp/obs/chrome_trace.hpp"
+#include "szp/obs/hostprof/hostprof.hpp"
+#include "szp/obs/hostprof/report.hpp"
 #include "szp/obs/metrics.hpp"
 #include "szp/obs/tracer.hpp"
 #include "szp/gpusim/profile/report.hpp"
@@ -71,6 +73,12 @@ void print_usage(std::FILE* to) {
                "findings\n"
                "  --profile <file>  run the kernel profiler; write the "
                "JSON report\n"
+               "  --hostprof <file> run the host execution profiler; write "
+               "the JSON\n"
+               "                    report and print the attribution table "
+               "(SZP_HOSTPROF\n"
+               "                    enables the same with a default path)\n"
+               "  --metrics-json <file>  dump the metrics registry as JSON\n"
                "  --version         print the version and exit\n"
                "  --help            print this message and exit\n");
 }
@@ -112,6 +120,8 @@ int main(int argc, char** argv) try {
   bool breakdown = false;
   bool devcheck = false;
   std::string profile_path;
+  std::string hostprof_path;
+  std::string metrics_json_path;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -135,6 +145,16 @@ int main(int argc, char** argv) try {
     } else if (a == "--profile") {
       if (++i >= argc) return usage();
       profile_path = argv[i];
+    } else if (a == "--hostprof") {
+      if (++i >= argc) return usage();
+      hostprof_path = argv[i];
+    } else if (a.rfind("--hostprof=", 0) == 0) {
+      hostprof_path = a.substr(std::strlen("--hostprof="));
+    } else if (a == "--metrics-json") {
+      if (++i >= argc) return usage();
+      metrics_json_path = argv[i];
+    } else if (a.rfind("--metrics-json=", 0) == 0) {
+      metrics_json_path = a.substr(std::strlen("--metrics-json="));
     } else if (a == "--breakdown") {
       breakdown = true;
     } else if (a == "--version") {
@@ -157,7 +177,16 @@ int main(int argc, char** argv) try {
   if (bound <= 0) return usage();
 
   if (!trace_path.empty()) obs::Tracer::instance().set_enabled(true);
-  if (stats) obs::Registry::instance().set_enabled(true);
+  if (stats || !metrics_json_path.empty()) {
+    obs::Registry::instance().set_enabled(true);
+  }
+  // Arm the host profiler from SZP_HOSTPROF even for backends that never
+  // construct a ThreadPool (serial runs still have codec-stage lanes).
+  obs::hostprof::init_from_env();
+  if (!hostprof_path.empty()) {
+    obs::hostprof::Profiler::instance().set_enabled(true);
+  }
+  const bool hostprof_on = obs::hostprof::enabled();
 
   data::Field field;
   std::string out_base = target;
@@ -298,6 +327,32 @@ int main(int argc, char** argv) try {
     }
     std::printf("wrote profile to %s (%zu launches)\n", profile_path.c_str(),
                 session.launches.size());
+  }
+  if (!metrics_json_path.empty()) {
+    std::ofstream os(metrics_json_path);
+    if (!os) {
+      std::fprintf(stderr, "szp_cli: cannot write metrics to %s\n",
+                   metrics_json_path.c_str());
+      return 1;
+    }
+    obs::Registry::instance().write_json(os);
+    std::printf("wrote metrics to %s\n", metrics_json_path.c_str());
+  }
+  if (hostprof_on) {
+    const auto snap = obs::hostprof::Profiler::instance().snapshot();
+    const std::string path = !hostprof_path.empty()
+                                 ? hostprof_path
+                                 : out_base + ".szp.hostprof.json";
+    if (!obs::hostprof::write_hostprof_json_file(path, snap)) {
+      std::fprintf(stderr, "szp_cli: cannot write host profile to %s\n",
+                   path.c_str());
+      return 1;
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+    obs::hostprof::write_hostprof_text(std::cout, snap);
+    std::printf("wrote host profile to %s (%zu lanes)\n", path.c_str(),
+                snap.threads.size());
   }
   if (devcheck) {
     const auto rep = eng.device().sanitize_report();
