@@ -1,0 +1,197 @@
+// Async device-runtime bench: the same field batch compressed through
+// the synchronous device path (1 device x 1 stream) and the overlapped
+// path (2 streams double-buffering H2D/kernel/D2H), plus the overlap
+// model over recorded stream timelines for 1/2/4 simulated devices.
+// Emits BENCH_pr8.json in SZP_BENCH_OUTDIR; exit code enforces the
+// structural claims (identical bytes, overlap > 0, async wall below
+// sync wall, >=1.5x modeled 2-device scaling) so CI fails loudly.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "szp/data/registry.hpp"
+#include "szp/engine/engine.hpp"
+#include "szp/perfmodel/hardware.hpp"
+#include "szp/perfmodel/overlap.hpp"
+#include "szp/util/common.hpp"
+#include "szp/util/env.hpp"
+
+namespace {
+
+using namespace szp;
+using Clock = std::chrono::steady_clock;
+
+constexpr int kReps = 3;
+/// HACC base field is 1M elements; 6 fields x 6x at scale 1 is ~144 MB.
+constexpr double kFieldScale = 6.0;
+
+engine::EngineConfig config_for(const core::Params& p, unsigned devices,
+                                unsigned streams) {
+  return {.params = p,
+          .backend = engine::BackendKind::kDevice,
+          .devices = devices,
+          .streams = streams};
+}
+
+double wall_of_batch(engine::Engine& eng,
+                     std::span<const std::span<const float>> views,
+                     std::vector<engine::CompressedStream>* out) {
+  double best = 1e30;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const auto t0 = Clock::now();
+    auto batch = eng.compress_batch(views);
+    best = std::min(best,
+                    std::chrono::duration<double>(Clock::now() - t0).count());
+    if (out != nullptr) *out = std::move(batch);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  const double scale = bench_scale();
+
+  core::Params p;
+  p.mode = core::ErrorMode::kRel;
+  p.error_bound = 1e-3;
+
+  std::vector<data::Field> fields;
+  for (size_t f = 0; f < 6; ++f) {
+    fields.push_back(data::make_field(data::Suite::kHacc, f,
+                                      kFieldScale * scale));
+  }
+  std::vector<std::span<const float>> views;
+  views.reserve(fields.size());
+  size_t raw_bytes = 0;
+  for (const auto& f : fields) {
+    views.emplace_back(f.values);
+    raw_bytes += f.size_bytes();
+  }
+
+  std::printf("=== PR8: async device runtime (streams + sharding) ===\n");
+  std::printf("scale=%g fields=%zu (HACC, %.1f MB total)\n\n", scale,
+              fields.size(), static_cast<double>(raw_bytes) / 1e6);
+
+  // Measured walls: the sync path is the classic one-op-at-a-time device
+  // loop; the async path double-buffers the same work over two streams.
+  engine::Engine sync_eng(config_for(p, 1, 1));
+  std::vector<engine::CompressedStream> sync_out;
+  const double sync_wall_s = wall_of_batch(sync_eng, views, &sync_out);
+
+  engine::Engine async_eng(config_for(p, 1, 2));
+  std::vector<engine::CompressedStream> async_out;
+  const double async_wall_s = wall_of_batch(async_eng, views, &async_out);
+
+  bool identical = sync_out.size() == async_out.size();
+  for (size_t i = 0; identical && i < sync_out.size(); ++i) {
+    identical = sync_out[i].bytes == async_out[i].bytes;
+  }
+  const double wall_saved_pct =
+      sync_wall_s > 0 ? 100.0 * (1.0 - async_wall_s / sync_wall_s) : 0.0;
+  std::printf("measured  sync %8.4f s   async(2 streams) %8.4f s   "
+              "saved %5.1f%%   identical bytes: %s\n\n",
+              sync_wall_s, async_wall_s, wall_saved_pct,
+              identical ? "yes" : "NO");
+
+  // Modeled schedules from recorded timelines at 1/2/4 devices. These
+  // are deterministic given the batch, so the perf gate compares them
+  // exactly (modulo the *_s timing class).
+  const perfmodel::CostModel model(perfmodel::a100());
+  struct Row {
+    unsigned devices = 0;
+    perfmodel::OverlapReport rep;
+  };
+  std::vector<Row> rows;
+  for (const unsigned devices : {1u, 2u, 4u}) {
+    engine::Engine eng(config_for(p, devices, 2));
+    auto* devb = eng.device_backend();
+    devb->set_timeline_enabled(true);
+    (void)eng.compress_batch(views);
+    devb->set_timeline_enabled(false);
+    std::vector<perfmodel::OverlapReport> per_dev;
+    for (const auto& tl : devb->take_timelines()) {
+      per_dev.push_back(perfmodel::model_overlap(tl, model));
+    }
+    Row row;
+    row.devices = devices;
+    row.rep = perfmodel::combine_devices(per_dev);
+    std::printf("modeled  d=%u s=2   serialized %8.5f s -> overlapped "
+                "%8.5f s   overlap %5.1f%%   lanes %zu\n",
+                devices, row.rep.serialized_s, row.rep.overlapped_s,
+                100.0 * row.rep.overlap_fraction(), row.rep.lanes.size());
+    rows.push_back(std::move(row));
+  }
+
+  const double base_overlapped = rows[0].rep.overlapped_s;
+  auto scaling = [&](size_t i) {
+    return rows[i].rep.overlapped_s > 0
+               ? base_overlapped / rows[i].rep.overlapped_s
+               : 0.0;
+  };
+  const double speedup_2dev = scaling(1);
+  const double speedup_4dev = scaling(2);
+  std::printf("\ndevice scaling (modeled makespan vs 1 device): "
+              "2 dev %.2fx, 4 dev %.2fx\n",
+              speedup_2dev, speedup_4dev);
+
+  const std::string outdir = bench_outdir();
+  std::filesystem::create_directories(outdir);
+  const std::string out_path = outdir + "/BENCH_pr8.json";
+  std::ofstream js(out_path);
+  js << "{\n"
+     << "  \"bench\": \"pr8_async\",\n"
+     << "  \"version\": \"" << kVersionString << "\",\n"
+     << "  \"rel_bound\": " << p.error_bound << ",\n"
+     << "  \"scale\": " << scale << ",\n"
+     << "  \"fields\": " << fields.size() << ",\n"
+     << "  \"raw_bytes\": " << raw_bytes << ",\n"
+     << "  \"measured\": {\"sync_wall_s\": " << sync_wall_s
+     << ", \"async_wall_s\": " << async_wall_s
+     << ", \"async_streams\": 2"
+     << ", \"wall_saved_pct\": " << wall_saved_pct
+     << ", \"identical_bytes\": " << (identical ? "true" : "false")
+     << "},\n"
+     << "  \"modeled\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    js << "    {\"devices\": " << r.devices << ", \"streams\": 2"
+       << ", \"ops\": " << r.rep.ops
+       << ", \"lanes\": " << r.rep.lanes.size()
+       << ", \"serialized_s\": " << r.rep.serialized_s
+       << ", \"overlapped_s\": " << r.rep.overlapped_s
+       << ", \"overlap_fraction_pct\": " << 100.0 * r.rep.overlap_fraction()
+       << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  js << "  ],\n"
+     << "  \"summary\": {\"overlap_fraction_pct\": "
+     << 100.0 * rows[0].rep.overlap_fraction()
+     << ", \"speedup_2dev\": " << speedup_2dev
+     << ", \"speedup_4dev\": " << speedup_4dev
+     << ", \"identical_bytes\": " << (identical ? "true" : "false") << "}\n"
+     << "}\n";
+  js.close();
+  std::printf("wrote %s\n", out_path.c_str());
+
+  bool ok = true;
+  auto check = [&](bool cond, const char* what) {
+    if (!cond) {
+      std::fprintf(stderr, "FAIL: %s\n", what);
+      ok = false;
+    }
+  };
+  check(identical, "async batch bytes differ from sync path");
+  check(rows[0].rep.overlap_fraction() > 0,
+        "no modeled overlap on 1 device x 2 streams");
+  check(rows[0].rep.overlapped_s < rows[0].rep.serialized_s,
+        "overlapped makespan not below serialized wall");
+  check(async_wall_s < sync_wall_s,
+        "measured async wall not below measured sync wall");
+  check(speedup_2dev >= 1.5, "2-device modeled scaling below 1.5x");
+  return ok ? 0 : 1;
+}

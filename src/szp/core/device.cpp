@@ -141,7 +141,9 @@ DeviceCodecResult compress_device_impl(gs::Device& dev,
   if (out.size() < max_compressed_bytes(n, L, params.checksum_group_blocks)) {
     throw format_error("compress_device: output buffer too small");
   }
-  const auto before = dev.snapshot();
+  // Per-call attribution without stopping the world: a device-wide
+  // snapshot diff would throw once other streams have ops in flight.
+  const gs::OpTraceScope op_trace;
 
   const Header h =
       Header::make(params, n, eb_abs, std::is_same_v<T, double>);
@@ -281,6 +283,8 @@ DeviceCodecResult compress_device_impl(gs::Device& dev,
 
     total_payload = scan_state.inclusive_prefix(warps - 1);
     dev.trace().add_d2h(sizeof(std::uint64_t));  // compressed size readback
+    gs::for_each_op_trace(
+        [](gs::Trace& t) { t.add_d2h(sizeof(std::uint64_t)); });
   } else {
     // --- Two-pass ablation: multi-kernel (lengths, scan, payload). ---
     gs::DeviceBuffer<std::uint64_t> lens(dev, std::max<size_t>(1, nblocks), 0);
@@ -378,6 +382,8 @@ DeviceCodecResult compress_device_impl(gs::Device& dev,
       }
     });
     dev.trace().add_d2h(sizeof(std::uint64_t));
+    gs::for_each_op_trace(
+        [](gs::Trace& t) { t.add_d2h(sizeof(std::uint64_t)); });
 
     // The multi-kernel ablation checksums in a fourth kernel (one group
     // per lane), reusing the scanned offsets still sitting in `lens`.
@@ -422,6 +428,8 @@ DeviceCodecResult compress_device_impl(gs::Device& dev,
       const auto hv = gs::host_view(out);
       footer.serialize(hv.store_span(base + total_payload, footer.bytes()));
       dev.trace().add_write(gs::Stage::kOther, footer.bytes());
+      gs::for_each_op_trace(
+          [&](gs::Trace& t) { t.add_write(gs::Stage::kOther, footer.bytes()); });
     }
   }
 
@@ -432,7 +440,7 @@ DeviceCodecResult compress_device_impl(gs::Device& dev,
 
   DeviceCodecResult res;
   res.bytes = base + total_payload + footer_bytes;
-  res.trace = dev.snapshot() - before;
+  res.trace = op_trace.snapshot();
   return res;
 }
 
@@ -455,13 +463,16 @@ DeviceCodecResult decompress_device_impl(gs::Device& dev,
     throw format_error("decompress_device: stream data type mismatch");
   }
   dev.trace().add_d2h(Header::kSize);
+  gs::for_each_op_trace([](gs::Trace& t) { t.add_d2h(Header::kSize); });
   const unsigned L = h.block_len;
   const size_t n = h.num_elements;
   const size_t nblocks = num_blocks(n, L);
   if (out.size() < n) {
     throw format_error("decompress_device: output buffer too small");
   }
-  const auto before = dev.snapshot();
+  // Per-call attribution without stopping the world: a device-wide
+  // snapshot diff would throw once other streams have ops in flight.
+  const gs::OpTraceScope op_trace;
   if (stream_bytes < payload_offset(nblocks)) {
     throw format_error("decompress_device: truncated length area");
   }
@@ -618,7 +629,7 @@ DeviceCodecResult decompress_device_impl(gs::Device& dev,
 
   DeviceCodecResult res;
   res.bytes = n;
-  res.trace = dev.snapshot() - before;
+  res.trace = op_trace.snapshot();
   return res;
 }
 

@@ -56,6 +56,15 @@ class Backend {
   [[nodiscard]] virtual CompressedStream compress(std::span<const float> data,
                                                   const core::Params& params,
                                                   double eb_abs) = 0;
+
+  /// Compress many fields; `eb_abs[i]` is the resolved bound for
+  /// `fields[i]` (same length). The base implementation is a serial loop
+  /// over compress(); DeviceBackend overrides it to shard fields across
+  /// its devices and overlap transfers with compute on its streams.
+  /// Results are byte-identical to the serial loop in every backend.
+  [[nodiscard]] virtual std::vector<CompressedStream> compress_batch(
+      std::span<const std::span<const float>> fields,
+      const core::Params& params, std::span<const double> eb_abs);
   [[nodiscard]] virtual CompressedStream compress_f64(
       std::span<const double> data, const core::Params& params,
       double eb_abs) = 0;
@@ -130,14 +139,55 @@ class ParallelHostBackend final : public Backend {
 /// the H2D/D2H transfers; device-resident entry points are on Engine.
 /// Calls are serialized internally (gpusim snapshots require exclusive
 /// launch windows).
+///
+/// Batch sharding: compress_batch() distributes field i to shard device
+/// i % devices, stream (i / devices) % streams — so with one device and
+/// two streams consecutive fields alternate streams and field k+1's H2D
+/// overlaps field k's kernel (classic double buffering), and with N
+/// devices the batch fans out N-wide. Shard device 0 is device() itself;
+/// extra devices and all streams materialize lazily on first batch use.
 class DeviceBackend final : public Backend {
  public:
-  DeviceBackend();
+  /// `devices` = simulated devices the batch path shards across (device 0
+  /// also backs the single-call API); `streams` = async streams per
+  /// device for transfer/compute overlap. devices=1 streams=1 keeps
+  /// batches on the serial inline path.
+  explicit DeviceBackend(unsigned devices = 1, unsigned streams = 2);
+  ~DeviceBackend() override;
 
   [[nodiscard]] BackendKind kind() const override {
     return BackendKind::kDevice;
   }
   [[nodiscard]] gpusim::Device& device() { return dev_; }
+  [[nodiscard]] unsigned devices() const { return devices_; }
+  [[nodiscard]] unsigned streams_per_device() const { return streams_; }
+
+  /// Shard device d (0 = device()); materializes the shard set.
+  [[nodiscard]] gpusim::Device& shard_device(unsigned d);
+  /// Async stream s of shard device d (lazily created, lives for the
+  /// backend's lifetime).
+  [[nodiscard]] gpusim::Stream& stream(unsigned d, unsigned s);
+
+  /// Submit one field's H2D → kernel → D2H triple to stream (d, s). The
+  /// three ops share a job object that keeps the pooled-buffer leases
+  /// alive until the D2H op retires; `*out` is written by the D2H op, so
+  /// it is valid only after that stream synchronizes. Callers sharing the
+  /// backend across threads must hold op_mutex() while submitting (the
+  /// batch path does).
+  void submit_compress(unsigned d, unsigned s, std::span<const float> data,
+                       const core::Params& params, double eb_abs,
+                       CompressedStream* out);
+
+  [[nodiscard]] std::vector<CompressedStream> compress_batch(
+      std::span<const std::span<const float>> fields,
+      const core::Params& params, std::span<const double> eb_abs) override;
+
+  /// Per-op timeline recording on every shard device (overlap accounting;
+  /// perfmodel::model_overlap consumes the records). Applies to shards
+  /// created later as well.
+  void set_timeline_enabled(bool on);
+  /// Drain each shard device's timeline (index = shard device).
+  [[nodiscard]] std::vector<std::vector<gpusim::OpRecord>> take_timelines();
 
   [[nodiscard]] CompressedStream compress(std::span<const float> data,
                                           const core::Params& params,
@@ -165,15 +215,27 @@ class DeviceBackend final : public Backend {
   std::vector<T> decompress_impl(std::span<const byte_t> stream,
                                  gpusim::TraceSnapshot* trace);
 
+  struct Shard;  // device + pools + streams of one batch lane
+  void ensure_shards();
+
   gpusim::Device dev_;
   gpusim::BufferPool<float> f32_;
   gpusim::BufferPool<double> f64_;
   gpusim::BufferPool<byte_t> bytes_;
   std::mutex op_mutex_;
+  unsigned devices_ = 1;
+  unsigned streams_ = 2;
+  bool timeline_on_ = false;
+  // Declared last: shard streams must be destroyed before dev_.
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
+/// `devices`/`streams` shape the device backend's batch sharding; the
+/// host backends ignore them (as kDevice ignores `threads`).
 [[nodiscard]] std::unique_ptr<Backend> make_backend(BackendKind kind,
-                                                    unsigned threads = 0);
+                                                    unsigned threads = 0,
+                                                    unsigned devices = 1,
+                                                    unsigned streams = 2);
 
 /// Device codec entry points with the engine's obs-span and metrics
 /// wiring. Everything that runs the single-kernel pipeline — Engine,

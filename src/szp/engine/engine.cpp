@@ -27,15 +27,20 @@ double resolve_range(std::span<const T> data, const core::Params& params,
 
 Engine::Engine(EngineConfig cfg) : cfg_(cfg) {
   cfg_.params.validate();
-  backend_ = make_backend(cfg_.backend, cfg_.threads);
+  backend_ =
+      make_backend(cfg_.backend, cfg_.threads, cfg_.devices, cfg_.streams);
 }
 
 gpusim::Device& Engine::device() {
-  if (auto* dev = dynamic_cast<DeviceBackend*>(backend_.get())) {
+  if (auto* dev = device_backend()) {
     return dev->device();
   }
   throw format_error("Engine: no device (backend is " +
                      std::string(backend_name(backend_->kind())) + ")");
+}
+
+DeviceBackend* Engine::device_backend() {
+  return dynamic_cast<DeviceBackend*>(backend_.get());
 }
 
 double Engine::eb_abs_for(std::span<const float> data,
@@ -98,14 +103,17 @@ std::vector<CompressedStream> Engine::compress_batch(
     std::span<const std::span<const float>> fields,
     std::optional<double> shared_value_range) {
   const obs::Span span("api", "compress_batch", "fields", fields.size());
-  std::vector<CompressedStream> out;
-  out.reserve(fields.size());
-  for (const auto& f : fields) {
-    out.push_back(backend_->compress(f, cfg_.params,
-                                     eb_abs_for(f, shared_value_range)));
-    if (backend_->kind() != BackendKind::kDevice) {
-      detail::record_compress_call(f.size() * sizeof(float),
-                                   out.back().bytes.size());
+  std::vector<double> ebs(fields.size());
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    ebs[i] = eb_abs_for(fields[i], shared_value_range);
+  }
+  auto out = backend_->compress_batch(fields, cfg_.params, ebs);
+  // The device path records per field inside device_compress (on the
+  // stream threads, for the async batch); host paths record here.
+  if (backend_->kind() != BackendKind::kDevice) {
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      detail::record_compress_call(fields[i].size() * sizeof(float),
+                                   out[i].bytes.size());
     }
   }
   return out;

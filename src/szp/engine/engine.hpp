@@ -19,6 +19,12 @@ struct EngineConfig {
   /// Parallel-host execution slots including the caller (0 = auto). Ignored
   /// by the other backends.
   unsigned threads = 0;
+  /// Device-backend batch sharding: simulated devices compress_batch()
+  /// fans out across, and async streams per device for transfer/compute
+  /// overlap. Ignored by the host backends. devices=1 streams=1 keeps
+  /// batches fully synchronous.
+  unsigned devices = 1;
+  unsigned streams = 2;
 };
 
 /// Result of one harness-style device roundtrip: compress and decompress on
@@ -49,6 +55,10 @@ class Engine {
 
   /// The engine's simulated device (device backend only; throws otherwise).
   [[nodiscard]] gpusim::Device& device();
+
+  /// The device backend, or nullptr on the host backends (overlap
+  /// reporting and the pipeline's double-buffer path use it directly).
+  [[nodiscard]] DeviceBackend* device_backend();
 
   /// Resolve the absolute error bound for `data` under the engine params.
   /// REL mode scans the data only when `value_range` is not provided —

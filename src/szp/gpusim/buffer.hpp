@@ -121,9 +121,14 @@ class DeviceBuffer {
   }
 
   /// Pooled reuse: contents are stale, so drop the init bitmap (reading
-  /// a previous lease's data before writing is the defect to catch).
+  /// a previous lease's data before writing is the defect to catch). The
+  /// race cells are dropped too — the lease handoff synchronizes the
+  /// previous user's accesses with the next one's even across streams.
   void note_pool_reuse() {
-    if (shadow_ != nullptr) shadow_->reset_init();
+    if (shadow_ != nullptr) {
+      shadow_->reset_init();
+      shadow_->reset_race();
+    }
     if (bprof_ != nullptr) {
       bprof_->pool_reuses.fetch_add(1, std::memory_order_relaxed);
     }
@@ -208,6 +213,7 @@ void copy_h2d(Device& dev, DeviceBuffer<T>& dst, std::span<const T> src) {
     std::memcpy(dst.raw_data(), src.data(), src.size() * sizeof(T));
   }
   dev.trace().add_h2d(src.size() * sizeof(T));
+  for_each_op_trace([&](Trace& t) { t.add_h2d(src.size() * sizeof(T)); });
   if (profile::Profiler* prof = dev.profiler()) {
     prof->on_memcpy_h2d(src.size() * sizeof(T));
   }
@@ -226,6 +232,7 @@ void copy_d2h(Device& dev, std::span<T> dst, const DeviceBuffer<T>& src,
   }
   if (count != 0) std::memcpy(dst.data(), src.raw_data(), count * sizeof(T));
   dev.trace().add_d2h(count * sizeof(T));
+  for_each_op_trace([&](Trace& t) { t.add_d2h(count * sizeof(T)); });
   if (profile::Profiler* prof = dev.profiler()) {
     prof->on_memcpy_d2h(count * sizeof(T));
   }
@@ -247,6 +254,7 @@ void copy_d2d(Device& dev, DeviceBuffer<T>& dst, const DeviceBuffer<T>& src,
   }
   if (count != 0) std::memcpy(dst.raw_data(), src.raw_data(), count * sizeof(T));
   dev.trace().add_d2d(count * sizeof(T));
+  for_each_op_trace([&](Trace& t) { t.add_d2d(count * sizeof(T)); });
   if (profile::Profiler* prof = dev.profiler()) {
     prof->on_memcpy_d2d(count * sizeof(T));
   }
@@ -286,6 +294,7 @@ template <typename T>
 template <typename Fn>
 auto host_stage(Device& dev, std::uint64_t bytes, Fn&& fn) {
   dev.trace().add_host_stage(bytes);
+  for_each_op_trace([&](Trace& t) { t.add_host_stage(bytes); });
   return fn();
 }
 

@@ -27,6 +27,8 @@ namespace sanitize {
 class Checker;
 }  // namespace sanitize
 
+class Stream;
+
 /// Record of one kernel launch (name + grid size), for tests and reports.
 struct KernelRecord {
   std::string name;
@@ -53,6 +55,7 @@ class Device {
   /// When env activation requested abort_on_teardown and findings exist,
   /// runs the leak sweep, prints the report to stderr and aborts — the
   /// compute-sanitizer --error-exitcode analogue for unattended runs.
+  /// User Streams must be destroyed before their Device.
   ~Device();
 
   Device(const Device&) = delete;
@@ -84,13 +87,62 @@ class Device {
   [[nodiscard]] const Trace& trace() const { return trace_; }
 
   /// Consistent counter snapshot. Throws std::logic_error if a kernel
-  /// launch is in flight: blocks still executing would keep mutating the
-  /// counters, so the "snapshot" could mix values from different points
-  /// in time (the Trace::snapshot()/reset() torn-read hazard).
+  /// launch is in flight OR any stream still has queued/executing async
+  /// operations: work still executing would keep mutating the counters,
+  /// so the "snapshot" could mix values from different points in time
+  /// (the Trace::snapshot()/reset() torn-read hazard). Call
+  /// synchronize() first when streams are in use.
   [[nodiscard]] TraceSnapshot snapshot() const;
 
   /// Zero the trace counters; same quiescence requirement as snapshot().
   void reset_trace();
+
+  // --- async runtime (streams) ------------------------------------------
+
+  /// The default stream: executes submitted operations inline on the
+  /// caller's thread (a per-thread-default-stream analogue), which is
+  /// exactly the legacy synchronous behavior — launch()/copy_* are
+  /// wrappers over it. Always present.
+  [[nodiscard]] Stream& default_stream();
+
+  /// Drain every registered stream (cudaDeviceSynchronize analogue).
+  /// Rethrows the first stored stream error after all streams drained.
+  /// Streams must not be destroyed concurrently with this call.
+  void synchronize();
+
+  /// Async operations submitted to stream queues and not yet retired.
+  /// Part of the snapshot()/reset quiescence test.
+  [[nodiscard]] unsigned async_ops_pending() const {
+    return async_pending_.load(std::memory_order_acquire);
+  }
+
+  /// Stream bookkeeping (called by Stream).
+  void register_stream(Stream* s);
+  void unregister_stream(Stream* s);
+  void add_async_pending() {
+    async_pending_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  void sub_async_pending() {
+    async_pending_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  [[nodiscard]] std::uint32_t next_stream_id() {
+    return next_stream_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // --- timeline (per-op records for overlap accounting) -----------------
+
+  /// Opt-in recording of every stream op (kind, stream lane, wall
+  /// timestamps, per-op trace). Off by default: recording allocates per
+  /// op. The perfmodel overlap report consumes the result.
+  void set_timeline_enabled(bool on) {
+    timeline_enabled_.store(on, std::memory_order_release);
+  }
+  [[nodiscard]] bool timeline_enabled() const {
+    return timeline_enabled_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::vector<OpRecord> timeline() const;
+  void clear_timeline();
+  void append_op_record(OpRecord rec);
 
   /// Number of launches currently executing blocks on this device.
   /// Nonzero only when observed from inside a kernel body (or another
@@ -128,25 +180,40 @@ class Device {
   /// Fault-injection hook: invoked with the kernel name after each launch
   /// fully retires (all blocks done, no exception). Tests use it to corrupt
   /// device memory between pipeline stages. Empty by default.
+  ///
+  /// The hook is handed out as a shared_ptr copied under a mutex: with
+  /// launches running on stream threads, set/clear from the host would
+  /// otherwise race the unsynchronized read at the end of run_blocks (a
+  /// hook could even be destroyed mid-invocation).
   using KernelHook = std::function<void(const std::string&)>;
-  void set_post_kernel_hook(KernelHook hook) {
-    post_kernel_hook_ = std::move(hook);
-  }
-  void clear_post_kernel_hook() { post_kernel_hook_ = nullptr; }
-  [[nodiscard]] const KernelHook& post_kernel_hook() const {
-    return post_kernel_hook_;
-  }
+  void set_post_kernel_hook(KernelHook hook);
+  void clear_post_kernel_hook();
+  [[nodiscard]] std::shared_ptr<const KernelHook> post_kernel_hook() const;
 
  private:
   unsigned workers_;
   Trace trace_;
   std::atomic<unsigned> launches_in_flight_{0};
+  std::atomic<unsigned> async_pending_{0};
   std::atomic<size_t> alloc_bytes_{0};
   mutable std::mutex log_mutex_;
   std::vector<KernelRecord> launch_log_;
-  KernelHook post_kernel_hook_;
+  mutable std::mutex hook_mutex_;
+  std::shared_ptr<const KernelHook> post_kernel_hook_;
   std::unique_ptr<sanitize::Checker> checker_;
   std::unique_ptr<profile::Profiler> profiler_;
+
+  // Async runtime state. The default stream is created eagerly (after the
+  // checker, which it registers with) and runs inline; user streams
+  // register here so synchronize() can drain them.
+  mutable std::mutex streams_mutex_;
+  std::vector<Stream*> streams_;
+  std::atomic<std::uint32_t> next_stream_id_{1};  // 0 = default stream
+  std::unique_ptr<Stream> default_stream_;
+
+  std::atomic<bool> timeline_enabled_{false};
+  mutable std::mutex timeline_mutex_;
+  std::vector<OpRecord> timeline_;
 };
 
 }  // namespace szp::gpusim

@@ -6,9 +6,11 @@
 #include <exception>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "szp/gpusim/stream.hpp"
 #include "szp/obs/tracer.hpp"
 
 namespace szp::gpusim::detail {
@@ -26,6 +28,10 @@ struct LaunchScope {
 void run_blocks(Device& dev, const char* kernel_name, size_t grid_blocks,
                 const std::function<void(const BlockCtx&)>& body) {
   dev.trace().add_kernel_launch();
+  // Per-op attribution: the chain head is captured here, on the launching
+  // thread, and handed to block workers through BlockCtx.
+  OpTraceScope* op_sink = OpTraceScope::current();
+  for_each_op_trace(op_sink, [](Trace& t) { t.add_kernel_launch(); });
   dev.log_launch(kernel_name, grid_blocks);
   // Kernel-level begin/end pair on the launching thread; per-block 'X'
   // spans land on the worker threads' lanes.
@@ -38,11 +44,12 @@ void run_blocks(Device& dev, const char* kernel_name, size_t grid_blocks,
 
   std::unique_ptr<sanitize::LaunchCheck> lc;
   if (sanitize::Checker* chk = dev.checker()) {
-    lc = chk->begin_launch(kernel_name, grid_blocks);
+    lc = chk->begin_launch(kernel_name, grid_blocks, Stream::calling_slot());
   }
   std::shared_ptr<profile::LaunchProf> lp;
   if (profile::Profiler* prof = dev.profiler()) {
-    lp = prof->begin_launch(kernel_name, grid_blocks);
+    lp = prof->begin_launch(kernel_name, grid_blocks,
+                            std::string(Stream::current_name()));
   }
 
   using Clock = std::chrono::steady_clock;
@@ -59,7 +66,8 @@ void run_blocks(Device& dev, const char* kernel_name, size_t grid_blocks,
     for (;;) {
       const size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= grid_blocks || failed.load(std::memory_order_relaxed)) return;
-      BlockCtx ctx{i, grid_blocks, &dev.trace(), &failed, lc.get(), lp.get()};
+      BlockCtx ctx{i,       grid_blocks, &dev.trace(), &failed,
+                   lc.get(), lp.get(),   op_sink};
       obs::Span block_span("block", kernel_name, "block", i);
       const Clock::time_point block_t0 =
           lp != nullptr ? Clock::now() : Clock::time_point{};
@@ -111,9 +119,11 @@ void run_blocks(Device& dev, const char* kernel_name, size_t grid_blocks,
 
   // Fault-injection hook (tests): corrupt device memory between pipeline
   // stages once the kernel has fully retired. Runs outside the launch
-  // scope so hooks may snapshot the (now quiescent) trace.
-  if (const Device::KernelHook& hook = dev.post_kernel_hook()) {
-    hook(kernel_name);
+  // scope so hooks may snapshot the (now quiescent) trace. The shared_ptr
+  // keeps the hook alive across the call even if the host clears it
+  // concurrently (launches run on stream threads now).
+  if (const auto hook = dev.post_kernel_hook()) {
+    if (*hook) (*hook)(kernel_name);
   }
 }
 

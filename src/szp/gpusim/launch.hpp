@@ -23,17 +23,24 @@ struct BlockCtx {
   /// Profiler accumulator for this launch; nullptr when disabled (same
   /// one-branch contract as the sanitizer).
   profile::LaunchProf* prof = nullptr;
+  /// Per-op trace chain captured on the launching thread (block workers
+  /// run on other threads, so the thread-local head is not visible here);
+  /// nullptr when no scope was open at launch.
+  OpTraceScope* op_sink = nullptr;
 
   void read(Stage s, std::uint64_t bytes) const {
     trace->add_read(s, bytes);
+    for_each_op_trace(op_sink, [&](Trace& t) { t.add_read(s, bytes); });
     if (prof != nullptr) prof->add_read(s, bytes);
   }
   void write(Stage s, std::uint64_t bytes) const {
     trace->add_write(s, bytes);
+    for_each_op_trace(op_sink, [&](Trace& t) { t.add_write(s, bytes); });
     if (prof != nullptr) prof->add_write(s, bytes);
   }
   void ops(Stage s, std::uint64_t n) const {
     trace->add_ops(s, n);
+    for_each_op_trace(op_sink, [&](Trace& t) { t.add_ops(s, n); });
     if (prof != nullptr) prof->add_ops(s, n);
   }
 
@@ -43,6 +50,7 @@ struct BlockCtx {
   /// so it must stay out of the deterministic stage counters.
   void lookback_read(Stage s, std::uint64_t bytes) const {
     trace->add_read(s, bytes);
+    for_each_op_trace(op_sink, [&](Trace& t) { t.add_read(s, bytes); });
     if (prof != nullptr) prof->add_lookback_bytes(bytes);
   }
 
@@ -113,14 +121,25 @@ namespace detail {
 /// lookback even when workers outnumber hardware threads.
 void run_blocks(Device& dev, const char* kernel_name, size_t grid_blocks,
                 const std::function<void(const BlockCtx&)>& body);
+
+/// Submits the launch to dev.default_stream(), which executes it inline
+/// on the calling thread — identical to calling run_blocks directly, plus
+/// timeline/lane attribution. Defined in stream.cpp (Stream is only
+/// forward-declared here).
+void launch_on_default_stream(Device& dev, const char* kernel_name,
+                              size_t grid_blocks,
+                              std::function<void(const BlockCtx&)> body);
 }  // namespace detail
 
 /// Launch a kernel: `body(const BlockCtx&)` is invoked once per block.
+/// Synchronous — routed through the device's inline default stream, so
+/// the call returns after all blocks retire and exceptions propagate.
 template <typename F>
 void launch(Device& dev, const char* kernel_name, size_t grid_blocks,
             F&& body) {
-  detail::run_blocks(dev, kernel_name, grid_blocks,
-                     std::function<void(const BlockCtx&)>(std::forward<F>(body)));
+  detail::launch_on_default_stream(
+      dev, kernel_name, grid_blocks,
+      std::function<void(const BlockCtx&)>(std::forward<F>(body)));
 }
 
 }  // namespace szp::gpusim

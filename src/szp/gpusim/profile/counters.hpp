@@ -121,8 +121,10 @@ struct BufferProf {
 /// LaunchProfile) at launch exit.
 class LaunchProf {
  public:
-  LaunchProf(std::string kernel, std::size_t grid_blocks, unsigned workers)
+  LaunchProf(std::string kernel, std::size_t grid_blocks, unsigned workers,
+             std::string stream = "default")
       : kernel_(std::move(kernel)),
+        stream_(std::move(stream)),
         grid_blocks_(grid_blocks),
         workers_(workers),
         block_wall_ns_(grid_blocks) {}
@@ -177,6 +179,7 @@ class LaunchProf {
 
   // --- readbacks (aggregation side; see profile.cpp) --------------------
   [[nodiscard]] const std::string& kernel() const { return kernel_; }
+  [[nodiscard]] const std::string& stream() const { return stream_; }
   [[nodiscard]] std::size_t grid_blocks() const { return grid_blocks_; }
   [[nodiscard]] unsigned workers() const { return workers_; }
   [[nodiscard]] std::uint64_t stage_read_bytes(unsigned s) const {
@@ -232,6 +235,7 @@ class LaunchProf {
   };
 
   std::string kernel_;
+  std::string stream_;
   std::size_t grid_blocks_;
   unsigned workers_;
   std::array<StageAtomic, kNumStages> stages_{};

@@ -80,6 +80,7 @@ HistSnapshot snapshot_hist(const AtomicPow2Hist<N>& h) {
 LaunchProfile archive_launch(const LaunchProf& lp, std::uint64_t wall_ns) {
   LaunchProfile out;
   out.kernel = lp.kernel();
+  out.stream = lp.stream();
   out.grid_blocks = lp.grid_blocks();
   out.workers = lp.workers();
   for (unsigned s = 0; s < kNumStages; ++s) {
@@ -135,9 +136,10 @@ Profiler::~Profiler() {
 }
 
 std::shared_ptr<LaunchProf> Profiler::begin_launch(std::string kernel,
-                                                   std::size_t grid_blocks) {
-  return std::make_shared<LaunchProf>(std::move(kernel), grid_blocks,
-                                      workers_);
+                                                   std::size_t grid_blocks,
+                                                   std::string stream) {
+  return std::make_shared<LaunchProf>(std::move(kernel), grid_blocks, workers_,
+                                      std::move(stream));
 }
 
 void Profiler::end_launch(const std::shared_ptr<LaunchProf>& lp,

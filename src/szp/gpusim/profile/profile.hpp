@@ -86,6 +86,8 @@ struct BlockStats {
 
 struct LaunchProfile {
   std::string kernel;
+  /// Stream lane the launch executed on ("default" for the sync API).
+  std::string stream;
   std::uint64_t grid_blocks = 0;
   unsigned workers = 0;
 
@@ -155,9 +157,11 @@ class Profiler {
 
   [[nodiscard]] const Options& options() const { return opts_; }
 
-  /// Launch lifecycle (called from run_blocks).
+  /// Launch lifecycle (called from run_blocks). `stream` names the lane
+  /// the launch runs on ("default" for the synchronous API).
   [[nodiscard]] std::shared_ptr<LaunchProf> begin_launch(
-      std::string kernel, std::size_t grid_blocks);
+      std::string kernel, std::size_t grid_blocks,
+      std::string stream = "default");
   void end_launch(const std::shared_ptr<LaunchProf>& lp, std::uint64_t wall_ns);
 
   /// Buffer lifecycle (called from DeviceBuffer).

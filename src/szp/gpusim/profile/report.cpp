@@ -136,6 +136,8 @@ void json_launch(std::ostream& os, const LaunchProfile& lp,
                  const ReportOptions& opts) {
   os << "      {\n        \"kernel\": ";
   json_string(os, lp.kernel);
+  os << ",\n        \"stream\": ";
+  json_string(os, lp.stream);
   os << ",\n        \"grid_blocks\": " << lp.grid_blocks << ",\n";
   json_counters(os, lp);
   if (opts.include_timing) {
@@ -254,7 +256,8 @@ void write_profile_text(std::ostream& os,
     os << "profile session " << si++ << " (" << s.workers << " workers, "
        << s.launches.size() << " launches)\n";
     for (const LaunchProfile& lp : s.launches) {
-      os << "  kernel " << lp.kernel << " grid=" << lp.grid_blocks;
+      os << "  kernel " << lp.kernel << " stream=" << lp.stream
+         << " grid=" << lp.grid_blocks;
       if (opts.include_timing) {
         os << " wall=" << lp.wall_ns << "ns";
       }

@@ -56,6 +56,14 @@ void join(std::vector<std::uint32_t>& dst,
   for (size_t i = 0; i < dst.size(); ++i) dst[i] = std::max(dst[i], src[i]);
 }
 
+/// Join for stream clocks, which grow as streams register: missing
+/// components are 0, so the destination is widened first.
+void join_clock(std::vector<std::uint64_t>& dst,
+                const std::vector<std::uint64_t>& src) {
+  if (src.size() > dst.size()) dst.resize(src.size(), 0);
+  for (size_t i = 0; i < src.size(); ++i) dst[i] = std::max(dst[i], src[i]);
+}
+
 }  // namespace
 
 Checker::Checker(Tools tools, const std::atomic<unsigned>* launches_in_flight)
@@ -85,19 +93,92 @@ void Checker::on_free(BufferShadow& sh, bool redzones_intact) {
 }
 
 std::unique_ptr<LaunchCheck> Checker::begin_launch(const char* kernel,
-                                                   size_t grid_blocks) {
-  epoch_.fetch_add(1, std::memory_order_acq_rel);
+                                                   size_t grid_blocks,
+                                                   std::uint32_t hb_slot) {
+  // Capture the bumped value: reading epoch() separately would let two
+  // launches racing on different streams observe the same epoch and
+  // collide their per-launch racecheck state.
+  const std::uint64_t e = epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
   kernel_.store(kernel, std::memory_order_release);
-  return std::make_unique<LaunchCheck>(*this, kernel, grid_blocks);
+  std::vector<std::uint64_t> vc;
+  if (tools_.racecheck) {
+    const std::lock_guard<std::mutex> lock(race_mutex_);
+    if (hb_slot >= hb_vc_.size()) hb_vc_.resize(hb_slot + 1);
+    auto& slot_vc = hb_vc_[hb_slot];
+    if (slot_vc.size() <= hb_slot) slot_vc.resize(hb_slot + 1, 0);
+    epoch_origin_[e] = EpochOrigin{hb_slot, ++slot_vc[hb_slot]};
+    vc = slot_vc;
+  }
+  return std::make_unique<LaunchCheck>(*this, kernel, grid_blocks, e, hb_slot,
+                                       std::move(vc));
 }
 
 void Checker::end_launch(LaunchCheck& lc) {
   (void)lc;
   kernel_.store(nullptr, std::memory_order_release);
-  // A completed launch is a device-wide sync point: bump the epoch so
-  // host accesses and later launches are ordered after everything the
-  // kernel did.
+  // Launch retirement orders host accesses after the kernel's work. Bump
+  // the epoch so host-phase accesses never share a kernel's epoch.
   epoch_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+std::uint32_t Checker::hb_register_stream() {
+  if (!tools_.racecheck) return 0;
+  const std::lock_guard<std::mutex> lock(race_mutex_);
+  const auto slot = static_cast<std::uint32_t>(hb_vc_.size());
+  // The creating thread's knowledge (host slot) happens-before the new
+  // stream's first op.
+  std::vector<std::uint64_t> vc = hb_vc_[0];
+  if (vc.size() <= slot) vc.resize(slot + 1, 0);
+  hb_vc_.push_back(std::move(vc));
+  return slot;
+}
+
+std::vector<std::uint64_t> Checker::hb_release(std::uint32_t slot) {
+  if (!tools_.racecheck) return {};
+  const std::lock_guard<std::mutex> lock(race_mutex_);
+  if (slot >= hb_vc_.size()) return {};
+  auto& v = hb_vc_[slot];
+  if (v.size() <= slot) v.resize(slot + 1, 0);
+  std::vector<std::uint64_t> out = v;
+  ++v[slot];
+  return out;
+}
+
+void Checker::hb_acquire(std::uint32_t slot,
+                         const std::vector<std::uint64_t>& clock) {
+  if (!tools_.racecheck || clock.empty()) return;
+  const std::lock_guard<std::mutex> lock(race_mutex_);
+  if (slot >= hb_vc_.size()) return;
+  join_clock(hb_vc_[slot], clock);
+}
+
+void Checker::hb_host_sync(std::uint32_t into_slot, std::uint32_t from_slot) {
+  if (!tools_.racecheck || into_slot == from_slot) return;
+  const std::lock_guard<std::mutex> lock(race_mutex_);
+  if (into_slot >= hb_vc_.size() || from_slot >= hb_vc_.size()) return;
+  const std::vector<std::uint64_t> src = hb_vc_[from_slot];
+  join_clock(hb_vc_[into_slot], src);
+}
+
+void Checker::hb_device_sync() {
+  if (!tools_.racecheck) return;
+  const std::lock_guard<std::mutex> lock(race_mutex_);
+  std::vector<std::uint64_t> all;
+  for (const auto& v : hb_vc_) join_clock(all, v);
+  for (auto& v : hb_vc_) join_clock(v, all);
+  epoch_origin_.clear();
+  hb_floor_epoch_ = epoch_.load(std::memory_order_acquire);
+}
+
+bool Checker::hb_epoch_ordered(std::uint64_t prior_epoch,
+                               const std::vector<std::uint64_t>& vc) const {
+  if (prior_epoch <= hb_floor_epoch_) return true;
+  const auto it = epoch_origin_.find(prior_epoch);
+  // Unknown epochs were pruned at a device sync (or predate racecheck):
+  // ordered by that barrier.
+  if (it == epoch_origin_.end()) return true;
+  const EpochOrigin& o = it->second;
+  return (o.slot < vc.size() ? vc[o.slot] : 0) >= o.seq;
 }
 
 void Checker::report(Kind kind, std::string message, std::uint64_t buffer_id,
@@ -164,11 +245,15 @@ void Checker::finalize() {
   }
 }
 
-LaunchCheck::LaunchCheck(Checker& chk, const char* kernel, size_t grid_blocks)
+LaunchCheck::LaunchCheck(Checker& chk, const char* kernel, size_t grid_blocks,
+                         std::uint64_t epoch, std::uint32_t hb_slot,
+                         std::vector<std::uint64_t> hb_vc)
     : chk_(chk),
       kernel_(kernel),
       grid_(grid_blocks),
-      epoch_(chk.epoch()),
+      epoch_(epoch),
+      hb_slot_(hb_slot),
+      hb_vc_(std::move(hb_vc)),
       race_enabled_(chk.tools().racecheck && grid_blocks <= kMaxRaceActors) {
   if (race_enabled_) vc_.resize(grid_);
   if (chk.tools().synccheck) active_mask_.assign(grid_, kFullMask);
@@ -199,8 +284,33 @@ void LaunchCheck::race_range(BufferShadow& sh, size_t begin, size_t end,
   for (size_t i = begin; i < end; ++i) {
     auto& c = sh.race_[i];
     if (c.epoch != epoch_) {
-      // First touch this launch: prior-launch accesses are ordered by the
-      // launch boundary, forget them.
+      // First touch this launch: the prior access came from an earlier
+      // launch. Ordered when the stream/event graph has a path from that
+      // launch to this one; a conflicting access with no path is the
+      // missing-Event::wait defect.
+      const bool conflict = c.w_clock != 0 || (is_write && c.r_clock != 0);
+      if (c.epoch != 0 && conflict && !reported) {
+        bool ord;
+        if (c.epoch == hb_last_epoch_) {
+          ord = hb_last_ordered_;
+        } else {
+          ord = chk_.hb_epoch_ordered(c.epoch, hb_vc_);
+          hb_last_epoch_ = c.epoch;
+          hb_last_ordered_ = ord;
+        }
+        if (!ord) {
+          chk_.report(
+              Kind::kRace,
+              "unordered cross-launch access: cell " + std::to_string(i) +
+                  " of buffer #" + std::to_string(sh.id()) +
+                  " touched by launch epoch " + std::to_string(c.epoch) +
+                  " and kernel '" + kernel_ +
+                  "' on another stream with no happens-before path "
+                  "(missing Event::wait?)",
+              sh.id(), i);
+          reported = true;
+        }
+      }
       c = BufferShadow::RaceCell{};
       c.epoch = epoch_;
     }

@@ -8,15 +8,27 @@
 // block since gpusim runs each block on exactly one worker) and the
 // per-block synccheck convergence state.
 //
-// Happens-before model: launch boundaries are device-wide barriers in
-// this synchronous runtime, so the epoch counter is bumped at launch
-// begin AND end; accesses from different epochs are always ordered and
-// racecheck only compares accesses within one launch. Inside a launch,
-// sync edges come from the release/acquire hooks that instrumented
-// kernels attach to their atomics (chained-scan lookback flags, checksum
-// group credits): `sync_release(key)` publishes the releasing block's
-// clock under `key`, `sync_acquire(key)` joins it into the acquiring
-// block's clock.
+// Happens-before model, two levels:
+//
+// Within a launch, sync edges come from the release/acquire hooks that
+// instrumented kernels attach to their atomics (chained-scan lookback
+// flags, checksum group credits): `sync_release(key)` publishes the
+// releasing block's clock under `key`, `sync_acquire(key)` joins it into
+// the acquiring block's clock.
+//
+// Across launches, ordering follows the stream/event graph. Each stream
+// owns a clock-vector slot (slot 0 = host + inline default stream); a
+// launch bumps its stream's component and registers (epoch -> slot, seq)
+// in the origin map. Edges join clocks: op submission (submitter ->
+// stream), Event record/wait (recording stream -> waiting stream),
+// stream synchronize (stream -> host), device synchronize (global
+// barrier, which also prunes the origin map to a floor epoch — epochs at
+// or below the floor are ordered by definition). Two launches with no
+// such path between them that touch the same cell (with at least one
+// write) are an unordered cross-launch race: the missing-Event::wait
+// defect. In the purely synchronous API every launch runs on slot 0 in
+// submission order, so consecutive launches stay ordered exactly as the
+// old epoch-barrier model had it.
 #pragma once
 
 #include <atomic>
@@ -54,9 +66,26 @@ class Checker {
   /// Launch lifecycle (called by run_blocks). begin_launch bumps the
   /// epoch so prior accesses are ordered-before this launch; end_launch
   /// bumps it again so host accesses after the launch are ordered too.
-  [[nodiscard]] std::unique_ptr<LaunchCheck> begin_launch(const char* kernel,
-                                                          size_t grid_blocks);
+  /// `hb_slot` is the clock slot of the launching stream (0 = host).
+  [[nodiscard]] std::unique_ptr<LaunchCheck> begin_launch(
+      const char* kernel, size_t grid_blocks, std::uint32_t hb_slot = 0);
   void end_launch(LaunchCheck& lc);
+
+  /// Stream/event happens-before edges (all no-ops unless racecheck is
+  /// active). Clocks are slot-indexed vectors; unequal lengths compare
+  /// with missing components as 0.
+  [[nodiscard]] std::uint32_t hb_register_stream();
+  /// Copy `slot`'s clock (release half of an edge), then bump its own
+  /// component so later work on the slot is not ordered into the edge.
+  [[nodiscard]] std::vector<std::uint64_t> hb_release(std::uint32_t slot);
+  /// Join a released clock into `slot` (acquire half of an edge).
+  void hb_acquire(std::uint32_t slot, const std::vector<std::uint64_t>& clock);
+  /// stream.synchronize() edge: everything `from_slot` executed
+  /// happens-before the synchronizing thread (`into_slot`, usually 0).
+  void hb_host_sync(std::uint32_t into_slot, std::uint32_t from_slot);
+  /// Device::synchronize() edge: global barrier. Joins every slot into
+  /// every other and prunes the epoch-origin map to a floor.
+  void hb_device_sync();
 
   /// Record a finding, deduplicated on (kind, buffer, index, kernel).
   void report(Kind kind, std::string message, std::uint64_t buffer_id = 0,
@@ -104,11 +133,33 @@ class Checker {
   /// detection deterministic and the implementation simple; racecheck is
   /// a debugging tool, not a fast path.
   std::mutex race_mutex_;
+
+  /// True when `prior_epoch` is ordered before a launch whose captured
+  /// stream clock is `vc`. race_mutex_ must be held.
+  [[nodiscard]] bool hb_epoch_ordered(
+      std::uint64_t prior_epoch, const std::vector<std::uint64_t>& vc) const;
+
+  // Cross-launch HB state (guarded by race_mutex_). hb_vc_[s] is slot
+  // s's clock; epoch_origin_ maps a launch epoch to the (slot, seq) that
+  // produced it so race_range can test ordering against a prior epoch.
+  struct EpochOrigin {
+    std::uint32_t slot = 0;
+    std::uint64_t seq = 0;
+  };
+  std::vector<std::vector<std::uint64_t>> hb_vc_{{0}};
+  std::unordered_map<std::uint64_t, EpochOrigin> epoch_origin_;
+  std::uint64_t hb_floor_epoch_ = 0;
 };
 
 class LaunchCheck {
  public:
-  LaunchCheck(Checker& chk, const char* kernel, size_t grid_blocks);
+  /// `epoch` is captured atomically by begin_launch (reading it here via
+  /// chk.epoch() would race concurrent launches on other streams);
+  /// `hb_slot`/`hb_vc` identify the launching stream and its clock at
+  /// launch begin.
+  LaunchCheck(Checker& chk, const char* kernel, size_t grid_blocks,
+              std::uint64_t epoch, std::uint32_t hb_slot,
+              std::vector<std::uint64_t> hb_vc);
 
   LaunchCheck(const LaunchCheck&) = delete;
   LaunchCheck& operator=(const LaunchCheck&) = delete;
@@ -142,6 +193,14 @@ class LaunchCheck {
   const char* kernel_;
   size_t grid_;
   std::uint64_t epoch_;
+  std::uint32_t hb_slot_;
+  /// Launching stream's clock at launch begin: prior epoch (s, q) is
+  /// ordered before this launch iff hb_vc_[s] >= q.
+  std::vector<std::uint64_t> hb_vc_;
+  /// 1-entry cache for the per-cell cross-epoch ordering test (cells in
+  /// a range overwhelmingly share one prior epoch).
+  mutable std::uint64_t hb_last_epoch_ = 0;
+  mutable bool hb_last_ordered_ = true;
   bool race_enabled_;
 
   // Racecheck (guarded by Checker::race_mutex_). Per-actor vector clocks

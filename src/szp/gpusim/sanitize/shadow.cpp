@@ -16,14 +16,14 @@ std::string cell_str(std::uint64_t buffer_id, size_t i) {
          std::to_string(buffer_id);
 }
 
-thread_local bool t_on_kernel_thread = false;
+thread_local int t_kernel_scope_depth = 0;
 
 }  // namespace
 
-bool on_kernel_thread() noexcept { return t_on_kernel_thread; }
+bool on_kernel_thread() noexcept { return t_kernel_scope_depth > 0; }
 
-KernelThreadScope::KernelThreadScope() noexcept { t_on_kernel_thread = true; }
-KernelThreadScope::~KernelThreadScope() { t_on_kernel_thread = false; }
+KernelThreadScope::KernelThreadScope() noexcept { ++t_kernel_scope_depth; }
+KernelThreadScope::~KernelThreadScope() { --t_kernel_scope_depth; }
 
 BufferShadow::BufferShadow(Checker& chk, std::uint64_t id, size_t cells,
                            size_t elem_bytes)
@@ -62,6 +62,12 @@ void BufferShadow::mark_init_all() {
 void BufferShadow::reset_init() {
   all_init_.store(false, std::memory_order_relaxed);
   for (auto& w : init_) w.store(0, std::memory_order_relaxed);
+}
+
+void BufferShadow::reset_race() {
+  if (!racecheck_) return;
+  const std::lock_guard<std::mutex> lock(chk_.race_mutex_);
+  race_.clear();
 }
 
 void BufferShadow::host_scope_check(LaunchCheck* lc) {

@@ -28,13 +28,18 @@ class LaunchCheck;
 /// Actor id used for host-side accesses (copies, host views).
 inline constexpr std::uint32_t kHostActor = 0xffffffffu;
 
-/// True on a thread currently executing kernel blocks. Lets the
-/// host-access-during-kernel check tell a genuine host-side poke apart
-/// from kernel code that goes through the unchecked accessors (the
-/// baseline codecs are not ported to views and capture spans up front).
+/// True on a thread currently executing kernel blocks (or a stream's op
+/// thread). Lets the host-access-during-kernel check tell a genuine
+/// host-side poke apart from kernel code that goes through the unchecked
+/// accessors (the baseline codecs are not ported to views and capture
+/// spans up front) and from stream threads legitimately running memcpys
+/// while another stream's kernel is in flight.
 [[nodiscard]] bool on_kernel_thread() noexcept;
 
-/// RAII marker set by the launch runner around block execution.
+/// RAII marker set by the launch runner around block execution and by
+/// stream threads for their lifetime. Depth-counted: a stream thread's
+/// lifetime scope survives the nested scopes its kernel ops open when
+/// run_blocks executes blocks on the calling thread.
 struct KernelThreadScope {
   KernelThreadScope() noexcept;
   ~KernelThreadScope();
@@ -72,6 +77,12 @@ class BufferShadow {
   /// Pooled-buffer reuse: the old contents are stale, reading them before
   /// writing is the defect this resets the bitmap to catch.
   void reset_init();
+
+  /// Pooled-buffer reuse, racecheck half: the pool's lease handoff (pool
+  /// mutex + completed stream ops) synchronizes the transfer, so accesses
+  /// by the previous lease must not race the next one even across
+  /// streams. Drops all per-cell access history.
+  void reset_race();
 
   /// Called by the Checker when the owning buffer is freed.
   void mark_freed() { alive_.store(false, std::memory_order_release); }

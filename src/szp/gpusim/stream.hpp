@@ -1,0 +1,214 @@
+// CUDA-streams analogue for the simulated device runtime.
+//
+// A Stream is a FIFO queue of operations (kernel launches, memcpys, host
+// tasks, event records/waits) executed in submission order on a dedicated
+// thread, so transfers on one stream overlap compute on another. The
+// Device's default stream executes operations inline on the caller's
+// thread — exactly the legacy synchronous behavior, which is why the old
+// launch()/copy_* API is now a thin wrapper over it.
+//
+// Cross-stream ordering comes from Events (record on the producing
+// stream, wait on the consuming one, cudaEventRecord/cudaStreamWaitEvent
+// style). The sanitizer's happens-before model follows the same edges:
+// launches on different streams with no event path between them are
+// reported as races by racecheck (see sanitize/checker.hpp).
+//
+// Error model: the first exception an op throws poisons the stream —
+// subsequent work ops are skipped (event records still complete so
+// cross-stream waiters never deadlock) — and is rethrown by the next
+// synchronize(), which also returns the stream to a usable state.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "szp/gpusim/buffer.hpp"
+#include "szp/gpusim/device.hpp"
+#include "szp/gpusim/launch.hpp"
+
+namespace szp::gpusim {
+
+/// Cross-stream synchronization point. record() on a stream captures
+/// "everything submitted to that stream so far"; wait() on another stream
+/// blocks that stream's queue until the recorded point has executed.
+/// Copyable handle (shared state), like cudaEvent_t.
+class Event {
+ public:
+  Event();
+
+  /// Host-side wait for the latest recorded generation to complete
+  /// (cudaEventSynchronize). No-op when never recorded.
+  void synchronize() const;
+
+  /// True when the latest recorded generation has completed (or the event
+  /// was never recorded) — cudaEventQuery.
+  [[nodiscard]] bool query() const;
+
+  [[nodiscard]] std::uint64_t id() const;
+
+ private:
+  friend class Stream;
+
+  struct State {
+    std::uint64_t id = 0;
+    mutable std::mutex m;
+    mutable std::condition_variable cv;
+    std::uint64_t last_record_gen = 0;  // bumped at record submission
+    std::uint64_t completed_gen = 0;    // bumped when the record op runs
+    /// Racecheck clock captured when the record op executed; waiters join
+    /// it into their stream's clock (empty when racecheck is off).
+    std::vector<std::uint64_t> hb_clock;
+    /// Device of the recording stream, for host-sync happens-before edges.
+    Device* dev = nullptr;
+  };
+  std::shared_ptr<State> st_;
+};
+
+class Stream {
+ public:
+  /// Create an async stream on `dev`: operations run FIFO on a dedicated
+  /// thread. `name` labels the stream's trace lane (default "stream<id>").
+  explicit Stream(Device& dev, std::string name = {});
+
+  /// Drains the queue and joins the thread. A pending error that was
+  /// never observed via synchronize() is dropped (CUDA would surface it
+  /// on the next API call; there is none here).
+  ~Stream();
+
+  Stream(const Stream&) = delete;
+  Stream& operator=(const Stream&) = delete;
+
+  [[nodiscard]] Device& device() { return dev_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::uint32_t id() const { return id_; }
+
+  /// Generic async operation. `kind` drives the timeline record and the
+  /// overlap model's engine assignment (memcpy kinds occupy the copy
+  /// engine, kernel/host the compute engine); `fn` runs on the stream
+  /// thread. Anything `fn` captures by reference must outlive the op —
+  /// i.e. stay alive until synchronize() (capture shared_ptrs for
+  /// pooled-buffer leases).
+  void submit(OpKind kind, std::string name, std::function<void()> fn);
+
+  /// Async kernel launch (FIFO-ordered against this stream's other ops).
+  /// `kernel_name` must have static storage duration (a string literal):
+  /// the obs tracer and sanitizer keep the pointer, exactly as with the
+  /// synchronous launch() API.
+  template <typename F>
+  void launch(const char* kernel_name, size_t grid_blocks, F&& body) {
+    std::function<void(const BlockCtx&)> fn(std::forward<F>(body));
+    submit(OpKind::kKernel, kernel_name,
+           [this, kernel_name, grid_blocks, fn = std::move(fn)] {
+             detail::run_blocks(dev_, kernel_name, grid_blocks, fn);
+           });
+  }
+
+  /// Async copies. The buffer and the host span must outlive the op.
+  template <typename T>
+  void memcpy_h2d(DeviceBuffer<T>& dst, std::span<const T> src) {
+    submit(OpKind::kMemcpyH2D, "h2d",
+           [this, &dst, src] { copy_h2d(dev_, dst, src); });
+  }
+  template <typename T>
+  void memcpy_d2h(std::span<T> dst, const DeviceBuffer<T>& src, size_t count) {
+    submit(OpKind::kMemcpyD2H, "d2h",
+           [this, dst, &src, count] { copy_d2h(dev_, dst, src, count); });
+  }
+  template <typename T>
+  void memcpy_d2d(DeviceBuffer<T>& dst, const DeviceBuffer<T>& src,
+                  size_t count) {
+    submit(OpKind::kMemcpyD2D, "d2d",
+           [this, &dst, &src, count] { copy_d2d(dev_, dst, src, count); });
+  }
+
+  /// Async host function (cudaLaunchHostFunc analogue).
+  void host_task(std::string name, std::function<void()> fn) {
+    submit(OpKind::kHostTask, std::move(name), std::move(fn));
+  }
+
+  /// Capture this stream's current tail in `ev` (cudaEventRecord).
+  void record(Event& ev);
+
+  /// Block this stream's queue until `ev`'s latest recorded point (as of
+  /// this call) has executed (cudaStreamWaitEvent). Never-recorded events
+  /// are a no-op, like CUDA.
+  void wait(const Event& ev);
+
+  /// Drain the queue; rethrows (and clears) the first stored op error.
+  void synchronize();
+
+  /// True when no submitted op is still queued or executing.
+  [[nodiscard]] bool idle() const;
+
+  /// The stream whose op is executing on this thread (nullptr outside op
+  /// execution). The default stream sets this during inline execution, so
+  /// profiler lane attribution works for both paths.
+  [[nodiscard]] static const Stream* current();
+  /// current()->name(), or "default" when no stream op is executing (host
+  /// code calling the legacy sync API).
+  [[nodiscard]] static std::string_view current_name();
+
+  /// Racecheck vector-clock slot of this stream (0 = host/default-stream
+  /// slot; only nonzero when racecheck is active). Consumed by the launch
+  /// runner to tag each launch with its originating stream.
+  [[nodiscard]] std::uint32_t hb_slot() const { return hb_slot_; }
+  /// hb_slot() of the stream executing on this thread, or 0 (host).
+  [[nodiscard]] static std::uint32_t calling_slot();
+
+ private:
+  friend class Device;
+  friend class Event;
+
+  struct Inline {};
+  /// Default-stream constructor (Device only): no thread, ops run inline
+  /// at submit, exceptions propagate to the caller directly.
+  Stream(Device& dev, std::string name, Inline);
+
+  struct Op {
+    OpKind kind = OpKind::kHostTask;
+    std::string name;
+    std::uint64_t seq = 0;
+    std::function<void()> fn;
+    std::shared_ptr<Event::State> ev;  // record/wait ops
+    std::uint64_t gen = 0;             // event generation
+    /// Submitting thread's racecheck clock, joined into this stream's
+    /// clock when the op executes (submission is a real sync edge).
+    std::vector<std::uint64_t> hb_release;
+  };
+
+  void init_hb();
+  void enqueue(Op op);
+  /// Executes one op with timeline/trace/HB instrumentation; throws.
+  void execute(Op& op);
+  void execute_record(Op& op);
+  void execute_wait(Op& op);
+  void thread_loop();
+
+  Device& dev_;
+  std::string name_;
+  std::uint32_t id_ = 0;
+  std::uint32_t hb_slot_ = 0;  // racecheck clock slot (0 = host/default)
+  bool inline_ = false;
+
+  mutable std::mutex m_;
+  std::condition_variable cv_;          // queue not empty / closing
+  std::condition_variable drained_cv_;  // completed_ caught up
+  std::deque<Op> q_;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+  bool closing_ = false;
+  bool poisoned_ = false;
+  std::exception_ptr error_;
+  std::thread thr_;
+};
+
+}  // namespace szp::gpusim

@@ -94,4 +94,29 @@ void Trace::reset() {
   host_stages_.store(0);
 }
 
+namespace {
+thread_local OpTraceScope* t_op_trace_head = nullptr;
+}  // namespace
+
+OpTraceScope::OpTraceScope() : parent_(t_op_trace_head) {
+  t_op_trace_head = this;
+}
+
+OpTraceScope::~OpTraceScope() { t_op_trace_head = parent_; }
+
+OpTraceScope* OpTraceScope::current() { return t_op_trace_head; }
+
+std::string_view op_kind_name(OpKind k) {
+  switch (k) {
+    case OpKind::kKernel: return "kernel";
+    case OpKind::kMemcpyH2D: return "h2d";
+    case OpKind::kMemcpyD2H: return "d2h";
+    case OpKind::kMemcpyD2D: return "d2d";
+    case OpKind::kHostTask: return "host";
+    case OpKind::kEventRecord: return "event_record";
+    case OpKind::kEventWait: return "event_wait";
+  }
+  return "?";
+}
+
 }  // namespace szp::gpusim

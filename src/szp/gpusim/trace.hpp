@@ -8,7 +8,9 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <string>
 #include <string_view>
+#include <utility>
 
 namespace szp::gpusim {
 
@@ -117,6 +119,86 @@ class Trace {
   std::atomic<std::uint64_t> d2d_bytes_{0};
   std::atomic<std::uint64_t> host_bytes_{0};
   std::atomic<std::uint64_t> host_stages_{0};
+};
+
+// --- per-operation trace attribution -----------------------------------
+
+/// Thread-local per-operation trace sink. The device-wide Trace can only
+/// be snapshotted while the device is quiescent, which made before/after
+/// diffs impossible once streams run operations concurrently. An
+/// OpTraceScope on the submitting thread collects a private copy of every
+/// counter the operation adds (kernel block workers receive the scope
+/// pointer through BlockCtx, memcpys/host stages consult the thread-local
+/// head directly), so each stream op carries its own consistent
+/// TraceSnapshot without stopping the world.
+///
+/// Scopes nest (an engine-level scope around a codec call that itself
+/// opens per-op scopes): every accounting site walks the parent chain and
+/// adds to each scope, so outer scopes see the sum of their inner ops.
+class OpTraceScope {
+ public:
+  OpTraceScope();
+  ~OpTraceScope();
+  OpTraceScope(const OpTraceScope&) = delete;
+  OpTraceScope& operator=(const OpTraceScope&) = delete;
+
+  [[nodiscard]] TraceSnapshot snapshot() const { return local_.snapshot(); }
+  [[nodiscard]] Trace& trace() { return local_; }
+  [[nodiscard]] OpTraceScope* parent() const { return parent_; }
+
+  /// Innermost scope on this thread (nullptr when none is open).
+  [[nodiscard]] static OpTraceScope* current();
+
+ private:
+  Trace local_;
+  OpTraceScope* parent_ = nullptr;
+};
+
+/// Apply `fn(Trace&)` to every scope in the chain headed at `head`.
+/// Kernel launches capture the head on the launching thread and pass it
+/// here from worker threads; host-side sites use the TLS overload below.
+template <typename Fn>
+inline void for_each_op_trace(OpTraceScope* head, Fn&& fn) {
+  for (OpTraceScope* s = head; s != nullptr; s = s->parent()) fn(s->trace());
+}
+
+template <typename Fn>
+inline void for_each_op_trace(Fn&& fn) {
+  for_each_op_trace(OpTraceScope::current(), std::forward<Fn>(fn));
+}
+
+// --- device timeline (stream op records) -------------------------------
+
+/// Kind of one stream operation, for the device timeline and the
+/// perfmodel overlap schedule (which engine an op occupies).
+enum class OpKind : std::uint8_t {
+  kKernel,
+  kMemcpyH2D,
+  kMemcpyD2H,
+  kMemcpyD2D,
+  kHostTask,
+  kEventRecord,
+  kEventWait,
+};
+
+[[nodiscard]] std::string_view op_kind_name(OpKind k);
+
+/// One executed stream operation, appended to the owning Device's
+/// timeline when timeline recording is enabled. `trace` is the op's own
+/// counter diff (collected through an OpTraceScope), which is what the
+/// overlap model costs; `t_begin/end_ns` are measured wall timestamps for
+/// reporting only. `seq` is the submission index within the stream, so a
+/// per-stream sort reconstructs FIFO order from the interleaved log.
+struct OpRecord {
+  std::uint32_t stream_id = 0;
+  std::string stream;
+  std::string name;
+  OpKind kind = OpKind::kHostTask;
+  std::uint64_t seq = 0;
+  std::uint64_t event_id = 0;  // record/wait ops only
+  std::uint64_t t_begin_ns = 0;
+  std::uint64_t t_end_ns = 0;
+  TraceSnapshot trace;
 };
 
 }  // namespace szp::gpusim

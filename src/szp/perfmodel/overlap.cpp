@@ -1,0 +1,146 @@
+#include "szp/perfmodel/overlap.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+namespace szp::perfmodel {
+
+namespace {
+
+enum class Engine { kCopy, kCompute, kNone };
+
+Engine engine_of(gpusim::OpKind k) {
+  switch (k) {
+    case gpusim::OpKind::kMemcpyH2D:
+    case gpusim::OpKind::kMemcpyD2H:
+    case gpusim::OpKind::kMemcpyD2D:
+      return Engine::kCopy;
+    case gpusim::OpKind::kKernel:
+    case gpusim::OpKind::kHostTask:
+      return Engine::kCompute;
+    case gpusim::OpKind::kEventRecord:
+    case gpusim::OpKind::kEventWait:
+      return Engine::kNone;
+  }
+  return Engine::kCompute;
+}
+
+struct SimOp {
+  const gpusim::OpRecord* rec = nullptr;
+  double dur_s = 0;
+  /// Index (into the flat op array) of the record op this wait depends
+  /// on; SIZE_MAX when none.
+  std::size_t dep = SIZE_MAX;
+};
+
+}  // namespace
+
+OverlapReport model_overlap(std::span<const gpusim::OpRecord> timeline,
+                            const CostModel& model) {
+  OverlapReport rep;
+  if (timeline.empty()) return rep;
+
+  // Cost every op and resolve event edges. The timeline is appended in
+  // completion order, so a wait's producing record is the latest record
+  // with the same event id appearing before it.
+  std::vector<SimOp> ops(timeline.size());
+  std::map<std::uint64_t, std::size_t> last_record;  // event id -> op index
+  std::uint64_t t_min = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t t_max = 0;
+  for (std::size_t i = 0; i < timeline.size(); ++i) {
+    const gpusim::OpRecord& r = timeline[i];
+    ops[i].rec = &r;
+    ops[i].dur_s =
+        engine_of(r.kind) == Engine::kNone ? 0 : model.run(r.trace).end_to_end_s();
+    if (r.kind == gpusim::OpKind::kEventRecord) {
+      last_record[r.event_id] = i;
+    } else if (r.kind == gpusim::OpKind::kEventWait) {
+      if (const auto it = last_record.find(r.event_id);
+          it != last_record.end()) {
+        ops[i].dep = it->second;
+      }
+    }
+    rep.serialized_s += ops[i].dur_s;
+    t_min = std::min(t_min, r.t_begin_ns);
+    t_max = std::max(t_max, r.t_end_ns);
+  }
+  rep.ops = timeline.size();
+  rep.measured_wall_s =
+      t_max > t_min ? static_cast<double>(t_max - t_min) * 1e-9 : 0.0;
+
+  // Per-stream FIFO queues, sorted by submission seq.
+  std::map<std::uint32_t, std::vector<std::size_t>> queues;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    queues[ops[i].rec->stream_id].push_back(i);
+  }
+  for (auto& [id, q] : queues) {
+    std::sort(q.begin(), q.end(), [&](std::size_t a, std::size_t b) {
+      return ops[a].rec->seq < ops[b].rec->seq;
+    });
+    StreamLane lane;
+    lane.stream_id = id;
+    lane.name = ops[q.front()].rec->stream;
+    lane.ops = q.size();
+    for (const std::size_t i : q) lane.busy_s += ops[i].dur_s;
+    rep.lanes.push_back(std::move(lane));
+  }
+
+  // List scheduling: repeatedly pick, among every stream's head op whose
+  // event dependency (if any) is already scheduled, the one that can
+  // start earliest; ties break on (stream id, seq) so the schedule is
+  // deterministic. A wait whose record never completed (skipped on a
+  // poisoned stream) is treated as depending on nothing.
+  std::map<std::uint32_t, std::size_t> head;      // stream -> queue pos
+  std::map<std::uint32_t, double> stream_free;    // stream tail time
+  std::vector<double> finish(ops.size(), -1.0);   // -1 = unscheduled
+  double copy_free = 0, compute_free = 0;
+  std::size_t scheduled = 0;
+  while (scheduled < ops.size()) {
+    std::size_t best = SIZE_MAX;
+    double best_start = 0;
+    std::uint32_t best_stream = 0;
+    for (const auto& [id, q] : queues) {
+      const std::size_t pos = head[id];
+      if (pos >= q.size()) continue;
+      const std::size_t i = q[pos];
+      if (ops[i].dep != SIZE_MAX && finish[ops[i].dep] < 0) continue;
+      double start = stream_free[id];
+      if (ops[i].dep != SIZE_MAX) start = std::max(start, finish[ops[i].dep]);
+      const Engine e = engine_of(ops[i].rec->kind);
+      if (e == Engine::kCopy) start = std::max(start, copy_free);
+      if (e == Engine::kCompute) start = std::max(start, compute_free);
+      if (best == SIZE_MAX || start < best_start ||
+          (start == best_start && id < best_stream)) {
+        best = i;
+        best_start = start;
+        best_stream = id;
+      }
+    }
+    if (best == SIZE_MAX) break;  // only unsatisfiable waits remain
+    const double end = best_start + ops[best].dur_s;
+    finish[best] = end;
+    stream_free[best_stream] = end;
+    const Engine e = engine_of(ops[best].rec->kind);
+    if (e == Engine::kCopy) copy_free = end;
+    if (e == Engine::kCompute) compute_free = end;
+    rep.overlapped_s = std::max(rep.overlapped_s, end);
+    ++head[best_stream];
+    ++scheduled;
+  }
+  return rep;
+}
+
+OverlapReport combine_devices(std::span<const OverlapReport> reports) {
+  OverlapReport out;
+  for (const OverlapReport& r : reports) {
+    out.serialized_s += r.serialized_s;
+    out.overlapped_s = std::max(out.overlapped_s, r.overlapped_s);
+    out.measured_wall_s = std::max(out.measured_wall_s, r.measured_wall_s);
+    out.ops += r.ops;
+    out.lanes.insert(out.lanes.end(), r.lanes.begin(), r.lanes.end());
+  }
+  return out;
+}
+
+}  // namespace szp::perfmodel

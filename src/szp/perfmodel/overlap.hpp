@@ -1,0 +1,64 @@
+// Transfer/compute overlap model for stream timelines.
+//
+// A Device timeline (gpusim::OpRecord log) fixes what each stream op did
+// — its own counter diff — so one async run yields both ends of the
+// comparison: the serialized schedule (every op back to back, the cost of
+// the classic sync path) and the overlapped schedule (per-stream FIFO on
+// a device with one copy engine and one compute engine, honoring
+// event-record/wait edges — the cuSZp-style pipelining win). The gap
+// between them is the modeled wall time the stream schedule saves.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "szp/gpusim/trace.hpp"
+#include "szp/perfmodel/cost.hpp"
+
+namespace szp::perfmodel {
+
+/// Per-stream occupancy summary (a timeline lane).
+struct StreamLane {
+  std::uint32_t stream_id = 0;
+  std::string name;
+  std::size_t ops = 0;
+  /// Sum of modeled durations of the lane's ops.
+  double busy_s = 0;
+};
+
+struct OverlapReport {
+  /// Modeled wall with every op executed back to back (sync schedule).
+  double serialized_s = 0;
+  /// Modeled makespan of the overlapped schedule.
+  double overlapped_s = 0;
+  /// Measured wall of the recorded run (max t_end - min t_begin); host
+  /// timing, reporting only.
+  double measured_wall_s = 0;
+  std::size_t ops = 0;
+  std::vector<StreamLane> lanes;
+
+  /// Fraction of the serialized wall the overlapped schedule saves.
+  [[nodiscard]] double overlap_fraction() const {
+    return serialized_s > 0 ? 1.0 - overlapped_s / serialized_s : 0.0;
+  }
+  [[nodiscard]] double speedup() const {
+    return overlapped_s > 0 ? serialized_s / overlapped_s : 1.0;
+  }
+};
+
+/// Model one device's timeline. Deterministic given the timeline: list
+/// scheduling with ties broken by (stream id, submission seq). Memcpy
+/// ops occupy the copy engine, kernel/host ops the compute engine;
+/// event records/waits are zero-cost ordering edges.
+[[nodiscard]] OverlapReport model_overlap(
+    std::span<const gpusim::OpRecord> timeline, const CostModel& model);
+
+/// Combine per-device reports for devices running concurrently:
+/// serialized walls add (a single device would run the shards back to
+/// back), overlapped walls max (devices are independent).
+[[nodiscard]] OverlapReport combine_devices(
+    std::span<const OverlapReport> reports);
+
+}  // namespace szp::perfmodel

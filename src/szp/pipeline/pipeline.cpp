@@ -1,5 +1,9 @@
 #include "szp/pipeline/pipeline.hpp"
 
+#include <algorithm>
+
+#include "szp/gpusim/stream.hpp"
+
 namespace szp::pipeline {
 
 InlinePipeline::InlinePipeline(Config config) : config_(config) {
@@ -62,20 +66,83 @@ void InlinePipeline::worker_loop() {
   // backends, one scratch pool (and thread pool) per worker.
   engine::Engine eng({.params = config_.params,
                       .backend = config_.backend,
-                      .threads = config_.threads});
+                      .threads = config_.threads,
+                      .streams = std::max(1u, config_.device_streams)});
+
+  // Double-buffer state (device backend only): at most one snapshot in
+  // flight per stream of the worker's device. Submitting snapshot k+1's
+  // H2D while k's kernel runs is the transfer/compute overlap the stream
+  // runtime exists for. `inflight` MUST be quiescent (streams drained)
+  // before it goes out of scope — pending ops reference its storage.
+  engine::DeviceBackend* devb = eng.device_backend();
+  const unsigned lanes =
+      devb != nullptr && config_.device_streams >= 2
+          ? devb->streams_per_device()
+          : 0;  // 0 = synchronous per-job path
+  struct Pending {
+    size_t seq = 0;
+    data::Field field;  // ops read .values until the lane drains
+    engine::CompressedStream cs;
+  };
+  std::vector<std::optional<Pending>> inflight(lanes);
+  unsigned next_lane = 0;
+
+  const auto quiesce_lanes = [&] {  // best-effort drain before unwinding
+    for (unsigned l = 0; l < lanes; ++l) {
+      try {
+        devb->stream(0, l).synchronize();
+      } catch (...) {  // already unwinding on a prior error
+      }
+    }
+  };
+  const auto fail = [&](std::exception_ptr err) {
+    quiesce_lanes();
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!first_error_) first_error_ = err;
+    closing_ = true;
+    job_available_.notify_all();
+    space_available_.notify_all();
+  };
+  // Drain lane l and publish its pending result; throws the lane's error.
+  const auto commit = [&](unsigned l) {
+    devb->stream(0, l).synchronize();
+    Pending& p = *inflight[l];
+    SnapshotResult result;
+    result.name = p.field.name;
+    result.raw_bytes = p.field.size_bytes();
+    result.comp_trace = p.cs.trace;
+    result.stream = std::move(p.cs.bytes);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      results_[p.seq] = std::move(result);
+    }
+    inflight[l].reset();
+  };
+
   for (;;) {
     Job job;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       job_available_.wait(lock,
                           [&] { return !queue_.empty() || closing_; });
-      if (queue_.empty()) return;  // closing and drained
+      if (queue_.empty()) break;  // closing and drained
       job = std::move(queue_.front());
       queue_.pop_front();
     }
     space_available_.notify_one();
 
     try {
+      if (lanes > 0) {
+        const unsigned lane = next_lane;
+        next_lane = (next_lane + 1) % lanes;
+        if (inflight[lane].has_value()) commit(lane);
+        const double eb = eng.eb_abs_for(job.field.values, job.value_range);
+        inflight[lane].emplace(
+            Pending{job.seq, std::move(job.field), engine::CompressedStream{}});
+        devb->submit_compress(0, lane, inflight[lane]->field.values,
+                              config_.params, eb, &inflight[lane]->cs);
+        continue;
+      }
       auto compressed = eng.compress(job.field.values, job.value_range);
 
       SnapshotResult result;
@@ -87,11 +154,18 @@ void InlinePipeline::worker_loop() {
       const std::lock_guard<std::mutex> lock(mutex_);
       results_[job.seq] = std::move(result);
     } catch (...) {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      if (!first_error_) first_error_ = std::current_exception();
-      closing_ = true;
-      job_available_.notify_all();
-      space_available_.notify_all();
+      fail(std::current_exception());
+      return;
+    }
+  }
+  // Closing: flush the in-flight snapshots in lane order.
+  for (unsigned l = 0; l < lanes; ++l) {
+    const unsigned lane = (next_lane + l) % lanes;
+    if (!inflight[lane].has_value()) continue;
+    try {
+      commit(lane);
+    } catch (...) {
+      fail(std::current_exception());
       return;
     }
   }

@@ -29,6 +29,11 @@ struct Config {
   /// kDevice means one simulated device per worker, as before).
   engine::BackendKind backend = engine::BackendKind::kDevice;
   unsigned threads = 0;        // parallel-host slots per worker (0 = auto)
+  /// Async streams per worker device (device backend only). With >= 2 the
+  /// worker double-buffers: snapshot k+1's H2D is submitted while
+  /// snapshot k's kernel is still in flight, keeping at most one snapshot
+  /// pending per stream. 1 restores the fully synchronous worker.
+  unsigned device_streams = 2;
 };
 
 struct SnapshotResult {

@@ -2,6 +2,8 @@
 // artifact workflow) driven through std::system.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -65,7 +67,10 @@ class CliSmoke : public ::testing::Test {
 
 TEST_F(CliSmoke, SzpCliDemoWorkflow) {
   if (!tool_exists("szp_cli")) GTEST_SKIP() << "tools not built here";
-  const std::string dir = "/tmp/szp_cli_smoke";
+  // Per-process dir: the devcheck variant of this binary runs the same
+  // test and ctest may schedule both concurrently.
+  const std::string dir =
+      "/tmp/szp_cli_smoke." + std::to_string(::getpid());
   std::filesystem::create_directories(dir);
   const std::string cmd = "cd " + dir + " && " +
                           std::filesystem::absolute(tool("szp_cli")).string() +
@@ -82,7 +87,8 @@ TEST_F(CliSmoke, SzpCliDemoWorkflow) {
 
 TEST_F(CliSmoke, CompareAndSsimAndPlot) {
   if (!tool_exists("compare_data")) GTEST_SKIP() << "tools not built here";
-  const std::string dir = "/tmp/szp_tools_smoke";
+  const std::string dir =
+      "/tmp/szp_tools_smoke." + std::to_string(::getpid());
   std::filesystem::create_directories(dir);
   const auto field = data::make_field(data::Suite::kCesmAtm, 0, 0.05);
   data::save_f32(dir + "/a.f32", field);
