@@ -15,7 +15,6 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string_view>
 #include <vector>
@@ -26,6 +25,7 @@
 #include "szp/engine/thread_pool.hpp"
 #include "szp/gpusim/device.hpp"
 #include "szp/gpusim/pool.hpp"
+#include "szp/util/thread_annotations.hpp"
 
 namespace szp::engine {
 
@@ -205,7 +205,9 @@ class DeviceBackend final : public Backend {
   [[nodiscard]] gpusim::BufferPool<float>& f32_pool() { return f32_; }
   [[nodiscard]] gpusim::BufferPool<double>& f64_pool() { return f64_; }
   [[nodiscard]] gpusim::BufferPool<byte_t>& byte_pool() { return bytes_; }
-  [[nodiscard]] std::mutex& op_mutex() { return op_mutex_; }
+  [[nodiscard]] Mutex& op_mutex() SZP_RETURN_CAPABILITY(op_mutex_) {
+    return op_mutex_;
+  }
 
  private:
   template <typename T>
@@ -222,7 +224,7 @@ class DeviceBackend final : public Backend {
   gpusim::BufferPool<float> f32_;
   gpusim::BufferPool<double> f64_;
   gpusim::BufferPool<byte_t> bytes_;
-  std::mutex op_mutex_;
+  Mutex op_mutex_;
   unsigned devices_ = 1;
   unsigned streams_ = 2;
   bool timeline_on_ = false;

@@ -247,26 +247,26 @@ void DeviceBackend::ensure_shards() {
 }
 
 gpusim::Device& DeviceBackend::shard_device(unsigned d) {
-  const std::lock_guard<std::mutex> lock(op_mutex_);
+  const LockGuard lock(op_mutex_);
   ensure_shards();
   return *shards_.at(d)->dev;
 }
 
 gpusim::Stream& DeviceBackend::stream(unsigned d, unsigned s) {
-  const std::lock_guard<std::mutex> lock(op_mutex_);
+  const LockGuard lock(op_mutex_);
   ensure_shards();
   return *shards_.at(d)->streams.at(s % streams_);
 }
 
 void DeviceBackend::set_timeline_enabled(bool on) {
-  const std::lock_guard<std::mutex> lock(op_mutex_);
+  const LockGuard lock(op_mutex_);
   timeline_on_ = on;
   for (const auto& shard : shards_) shard->dev->set_timeline_enabled(on);
   if (shards_.empty()) dev_.set_timeline_enabled(on);
 }
 
 std::vector<std::vector<gpusim::OpRecord>> DeviceBackend::take_timelines() {
-  const std::lock_guard<std::mutex> lock(op_mutex_);
+  const LockGuard lock(op_mutex_);
   std::vector<std::vector<gpusim::OpRecord>> out;
   if (shards_.empty()) {
     out.push_back(dev_.timeline());
@@ -342,7 +342,7 @@ std::vector<CompressedStream> DeviceBackend::compress_batch(
   if (devices_ == 1 && streams_ == 1) {
     return Backend::compress_batch(fields, params, eb_abs);
   }
-  const std::lock_guard<std::mutex> lock(op_mutex_);
+  const LockGuard lock(op_mutex_);
   ensure_shards();
 
   std::vector<CompressedStream> out(fields.size());
@@ -375,7 +375,7 @@ template <typename T>
 CompressedStream DeviceBackend::compress_impl(std::span<const T> data,
                                               const core::Params& params,
                                               double eb_abs) {
-  const std::lock_guard<std::mutex> lock(op_mutex_);
+  const LockGuard lock(op_mutex_);
   auto in = pool_of<T>(*this).acquire(data.size());
   gpusim::copy_h2d(dev_, *in, data);
   auto cmp = bytes_.acquire(core::max_compressed_bytes(
@@ -400,7 +400,7 @@ std::vector<T> DeviceBackend::decompress_impl(std::span<const byte_t> stream,
   if (h.is_f64() != std::is_same_v<T, double>) {
     throw format_error("DeviceBackend: stream precision mismatch");
   }
-  const std::lock_guard<std::mutex> lock(op_mutex_);
+  const LockGuard lock(op_mutex_);
   auto cmp = bytes_.acquire(stream.size());
   gpusim::copy_h2d(dev_, *cmp, stream);
   auto out = pool_of<T>(*this).acquire(h.num_elements);

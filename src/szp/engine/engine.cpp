@@ -126,7 +126,7 @@ DeviceRoundtrip Engine::device_roundtrip(std::span<const float> data,
   if (dev_backend == nullptr) {
     throw format_error("Engine: device_roundtrip needs the device backend");
   }
-  const std::lock_guard<std::mutex> lock(dev_backend->op_mutex());
+  const LockGuard lock(dev_backend->op_mutex());
   gpusim::Device& dev = dev_backend->device();
   const size_t n = data.size();
 

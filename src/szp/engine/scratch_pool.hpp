@@ -4,10 +4,10 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "szp/core/host_codec.hpp"
+#include "szp/util/thread_annotations.hpp"
 
 namespace szp::engine {
 
@@ -52,7 +52,7 @@ class ScratchPool {
   /// internal vectors are already at size); any other idle arena is
   /// repurposed, and a new one is created only when all are leased.
   [[nodiscard]] Lease acquire(size_t n, unsigned block_len) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     Entry* idle = nullptr;
     for (const auto& e : entries_) {
       if (e->in_use) continue;
@@ -78,28 +78,28 @@ class ScratchPool {
   }
 
   [[nodiscard]] size_t hits() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     return hits_;
   }
   [[nodiscard]] size_t misses() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     return misses_;
   }
   [[nodiscard]] size_t size() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     return entries_.size();
   }
 
  private:
   void put_back(Entry* entry) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     entry->in_use = false;
   }
 
-  mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<Entry>> entries_;
-  size_t hits_ = 0;
-  size_t misses_ = 0;
+  mutable Mutex mutex_;
+  std::vector<std::unique_ptr<Entry>> entries_ SZP_GUARDED_BY(mutex_);
+  size_t hits_ SZP_GUARDED_BY(mutex_) = 0;
+  size_t misses_ SZP_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace szp::engine

@@ -27,7 +27,7 @@ ThreadPool::ThreadPool(unsigned threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     stop_ = true;
   }
   cv_start_.notify_all();
@@ -58,7 +58,7 @@ void ThreadPool::run(size_t count, const std::function<void(size_t)>& task) {
     hostprof::ScopedTimer dispatch(hostprof::Bucket::kDispatch);
     const obs::Span span("host", "dispatch", "tasks", count);
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const LockGuard lock(mutex_);
       batch_ = batch;
       ++generation_;
     }
@@ -68,8 +68,8 @@ void ThreadPool::run(size_t count, const std::function<void(size_t)>& task) {
   {
     hostprof::ScopedTimer barrier(hostprof::Bucket::kBarrier);
     const obs::Span span("host", "barrier_wait");
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_done_.wait(lock, [&] { return batch->done == batch->count; });
+    UniqueLock lock(mutex_);
+    while (batch->done != batch->count) cv_done_.wait(lock);
   }
   if (batch->error) std::rethrow_exception(batch->error);
 }
@@ -77,13 +77,13 @@ void ThreadPool::run(size_t count, const std::function<void(size_t)>& task) {
 void ThreadPool::worker_loop(unsigned index) {
   bool trace_named = false;
   std::uint64_t seen = 0;
-  std::unique_lock<std::mutex> lock(mutex_);
+  UniqueLock lock(mutex_);
   for (;;) {
     {
       // The condition variable releases the pool mutex while blocked, so
       // this interval really is time spent waiting for work.
       hostprof::ScopedTimer wait(hostprof::Bucket::kQueueWait);
-      cv_start_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      while (!stop_ && generation_ == seen) cv_start_.wait(lock);
     }
     if (stop_) return;
     seen = generation_;
@@ -112,12 +112,12 @@ void ThreadPool::process(Batch& batch) {
       const obs::Span span("host", "chunk", "chunk", i);
       (*batch.task)(i);
     } catch (...) {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const LockGuard lock(mutex_);
       if (!batch.error) batch.error = std::current_exception();
     }
     // The mutex hand-off publishes this task's writes to whoever observes
     // completion in run().
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     if (++batch.done == batch.count) cv_done_.notify_all();
   }
 }

@@ -6,14 +6,13 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "szp/core/host_codec.hpp"
+#include "szp/util/thread_annotations.hpp"
 
 namespace szp::engine {
 
@@ -46,20 +45,23 @@ class ThreadPool final : public core::Executor {
     const std::function<void(size_t)>* task = nullptr;
     size_t count = 0;
     std::atomic<size_t> next{0};
-    size_t done = 0;               // guarded by the pool mutex
-    std::exception_ptr error;      // guarded by the pool mutex
+    // Guarded by the pool mutex. (Batch is shared across pool instances'
+    // scopes, so the guard cannot be named in an attribute here; process()
+    // and run() take the lock around every access.)
+    size_t done = 0;
+    std::exception_ptr error;
   };
 
   void worker_loop(unsigned index);
-  void process(Batch& batch);
+  void process(Batch& batch) SZP_EXCLUDES(mutex_);
 
-  std::mutex mutex_;
-  std::condition_variable cv_start_;
-  std::condition_variable cv_done_;
+  Mutex mutex_;
+  CondVar cv_start_;
+  CondVar cv_done_;
   std::vector<std::thread> workers_;
-  std::shared_ptr<Batch> batch_;   // guarded by mutex_
-  std::uint64_t generation_ = 0;   // guarded by mutex_
-  bool stop_ = false;              // guarded by mutex_
+  std::shared_ptr<Batch> batch_ SZP_GUARDED_BY(mutex_);
+  std::uint64_t generation_ SZP_GUARDED_BY(mutex_) = 0;
+  bool stop_ SZP_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace szp::engine

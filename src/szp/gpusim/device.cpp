@@ -51,12 +51,12 @@ Device::~Device() {
 Stream& Device::default_stream() { return *default_stream_; }
 
 void Device::register_stream(Stream* s) {
-  const std::lock_guard<std::mutex> lock(streams_mutex_);
+  const LockGuard lock(streams_mutex_);
   streams_.push_back(s);
 }
 
 void Device::unregister_stream(Stream* s) {
-  const std::lock_guard<std::mutex> lock(streams_mutex_);
+  const LockGuard lock(streams_mutex_);
   streams_.erase(std::remove(streams_.begin(), streams_.end(), s),
                  streams_.end());
 }
@@ -64,7 +64,7 @@ void Device::unregister_stream(Stream* s) {
 void Device::synchronize() {
   std::vector<Stream*> streams;
   {
-    const std::lock_guard<std::mutex> lock(streams_mutex_);
+    const LockGuard lock(streams_mutex_);
     streams = streams_;
   }
   std::exception_ptr first;
@@ -83,32 +83,32 @@ void Device::synchronize() {
 }
 
 std::vector<OpRecord> Device::timeline() const {
-  const std::lock_guard<std::mutex> lock(timeline_mutex_);
+  const LockGuard lock(timeline_mutex_);
   return timeline_;
 }
 
 void Device::clear_timeline() {
-  const std::lock_guard<std::mutex> lock(timeline_mutex_);
+  const LockGuard lock(timeline_mutex_);
   timeline_.clear();
 }
 
 void Device::append_op_record(OpRecord rec) {
-  const std::lock_guard<std::mutex> lock(timeline_mutex_);
+  const LockGuard lock(timeline_mutex_);
   timeline_.push_back(std::move(rec));
 }
 
 void Device::set_post_kernel_hook(KernelHook hook) {
-  const std::lock_guard<std::mutex> lock(hook_mutex_);
+  const LockGuard lock(hook_mutex_);
   post_kernel_hook_ = std::make_shared<const KernelHook>(std::move(hook));
 }
 
 void Device::clear_post_kernel_hook() {
-  const std::lock_guard<std::mutex> lock(hook_mutex_);
+  const LockGuard lock(hook_mutex_);
   post_kernel_hook_.reset();
 }
 
 std::shared_ptr<const Device::KernelHook> Device::post_kernel_hook() const {
-  const std::lock_guard<std::mutex> lock(hook_mutex_);
+  const LockGuard lock(hook_mutex_);
   return post_kernel_hook_;
 }
 
@@ -159,17 +159,17 @@ void Device::reset_trace() {
 }
 
 void Device::log_launch(std::string name, size_t grid_blocks) {
-  const std::lock_guard<std::mutex> lock(log_mutex_);
+  const LockGuard lock(log_mutex_);
   launch_log_.push_back({std::move(name), grid_blocks});
 }
 
 std::vector<KernelRecord> Device::launch_log() const {
-  const std::lock_guard<std::mutex> lock(log_mutex_);
+  const LockGuard lock(log_mutex_);
   return launch_log_;
 }
 
 void Device::clear_launch_log() {
-  const std::lock_guard<std::mutex> lock(log_mutex_);
+  const LockGuard lock(log_mutex_);
   launch_log_.clear();
 }
 

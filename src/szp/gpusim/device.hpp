@@ -11,7 +11,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -20,6 +19,7 @@
 #include "szp/gpusim/sanitize/report.hpp"
 #include "szp/gpusim/trace.hpp"
 #include "szp/util/common.hpp"
+#include "szp/util/thread_annotations.hpp"
 
 namespace szp::gpusim {
 
@@ -196,24 +196,25 @@ class Device {
   std::atomic<unsigned> launches_in_flight_{0};
   std::atomic<unsigned> async_pending_{0};
   std::atomic<size_t> alloc_bytes_{0};
-  mutable std::mutex log_mutex_;
-  std::vector<KernelRecord> launch_log_;
-  mutable std::mutex hook_mutex_;
-  std::shared_ptr<const KernelHook> post_kernel_hook_;
+  mutable Mutex log_mutex_;
+  std::vector<KernelRecord> launch_log_ SZP_GUARDED_BY(log_mutex_);
+  mutable Mutex hook_mutex_;
+  std::shared_ptr<const KernelHook> post_kernel_hook_
+      SZP_GUARDED_BY(hook_mutex_);
   std::unique_ptr<sanitize::Checker> checker_;
   std::unique_ptr<profile::Profiler> profiler_;
 
   // Async runtime state. The default stream is created eagerly (after the
   // checker, which it registers with) and runs inline; user streams
   // register here so synchronize() can drain them.
-  mutable std::mutex streams_mutex_;
-  std::vector<Stream*> streams_;
+  mutable Mutex streams_mutex_;
+  std::vector<Stream*> streams_ SZP_GUARDED_BY(streams_mutex_);
   std::atomic<std::uint32_t> next_stream_id_{1};  // 0 = default stream
   std::unique_ptr<Stream> default_stream_;
 
   std::atomic<bool> timeline_enabled_{false};
-  mutable std::mutex timeline_mutex_;
-  std::vector<OpRecord> timeline_;
+  mutable Mutex timeline_mutex_;
+  std::vector<OpRecord> timeline_ SZP_GUARDED_BY(timeline_mutex_);
 };
 
 }  // namespace szp::gpusim

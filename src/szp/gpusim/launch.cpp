@@ -5,13 +5,13 @@
 #include <chrono>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "szp/gpusim/stream.hpp"
 #include "szp/obs/tracer.hpp"
+#include "szp/util/thread_annotations.hpp"
 
 namespace szp::gpusim::detail {
 
@@ -57,7 +57,7 @@ void run_blocks(Device& dev, const char* kernel_name, size_t grid_blocks,
 
   std::atomic<size_t> next{0};
   std::exception_ptr first_error;
-  std::mutex error_mutex;
+  Mutex error_mutex;
   std::atomic<bool> failed{false};
 
   auto worker_fn = [&](bool pooled) {
@@ -75,7 +75,7 @@ void run_blocks(Device& dev, const char* kernel_name, size_t grid_blocks,
         body(ctx);
       } catch (...) {
         {
-          const std::lock_guard<std::mutex> lock(error_mutex);
+          const LockGuard lock(error_mutex);
           if (!first_error) first_error = std::current_exception();
         }
         failed.store(true, std::memory_order_relaxed);

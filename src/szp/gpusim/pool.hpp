@@ -5,10 +5,10 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "szp/gpusim/buffer.hpp"
+#include "szp/util/thread_annotations.hpp"
 
 namespace szp::gpusim {
 
@@ -72,7 +72,7 @@ class BufferPool {
   /// fits; allocates a new slot only when every buffer is leased out.
   [[nodiscard]] Lease acquire(size_t n) {
     n = std::max<size_t>(1, n);
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     Entry* best = nullptr;
     Entry* any_idle = nullptr;
     for (const auto& e : entries_) {
@@ -106,29 +106,29 @@ class BufferPool {
 
   /// Pool statistics, for tests and the bench report.
   [[nodiscard]] size_t allocations() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     return allocations_;
   }
   [[nodiscard]] size_t reuses() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     return reuses_;
   }
   [[nodiscard]] size_t size() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     return entries_.size();
   }
 
  private:
   void put_back(Entry* entry) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     entry->in_use = false;
   }
 
   Device* dev_;
-  mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<Entry>> entries_;
-  size_t allocations_ = 0;
-  size_t reuses_ = 0;
+  mutable Mutex mutex_;
+  std::vector<std::unique_ptr<Entry>> entries_ SZP_GUARDED_BY(mutex_);
+  size_t allocations_ SZP_GUARDED_BY(mutex_) = 0;
+  size_t reuses_ SZP_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace szp::gpusim

@@ -155,7 +155,7 @@ void Profiler::end_launch(const std::shared_ptr<LaunchProf>& lp,
     reg.histogram("profile.launch_wall_ns", obs::Histogram::pow2_bounds(28))
         .observe(static_cast<double>(wall_ns));
   }
-  const std::lock_guard<std::mutex> lock(mu_);
+  const LockGuard lock(mu_);
   launches_.push_back(std::move(archived));
 }
 
@@ -164,32 +164,32 @@ std::shared_ptr<BufferProf> Profiler::on_alloc(std::size_t elem_bytes,
   auto bp = std::make_shared<BufferProf>();
   bp->elem_bytes = elem_bytes;
   bp->elems = elems;
-  const std::lock_guard<std::mutex> lock(mu_);
+  const LockGuard lock(mu_);
   bp->id = next_buffer_id_++;
   buffers_.push_back(bp);
   return bp;
 }
 
 void Profiler::on_memcpy_h2d(std::uint64_t bytes) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const LockGuard lock(mu_);
   memcpy_.h2d_bytes += bytes;
   memcpy_.h2d_count += 1;
 }
 
 void Profiler::on_memcpy_d2h(std::uint64_t bytes) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const LockGuard lock(mu_);
   memcpy_.d2h_bytes += bytes;
   memcpy_.d2h_count += 1;
 }
 
 void Profiler::on_memcpy_d2d(std::uint64_t bytes) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const LockGuard lock(mu_);
   memcpy_.d2d_bytes += bytes;
   memcpy_.d2d_count += 1;
 }
 
 SessionProfile Profiler::snapshot() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const LockGuard lock(mu_);
   SessionProfile out;
   out.workers = workers_;
   out.launches = launches_;
@@ -214,12 +214,12 @@ SessionProfile Profiler::snapshot() const {
 }
 
 std::size_t Profiler::launch_count() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const LockGuard lock(mu_);
   return launches_.size();
 }
 
 void Profiler::reset() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const LockGuard lock(mu_);
   launches_.clear();
   buffers_.clear();
   next_buffer_id_ = 0;
@@ -241,7 +241,7 @@ Collector& Collector::instance() {
 
 void Collector::archive(SessionProfile session) {
   static std::once_flag hook_once;
-  const std::lock_guard<std::mutex> lock(mu_);
+  const LockGuard lock(mu_);
   sessions_.push_back(std::move(session));
   if (!export_path_.empty()) {
     std::call_once(hook_once, [] { std::atexit(flush_collector); });
@@ -252,7 +252,7 @@ bool Collector::write(const std::string& path) const {
   std::string target = path;
   std::vector<SessionProfile> sessions;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const LockGuard lock(mu_);
     if (target.empty()) target = export_path_;
     sessions = sessions_;
   }
@@ -261,17 +261,17 @@ bool Collector::write(const std::string& path) const {
 }
 
 std::size_t Collector::session_count() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const LockGuard lock(mu_);
   return sessions_.size();
 }
 
 void Collector::set_export_path(std::string path) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const LockGuard lock(mu_);
   export_path_ = std::move(path);
 }
 
 void Collector::clear() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const LockGuard lock(mu_);
   sessions_.clear();
   export_path_.clear();
 }

@@ -17,11 +17,11 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "szp/gpusim/profile/counters.hpp"
+#include "szp/util/thread_annotations.hpp"
 
 namespace szp::gpusim::profile {
 
@@ -181,11 +181,11 @@ class Profiler {
  private:
   Options opts_;
   unsigned workers_;
-  mutable std::mutex mu_;
-  std::vector<LaunchProfile> launches_;
-  std::vector<std::shared_ptr<BufferProf>> buffers_;
-  std::uint64_t next_buffer_id_ = 0;
-  MemcpyStats memcpy_;
+  mutable Mutex mu_;
+  std::vector<LaunchProfile> launches_ SZP_GUARDED_BY(mu_);
+  std::vector<std::shared_ptr<BufferProf>> buffers_ SZP_GUARDED_BY(mu_);
+  std::uint64_t next_buffer_id_ SZP_GUARDED_BY(mu_) = 0;
+  MemcpyStats memcpy_ SZP_GUARDED_BY(mu_);
 };
 
 /// Archive a finished LaunchProf into a value-typed LaunchProfile.
@@ -212,9 +212,9 @@ class Collector {
 
  private:
   Collector() = default;
-  mutable std::mutex mu_;
-  std::vector<SessionProfile> sessions_;
-  std::string export_path_;
+  mutable Mutex mu_;
+  std::vector<SessionProfile> sessions_ SZP_GUARDED_BY(mu_);
+  std::string export_path_ SZP_GUARDED_BY(mu_);
 };
 
 }  // namespace szp::gpusim::profile

@@ -76,7 +76,7 @@ std::shared_ptr<BufferShadow> Checker::on_alloc(size_t cells,
   auto sh = std::make_shared<BufferShadow>(
       *this, next_buffer_id_.fetch_add(1, std::memory_order_relaxed), cells,
       elem_bytes);
-  std::lock_guard<std::mutex> lock(live_mutex_);
+  const LockGuard lock(live_mutex_);
   live_.emplace(sh->id(), sh);
   return sh;
 }
@@ -88,7 +88,7 @@ void Checker::on_free(BufferShadow& sh, bool redzones_intact) {
            "redzone overwritten adjacent to buffer #" + std::to_string(sh.id()),
            sh.id(), 0);
   }
-  std::lock_guard<std::mutex> lock(live_mutex_);
+  const LockGuard lock(live_mutex_);
   live_.erase(sh.id());
 }
 
@@ -102,7 +102,7 @@ std::unique_ptr<LaunchCheck> Checker::begin_launch(const char* kernel,
   kernel_.store(kernel, std::memory_order_release);
   std::vector<std::uint64_t> vc;
   if (tools_.racecheck) {
-    const std::lock_guard<std::mutex> lock(race_mutex_);
+    const LockGuard lock(race_mutex_);
     if (hb_slot >= hb_vc_.size()) hb_vc_.resize(hb_slot + 1);
     auto& slot_vc = hb_vc_[hb_slot];
     if (slot_vc.size() <= hb_slot) slot_vc.resize(hb_slot + 1, 0);
@@ -123,7 +123,7 @@ void Checker::end_launch(LaunchCheck& lc) {
 
 std::uint32_t Checker::hb_register_stream() {
   if (!tools_.racecheck) return 0;
-  const std::lock_guard<std::mutex> lock(race_mutex_);
+  const LockGuard lock(race_mutex_);
   const auto slot = static_cast<std::uint32_t>(hb_vc_.size());
   // The creating thread's knowledge (host slot) happens-before the new
   // stream's first op.
@@ -135,7 +135,7 @@ std::uint32_t Checker::hb_register_stream() {
 
 std::vector<std::uint64_t> Checker::hb_release(std::uint32_t slot) {
   if (!tools_.racecheck) return {};
-  const std::lock_guard<std::mutex> lock(race_mutex_);
+  const LockGuard lock(race_mutex_);
   if (slot >= hb_vc_.size()) return {};
   auto& v = hb_vc_[slot];
   if (v.size() <= slot) v.resize(slot + 1, 0);
@@ -147,14 +147,14 @@ std::vector<std::uint64_t> Checker::hb_release(std::uint32_t slot) {
 void Checker::hb_acquire(std::uint32_t slot,
                          const std::vector<std::uint64_t>& clock) {
   if (!tools_.racecheck || clock.empty()) return;
-  const std::lock_guard<std::mutex> lock(race_mutex_);
+  const LockGuard lock(race_mutex_);
   if (slot >= hb_vc_.size()) return;
   join_clock(hb_vc_[slot], clock);
 }
 
 void Checker::hb_host_sync(std::uint32_t into_slot, std::uint32_t from_slot) {
   if (!tools_.racecheck || into_slot == from_slot) return;
-  const std::lock_guard<std::mutex> lock(race_mutex_);
+  const LockGuard lock(race_mutex_);
   if (into_slot >= hb_vc_.size() || from_slot >= hb_vc_.size()) return;
   const std::vector<std::uint64_t> src = hb_vc_[from_slot];
   join_clock(hb_vc_[into_slot], src);
@@ -162,7 +162,7 @@ void Checker::hb_host_sync(std::uint32_t into_slot, std::uint32_t from_slot) {
 
 void Checker::hb_device_sync() {
   if (!tools_.racecheck) return;
-  const std::lock_guard<std::mutex> lock(race_mutex_);
+  const LockGuard lock(race_mutex_);
   std::vector<std::uint64_t> all;
   for (const auto& v : hb_vc_) join_clock(all, v);
   for (auto& v : hb_vc_) join_clock(v, all);
@@ -194,7 +194,7 @@ void Checker::report(Kind kind, std::string message, std::uint64_t buffer_id,
     }
   }
   count_finding(kind);
-  std::lock_guard<std::mutex> lock(findings_mutex_);
+  const LockGuard lock(findings_mutex_);
   if (auto it = finding_sites_.find(fp); it != finding_sites_.end()) {
     ++findings_[it->second].count;
     return;
@@ -210,17 +210,17 @@ void Checker::report(Kind kind, std::string message, std::uint64_t buffer_id,
 }
 
 Report Checker::snapshot() const {
-  std::lock_guard<std::mutex> lock(findings_mutex_);
+  const LockGuard lock(findings_mutex_);
   return Report{findings_, dropped_};
 }
 
 size_t Checker::finding_count() const {
-  std::lock_guard<std::mutex> lock(findings_mutex_);
+  const LockGuard lock(findings_mutex_);
   return findings_.size() + (dropped_ > 0 ? 1 : 0);
 }
 
 void Checker::clear_findings() {
-  std::lock_guard<std::mutex> lock(findings_mutex_);
+  const LockGuard lock(findings_mutex_);
   findings_.clear();
   finding_sites_.clear();
   dropped_ = 0;
@@ -230,7 +230,7 @@ void Checker::finalize() {
   if (!tools_.memcheck) return;
   std::vector<std::shared_ptr<BufferShadow>> leaked;
   {
-    std::lock_guard<std::mutex> lock(live_mutex_);
+    const LockGuard lock(live_mutex_);
     for (auto& [id, sh] : live_) leaked.push_back(sh);
     live_.clear();
   }
@@ -277,6 +277,7 @@ bool LaunchCheck::ordered(const std::vector<std::uint32_t>& myvc,
 void LaunchCheck::race_range(BufferShadow& sh, size_t begin, size_t end,
                              std::uint32_t actor, bool is_write) {
   if (!race_enabled_) return;
+  const LockGuard lock(chk_.race_mutex_);
   if (sh.race_.empty()) sh.race_.resize(sh.cells());
   auto& myvc = vc(actor);
   const std::uint32_t myclock = myvc[actor];
@@ -348,7 +349,7 @@ void LaunchCheck::race_range(BufferShadow& sh, size_t begin, size_t end,
 
 void LaunchCheck::sync_release(std::uint32_t actor, const void* key) {
   if (!race_enabled_) return;
-  std::lock_guard<std::mutex> lock(chk_.race_mutex_);
+  const LockGuard lock(chk_.race_mutex_);
   auto& myvc = vc(actor);
   auto& s = sync_vc_[key];
   if (s.empty()) {
@@ -361,7 +362,7 @@ void LaunchCheck::sync_release(std::uint32_t actor, const void* key) {
 
 void LaunchCheck::sync_acquire(std::uint32_t actor, const void* key) {
   if (!race_enabled_) return;
-  std::lock_guard<std::mutex> lock(chk_.race_mutex_);
+  const LockGuard lock(chk_.race_mutex_);
   if (auto it = sync_vc_.find(key); it != sync_vc_.end()) {
     join(vc(actor), it->second);
   }

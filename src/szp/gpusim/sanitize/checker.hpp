@@ -34,13 +34,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "szp/gpusim/sanitize/report.hpp"
 #include "szp/gpusim/sanitize/shadow.hpp"
+#include "szp/util/thread_annotations.hpp"
 
 namespace szp::gpusim::sanitize {
 
@@ -121,34 +121,39 @@ class Checker {
   std::atomic<std::uint64_t> epoch_{1};
   std::atomic<std::uint64_t> next_buffer_id_{1};
 
-  mutable std::mutex findings_mutex_;
-  std::vector<Finding> findings_;
-  std::unordered_map<std::uint64_t, size_t> finding_sites_;  // fp -> index
-  std::uint64_t dropped_ = 0;
+  mutable Mutex findings_mutex_;
+  std::vector<Finding> findings_ SZP_GUARDED_BY(findings_mutex_);
+  std::unordered_map<std::uint64_t, size_t> finding_sites_
+      SZP_GUARDED_BY(findings_mutex_);  // fp -> index
+  std::uint64_t dropped_ SZP_GUARDED_BY(findings_mutex_) = 0;
 
-  mutable std::mutex live_mutex_;
-  std::unordered_map<std::uint64_t, std::shared_ptr<BufferShadow>> live_;
+  mutable Mutex live_mutex_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<BufferShadow>> live_
+      SZP_GUARDED_BY(live_mutex_);
 
   /// Single lock for all racecheck state (cells + vector clocks): keeps
   /// detection deterministic and the implementation simple; racecheck is
   /// a debugging tool, not a fast path.
-  std::mutex race_mutex_;
+  Mutex race_mutex_;
 
   /// True when `prior_epoch` is ordered before a launch whose captured
-  /// stream clock is `vc`. race_mutex_ must be held.
+  /// stream clock is `vc`.
   [[nodiscard]] bool hb_epoch_ordered(
-      std::uint64_t prior_epoch, const std::vector<std::uint64_t>& vc) const;
+      std::uint64_t prior_epoch, const std::vector<std::uint64_t>& vc) const
+      SZP_REQUIRES(race_mutex_);
 
-  // Cross-launch HB state (guarded by race_mutex_). hb_vc_[s] is slot
-  // s's clock; epoch_origin_ maps a launch epoch to the (slot, seq) that
-  // produced it so race_range can test ordering against a prior epoch.
+  // Cross-launch HB state. hb_vc_[s] is slot s's clock; epoch_origin_
+  // maps a launch epoch to the (slot, seq) that produced it so
+  // race_range can test ordering against a prior epoch.
   struct EpochOrigin {
     std::uint32_t slot = 0;
     std::uint64_t seq = 0;
   };
-  std::vector<std::vector<std::uint64_t>> hb_vc_{{0}};
-  std::unordered_map<std::uint64_t, EpochOrigin> epoch_origin_;
-  std::uint64_t hb_floor_epoch_ = 0;
+  std::vector<std::vector<std::uint64_t>> hb_vc_
+      SZP_GUARDED_BY(race_mutex_){{0}};
+  std::unordered_map<std::uint64_t, EpochOrigin> epoch_origin_
+      SZP_GUARDED_BY(race_mutex_);
+  std::uint64_t hb_floor_epoch_ SZP_GUARDED_BY(race_mutex_) = 0;
 };
 
 class LaunchCheck {
@@ -181,13 +186,17 @@ class LaunchCheck {
  private:
   friend class BufferShadow;
 
-  /// Racecheck core, called by BufferShadow with race_mutex_ held.
+  /// Racecheck core, called by BufferShadow; takes race_mutex_ itself
+  /// (the caller cannot name it analyzably across the object boundary).
   void race_range(BufferShadow& sh, size_t begin, size_t end,
-                  std::uint32_t actor, bool is_write);
-  std::vector<std::uint32_t>& vc(std::uint32_t actor);
+                  std::uint32_t actor, bool is_write)
+      SZP_EXCLUDES(chk_.race_mutex_);
+  std::vector<std::uint32_t>& vc(std::uint32_t actor)
+      SZP_REQUIRES(chk_.race_mutex_);
   [[nodiscard]] bool ordered(const std::vector<std::uint32_t>& myvc,
                              std::uint32_t prior_actor,
-                             std::uint32_t prior_clock) const;
+                             std::uint32_t prior_clock) const
+      SZP_REQUIRES(chk_.race_mutex_);
 
   Checker& chk_;
   const char* kernel_;
@@ -199,14 +208,15 @@ class LaunchCheck {
   std::vector<std::uint64_t> hb_vc_;
   /// 1-entry cache for the per-cell cross-epoch ordering test (cells in
   /// a range overwhelmingly share one prior epoch).
-  mutable std::uint64_t hb_last_epoch_ = 0;
-  mutable bool hb_last_ordered_ = true;
+  mutable std::uint64_t hb_last_epoch_ SZP_GUARDED_BY(chk_.race_mutex_) = 0;
+  mutable bool hb_last_ordered_ SZP_GUARDED_BY(chk_.race_mutex_) = true;
   bool race_enabled_;
 
-  // Racecheck (guarded by Checker::race_mutex_). Per-actor vector clocks
-  // are lazily initialised; sync-var clocks keyed by object address.
-  std::vector<std::vector<std::uint32_t>> vc_;
-  std::unordered_map<const void*, std::vector<std::uint32_t>> sync_vc_;
+  // Racecheck: per-actor vector clocks, lazily initialised; sync-var
+  // clocks keyed by object address.
+  std::vector<std::vector<std::uint32_t>> vc_ SZP_GUARDED_BY(chk_.race_mutex_);
+  std::unordered_map<const void*, std::vector<std::uint32_t>> sync_vc_
+      SZP_GUARDED_BY(chk_.race_mutex_);
 
   // Synccheck: per-block active mask (one worker per block, no lock).
   std::vector<std::uint32_t> active_mask_;

@@ -1,6 +1,5 @@
 #include "szp/gpusim/sanitize/shadow.hpp"
 
-#include <mutex>
 #include <string>
 
 #include "szp/gpusim/sanitize/checker.hpp"
@@ -66,7 +65,7 @@ void BufferShadow::reset_init() {
 
 void BufferShadow::reset_race() {
   if (!racecheck_) return;
-  const std::lock_guard<std::mutex> lock(chk_.race_mutex_);
+  const LockGuard lock(chk_.race_mutex_);
   race_.clear();
 }
 
@@ -99,7 +98,6 @@ bool BufferShadow::pre_load(size_t i, LaunchCheck* lc, std::uint32_t actor) {
                 id_, i);
   }
   if (racecheck_ && lc != nullptr) {
-    std::lock_guard<std::mutex> lock(chk_.race_mutex_);
     lc->race_range(*this, i, i + 1, actor, /*is_write=*/false);
   }
   return true;
@@ -122,7 +120,6 @@ bool BufferShadow::pre_store(size_t i, LaunchCheck* lc, std::uint32_t actor) {
   }
   mark_init(i, i + 1);
   if (racecheck_ && lc != nullptr) {
-    std::lock_guard<std::mutex> lock(chk_.race_mutex_);
     lc->race_range(*this, i, i + 1, actor, /*is_write=*/true);
   }
   return true;
@@ -159,7 +156,6 @@ size_t BufferShadow::pre_load_range(size_t off, size_t count, LaunchCheck* lc,
     }
   }
   if (racecheck_ && lc != nullptr) {
-    std::lock_guard<std::mutex> lock(chk_.race_mutex_);
     lc->race_range(*this, off, off + allowed, actor, /*is_write=*/false);
   }
   return allowed;
@@ -188,7 +184,6 @@ size_t BufferShadow::pre_store_range(size_t off, size_t count, LaunchCheck* lc,
   if (allowed == 0) return 0;
   mark_init(off, off + allowed);
   if (racecheck_ && lc != nullptr) {
-    std::lock_guard<std::mutex> lock(chk_.race_mutex_);
     lc->race_range(*this, off, off + allowed, actor, /*is_write=*/true);
   }
   return allowed;

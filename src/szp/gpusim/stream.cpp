@@ -39,9 +39,9 @@ Event::Event() : st_(std::make_shared<State>()) {
 std::uint64_t Event::id() const { return st_->id; }
 
 void Event::synchronize() const {
-  std::unique_lock<std::mutex> lock(st_->m);
+  UniqueLock lock(st_->m);
   const std::uint64_t gen = st_->last_record_gen;
-  st_->cv.wait(lock, [&] { return st_->completed_gen >= gen; });
+  while (st_->completed_gen < gen) st_->cv.wait(lock);
   Device* dev = st_->dev;
   const std::vector<std::uint64_t> clock = st_->hb_clock;
   lock.unlock();
@@ -52,7 +52,7 @@ void Event::synchronize() const {
 }
 
 bool Event::query() const {
-  const std::lock_guard<std::mutex> lock(st_->m);
+  const LockGuard lock(st_->m);
   return st_->completed_gen >= st_->last_record_gen;
 }
 
@@ -76,7 +76,7 @@ Stream::Stream(Device& dev, std::string name, Inline)
 Stream::~Stream() {
   if (!inline_) {
     {
-      const std::lock_guard<std::mutex> lock(m_);
+      const LockGuard lock(m_);
       closing_ = true;
     }
     cv_.notify_all();
@@ -116,7 +116,7 @@ void Stream::record(Event& ev) {
   op.name = "record";
   op.ev = ev.st_;
   {
-    const std::lock_guard<std::mutex> lock(ev.st_->m);
+    const LockGuard lock(ev.st_->m);
     op.gen = ++ev.st_->last_record_gen;
   }
   enqueue(std::move(op));
@@ -125,7 +125,7 @@ void Stream::record(Event& ev) {
 void Stream::wait(const Event& ev) {
   std::uint64_t gen = 0;
   {
-    const std::lock_guard<std::mutex> lock(ev.st_->m);
+    const LockGuard lock(ev.st_->m);
     gen = ev.st_->last_record_gen;
   }
   if (gen == 0) return;  // never recorded — no-op, like cudaStreamWaitEvent
@@ -140,7 +140,7 @@ void Stream::wait(const Event& ev) {
 void Stream::enqueue(Op op) {
   if (inline_) {
     {
-      const std::lock_guard<std::mutex> lock(m_);
+      const LockGuard lock(m_);
       op.seq = submitted_++;
       ++completed_;  // inline ops retire before enqueue returns
     }
@@ -164,7 +164,7 @@ void Stream::enqueue(Op op) {
   }
   dev_.add_async_pending();
   {
-    const std::lock_guard<std::mutex> lock(m_);
+    const LockGuard lock(m_);
     op.seq = submitted_++;
     q_.push_back(std::move(op));
   }
@@ -223,7 +223,7 @@ void Stream::execute_record(Op& op) {
     clock = chk->hb_release(calling_slot());
   }
   {
-    const std::lock_guard<std::mutex> lock(op.ev->m);
+    const LockGuard lock(op.ev->m);
     if (op.gen > op.ev->completed_gen) op.ev->completed_gen = op.gen;
     op.ev->hb_clock = std::move(clock);
     op.ev->dev = &dev_;
@@ -234,8 +234,8 @@ void Stream::execute_record(Op& op) {
 void Stream::execute_wait(Op& op) {
   std::vector<std::uint64_t> clock;
   {
-    std::unique_lock<std::mutex> lock(op.ev->m);
-    op.ev->cv.wait(lock, [&] { return op.ev->completed_gen >= op.gen; });
+    UniqueLock lock(op.ev->m);
+    while (op.ev->completed_gen < op.gen) op.ev->cv.wait(lock);
     clock = op.ev->hb_clock;
   }
   if (sanitize::Checker* chk = dev_.checker()) {
@@ -247,9 +247,9 @@ void Stream::synchronize() {
   if (inline_) return;  // inline ops retired (and threw) at submit
   std::exception_ptr err;
   {
-    std::unique_lock<std::mutex> lock(m_);
+    UniqueLock lock(m_);
     const std::uint64_t target = submitted_;
-    drained_cv_.wait(lock, [&] { return completed_ >= target; });
+    while (completed_ < target) drained_cv_.wait(lock);
     err = std::exchange(error_, nullptr);
     poisoned_ = false;  // stream is reusable after the error is observed
   }
@@ -261,7 +261,7 @@ void Stream::synchronize() {
 }
 
 bool Stream::idle() const {
-  const std::lock_guard<std::mutex> lock(m_);
+  const LockGuard lock(m_);
   return completed_ >= submitted_;
 }
 
@@ -275,8 +275,8 @@ void Stream::thread_loop() {
     Op op;
     bool skip = false;
     {
-      std::unique_lock<std::mutex> lock(m_);
-      cv_.wait(lock, [&] { return closing_ || !q_.empty(); });
+      UniqueLock lock(m_);
+      while (!closing_ && q_.empty()) cv_.wait(lock);
       if (q_.empty()) return;  // closing and drained
       op = std::move(q_.front());
       q_.pop_front();
@@ -287,12 +287,12 @@ void Stream::thread_loop() {
       // complete so waiters on other streams never deadlock.
       if (!skip || op.kind == OpKind::kEventRecord) execute(op);
     } catch (...) {
-      const std::lock_guard<std::mutex> lock(m_);
+      const LockGuard lock(m_);
       if (!error_) error_ = std::current_exception();
       poisoned_ = true;
     }
     {
-      const std::lock_guard<std::mutex> lock(m_);
+      const LockGuard lock(m_);
       ++completed_;
     }
     drained_cv_.notify_all();

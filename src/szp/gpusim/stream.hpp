@@ -19,13 +19,11 @@
 // synchronize(), which also returns the stream to a usable state.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <thread>
@@ -34,6 +32,7 @@
 #include "szp/gpusim/buffer.hpp"
 #include "szp/gpusim/device.hpp"
 #include "szp/gpusim/launch.hpp"
+#include "szp/util/thread_annotations.hpp"
 
 namespace szp::gpusim {
 
@@ -60,15 +59,15 @@ class Event {
 
   struct State {
     std::uint64_t id = 0;
-    mutable std::mutex m;
-    mutable std::condition_variable cv;
-    std::uint64_t last_record_gen = 0;  // bumped at record submission
-    std::uint64_t completed_gen = 0;    // bumped when the record op runs
+    mutable Mutex m;
+    mutable CondVar cv;
+    std::uint64_t last_record_gen SZP_GUARDED_BY(m) = 0;  // bumped at record
+    std::uint64_t completed_gen SZP_GUARDED_BY(m) = 0;  // bumped when run
     /// Racecheck clock captured when the record op executed; waiters join
     /// it into their stream's clock (empty when racecheck is off).
-    std::vector<std::uint64_t> hb_clock;
+    std::vector<std::uint64_t> hb_clock SZP_GUARDED_BY(m);
     /// Device of the recording stream, for host-sync happens-before edges.
-    Device* dev = nullptr;
+    Device* dev SZP_GUARDED_BY(m) = nullptr;
   };
   std::shared_ptr<State> st_;
 };
@@ -199,15 +198,15 @@ class Stream {
   std::uint32_t hb_slot_ = 0;  // racecheck clock slot (0 = host/default)
   bool inline_ = false;
 
-  mutable std::mutex m_;
-  std::condition_variable cv_;          // queue not empty / closing
-  std::condition_variable drained_cv_;  // completed_ caught up
-  std::deque<Op> q_;
-  std::uint64_t submitted_ = 0;
-  std::uint64_t completed_ = 0;
-  bool closing_ = false;
-  bool poisoned_ = false;
-  std::exception_ptr error_;
+  mutable Mutex m_;
+  CondVar cv_;          // queue not empty / closing
+  CondVar drained_cv_;  // completed_ caught up
+  std::deque<Op> q_ SZP_GUARDED_BY(m_);
+  std::uint64_t submitted_ SZP_GUARDED_BY(m_) = 0;
+  std::uint64_t completed_ SZP_GUARDED_BY(m_) = 0;
+  bool closing_ SZP_GUARDED_BY(m_) = false;
+  bool poisoned_ SZP_GUARDED_BY(m_) = false;
+  std::exception_ptr error_ SZP_GUARDED_BY(m_);
   std::thread thr_;
 };
 

@@ -5,10 +5,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
-#include <mutex>
 
 #include "szp/obs/hostprof/report.hpp"
 #include "szp/util/env.hpp"
+#include "szp/util/thread_annotations.hpp"
 
 namespace szp::obs::hostprof {
 
@@ -113,10 +113,10 @@ struct AtomicPow2Hist {
 /// (relaxed atomics so snapshots from other threads read torn-free); the
 /// mutex guards label/alive.
 struct Profiler::ThreadSlot {
-  mutable std::mutex mutex;  // label + alive
-  std::uint32_t tid = 0;
-  std::string label;
-  bool alive = true;
+  mutable Mutex mutex;  // label + alive
+  std::uint32_t tid = 0;  // immutable after registration
+  std::string label SZP_GUARDED_BY(mutex);
+  bool alive SZP_GUARDED_BY(mutex) = true;
   std::atomic<std::uint64_t> start_ns{0};
   std::atomic<std::uint64_t> end_ns{0};  // set once at thread exit
   std::array<std::atomic<std::uint64_t>, kNumBuckets> bucket_ns{};
@@ -125,10 +125,10 @@ struct Profiler::ThreadSlot {
 };
 
 struct Profiler::Registry {
-  mutable std::mutex mutex;
-  std::vector<std::shared_ptr<ThreadSlot>> slots;
-  std::uint32_t next_tid = 0;
-  std::string export_path;
+  mutable Mutex mutex;
+  std::vector<std::shared_ptr<ThreadSlot>> slots SZP_GUARDED_BY(mutex);
+  std::uint32_t next_tid SZP_GUARDED_BY(mutex) = 0;
+  std::string export_path SZP_GUARDED_BY(mutex);
   std::array<std::atomic<std::uint64_t>, kNumHostCounters> counters{};
   AtomicPow2Hist chunk_blocks;
   AtomicPow2Hist chunk_payload_bytes;
@@ -152,7 +152,7 @@ struct SlotHandle {
   ~SlotHandle() {
     if (slot) {
       slot->end_ns.store(now_ns(), std::memory_order_relaxed);
-      const std::lock_guard<std::mutex> lock(slot->mutex);
+      const LockGuard lock(slot->mutex);
       slot->alive = false;
     }
   }
@@ -165,7 +165,7 @@ Profiler::ThreadSlot& Profiler::local_slot() {
     auto slot = std::make_shared<ThreadSlot>();
     slot->start_ns.store(now_ns(), std::memory_order_relaxed);
     Registry& reg = registry();
-    const std::lock_guard<std::mutex> lock(reg.mutex);
+    const LockGuard lock(reg.mutex);
     slot->tid = reg.next_tid++;
     reg.slots.push_back(slot);
     handle.slot = std::move(slot);
@@ -188,7 +188,7 @@ void Profiler::note_batch() {
 
 void Profiler::label_thread(std::string_view prefix, unsigned index) {
   ThreadSlot& slot = local_slot();
-  const std::lock_guard<std::mutex> lock(slot.mutex);
+  const LockGuard lock(slot.mutex);
   if (slot.label.empty()) {
     slot.label = std::string(prefix) + std::to_string(index);
   }
@@ -196,7 +196,7 @@ void Profiler::label_thread(std::string_view prefix, unsigned index) {
 
 void Profiler::set_thread_label(std::string label) {
   ThreadSlot& slot = local_slot();
-  const std::lock_guard<std::mutex> lock(slot.mutex);
+  const LockGuard lock(slot.mutex);
   slot.label = std::move(label);
 }
 
@@ -217,7 +217,7 @@ Snapshot Profiler::snapshot() const {
   std::vector<std::shared_ptr<ThreadSlot>> slots;
   Snapshot out;
   {
-    const std::lock_guard<std::mutex> lock(reg.mutex);
+    const LockGuard lock(reg.mutex);
     slots = reg.slots;
   }
   for (unsigned i = 0; i < kNumHostCounters; ++i) {
@@ -230,7 +230,7 @@ Snapshot Profiler::snapshot() const {
   for (const auto& slot : slots) {
     ThreadSnapshot t;
     {
-      const std::lock_guard<std::mutex> lock(slot->mutex);
+      const LockGuard lock(slot->mutex);
       t.label = slot->label;
       t.alive = slot->alive;
     }
@@ -257,11 +257,11 @@ Snapshot Profiler::snapshot() const {
 
 void Profiler::reset() {
   Registry& reg = registry();
-  const std::lock_guard<std::mutex> lock(reg.mutex);
+  const LockGuard lock(reg.mutex);
   auto& v = reg.slots;
   v.erase(std::remove_if(v.begin(), v.end(),
                          [](const std::shared_ptr<ThreadSlot>& s) {
-                           const std::lock_guard<std::mutex> sl(s->mutex);
+                           const LockGuard sl(s->mutex);
                            return !s->alive;
                          }),
           v.end());
@@ -280,13 +280,13 @@ void Profiler::reset() {
 
 void Profiler::set_export_path(std::string path) {
   Registry& reg = registry();
-  const std::lock_guard<std::mutex> lock(reg.mutex);
+  const LockGuard lock(reg.mutex);
   reg.export_path = std::move(path);
 }
 
 std::string Profiler::export_path() const {
   Registry& reg = registry();
-  const std::lock_guard<std::mutex> lock(reg.mutex);
+  const LockGuard lock(reg.mutex);
   return reg.export_path;
 }
 

@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <iomanip>
 #include <map>
-#include <mutex>
 #include <ostream>
 
 #include "szp/obs/tracer.hpp"
+#include "szp/util/thread_annotations.hpp"
 
 namespace szp::obs {
 
@@ -127,10 +127,13 @@ void Histogram::reset() {
 }
 
 struct Registry::Impl {
-  mutable std::mutex mutex;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+  mutable Mutex mutex;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters
+      SZP_GUARDED_BY(mutex);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges
+      SZP_GUARDED_BY(mutex);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms
+      SZP_GUARDED_BY(mutex);
 };
 
 Registry& Registry::instance() {
@@ -145,7 +148,7 @@ Registry::Impl& Registry::impl() const {
 
 Counter& Registry::counter(std::string_view name) {
   Impl& im = impl();
-  const std::lock_guard<std::mutex> lock(im.mutex);
+  const LockGuard lock(im.mutex);
   auto it = im.counters.find(name);
   if (it == im.counters.end()) {
     it = im.counters.emplace(std::string(name), std::make_unique<Counter>())
@@ -156,7 +159,7 @@ Counter& Registry::counter(std::string_view name) {
 
 Gauge& Registry::gauge(std::string_view name) {
   Impl& im = impl();
-  const std::lock_guard<std::mutex> lock(im.mutex);
+  const LockGuard lock(im.mutex);
   auto it = im.gauges.find(name);
   if (it == im.gauges.end()) {
     it = im.gauges.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -167,7 +170,7 @@ Gauge& Registry::gauge(std::string_view name) {
 Histogram& Registry::histogram(std::string_view name,
                                std::vector<double> bounds) {
   Impl& im = impl();
-  const std::lock_guard<std::mutex> lock(im.mutex);
+  const LockGuard lock(im.mutex);
   auto it = im.histograms.find(name);
   if (it == im.histograms.end()) {
     it = im.histograms
@@ -180,28 +183,28 @@ Histogram& Registry::histogram(std::string_view name,
 
 const Counter* Registry::find_counter(std::string_view name) const {
   Impl& im = impl();
-  const std::lock_guard<std::mutex> lock(im.mutex);
+  const LockGuard lock(im.mutex);
   const auto it = im.counters.find(name);
   return it == im.counters.end() ? nullptr : it->second.get();
 }
 
 const Gauge* Registry::find_gauge(std::string_view name) const {
   Impl& im = impl();
-  const std::lock_guard<std::mutex> lock(im.mutex);
+  const LockGuard lock(im.mutex);
   const auto it = im.gauges.find(name);
   return it == im.gauges.end() ? nullptr : it->second.get();
 }
 
 const Histogram* Registry::find_histogram(std::string_view name) const {
   Impl& im = impl();
-  const std::lock_guard<std::mutex> lock(im.mutex);
+  const LockGuard lock(im.mutex);
   const auto it = im.histograms.find(name);
   return it == im.histograms.end() ? nullptr : it->second.get();
 }
 
 void Registry::reset() {
   Impl& im = impl();
-  const std::lock_guard<std::mutex> lock(im.mutex);
+  const LockGuard lock(im.mutex);
   for (auto& [name, c] : im.counters) c->reset();
   for (auto& [name, g] : im.gauges) g->reset();
   for (auto& [name, h] : im.histograms) h->reset();
@@ -227,7 +230,7 @@ void write_json_string(std::ostream& os, std::string_view s) {
 
 void Registry::write_json(std::ostream& os) const {
   Impl& im = impl();
-  const std::lock_guard<std::mutex> lock(im.mutex);
+  const LockGuard lock(im.mutex);
   os << "{\n  \"counters\": {";
   bool first = true;
   for (const auto& [name, c] : im.counters) {
@@ -274,7 +277,7 @@ void Registry::write_json(std::ostream& os) const {
 
 void Registry::write_text(std::ostream& os) const {
   Impl& im = impl();
-  const std::lock_guard<std::mutex> lock(im.mutex);
+  const LockGuard lock(im.mutex);
   for (const auto& [name, c] : im.counters) {
     if (c->value() == 0) continue;
     os << "  " << std::left << std::setw(36) << name << ' ' << c->value()

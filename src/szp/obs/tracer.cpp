@@ -5,11 +5,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
-#include <mutex>
 
 #include "szp/obs/chrome_trace.hpp"
 #include "szp/obs/metrics.hpp"
 #include "szp/util/env.hpp"
+#include "szp/util/thread_annotations.hpp"
 
 namespace szp::obs {
 
@@ -25,17 +25,17 @@ std::uint64_t now_ns() {
 /// One thread's ring. push() is only ever called by the owning thread;
 /// the mutex serializes it against collect()/clear() from other threads.
 struct Tracer::ThreadBuffer {
-  mutable std::mutex mutex;
-  std::uint32_t tid = 0;
-  std::string name;
-  bool alive = true;  // owning thread still running
-  std::size_t capacity = 0;
-  std::size_t head = 0;  // next write position
-  std::uint64_t overwritten = 0;
-  std::vector<Event> ring;
+  mutable Mutex mutex;
+  std::uint32_t tid = 0;  // immutable after registration
+  std::string name SZP_GUARDED_BY(mutex);
+  bool alive SZP_GUARDED_BY(mutex) = true;  // owning thread still running
+  std::size_t capacity SZP_GUARDED_BY(mutex) = 0;
+  std::size_t head SZP_GUARDED_BY(mutex) = 0;  // next write position
+  std::uint64_t overwritten SZP_GUARDED_BY(mutex) = 0;
+  std::vector<Event> ring SZP_GUARDED_BY(mutex);
 
   void push(const Event& e) {
-    const std::lock_guard<std::mutex> lock(mutex);
+    const LockGuard lock(mutex);
     if (ring.size() < capacity) {
       ring.push_back(e);
       head = ring.size() % capacity;
@@ -48,10 +48,10 @@ struct Tracer::ThreadBuffer {
 };
 
 struct Tracer::Registry {
-  mutable std::mutex mutex;
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
-  std::uint32_t next_tid = 0;
-  std::size_t ring_capacity = 1u << 15;
+  mutable Mutex mutex;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers SZP_GUARDED_BY(mutex);
+  std::uint32_t next_tid SZP_GUARDED_BY(mutex) = 0;
+  std::size_t ring_capacity SZP_GUARDED_BY(mutex) = 1u << 15;
 };
 
 Tracer& Tracer::instance() {
@@ -66,13 +66,13 @@ Tracer::Registry& Tracer::registry() const {
 
 void Tracer::set_ring_capacity(std::size_t events) {
   Registry& reg = registry();
-  const std::lock_guard<std::mutex> lock(reg.mutex);
+  const LockGuard lock(reg.mutex);
   reg.ring_capacity = std::max<std::size_t>(16, events);
 }
 
 std::size_t Tracer::ring_capacity() const {
   Registry& reg = registry();
-  const std::lock_guard<std::mutex> lock(reg.mutex);
+  const LockGuard lock(reg.mutex);
   return reg.ring_capacity;
 }
 
@@ -83,7 +83,7 @@ struct ThreadLocalHandle {
   std::shared_ptr<Tracer::ThreadBuffer> buffer;
   ~ThreadLocalHandle() {
     if (buffer) {
-      const std::lock_guard<std::mutex> lock(buffer->mutex);
+      const LockGuard lock(buffer->mutex);
       buffer->alive = false;
     }
   }
@@ -95,10 +95,16 @@ Tracer::ThreadBuffer& Tracer::local_buffer() {
   if (!handle.buffer) {
     auto buf = std::make_shared<ThreadBuffer>();
     Registry& reg = registry();
-    const std::lock_guard<std::mutex> lock(reg.mutex);
+    const LockGuard lock(reg.mutex);
     buf->tid = reg.next_tid++;
-    buf->capacity = reg.ring_capacity;
-    buf->ring.reserve(std::min<std::size_t>(buf->capacity, 1024));
+    {
+      // Uncontended (the buffer is not yet published), but taking the
+      // buffer lock keeps the guarded-field discipline uniform. Lock
+      // order everywhere: registry mutex, then buffer mutex.
+      const LockGuard buf_lock(buf->mutex);
+      buf->capacity = reg.ring_capacity;
+      buf->ring.reserve(std::min<std::size_t>(buf->capacity, 1024));
+    }
     reg.buffers.push_back(buf);
     handle.buffer = std::move(buf);
   }
@@ -109,7 +115,7 @@ void Tracer::record(const Event& e) { local_buffer().push(e); }
 
 void Tracer::set_thread_name(std::string name) {
   ThreadBuffer& buf = local_buffer();
-  const std::lock_guard<std::mutex> lock(buf.mutex);
+  const LockGuard lock(buf.mutex);
   buf.name = std::move(name);
 }
 
@@ -117,13 +123,13 @@ std::vector<ThreadEvents> Tracer::collect() const {
   Registry& reg = registry();
   std::vector<std::shared_ptr<ThreadBuffer>> buffers;
   {
-    const std::lock_guard<std::mutex> lock(reg.mutex);
+    const LockGuard lock(reg.mutex);
     buffers = reg.buffers;
   }
   std::vector<ThreadEvents> out;
   out.reserve(buffers.size());
   for (const auto& buf : buffers) {
-    const std::lock_guard<std::mutex> lock(buf->mutex);
+    const LockGuard lock(buf->mutex);
     ThreadEvents te;
     te.tid = buf->tid;
     te.thread_name = buf->name;
@@ -147,10 +153,10 @@ std::vector<ThreadEvents> Tracer::collect() const {
 
 std::size_t Tracer::event_count() const {
   Registry& reg = registry();
-  const std::lock_guard<std::mutex> lock(reg.mutex);
+  const LockGuard lock(reg.mutex);
   std::size_t n = 0;
   for (const auto& buf : reg.buffers) {
-    const std::lock_guard<std::mutex> buf_lock(buf->mutex);
+    const LockGuard buf_lock(buf->mutex);
     n += buf->ring.size();
   }
   return n;
@@ -158,10 +164,10 @@ std::size_t Tracer::event_count() const {
 
 std::uint64_t Tracer::dropped_events() const {
   Registry& reg = registry();
-  const std::lock_guard<std::mutex> lock(reg.mutex);
+  const LockGuard lock(reg.mutex);
   std::uint64_t n = 0;
   for (const auto& buf : reg.buffers) {
-    const std::lock_guard<std::mutex> buf_lock(buf->mutex);
+    const LockGuard buf_lock(buf->mutex);
     n += buf->overwritten;
   }
   return n;
@@ -169,16 +175,16 @@ std::uint64_t Tracer::dropped_events() const {
 
 void Tracer::clear() {
   Registry& reg = registry();
-  const std::lock_guard<std::mutex> lock(reg.mutex);
+  const LockGuard lock(reg.mutex);
   auto& v = reg.buffers;
   v.erase(std::remove_if(v.begin(), v.end(),
                          [](const std::shared_ptr<ThreadBuffer>& b) {
-                           const std::lock_guard<std::mutex> bl(b->mutex);
+                           const LockGuard bl(b->mutex);
                            return !b->alive;
                          }),
           v.end());
   for (const auto& buf : v) {
-    const std::lock_guard<std::mutex> buf_lock(buf->mutex);
+    const LockGuard buf_lock(buf->mutex);
     buf->ring.clear();
     buf->ring.shrink_to_fit();
     buf->head = 0;

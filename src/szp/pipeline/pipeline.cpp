@@ -18,7 +18,7 @@ InlinePipeline::InlinePipeline(Config config) : config_(config) {
 
 InlinePipeline::~InlinePipeline() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     closing_ = true;
   }
   job_available_.notify_all();
@@ -29,10 +29,11 @@ InlinePipeline::~InlinePipeline() {
 
 void InlinePipeline::submit(data::Field snapshot,
                             std::optional<double> value_range) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  UniqueLock lock(mutex_);
   if (finished_) throw format_error("pipeline: submit after finish");
-  space_available_.wait(
-      lock, [&] { return queue_.size() < config_.max_queue || closing_; });
+  while (queue_.size() >= config_.max_queue && !closing_) {
+    space_available_.wait(lock);
+  }
   if (closing_) throw format_error("pipeline: closed");
   Job job;
   job.seq = next_seq_++;
@@ -46,7 +47,7 @@ void InlinePipeline::submit(data::Field snapshot,
 
 std::vector<SnapshotResult> InlinePipeline::finish() {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     if (finished_) throw format_error("pipeline: finish after finish");
     finished_ = true;
     closing_ = true;
@@ -55,7 +56,7 @@ std::vector<SnapshotResult> InlinePipeline::finish() {
   for (auto& t : workers_) {
     if (t.joinable()) t.join();
   }
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   if (first_error_) std::rethrow_exception(first_error_);
   return std::move(results_);
 }
@@ -97,7 +98,7 @@ void InlinePipeline::worker_loop() {
   };
   const auto fail = [&](std::exception_ptr err) {
     quiesce_lanes();
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     if (!first_error_) first_error_ = err;
     closing_ = true;
     job_available_.notify_all();
@@ -113,7 +114,7 @@ void InlinePipeline::worker_loop() {
     result.comp_trace = p.cs.trace;
     result.stream = std::move(p.cs.bytes);
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const LockGuard lock(mutex_);
       results_[p.seq] = std::move(result);
     }
     inflight[l].reset();
@@ -122,9 +123,8 @@ void InlinePipeline::worker_loop() {
   for (;;) {
     Job job;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      job_available_.wait(lock,
-                          [&] { return !queue_.empty() || closing_; });
+      UniqueLock lock(mutex_);
+      while (queue_.empty() && !closing_) job_available_.wait(lock);
       if (queue_.empty()) break;  // closing and drained
       job = std::move(queue_.front());
       queue_.pop_front();
@@ -151,7 +151,7 @@ void InlinePipeline::worker_loop() {
       result.comp_trace = compressed.trace;
       result.stream = std::move(compressed.bytes);
 
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const LockGuard lock(mutex_);
       results_[job.seq] = std::move(result);
     } catch (...) {
       fail(std::current_exception());

@@ -7,9 +7,7 @@
 // back in submission order regardless of completion order.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
@@ -18,6 +16,7 @@
 #include "szp/data/field.hpp"
 #include "szp/engine/engine.hpp"
 #include "szp/gpusim/trace.hpp"
+#include "szp/util/thread_annotations.hpp"
 
 namespace szp::pipeline {
 
@@ -69,7 +68,10 @@ class InlinePipeline {
   /// finish() (or any later submit()) throws.
   [[nodiscard]] std::vector<SnapshotResult> finish();
 
-  [[nodiscard]] size_t submitted() const { return next_seq_; }
+  [[nodiscard]] size_t submitted() const {
+    const LockGuard lock(mutex_);
+    return next_seq_;
+  }
 
  private:
   struct Job {
@@ -81,16 +83,16 @@ class InlinePipeline {
   void worker_loop();
 
   Config config_;
-  std::mutex mutex_;
-  std::condition_variable job_available_;
-  std::condition_variable space_available_;
-  std::deque<Job> queue_;
-  std::vector<SnapshotResult> results_;
+  mutable Mutex mutex_;
+  CondVar job_available_;
+  CondVar space_available_;
+  std::deque<Job> queue_ SZP_GUARDED_BY(mutex_);
+  std::vector<SnapshotResult> results_ SZP_GUARDED_BY(mutex_);
   std::vector<std::thread> workers_;
-  std::exception_ptr first_error_;
-  size_t next_seq_ = 0;
-  bool closing_ = false;
-  bool finished_ = false;
+  std::exception_ptr first_error_ SZP_GUARDED_BY(mutex_);
+  size_t next_seq_ SZP_GUARDED_BY(mutex_) = 0;
+  bool closing_ SZP_GUARDED_BY(mutex_) = false;
+  bool finished_ SZP_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace szp::pipeline

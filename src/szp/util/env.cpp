@@ -6,7 +6,7 @@ namespace szp {
 
 double bench_scale() {
   if (const char* s = std::getenv("SZP_BENCH_SCALE")) {
-    const double v = std::atof(s);
+    const double v = std::strtod(s, nullptr);
     if (v > 0) return v;
   }
   return 1.0;

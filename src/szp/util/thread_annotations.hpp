@@ -1,0 +1,172 @@
+// Clang Thread Safety Analysis annotations + capability-annotated
+// synchronization wrappers.
+//
+// Every mutex-protected class in the tree declares its lock discipline with
+// these macros (`SZP_GUARDED_BY`, `SZP_REQUIRES`, ...) so that a clang build
+// with `-Wthread-safety -Werror` proves, at compile time, that guarded state
+// is only touched with the right capability held. Under GCC/MSVC the macros
+// expand to nothing and the wrappers degrade to thin shims over the standard
+// primitives, so the annotations cost nothing where the analysis is
+// unavailable.
+//
+// Policy (enforced by tools/szp_lint.cpp, rule RAW-SYNC): production code
+// uses szp::Mutex / szp::LockGuard / szp::UniqueLock / szp::CondVar from this
+// header instead of the raw std primitives, because the std types carry no
+// capability attributes and make the analysis blind.
+//
+// See docs/STATIC_ANALYSIS.md for the full catalog.
+
+#ifndef SZP_UTIL_THREAD_ANNOTATIONS_HPP
+#define SZP_UTIL_THREAD_ANNOTATIONS_HPP
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define SZP_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define SZP_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+// Type attributes ------------------------------------------------------------
+
+// Marks a type as a capability (lockable). `name` shows up in diagnostics.
+#define SZP_CAPABILITY(name) SZP_THREAD_ANNOTATION(capability(name))
+
+// Marks an RAII type whose constructor acquires and destructor releases.
+#define SZP_SCOPED_CAPABILITY SZP_THREAD_ANNOTATION(scoped_lockable)
+
+// Data-member attributes -----------------------------------------------------
+
+// Field may only be read/written while holding `x`.
+#define SZP_GUARDED_BY(x) SZP_THREAD_ANNOTATION(guarded_by(x))
+
+// Pointer field: the pointee (not the pointer) is protected by `x`.
+#define SZP_PT_GUARDED_BY(x) SZP_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Lock-ordering: this capability must be acquired after / before `...`.
+#define SZP_ACQUIRED_AFTER(...) SZP_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define SZP_ACQUIRED_BEFORE(...) \
+  SZP_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
+// Function attributes --------------------------------------------------------
+
+// Caller must hold the capability (exclusively / shared) on entry.
+#define SZP_REQUIRES(...) \
+  SZP_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define SZP_REQUIRES_SHARED(...) \
+  SZP_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+// Function acquires / releases the capability itself.
+#define SZP_ACQUIRE(...) SZP_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define SZP_ACQUIRE_SHARED(...) \
+  SZP_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define SZP_RELEASE(...) SZP_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define SZP_RELEASE_SHARED(...) \
+  SZP_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+// Function attempts acquisition; `b` is the success return value.
+#define SZP_TRY_ACQUIRE(b, ...) \
+  SZP_THREAD_ANNOTATION(try_acquire_capability(b, __VA_ARGS__))
+
+// Caller must NOT hold the capability (deadlock prevention).
+#define SZP_EXCLUDES(...) SZP_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Function returns a reference to the named capability.
+#define SZP_RETURN_CAPABILITY(x) SZP_THREAD_ANNOTATION(lock_returned(x))
+
+// Escape hatch. Every use MUST carry a trailing comment of the form
+//   SZP_NO_THREAD_SAFETY_ANALYSIS  // tsa-escape: <reason>
+// szp_lint (rule TSA-ESCAPE) rejects undocumented uses.
+#define SZP_NO_THREAD_SAFETY_ANALYSIS \
+  SZP_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+// Annotated wrappers ---------------------------------------------------------
+
+namespace szp {
+
+/// std::mutex with capability attributes. Same cost, same semantics; the
+/// attributes let clang track which functions hold it.
+class SZP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SZP_ACQUIRE() { m_.lock(); }
+  void unlock() SZP_RELEASE() { m_.unlock(); }
+  bool try_lock() SZP_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+  /// The underlying std::mutex, for interop with std APIs that need it
+  /// (std::scoped_lock over several mutexes, std::lock, ...). The analysis
+  /// does not see through this; prefer the wrapper operations.
+  std::mutex& native() SZP_RETURN_CAPABILITY(this) { return m_; }
+
+ private:
+  std::mutex m_;
+};
+
+/// RAII exclusive lock; std::lock_guard analogue.
+class SZP_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mu) SZP_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~LockGuard() SZP_RELEASE() { mu_.unlock(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// RAII lock that can be dropped/reacquired and handed to CondVar::wait;
+/// std::unique_lock analogue. Must hold the lock at destruction *or* have
+/// released it via unlock() — the annotation models the common
+/// construct-locked lifecycle.
+class SZP_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) SZP_ACQUIRE(mu) : lk_(mu.native()) {}
+  ~UniqueLock() SZP_RELEASE() = default;
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() SZP_ACQUIRE() { lk_.lock(); }
+  void unlock() SZP_RELEASE() { lk_.unlock(); }
+
+  /// For CondVar and std interop only.
+  std::unique_lock<std::mutex>& native() { return lk_; }
+
+ private:
+  std::unique_lock<std::mutex> lk_;
+};
+
+/// Condition variable over szp::Mutex. Only the plain wait() is offered:
+/// predicate-lambda overloads hide guarded reads from the analysis (the
+/// lambda is analyzed as a separate function with no capability context), so
+/// call sites spell the standard `while (!cond) cv.wait(lk);` loop instead —
+/// which clang then checks.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(UniqueLock& lk) { cv_.wait(lk.native()); }
+
+  template <class Rep, class Period>
+  std::cv_status wait_for(UniqueLock& lk,
+                          const std::chrono::duration<Rep, Period>& dur) {
+    return cv_.wait_for(lk.native(), dur);
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace szp
+
+#endif  // SZP_UTIL_THREAD_ANNOTATIONS_HPP

@@ -1,0 +1,12 @@
+// Fixture (rule: assert-decode). Linted as if it lived in src/szp/robust/:
+// assert() on a decode path vanishes in release builds. The static_assert
+// must NOT be reported.
+#include <cassert>
+
+namespace szp::robust {
+static_assert(sizeof(unsigned) >= 4, "fixture");
+void parse(const unsigned char* p, unsigned long n) {
+  assert(n >= 8);
+  (void)p;
+}
+}  // namespace szp::robust

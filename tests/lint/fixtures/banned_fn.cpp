@@ -1,0 +1,11 @@
+// Fixture (rule: banned-fn). std::atoi has no error reporting; the
+// snprintf call must NOT be reported (only sprintf is banned).
+#include <cstdio>
+#include <cstdlib>
+
+namespace szp::core {
+int fixture(const char* s, char* buf) {
+  std::snprintf(buf, 8, "%d", 1);
+  return std::atoi(s);
+}
+}  // namespace szp::core

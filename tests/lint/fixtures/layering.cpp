@@ -1,0 +1,8 @@
+// Fixture (rule: layering). Linted as if it lived in src/szp/obs/: the
+// obs module may depend only on util, so an engine include is a DAG
+// violation.
+#include "szp/engine/engine.hpp"
+
+namespace szp::obs {
+void fixture() {}
+}  // namespace szp::obs

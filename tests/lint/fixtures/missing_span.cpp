@@ -1,0 +1,14 @@
+// Fixture (rule: missing-span). Linted as if it were
+// src/szp/engine/engine.cpp: every public Engine entry point is defined
+// here without opening an obs::Span.
+namespace szp::engine {
+struct Buf {};
+struct Engine {};
+
+Buf Engine::compress(const float* d, unsigned long n) { return {}; }
+Buf Engine::compress_f64(const double* d, unsigned long n) { return {}; }
+void Engine::decompress(const Buf& b, float* out) {}
+void Engine::decompress_f64(const Buf& b, double* out) {}
+Buf Engine::compress_batch(const float* d, unsigned long n) { return {}; }
+
+}  // namespace szp::engine

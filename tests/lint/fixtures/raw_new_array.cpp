@@ -1,0 +1,10 @@
+// Fixture (rule: raw-new-array). The scalar new below must NOT be
+// reported; only the array form loses its size.
+namespace szp::core {
+void fixture(unsigned n) {
+  int* arr = new int[n];
+  delete[] arr;
+  int* one = new int(7);
+  delete one;
+}
+}  // namespace szp::core

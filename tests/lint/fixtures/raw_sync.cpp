@@ -1,0 +1,7 @@
+// Fixture (rule: raw-sync). A raw std::mutex outside
+// thread_annotations.hpp is invisible to -Wthread-safety.
+#include <mutex>
+
+namespace szp::core {
+std::mutex fixture_mutex;
+}  // namespace szp::core

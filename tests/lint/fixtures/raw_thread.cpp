@@ -1,0 +1,13 @@
+// Fixture (rule: raw-thread). Spawning a std::thread outside the
+// runtime whitelist; the hardware_concurrency() query below is exempt
+// and must NOT be reported.
+#include <thread>
+
+namespace szp::core {
+void fixture() {
+  std::thread t([] {});
+  t.join();
+  const unsigned n = std::thread::hardware_concurrency();
+  (void)n;
+}
+}  // namespace szp::core

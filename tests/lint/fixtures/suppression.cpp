@@ -1,0 +1,13 @@
+// Fixture (suppression mechanics). The first call carries an allow()
+// with a reason and must be reported as suppressed; the second allow()
+// has no reason and must NOT be honored.
+#include <cstdlib>
+
+namespace szp::core {
+// szp-lint: allow(banned-fn) fixture exercising a valid suppression
+int suppressed_call(const char* s) { return std::atoi(s); }
+
+int unsuppressed_call(const char* s) {
+  return std::atoi(s);  // szp-lint: allow(banned-fn)
+}
+}  // namespace szp::core

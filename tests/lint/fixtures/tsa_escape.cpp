@@ -1,0 +1,7 @@
+// Fixture (rule: tsa-escape). An analysis escape without the mandatory
+// `tsa-escape: <reason>` comment.
+#include "szp/util/thread_annotations.hpp"
+
+namespace szp::core {
+void fixture_fast_path() SZP_NO_THREAD_SAFETY_ANALYSIS;
+}  // namespace szp::core

@@ -1,0 +1,242 @@
+// szp_lint self-tests: every fixture under tests/lint/fixtures/ triggers
+// exactly its rule, and the real tree (src/ + tools/) lints clean.
+//
+// Fixtures are read from disk and fed to lint_file() under a synthetic
+// path, because module and whitelist decisions key off "src/szp/<module>/"
+// path shapes the fixture tree cannot have.
+#include "lint/lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+namespace {
+
+using szp::lint::Finding;
+using szp::lint::Result;
+
+std::string read_fixture(const std::string& name) {
+  const std::string path = std::string(SZP_LINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture: " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+Result lint_fixture(const std::string& name,
+                    const std::string& synthetic_path) {
+  Result r;
+  szp::lint::lint_file(synthetic_path, read_fixture(name), r);
+  return r;
+}
+
+Result lint_text(const std::string& synthetic_path, const std::string& text) {
+  Result r;
+  szp::lint::lint_file(synthetic_path, text, r);
+  return r;
+}
+
+std::set<std::string> rules_of(const Result& r) {
+  std::set<std::string> out;
+  for (const Finding& f : r.findings) out.insert(f.rule);
+  return out;
+}
+
+}  // namespace
+
+TEST(LintFixtures, LayeringViolationReported) {
+  const Result r =
+      lint_fixture("layering.cpp", "src/szp/obs/fixture_layering.cpp");
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].rule, "layering");
+  EXPECT_EQ(r.findings[0].line, 4);
+}
+
+TEST(LintFixtures, LayeringAllowedEdgeIsClean) {
+  // gpusim -> obs is in the table.
+  const Result r = lint_text("src/szp/gpusim/ok.cpp",
+                             "#include \"szp/obs/tracer.hpp\"\n");
+  EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(LintFixtures, LayeringHeaderRestrictionEnforced) {
+  // core -> robust is legal only through szp/robust/status.hpp.
+  const Result ok = lint_text("src/szp/core/ok.cpp",
+                              "#include \"szp/robust/status.hpp\"\n");
+  EXPECT_TRUE(ok.findings.empty());
+  const Result bad = lint_text("src/szp/core/bad.cpp",
+                               "#include \"szp/robust/decode.hpp\"\n");
+  ASSERT_EQ(bad.findings.size(), 1u);
+  EXPECT_EQ(bad.findings[0].rule, "layering");
+}
+
+TEST(LintFixtures, RawSyncReported) {
+  const Result r =
+      lint_fixture("raw_sync.cpp", "src/szp/core/fixture_raw_sync.cpp");
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].rule, "raw-sync");
+  EXPECT_EQ(r.findings[0].line, 6);
+}
+
+TEST(LintFixtures, RawSyncWhitelistedInWrapperHeader) {
+  const Result r = lint_text("src/szp/util/thread_annotations.hpp",
+                             "std::mutex mu_;\nstd::condition_variable cv_;\n");
+  EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(LintFixtures, RawThreadReportedButQueryExempt) {
+  const Result r =
+      lint_fixture("raw_thread.cpp", "src/szp/core/fixture_raw_thread.cpp");
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].rule, "raw-thread");
+  EXPECT_EQ(r.findings[0].line, 8);  // hardware_concurrency() not reported
+}
+
+TEST(LintFixtures, RawNewArrayReportedScalarNewExempt) {
+  const Result r = lint_fixture("raw_new_array.cpp",
+                                "src/szp/core/fixture_raw_new_array.cpp");
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].rule, "raw-new-array");
+  EXPECT_EQ(r.findings[0].line, 5);
+}
+
+TEST(LintFixtures, MissingSpanReportedForEveryEntryPoint) {
+  const Result r =
+      lint_fixture("missing_span.cpp", "src/szp/engine/engine.cpp");
+  ASSERT_EQ(r.findings.size(), 5u);
+  for (const Finding& f : r.findings) EXPECT_EQ(f.rule, "missing-span");
+}
+
+TEST(LintFixtures, SpanPresentIsClean) {
+  const std::string text =
+      "namespace szp::engine {\n"
+      "Buf Engine::compress(const float* d, unsigned long n) {\n"
+      "  const obs::Span span(\"api\", \"compress\");\n"
+      "  return {};\n"
+      "}\n"
+      "Buf Engine::compress_f64(const double* d, unsigned long n) {\n"
+      "  const obs::Span span(\"api\", \"compress_f64\");\n"
+      "  return {};\n"
+      "}\n"
+      "void Engine::decompress(const Buf& b, float* o) {\n"
+      "  const obs::Span span(\"api\", \"decompress\");\n"
+      "}\n"
+      "void Engine::decompress_f64(const Buf& b, double* o) {\n"
+      "  const obs::Span span(\"api\", \"decompress_f64\");\n"
+      "}\n"
+      "Buf Engine::compress_batch(const float* d, unsigned long n) {\n"
+      "  const obs::Span span(\"api\", \"compress_batch\");\n"
+      "  return {};\n"
+      "}\n"
+      "}\n";
+  const Result r = lint_text("src/szp/engine/engine.cpp", text);
+  EXPECT_TRUE(r.findings.empty()) << r.findings[0].message;
+}
+
+TEST(LintFixtures, AssertOnDecodePathReported) {
+  const Result r =
+      lint_fixture("assert_decode.cpp", "src/szp/robust/fixture_decode.cpp");
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].rule, "assert-decode");
+  EXPECT_EQ(r.findings[0].line, 9);  // static_assert not reported
+}
+
+TEST(LintFixtures, AssertOffDecodePathIsClean) {
+  const Result r = lint_fixture("assert_decode.cpp",
+                                "src/szp/util/fixture_not_decode.cpp");
+  EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(LintFixtures, UndocumentedTsaEscapeReported) {
+  const Result r =
+      lint_fixture("tsa_escape.cpp", "src/szp/core/fixture_tsa.cpp");
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].rule, "tsa-escape");
+  EXPECT_EQ(r.findings[0].line, 6);
+}
+
+TEST(LintFixtures, DocumentedTsaEscapeIsClean) {
+  const Result r = lint_text(
+      "src/szp/core/ok_tsa.cpp",
+      "// tsa-escape: lock held across the callback, unprovable to TSA\n"
+      "void f() SZP_NO_THREAD_SAFETY_ANALYSIS;\n");
+  EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(LintFixtures, BannedFnReportedSnprintfExempt) {
+  const Result r =
+      lint_fixture("banned_fn.cpp", "src/szp/core/fixture_banned.cpp");
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].rule, "banned-fn");
+  EXPECT_EQ(r.findings[0].line, 9);
+}
+
+TEST(LintFixtures, SuppressionWithReasonHonoredWithoutReasonNot) {
+  const Result r =
+      lint_fixture("suppression.cpp", "src/szp/core/fixture_suppress.cpp");
+  ASSERT_EQ(r.suppressed.size(), 1u);
+  EXPECT_EQ(r.suppressed[0].rule, "banned-fn");
+  EXPECT_EQ(r.suppressed[0].line, 8);
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].line, 11);
+  EXPECT_NE(r.findings[0].message.find("lacks a reason"), std::string::npos);
+}
+
+TEST(LintFixtures, CommentsAndStringsAreNotCode) {
+  const Result r = lint_text(
+      "src/szp/core/strings.cpp",
+      "// std::mutex in a comment\n"
+      "const char* s = \"std::thread atoi(\";\n"
+      "/* assert( new int[3] */\n");
+  EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(LintCatalog, EightStableRuleIds) {
+  const auto catalog = szp::lint::rule_catalog();
+  std::set<std::string> ids;
+  for (const auto& [id, desc] : catalog) {
+    ids.insert(id);
+    EXPECT_FALSE(desc.empty());
+  }
+  const std::set<std::string> expected = {
+      "layering",     "raw-sync",      "raw-thread", "raw-new-array",
+      "missing-span", "assert-decode", "tsa-escape", "banned-fn"};
+  EXPECT_EQ(ids, expected);
+}
+
+TEST(LintJson, ReportShapeStable) {
+  Result r;
+  r.files_scanned = 1;
+  r.findings.push_back({"a.cpp", 3, "banned-fn", "msg \"quoted\""});
+  std::ostringstream os;
+  szp::lint::write_json(os, r);
+  const std::string j = os.str();
+  EXPECT_NE(j.find("\"version\": 1"), std::string::npos);
+  EXPECT_NE(j.find("\"finding_count\": 1"), std::string::npos);
+  EXPECT_NE(j.find("\"rule\": \"banned-fn\""), std::string::npos);
+  EXPECT_NE(j.find("msg \\\"quoted\\\""), std::string::npos);
+}
+
+// The gate the CI job enforces: the real tree has zero unsuppressed
+// findings. If this fails, either fix the violation or add a
+// `// szp-lint: allow(<rule>) <reason>` with a real justification.
+TEST(LintTree, SrcAndToolsAreClean) {
+  const Result r =
+      szp::lint::lint_paths({SZP_LINT_SRC_DIR, SZP_LINT_TOOLS_DIR});
+  EXPECT_TRUE(r.errors.empty());
+  EXPECT_GT(r.files_scanned, 100);
+  for (const Finding& f : r.findings) {
+    ADD_FAILURE() << f.file << ":" << f.line << ": [" << f.rule << "] "
+                  << f.message;
+  }
+  // Every suppression in the tree carries a reason (an allow() without
+  // one lands in findings, so reaching here means they all do).
+  for (const Finding& f : r.suppressed) {
+    EXPECT_FALSE(f.rule.empty()) << f.file;
+  }
+}

@@ -1,0 +1,59 @@
+// szp_lint: repo-local static analysis for project invariants the compiler
+// cannot see. Token-level (comment/string aware), no compiler dependency,
+// so it runs identically on any host in seconds.
+//
+// Rule catalog (ids are stable; see docs/STATIC_ANALYSIS.md):
+//   layering        module include DAG violation (checked-in table below)
+//   raw-sync        std::mutex/lock_guard/unique_lock/condition_variable
+//                   outside the thread_annotations.hpp wrapper
+//   raw-thread      std::thread spawned outside the runtime whitelist
+//   raw-new-array   `new T[n]` — use std::vector / std::unique_ptr<T[]>
+//   missing-span    public engine entry point without an obs::Span
+//   assert-decode   assert() on a decode path — throw format_error instead
+//   tsa-escape      SZP_NO_THREAD_SAFETY_ANALYSIS without a documented
+//                   `tsa-escape: <reason>` comment
+//   banned-fn       unsafe/legacy libc call (sprintf, strcpy, atoi, ...)
+//
+// Suppression: append `// szp-lint: allow(<rule>) <reason>` to the flagged
+// line (or the line directly above it). The reason is mandatory — an
+// allow() without one does not suppress.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace szp::lint {
+
+struct Finding {
+  std::string file;     // path as scanned
+  int line = 0;         // 1-based
+  std::string rule;     // stable rule id
+  std::string message;  // human diagnostic
+};
+
+struct Result {
+  std::vector<Finding> findings;    // unsuppressed — these fail the run
+  std::vector<Finding> suppressed;  // matched an allow() with a reason
+  int files_scanned = 0;
+  std::vector<std::string> errors;  // unreadable paths etc.
+};
+
+/// Lint one file's contents (exposed for tests and single-file mode).
+/// `path` drives the module/whitelist decisions; `text` is the source.
+void lint_file(const std::string& path, const std::string& text, Result& out);
+
+/// Recursively lint every .hpp/.cpp/.h/.cc under each root (a root may
+/// also be a single file).
+[[nodiscard]] Result lint_paths(const std::vector<std::string>& roots);
+
+/// file:line: [rule] message — one line per finding.
+void write_text(std::ostream& os, const Result& r);
+
+/// Machine-readable report (CI artifact; mirrors the BENCH_*.json shape).
+void write_json(std::ostream& os, const Result& r);
+
+/// rule id + one-line description, for --list-rules.
+[[nodiscard]] std::vector<std::pair<std::string, std::string>> rule_catalog();
+
+}  // namespace szp::lint

@@ -8,7 +8,19 @@
 #
 # Exits 0 with a notice when clang-tidy is not installed so the script is
 # safe to wire into wrapper targets on machines without LLVM tooling.
+# Pass --strict (CI does) to make a missing clang-tidy a hard failure so
+# the gate can never silently skip.
 set -u -o pipefail
+
+strict=0
+args=()
+for a in "$@"; do
+  case "${a}" in
+    --strict) strict=1 ;;
+    *) args+=("${a}") ;;
+  esac
+done
+set -- ${args[@]+"${args[@]}"}
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-build}"
@@ -19,6 +31,11 @@ esac
 
 tidy_bin="${CLANG_TIDY:-clang-tidy}"
 if ! command -v "${tidy_bin}" >/dev/null 2>&1; then
+  if [[ "${strict}" -eq 1 ]]; then
+    echo "run_clang_tidy: '${tidy_bin}' not found on PATH and --strict" \
+         "given -- failing (the gate must actually run)." >&2
+    exit 1
+  fi
   echo "run_clang_tidy: '${tidy_bin}' not found on PATH; skipping (install" \
        "clang-tidy or set CLANG_TIDY to run the gate)." >&2
   exit 0

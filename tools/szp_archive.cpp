@@ -122,10 +122,10 @@ int main(int argc, char** argv) try {
       backend_name = argv[i];
     } else if (a == "--threads") {
       if (++i >= argc) return usage();
-      threads = static_cast<unsigned>(std::atoi(argv[i]));
+      threads = static_cast<unsigned>(std::strtoul(argv[i], nullptr, 10));
     } else if (a == "--shard-mb") {
       if (++i >= argc) return usage();
-      shard_mb = static_cast<size_t>(std::atoi(argv[i]));
+      shard_mb = static_cast<size_t>(std::strtoul(argv[i], nullptr, 10));
     } else if (a == "--help" || a == "-h") {
       usage();
       return 0;
@@ -145,7 +145,7 @@ int main(int argc, char** argv) try {
     if (argc < 5) return usage();
     core::Params p;
     p.mode = core::ErrorMode::kRel;
-    p.error_bound = std::atof(argv[3]);
+    p.error_bound = std::strtod(argv[3], nullptr);
 
     std::vector<data::Field> fields;
     if (cmd == "demo") {

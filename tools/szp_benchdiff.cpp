@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
         usage(std::cerr);
         return 2;
       }
-      opts.timing_threshold = std::atof(argv[i]);
+      opts.timing_threshold = std::strtod(argv[i], nullptr);
       if (opts.timing_threshold <= 0) {
         std::cerr << "szp_benchdiff: bad --timing-threshold\n";
         return 2;

@@ -147,13 +147,13 @@ int main(int argc, char** argv) try {
       backend_name = argv[i];
     } else if (a == "--threads") {
       if (++i >= argc) return usage();
-      threads = static_cast<unsigned>(std::atoi(argv[i]));
+      threads = static_cast<unsigned>(std::strtoul(argv[i], nullptr, 10));
     } else if (a == "--devices") {
       if (++i >= argc) return usage();
-      devices = static_cast<unsigned>(std::atoi(argv[i]));
+      devices = static_cast<unsigned>(std::strtoul(argv[i], nullptr, 10));
     } else if (a == "--streams") {
       if (++i >= argc) return usage();
-      streams = static_cast<unsigned>(std::atoi(argv[i]));
+      streams = static_cast<unsigned>(std::strtoul(argv[i], nullptr, 10));
     } else if (a == "--trace") {
       if (++i >= argc) return usage();
       trace_path = argv[i];
@@ -192,7 +192,7 @@ int main(int argc, char** argv) try {
   }
   if (positional.size() != 2) return usage();
   const std::string target = positional[0];
-  const double bound = std::atof(positional[1].c_str());
+  const double bound = std::strtod(positional[1].c_str(), nullptr);
   if (bound <= 0) return usage();
 
   if (!trace_path.empty()) obs::Tracer::instance().set_enabled(true);

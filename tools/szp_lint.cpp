@@ -1,0 +1,74 @@
+// szp_lint — repo-local static analysis (see tools/lint/lint.hpp for the
+// rule catalog and docs/STATIC_ANALYSIS.md for the full contract).
+//
+//   szp_lint [--json[=FILE]] [--list-rules] [PATH...]
+//
+// With no PATHs, lints src/ and tools/ relative to the current directory.
+// Exit codes: 0 clean, 1 findings, 2 usage/IO error.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace {
+
+int usage(std::ostream& os, int code) {
+  os << "usage: szp_lint [--json[=FILE]] [--list-rules] [PATH...]\n"
+        "  --json        write a machine-readable report to stdout\n"
+        "  --json=FILE   write the JSON report to FILE (text goes to "
+        "stdout)\n"
+        "  --list-rules  print the rule catalog and exit\n"
+        "With no PATHs, lints ./src and ./tools.\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  std::string json_file;
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json = true;
+      json_file = arg.substr(7);
+    } else if (arg == "--list-rules") {
+      for (const auto& [id, desc] : szp::lint::rule_catalog()) {
+        std::cout << id << "\t" << desc << "\n";
+      }
+      return 0;
+    } else if (arg == "-h" || arg == "--help") {
+      return usage(std::cout, 0);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "szp_lint: unknown option " << arg << "\n";
+      return usage(std::cerr, 2);
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) roots = {"src", "tools"};
+
+  const szp::lint::Result r = szp::lint::lint_paths(roots);
+
+  if (json && json_file.empty()) {
+    szp::lint::write_json(std::cout, r);
+  } else {
+    if (json) {
+      std::ofstream out(json_file);
+      if (!out) {
+        std::cerr << "szp_lint: cannot write " << json_file << "\n";
+        return 2;
+      }
+      szp::lint::write_json(out, r);
+    }
+    szp::lint::write_text(std::cout, r);
+  }
+  if (!r.errors.empty()) return 2;
+  return r.findings.empty() ? 0 : 1;
+}
