@@ -1,0 +1,146 @@
+// PR10 telemetry overhead gate: the always-on production-telemetry
+// posture (flight recorder + builtin counters + metrics registry +
+// crash handler installed + info-level logging) must cost < 2% of
+// end-to-end wall time versus everything disabled.
+//
+// fig13-style measurement: serial-backend compress+decompress roundtrips
+// over one HACC field, telemetry-off and telemetry-on reps interleaved
+// and min-of-reps on both sides so machine drift hits both equally.
+// Emits BENCH_pr10.json (gated against bench/baselines/BENCH_pr10.json
+// by szp_benchdiff in CI) and exits 1 if the gate fails.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "szp/data/registry.hpp"
+#include "szp/engine/engine.hpp"
+#include "szp/obs/log.hpp"
+#include "szp/obs/metrics.hpp"
+#include "szp/obs/telemetry/crash_handler.hpp"
+#include "szp/obs/telemetry/flight_recorder.hpp"
+#include "szp/obs/telemetry/telemetry.hpp"
+#include "szp/util/common.hpp"
+#include "szp/util/env.hpp"
+
+namespace {
+
+using namespace szp;
+using Clock = std::chrono::steady_clock;
+
+// Enough reps for min-of-reps to converge on noisy shared machines: the
+// signal (tens of recorder events per roundtrip) is far below scheduler
+// jitter on any single rep.
+constexpr int kReps = 21;
+constexpr double kFieldScale = 25.0;
+constexpr double kGateLimitPct = 2.0;
+
+double gbps(size_t bytes, double seconds) {
+  return seconds > 0 ? static_cast<double>(bytes) / 1e9 / seconds : 0;
+}
+
+/// One timed compress+decompress roundtrip; returns wall seconds.
+double roundtrip(engine::Engine& eng, const data::Field& field, double range,
+                 double* ratio) {
+  const auto t0 = Clock::now();
+  auto stream = eng.compress(field.values, range);
+  const auto recon = eng.decompress(stream.bytes);
+  const double wall = std::chrono::duration<double>(Clock::now() - t0).count();
+  if (recon.size() != field.values.size()) std::abort();
+  *ratio = static_cast<double>(field.size_bytes()) /
+           static_cast<double>(stream.bytes.size());
+  return wall;
+}
+
+/// The always-on production posture SZP_TELEMETRY=1 enables: flight
+/// recorder + builtins + crash handler + info-level logging. The
+/// registry's per-block domain instruments are the SZP_STATS deep tier,
+/// deliberately NOT part of this contract.
+void telemetry_on(const std::string& outdir) {
+  obs::fr::set_enabled(true);
+  obs::Logger::instance().set_level(obs::LogLevel::kInfo);
+  obs::crash::Options opts;
+  opts.dir = outdir + "/crash";
+  (void)obs::crash::install(opts);  // passive once installed
+}
+
+void telemetry_off() { obs::fr::set_enabled(false); }
+
+}  // namespace
+
+int main() {
+  const double scale = bench_scale();
+  const std::string outdir = bench_outdir();
+  std::filesystem::create_directories(outdir);
+
+  core::Params p;
+  p.mode = core::ErrorMode::kRel;
+  p.error_bound = 1e-3;
+  const data::Field field =
+      data::make_field(data::Suite::kHacc, 0, kFieldScale * scale);
+  const double range = field.value_range();
+
+  std::printf("=== PR10: always-on telemetry overhead gate ===\n");
+  std::printf("scale=%g field=HACC/%s elements=%zu (%.1f MB) reps=%d\n\n",
+              scale, field.name.c_str(), field.count(),
+              static_cast<double>(field.size_bytes()) / 1e6, kReps);
+
+  engine::Engine eng({.params = p, .backend = engine::BackendKind::kSerial});
+
+  // Warm-up (buffers, page faults) outside both measurements.
+  double ratio = 0;
+  (void)roundtrip(eng, field, range, &ratio);
+
+  double off_s = 1e30;
+  double on_s = 1e30;
+  const std::uint64_t events_before = obs::fr::event_count();
+  for (int rep = 0; rep < kReps; ++rep) {
+    telemetry_off();
+    off_s = std::min(off_s, roundtrip(eng, field, range, &ratio));
+    telemetry_on(outdir);
+    on_s = std::min(on_s, roundtrip(eng, field, range, &ratio));
+  }
+  const std::uint64_t events_recorded =
+      obs::fr::event_count() - events_before;
+  telemetry_off();
+
+  const double overhead_pct = off_s > 0 ? 100.0 * (on_s - off_s) / off_s : 0;
+  const bool gate_pass = overhead_pct < kGateLimitPct;
+
+  std::printf("telemetry off   wall %8.4f s  (%.3f GB/s roundtrip)\n", off_s,
+              gbps(2 * field.size_bytes(), off_s));
+  std::printf("telemetry on    wall %8.4f s  (%.3f GB/s roundtrip)\n", on_s,
+              gbps(2 * field.size_bytes(), on_s));
+  std::printf("recorder events during on-reps: %llu\n",
+              static_cast<unsigned long long>(events_recorded));
+  std::printf("\noverhead: %+.3f%% (gate: < %.1f%%) -> %s\n", overhead_pct,
+              kGateLimitPct, gate_pass ? "PASS" : "FAIL");
+
+  const std::string out_path = outdir + "/BENCH_pr10.json";
+  std::ofstream js(out_path);
+  js << "{\n"
+     << "  \"bench\": \"pr10_telemetry\",\n"
+     << "  \"version\": \"" << kVersionString << "\",\n"
+     << "  \"rel_bound\": " << p.error_bound << ",\n"
+     << "  \"scale\": " << scale << ",\n"
+     << "  \"reps\": " << kReps << ",\n"
+     << "  \"field\": {\"suite\": \"HACC\", \"name\": \"" << field.name
+     << "\", \"elements\": " << field.count()
+     << ", \"raw_bytes\": " << field.size_bytes() << "},\n"
+     << "  \"off\": {\"wall_roundtrip_s\": " << off_s
+     << ", \"roundtrip_gbps\": " << gbps(2 * field.size_bytes(), off_s)
+     << ", \"ratio\": " << ratio << "},\n"
+     << "  \"on\": {\"wall_roundtrip_s\": " << on_s
+     << ", \"roundtrip_gbps\": " << gbps(2 * field.size_bytes(), on_s)
+     << ", \"ratio\": " << ratio << "},\n"
+     << "  \"summary\": {\"overhead_pct\": " << overhead_pct
+     << ", \"gate_limit_pct\": " << kGateLimitPct
+     << ", \"gate_pass\": " << (gate_pass ? "true" : "false") << "}\n"
+     << "}\n";
+  js.close();
+  std::printf("wrote %s\n", out_path.c_str());
+  return gate_pass ? 0 : 1;
+}

@@ -260,9 +260,14 @@ core::DeviceCodecResult device_decompress_f64(
     gpusim::DeviceBuffer<double>& out, size_t stream_bytes = 0);
 
 namespace detail {
-/// Per-call accounting at the engine boundary (CLI `--stats` totals).
+/// Per-call accounting at the engine boundary (CLI `--stats` totals,
+/// plus the always-on telemetry byte counters).
 void record_compress_call(std::uint64_t in_bytes, std::uint64_t out_bytes);
 void record_decompress_call(std::uint64_t out_bytes);
+/// Request bookkeeping at API entry points: bumps the always-on request
+/// counter, publishes the trace ID as the exposition exemplar, and
+/// drops a flight-recorder event.
+void record_request(const char* name, std::uint64_t trace_id);
 }  // namespace detail
 
 }  // namespace szp::engine

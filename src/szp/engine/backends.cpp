@@ -5,6 +5,8 @@
 
 #include "szp/gpusim/stream.hpp"
 #include "szp/obs/metrics.hpp"
+#include "szp/obs/telemetry/flight_recorder.hpp"
+#include "szp/obs/telemetry/telemetry.hpp"
 #include "szp/obs/tracer.hpp"
 
 namespace szp::engine {
@@ -54,6 +56,9 @@ std::vector<CompressedStream> Backend::compress_batch(
 namespace detail {
 
 void record_compress_call(std::uint64_t in_bytes, std::uint64_t out_bytes) {
+  auto& b = obs::telemetry::builtins();
+  b.bytes_in.fetch_add(in_bytes, std::memory_order_relaxed);
+  b.bytes_out.fetch_add(out_bytes, std::memory_order_relaxed);
   if (!obs::metrics_enabled()) return;
   auto& reg = obs::Registry::instance();
   static auto& calls = reg.counter("szp.compress.calls");
@@ -75,6 +80,15 @@ void record_decompress_call(std::uint64_t out_bytes) {
   static auto& out = reg.counter("szp.decompress.out_bytes");
   calls.add();
   out.add(out_bytes);
+}
+
+void record_request(const char* name, std::uint64_t trace_id) {
+  auto& b = obs::telemetry::builtins();
+  b.requests.fetch_add(1, std::memory_order_relaxed);
+  if (trace_id != 0) {
+    b.last_trace_id.store(trace_id, std::memory_order_relaxed);
+  }
+  obs::fr::record(obs::fr::Kind::kRequest, name);
 }
 
 }  // namespace detail

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <cstddef>
 
+#include "szp/obs/log.hpp"
+#include "szp/obs/telemetry/flight_recorder.hpp"
 #include "szp/obs/tracer.hpp"
 
 namespace szp::engine {
@@ -57,7 +59,12 @@ double Engine::eb_abs_for(std::span<const double> data,
 
 CompressedStream Engine::compress(std::span<const float> data,
                                   std::optional<double> value_range) {
+  // Each entry point establishes a request/trace ID (adopting the
+  // caller's if one is ambient) before opening its span, so the span
+  // (and everything downstream — stream ops, log records) carries it.
+  const obs::TraceIdScope trace(obs::ensure_trace_id());
   const obs::Span span("api", "compress", "elements", data.size());
+  const obs::fr::Span rec("api.compress");
   auto out = backend_->compress(data, cfg_.params,
                                 eb_abs_for(data, value_range));
   // The device path records inside device_compress (shared with the
@@ -66,43 +73,66 @@ CompressedStream Engine::compress(std::span<const float> data,
     detail::record_compress_call(data.size() * sizeof(float),
                                  out.bytes.size());
   }
+  detail::record_request("compress", trace.id());
+  SZP_LOG_DEBUG("engine", "compress %zu elements -> %zu bytes", data.size(),
+                out.bytes.size());
   return out;
 }
 
 CompressedStream Engine::compress_f64(std::span<const double> data,
                                       std::optional<double> value_range) {
+  const obs::TraceIdScope trace(obs::ensure_trace_id());
   const obs::Span span("api", "compress", "elements", data.size());
+  const obs::fr::Span rec("api.compress_f64");
   auto out = backend_->compress_f64(data, cfg_.params,
                                     eb_abs_for(data, value_range));
   if (backend_->kind() != BackendKind::kDevice) {
     detail::record_compress_call(data.size() * sizeof(double),
                                  out.bytes.size());
   }
+  detail::record_request("compress_f64", trace.id());
+  SZP_LOG_DEBUG("engine", "compress_f64 %zu elements -> %zu bytes",
+                data.size(), out.bytes.size());
   return out;
 }
 
 std::vector<float> Engine::decompress(std::span<const byte_t> stream) {
+  const obs::TraceIdScope trace(obs::ensure_trace_id());
   const obs::Span span("api", "decompress", "bytes", stream.size());
+  const obs::fr::Span rec("api.decompress");
   auto out = backend_->decompress(stream);
   if (backend_->kind() != BackendKind::kDevice) {
     detail::record_decompress_call(out.size() * sizeof(float));
   }
+  detail::record_request("decompress", trace.id());
+  SZP_LOG_DEBUG("engine", "decompress %zu bytes -> %zu elements",
+                stream.size(), out.size());
   return out;
 }
 
 std::vector<double> Engine::decompress_f64(std::span<const byte_t> stream) {
+  const obs::TraceIdScope trace(obs::ensure_trace_id());
   const obs::Span span("api", "decompress", "bytes", stream.size());
+  const obs::fr::Span rec("api.decompress_f64");
   auto out = backend_->decompress_f64(stream);
   if (backend_->kind() != BackendKind::kDevice) {
     detail::record_decompress_call(out.size() * sizeof(double));
   }
+  detail::record_request("decompress_f64", trace.id());
+  SZP_LOG_DEBUG("engine", "decompress_f64 %zu bytes -> %zu elements",
+                stream.size(), out.size());
   return out;
 }
 
 std::vector<CompressedStream> Engine::compress_batch(
     std::span<const std::span<const float>> fields,
     std::optional<double> shared_value_range) {
+  // One trace ID for the whole batch: the stream lanes adopt it when
+  // executing the ops submitted below, so the request is followable
+  // across engine → stream threads.
+  const obs::TraceIdScope trace(obs::ensure_trace_id());
   const obs::Span span("api", "compress_batch", "fields", fields.size());
+  const obs::fr::Span rec("api.compress_batch");
   std::vector<double> ebs(fields.size());
   for (std::size_t i = 0; i < fields.size(); ++i) {
     ebs[i] = eb_abs_for(fields[i], shared_value_range);
@@ -116,6 +146,8 @@ std::vector<CompressedStream> Engine::compress_batch(
                                    out[i].bytes.size());
     }
   }
+  detail::record_request("compress_batch", trace.id());
+  SZP_LOG_DEBUG("engine", "compress_batch %zu fields", fields.size());
   return out;
 }
 
@@ -126,6 +158,8 @@ DeviceRoundtrip Engine::device_roundtrip(std::span<const float> data,
   if (dev_backend == nullptr) {
     throw format_error("Engine: device_roundtrip needs the device backend");
   }
+  const obs::TraceIdScope trace(obs::ensure_trace_id());
+  const obs::fr::Span rec("api.device_roundtrip");
   const LockGuard lock(dev_backend->op_mutex());
   gpusim::Device& dev = dev_backend->device();
   const size_t n = data.size();
@@ -179,6 +213,9 @@ DeviceRoundtrip Engine::device_roundtrip(std::span<const float> data,
                 std::min(profile_launch0, session.launches.size())));
     r.profile = std::move(session);
   }
+  detail::record_request("device_roundtrip", trace.id());
+  SZP_LOG_DEBUG("engine", "device_roundtrip %zu elements -> %zu bytes", n,
+                r.compressed_bytes);
   return r;
 }
 

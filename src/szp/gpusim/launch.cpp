@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "szp/gpusim/stream.hpp"
+#include "szp/obs/telemetry/flight_recorder.hpp"
 #include "szp/obs/tracer.hpp"
 #include "szp/util/thread_annotations.hpp"
 
@@ -33,6 +34,9 @@ void run_blocks(Device& dev, const char* kernel_name, size_t grid_blocks,
   OpTraceScope* op_sink = OpTraceScope::current();
   for_each_op_trace(op_sink, [](Trace& t) { t.add_kernel_launch(); });
   dev.log_launch(kernel_name, grid_blocks);
+  // Flight recorder: kernel_name is required to be a literal (launch
+  // sites pass one), so storing the pointer is safe.
+  obs::fr::record(obs::fr::Kind::kKernel, kernel_name, grid_blocks);
   // Kernel-level begin/end pair on the launching thread; per-block 'X'
   // spans land on the worker threads' lanes.
   const obs::BeginEndSpan kernel_span("kernel", kernel_name, "grid_blocks",

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "szp/gpusim/buffer.hpp"
+#include "szp/obs/telemetry/telemetry.hpp"
 #include "szp/util/thread_annotations.hpp"
 
 namespace szp::gpusim {
@@ -73,6 +74,10 @@ class BufferPool {
   [[nodiscard]] Lease acquire(size_t n) {
     n = std::max<size_t>(1, n);
     const LockGuard lock(mutex_);
+    // Always-on occupancy gauge (acquire never fails, so one bump up
+    // front pairs with the one in put_back).
+    obs::telemetry::builtins().pool_in_use.fetch_add(
+        1, std::memory_order_relaxed);
     Entry* best = nullptr;
     Entry* any_idle = nullptr;
     for (const auto& e : entries_) {
@@ -122,6 +127,8 @@ class BufferPool {
   void put_back(Entry* entry) {
     const LockGuard lock(mutex_);
     entry->in_use = false;
+    obs::telemetry::builtins().pool_in_use.fetch_sub(
+        1, std::memory_order_relaxed);
   }
 
   Device* dev_;

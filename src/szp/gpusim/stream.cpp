@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "szp/gpusim/sanitize/checker.hpp"
+#include "szp/obs/telemetry/flight_recorder.hpp"
+#include "szp/obs/trace_id.hpp"
 #include "szp/obs/tracer.hpp"
 
 namespace szp::gpusim {
@@ -138,6 +140,10 @@ void Stream::wait(const Event& ev) {
 }
 
 void Stream::enqueue(Op op) {
+  // Capture the submitter's request trace ID so async execution can
+  // re-establish it on the stream thread (inline ops run with it still
+  // ambient; capturing is then a harmless re-set).
+  op.trace_id = obs::current_trace_id();
   if (inline_) {
     {
       const LockGuard lock(m_);
@@ -173,6 +179,15 @@ void Stream::enqueue(Op op) {
 
 void Stream::execute(Op& op) {
   const CurrentStreamScope cur(this);
+  const obs::TraceIdScope trace(op.trace_id);
+  // op_kind_name returns a static literal, safe to hold in the
+  // flight-recorder slot (op.name's storage is not).
+  obs::fr::record(op.kind == OpKind::kMemcpyH2D ||
+                          op.kind == OpKind::kMemcpyD2H ||
+                          op.kind == OpKind::kMemcpyD2D
+                      ? obs::fr::Kind::kMemcpy
+                      : obs::fr::Kind::kStreamOp,
+                  op_kind_name(op.kind).data(), op.seq);
   const bool tl = dev_.timeline_enabled();
   OpRecord rec;
   std::optional<OpTraceScope> scope;
@@ -267,6 +282,8 @@ bool Stream::idle() const {
 
 void Stream::thread_loop() {
   obs::set_thread_name("stream:" + name_);
+  // fr copies into a fixed buffer, so the temporary c_str() is fine.
+  obs::fr::set_thread_name(("stream:" + name_).c_str());
   // Stream threads issue memcpys and host tasks while other streams'
   // kernels are in flight — legitimate overlap, not the stray host poke
   // memcheck's host-access-during-kernel check hunts for.

@@ -176,6 +176,11 @@ class Stream {
     OpKind kind = OpKind::kHostTask;
     std::string name;
     std::uint64_t seq = 0;
+    /// Request trace ID ambient on the submitting thread, re-established
+    /// on the stream thread while the op executes so log records and
+    /// flight-recorder events stay attributable to the originating
+    /// Engine call.
+    std::uint64_t trace_id = 0;
     std::function<void()> fn;
     std::shared_ptr<Event::State> ev;  // record/wait ops
     std::uint64_t gen = 0;             // event generation

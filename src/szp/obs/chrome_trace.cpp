@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <fstream>
+#include <map>
 #include <ostream>
+#include <vector>
 
 #include "szp/obs/tracer.hpp"
 
@@ -51,20 +53,40 @@ void write_event(std::ostream& os, const FlatEvent& fe) {
   }
   if (e.ph == Phase::kInstant) os << ", \"s\": \"t\"";
   os << ", \"pid\": 1, \"tid\": " << fe.tid;
-  if (e.arg1_name != nullptr || e.arg2_name != nullptr) {
+  if (e.arg1_name != nullptr || e.arg2_name != nullptr || e.flow_id != 0) {
     os << ", \"args\": {";
+    bool any = false;
     if (e.arg1_name != nullptr) {
       write_json_string(os, e.arg1_name);
       os << ": " << e.arg1;
+      any = true;
     }
     if (e.arg2_name != nullptr) {
-      if (e.arg1_name != nullptr) os << ", ";
+      if (any) os << ", ";
       write_json_string(os, e.arg2_name);
       os << ": " << e.arg2;
+      any = true;
+    }
+    if (e.flow_id != 0) {
+      if (any) os << ", ";
+      os << "\"trace_id\": " << e.flow_id;
     }
     os << '}';
   }
   os << '}';
+}
+
+/// Flow events ('s'/'t'/'f') stitching spans that share a trace ID into
+/// one request arrow across threads. Each flow event binds to its span
+/// by thread + timestamp.
+void write_flow_event(std::ostream& os, const FlatEvent& fe, char ph,
+                      bool ending) {
+  const Event& e = *fe.e;
+  os << "{\"name\": \"request\", \"cat\": \"flow\", \"ph\": \"" << ph
+     << "\", \"id\": " << e.flow_id << ", \"ts\": ";
+  write_us(os, e.ts_ns);
+  if (ending) os << ", \"bp\": \"e\"";
+  os << ", \"pid\": 1, \"tid\": " << fe.tid << '}';
 }
 
 }  // namespace
@@ -117,6 +139,27 @@ void write_chrome_trace(std::ostream& os) {
   for (const FlatEvent& fe : flat) {
     sep();
     write_event(os, fe);
+  }
+
+  // Flow linkage: for every trace ID seen on 2+ spans, connect the
+  // spans in timestamp order with 's' → 't'... → 'f' flow events so the
+  // viewer draws one request arrow across engine / pipeline / stream
+  // lanes. Only span-shaped events anchor a flow step (B/E pairs would
+  // otherwise double-count a phase).
+  std::map<std::uint64_t, std::vector<const FlatEvent*>> flows;
+  for (const FlatEvent& fe : flat) {
+    if (fe.e->flow_id == 0) continue;
+    if (fe.e->ph != Phase::kComplete && fe.e->ph != Phase::kBegin) continue;
+    flows[fe.e->flow_id].push_back(&fe);
+  }
+  for (const auto& [flow_id, steps] : flows) {
+    if (steps.size() < 2) continue;
+    for (std::size_t i = 0; i < steps.size(); ++i) {
+      sep();
+      const bool last = i + 1 == steps.size();
+      const char ph = i == 0 ? 's' : (last ? 'f' : 't');
+      write_flow_event(os, *steps[i], ph, last);
+    }
   }
   os << "\n]}\n";
 }

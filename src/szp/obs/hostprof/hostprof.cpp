@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <bit>
-#include <cstdio>
 #include <cstdlib>
 #include <memory>
 
 #include "szp/obs/hostprof/report.hpp"
+#include "szp/obs/log.hpp"
 #include "szp/util/env.hpp"
 #include "szp/util/thread_annotations.hpp"
 
@@ -297,11 +297,10 @@ void flush_env_report() {
   if (path.empty()) return;
   const Snapshot snap = Profiler::instance().snapshot();
   if (write_hostprof_json_file(path, snap)) {
-    std::fprintf(stderr, "[szp-hostprof] wrote report to %s (%zu lanes)\n",
-                 path.c_str(), snap.threads.size());
+    SZP_LOG_INFO("hostprof", "wrote report to %s (%zu lanes)", path.c_str(),
+                 snap.threads.size());
   } else {
-    std::fprintf(stderr, "[szp-hostprof] FAILED to write report to %s\n",
-                 path.c_str());
+    SZP_LOG_ERROR("hostprof", "FAILED to write report to %s", path.c_str());
   }
 }
 

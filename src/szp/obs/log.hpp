@@ -1,0 +1,128 @@
+// Structured, leveled, thread-safe logging.
+//
+// Design goals, in order:
+//   1. Near-zero cost when a record is below the active level: one
+//      relaxed atomic load and a compare, same contract as the tracer
+//      and metrics fast paths.
+//   2. Machine-readable output: an optional JSON-lines sink where every
+//      record is one strict-JSON object carrying a timestamp, level,
+//      component, the calling thread's trace ID (see trace_id.hpp) and
+//      the formatted message.
+//   3. Human output that never corrupts data output: the default text
+//      sink writes to stderr, leaving stdout free for --metrics-json
+//      and friends.
+//   4. Flood control: a global token-bucket rate limit; suppressed
+//      records are counted and surfaced on the next emitted record.
+//
+// Records at kWarn and above also land in the flight recorder (when
+// recording) so crash bundles carry recent errors.
+//
+// Level semantics: a record is emitted when its level >= the configured
+// level. The default level is kInfo with the stderr text sink on, which
+// preserves the pre-existing "[szp-obs] ..." diagnostics; per-request
+// chatter belongs at kDebug so the library stays quiet by default.
+// Configure via SZP_LOG=<level>[:<path>] (see telemetry::init_from_env).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace szp::obs {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+namespace detail {
+/// Active level; inline so the fast-path check can be inlined into every
+/// log site.
+inline std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+}  // namespace detail
+
+/// The one-branch fast path: true when a record at `lvl` would be kept.
+[[nodiscard]] inline bool log_enabled(LogLevel lvl) {
+  return static_cast<int>(lvl) >=
+         detail::g_log_level.load(std::memory_order_relaxed);
+}
+
+[[nodiscard]] const char* log_level_name(LogLevel lvl);
+
+/// Parse "trace"/"debug"/"info"/"warn"/"error"/"off" (also "0".."5").
+/// Returns kInfo for unrecognized input.
+[[nodiscard]] LogLevel parse_log_level(std::string_view s);
+
+/// Process-wide logger (singleton, leaked so exit handlers can use it).
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel lvl) {
+    detail::g_log_level.store(static_cast<int>(lvl),
+                              std::memory_order_relaxed);
+  }
+  [[nodiscard]] LogLevel level() const {
+    return static_cast<LogLevel>(
+        detail::g_log_level.load(std::memory_order_relaxed));
+  }
+
+  /// Route records to a JSON-lines file (one strict-JSON object per
+  /// line). Empty path closes the sink. Returns false if the file could
+  /// not be opened.
+  bool set_json_sink(const std::string& path);
+
+  /// Toggle the human-readable stderr sink (on by default).
+  void set_stderr_sink(bool on);
+
+  /// Max records emitted per second before suppression kicks in
+  /// (default 200; minimum 1). Suppressed records are counted and the
+  /// count is reported on the next emitted record.
+  void set_rate_limit(std::uint64_t per_sec);
+
+  /// Emit a preformatted record. The level check is the caller's job
+  /// (the SZP_LOG* macros do it); log() itself always sinks.
+  void log(LogLevel lvl, const char* component, const std::string& message);
+
+  /// printf-style convenience; formats into a bounded buffer (records
+  /// truncate at ~512 bytes).
+#if defined(__GNUC__) || defined(__clang__)
+  __attribute__((format(printf, 4, 5)))
+#endif
+  void logf(LogLevel lvl, const char* component, const char* fmt, ...);
+
+  /// Total records emitted (post rate limit) and suppressed since start.
+  [[nodiscard]] std::uint64_t records() const;
+  [[nodiscard]] std::uint64_t suppressed() const;
+
+  /// Flush file sinks (also flushed at process exit).
+  void flush();
+
+ private:
+  Logger() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+}  // namespace szp::obs
+
+/// Log-site macros: one relaxed load + branch when below the level.
+#define SZP_LOGF(lvl, component, ...)                                    \
+  do {                                                                   \
+    if (szp::obs::log_enabled(lvl)) {                                    \
+      szp::obs::Logger::instance().logf(lvl, component, __VA_ARGS__);    \
+    }                                                                    \
+  } while (0)
+
+#define SZP_LOG_DEBUG(component, ...) \
+  SZP_LOGF(szp::obs::LogLevel::kDebug, component, __VA_ARGS__)
+#define SZP_LOG_INFO(component, ...) \
+  SZP_LOGF(szp::obs::LogLevel::kInfo, component, __VA_ARGS__)
+#define SZP_LOG_WARN(component, ...) \
+  SZP_LOGF(szp::obs::LogLevel::kWarn, component, __VA_ARGS__)
+#define SZP_LOG_ERROR(component, ...) \
+  SZP_LOGF(szp::obs::LogLevel::kError, component, __VA_ARGS__)

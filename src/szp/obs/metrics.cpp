@@ -202,6 +202,28 @@ const Histogram* Registry::find_histogram(std::string_view name) const {
   return it == im.histograms.end() ? nullptr : it->second.get();
 }
 
+void Registry::for_each_counter(
+    const std::function<void(const std::string&, const Counter&)>& fn) const {
+  Impl& im = impl();
+  const LockGuard lock(im.mutex);
+  for (const auto& [name, c] : im.counters) fn(name, *c);
+}
+
+void Registry::for_each_gauge(
+    const std::function<void(const std::string&, const Gauge&)>& fn) const {
+  Impl& im = impl();
+  const LockGuard lock(im.mutex);
+  for (const auto& [name, g] : im.gauges) fn(name, *g);
+}
+
+void Registry::for_each_histogram(
+    const std::function<void(const std::string&, const Histogram&)>& fn)
+    const {
+  Impl& im = impl();
+  const LockGuard lock(im.mutex);
+  for (const auto& [name, h] : im.histograms) fn(name, *h);
+}
+
 void Registry::reset() {
   Impl& im = impl();
   const LockGuard lock(im.mutex);

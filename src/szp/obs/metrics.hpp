@@ -17,6 +17,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <memory>
 #include <string>
@@ -148,6 +149,17 @@ class Registry {
   [[nodiscard]] const Counter* find_counter(std::string_view name) const;
   [[nodiscard]] const Gauge* find_gauge(std::string_view name) const;
   [[nodiscard]] const Histogram* find_histogram(std::string_view name) const;
+
+  /// Visit every instrument (sorted by name) under the registry lock.
+  /// Callbacks must not re-enter the registry. Used by the Prometheus
+  /// exposition renderer.
+  void for_each_counter(
+      const std::function<void(const std::string&, const Counter&)>& fn) const;
+  void for_each_gauge(
+      const std::function<void(const std::string&, const Gauge&)>& fn) const;
+  void for_each_histogram(
+      const std::function<void(const std::string&, const Histogram&)>& fn)
+      const;
 
   /// Zero every instrument (instruments themselves are kept).
   void reset();

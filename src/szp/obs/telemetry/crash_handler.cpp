@@ -1,0 +1,306 @@
+#include "szp/obs/telemetry/crash_handler.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <ostream>
+
+#include "szp/obs/metrics.hpp"
+#include "szp/obs/telemetry/flight_recorder.hpp"
+#include "szp/obs/telemetry/telemetry.hpp"
+#include "szp/util/common.hpp"
+
+namespace szp::obs::crash {
+
+namespace {
+
+// All state the signal handler touches lives in fixed static storage:
+// no allocation, no std::string, no locks.
+constexpr std::size_t kPathMax = 1024;
+char g_dir[kPathMax] = {0};
+char g_path[kPathMax] = {0};
+std::atomic<bool> g_installed{false};
+std::atomic<bool> g_in_crash{false};
+
+// Env knobs captured at install time (the manifest must not call
+// getenv from a signal context).
+constexpr std::size_t kEnvMax = 256;
+char g_env_telemetry[kEnvMax] = {0};
+char g_env_log[kEnvMax] = {0};
+char g_env_crash_dir[kEnvMax] = {0};
+char g_env_devcheck[kEnvMax] = {0};
+
+// Dedicated signal stack so a stack-overflow SIGSEGV still dumps.
+char g_altstack[64 * 1024];
+
+const int kSignals[] = {SIGSEGV, SIGABRT, SIGBUS, SIGFPE, SIGILL};
+
+// -------------------------------------------- async-signal-safe writer --
+
+void wr_str(int fd, const char* s) {
+  std::size_t n = std::strlen(s);
+  std::size_t off = 0;
+  while (off < n) {
+    const ::ssize_t w = ::write(fd, s + off, n - off);
+    if (w <= 0) return;
+    off += static_cast<std::size_t>(w);
+  }
+}
+
+void wr_u64(int fd, std::uint64_t v) {
+  char tmp[21];
+  std::size_t n = 0;
+  do {
+    tmp[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  char out[21];
+  std::size_t m = 0;
+  while (n > 0) out[m++] = tmp[--n];
+  out[m] = '\0';
+  wr_str(fd, out);
+}
+
+void wr_i64(int fd, std::int64_t v) {
+  if (v < 0) {
+    wr_str(fd, "-");
+    wr_u64(fd, static_cast<std::uint64_t>(-v));
+  } else {
+    wr_u64(fd, static_cast<std::uint64_t>(v));
+  }
+}
+
+/// JSON string from a buffer we control (env values): escape quotes and
+/// backslashes, squash control bytes.
+void wr_jstr(int fd, const char* s) {
+  wr_str(fd, "\"");
+  char one[3] = {0, 0, 0};
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      one[0] = '\\';
+      one[1] = c;
+      one[2] = '\0';
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      one[0] = ' ';
+      one[1] = '\0';
+    } else {
+      one[0] = c;
+      one[1] = '\0';
+    }
+    wr_str(fd, one);
+  }
+  wr_str(fd, "\"");
+}
+
+/// The bundle prefix + builtins, shared by the signal and manual paths.
+/// Leaves the object open: callers append "recorder" (and optionally
+/// "metrics") then close it.
+void wr_bundle_head(int fd, const char* reason, int sig) {
+  const telemetry::Builtins& b = telemetry::builtins();
+  wr_str(fd, "{\"schema\": \"szp.crash_bundle.v1\",\n \"version\": ");
+  wr_jstr(fd, szp::kVersionString);
+  wr_str(fd, ",\n \"build\": \"");
+#ifdef NDEBUG
+  wr_str(fd, "release");
+#else
+  wr_str(fd, "debug");
+#endif
+  wr_str(fd, "\",\n \"reason\": ");
+  wr_jstr(fd, reason);
+  wr_str(fd, ",\n \"signal\": ");
+  wr_i64(fd, sig);
+  wr_str(fd, ",\n \"uptime_ns\": ");
+  wr_u64(fd, telemetry::uptime_ns());
+  wr_str(fd, ",\n \"env\": {\"SZP_TELEMETRY\": ");
+  wr_jstr(fd, g_env_telemetry);
+  wr_str(fd, ", \"SZP_LOG\": ");
+  wr_jstr(fd, g_env_log);
+  wr_str(fd, ", \"SZP_CRASH_DIR\": ");
+  wr_jstr(fd, g_env_crash_dir);
+  wr_str(fd, ", \"SZP_DEVCHECK\": ");
+  wr_jstr(fd, g_env_devcheck);
+  wr_str(fd, "},\n \"builtins\": {\"requests\": ");
+  wr_u64(fd, b.requests.load(std::memory_order_relaxed));
+  wr_str(fd, ", \"errors\": ");
+  wr_u64(fd, b.errors.load(std::memory_order_relaxed));
+  wr_str(fd, ", \"bytes_in\": ");
+  wr_u64(fd, b.bytes_in.load(std::memory_order_relaxed));
+  wr_str(fd, ", \"bytes_out\": ");
+  wr_u64(fd, b.bytes_out.load(std::memory_order_relaxed));
+  wr_str(fd, ", \"queue_depth\": ");
+  wr_i64(fd, b.queue_depth.load(std::memory_order_relaxed));
+  wr_str(fd, ", \"pool_in_use\": ");
+  wr_i64(fd, b.pool_in_use.load(std::memory_order_relaxed));
+  wr_str(fd, ", \"log_records\": ");
+  wr_u64(fd, b.log_records.load(std::memory_order_relaxed));
+  wr_str(fd, ", \"last_trace_id\": ");
+  wr_u64(fd, b.last_trace_id.load(std::memory_order_relaxed));
+  wr_str(fd, "},\n \"recorder\": ");
+}
+
+void write_bundle_fd(int fd, const char* reason, int sig) {
+  wr_bundle_head(fd, reason, sig);
+  fr::dump_to_fd(fd);
+  wr_str(fd, "}\n");
+}
+
+void capture_env(const char* name, char* out) {
+  if (const char* v = std::getenv(name)) {
+    std::strncpy(out, v, kEnvMax - 1);
+    out[kEnvMax - 1] = '\0';
+  } else {
+    out[0] = '\0';
+  }
+}
+
+void crash_signal_handler(int sig, siginfo_t* /*info*/, void* /*uctx*/) {
+  if (!g_in_crash.exchange(true)) {
+    const int fd =
+        ::open(g_path, O_CREAT | O_WRONLY | O_TRUNC, 0644);
+    if (fd >= 0) {
+      char reason[32] = "signal:";
+      // Format the signal number by hand (snprintf is not
+      // async-signal-safe on all platforms).
+      char num[8];
+      int v = sig;
+      std::size_t n = 0;
+      do {
+        num[n++] = static_cast<char>('0' + v % 10);
+        v /= 10;
+      } while (v != 0 && n < sizeof(num) - 1);
+      std::size_t pos = std::strlen(reason);
+      while (n > 0 && pos < sizeof(reason) - 1) reason[pos++] = num[--n];
+      reason[pos] = '\0';
+      write_bundle_fd(fd, reason, sig);
+      ::close(fd);
+    }
+  }
+  // Restore the default action and re-raise so the exit status keeps
+  // the original signal.
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+void crash_terminate_handler() {
+  if (!g_in_crash.exchange(true)) {
+    const int fd = ::open(g_path, O_CREAT | O_WRONLY | O_TRUNC, 0644);
+    if (fd >= 0) {
+      write_bundle_fd(fd, "unhandled_exception", 0);
+      ::close(fd);
+    }
+  }
+  std::abort();  // SIGABRT handler sees g_in_crash set and just re-raises
+}
+
+}  // namespace
+
+bool install(const Options& opts) {
+  if (opts.dir.empty() || opts.dir.size() >= kPathMax - 64) return false;
+  ::mkdir(opts.dir.c_str(), 0755);  // single level; EEXIST is fine
+  struct ::stat st;
+  if (::stat(opts.dir.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) {
+    return false;
+  }
+  std::strncpy(g_dir, opts.dir.c_str(), kPathMax - 1);
+  g_dir[kPathMax - 1] = '\0';
+  std::snprintf(g_path, kPathMax, "%s/szp_crash_%d.json", g_dir,
+                static_cast<int>(::getpid()));
+
+  capture_env("SZP_TELEMETRY", g_env_telemetry);
+  capture_env("SZP_LOG", g_env_log);
+  capture_env("SZP_CRASH_DIR", g_env_crash_dir);
+  capture_env("SZP_DEVCHECK", g_env_devcheck);
+
+  if (!g_installed.exchange(true)) {
+    ::stack_t ss;
+    ss.ss_sp = g_altstack;
+    ss.ss_size = sizeof(g_altstack);
+    ss.ss_flags = 0;
+    ::sigaltstack(&ss, nullptr);
+
+    struct ::sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_sigaction = crash_signal_handler;
+    sa.sa_flags = SA_SIGINFO | SA_ONSTACK;
+    ::sigemptyset(&sa.sa_mask);
+    for (const int sig : kSignals) ::sigaction(sig, &sa, nullptr);
+
+    std::set_terminate(crash_terminate_handler);
+  }
+  return true;
+}
+
+bool installed() { return g_installed.load(std::memory_order_relaxed); }
+
+const char* bundle_dir() { return g_dir; }
+
+const char* bundle_path() { return g_path; }
+
+void write_bundle(std::ostream& os, const char* reason) {
+  const telemetry::Builtins& b = telemetry::builtins();
+  const auto jstr = [&os](const char* s) {
+    os << '"';
+    for (; *s != '\0'; ++s) {
+      const char c = *s;
+      if (c == '"' || c == '\\') {
+        os << '\\' << c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        os << ' ';
+      } else {
+        os << c;
+      }
+    }
+    os << '"';
+  };
+  os << "{\"schema\": \"szp.crash_bundle.v1\",\n \"version\": ";
+  jstr(szp::kVersionString);
+#ifdef NDEBUG
+  os << ",\n \"build\": \"release\"";
+#else
+  os << ",\n \"build\": \"debug\"";
+#endif
+  os << ",\n \"reason\": ";
+  jstr(reason);
+  os << ",\n \"signal\": 0,\n \"uptime_ns\": " << telemetry::uptime_ns();
+  os << ",\n \"env\": {\"SZP_TELEMETRY\": ";
+  jstr(g_env_telemetry);
+  os << ", \"SZP_LOG\": ";
+  jstr(g_env_log);
+  os << ", \"SZP_CRASH_DIR\": ";
+  jstr(g_env_crash_dir);
+  os << ", \"SZP_DEVCHECK\": ";
+  jstr(g_env_devcheck);
+  os << "},\n \"builtins\": {\"requests\": "
+     << b.requests.load(std::memory_order_relaxed)
+     << ", \"errors\": " << b.errors.load(std::memory_order_relaxed)
+     << ", \"bytes_in\": " << b.bytes_in.load(std::memory_order_relaxed)
+     << ", \"bytes_out\": " << b.bytes_out.load(std::memory_order_relaxed)
+     << ", \"queue_depth\": " << b.queue_depth.load(std::memory_order_relaxed)
+     << ", \"pool_in_use\": " << b.pool_in_use.load(std::memory_order_relaxed)
+     << ", \"log_records\": " << b.log_records.load(std::memory_order_relaxed)
+     << ", \"last_trace_id\": "
+     << b.last_trace_id.load(std::memory_order_relaxed)
+     << "},\n \"recorder\": ";
+  fr::write_json(os);
+  os << ",\n \"metrics\": ";
+  Registry::instance().write_json(os);
+  os << "}\n";
+}
+
+bool write_bundle_file(const std::string& path, const char* reason) {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_bundle(os, reason);
+  os.flush();
+  return static_cast<bool>(os);
+}
+
+}  // namespace szp::obs::crash

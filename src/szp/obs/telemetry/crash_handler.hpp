@@ -1,0 +1,55 @@
+// Post-mortem crash bundles.
+//
+// install() hooks the fatal signals (SIGSEGV, SIGABRT, SIGBUS, SIGFPE,
+// SIGILL — the set SZP_DEVCHECK aborts and assertion failures funnel
+// into) and std::terminate. When one fires, a JSON bundle is written to
+// the configured directory containing:
+//   - the flight-recorder rings (the events leading up to the fault),
+//   - each thread's active-span stack,
+//   - the always-on builtin counters (requests, errors, bytes, queues),
+//   - a build/version/config manifest (version string, build mode, the
+//     telemetry env knobs as seen at install time).
+// The signal path uses only async-signal-safe operations (open/write +
+// integer formatting; the recorder rings are lock-free and immortal).
+// After the bundle is written the default signal action is restored and
+// the signal re-raised, so exit status is unchanged — a supervisor (or
+// a gtest death test) still sees the process die by the original
+// signal.
+//
+// The non-signal entry points (write_bundle*) produce the same schema
+// plus a full obs::Registry metrics snapshot, and are used by the
+// recovery suites to drop event history next to failing-seed dumps.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+namespace szp::obs::crash {
+
+struct Options {
+  /// Directory bundles are written into (created if absent). The bundle
+  /// file is "szp_crash_<pid>.json".
+  std::string dir;
+};
+
+/// Install the handlers (idempotent; later calls just update the
+/// directory). Returns false if the directory could not be created.
+bool install(const Options& opts);
+
+[[nodiscard]] bool installed();
+
+/// Configured bundle directory ("" when not installed).
+[[nodiscard]] const char* bundle_dir();
+
+/// Full path the next crash bundle will be written to.
+[[nodiscard]] const char* bundle_path();
+
+/// Write a bundle now (regular, non-signal context): same schema as the
+/// crash path plus a "metrics" section with the full obs::Registry
+/// snapshot. `reason` lands in the bundle's "reason" field.
+void write_bundle(std::ostream& os, const char* reason);
+
+/// write_bundle to a file; returns false on I/O failure.
+bool write_bundle_file(const std::string& path, const char* reason);
+
+}  // namespace szp::obs::crash

@@ -1,0 +1,126 @@
+#include "szp/obs/telemetry/exposition.hpp"
+
+#include <cctype>
+#include <ostream>
+#include <sstream>
+
+#include "szp/obs/metrics.hpp"
+#include "szp/obs/telemetry/flight_recorder.hpp"
+#include "szp/obs/telemetry/telemetry.hpp"
+
+namespace szp::obs::telemetry {
+
+namespace {
+
+/// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*.
+std::string sanitize(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (std::isalnum(static_cast<unsigned char>(c)) != 0) ||
+                    c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty() || std::isdigit(static_cast<unsigned char>(out[0])) != 0) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+void emit_header(std::ostream& os, const std::string& name, const char* type,
+                 const char* help) {
+  os << "# HELP " << name << ' ' << help << '\n';
+  os << "# TYPE " << name << ' ' << type << '\n';
+}
+
+}  // namespace
+
+void write_prometheus(std::ostream& os) {
+  const Builtins& b = builtins();
+
+  emit_header(os, "szp_uptime_seconds", "gauge",
+              "Seconds since process start.");
+  os << "szp_uptime_seconds "
+     << static_cast<double>(uptime_ns()) / 1e9 << '\n';
+
+  emit_header(os, "szp_requests_total", "counter",
+              "Engine API requests completed.");
+  os << "szp_requests_total " << b.requests.load(std::memory_order_relaxed);
+  if (const std::uint64_t tid =
+          b.last_trace_id.load(std::memory_order_relaxed);
+      tid != 0) {
+    // OpenMetrics exemplar: join scrapes against log lines / trace
+    // flows via the most recent request's trace ID.
+    os << " # {trace_id=\"" << tid << "\"} 1";
+  }
+  os << '\n';
+
+  emit_header(os, "szp_errors_total", "counter",
+              "Errors (decode failures, error-level log records).");
+  os << "szp_errors_total " << b.errors.load(std::memory_order_relaxed)
+     << '\n';
+
+  emit_header(os, "szp_bytes_in_total", "counter",
+              "Uncompressed bytes accepted by compress entry points.");
+  os << "szp_bytes_in_total " << b.bytes_in.load(std::memory_order_relaxed)
+     << '\n';
+
+  emit_header(os, "szp_bytes_out_total", "counter",
+              "Compressed bytes produced by compress entry points.");
+  os << "szp_bytes_out_total " << b.bytes_out.load(std::memory_order_relaxed)
+     << '\n';
+
+  emit_header(os, "szp_queue_depth", "gauge",
+              "Pipeline jobs currently queued or in flight.");
+  os << "szp_queue_depth " << b.queue_depth.load(std::memory_order_relaxed)
+     << '\n';
+
+  emit_header(os, "szp_pool_in_use", "gauge",
+              "gpusim buffer-pool slots currently handed out.");
+  os << "szp_pool_in_use " << b.pool_in_use.load(std::memory_order_relaxed)
+     << '\n';
+
+  emit_header(os, "szp_log_records_total", "counter",
+              "Log records emitted (post rate limit).");
+  os << "szp_log_records_total "
+     << b.log_records.load(std::memory_order_relaxed) << '\n';
+
+  emit_header(os, "szp_recorder_events_total", "counter",
+              "Flight-recorder events ever pushed.");
+  os << "szp_recorder_events_total " << fr::event_count() << '\n';
+
+  // Registry instruments (on when metrics collection is enabled; the
+  // maps are empty otherwise, so this is free in the always-on path).
+  Registry& reg = Registry::instance();
+  reg.for_each_counter([&os](const std::string& name, const Counter& c) {
+    const std::string p = sanitize(name) + "_total";
+    emit_header(os, p, "counter", "szp registry counter.");
+    os << p << ' ' << c.value() << '\n';
+  });
+  reg.for_each_gauge([&os](const std::string& name, const Gauge& g) {
+    if (!g.has_value()) return;
+    const std::string p = sanitize(name);
+    emit_header(os, p, "gauge", "szp registry gauge.");
+    os << p << ' ' << g.value() << '\n';
+  });
+  reg.for_each_histogram([&os](const std::string& name, const Histogram& h) {
+    const std::string p = sanitize(name);
+    emit_header(os, p, "histogram", "szp registry histogram.");
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+      cum += h.bucket_count(i);
+      os << p << "_bucket{le=\"" << h.bounds()[i] << "\"} " << cum << '\n';
+    }
+    os << p << "_bucket{le=\"+Inf\"} " << h.count() << '\n';
+    os << p << "_sum " << h.sum() << '\n';
+    os << p << "_count " << h.count() << '\n';
+  });
+}
+
+std::string prometheus_text() {
+  std::ostringstream ss;
+  write_prometheus(ss);
+  return ss.str();
+}
+
+}  // namespace szp::obs::telemetry

@@ -1,0 +1,24 @@
+// Prometheus-style text exposition.
+//
+// Renders the always-on builtins (uptime, requests, errors, bytes,
+// queue depth, pool occupancy) plus everything in obs::Registry as
+// Prometheus text format: metric names sanitized to [a-zA-Z0-9_:],
+// counters suffixed _total, histograms expanded into cumulative
+// _bucket{le="..."} series with _sum and _count. szp_requests_total
+// carries an OpenMetrics exemplar with the most recent request's trace
+// ID, so a scrape can be joined against log lines and trace flows.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+namespace szp::obs::telemetry {
+
+/// Write the full exposition text.
+void write_prometheus(std::ostream& os);
+
+/// write_prometheus as a string (the TCP server and snapshot writer
+/// both use this).
+[[nodiscard]] std::string prometheus_text();
+
+}  // namespace szp::obs::telemetry

@@ -1,0 +1,49 @@
+// Tiny polling-friendly exposition server.
+//
+// Two modes, independently enabled:
+//   - TCP: listen on 127.0.0.1:<port>; every accepted connection gets a
+//     minimal HTTP/1.0 200 response whose body is the Prometheus text
+//     (so curl and any scraper work), then the connection closes. One
+//     accept thread, one connection at a time — this is a debug/ops
+//     peephole, not a web server.
+//   - Snapshot: every period_ms, write the exposition text to a file
+//     (tmp + rename, so readers never see a torn snapshot). For
+//     environments without sockets.
+#pragma once
+
+#include <string>
+
+namespace szp::obs::telemetry {
+
+class TelemetryServer {
+ public:
+  struct Options {
+    /// -1 disables TCP; 0 binds an ephemeral port (see port() after
+    /// start); >0 binds that port on 127.0.0.1.
+    int port = -1;
+    /// Empty disables snapshots.
+    std::string snapshot_path;
+    int snapshot_period_ms = 1000;
+  };
+
+  static TelemetryServer& instance();
+
+  /// Idempotent; returns false if a requested mode could not start
+  /// (e.g. the port is taken). Already-running modes are left alone.
+  bool start(const Options& opts);
+
+  /// Stop threads, close sockets, write one final snapshot.
+  void stop();
+
+  /// Bound TCP port (0 when TCP mode is off).
+  [[nodiscard]] int port() const;
+
+  [[nodiscard]] bool running() const;
+
+ private:
+  TelemetryServer() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+}  // namespace szp::obs::telemetry

@@ -1,0 +1,69 @@
+// Process-wide request/trace identity.
+//
+// A trace ID is a monotonically assigned 64-bit token minted at an API
+// boundary (one per Engine entry-point call) and carried across threads:
+// pipeline jobs and gpusim stream ops capture the submitting thread's
+// current ID and re-establish it on their worker thread, so one request
+// can be followed through log records, flight-recorder events, metric
+// exemplars and Chrome-trace flow events.
+//
+// ID 0 means "no active request" and is never minted.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace szp::obs {
+
+namespace detail {
+inline std::atomic<std::uint64_t> g_next_trace_id{1};
+inline thread_local std::uint64_t t_current_trace_id = 0;
+}  // namespace detail
+
+/// Mint a fresh, never-zero trace ID.
+[[nodiscard]] inline std::uint64_t next_trace_id() {
+  return detail::g_next_trace_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// The calling thread's active trace ID (0 = none).
+[[nodiscard]] inline std::uint64_t current_trace_id() {
+  return detail::t_current_trace_id;
+}
+
+/// Override the calling thread's active trace ID (prefer TraceIdScope).
+inline void set_current_trace_id(std::uint64_t id) {
+  detail::t_current_trace_id = id;
+}
+
+/// Adopt-or-mint: the ambient ID if one is active, else a fresh one.
+/// API boundaries use this so a caller that already established a
+/// request identity (a pipeline job, a CLI request loop) keeps it
+/// across the engine call instead of having it re-minted.
+[[nodiscard]] inline std::uint64_t ensure_trace_id() {
+  const std::uint64_t cur = current_trace_id();
+  return cur != 0 ? cur : next_trace_id();
+}
+
+/// RAII: set the calling thread's trace ID for a scope, restoring the
+/// previous one on exit. Used both to mint at API boundaries
+/// (TraceIdScope(next_trace_id())) and to adopt a captured ID on a
+/// worker thread (TraceIdScope(job.trace_id)).
+class TraceIdScope {
+ public:
+  explicit TraceIdScope(std::uint64_t id)
+      : prev_(detail::t_current_trace_id) {
+    detail::t_current_trace_id = id;
+  }
+  TraceIdScope(const TraceIdScope&) = delete;
+  TraceIdScope& operator=(const TraceIdScope&) = delete;
+  ~TraceIdScope() { detail::t_current_trace_id = prev_; }
+
+  [[nodiscard]] std::uint64_t id() const {
+    return detail::t_current_trace_id;
+  }
+
+ private:
+  std::uint64_t prev_;
+};
+
+}  // namespace szp::obs

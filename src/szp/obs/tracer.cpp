@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
-#include <cstdio>
 #include <cstdlib>
-#include <iostream>
+#include <sstream>
 
 #include "szp/obs/chrome_trace.hpp"
+#include "szp/obs/log.hpp"
 #include "szp/obs/metrics.hpp"
 #include "szp/util/env.hpp"
 #include "szp/util/thread_annotations.hpp"
@@ -196,27 +196,30 @@ void Tracer::clear() {
 namespace {
 
 void flush_env_outputs() {
+  // All diagnostics route through the logger, whose text sink is
+  // stderr: stdout stays reserved for data outputs (--metrics-json -).
   const std::string path = trace_env_path();
   if (!path.empty()) {
     if (write_chrome_trace_file(path)) {
-      std::fprintf(stderr, "[szp-obs] wrote trace to %s (%zu events)\n",
-                   path.c_str(), Tracer::instance().event_count());
+      SZP_LOG_INFO("obs", "wrote trace to %s (%zu events)", path.c_str(),
+                   Tracer::instance().event_count());
       const std::uint64_t dropped = Tracer::instance().dropped_events();
       if (dropped > 0) {
-        std::fprintf(stderr,
-                     "[szp-obs] WARNING: %llu events dropped to ring "
-                     "wrap-around; the trace has holes (raise the ring "
-                     "capacity or shorten the recording)\n",
+        SZP_LOG_WARN("obs",
+                     "%llu events dropped to ring wrap-around; the trace "
+                     "has holes (raise the ring capacity or shorten the "
+                     "recording)",
                      static_cast<unsigned long long>(dropped));
       }
     } else {
-      std::fprintf(stderr, "[szp-obs] FAILED to write trace to %s\n",
-                   path.c_str());
+      SZP_LOG_ERROR("obs", "FAILED to write trace to %s", path.c_str());
     }
   }
-  if (stats_env_enabled()) {
-    std::cerr << "[szp-obs] metrics summary:\n";
-    Registry::instance().write_text(std::cerr);
+  if (stats_env_enabled() && log_enabled(LogLevel::kInfo)) {
+    std::ostringstream ss;
+    ss << "metrics summary:\n";
+    Registry::instance().write_text(ss);
+    Logger::instance().log(LogLevel::kInfo, "obs", ss.str());
   }
 }
 

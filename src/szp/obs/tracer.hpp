@@ -20,6 +20,8 @@
 #include <string>
 #include <vector>
 
+#include "szp/obs/trace_id.hpp"
+
 namespace szp::obs {
 
 namespace detail {
@@ -57,6 +59,10 @@ struct Event {
   std::uint64_t arg1 = 0;
   const char* arg2_name = nullptr;
   std::uint64_t arg2 = 0;
+  // Request identity captured from current_trace_id() at record time
+  // (0 = none). The chrome_trace exporter links spans sharing a flow id
+  // across threads with flow events.
+  std::uint64_t flow_id = 0;
 };
 
 /// Per-thread ring buffer snapshot returned by Tracer::collect().
@@ -164,6 +170,7 @@ class Span {
     e_.name = name;
     e_.ph = Phase::kComplete;
     e_.ts_ns = now_ns();
+    e_.flow_id = current_trace_id();
   }
   bool active_ = false;
   Event e_;
@@ -187,6 +194,7 @@ class BeginEndSpan {
     e.ts_ns = now_ns();
     e.arg1_name = arg1_name;
     e.arg1 = arg1;
+    e.flow_id = current_trace_id();
     Tracer::instance().record(e);
   }
   BeginEndSpan(const char* cat, const char* name)
@@ -200,6 +208,7 @@ class BeginEndSpan {
     e.name = name_;
     e.ph = Phase::kEnd;
     e.ts_ns = now_ns();
+    e.flow_id = current_trace_id();
     Tracer::instance().record(e);
   }
 
@@ -223,6 +232,7 @@ inline void instant(const char* cat, const char* name,
   e.arg1 = arg1;
   e.arg2_name = arg2_name;
   e.arg2 = arg2;
+  e.flow_id = current_trace_id();
   Tracer::instance().record(e);
 }
 
@@ -243,6 +253,7 @@ inline void complete(const char* cat, const char* name, std::uint64_t ts_ns,
   e.arg1 = arg1;
   e.arg2_name = arg2_name;
   e.arg2 = arg2;
+  e.flow_id = current_trace_id();
   Tracer::instance().record(e);
 }
 

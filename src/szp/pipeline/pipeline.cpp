@@ -3,6 +3,10 @@
 #include <algorithm>
 
 #include "szp/gpusim/stream.hpp"
+#include "szp/obs/log.hpp"
+#include "szp/obs/telemetry/flight_recorder.hpp"
+#include "szp/obs/telemetry/telemetry.hpp"
+#include "szp/obs/trace_id.hpp"
 
 namespace szp::pipeline {
 
@@ -25,6 +29,12 @@ InlinePipeline::~InlinePipeline() {
   for (auto& t : workers_) {
     if (t.joinable()) t.join();
   }
+  const LockGuard lock(mutex_);
+  if (!queue_.empty()) {  // error path: settle the gauge for abandoned jobs
+    obs::telemetry::builtins().queue_depth.fetch_sub(
+        static_cast<std::int64_t>(queue_.size()), std::memory_order_relaxed);
+    queue_.clear();
+  }
 }
 
 void InlinePipeline::submit(data::Field snapshot,
@@ -37,10 +47,13 @@ void InlinePipeline::submit(data::Field snapshot,
   if (closing_) throw format_error("pipeline: closed");
   Job job;
   job.seq = next_seq_++;
+  job.trace_id = obs::ensure_trace_id();
   job.field = std::move(snapshot);
   job.value_range = value_range;
   results_.resize(next_seq_);
   queue_.push_back(std::move(job));
+  obs::telemetry::builtins().queue_depth.fetch_add(1,
+                                                   std::memory_order_relaxed);
   lock.unlock();
   job_available_.notify_one();
 }
@@ -57,11 +70,19 @@ std::vector<SnapshotResult> InlinePipeline::finish() {
     if (t.joinable()) t.join();
   }
   const LockGuard lock(mutex_);
+  // On the error path workers exit with jobs still queued; settle the
+  // queue-depth gauge for the abandoned ones.
+  if (!queue_.empty()) {
+    obs::telemetry::builtins().queue_depth.fetch_sub(
+        static_cast<std::int64_t>(queue_.size()), std::memory_order_relaxed);
+    queue_.clear();
+  }
   if (first_error_) std::rethrow_exception(first_error_);
   return std::move(results_);
 }
 
 void InlinePipeline::worker_loop() {
+  obs::fr::set_thread_name("pipeline-worker");
   // One engine per worker: with the device backend that is one simulated
   // device per worker, as a multi-GPU node would have; with the host
   // backends, one scratch pool (and thread pool) per worker.
@@ -129,8 +150,15 @@ void InlinePipeline::worker_loop() {
       job = std::move(queue_.front());
       queue_.pop_front();
     }
+    obs::telemetry::builtins().queue_depth.fetch_sub(
+        1, std::memory_order_relaxed);
     space_available_.notify_one();
 
+    // Run the job under its submission-time trace ID: the engine call
+    // below adopts it, so stream ops and log records stay attributable
+    // to this snapshot.
+    const obs::TraceIdScope trace(job.trace_id);
+    const obs::fr::Span rec("pipeline.job");
     try {
       if (lanes > 0) {
         const unsigned lane = next_lane;

@@ -76,6 +76,11 @@ class InlinePipeline {
  private:
   struct Job {
     size_t seq = 0;
+    /// Request trace ID: adopted from the submitting thread when one is
+    /// ambient, else minted at submit(). Re-established on the worker
+    /// while the job runs so engine spans, stream ops and log records
+    /// all tie back to this snapshot's submission.
+    std::uint64_t trace_id = 0;
     data::Field field;
     std::optional<double> value_range;
   };

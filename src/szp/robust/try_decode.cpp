@@ -10,6 +10,8 @@
 #include "szp/core/format.hpp"
 #include "szp/core/stages.hpp"
 #include "szp/obs/metrics.hpp"
+#include "szp/obs/telemetry/flight_recorder.hpp"
+#include "szp/obs/telemetry/telemetry.hpp"
 #include "szp/obs/tracer.hpp"
 #include "szp/util/crc32c.hpp"
 
@@ -297,6 +299,17 @@ DecodeReport try_decode_impl(std::span<const byte_t> stream,
 /// CLI `--stats` can report fault-tolerance behaviour in aggregate. One
 /// branch when collection is off.
 void record_decode_report(const DecodeReport& rep) {
+  // Always-on black-box + error accounting (independent of the metrics
+  // registry: fault evidence must survive into crash bundles).
+  if (!rep.ok()) {
+    obs::fr::record(obs::fr::Kind::kFault, to_string(rep.status),
+                    rep.groups_bad);
+    obs::telemetry::builtins().errors.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (rep.salvaged) {
+    obs::fr::record(obs::fr::Kind::kSalvage, "salvaged_stream",
+                    rep.groups_bad);
+  }
   if (!obs::metrics_enabled()) return;
   auto& reg = obs::Registry::instance();
   static auto& calls = reg.counter("robust.try_decompress.calls");

@@ -37,4 +37,19 @@ std::string hostprof_env_spec() {
   return {};
 }
 
+std::string telemetry_env_spec() {
+  if (const char* s = std::getenv("SZP_TELEMETRY")) return s;
+  return {};
+}
+
+std::string log_env_spec() {
+  if (const char* s = std::getenv("SZP_LOG")) return s;
+  return {};
+}
+
+std::string crash_dir_env() {
+  if (const char* s = std::getenv("SZP_CRASH_DIR")) return s;
+  return {};
+}
+
 }  // namespace szp

@@ -34,4 +34,20 @@ namespace szp {
 /// execution profiler (obs::hostprof::options_from_env parses it).
 [[nodiscard]] std::string hostprof_env_spec();
 
+/// SZP_TELEMETRY raw value: "" when unset; "1"/"on" enables the flight
+/// recorder + metrics, comma-separated directives (port=<n>,
+/// snapshot=<path>, period=<ms>) add live exposition. Parsed by
+/// obs::telemetry::init_from_env().
+[[nodiscard]] std::string telemetry_env_spec();
+
+/// SZP_LOG raw value: "" when unset, else "<level>[:<path>]" — log level
+/// plus an optional JSON-lines sink path. Parsed by
+/// obs::telemetry::init_from_env().
+[[nodiscard]] std::string log_env_spec();
+
+/// SZP_CRASH_DIR: directory for post-mortem crash bundles ("" when
+/// unset; setting it installs the crash handler). Parsed by
+/// obs::telemetry::init_from_env().
+[[nodiscard]] std::string crash_dir_env();
+
 }  // namespace szp

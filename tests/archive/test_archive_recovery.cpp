@@ -24,6 +24,8 @@
 #include "szp/archive/layout.hpp"
 #include "szp/archive/scrub.hpp"
 #include "szp/data/field.hpp"
+#include "szp/obs/telemetry/crash_handler.hpp"
+#include "szp/obs/telemetry/flight_recorder.hpp"
 #include "szp/robust/fault.hpp"
 #include "szp/robust/io.hpp"
 #include "szp/robust/io_fault.hpp"
@@ -31,6 +33,18 @@
 
 namespace szp::archive {
 namespace {
+
+// The flight recorder is armed for the whole suite: decode faults and
+// salvage events record themselves (see robust::record_decode_report),
+// so the bundle dumped next to a failing fuzz seed carries the event
+// trail leading up to the failure, not just the seed number.
+class RecorderEnv : public ::testing::Environment {
+ public:
+  void SetUp() override { obs::fr::set_enabled(true); }
+  void TearDown() override { obs::fr::set_enabled(false); }
+};
+const auto* const g_recorder_env =
+    ::testing::AddGlobalTestEnvironment(new RecorderEnv);
 
 data::Field make_field(const std::string& name, size_t n,
                        std::uint64_t seed) {
@@ -302,6 +316,12 @@ void dump_failing_seed(std::uint64_t seed,
                   std::span<const byte_t>(
                       reinterpret_cast<const byte_t*>(text.data()),
                       text.size()));
+    // Flight-recorder bundle next to the seed dump: the fault/salvage
+    // events the failing iteration recorded, plus builtins and metrics.
+    (void)obs::crash::write_bundle_file(
+        std::string(dir) + "/archive-fuzz-seed-" + std::to_string(seed) +
+            ".bundle.json",
+        "archive_recovery_fuzz_seed_failure");
   } catch (const robust::io_error&) {
     // Best effort; the assertion failure itself still reports the seed.
   }

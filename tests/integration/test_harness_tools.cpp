@@ -10,6 +10,7 @@
 
 #include "szp/harness/runner.hpp"
 #include "szp/perfmodel/hardware.hpp"
+#include "szp/util/mini_json.hpp"
 
 namespace szp {
 namespace {
@@ -111,6 +112,37 @@ TEST_F(CliSmoke, CompareAndSsimAndPlot) {
                 std::to_string(field.dims[1]) + " 0 " + dir + "/s.pgm"),
             0);
   EXPECT_TRUE(std::filesystem::exists(dir + "/s.pgm"));
+  std::filesystem::remove_all(dir);
+}
+
+// Regression: `--metrics-json -` must keep stdout pure JSON even with
+// diagnostics forced on (SZP_LOG=debug + telemetry enabled) — every
+// human-readable line belongs on stderr. A single interleaved progress
+// line would break any pipeline parsing the scrape.
+TEST_F(CliSmoke, MetricsJsonOnStdoutStaysParseableWithDiagnosticsOn) {
+  if (!tool_exists("szp_cli")) GTEST_SKIP() << "tools not built here";
+  const std::string dir =
+      "/tmp/szp_cli_stdout_purity." + std::to_string(::getpid());
+  std::filesystem::create_directories(dir);
+  const std::string cmd =
+      "cd " + dir + " && SZP_LOG=debug SZP_TELEMETRY=1 " +
+      std::filesystem::absolute(tool("szp_cli")).string() +
+      " --demo CESM-ATM 1e-3 --stats --metrics-json - > out.json 2> err.txt";
+  ASSERT_EQ(std::system(cmd.c_str()), 0);
+
+  std::ifstream out(dir + "/out.json");
+  const std::string json((std::istreambuf_iterator<char>(out)),
+                         std::istreambuf_iterator<char>());
+  ASSERT_FALSE(json.empty());
+  // stdout is exactly one strict-JSON document.
+  EXPECT_NO_THROW((void)util::JsonParser(json).parse())
+      << json.substr(0, 400);
+
+  // The diagnostics did happen — they just went to stderr.
+  std::ifstream err(dir + "/err.txt");
+  const std::string diag((std::istreambuf_iterator<char>(err)),
+                         std::istreambuf_iterator<char>());
+  EXPECT_NE(diag.find("Pass error check!"), std::string::npos);
   std::filesystem::remove_all(dir);
 }
 

@@ -1,0 +1,15 @@
+// Fixture (rule: raw-log). Raw stream/printf output in library code;
+// the snprintf below formats into a caller buffer and must NOT be
+// reported.
+#include <cstdio>
+#include <iostream>
+
+namespace szp::core {
+void fixture() {
+  std::printf("hello\n");
+  std::cerr << "diagnostic\n";
+  char buf[8];
+  std::snprintf(buf, sizeof buf, "x");
+  (void)buf;
+}
+}  // namespace szp::core

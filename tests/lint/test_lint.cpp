@@ -176,6 +176,36 @@ TEST(LintFixtures, BannedFnReportedSnprintfExempt) {
   EXPECT_EQ(r.findings[0].line, 9);
 }
 
+TEST(LintFixtures, RawLogReportedSnprintfExempt) {
+  const Result r =
+      lint_fixture("raw_log.cpp", "src/szp/core/fixture_raw_log.cpp");
+  ASSERT_EQ(r.findings.size(), 2u);
+  std::set<int> lines;
+  for (const Finding& f : r.findings) {
+    EXPECT_EQ(f.rule, "raw-log");
+    lines.insert(f.line);
+  }
+  // std::printf on 9, std::cerr on 10; snprintf on 12 is not reported.
+  EXPECT_EQ(lines, (std::set<int>{9, 10}));
+}
+
+TEST(LintFixtures, RawLogWhitelistedInLogSink) {
+  const Result r = lint_text("src/szp/obs/log.cpp",
+                             "#include <iostream>\nstd::ostream& os = "
+                             "std::cerr;\n");
+  EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(LintFixtures, RawLogToolsAndTestsExempt) {
+  // Tools own their stdout/stderr; the rule scopes to src/szp modules.
+  const Result tool = lint_text("tools/szp_cli.cpp",
+                                "int f() { return std::printf(\"x\"); }\n");
+  EXPECT_TRUE(tool.findings.empty());
+  const Result test = lint_text("tests/obs/test_x.cpp",
+                                "int f() { return std::printf(\"x\"); }\n");
+  EXPECT_TRUE(test.findings.empty());
+}
+
 TEST(LintFixtures, SuppressionWithReasonHonoredWithoutReasonNot) {
   const Result r =
       lint_fixture("suppression.cpp", "src/szp/core/fixture_suppress.cpp");
@@ -196,7 +226,7 @@ TEST(LintFixtures, CommentsAndStringsAreNotCode) {
   EXPECT_TRUE(r.findings.empty());
 }
 
-TEST(LintCatalog, EightStableRuleIds) {
+TEST(LintCatalog, NineStableRuleIds) {
   const auto catalog = szp::lint::rule_catalog();
   std::set<std::string> ids;
   for (const auto& [id, desc] : catalog) {
@@ -204,8 +234,9 @@ TEST(LintCatalog, EightStableRuleIds) {
     EXPECT_FALSE(desc.empty());
   }
   const std::set<std::string> expected = {
-      "layering",     "raw-sync",      "raw-thread", "raw-new-array",
-      "missing-span", "assert-decode", "tsa-escape", "banned-fn"};
+      "layering",      "raw-sync",      "raw-thread",
+      "raw-new-array", "missing-span",  "assert-decode",
+      "tsa-escape",    "raw-log",       "banned-fn"};
   EXPECT_EQ(ids, expected);
 }
 

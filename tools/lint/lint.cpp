@@ -82,6 +82,21 @@ const std::vector<std::string>& raw_thread_whitelist() {
       "szp/gpusim/stream.hpp",      "szp/gpusim/stream.cpp",
       "szp/gpusim/launch.cpp",      "szp/pipeline/pipeline.hpp",
       "szp/pipeline/pipeline.cpp",
+      // The telemetry server's accept/snapshot threads must not recurse
+      // into the instrumented runtime they observe.
+      "szp/obs/telemetry/server.cpp",
+  };
+  return v;
+}
+
+/// Only the log sinks may talk to the process's standard streams;
+/// library code routes diagnostics through szp/obs/log.hpp so they
+/// carry level/component/trace fields and stdout stays reserved for
+/// data outputs. snprintf/vsnprintf (pure formatting) are not matched.
+const std::vector<std::string>& raw_log_whitelist() {
+  static const std::vector<std::string> v = {
+      "szp/obs/log.hpp",
+      "szp/obs/log.cpp",
   };
   return v;
 }
@@ -568,6 +583,47 @@ void check_tsa_escape(const FileCtx& ctx) {
   }
 }
 
+void check_raw_log(const FileCtx& ctx) {
+  // Library modules only: tools and tests own their stdout/stderr.
+  if (ctx.module.empty() || ctx.module == "tools") return;
+  if (path_matches(ctx.norm, raw_log_whitelist())) return;
+  const std::string& s = ctx.src.stripped;
+  static const std::vector<std::string> streams = {"std::cout", "std::cerr",
+                                                   "std::clog"};
+  for (const std::string& tok : streams) {
+    for (const size_t pos : find_word(s, tok)) {
+      ctx.emit(line_of(ctx.text, pos), "raw-log",
+               tok + " in library code — route diagnostics through "
+                     "SZP_LOG_* (szp/obs/log.hpp) so they carry level/"
+                     "component/trace fields and stay off stdout");
+    }
+  }
+  // Word-boundary matching keeps snprintf/vsnprintf (formatting into a
+  // caller buffer) out of scope.
+  static const std::vector<std::string> fns = {"printf", "fprintf",
+                                               "vprintf", "vfprintf",
+                                               "puts",   "fputs"};
+  for (const std::string& fn : fns) {
+    for (const std::string probe : {fn, "std::" + fn}) {
+      for (const size_t pos : find_word(s, probe)) {
+        size_t j = pos + probe.size();
+        while (j < s.size() &&
+               std::isspace(static_cast<unsigned char>(s[j])) != 0) {
+          ++j;
+        }
+        if (j >= s.size() || s[j] != '(') continue;
+        if (probe == fn && pos >= 5 && s.compare(pos - 5, 5, "std::") == 0) {
+          continue;  // the std:: probe reports it
+        }
+        ctx.emit(line_of(ctx.text, pos), "raw-log",
+                 probe + "() in library code — use SZP_LOGF / SZP_LOG_* "
+                         "(szp/obs/log.hpp); direct stream writes bypass "
+                         "levels, rate limiting and the JSON sink");
+      }
+    }
+  }
+}
+
 void check_banned_fn(const FileCtx& ctx) {
   for (const std::string& fn : banned_functions()) {
     for (const std::string probe : {fn, "std::" + fn}) {
@@ -609,6 +665,7 @@ void lint_file(const std::string& path, const std::string& text,
   check_missing_span(ctx);
   check_assert_decode(ctx);
   check_tsa_escape(ctx);
+  check_raw_log(ctx);
   check_banned_fn(ctx);
   ++out.files_scanned;
 }
@@ -733,6 +790,7 @@ std::vector<std::pair<std::string, std::string>> rule_catalog() {
       {"missing-span", "public engine entry point without an obs span"},
       {"assert-decode", "assert() on a decode path"},
       {"tsa-escape", "undocumented SZP_NO_THREAD_SAFETY_ANALYSIS"},
+      {"raw-log", "raw stdout/stderr write in library code"},
       {"banned-fn", "unsafe/legacy libc function call"},
   };
 }

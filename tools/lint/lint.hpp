@@ -12,6 +12,9 @@
 //   assert-decode   assert() on a decode path — throw format_error instead
 //   tsa-escape      SZP_NO_THREAD_SAFETY_ANALYSIS without a documented
 //                   `tsa-escape: <reason>` comment
+//   raw-log         printf/std::cerr-style output in library code
+//                   (src/szp/**) outside the szp/obs/log sinks —
+//                   snprintf/vsnprintf are fine
 //   banned-fn       unsafe/legacy libc call (sprintf, strcpy, atoi, ...)
 //
 // Suppression: append `// szp-lint: allow(<rule>) <reason>` to the flagged

@@ -37,6 +37,7 @@
 #include "szp/archive/layout.hpp"
 #include "szp/archive/scrub.hpp"
 #include "szp/data/registry.hpp"
+#include "szp/obs/telemetry/telemetry.hpp"
 #include "szp/robust/io.hpp"
 
 namespace {
@@ -111,6 +112,7 @@ void list_v2(const archive::ArchiveReader& r) {
 }  // namespace
 
 int main(int argc, char** argv) try {
+  szp::obs::telemetry::init_from_env();
   std::string backend_name = "serial";
   unsigned threads = 0;
   size_t shard_mb = 4;

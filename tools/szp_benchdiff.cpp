@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "szp/obs/telemetry/telemetry.hpp"
 #include "szp/util/benchdiff.hpp"
 #include "szp/util/mini_json.hpp"
 
@@ -41,6 +42,7 @@ bool read_file(const std::string& path, std::string& out) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  szp::obs::telemetry::init_from_env();
   szp::util::BenchDiffOptions opts;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {

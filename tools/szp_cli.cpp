@@ -24,6 +24,7 @@
 #include <array>
 #include <cctype>
 #include <chrono>
+#include <csignal>
 #include <cstdlib>
 #include <cmath>
 #include <cstdio>
@@ -44,6 +45,7 @@
 #include "szp/obs/hostprof/hostprof.hpp"
 #include "szp/obs/hostprof/report.hpp"
 #include "szp/obs/metrics.hpp"
+#include "szp/obs/telemetry/telemetry.hpp"
 #include "szp/obs/tracer.hpp"
 #include "szp/gpusim/profile/report.hpp"
 #include "szp/perfmodel/cost.hpp"
@@ -101,23 +103,40 @@ int usage() {
 
 /// Per-stage device-counter table from the perfmodel trace snapshots —
 /// the simulated analogue of the paper's Fig. 21 stage breakdown.
-void print_breakdown(const char* label, const gpusim::TraceSnapshot& t) {
-  std::printf("%s stage breakdown:\n", label);
-  std::printf("  %-6s %14s %14s %14s\n", "stage", "read B", "write B", "ops");
+void print_breakdown(std::FILE* to, const char* label,
+                     const gpusim::TraceSnapshot& t) {
+  std::fprintf(to, "%s stage breakdown:\n", label);
+  std::fprintf(to, "  %-6s %14s %14s %14s\n", "stage", "read B", "write B",
+               "ops");
   for (unsigned s = 0; s < gpusim::kNumStages; ++s) {
     const auto& c = t.stages[s];
     if (c.read_bytes == 0 && c.write_bytes == 0 && c.ops == 0) continue;
     const auto name = gpusim::stage_name(static_cast<gpusim::Stage>(s));
-    std::printf("  %-6.*s %14llu %14llu %14llu\n",
-                static_cast<int>(name.size()), name.data(),
-                static_cast<unsigned long long>(c.read_bytes),
-                static_cast<unsigned long long>(c.write_bytes),
-                static_cast<unsigned long long>(c.ops));
+    std::fprintf(to, "  %-6.*s %14llu %14llu %14llu\n",
+                 static_cast<int>(name.size()), name.data(),
+                 static_cast<unsigned long long>(c.read_bytes),
+                 static_cast<unsigned long long>(c.write_bytes),
+                 static_cast<unsigned long long>(c.ops));
   }
-  std::printf("  %-6s %14llu %14llu (h2d/d2h B), %llu launches\n", "pcie",
-              static_cast<unsigned long long>(t.h2d_bytes),
-              static_cast<unsigned long long>(t.d2h_bytes),
-              static_cast<unsigned long long>(t.kernel_launches));
+  std::fprintf(to, "  %-6s %14llu %14llu (h2d/d2h B), %llu launches\n", "pcie",
+               static_cast<unsigned long long>(t.h2d_bytes),
+               static_cast<unsigned long long>(t.d2h_bytes),
+               static_cast<unsigned long long>(t.kernel_launches));
+}
+
+/// Hidden developer hook (--crash <kind>) for the CI crash-bundle smoke
+/// test: fault the process after the codec has run, so the bundle shows
+/// the events leading up to the fault.
+[[noreturn]] void trigger_crash(const std::string& kind) {
+  if (kind == "segv") {
+    std::raise(SIGSEGV);
+  } else if (kind == "abort") {
+    std::abort();
+  } else if (kind == "terminate") {
+    std::terminate();  // exercises the unhandled-exception bundle path
+  }
+  std::fprintf(stderr, "szp_cli: unknown --crash kind %s\n", kind.c_str());
+  std::exit(2);
 }
 
 }  // namespace
@@ -135,6 +154,7 @@ int main(int argc, char** argv) try {
   std::string profile_path;
   std::string hostprof_path;
   std::string metrics_json_path;
+  std::string crash_kind;  // hidden: --crash segv|abort|terminate
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -174,6 +194,9 @@ int main(int argc, char** argv) try {
       metrics_json_path = argv[i];
     } else if (a.rfind("--metrics-json=", 0) == 0) {
       metrics_json_path = a.substr(std::strlen("--metrics-json="));
+    } else if (a == "--crash") {
+      if (++i >= argc) return usage();
+      crash_kind = argv[i];
     } else if (a == "--breakdown") {
       breakdown = true;
     } else if (a == "--version") {
@@ -194,6 +217,16 @@ int main(int argc, char** argv) try {
   const std::string target = positional[0];
   const double bound = std::strtod(positional[1].c_str(), nullptr);
   if (bound <= 0) return usage();
+
+  // `--metrics-json -` streams the registry JSON to stdout; every
+  // human-readable line then moves to stderr so the JSON stays parseable
+  // even with warnings enabled.
+  const bool metrics_to_stdout = metrics_json_path == "-";
+  std::FILE* const out = metrics_to_stdout ? stderr : stdout;
+
+  // Always-on telemetry knobs (SZP_TELEMETRY / SZP_LOG / SZP_CRASH_DIR;
+  // chains SZP_TRACE / SZP_STATS).
+  obs::telemetry::init_from_env();
 
   if (!trace_path.empty()) obs::Tracer::instance().set_enabled(true);
   if (stats || !metrics_json_path.empty()) {
@@ -284,12 +317,12 @@ int main(int argc, char** argv) try {
     const auto total = perfmodel::combine_devices(per_dev);
     std::size_t batch_bytes = 0;
     for (const auto& s : batch) batch_bytes += s.bytes.size();
-    std::printf(
+    std::fprintf(out, 
         "async batch: %zu fields over %u device(s) x %u stream(s), "
         "%zu compressed bytes\n",
         batch.size(), devb->devices(), devb->streams_per_device(),
         batch_bytes);
-    std::printf(
+    std::fprintf(out, 
         "  modeled wall: serialized %.6f s -> overlapped %.6f s "
         "(%.1f%% saved, %.2fx)\n\n",
         total.serialized_s, total.overlapped_s,
@@ -304,17 +337,17 @@ int main(int argc, char** argv) try {
   double wall_decomp_s = 0;
   if (backend == engine::BackendKind::kDevice) {
     auto rt = eng.device_roundtrip(field.values, range, /*keep_stream=*/true);
-    std::printf("cuSZp compression kernel finished!\n");
-    std::printf("cuSZp decompression kernel finished!\n\n");
+    std::fprintf(out, "cuSZp compression kernel finished!\n");
+    std::fprintf(out, "cuSZp decompression kernel finished!\n\n");
     stream = std::move(rt.stream);
     recon = std::move(rt.reconstruction);
     comp_trace = rt.comp_trace;
     dec_trace = rt.decomp_trace;
     const perfmodel::CostModel model(perfmodel::a100());
-    std::printf(
+    std::fprintf(out, 
         "cuSZp compression   end-to-end speed: %f GB/s (modeled A100)\n",
         model.end_to_end_gbps(comp_trace, field.size_bytes()));
-    std::printf(
+    std::fprintf(out, 
         "cuSZp decompression end-to-end speed: %f GB/s (modeled A100)\n",
         model.end_to_end_gbps(dec_trace, field.size_bytes()));
   } else {
@@ -322,36 +355,40 @@ int main(int argc, char** argv) try {
     auto t0 = Clock::now();
     stream = eng.compress(field.values, range).bytes;
     wall_comp_s = std::chrono::duration<double>(Clock::now() - t0).count();
-    std::printf("cuSZp host compression finished!\n");
+    std::fprintf(out, "cuSZp host compression finished!\n");
     t0 = Clock::now();
     recon = eng.decompress(stream);
     wall_decomp_s = std::chrono::duration<double>(Clock::now() - t0).count();
-    std::printf("cuSZp host decompression finished!\n\n");
+    std::fprintf(out, "cuSZp host decompression finished!\n\n");
     const double gb = static_cast<double>(field.size_bytes()) / 1e9;
-    std::printf("cuSZp compression   host speed: %f GB/s (%s backend)\n",
+    std::fprintf(out, "cuSZp compression   host speed: %f GB/s (%s backend)\n",
                 wall_comp_s > 0 ? gb / wall_comp_s : 0.0, backend_name.c_str());
-    std::printf("cuSZp decompression host speed: %f GB/s (%s backend)\n",
+    std::fprintf(out, "cuSZp decompression host speed: %f GB/s (%s backend)\n",
                 wall_decomp_s > 0 ? gb / wall_decomp_s : 0.0,
                 backend_name.c_str());
   }
-  std::printf("cuSZp compression ratio: %f\n\n",
+  std::fprintf(out, "cuSZp compression ratio: %f\n\n",
               static_cast<double>(field.size_bytes()) /
                   static_cast<double>(stream.size()));
 
   if (breakdown && backend == engine::BackendKind::kDevice) {
-    print_breakdown("compression", comp_trace);
-    print_breakdown("decompression", dec_trace);
-    std::printf("\n");
+    print_breakdown(out, "compression", comp_trace);
+    print_breakdown(out, "decompression", dec_trace);
+    std::fprintf(out, "\n");
   }
 
   const double eb = core::resolve_eb(params, range);
   const double max_abs = std::abs(range) * 1.2e-7 + eb;
   if (metrics::error_bounded(field.values, recon, max_abs)) {
-    std::printf("Pass error check!\n");
+    std::fprintf(out, "Pass error check!\n");
   } else {
-    std::printf("ERROR CHECK FAILED\n");
+    std::fprintf(out, "ERROR CHECK FAILED\n");
     return 1;
   }
+
+  // CI smoke hook: fault now, after a full roundtrip, so the crash
+  // bundle carries the run's flight-recorder events.
+  if (!crash_kind.empty()) trigger_crash(crash_kind);
 
   // Persist the compressed stream and reconstruction like the artifact.
   std::ofstream cmp_out(out_base + ".szp.cmp", std::ios::binary);
@@ -359,7 +396,7 @@ int main(int argc, char** argv) try {
                 static_cast<std::streamsize>(stream.size()));
   data::save_f32(out_base + ".szp.dec",
                  data::Field{field.name, field.dims, recon});
-  std::printf("wrote %s.szp.cmp (%zu bytes) and %s.szp.dec\n",
+  std::fprintf(out, "wrote %s.szp.cmp (%zu bytes) and %s.szp.dec\n",
               out_base.c_str(), stream.size(), out_base.c_str());
 
   if (!trace_path.empty()) {
@@ -368,13 +405,14 @@ int main(int argc, char** argv) try {
                    trace_path.c_str());
       return 1;
     }
-    std::printf("wrote trace to %s (%zu events)\n", trace_path.c_str(),
+    std::fprintf(out, "wrote trace to %s (%zu events)\n", trace_path.c_str(),
                 obs::Tracer::instance().event_count());
   }
   if (stats) {
-    std::printf("\n");
-    std::fflush(stdout);
-    obs::Registry::instance().write_text(std::cout);
+    std::fprintf(out, "\n");
+    std::fflush(out);
+    obs::Registry::instance().write_text(metrics_to_stdout ? std::cerr
+                                                           : std::cout);
   }
   if (!profile_path.empty()) {
     const auto session = eng.device().profile_snapshot();
@@ -389,10 +427,13 @@ int main(int argc, char** argv) try {
                    profile_path.c_str());
       return 1;
     }
-    std::printf("wrote profile to %s (%zu launches)\n", profile_path.c_str(),
+    std::fprintf(out, "wrote profile to %s (%zu launches)\n", profile_path.c_str(),
                 session.launches.size());
   }
-  if (!metrics_json_path.empty()) {
+  if (metrics_to_stdout) {
+    obs::Registry::instance().write_json(std::cout);
+    std::cout.flush();
+  } else if (!metrics_json_path.empty()) {
     std::ofstream os(metrics_json_path);
     if (!os) {
       std::fprintf(stderr, "szp_cli: cannot write metrics to %s\n",
@@ -400,7 +441,7 @@ int main(int argc, char** argv) try {
       return 1;
     }
     obs::Registry::instance().write_json(os);
-    std::printf("wrote metrics to %s\n", metrics_json_path.c_str());
+    std::fprintf(out, "wrote metrics to %s\n", metrics_json_path.c_str());
   }
   if (hostprof_on) {
     const auto snap = obs::hostprof::Profiler::instance().snapshot();
@@ -412,15 +453,17 @@ int main(int argc, char** argv) try {
                    path.c_str());
       return 1;
     }
-    std::printf("\n");
-    std::fflush(stdout);
-    obs::hostprof::write_hostprof_text(std::cout, snap);
-    std::printf("wrote host profile to %s (%zu lanes)\n", path.c_str(),
+    std::fprintf(out, "\n");
+    std::fflush(out);
+    obs::hostprof::write_hostprof_text(metrics_to_stdout ? std::cerr
+                                                         : std::cout,
+                                       snap);
+    std::fprintf(out, "wrote host profile to %s (%zu lanes)\n", path.c_str(),
                 snap.threads.size());
   }
   if (devcheck) {
     const auto rep = eng.device().sanitize_report();
-    std::printf("\n%s", rep.to_string().c_str());
+    std::fprintf(out, "\n%s", rep.to_string().c_str());
     eng.device().clear_sanitize_findings();
     if (!rep.empty()) return 3;
   }

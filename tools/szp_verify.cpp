@@ -37,6 +37,7 @@
 #include "szp/gpusim/device.hpp"
 #include "szp/obs/chrome_trace.hpp"
 #include "szp/obs/metrics.hpp"
+#include "szp/obs/telemetry/telemetry.hpp"
 #include "szp/obs/tracer.hpp"
 #include "szp/robust/io.hpp"
 #include "szp/robust/try_decode.hpp"
@@ -206,6 +207,7 @@ int main(int argc, char** argv) try {
     }
   }
   if (positional.size() != 1) return usage();
+  obs::telemetry::init_from_env();
   if (!trace_path.empty()) obs::Tracer::instance().set_enabled(true);
   if (stats) obs::Registry::instance().set_enabled(true);
   const std::string path = positional[0];
